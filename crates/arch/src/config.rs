@@ -1,0 +1,230 @@
+//! Decoder mode configurations and the mode ROM.
+//!
+//! The control unit of the ASIC (Fig. 8: "CTRL" + "ROM") stores one
+//! configuration record per supported code mode. On reconfiguration the
+//! record is loaded into the datapath control registers: the active lane
+//! count `z`, the layer structure (which block columns each layer touches and
+//! with which circulant shift) and the derived schedule constants.
+
+use ldpc_codes::{CodeId, QcCode};
+
+use crate::error::ArchError;
+
+/// One mode-ROM record: everything the control unit needs to drive the
+/// datapath for one code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecoderModeConfig {
+    /// The mode this record was generated from.
+    pub id: CodeId,
+    /// Active sub-matrix size (= number of active SISO lanes).
+    pub z: usize,
+    /// Number of layers `j`.
+    pub block_rows: usize,
+    /// Number of block columns `k`.
+    pub block_cols: usize,
+    /// Number of non-zero blocks `E`.
+    pub nnz_blocks: usize,
+    /// Per-layer entries: `(block_col, shift)` pairs in processing order.
+    pub layers: Vec<Vec<(usize, usize)>>,
+}
+
+impl DecoderModeConfig {
+    /// Builds the record for a code.
+    #[must_use]
+    pub fn from_code(code: &QcCode) -> Self {
+        DecoderModeConfig {
+            id: code.spec().id(),
+            z: code.z(),
+            block_rows: code.block_rows(),
+            block_cols: code.block_cols(),
+            nnz_blocks: code.nnz_blocks(),
+            layers: code
+                .layers()
+                .iter()
+                .map(|l| l.entries.iter().map(|e| (e.block_col, e.shift)).collect())
+                .collect(),
+        }
+    }
+
+    /// Check-node degree of layer `l`.
+    #[must_use]
+    pub fn layer_degree(&self, l: usize) -> usize {
+        self.layers[l].len()
+    }
+
+    /// The largest layer degree (sizes the SISO FIFO).
+    #[must_use]
+    pub fn max_layer_degree(&self) -> usize {
+        self.layers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of ROM words needed to store this record, assuming one word per
+    /// non-zero block (block column index + shift) plus one header word per
+    /// layer. Used by the area model for the configuration ROM.
+    #[must_use]
+    pub fn rom_words(&self) -> usize {
+        self.nnz_blocks + self.block_rows + 1
+    }
+
+    /// Codeword length `n = k·z`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.block_cols * self.z
+    }
+}
+
+/// The mode ROM: the set of supported configurations, addressable by
+/// [`CodeId`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModeRom {
+    modes: Vec<DecoderModeConfig>,
+}
+
+impl ModeRom {
+    /// Creates an empty ROM.
+    #[must_use]
+    pub fn new() -> Self {
+        ModeRom::default()
+    }
+
+    /// Builds a ROM containing the given modes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates code-construction failures for unsupported modes.
+    pub fn from_modes(ids: &[CodeId]) -> Result<Self, ldpc_codes::CodeError> {
+        let mut rom = ModeRom::new();
+        for id in ids {
+            let code = id.build()?;
+            rom.add(DecoderModeConfig::from_code(&code));
+        }
+        Ok(rom)
+    }
+
+    /// Adds (or replaces) a mode record.
+    pub fn add(&mut self, config: DecoderModeConfig) {
+        self.modes.retain(|m| m.id != config.id);
+        self.modes.push(config);
+    }
+
+    /// Looks up the record of a mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownMode`] if the mode is not stored.
+    pub fn lookup(&self, id: &CodeId) -> Result<&DecoderModeConfig, ArchError> {
+        self.modes.iter().find(|m| &m.id == id).ok_or_else(|| ArchError::UnknownMode {
+            requested: id.to_string(),
+        })
+    }
+
+    /// All stored modes.
+    #[must_use]
+    pub fn modes(&self) -> &[DecoderModeConfig] {
+        &self.modes
+    }
+
+    /// Number of stored modes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Whether the ROM is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// Total ROM words across every mode (configuration storage of Fig. 8).
+    #[must_use]
+    pub fn total_rom_words(&self) -> usize {
+        self.modes.iter().map(DecoderModeConfig::rom_words).sum()
+    }
+
+    /// The largest active lane count any stored mode needs.
+    #[must_use]
+    pub fn max_z(&self) -> usize {
+        self.modes.iter().map(|m| m.z).max().unwrap_or(0)
+    }
+
+    /// The largest per-lane Λ storage (non-zero blocks) any stored mode needs.
+    #[must_use]
+    pub fn max_nnz_blocks(&self) -> usize {
+        self.modes.iter().map(|m| m.nnz_blocks).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_codes::{CodeRate, Standard};
+
+    fn wimax_id(n: usize) -> CodeId {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, n)
+    }
+
+    #[test]
+    fn mode_config_reflects_code_structure() {
+        let code = wimax_id(2304).build().unwrap();
+        let cfg = DecoderModeConfig::from_code(&code);
+        assert_eq!(cfg.z, 96);
+        assert_eq!(cfg.block_rows, 12);
+        assert_eq!(cfg.block_cols, 24);
+        assert_eq!(cfg.nnz_blocks, code.nnz_blocks());
+        assert_eq!(cfg.n(), 2304);
+        assert_eq!(cfg.layers.len(), 12);
+        for (l, layer) in cfg.layers.iter().enumerate() {
+            assert_eq!(layer.len(), cfg.layer_degree(l));
+            assert_eq!(layer.len(), code.layer_degree(l));
+        }
+        assert!(cfg.max_layer_degree() >= 2);
+        assert!(cfg.rom_words() > cfg.nnz_blocks);
+    }
+
+    #[test]
+    fn rom_lookup_and_replacement() {
+        let ids = [wimax_id(576), wimax_id(2304)];
+        let mut rom = ModeRom::from_modes(&ids).unwrap();
+        assert_eq!(rom.len(), 2);
+        assert!(!rom.is_empty());
+        assert_eq!(rom.lookup(&ids[0]).unwrap().z, 24);
+        assert_eq!(rom.lookup(&ids[1]).unwrap().z, 96);
+        assert_eq!(rom.max_z(), 96);
+        assert!(rom.total_rom_words() > 0);
+        // Adding the same mode again replaces rather than duplicates.
+        let code = ids[0].build().unwrap();
+        rom.add(DecoderModeConfig::from_code(&code));
+        assert_eq!(rom.len(), 2);
+    }
+
+    #[test]
+    fn rom_rejects_unknown_mode() {
+        let rom = ModeRom::from_modes(&[wimax_id(576)]).unwrap();
+        let missing = wimax_id(2304);
+        assert!(matches!(
+            rom.lookup(&missing),
+            Err(ArchError::UnknownMode { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_standard_rom_covers_both_families() {
+        let ids = [
+            wimax_id(2304),
+            CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 1944),
+        ];
+        let rom = ModeRom::from_modes(&ids).unwrap();
+        assert_eq!(rom.len(), 2);
+        assert_eq!(rom.max_z(), 96);
+        assert!(rom.max_nnz_blocks() > 0);
+    }
+
+    #[test]
+    fn empty_rom_defaults() {
+        let rom = ModeRom::new();
+        assert!(rom.is_empty());
+        assert_eq!(rom.max_z(), 0);
+        assert_eq!(rom.total_rom_words(), 0);
+    }
+}

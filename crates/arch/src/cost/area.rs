@@ -1,0 +1,264 @@
+//! Area model (Table 2 and the 3.5 mm² total of Table 3).
+//!
+//! Component areas are simple functions of their sizing parameters; the
+//! SISO-core area versus clock frequency is interpolated through the paper's
+//! three synthesis points (Table 2), and a single integration-overhead factor
+//! (routing, utilisation, clock tree) is calibrated so that the full decoder
+//! at the paper's configuration lands on the reported 3.5 mm².
+
+use ldpc_core::siso::SisoRadix;
+
+use crate::config::ModeRom;
+
+/// Area of one decoder instance broken into components (all in mm²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// The array of SISO decoder cores.
+    pub siso_array_mm2: f64,
+    /// Distributed Λ-memory banks.
+    pub lambda_mem_mm2: f64,
+    /// Central L-memory.
+    pub l_mem_mm2: f64,
+    /// Circular shifter.
+    pub shifter_mm2: f64,
+    /// Control logic + configuration ROM.
+    pub control_mm2: f64,
+    /// Input/output frame buffers.
+    pub io_mm2: f64,
+    /// Integration overhead (routing, utilisation, clock tree) included in
+    /// the total.
+    pub overhead_mm2: f64,
+    /// Total area.
+    pub total_mm2: f64,
+}
+
+/// Calibrated 90 nm area model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    /// Synthesis clock points (Hz) of Table 2, ascending.
+    clock_points_hz: [f64; 3],
+    /// R2-SISO areas (µm²) at the clock points.
+    r2_siso_um2: [f64; 3],
+    /// R4-SISO areas (µm²) at the clock points.
+    r4_siso_um2: [f64; 3],
+    /// Register-file area per bit (µm²) for the distributed Λ banks.
+    lambda_um2_per_bit: f64,
+    /// SRAM area per bit (µm²) for the central L-memory and I/O buffers.
+    sram_um2_per_bit: f64,
+    /// Area of one 2:1 mux leg of the barrel shifter (µm² per bit per stage),
+    /// including the wiring-dominated overhead of supporting 19 rotation
+    /// sizes.
+    shifter_um2_per_bit_stage: f64,
+    /// Configuration-ROM area per word (µm²).
+    rom_um2_per_word: f64,
+    /// Fixed control-logic area (mm²).
+    control_fixed_mm2: f64,
+    /// Integration overhead factor applied to the component sum (calibrated
+    /// so the paper's configuration totals 3.5 mm²).
+    integration_overhead: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::paper_90nm()
+    }
+}
+
+impl AreaModel {
+    /// The model calibrated against the paper's 90 nm results.
+    #[must_use]
+    pub fn paper_90nm() -> Self {
+        AreaModel {
+            clock_points_hz: [200.0e6, 325.0e6, 450.0e6],
+            r2_siso_um2: [6197.0, 6367.0, 6978.0],
+            r4_siso_um2: [8944.0, 10077.0, 12774.0],
+            lambda_um2_per_bit: 4.0,
+            sram_um2_per_bit: 2.0,
+            shifter_um2_per_bit_stage: 36.0,
+            rom_um2_per_word: 25.0,
+            control_fixed_mm2: 0.08,
+            // Calibrated in `decoder_area` tests: brings the paper's
+            // configuration (96 R4 lanes, 450 MHz, WiMax+WLAN mode set) to
+            // ≈ 3.5 mm².
+            integration_overhead: 1.74,
+        }
+    }
+
+    /// SISO-core area (µm²) for a radix at a clock frequency, interpolated
+    /// linearly between the Table 2 synthesis points (clamped outside).
+    #[must_use]
+    pub fn siso_area_um2(&self, radix: SisoRadix, clock_hz: f64) -> f64 {
+        let points = match radix {
+            SisoRadix::Radix2 => &self.r2_siso_um2,
+            SisoRadix::Radix4 => &self.r4_siso_um2,
+        };
+        let f = clock_hz.clamp(self.clock_points_hz[0], self.clock_points_hz[2]);
+        let (lo, hi, a, b) = if f <= self.clock_points_hz[1] {
+            (self.clock_points_hz[0], self.clock_points_hz[1], points[0], points[1])
+        } else {
+            (self.clock_points_hz[1], self.clock_points_hz[2], points[1], points[2])
+        };
+        let t = (f - lo) / (hi - lo);
+        a + t * (b - a)
+    }
+
+    /// The throughput-area efficiency factor η of Table 2: the R4 speed-up (2×)
+    /// divided by its area overhead relative to R2.
+    #[must_use]
+    pub fn efficiency_eta(&self, clock_hz: f64) -> f64 {
+        2.0 / (self.siso_area_um2(SisoRadix::Radix4, clock_hz)
+            / self.siso_area_um2(SisoRadix::Radix2, clock_hz))
+    }
+
+    /// Full-decoder area breakdown for a datapath with `lanes` SISO cores of
+    /// the given radix, `lambda_slots` Λ entries per lane, `block_cols` L-mem
+    /// words, at `clock_hz`, with the configuration ROM sized for `rom`.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn decoder_area(
+        &self,
+        lanes: usize,
+        radix: SisoRadix,
+        clock_hz: f64,
+        lambda_slots: usize,
+        block_cols: usize,
+        message_bits: u32,
+        app_bits: u32,
+        rom: &ModeRom,
+    ) -> AreaReport {
+        let um2_to_mm2 = 1.0e-6;
+        let siso_array_mm2 = self.siso_area_um2(radix, clock_hz) * lanes as f64 * um2_to_mm2;
+        let lambda_bits = lanes * lambda_slots * message_bits as usize;
+        let lambda_mem_mm2 = lambda_bits as f64 * self.lambda_um2_per_bit * um2_to_mm2;
+        let l_bits = block_cols * lanes * app_bits as usize;
+        let l_mem_mm2 = l_bits as f64 * self.sram_um2_per_bit * um2_to_mm2;
+        let stages = (usize::BITS - (lanes.max(2) - 1).leading_zeros()) as f64;
+        let shifter_mm2 =
+            lanes as f64 * message_bits as f64 * stages * self.shifter_um2_per_bit_stage * um2_to_mm2;
+        let control_mm2 = self.control_fixed_mm2
+            + rom.total_rom_words() as f64 * self.rom_um2_per_word * um2_to_mm2;
+        // Input and output frame buffers: one frame of channel LLRs in, one
+        // frame of hard decisions out.
+        let n_max = block_cols * lanes;
+        let io_bits = n_max * message_bits as usize + n_max;
+        let io_mm2 = io_bits as f64 * self.sram_um2_per_bit * um2_to_mm2;
+
+        let core = siso_array_mm2 + lambda_mem_mm2 + l_mem_mm2 + shifter_mm2 + control_mm2 + io_mm2;
+        let total_mm2 = core * self.integration_overhead;
+        AreaReport {
+            siso_array_mm2,
+            lambda_mem_mm2,
+            l_mem_mm2,
+            shifter_mm2,
+            control_mm2,
+            io_mm2,
+            overhead_mm2: total_mm2 - core,
+            total_mm2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_codes::{CodeId, Standard};
+
+    fn paper_mode_rom() -> ModeRom {
+        // The multi-mode decoder of §IV supports 802.16e and 802.11n.
+        let mut ids = CodeId::all_modes(Standard::Wimax80216e);
+        ids.extend(CodeId::all_modes(Standard::Wifi80211n));
+        ModeRom::from_modes(&ids).unwrap()
+    }
+
+    #[test]
+    fn siso_areas_reproduce_table2_at_synthesis_points() {
+        let m = AreaModel::paper_90nm();
+        assert_eq!(m.siso_area_um2(SisoRadix::Radix2, 450.0e6), 6978.0);
+        assert_eq!(m.siso_area_um2(SisoRadix::Radix2, 325.0e6), 6367.0);
+        assert_eq!(m.siso_area_um2(SisoRadix::Radix2, 200.0e6), 6197.0);
+        assert_eq!(m.siso_area_um2(SisoRadix::Radix4, 450.0e6), 12774.0);
+        assert_eq!(m.siso_area_um2(SisoRadix::Radix4, 325.0e6), 10077.0);
+        assert_eq!(m.siso_area_um2(SisoRadix::Radix4, 200.0e6), 8944.0);
+    }
+
+    #[test]
+    fn efficiency_eta_matches_table2() {
+        let m = AreaModel::paper_90nm();
+        // Table 2: η = 1.09 @ 450 MHz, 1.26 @ 325 MHz, 1.39 @ 200 MHz.
+        assert!((m.efficiency_eta(450.0e6) - 1.09).abs() < 0.01);
+        assert!((m.efficiency_eta(325.0e6) - 1.26).abs() < 0.01);
+        assert!((m.efficiency_eta(200.0e6) - 1.39).abs() < 0.01);
+        // η improves as the clock relaxes (the paper's observation).
+        assert!(m.efficiency_eta(200.0e6) > m.efficiency_eta(450.0e6));
+    }
+
+    #[test]
+    fn interpolation_is_monotone_and_clamped() {
+        let m = AreaModel::paper_90nm();
+        let a300 = m.siso_area_um2(SisoRadix::Radix4, 300.0e6);
+        assert!(a300 > 8944.0 && a300 < 12774.0);
+        // Clamping outside the synthesis range.
+        assert_eq!(
+            m.siso_area_um2(SisoRadix::Radix2, 100.0e6),
+            m.siso_area_um2(SisoRadix::Radix2, 200.0e6)
+        );
+        assert_eq!(
+            m.siso_area_um2(SisoRadix::Radix2, 600.0e6),
+            m.siso_area_um2(SisoRadix::Radix2, 450.0e6)
+        );
+    }
+
+    #[test]
+    fn full_decoder_area_matches_paper_total() {
+        let m = AreaModel::paper_90nm();
+        let rom = paper_mode_rom();
+        let report = m.decoder_area(
+            96,
+            SisoRadix::Radix4,
+            450.0e6,
+            rom.max_nnz_blocks(),
+            24,
+            8,
+            10,
+            &rom,
+        );
+        // Calibrated to the paper's 3.5 mm² (±10 %).
+        assert!(
+            (report.total_mm2 - 3.5).abs() < 0.35,
+            "total area {} mm²",
+            report.total_mm2
+        );
+        // The SISO array alone is 96 × 12774 µm² ≈ 1.23 mm².
+        assert!((report.siso_array_mm2 - 1.226).abs() < 0.01);
+        // Breakdown sums to the total.
+        let sum = report.siso_array_mm2
+            + report.lambda_mem_mm2
+            + report.l_mem_mm2
+            + report.shifter_mm2
+            + report.control_mm2
+            + report.io_mm2
+            + report.overhead_mm2;
+        assert!((sum - report.total_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_datapaths_are_smaller() {
+        let m = AreaModel::paper_90nm();
+        let rom = paper_mode_rom();
+        let full = m.decoder_area(96, SisoRadix::Radix4, 450.0e6, 80, 24, 8, 10, &rom);
+        let half = m.decoder_area(48, SisoRadix::Radix4, 450.0e6, 80, 24, 8, 10, &rom);
+        let r2 = m.decoder_area(96, SisoRadix::Radix2, 450.0e6, 80, 24, 8, 10, &rom);
+        assert!(half.total_mm2 < full.total_mm2);
+        assert!(r2.siso_array_mm2 < full.siso_array_mm2);
+        assert!(r2.total_mm2 < full.total_mm2);
+    }
+
+    #[test]
+    fn lower_clock_reduces_area() {
+        let m = AreaModel::paper_90nm();
+        let rom = paper_mode_rom();
+        let fast = m.decoder_area(96, SisoRadix::Radix4, 450.0e6, 80, 24, 8, 10, &rom);
+        let slow = m.decoder_area(96, SisoRadix::Radix4, 200.0e6, 80, 24, 8, 10, &rom);
+        assert!(slow.total_mm2 < fast.total_mm2);
+    }
+}

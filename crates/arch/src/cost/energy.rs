@@ -1,0 +1,84 @@
+//! Energy-efficiency metrics derived from the power and throughput models.
+//!
+//! Energy per decoded information bit (pJ/bit) and per iteration are the
+//! standard figures of merit used to compare LDPC decoder ASICs; they combine
+//! the paper's Table 3 power and throughput rows.
+
+/// Energy figures for one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Average power in mW.
+    pub power_mw: f64,
+    /// Information throughput in bit/s.
+    pub throughput_bps: f64,
+    /// Energy per decoded information bit in pJ/bit.
+    pub pj_per_bit: f64,
+    /// Energy per frame in nJ.
+    pub nj_per_frame: f64,
+}
+
+impl EnergyReport {
+    /// Computes the energy figures from power, throughput and frame size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the throughput is not positive.
+    #[must_use]
+    pub fn new(power_mw: f64, throughput_bps: f64, info_bits_per_frame: usize) -> Self {
+        assert!(throughput_bps > 0.0, "throughput must be positive");
+        let joules_per_bit = power_mw * 1.0e-3 / throughput_bps;
+        EnergyReport {
+            power_mw,
+            throughput_bps,
+            pj_per_bit: joules_per_bit * 1.0e12,
+            nj_per_frame: joules_per_bit * info_bits_per_frame as f64 * 1.0e9,
+        }
+    }
+
+    /// Energy per bit per iteration (pJ/bit/iteration), a common
+    /// normalisation when comparing decoders with different iteration counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    #[must_use]
+    pub fn pj_per_bit_per_iteration(&self, iterations: usize) -> f64 {
+        assert!(iterations > 0, "iterations must be positive");
+        self.pj_per_bit / iterations as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_point_energy() {
+        // 410 mW at ~1 Gbps is ~0.41 nJ/bit = 410 pJ/bit.
+        let e = EnergyReport::new(410.0, 1.0e9, 1152);
+        assert!((e.pj_per_bit - 410.0).abs() < 1e-9);
+        assert!((e.nj_per_frame - 410.0 * 1.152e-3 * 1.0e3).abs() < 1e-6);
+        assert!((e.pj_per_bit_per_iteration(10) - 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_power_means_lower_energy() {
+        let high = EnergyReport::new(410.0, 1.0e9, 1152);
+        let low = EnergyReport::new(145.0, 1.0e9, 1152);
+        assert!(low.pj_per_bit < high.pj_per_bit);
+        assert!(low.nj_per_frame < high.nj_per_frame);
+    }
+
+    #[test]
+    fn energy_scales_inversely_with_throughput() {
+        let slow = EnergyReport::new(400.0, 0.5e9, 1000);
+        let fast = EnergyReport::new(400.0, 1.0e9, 1000);
+        assert!((slow.pj_per_bit / fast.pj_per_bit - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput")]
+    fn rejects_zero_throughput() {
+        let _ = EnergyReport::new(100.0, 0.0, 10);
+    }
+}

@@ -1,0 +1,238 @@
+//! Power model (Table 3 peak power and the two power-saving schemes of
+//! Fig. 9).
+//!
+//! The model splits power into a static part (leakage plus the always-on
+//! fraction of the clock tree) and activity-scaled dynamic parts:
+//!
+//! ```text
+//! P = P_static + u · f/f₀ · (P_ctrl + P_lmem·(z/z_max) + P_lane·z_active)
+//! ```
+//!
+//! where `u` is the datapath utilisation. The early-termination scheme of
+//! §IV reduces `u` to `avg_iterations / max_iterations` (the decoder is
+//! clock-gated once a frame terminates), reproducing Fig. 9(a); the
+//! distributed-banking scheme reduces `z_active`, reproducing Fig. 9(b).
+//! Coefficients are calibrated against the paper's 410 mW peak at 450 MHz
+//! with 96 active lanes.
+
+/// Power estimate broken into components (all in mW).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Leakage plus always-on clock-tree power.
+    pub static_mw: f64,
+    /// Control / scheduling logic.
+    pub control_mw: f64,
+    /// Central L-memory, circular shifter and I/O buffers.
+    pub central_mw: f64,
+    /// Active SISO lanes and their Λ banks.
+    pub lanes_mw: f64,
+    /// Total power.
+    pub total_mw: f64,
+}
+
+/// Calibrated 90 nm power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Reference clock the dynamic coefficients are expressed at (Hz).
+    reference_clock_hz: f64,
+    /// Number of physical lanes the calibration assumed.
+    reference_lanes: usize,
+    /// Static power (mW).
+    static_mw: f64,
+    /// Control dynamic power at full utilisation (mW).
+    control_mw: f64,
+    /// Central L-memory + shifter + I/O dynamic power at full width (mW).
+    central_mw: f64,
+    /// Dynamic power per active SISO lane + Λ bank (mW).
+    per_lane_mw: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::paper_90nm()
+    }
+}
+
+impl PowerModel {
+    /// The model calibrated against the paper (410 mW peak, 450 MHz, 96
+    /// lanes; ≈65 % saving with early termination; ≈275 mW at the smallest
+    /// WiMax block size).
+    #[must_use]
+    pub fn paper_90nm() -> Self {
+        PowerModel {
+            reference_clock_hz: 450.0e6,
+            reference_lanes: 96,
+            static_mw: 88.0,
+            control_mw: 120.0,
+            central_mw: 40.0,
+            per_lane_mw: 1.7,
+        }
+    }
+
+    /// The reference clock frequency (Hz).
+    #[must_use]
+    pub fn reference_clock_hz(&self) -> f64 {
+        self.reference_clock_hz
+    }
+
+    /// Power for a given operating point.
+    ///
+    /// * `active_lanes` — number of SISO lanes (= `z` of the configured code)
+    ///   that are clocked; the remaining banks/lanes are deactivated
+    ///   (Fig. 9b).
+    /// * `z_max` — physical lane count (sizes the central memory width).
+    /// * `clock_hz` — operating clock.
+    /// * `utilization` — fraction of frame time the datapath is active;
+    ///   `avg_iterations / max_iterations` when early termination is enabled
+    ///   (Fig. 9a), 1.0 otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]` or `active_lanes > z_max`.
+    #[must_use]
+    pub fn power(
+        &self,
+        active_lanes: usize,
+        z_max: usize,
+        clock_hz: f64,
+        utilization: f64,
+    ) -> PowerReport {
+        assert!((0.0..=1.0).contains(&utilization), "utilization must be in [0, 1]");
+        assert!(active_lanes <= z_max, "more active lanes than physical lanes");
+        let scale = utilization * clock_hz / self.reference_clock_hz;
+        let control_mw = self.control_mw * scale;
+        let central_mw = self.central_mw * (active_lanes as f64 / z_max as f64) * scale;
+        let lanes_mw = self.per_lane_mw * active_lanes as f64 * scale;
+        let total_mw = self.static_mw + control_mw + central_mw + lanes_mw;
+        PowerReport {
+            static_mw: self.static_mw,
+            control_mw,
+            central_mw,
+            lanes_mw,
+            total_mw,
+        }
+    }
+
+    /// Peak power: every lane active, full utilisation, reference clock.
+    #[must_use]
+    pub fn peak_power_mw(&self) -> f64 {
+        self.power(
+            self.reference_lanes,
+            self.reference_lanes,
+            self.reference_clock_hz,
+            1.0,
+        )
+        .total_mw
+    }
+
+    /// Power with the early-termination scheme, given the measured average
+    /// iteration count (Fig. 9a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iterations` is zero.
+    #[must_use]
+    pub fn power_with_early_termination(
+        &self,
+        active_lanes: usize,
+        z_max: usize,
+        clock_hz: f64,
+        avg_iterations: f64,
+        max_iterations: usize,
+    ) -> PowerReport {
+        assert!(max_iterations > 0, "max_iterations must be positive");
+        let utilization = (avg_iterations / max_iterations as f64).clamp(0.0, 1.0);
+        self.power(active_lanes, z_max, clock_hz, utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_power_matches_table3() {
+        let m = PowerModel::paper_90nm();
+        let peak = m.peak_power_mw();
+        assert!((peak - 410.0).abs() < 10.0, "peak {peak} mW");
+    }
+
+    #[test]
+    fn early_termination_saves_up_to_65_percent() {
+        // Fig. 9(a): at good Eb/N0 the average iteration count drops to ~1.5
+        // of 10, cutting power from ~410 mW to ~140 mW (≈65 %).
+        let m = PowerModel::paper_90nm();
+        let full = m.power_with_early_termination(96, 96, 450.0e6, 10.0, 10);
+        let good_channel = m.power_with_early_termination(96, 96, 450.0e6, 1.5, 10);
+        assert!((full.total_mw - 410.0).abs() < 10.0);
+        let saving = 1.0 - good_channel.total_mw / full.total_mw;
+        assert!(
+            (0.55..=0.70).contains(&saving),
+            "saving {saving} (power {} mW)",
+            good_channel.total_mw
+        );
+    }
+
+    #[test]
+    fn distributed_banking_scales_power_with_block_size() {
+        // Fig. 9(b): ~275 mW at the smallest WiMax code (z = 24) up to
+        // ~410-425 mW at z = 96.
+        let m = PowerModel::paper_90nm();
+        let small = m.power(24, 96, 450.0e6, 1.0);
+        let large = m.power(96, 96, 450.0e6, 1.0);
+        assert!(small.total_mw < large.total_mw);
+        assert!(
+            (250.0..=300.0).contains(&small.total_mw),
+            "small-code power {}",
+            small.total_mw
+        );
+        assert!((400.0..=430.0).contains(&large.total_mw));
+        // Monotone in the active lane count.
+        let mut prev = 0.0;
+        for z in [24, 28, 48, 72, 96] {
+            let p = m.power(z, 96, 450.0e6, 1.0).total_mw;
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn power_scales_with_clock() {
+        let m = PowerModel::paper_90nm();
+        let slow = m.power(96, 96, 225.0e6, 1.0);
+        let fast = m.power(96, 96, 450.0e6, 1.0);
+        // Dynamic part halves; static does not.
+        assert!(slow.total_mw < fast.total_mw);
+        assert!(
+            ((fast.total_mw - fast.static_mw) / (slow.total_mw - slow.static_mw) - 2.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn report_components_sum_to_total() {
+        let m = PowerModel::paper_90nm();
+        let r = m.power(48, 96, 300.0e6, 0.7);
+        let sum = r.static_mw + r.control_mw + r.central_mw + r.lanes_mw;
+        assert!((sum - r.total_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_utilization_leaves_only_static_power() {
+        let m = PowerModel::paper_90nm();
+        let r = m.power(96, 96, 450.0e6, 0.0);
+        assert!((r.total_mw - r.static_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn rejects_bad_utilization() {
+        let _ = PowerModel::paper_90nm().power(96, 96, 450.0e6, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "active lanes")]
+    fn rejects_too_many_lanes() {
+        let _ = PowerModel::paper_90nm().power(97, 96, 450.0e6, 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type of the architecture model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the architecture-level decoder model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// The requested code needs a larger sub-matrix size than the datapath
+    /// provides lanes for.
+    CodeTooLarge {
+        /// Sub-matrix size of the requested code.
+        z: usize,
+        /// Number of physical SISO lanes.
+        z_max: usize,
+    },
+    /// No code has been configured yet (the mode ROM entry was never loaded).
+    NotConfigured,
+    /// The channel LLR vector does not match the configured code length.
+    LlrLengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+    /// The mode ROM does not contain the requested mode.
+    UnknownMode {
+        /// Human-readable description of the requested mode.
+        requested: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::CodeTooLarge { z, z_max } => {
+                write!(f, "code needs {z} lanes but the datapath has only {z_max}")
+            }
+            ArchError::NotConfigured => write!(f, "decoder has not been configured with a code"),
+            ArchError::LlrLengthMismatch { expected, actual } => {
+                write!(f, "channel LLR length mismatch: expected {expected}, got {actual}")
+            }
+            ArchError::UnknownMode { requested } => {
+                write!(f, "mode ROM does not contain mode: {requested}")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(ArchError::CodeTooLarge { z: 127, z_max: 96 }
+            .to_string()
+            .contains("127"));
+        assert!(ArchError::NotConfigured.to_string().contains("configured"));
+        assert!(ArchError::LlrLengthMismatch {
+            expected: 10,
+            actual: 2
+        }
+        .to_string()
+        .contains("expected 10"));
+        assert!(ArchError::UnknownMode {
+            requested: "x".into()
+        }
+        .to_string()
+        .contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! # ldpc-arch — architecture model of the reconfigurable LDPC decoder ASIC
+//!
+//! The paper's decoder is a partial-parallel ASIC: `z` SISO decoder lanes with
+//! distributed Λ-memory banks, a central L-memory whose words pack `[1 × z]`
+//! APP messages, a `z × z` circular shifter, and a control unit that
+//! dynamically reconfigures the datapath for every supported code (Fig. 7/8).
+//! This crate models that architecture at three levels:
+//!
+//! * **functional** — [`decoder::AsicLdpcDecoder`] decodes frames through the
+//!   modelled memories, shifter and SISO lanes, producing the same messages as
+//!   the algorithmic decoder in `ldpc-core`;
+//! * **cycle-accurate** — [`pipeline`] reproduces the two-stage pipelined
+//!   block-serial schedule of Fig. 4 (including layer overlap, read/write
+//!   stalls and shifter latency) and derives throughput ([`throughput`]);
+//! * **cost** — [`cost`] contains the area, power and energy models calibrated
+//!   against the paper's reported implementation results (Table 2, Table 3,
+//!   Fig. 9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod decoder;
+pub mod error;
+pub mod memory;
+pub mod pipeline;
+pub mod shifter;
+pub mod throughput;
+
+pub use config::{DecoderModeConfig, ModeRom};
+pub use cost::area::{AreaModel, AreaReport};
+pub use cost::energy::EnergyReport;
+pub use cost::power::{PowerModel, PowerReport};
+pub use decoder::{AsicDecodeOutput, AsicLdpcDecoder, DatapathConfig};
+pub use error::ArchError;
+pub use memory::{LMemory, LambdaMemory, MemoryActivity};
+pub use pipeline::{CycleReport, PipelineModel, PipelineOptions};
+pub use shifter::CircularShifter;
+pub use throughput::ThroughputModel;

@@ -1,0 +1,294 @@
+//! Memory models: the central L-memory and the distributed Λ-memory banks.
+//!
+//! The L-memory holds the a-posteriori messages `L_n`, one word of `[1 × z]`
+//! messages per block column, so that all `z` SISO lanes can fetch their APP
+//! value in a single access through the circular shifter (Fig. 7). The
+//! Λ-memory is distributed: each SISO lane owns a small bank holding the check
+//! messages `Λ_mn` of the rows it processes. Distributing the Λ storage is one
+//! of the two power-saving schemes of the paper — banks of inactive lanes are
+//! simply not clocked.
+//!
+//! The models are functional (they store real message values for the
+//! functional decoder) and instrumented (they count accesses, which drive the
+//! power model).
+
+/// Read/write access counters of one memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryActivity {
+    /// Number of word reads.
+    pub reads: u64,
+    /// Number of word writes.
+    pub writes: u64,
+}
+
+impl MemoryActivity {
+    /// Total accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Merges another activity record into this one.
+    pub fn merge(&mut self, other: &MemoryActivity) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+/// The central a-posteriori (L) memory: one word of up to `z_max` messages per
+/// block column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LMemory {
+    z_max: usize,
+    words: Vec<Vec<i32>>,
+    activity: MemoryActivity,
+}
+
+impl LMemory {
+    /// Creates an L-memory with `block_cols` words of `z_max` messages each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(block_cols: usize, z_max: usize) -> Self {
+        assert!(block_cols > 0 && z_max > 0, "memory dimensions must be positive");
+        LMemory {
+            z_max,
+            words: vec![vec![0; z_max]; block_cols],
+            activity: MemoryActivity::default(),
+        }
+    }
+
+    /// Number of words (block columns).
+    #[must_use]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word width in messages.
+    #[must_use]
+    pub fn word_width(&self) -> usize {
+        self.z_max
+    }
+
+    /// Loads the channel LLR values of block column `col` (only the first
+    /// `z` lanes are meaningful for the configured code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or `values.len() > z_max`.
+    pub fn load_word(&mut self, col: usize, values: &[i32]) {
+        assert!(values.len() <= self.z_max, "word too wide");
+        self.words[col][..values.len()].copy_from_slice(values);
+        self.activity.writes += 1;
+    }
+
+    /// Reads the word of block column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn read_word(&mut self, col: usize) -> Vec<i32> {
+        self.activity.reads += 1;
+        self.words[col].clone()
+    }
+
+    /// Writes the word of block column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or `values.len() > z_max`.
+    pub fn write_word(&mut self, col: usize, values: &[i32]) {
+        assert!(values.len() <= self.z_max, "word too wide");
+        self.words[col][..values.len()].copy_from_slice(values);
+        self.activity.writes += 1;
+    }
+
+    /// Direct (non-instrumented) view of the stored messages, used to read the
+    /// final APP values out after decoding.
+    #[must_use]
+    pub fn snapshot(&self) -> &[Vec<i32>] {
+        &self.words
+    }
+
+    /// Access counters.
+    #[must_use]
+    pub fn activity(&self) -> MemoryActivity {
+        self.activity
+    }
+
+    /// Resets the access counters.
+    pub fn reset_activity(&mut self) {
+        self.activity = MemoryActivity::default();
+    }
+
+    /// Total storage in bits for a given message width.
+    #[must_use]
+    pub fn storage_bits(&self, bits_per_message: usize) -> usize {
+        self.num_words() * self.word_width() * bits_per_message
+    }
+}
+
+/// The distributed Λ-memory: one bank per SISO lane, each holding the check
+/// messages of the (block-)entries the lane processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LambdaMemory {
+    lanes: usize,
+    entries_per_lane: usize,
+    banks: Vec<Vec<i32>>,
+    activity: MemoryActivity,
+}
+
+impl LambdaMemory {
+    /// Creates `lanes` banks with `entries_per_lane` message slots each
+    /// (`entries_per_lane` = number of non-zero blocks `E` of the largest
+    /// supported code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(lanes: usize, entries_per_lane: usize) -> Self {
+        assert!(lanes > 0 && entries_per_lane > 0, "memory dimensions must be positive");
+        LambdaMemory {
+            lanes,
+            entries_per_lane,
+            banks: vec![vec![0; entries_per_lane]; lanes],
+            activity: MemoryActivity::default(),
+        }
+    }
+
+    /// Number of lanes (banks).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Message slots per bank.
+    #[must_use]
+    pub fn entries_per_lane(&self) -> usize {
+        self.entries_per_lane
+    }
+
+    /// Clears every bank (frame initialisation: `Λ_mn = 0`).
+    pub fn clear(&mut self) {
+        for bank in &mut self.banks {
+            bank.fill(0);
+        }
+    }
+
+    /// Reads the message at `slot` of lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn read(&mut self, lane: usize, slot: usize) -> i32 {
+        self.activity.reads += 1;
+        self.banks[lane][slot]
+    }
+
+    /// Writes the message at `slot` of lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn write(&mut self, lane: usize, slot: usize, value: i32) {
+        self.activity.writes += 1;
+        self.banks[lane][slot] = value;
+    }
+
+    /// Access counters.
+    #[must_use]
+    pub fn activity(&self) -> MemoryActivity {
+        self.activity
+    }
+
+    /// Resets the access counters.
+    pub fn reset_activity(&mut self) {
+        self.activity = MemoryActivity::default();
+    }
+
+    /// Total storage in bits for a given message width.
+    #[must_use]
+    pub fn storage_bits(&self, bits_per_message: usize) -> usize {
+        self.lanes * self.entries_per_lane * bits_per_message
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_memory_read_write_round_trip() {
+        let mut mem = LMemory::new(24, 96);
+        assert_eq!(mem.num_words(), 24);
+        assert_eq!(mem.word_width(), 96);
+        let word: Vec<i32> = (0..96).collect();
+        mem.write_word(3, &word);
+        assert_eq!(mem.read_word(3), word);
+        assert_eq!(mem.activity().writes, 1);
+        assert_eq!(mem.activity().reads, 1);
+    }
+
+    #[test]
+    fn l_memory_partial_word_load() {
+        let mut mem = LMemory::new(4, 8);
+        mem.load_word(0, &[1, 2, 3]);
+        let w = mem.read_word(0);
+        assert_eq!(&w[..3], &[1, 2, 3]);
+        assert_eq!(&w[3..], &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "word too wide")]
+    fn l_memory_rejects_oversized_word() {
+        let mut mem = LMemory::new(4, 8);
+        mem.write_word(0, &[0; 9]);
+    }
+
+    #[test]
+    fn l_memory_storage_bits() {
+        let mem = LMemory::new(24, 96);
+        // 24 block columns × 96 lanes × 10-bit APP values.
+        assert_eq!(mem.storage_bits(10), 24 * 96 * 10);
+    }
+
+    #[test]
+    fn lambda_memory_round_trip_and_clear() {
+        let mut mem = LambdaMemory::new(96, 80);
+        assert_eq!(mem.lanes(), 96);
+        assert_eq!(mem.entries_per_lane(), 80);
+        mem.write(5, 7, -42);
+        assert_eq!(mem.read(5, 7), -42);
+        mem.clear();
+        assert_eq!(mem.read(5, 7), 0);
+        assert_eq!(mem.activity().writes, 1);
+        assert_eq!(mem.activity().reads, 2);
+    }
+
+    #[test]
+    fn activity_counters_merge_and_reset() {
+        let mut a = MemoryActivity { reads: 3, writes: 2 };
+        let b = MemoryActivity { reads: 1, writes: 4 };
+        a.merge(&b);
+        assert_eq!(a.total(), 10);
+        let mut mem = LambdaMemory::new(2, 2);
+        mem.write(0, 0, 1);
+        mem.reset_activity();
+        assert_eq!(mem.activity().total(), 0);
+    }
+
+    #[test]
+    fn lambda_storage_bits() {
+        let mem = LambdaMemory::new(96, 88);
+        assert_eq!(mem.storage_bits(8), 96 * 88 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = LMemory::new(0, 8);
+    }
+}

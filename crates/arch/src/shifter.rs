@@ -1,0 +1,186 @@
+//! The `z × z` circular shifter.
+//!
+//! The central L-memory stores one word of `z` APP messages per block column;
+//! before entering the SISO lanes the word must be rotated by the circulant
+//! shift of the current sub-matrix so that lane `r` receives the message of
+//! column `(r + shift) mod z` (Fig. 7). In hardware this is a logarithmic
+//! barrel shifter (⌈log₂ z_max⌉ mux stages) that must also support every
+//! *smaller* active size `z ≤ z_max`, which is what makes it one of the more
+//! expensive blocks of a multi-standard decoder; the paper notes its latency
+//! degrades throughput by roughly 5–15 %.
+
+/// A reconfigurable logarithmic barrel shifter for up to `z_max` lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircularShifter {
+    z_max: usize,
+    pipeline_stages: usize,
+    rotations_performed: u64,
+}
+
+impl CircularShifter {
+    /// Creates a shifter for a datapath with `z_max` lanes, with one pipeline
+    /// register stage (the paper's latency penalty source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z_max == 0`.
+    #[must_use]
+    pub fn new(z_max: usize) -> Self {
+        Self::with_pipeline_stages(z_max, 1)
+    }
+
+    /// Creates a shifter with an explicit number of pipeline register stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z_max == 0`.
+    #[must_use]
+    pub fn with_pipeline_stages(z_max: usize, pipeline_stages: usize) -> Self {
+        assert!(z_max > 0, "z_max must be positive");
+        CircularShifter {
+            z_max,
+            pipeline_stages,
+            rotations_performed: 0,
+        }
+    }
+
+    /// The maximum supported rotation size.
+    #[must_use]
+    pub fn z_max(&self) -> usize {
+        self.z_max
+    }
+
+    /// Number of mux stages of the logarithmic shifter, `⌈log₂ z_max⌉`.
+    #[must_use]
+    pub fn mux_stages(&self) -> usize {
+        (usize::BITS - (self.z_max - 1).leading_zeros()) as usize
+    }
+
+    /// Pipeline latency in clock cycles.
+    #[must_use]
+    pub fn latency_cycles(&self) -> usize {
+        self.pipeline_stages
+    }
+
+    /// Number of rotations performed so far (drives the power model).
+    #[must_use]
+    pub fn rotations_performed(&self) -> u64 {
+        self.rotations_performed
+    }
+
+    /// Resets the activity counter.
+    pub fn reset_activity(&mut self) {
+        self.rotations_performed = 0;
+    }
+
+    /// Rotates the first `size` elements of `word` left by `shift` positions:
+    /// output lane `r` receives `word[(r + shift) mod size]`. Elements beyond
+    /// `size` (unused lanes) are passed through unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size > z_max`, `size > word.len()` or `size == 0`.
+    pub fn rotate<T: Copy>(&mut self, word: &[T], shift: usize, size: usize) -> Vec<T> {
+        assert!(size > 0 && size <= self.z_max, "invalid rotation size {size}");
+        assert!(size <= word.len(), "word shorter than rotation size");
+        self.rotations_performed += 1;
+        let mut out = word.to_vec();
+        for (r, slot) in out.iter_mut().enumerate().take(size) {
+            *slot = word[(r + shift) % size];
+        }
+        out
+    }
+
+    /// The inverse rotation (used on the write-back path): output lane
+    /// `(r + shift) mod size` receives `word[r]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CircularShifter::rotate`].
+    pub fn rotate_back<T: Copy>(&mut self, word: &[T], shift: usize, size: usize) -> Vec<T> {
+        assert!(size > 0 && size <= self.z_max, "invalid rotation size {size}");
+        assert!(size <= word.len(), "word shorter than rotation size");
+        self.rotations_performed += 1;
+        let mut out = word.to_vec();
+        for r in 0..size {
+            out[(r + shift) % size] = word[r];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_matches_sub_matrix_convention() {
+        let mut s = CircularShifter::new(8);
+        let word: Vec<i32> = (0..8).collect();
+        // shift 3, size 8: lane r gets element (r+3) mod 8.
+        assert_eq!(s.rotate(&word, 3, 8), vec![3, 4, 5, 6, 7, 0, 1, 2]);
+        // shift 0 is the identity.
+        assert_eq!(s.rotate(&word, 0, 8), word);
+    }
+
+    #[test]
+    fn rotation_of_partial_size_leaves_tail_untouched() {
+        let mut s = CircularShifter::new(8);
+        let word: Vec<i32> = (0..8).collect();
+        let out = s.rotate(&word, 1, 4);
+        assert_eq!(out[..4], [1, 2, 3, 0]);
+        assert_eq!(out[4..], [4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn rotate_back_inverts_rotate() {
+        let mut s = CircularShifter::new(96);
+        let word: Vec<u32> = (0..96).collect();
+        for shift in [0, 1, 17, 55, 95] {
+            for size in [24, 48, 96] {
+                let shift = shift % size;
+                let rotated = s.rotate(&word, shift, size);
+                let back = s.rotate_back(&rotated, shift, size);
+                assert_eq!(back, word, "shift {shift} size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_stage_count_is_logarithmic() {
+        assert_eq!(CircularShifter::new(96).mux_stages(), 7);
+        assert_eq!(CircularShifter::new(64).mux_stages(), 6);
+        assert_eq!(CircularShifter::new(127).mux_stages(), 7);
+        assert_eq!(CircularShifter::new(128).mux_stages(), 7);
+        assert_eq!(CircularShifter::new(1).mux_stages(), 0);
+    }
+
+    #[test]
+    fn activity_counter_tracks_rotations() {
+        let mut s = CircularShifter::new(4);
+        assert_eq!(s.rotations_performed(), 0);
+        let w = [1, 2, 3, 4];
+        let _ = s.rotate(&w, 1, 4);
+        let _ = s.rotate_back(&w, 1, 4);
+        assert_eq!(s.rotations_performed(), 2);
+        s.reset_activity();
+        assert_eq!(s.rotations_performed(), 0);
+    }
+
+    #[test]
+    fn latency_defaults_to_one_cycle() {
+        assert_eq!(CircularShifter::new(96).latency_cycles(), 1);
+        assert_eq!(
+            CircularShifter::with_pipeline_stages(96, 2).latency_cycles(),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rotation size")]
+    fn rejects_rotation_larger_than_z_max() {
+        let mut s = CircularShifter::new(4);
+        let w = [0u8; 8];
+        let _ = s.rotate(&w, 1, 8);
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of full-frame decoding: BP versus Min-Sum, float
+//! versus 8-bit fixed point, and the ASIC datapath model, on WiMax-class
+//! codes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldpc_arch::AsicLdpcDecoder;
+use ldpc_channel::awgn::AwgnChannel;
+use ldpc_channel::workload::FrameSource;
+use ldpc_codes::{CodeId, CodeRate, QcCode, Standard};
+use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
+use ldpc_core::{FixedBpArithmetic, FloatBpArithmetic, FloatMinSumArithmetic};
+
+fn frame_for(code: &QcCode, ebn0: f64, seed: u64) -> Vec<f64> {
+    let channel = AwgnChannel::from_ebn0_db(ebn0, code.rate());
+    let mut source = FrameSource::random(code, seed).expect("encodable");
+    let frame = source.next_frame();
+    channel.transmit(&frame.codeword, source.noise_rng())
+}
+
+fn bench_layered_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layered_decode_frame");
+    for n in [576usize, 2304] {
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, n)
+            .build()
+            .unwrap();
+        let llrs = frame_for(&code, 2.5, 7);
+        let float_bp =
+            LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        let fixed_bp = LayeredDecoder::new(
+            FixedBpArithmetic::forward_backward(),
+            DecoderConfig::default(),
+        )
+        .unwrap();
+        let min_sum =
+            LayeredDecoder::new(FloatMinSumArithmetic::default(), DecoderConfig::default())
+                .unwrap();
+
+        group.bench_with_input(BenchmarkId::new("full_bp_float", n), &llrs, |b, llrs| {
+            b.iter(|| float_bp.decode(&code, black_box(llrs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("full_bp_fixed8", n), &llrs, |b, llrs| {
+            b.iter(|| fixed_bp.decode(&code, black_box(llrs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("min_sum_float", n), &llrs, |b, llrs| {
+            b.iter(|| min_sum.decode(&code, black_box(llrs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_asic_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asic_datapath_decode_frame");
+    for n in [576usize, 2304] {
+        let id = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, n);
+        let code = id.build().unwrap();
+        let llrs = frame_for(&code, 2.5, 11);
+        let mut asic = AsicLdpcDecoder::paper_multimode().unwrap();
+        asic.configure(&id).unwrap();
+        group.bench_with_input(BenchmarkId::new("fixed8_96lane", n), &llrs, |b, llrs| {
+            b.iter(|| asic.decode(black_box(llrs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_layered_decoders, bench_asic_model
+}
+criterion_main!(benches);

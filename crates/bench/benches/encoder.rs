@@ -1,0 +1,37 @@
+//! Criterion benchmark of QC-LDPC code expansion and systematic encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldpc_codes::{CodeId, CodeRate, Encoder, Standard};
+
+fn bench_code_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code_construction");
+    for n in [576usize, 2304] {
+        let id = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &id, |b, id| {
+            b.iter(|| id.build().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systematic_encode");
+    for n in [576usize, 2304] {
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, n)
+            .build()
+            .unwrap();
+        let encoder = Encoder::new(&code).unwrap();
+        let info: Vec<u8> = (0..code.info_bits()).map(|i| (i % 2) as u8).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &info, |b, info| {
+            b.iter(|| encoder.encode(black_box(info)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_code_construction, bench_encoding
+}
+criterion_main!(benches);

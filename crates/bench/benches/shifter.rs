@@ -1,0 +1,27 @@
+//! Criterion benchmark of the circular shifter (the block that the paper
+//! blames for the 5–15 % throughput degradation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldpc_arch::CircularShifter;
+
+fn bench_shifter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circular_shifter_rotate");
+    for &z in &[24usize, 48, 96] {
+        let mut shifter = CircularShifter::new(96);
+        let word: Vec<i32> = (0..96).map(|i| i as i32 * 3 - 40).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(z), &z, |b, &z| {
+            b.iter(|| {
+                let rotated = shifter.rotate(black_box(&word), black_box(z / 3), z);
+                shifter.rotate_back(black_box(&rotated), black_box(z / 3), z)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_shifter
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the SISO decoder kernels: the ⊞/⊟
+//! operators, the check-node update variants and the R2/R4 row processing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ldpc_core::arith::DecoderArithmetic;
+use ldpc_core::boxplus::{boxminus, boxplus};
+use ldpc_core::siso::{R2Siso, R4Siso};
+use ldpc_core::{
+    FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic,
+};
+
+fn row_f64(degree: usize) -> Vec<f64> {
+    (0..degree)
+        .map(|i| ((i * 37 % 23) as f64 - 11.0) * 0.7 + 0.35)
+        .collect()
+}
+
+fn row_codes(arith: &FixedBpArithmetic, degree: usize) -> Vec<i32> {
+    row_f64(degree).iter().map(|&x| arith.from_channel(x)).collect()
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boxplus_operators");
+    group.bench_function("boxplus_f64", |b| {
+        b.iter(|| boxplus(black_box(1.7), black_box(-2.3)))
+    });
+    group.bench_function("boxminus_f64", |b| {
+        b.iter(|| boxminus(black_box(1.1), black_box(-2.3)))
+    });
+    let fx = FixedBpArithmetic::default();
+    group.bench_function("boxplus_fixed_lut", |b| {
+        b.iter(|| fx.boxplus_codes(black_box(13), black_box(-22)))
+    });
+    group.bench_function("boxminus_fixed_lut", |b| {
+        b.iter(|| fx.boxminus_codes(black_box(9), black_box(-22)))
+    });
+    group.finish();
+}
+
+fn bench_check_node_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_node_update_degree7");
+    let degree = 7;
+    let row = row_f64(degree);
+    let float_bp = FloatBpArithmetic::default();
+    let fixed_bp = FixedBpArithmetic::default();
+    let fixed_fb = FixedBpArithmetic::forward_backward();
+    let float_ms = FloatMinSumArithmetic::default();
+    let fixed_ms = FixedMinSumArithmetic::default();
+    let codes = row_codes(&fixed_bp, degree);
+
+    group.bench_function("full_bp_float", |b| {
+        let mut out = Vec::new();
+        b.iter(|| float_bp.check_node_update(black_box(&row), &mut out))
+    });
+    group.bench_function("full_bp_fixed_sum_extract", |b| {
+        let mut out = Vec::new();
+        b.iter(|| fixed_bp.check_node_update(black_box(&codes), &mut out))
+    });
+    group.bench_function("full_bp_fixed_fwd_bwd", |b| {
+        let mut out = Vec::new();
+        b.iter(|| fixed_fb.check_node_update(black_box(&codes), &mut out))
+    });
+    group.bench_function("min_sum_float", |b| {
+        let mut out = Vec::new();
+        b.iter(|| float_ms.check_node_update(black_box(&row), &mut out))
+    });
+    group.bench_function("min_sum_fixed", |b| {
+        let mut out = Vec::new();
+        b.iter(|| fixed_ms.check_node_update(black_box(&codes), &mut out))
+    });
+    group.finish();
+}
+
+fn bench_siso_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("siso_row_degree20");
+    let arith = FixedBpArithmetic::default();
+    let codes = row_codes(&arith, 20);
+    let r2 = R2Siso::new(arith.clone());
+    let r4 = R4Siso::new(arith);
+    group.bench_function("radix2", |b| b.iter(|| r2.process_row(black_box(&codes))));
+    group.bench_function("radix4", |b| b.iter(|| r4.process_row(black_box(&codes))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_operators, bench_check_node_updates, bench_siso_rows
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation — layered (turbo-decoding message passing) versus flooding
+//! schedule.
+//!
+//! The paper adopts the layered BP algorithm [6] because it converges in
+//! roughly half the iterations of the two-phase flooding schedule, which
+//! directly improves both the throughput (`I` in the §III-E expression) and
+//! the early-termination power saving. This harness measures both schedules
+//! with the same arithmetic on the same frames.
+//!
+//! ```bash
+//! cargo run --release -p ldpc-bench --bin ablation_schedule [frames_per_point]
+//! ```
+
+use ldpc_bench::Table;
+use ldpc_channel::awgn::AwgnChannel;
+use ldpc_channel::workload::FrameSource;
+use ldpc_codes::{CodeId, CodeRate, Standard};
+use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
+use ldpc_core::flooding::FloodingDecoder;
+use ldpc_core::{FloatBpArithmetic, LayerOrderPolicy};
+
+fn main() {
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+        .build()
+        .expect("supported mode");
+    let max_iterations = 20;
+    let config = DecoderConfig {
+        max_iterations,
+        early_termination: None,
+        stop_on_zero_syndrome: true,
+        layer_order: LayerOrderPolicy::Natural,
+    };
+    let layered = LayeredDecoder::new(FloatBpArithmetic::default(), config.clone()).unwrap();
+    let flooding = FloodingDecoder::new(FloatBpArithmetic::default(), config).unwrap();
+
+    let mut table = Table::new(
+        &format!(
+            "Schedule ablation: layered vs flooding BP (N = {}, rate 1/2, stop on zero syndrome, max {} iterations, {} frames/point)",
+            code.n(),
+            max_iterations,
+            frames
+        ),
+        &[
+            "Eb/N0 (dB)",
+            "layered avg iters",
+            "flooding avg iters",
+            "speed-up",
+            "layered BER",
+            "flooding BER",
+        ],
+    );
+
+    for tenth in [15u32, 20, 25, 30, 35] {
+        let ebn0 = tenth as f64 / 10.0;
+        let channel = AwgnChannel::from_ebn0_db(ebn0, code.rate());
+        let mut source = FrameSource::random(&code, 0x5CED + tenth as u64).unwrap();
+        let mut layered_iters = 0.0;
+        let mut flooding_iters = 0.0;
+        let mut layered_errors = 0usize;
+        let mut flooding_errors = 0usize;
+        for _ in 0..frames {
+            let frame = source.next_frame();
+            let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+            let l = layered.decode(&code, &llrs).unwrap();
+            let f = flooding.decode(&code, &llrs).unwrap();
+            layered_iters += l.iterations as f64;
+            flooding_iters += f.iterations as f64;
+            layered_errors += l.bit_errors_against(&frame.codeword);
+            flooding_errors += f.bit_errors_against(&frame.codeword);
+        }
+        layered_iters /= frames as f64;
+        flooding_iters /= frames as f64;
+        let bits = (frames * code.n()) as f64;
+        table.add_row(&[
+            format!("{ebn0:.1}"),
+            format!("{layered_iters:.2}"),
+            format!("{flooding_iters:.2}"),
+            format!("{:.2}x", flooding_iters / layered_iters),
+            format!("{:.2e}", layered_errors as f64 / bits),
+            format!("{:.2e}", flooding_errors as f64 / bits),
+        ]);
+    }
+    table.print();
+
+    println!("The layered schedule converges in roughly half the iterations at the same BER,");
+    println!("which is why the paper adopts it (its throughput and power both scale with 1/I).");
+}

@@ -1,0 +1,95 @@
+//! BER/FER curves: full BP versus the normalized Min-Sum baseline.
+//!
+//! The paper motivates its SISO architecture by using the full BP check-node
+//! update "instead of the sub-optimal Min-Sum algorithm". This harness
+//! produces the waterfall curves that quantify the gap on the WiMax-class
+//! rate-1/2 code, for the float reference and the 8-bit datapaths.
+//!
+//! ```bash
+//! cargo run --release -p ldpc-bench --bin ber_curves [frames_per_point]
+//! ```
+
+use ldpc_bench::{run_monte_carlo, McConfig, Table};
+use ldpc_codes::{CodeId, CodeRate, Standard};
+use ldpc_core::decoder::DecoderConfig;
+use ldpc_core::{
+    FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic,
+};
+
+fn main() {
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+        .build()
+        .expect("supported mode");
+    let ebn0_points = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5];
+
+    let mut table = Table::new(
+        &format!(
+            "BER vs Eb/N0 (N = {}, rate 1/2, max 10 iterations, {} frames/point)",
+            code.n(),
+            frames
+        ),
+        &[
+            "Eb/N0 (dB)",
+            "channel BER",
+            "full BP float",
+            "full BP 8-bit fwd/bwd",
+            "Min-Sum float",
+            "Min-Sum 8-bit",
+        ],
+    );
+
+    let mut bp_wins = 0usize;
+    for (i, &ebn0) in ebn0_points.iter().enumerate() {
+        let cfg = McConfig {
+            ebn0_db: ebn0,
+            frames,
+            seed: 0xBE5 + i as u64,
+        };
+        let bp_float = run_monte_carlo(
+            FloatBpArithmetic::default(),
+            DecoderConfig::default(),
+            &code,
+            cfg,
+        );
+        let bp_fixed = run_monte_carlo(
+            FixedBpArithmetic::forward_backward(),
+            DecoderConfig::default(),
+            &code,
+            cfg,
+        );
+        let ms_float = run_monte_carlo(
+            FloatMinSumArithmetic::default(),
+            DecoderConfig::default(),
+            &code,
+            cfg,
+        );
+        let ms_fixed = run_monte_carlo(
+            FixedMinSumArithmetic::default(),
+            DecoderConfig::default(),
+            &code,
+            cfg,
+        );
+        if bp_float.ber <= ms_float.ber {
+            bp_wins += 1;
+        }
+        table.add_row(&[
+            format!("{ebn0:.1}"),
+            format!("{:.2e}", bp_float.channel_ber),
+            format!("{:.2e}", bp_float.ber),
+            format!("{:.2e}", bp_fixed.ber),
+            format!("{:.2e}", ms_float.ber),
+            format!("{:.2e}", ms_fixed.ber),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "Full BP is at least as good as normalized Min-Sum at {bp_wins}/{} operating points,",
+        ebn0_points.len()
+    );
+    println!("which is the motivation the paper gives for its SISO-based full-BP datapath.");
+}

@@ -1,0 +1,65 @@
+//! Fig. 9(b) — power consumption versus block size with distributed SISO
+//! decoding and memory banking.
+//!
+//! When a smaller code is configured, only `z` of the 96 SISO lanes (and
+//! their Λ banks) are clocked; the remaining power comes from the central
+//! memory, shifter, control and leakage. The active lane count is taken from
+//! the reconfigurable ASIC model for every WiMax rate-1/2 block size.
+//!
+//! ```bash
+//! cargo run --release -p ldpc-bench --bin fig9b
+//! ```
+
+use ldpc_arch::{AsicLdpcDecoder, PowerModel};
+use ldpc_bench::{paper, Table};
+use ldpc_codes::{CodeId, CodeRate, Standard};
+
+fn main() {
+    let mut decoder = AsicLdpcDecoder::paper_multimode().expect("paper datapath");
+    let power_model = PowerModel::paper_90nm();
+
+    let mut table = Table::new(
+        "Fig. 9(b): power vs block size with distributed SISO decoding and memory banking",
+        &["block size (bits)", "z (active lanes)", "power (mW)", "paper (mW, approx.)"],
+    );
+
+    let paper_lookup = |n: usize| -> String {
+        paper::fig9::FIG9B_BLOCK_SIZES
+            .iter()
+            .position(|&b| b == n)
+            .map_or_else(|| "-".to_string(), |i| format!("{:.0}", paper::fig9::FIG9B_POWER_MW[i]))
+    };
+
+    let mut first = None;
+    let mut last = None;
+    for id in CodeId::all_modes(Standard::Wimax80216e)
+        .into_iter()
+        .filter(|m| m.rate == CodeRate::R1_2)
+    {
+        decoder.configure(&id).expect("mode in ROM");
+        let z = decoder.active_lanes();
+        let power = power_model.power(z, 96, 450.0e6, 1.0).total_mw;
+        if first.is_none() {
+            first = Some(power);
+        }
+        last = Some(power);
+        table.add_row(&[
+            id.n.to_string(),
+            z.to_string(),
+            format!("{power:.0}"),
+            paper_lookup(id.n),
+        ]);
+    }
+    table.print();
+
+    if let (Some(small), Some(large)) = (first, last) {
+        println!(
+            "Power grows from {small:.0} mW (576-bit code, 24 lanes) to {large:.0} mW (2304-bit code, 96 lanes);"
+        );
+        println!(
+            "the paper's Fig. 9(b) spans roughly {:.0}-{:.0} mW over the same block sizes.",
+            paper::fig9::FIG9B_POWER_MW[0],
+            paper::fig9::FIG9B_POWER_MW[paper::fig9::FIG9B_POWER_MW.len() - 1]
+        );
+    }
+}

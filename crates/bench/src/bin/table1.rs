@@ -1,0 +1,73 @@
+//! Table 1 — design parameters of the block-structured parity-check matrices
+//! for the supported standards.
+//!
+//! ```bash
+//! cargo run --release -p ldpc-bench --bin table1
+//! ```
+
+use ldpc_bench::Table;
+use ldpc_codes::{design_parameters, CodeId, Standard};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 1: design parameters for H in several standards (reproduced from the code library)",
+        &["parameter", "WLAN-802.11n", "WiMax-802.16e", "DMB-T"],
+    );
+
+    let params: Vec<_> = Standard::ALL.iter().map(|&s| design_parameters(s)).collect();
+    let fmt_range = |lo: usize, hi: usize| {
+        if lo == hi {
+            lo.to_string()
+        } else {
+            format!("{lo}-{hi}")
+        }
+    };
+
+    table.add_row(&[
+        "j (block rows)".to_string(),
+        fmt_range(params[0].j_min, params[0].j_max),
+        fmt_range(params[1].j_min, params[1].j_max),
+        fmt_range(params[2].j_min, params[2].j_max),
+    ]);
+    table.add_row(&[
+        "k (block columns)".to_string(),
+        params[0].k.to_string(),
+        params[1].k.to_string(),
+        params[2].k.to_string(),
+    ]);
+    table.add_row(&[
+        "z (sub-matrix size)".to_string(),
+        fmt_range(params[0].z_min, params[0].z_max),
+        fmt_range(params[1].z_min, params[1].z_max),
+        fmt_range(params[2].z_min, params[2].z_max),
+    ]);
+    table.add_row(&[
+        "number of z values".to_string(),
+        params[0].num_sub_matrix_sizes.to_string(),
+        params[1].num_sub_matrix_sizes.to_string(),
+        params[2].num_sub_matrix_sizes.to_string(),
+    ]);
+    table.add_row(&[
+        "codeword lengths (bits)".to_string(),
+        format!(
+            "{}-{}",
+            params[0].k * params[0].z_min,
+            params[0].k * params[0].z_max
+        ),
+        format!(
+            "{}-{}",
+            params[1].k * params[1].z_min,
+            params[1].k * params[1].z_max
+        ),
+        format!("{}", params[2].k * params[2].z_max),
+    ]);
+    table.add_row(&[
+        "supported modes".to_string(),
+        CodeId::all_modes(Standard::Wifi80211n).len().to_string(),
+        CodeId::all_modes(Standard::Wimax80216e).len().to_string(),
+        CodeId::all_modes(Standard::DmbT).len().to_string(),
+    ]);
+    table.print();
+
+    println!("Paper (Table 1): 802.11n j=4-12, k=24, z=27-81 | 802.16e j=4-12, k=24, z=24-96 | DMB-T j=24-48, k=60, z=127");
+}

@@ -1,0 +1,17 @@
+//! # ldpc-bench — experiment harness for the paper's tables and figures
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the experiment index); the Criterion benches in
+//! `benches/` measure the software kernels themselves. This library holds the
+//! shared plumbing: simple table rendering, Monte-Carlo decoding runs and the
+//! paper's reference numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mc;
+pub mod paper;
+pub mod table;
+
+pub use mc::{run_monte_carlo, McConfig, McResult};
+pub use table::Table;

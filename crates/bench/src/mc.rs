@@ -1,0 +1,133 @@
+//! Monte-Carlo decoding runs shared by the experiment binaries.
+
+use ldpc_channel::awgn::AwgnChannel;
+use ldpc_channel::workload::FrameSource;
+use ldpc_codes::QcCode;
+use ldpc_core::arith::DecoderArithmetic;
+use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
+
+/// Configuration of one Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McConfig {
+    /// `Eb/N0` operating point in dB.
+    pub ebn0_db: f64,
+    /// Number of frames to simulate.
+    pub frames: usize,
+    /// RNG seed (data and noise streams are derived from it).
+    pub seed: u64,
+}
+
+/// Aggregated result of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McResult {
+    /// Bit-error rate over all transmitted bits.
+    pub ber: f64,
+    /// Frame-error rate.
+    pub fer: f64,
+    /// Average number of iterations executed per frame.
+    pub avg_iterations: f64,
+    /// Number of frames simulated.
+    pub frames: usize,
+    /// Average channel (uncoded) bit-error rate observed.
+    pub channel_ber: f64,
+}
+
+/// Runs `config.frames` encode → AWGN → decode trials and aggregates the
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if the code is not encodable or the decoder configuration is
+/// invalid — both indicate programming errors in the experiment harness.
+#[must_use]
+pub fn run_monte_carlo<A: DecoderArithmetic>(
+    arith: A,
+    decoder_config: DecoderConfig,
+    code: &QcCode,
+    config: McConfig,
+) -> McResult {
+    let decoder = LayeredDecoder::new(arith, decoder_config).expect("valid decoder config");
+    let channel = AwgnChannel::from_ebn0_db(config.ebn0_db, code.rate());
+    let mut source = FrameSource::random(code, config.seed).expect("encodable code");
+
+    let mut bit_errors = 0usize;
+    let mut channel_errors = 0usize;
+    let mut frame_errors = 0usize;
+    let mut iterations = 0usize;
+    for _ in 0..config.frames {
+        let frame = source.next_frame();
+        let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+        channel_errors += llrs
+            .iter()
+            .zip(&frame.codeword)
+            .filter(|(&l, &b)| u8::from(l < 0.0) != b)
+            .count();
+        let out = decoder.decode(code, &llrs).expect("LLR length matches");
+        let errors = out.bit_errors_against(&frame.codeword);
+        bit_errors += errors;
+        frame_errors += usize::from(errors > 0);
+        iterations += out.iterations;
+    }
+    let total_bits = (config.frames * code.n()) as f64;
+    McResult {
+        ber: bit_errors as f64 / total_bits,
+        fer: frame_errors as f64 / config.frames as f64,
+        avg_iterations: iterations as f64 / config.frames as f64,
+        frames: config.frames,
+        channel_ber: channel_errors as f64 / total_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_codes::{CodeId, CodeRate, Standard};
+    use ldpc_core::FloatBpArithmetic;
+
+    #[test]
+    fn monte_carlo_reports_consistent_statistics() {
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap();
+        let result = run_monte_carlo(
+            FloatBpArithmetic::default(),
+            DecoderConfig::default(),
+            &code,
+            McConfig {
+                ebn0_db: 3.0,
+                frames: 4,
+                seed: 1,
+            },
+        );
+        assert_eq!(result.frames, 4);
+        assert!(result.channel_ber > 0.0);
+        assert!(result.ber <= result.channel_ber);
+        assert!(result.avg_iterations >= 1.0 && result.avg_iterations <= 10.0);
+        assert!(result.fer <= 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic() {
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap();
+        let cfg = McConfig {
+            ebn0_db: 2.0,
+            frames: 3,
+            seed: 9,
+        };
+        let a = run_monte_carlo(
+            FloatBpArithmetic::default(),
+            DecoderConfig::default(),
+            &code,
+            cfg,
+        );
+        let b = run_monte_carlo(
+            FloatBpArithmetic::default(),
+            DecoderConfig::default(),
+            &code,
+            cfg,
+        );
+        assert_eq!(a, b);
+    }
+}

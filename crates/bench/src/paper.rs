@@ -1,0 +1,113 @@
+//! Reference numbers reported by the paper, used so every experiment binary
+//! can print a paper-vs-reproduction comparison.
+
+/// Table 2 — SISO synthesis comparison at three clock frequencies.
+pub mod table2 {
+    /// Synthesis clock points in MHz.
+    pub const CLOCKS_MHZ: [f64; 3] = [450.0, 325.0, 200.0];
+    /// R2-SISO area (µm²) at the clock points.
+    pub const R2_AREA_UM2: [f64; 3] = [6978.0, 6367.0, 6197.0];
+    /// R4-SISO area (µm²) at the clock points.
+    pub const R4_AREA_UM2: [f64; 3] = [12774.0, 10077.0, 8944.0];
+    /// Efficiency η = speed-up / area overhead at the clock points.
+    pub const ETA: [f64; 3] = [1.09, 1.26, 1.39];
+}
+
+/// Table 3 — decoder architecture comparison.
+pub mod table3 {
+    /// One column of Table 3.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct DecoderColumn {
+        /// Decoder name.
+        pub name: &'static str,
+        /// Supported codes.
+        pub flexibility: &'static str,
+        /// Maximum information throughput in Mbps.
+        pub max_throughput_mbps: f64,
+        /// Total silicon area in mm².
+        pub total_area_mm2: f64,
+        /// Maximum clock frequency in MHz.
+        pub max_frequency_mhz: f64,
+        /// Peak power in mW.
+        pub peak_power_mw: f64,
+        /// Process technology in nm.
+        pub technology_nm: f64,
+        /// Maximum number of iterations.
+        pub max_iterations: usize,
+        /// Decoding algorithm.
+        pub algorithm: &'static str,
+    }
+
+    /// "This work" as reported by the paper.
+    pub const THIS_WORK: DecoderColumn = DecoderColumn {
+        name: "This work (paper)",
+        flexibility: "802.16e/.11n",
+        max_throughput_mbps: 1000.0,
+        total_area_mm2: 3.5,
+        max_frequency_mhz: 450.0,
+        peak_power_mw: 410.0,
+        technology_nm: 90.0,
+        max_iterations: 10,
+        algorithm: "Full BP",
+    };
+
+    /// Reference [3]: Shih et al., 19-mode 802.16e decoder chip.
+    pub const SHIH_2007: DecoderColumn = DecoderColumn {
+        name: "[3] Shih et al. '07",
+        flexibility: "802.16e",
+        max_throughput_mbps: 111.0,
+        total_area_mm2: 8.29,
+        max_frequency_mhz: 83.0,
+        peak_power_mw: 52.0,
+        technology_nm: 130.0,
+        max_iterations: 8,
+        algorithm: "Min-Sum",
+    };
+
+    /// Reference [4]: Mansour & Shanbhag, 2048-bit programmable decoder.
+    pub const MANSOUR_2006: DecoderColumn = DecoderColumn {
+        name: "[4] Mansour '06",
+        flexibility: "2048-bit fixed",
+        max_throughput_mbps: 640.0,
+        total_area_mm2: 14.3,
+        max_frequency_mhz: 125.0,
+        peak_power_mw: 787.0,
+        technology_nm: 180.0,
+        max_iterations: 10,
+        algorithm: "Linear approx.",
+    };
+}
+
+/// Fig. 9 — the two power-saving experiments.
+pub mod fig9 {
+    /// Block size (bits) and max iterations of the Fig. 9(a) experiment.
+    pub const FIG9A_BLOCK_SIZE: usize = 2304;
+    /// Maximum iteration count used in Fig. 9(a).
+    pub const FIG9A_MAX_ITERATIONS: usize = 10;
+    /// Power without early termination, as read from Fig. 9(a) (mW).
+    pub const FIG9A_POWER_WITHOUT_ET_MW: f64 = 410.0;
+    /// Approximate power with early termination at the best plotted Eb/N0
+    /// (5 dB), as read from Fig. 9(a) (mW).
+    pub const FIG9A_POWER_WITH_ET_AT_5DB_MW: f64 = 145.0;
+    /// The paper's headline saving ("up to 65 %").
+    pub const FIG9A_MAX_SAVING: f64 = 0.65;
+
+    /// Block sizes plotted in Fig. 9(b) (bits).
+    pub const FIG9B_BLOCK_SIZES: [usize; 5] = [576, 1056, 1536, 2016, 2304];
+    /// Approximate power values read from Fig. 9(b) (mW), same order.
+    pub const FIG9B_POWER_MW: [f64; 5] = [275.0, 310.0, 345.0, 390.0, 415.0];
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_tables_are_consistent() {
+        use super::table2;
+        for i in 0..3 {
+            let eta = 2.0 / (table2::R4_AREA_UM2[i] / table2::R2_AREA_UM2[i]);
+            assert!((eta - table2::ETA[i]).abs() < 0.01, "eta mismatch at {i}");
+        }
+        assert!(super::table3::THIS_WORK.max_throughput_mbps > super::table3::SHIH_2007.max_throughput_mbps);
+        assert_eq!(super::fig9::FIG9B_BLOCK_SIZES.len(), super::fig9::FIG9B_POWER_MW.len());
+    }
+}

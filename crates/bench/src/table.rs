@@ -1,0 +1,99 @@
+//! Minimal fixed-width table rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple right-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are displayed as given).
+    pub fn add_row<S: ToString>(&mut self, cells: &[S]) {
+        self.rows.push(cells.iter().map(ToString::to_string).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row has more cells than there are headers.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            assert!(row.len() <= cols, "row wider than header");
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{}", "=".repeat(self.title.len()));
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", h, width = widths[i]);
+        }
+        let _ = writeln!(out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders and prints the table.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.add_row(&["alpha", "1"]);
+        t.add_row(&["b", "123456"]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("123456"));
+        assert_eq!(t.num_rows(), 2);
+        // Header separator present.
+        assert!(s.contains("----"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row wider")]
+    fn rejects_overwide_rows() {
+        let mut t = Table::new("x", &["a"]);
+        t.add_row(&["1", "2"]);
+        let _ = t.render();
+    }
+}

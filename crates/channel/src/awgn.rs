@@ -1,0 +1,207 @@
+//! Additive white Gaussian noise channel.
+//!
+//! The channel is parameterised by `Eb/N0` (energy per information bit over
+//! noise spectral density) and the code rate `R`, from which the per-symbol
+//! noise standard deviation follows as `σ² = 1 / (2·R·Eb/N0)` for unit-energy
+//! BPSK symbols.
+
+use rand::Rng;
+use rand_distr_like::StandardNormal;
+
+use crate::bpsk;
+use crate::llr;
+
+/// A memoryless AWGN channel for unit-energy BPSK symbols.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AwgnChannel {
+    sigma: f64,
+    ebn0_db: f64,
+    rate: f64,
+}
+
+impl AwgnChannel {
+    /// Creates a channel from `Eb/N0` in dB and the code rate `R ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]`.
+    #[must_use]
+    pub fn from_ebn0_db(ebn0_db: f64, rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "code rate must be in (0, 1]");
+        let ebn0 = 10f64.powf(ebn0_db / 10.0);
+        let sigma = (1.0 / (2.0 * rate * ebn0)).sqrt();
+        AwgnChannel {
+            sigma,
+            ebn0_db,
+            rate,
+        }
+    }
+
+    /// Creates a channel directly from the noise standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`.
+    #[must_use]
+    pub fn from_sigma(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        AwgnChannel {
+            sigma,
+            ebn0_db: f64::NAN,
+            rate: f64::NAN,
+        }
+    }
+
+    /// Noise standard deviation σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Noise variance σ².
+    #[must_use]
+    pub fn noise_variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// The `Eb/N0` (dB) this channel was configured with, `NaN` if it was
+    /// constructed from a raw σ.
+    #[must_use]
+    pub fn ebn0_db(&self) -> f64 {
+        self.ebn0_db
+    }
+
+    /// Adds Gaussian noise to BPSK symbols.
+    #[must_use]
+    pub fn add_noise<R: Rng + ?Sized>(&self, symbols: &[f64], rng: &mut R) -> Vec<f64> {
+        symbols
+            .iter()
+            .map(|&s| s + self.sigma * StandardNormal.sample(rng))
+            .collect()
+    }
+
+    /// Transmits a codeword (bits) over the channel and returns the channel
+    /// LLRs `2·y/σ²` observed by the decoder.
+    #[must_use]
+    pub fn transmit<R: Rng + ?Sized>(&self, codeword: &[u8], rng: &mut R) -> Vec<f64> {
+        let symbols = bpsk::modulate(codeword);
+        let received = self.add_noise(&symbols, rng);
+        llr::channel_llrs(&received, self.sigma)
+    }
+
+    /// Transmits and returns both the noisy symbols and the channel LLRs.
+    #[must_use]
+    pub fn transmit_with_symbols<R: Rng + ?Sized>(
+        &self,
+        codeword: &[u8],
+        rng: &mut R,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let symbols = bpsk::modulate(codeword);
+        let received = self.add_noise(&symbols, rng);
+        let llrs = llr::channel_llrs(&received, self.sigma);
+        (received, llrs)
+    }
+}
+
+/// Minimal standard-normal sampler built on `Rng::gen` (Box–Muller), so we do
+/// not need the `rand_distr` crate.
+mod rand_distr_like {
+    use rand::Rng;
+
+    /// Zero-mean unit-variance Gaussian sampler.
+    #[derive(Debug, Clone, Copy)]
+    pub struct StandardNormal;
+
+    impl StandardNormal {
+        /// Draws one sample using the Box–Muller transform.
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Avoid log(0) by sampling u1 from (0, 1].
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigma_from_ebn0_matches_formula() {
+        let ch = AwgnChannel::from_ebn0_db(0.0, 0.5);
+        // Eb/N0 = 1, R = 0.5 => sigma^2 = 1/(2*0.5*1) = 1.
+        assert!((ch.sigma() - 1.0).abs() < 1e-12);
+        let ch = AwgnChannel::from_ebn0_db(3.0, 0.5);
+        assert!(ch.sigma() < 1.0, "higher Eb/N0 means less noise");
+        assert!((ch.ebn0_db() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "code rate")]
+    fn rejects_invalid_rate() {
+        let _ = AwgnChannel::from_ebn0_db(1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn rejects_non_positive_sigma() {
+        let _ = AwgnChannel::from_sigma(0.0);
+    }
+
+    #[test]
+    fn noise_statistics_are_plausible() {
+        let ch = AwgnChannel::from_sigma(0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40_000;
+        let symbols = vec![1.0; n];
+        let received = ch.add_noise(&symbols, &mut rng);
+        let mean: f64 = received.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            received.iter().map(|&y| (y - mean) * (y - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean} too far from 1.0");
+        assert!((var - 0.64).abs() < 0.03, "variance {var} too far from 0.64");
+    }
+
+    #[test]
+    fn transmit_produces_one_llr_per_bit() {
+        let ch = AwgnChannel::from_ebn0_db(4.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let bits = vec![0u8, 1, 0, 1, 1, 0];
+        let llrs = ch.transmit(&bits, &mut rng);
+        assert_eq!(llrs.len(), bits.len());
+        // At 4 dB most LLRs should already agree with the transmitted bits.
+        let agree = llrs
+            .iter()
+            .zip(&bits)
+            .filter(|(&l, &b)| u8::from(l < 0.0) == b)
+            .count();
+        assert!(agree >= 4);
+    }
+
+    #[test]
+    fn noiseless_limit_recovers_bits() {
+        // Extremely high Eb/N0: LLR sign equals transmitted bit with
+        // overwhelming probability.
+        let ch = AwgnChannel::from_ebn0_db(20.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let bits: Vec<u8> = (0..256).map(|i| (i % 2) as u8).collect();
+        let llrs = ch.transmit(&bits, &mut rng);
+        for (l, b) in llrs.iter().zip(&bits) {
+            assert_eq!(u8::from(*l < 0.0), *b);
+        }
+    }
+
+    #[test]
+    fn transmit_with_symbols_is_consistent() {
+        let ch = AwgnChannel::from_ebn0_db(2.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let bits = vec![0u8; 32];
+        let (symbols, llrs) = ch.transmit_with_symbols(&bits, &mut rng);
+        for (y, l) in symbols.iter().zip(&llrs) {
+            assert!((l - 2.0 * y / ch.noise_variance()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Binary phase-shift keying (BPSK) mapping.
+//!
+//! Bit `0` maps to `+1.0` and bit `1` maps to `−1.0`, so that the channel LLR
+//! `log(P(x=0)/P(x=1))` of a received symbol is positive when the symbol looks
+//! like a transmitted `0`. This matches the decision rule of the paper,
+//! `x̂_n = sign(L_n)`.
+
+/// Maps one bit (0/1) to its antipodal BPSK symbol (+1.0 / −1.0).
+#[must_use]
+pub fn modulate_bit(bit: u8) -> f64 {
+    if bit & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Maps a bit slice to BPSK symbols.
+#[must_use]
+pub fn modulate(bits: &[u8]) -> Vec<f64> {
+    bits.iter().map(|&b| modulate_bit(b)).collect()
+}
+
+/// Hard-demaps a received real value back to a bit (sign decision).
+/// Values ≥ 0 decode to bit 0.
+#[must_use]
+pub fn hard_decision(symbol: f64) -> u8 {
+    u8::from(symbol < 0.0)
+}
+
+/// Hard-demaps a slice of received symbols.
+#[must_use]
+pub fn hard_decisions(symbols: &[f64]) -> Vec<u8> {
+    symbols.iter().map(|&s| hard_decision(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_maps_to_plus_one() {
+        assert_eq!(modulate_bit(0), 1.0);
+        assert_eq!(modulate_bit(1), -1.0);
+        // Only the LSB matters.
+        assert_eq!(modulate_bit(2), 1.0);
+        assert_eq!(modulate_bit(3), -1.0);
+    }
+
+    #[test]
+    fn modulate_round_trips_through_hard_decision() {
+        let bits = vec![0, 1, 1, 0, 1, 0, 0, 1];
+        let symbols = modulate(&bits);
+        assert_eq!(hard_decisions(&symbols), bits);
+    }
+
+    #[test]
+    fn hard_decision_sign_convention() {
+        assert_eq!(hard_decision(0.7), 0);
+        assert_eq!(hard_decision(-0.1), 1);
+        // Ties (exactly zero) decode to 0, matching sign(L) with sign(0) = +.
+        assert_eq!(hard_decision(0.0), 0);
+    }
+
+    #[test]
+    fn symbols_have_unit_energy() {
+        for bit in [0u8, 1u8] {
+            assert!((modulate_bit(bit).abs() - 1.0).abs() < f64::EPSILON);
+        }
+    }
+}

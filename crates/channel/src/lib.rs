@@ -1,0 +1,45 @@
+//! # ldpc-channel — modulation, channel and workload substrate
+//!
+//! The paper evaluates its decoder over BPSK-modulated AWGN channels (Fig. 9a
+//! plots power versus `Eb/N0` for a 2304-bit code). This crate supplies that
+//! substrate:
+//!
+//! * [`bpsk`] — BPSK mapping between bits and antipodal symbols,
+//! * [`awgn`] — the additive white Gaussian noise channel parameterised by
+//!   `Eb/N0` and code rate,
+//! * [`llr`] — channel log-likelihood ratios `L_n = 2·y_n/σ²` with the
+//!   paper's sign convention (`L ≥ 0 ⇒ bit 0`),
+//! * [`quantize`] — uniform saturating quantisation of channel LLRs to the
+//!   decoder's fixed-point message format,
+//! * [`workload`] — frame generators that encode random information words,
+//! * [`stats`] — BER / FER / iteration-count accumulators and Eb/N0 sweeps.
+//!
+//! ```
+//! use ldpc_channel::{awgn::AwgnChannel, workload::FrameSource};
+//! use ldpc_codes::{CodeId, CodeRate, Standard};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576).build()?;
+//! let mut source = FrameSource::random(&code, 42)?;
+//! let channel = AwgnChannel::from_ebn0_db(2.0, code.rate());
+//! let frame = source.next_frame();
+//! let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+//! assert_eq!(llrs.len(), 576);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod awgn;
+pub mod bpsk;
+pub mod llr;
+pub mod quantize;
+pub mod stats;
+pub mod workload;
+
+pub use awgn::AwgnChannel;
+pub use quantize::LlrQuantizer;
+pub use stats::{ErrorCounter, IterationHistogram, SnrPoint, SnrSweep};
+pub use workload::{Frame, FrameSource};

@@ -1,0 +1,92 @@
+//! Channel log-likelihood ratios.
+//!
+//! For a BPSK symbol `x ∈ {+1, −1}` received as `y = x + n`, `n ~ N(0, σ²)`,
+//! the a-priori LLR of the corresponding bit is
+//!
+//! ```text
+//! L_n = log(P(x_n = 0 | y_n) / P(x_n = 1 | y_n)) = 2·y_n / σ²
+//! ```
+//!
+//! which is exactly the initialisation used by Algorithm 1 of the paper.
+
+/// Computes the channel LLR of one received value.
+#[must_use]
+pub fn channel_llr(y: f64, sigma: f64) -> f64 {
+    2.0 * y / (sigma * sigma)
+}
+
+/// Computes channel LLRs for a slice of received values.
+#[must_use]
+pub fn channel_llrs(received: &[f64], sigma: f64) -> Vec<f64> {
+    received.iter().map(|&y| channel_llr(y, sigma)).collect()
+}
+
+/// Hard decision on an LLR: `L ≥ 0 ⇒ 0`, `L < 0 ⇒ 1` (the paper's
+/// `x̂_n = sign(L_n)` rule).
+#[must_use]
+pub fn hard_decision(llr: f64) -> u8 {
+    u8::from(llr < 0.0)
+}
+
+/// Hard decisions for a slice of LLRs.
+#[must_use]
+pub fn hard_decisions(llrs: &[f64]) -> Vec<u8> {
+    llrs.iter().map(|&l| hard_decision(l)).collect()
+}
+
+/// Counts how many hard decisions differ from a reference bit pattern.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn count_bit_errors(llrs: &[f64], reference: &[u8]) -> usize {
+    assert_eq!(llrs.len(), reference.len(), "length mismatch");
+    llrs.iter()
+        .zip(reference)
+        .filter(|(&l, &b)| hard_decision(l) != (b & 1))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llr_formula() {
+        assert!((channel_llr(1.0, 1.0) - 2.0).abs() < 1e-12);
+        assert!((channel_llr(-0.5, 0.5) - (-4.0)).abs() < 1e-12);
+        let batch = channel_llrs(&[1.0, -1.0], 2.0);
+        assert!((batch[0] - 0.5).abs() < 1e-12);
+        assert!((batch[1] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hard_decision_convention() {
+        assert_eq!(hard_decision(3.2), 0);
+        assert_eq!(hard_decision(0.0), 0);
+        assert_eq!(hard_decision(-1e-9), 1);
+        assert_eq!(hard_decisions(&[1.0, -1.0, 0.0]), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn bit_error_counting() {
+        let llrs = vec![1.0, -1.0, 2.0, -2.0];
+        assert_eq!(count_bit_errors(&llrs, &[0, 1, 0, 1]), 0);
+        assert_eq!(count_bit_errors(&llrs, &[1, 1, 0, 1]), 1);
+        assert_eq!(count_bit_errors(&llrs, &[1, 0, 1, 0]), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bit_error_counting_checks_lengths() {
+        let _ = count_bit_errors(&[1.0], &[0, 1]);
+    }
+
+    #[test]
+    fn llr_magnitude_grows_with_confidence() {
+        let low_noise = channel_llr(1.0, 0.5);
+        let high_noise = channel_llr(1.0, 2.0);
+        assert!(low_noise > high_noise);
+    }
+}

@@ -1,0 +1,177 @@
+//! Quantisation of channel LLRs into the decoder's fixed-point message format.
+//!
+//! The ASIC datapath of the paper carries 8-bit messages (Fig. 3 shows 8-bit
+//! buses throughout the SISO core). Channel LLRs are therefore quantised with
+//! a uniform, saturating quantiser before entering the decoder. The quantiser
+//! is described by the total word width `W` and the number of fractional bits
+//! `F`: representable values are `k · 2^-F` for integer `k` in
+//! `[-(2^{W-1} - 1), 2^{W-1} - 1]` (the most negative code is unused so the
+//! range is symmetric, as is customary for LLR datapaths).
+
+/// A uniform symmetric saturating LLR quantiser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LlrQuantizer {
+    word_bits: u32,
+    frac_bits: u32,
+}
+
+impl Default for LlrQuantizer {
+    /// The paper's datapath format: 8-bit words with 2 fractional bits.
+    fn default() -> Self {
+        LlrQuantizer::new(8, 2)
+    }
+}
+
+impl LlrQuantizer {
+    /// Creates a quantiser with `word_bits` total bits and `frac_bits`
+    /// fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ word_bits ≤ 16` and `frac_bits < word_bits`.
+    #[must_use]
+    pub fn new(word_bits: u32, frac_bits: u32) -> Self {
+        assert!(
+            (1..=16).contains(&word_bits) && frac_bits < word_bits,
+            "invalid quantiser format W={word_bits}, F={frac_bits}"
+        );
+        LlrQuantizer {
+            word_bits,
+            frac_bits,
+        }
+    }
+
+    /// Total word width in bits.
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Number of fractional bits.
+    #[must_use]
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// The quantisation step `2^-F`.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        (0.5f64).powi(self.frac_bits as i32)
+    }
+
+    /// Largest representable integer code, `2^{W-1} − 1`.
+    #[must_use]
+    pub fn max_code(&self) -> i32 {
+        (1i32 << (self.word_bits - 1)) - 1
+    }
+
+    /// Largest representable LLR magnitude.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.max_code() as f64 * self.step()
+    }
+
+    /// Quantises one LLR to its integer code (saturating).
+    #[must_use]
+    pub fn quantize_to_code(&self, llr: f64) -> i32 {
+        let scaled = (llr / self.step()).round();
+        let max = self.max_code() as f64;
+        scaled.clamp(-max, max) as i32
+    }
+
+    /// Quantises one LLR to the nearest representable value (saturating).
+    #[must_use]
+    pub fn quantize(&self, llr: f64) -> f64 {
+        self.quantize_to_code(llr) as f64 * self.step()
+    }
+
+    /// Reconstructs the real value of an integer code.
+    #[must_use]
+    pub fn dequantize(&self, code: i32) -> f64 {
+        code as f64 * self.step()
+    }
+
+    /// Quantises a slice of LLRs to integer codes.
+    #[must_use]
+    pub fn quantize_all_to_codes(&self, llrs: &[f64]) -> Vec<i32> {
+        llrs.iter().map(|&l| self.quantize_to_code(l)).collect()
+    }
+
+    /// Quantises a slice of LLRs to representable values.
+    #[must_use]
+    pub fn quantize_all(&self, llrs: &[f64]) -> Vec<f64> {
+        llrs.iter().map(|&l| self.quantize(l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_8_bit_q2() {
+        let q = LlrQuantizer::default();
+        assert_eq!(q.word_bits(), 8);
+        assert_eq!(q.frac_bits(), 2);
+        assert!((q.step() - 0.25).abs() < 1e-12);
+        assert_eq!(q.max_code(), 127);
+        assert!((q.max_value() - 31.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantisation_is_saturating_and_symmetric() {
+        let q = LlrQuantizer::default();
+        assert_eq!(q.quantize_to_code(1000.0), 127);
+        assert_eq!(q.quantize_to_code(-1000.0), -127);
+        assert!((q.quantize(1000.0) - 31.75).abs() < 1e-12);
+        assert!((q.quantize(-1000.0) + 31.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_values_round_to_nearest_step() {
+        let q = LlrQuantizer::default();
+        assert!((q.quantize(0.1) - 0.0).abs() < 1e-12);
+        assert!((q.quantize(0.13) - 0.25).abs() < 1e-12);
+        assert!((q.quantize(-0.38) + 0.5).abs() < 1e-12);
+        assert_eq!(q.quantize_to_code(0.25), 1);
+    }
+
+    #[test]
+    fn quantize_dequantize_round_trip() {
+        let q = LlrQuantizer::new(6, 2);
+        for code in -31..=31 {
+            let v = q.dequantize(code);
+            assert_eq!(q.quantize_to_code(v), code);
+        }
+    }
+
+    #[test]
+    fn quantisation_error_is_bounded_by_half_step() {
+        let q = LlrQuantizer::default();
+        for i in -200..=200 {
+            let x = i as f64 * 0.0937;
+            let err = (q.quantize(x) - x).abs();
+            if x.abs() < q.max_value() {
+                assert!(err <= q.step() / 2.0 + 1e-12, "error {err} at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_quantisation_matches_scalar() {
+        let q = LlrQuantizer::default();
+        let xs = vec![0.3, -4.7, 100.0, -0.1];
+        let codes = q.quantize_all_to_codes(&xs);
+        let vals = q.quantize_all(&xs);
+        for ((x, c), v) in xs.iter().zip(&codes).zip(&vals) {
+            assert_eq!(*c, q.quantize_to_code(*x));
+            assert!((v - q.quantize(*x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid quantiser")]
+    fn rejects_bad_format() {
+        let _ = LlrQuantizer::new(4, 4);
+    }
+}

@@ -1,0 +1,306 @@
+//! Error-rate and iteration statistics.
+//!
+//! The power experiments of the paper (Fig. 9a) are driven by the *average
+//! number of decoding iterations* at each operating point, and the error-rate
+//! experiments by BER/FER. These accumulators collect both.
+
+use std::fmt;
+
+/// Accumulator for bit- and frame-error counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorCounter {
+    bit_errors: u64,
+    bits: u64,
+    frame_errors: u64,
+    frames: u64,
+}
+
+impl ErrorCounter {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decoded frame: the number of bit errors among `bits`
+    /// compared bits.
+    pub fn record_frame(&mut self, bit_errors: usize, bits: usize) {
+        self.bit_errors += bit_errors as u64;
+        self.bits += bits as u64;
+        self.frames += 1;
+        if bit_errors > 0 {
+            self.frame_errors += 1;
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &ErrorCounter) {
+        self.bit_errors += other.bit_errors;
+        self.bits += other.bits;
+        self.frame_errors += other.frame_errors;
+        self.frames += other.frames;
+    }
+
+    /// Total frames recorded.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Total frames that contained at least one bit error.
+    #[must_use]
+    pub fn frame_errors(&self) -> u64 {
+        self.frame_errors
+    }
+
+    /// Total bit errors recorded.
+    #[must_use]
+    pub fn bit_errors(&self) -> u64 {
+        self.bit_errors
+    }
+
+    /// Bit-error rate (0 if nothing recorded).
+    #[must_use]
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Frame-error rate (0 if nothing recorded).
+    #[must_use]
+    pub fn fer(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.frame_errors as f64 / self.frames as f64
+        }
+    }
+}
+
+impl fmt::Display for ErrorCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BER {:.3e} ({}/{} bits), FER {:.3e} ({}/{} frames)",
+            self.ber(),
+            self.bit_errors,
+            self.bits,
+            self.fer(),
+            self.frame_errors,
+            self.frames
+        )
+    }
+}
+
+/// Histogram of the number of iterations the decoder executed per frame.
+///
+/// Average iterations directly drive the dynamic-power estimate of the early
+/// termination experiment (Fig. 9a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationHistogram {
+    counts: Vec<u64>,
+    total_frames: u64,
+    total_iterations: u64,
+}
+
+impl IterationHistogram {
+    /// Creates a histogram able to record up to `max_iterations`.
+    #[must_use]
+    pub fn new(max_iterations: usize) -> Self {
+        IterationHistogram {
+            counts: vec![0; max_iterations + 1],
+            total_frames: 0,
+            total_iterations: 0,
+        }
+    }
+
+    /// Records one frame that used `iterations` full iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` exceeds the histogram capacity.
+    pub fn record(&mut self, iterations: usize) {
+        assert!(
+            iterations < self.counts.len(),
+            "iteration count {iterations} exceeds histogram capacity {}",
+            self.counts.len() - 1
+        );
+        self.counts[iterations] += 1;
+        self.total_frames += 1;
+        self.total_iterations += iterations as u64;
+    }
+
+    /// Number of frames recorded.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Average iterations per frame (0 if empty).
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        if self.total_frames == 0 {
+            0.0
+        } else {
+            self.total_iterations as f64 / self.total_frames as f64
+        }
+    }
+
+    /// Number of frames that used exactly `iterations` iterations.
+    #[must_use]
+    pub fn count(&self, iterations: usize) -> u64 {
+        self.counts.get(iterations).copied().unwrap_or(0)
+    }
+
+    /// The maximum iteration count this histogram can record.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.counts.len() - 1
+    }
+}
+
+/// One point of an `Eb/N0` sweep: error rates plus iteration statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnrPoint {
+    /// `Eb/N0` in dB.
+    pub ebn0_db: f64,
+    /// Bit/frame error counts at this point.
+    pub errors: ErrorCounter,
+    /// Iteration histogram at this point.
+    pub iterations: IterationHistogram,
+}
+
+impl SnrPoint {
+    /// Creates an empty point for the given `Eb/N0`.
+    #[must_use]
+    pub fn new(ebn0_db: f64, max_iterations: usize) -> Self {
+        SnrPoint {
+            ebn0_db,
+            errors: ErrorCounter::new(),
+            iterations: IterationHistogram::new(max_iterations),
+        }
+    }
+}
+
+/// A full `Eb/N0` sweep (ordered list of [`SnrPoint`]s).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnrSweep {
+    points: Vec<SnrPoint>,
+}
+
+impl SnrSweep {
+    /// Creates a sweep over the given `Eb/N0` values (dB).
+    #[must_use]
+    pub fn over(ebn0_dbs: &[f64], max_iterations: usize) -> Self {
+        SnrSweep {
+            points: ebn0_dbs
+                .iter()
+                .map(|&e| SnrPoint::new(e, max_iterations))
+                .collect(),
+        }
+    }
+
+    /// The sweep points, in construction order.
+    #[must_use]
+    pub fn points(&self) -> &[SnrPoint] {
+        &self.points
+    }
+
+    /// Mutable access to the sweep points.
+    pub fn points_mut(&mut self) -> &mut [SnrPoint] {
+        &mut self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_counter_rates() {
+        let mut c = ErrorCounter::new();
+        c.record_frame(0, 100);
+        c.record_frame(5, 100);
+        c.record_frame(0, 100);
+        assert_eq!(c.frames(), 3);
+        assert_eq!(c.frame_errors(), 1);
+        assert_eq!(c.bit_errors(), 5);
+        assert!((c.ber() - 5.0 / 300.0).abs() < 1e-12);
+        assert!((c.fer() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_rates_are_zero() {
+        let c = ErrorCounter::new();
+        assert_eq!(c.ber(), 0.0);
+        assert_eq!(c.fer(), 0.0);
+        assert_eq!(c.frames(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ErrorCounter::new();
+        a.record_frame(1, 10);
+        let mut b = ErrorCounter::new();
+        b.record_frame(2, 10);
+        b.record_frame(0, 10);
+        a.merge(&b);
+        assert_eq!(a.frames(), 3);
+        assert_eq!(a.bit_errors(), 3);
+        assert_eq!(a.frame_errors(), 2);
+    }
+
+    #[test]
+    fn display_contains_rates() {
+        let mut c = ErrorCounter::new();
+        c.record_frame(1, 2);
+        let s = c.to_string();
+        assert!(s.contains("BER"));
+        assert!(s.contains("FER"));
+    }
+
+    #[test]
+    fn iteration_histogram_average() {
+        let mut h = IterationHistogram::new(10);
+        h.record(2);
+        h.record(4);
+        h.record(10);
+        assert_eq!(h.frames(), 3);
+        assert!((h.average() - 16.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds histogram capacity")]
+    fn iteration_histogram_rejects_overflow() {
+        let mut h = IterationHistogram::new(5);
+        h.record(6);
+    }
+
+    #[test]
+    fn snr_sweep_structure() {
+        let sweep = SnrSweep::over(&[0.0, 1.0, 2.0], 10);
+        assert_eq!(sweep.len(), 3);
+        assert!(!sweep.is_empty());
+        assert!((sweep.points()[1].ebn0_db - 1.0).abs() < 1e-12);
+        let empty = SnrSweep::default();
+        assert!(empty.is_empty());
+    }
+}

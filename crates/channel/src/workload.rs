@@ -1,0 +1,180 @@
+//! Frame generation for decoder evaluation.
+//!
+//! A [`FrameSource`] produces the transmit-side workload of one Monte-Carlo
+//! trial: an information word, the systematically encoded codeword and (via
+//! [`crate::awgn::AwgnChannel`]) the channel LLRs the decoder sees.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ldpc_codes::{CodeError, Encoder, QcCode};
+
+/// One generated frame: the information bits and the encoded codeword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Information bits (length `n − m`).
+    pub info: Vec<u8>,
+    /// Systematic codeword (length `n`).
+    pub codeword: Vec<u8>,
+}
+
+impl Frame {
+    /// Number of information bits in the frame.
+    #[must_use]
+    pub fn info_len(&self) -> usize {
+        self.info.len()
+    }
+
+    /// Codeword length in bits.
+    #[must_use]
+    pub fn codeword_len(&self) -> usize {
+        self.codeword.len()
+    }
+}
+
+/// Deterministic, seedable source of frames for a given code.
+///
+/// The source owns two independent RNG streams: one for the information bits
+/// and one for channel noise, so that the same frames can be replayed under
+/// different noise realisations (or vice versa).
+#[derive(Debug, Clone)]
+pub struct FrameSource {
+    encoder: Encoder,
+    all_zero: bool,
+    data_rng: StdRng,
+    noise_rng: StdRng,
+    frames_generated: u64,
+}
+
+impl FrameSource {
+    /// A source of frames carrying uniformly random information bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the code is not encodable (see
+    /// [`ldpc_codes::Encoder::new`]).
+    pub fn random(code: &QcCode, seed: u64) -> Result<Self, CodeError> {
+        Ok(FrameSource {
+            encoder: Encoder::new(code)?,
+            all_zero: false,
+            data_rng: StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A),
+            noise_rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            frames_generated: 0,
+        })
+    }
+
+    /// A source that always transmits the all-zero codeword (standard practice
+    /// for BER simulation of linear codes: performance is codeword
+    /// independent, and the all-zero word avoids the encoder in the inner
+    /// loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the code is not encodable.
+    pub fn all_zero(code: &QcCode, seed: u64) -> Result<Self, CodeError> {
+        let mut source = Self::random(code, seed)?;
+        source.all_zero = true;
+        Ok(source)
+    }
+
+    /// The code frames are generated for.
+    #[must_use]
+    pub fn code(&self) -> &QcCode {
+        self.encoder.code()
+    }
+
+    /// Number of frames generated so far.
+    #[must_use]
+    pub fn frames_generated(&self) -> u64 {
+        self.frames_generated
+    }
+
+    /// Generates the next frame.
+    pub fn next_frame(&mut self) -> Frame {
+        self.frames_generated += 1;
+        let info_len = self.code().info_bits();
+        if self.all_zero {
+            return Frame {
+                info: vec![0; info_len],
+                codeword: self.encoder.all_zero_codeword(),
+            };
+        }
+        let info: Vec<u8> = (0..info_len).map(|_| self.data_rng.gen_range(0..=1)).collect();
+        let codeword = self
+            .encoder
+            .encode(&info)
+            .expect("info length matches the code by construction");
+        Frame { info, codeword }
+    }
+
+    /// The RNG stream reserved for channel noise, to be passed to
+    /// [`crate::awgn::AwgnChannel::transmit`].
+    pub fn noise_rng(&mut self) -> &mut StdRng {
+        &mut self.noise_rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::awgn::AwgnChannel;
+    use ldpc_codes::{CodeId, CodeRate, Standard};
+
+    fn code() -> QcCode {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn random_frames_are_valid_codewords() {
+        let code = code();
+        let mut src = FrameSource::random(&code, 1).unwrap();
+        for _ in 0..5 {
+            let frame = src.next_frame();
+            assert_eq!(frame.info_len(), code.info_bits());
+            assert_eq!(frame.codeword_len(), code.n());
+            assert!(code.is_codeword(&frame.codeword).unwrap());
+            assert_eq!(&frame.codeword[..code.info_bits()], frame.info.as_slice());
+        }
+        assert_eq!(src.frames_generated(), 5);
+    }
+
+    #[test]
+    fn all_zero_source_transmits_zero() {
+        let code = code();
+        let mut src = FrameSource::all_zero(&code, 1).unwrap();
+        let frame = src.next_frame();
+        assert!(frame.codeword.iter().all(|&b| b == 0));
+        assert!(frame.info.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn same_seed_reproduces_frames() {
+        let code = code();
+        let mut a = FrameSource::random(&code, 99).unwrap();
+        let mut b = FrameSource::random(&code, 99).unwrap();
+        for _ in 0..3 {
+            assert_eq!(a.next_frame(), b.next_frame());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let code = code();
+        let mut a = FrameSource::random(&code, 1).unwrap();
+        let mut b = FrameSource::random(&code, 2).unwrap();
+        assert_ne!(a.next_frame(), b.next_frame());
+    }
+
+    #[test]
+    fn noise_rng_is_independent_of_data_rng() {
+        let code = code();
+        let channel = AwgnChannel::from_ebn0_db(2.0, code.rate());
+        // Generating noise must not change the data stream.
+        let mut a = FrameSource::random(&code, 5).unwrap();
+        let mut b = FrameSource::random(&code, 5).unwrap();
+        let _ = channel.transmit(&vec![0u8; code.n()], a.noise_rng());
+        assert_eq!(a.next_frame(), b.next_frame());
+    }
+}

@@ -1,0 +1,407 @@
+//! Base (prototype) matrix of a block-structured LDPC code.
+//!
+//! A base matrix is the `j × k` array of circulant descriptors from which the
+//! full parity-check matrix `H` is expanded: each entry is either *empty*
+//! (expands to the `z × z` zero matrix) or a shift value `x` (expands to the
+//! cyclically shifted identity `I_x`). This is exactly the structure shown in
+//! Fig. 1 of the paper.
+
+use std::fmt;
+
+use crate::error::CodeError;
+use crate::Result;
+
+/// How base-matrix shift values defined for a *design* sub-matrix size `z₀`
+/// are adapted when the code is expanded with a smaller `z`.
+///
+/// Both rules are used by the real standards: IEEE 802.11n specifies one base
+/// matrix per rate at the largest expansion and scales shifts proportionally,
+/// while IEEE 802.16e reduces shifts modulo `z` (for all but its rate-2/3A
+/// code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShiftScaling {
+    /// `x' = floor(x · z / z₀)` (IEEE 802.11n rule).
+    #[default]
+    Floor,
+    /// `x' = x mod z` (IEEE 802.16e rule).
+    Modulo,
+}
+
+impl ShiftScaling {
+    /// Applies the scaling rule to a single shift value.
+    ///
+    /// Shift `0` always maps to `0` under either rule, which preserves the
+    /// dual-diagonal (identity) parity structure across expansions.
+    #[must_use]
+    pub fn scale(self, shift: u32, design_z: usize, z: usize) -> u32 {
+        debug_assert!(design_z > 0 && z > 0);
+        match self {
+            ShiftScaling::Floor => ((shift as u64 * z as u64) / design_z as u64) as u32,
+            ShiftScaling::Modulo => shift % z as u32,
+        }
+    }
+}
+
+/// A `j × k` base matrix of optional circulant shifts, defined relative to a
+/// design sub-matrix size `z₀`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BaseMatrix {
+    rows: usize,
+    cols: usize,
+    design_z: usize,
+    /// Row-major entries; `None` is a zero block.
+    entries: Vec<Option<u32>>,
+}
+
+impl BaseMatrix {
+    /// Creates a base matrix from row-major entries.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::InvalidSubMatrixSize`] if `design_z == 0`.
+    /// * [`CodeError::DimensionMismatch`] if `entries.len() != rows * cols`.
+    /// * [`CodeError::ShiftOutOfRange`] if any shift is `≥ design_z`.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        design_z: usize,
+        entries: Vec<Option<u32>>,
+    ) -> Result<Self> {
+        if design_z == 0 {
+            return Err(CodeError::InvalidSubMatrixSize { z: 0 });
+        }
+        if entries.len() != rows * cols {
+            return Err(CodeError::DimensionMismatch {
+                expected: rows * cols,
+                actual: entries.len(),
+            });
+        }
+        for entry in entries.iter().flatten() {
+            if *entry as usize >= design_z {
+                return Err(CodeError::ShiftOutOfRange {
+                    shift: *entry,
+                    z: design_z,
+                });
+            }
+        }
+        Ok(BaseMatrix {
+            rows,
+            cols,
+            design_z,
+            entries,
+        })
+    }
+
+    /// Creates an all-zero (all-empty) base matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidSubMatrixSize`] if `design_z == 0`.
+    pub fn empty(rows: usize, cols: usize, design_z: usize) -> Result<Self> {
+        Self::new(rows, cols, design_z, vec![None; rows * cols])
+    }
+
+    /// Number of block rows `j`.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of block columns `k`.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The design sub-matrix size `z₀` the shifts are expressed for.
+    #[must_use]
+    pub fn design_z(&self) -> usize {
+        self.design_z
+    }
+
+    /// The entry at block position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> Option<u32> {
+        assert!(row < self.rows && col < self.cols, "block index out of bounds");
+        self.entries[row * self.cols + col]
+    }
+
+    /// Sets the entry at block position `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::ShiftOutOfRange`] if the shift is `≥ design_z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, entry: Option<u32>) -> Result<()> {
+        assert!(row < self.rows && col < self.cols, "block index out of bounds");
+        if let Some(shift) = entry {
+            if shift as usize >= self.design_z {
+                return Err(CodeError::ShiftOutOfRange {
+                    shift,
+                    z: self.design_z,
+                });
+            }
+        }
+        self.entries[row * self.cols + col] = entry;
+        Ok(())
+    }
+
+    /// Iterates over the non-empty entries as `(row, col, shift)` triples in
+    /// row-major order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
+        self.entries.iter().enumerate().filter_map(move |(idx, e)| {
+            e.map(|shift| (idx / self.cols, idx % self.cols, shift))
+        })
+    }
+
+    /// Number of non-zero blocks `E` (each expands into `z` parity-check
+    /// edges).
+    #[must_use]
+    pub fn nnz_blocks(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Number of non-zero blocks in block row `row` (the check-node degree of
+    /// every expanded row in that layer).
+    #[must_use]
+    pub fn row_weight(&self, row: usize) -> usize {
+        (0..self.cols).filter(|&c| self.get(row, c).is_some()).count()
+    }
+
+    /// Number of non-zero blocks in block column `col` (the variable-node
+    /// degree of every expanded column in that block column).
+    #[must_use]
+    pub fn col_weight(&self, col: usize) -> usize {
+        (0..self.rows).filter(|&r| self.get(r, col).is_some()).count()
+    }
+
+    /// Maximum check-node degree over all block rows.
+    #[must_use]
+    pub fn max_row_weight(&self) -> usize {
+        (0..self.rows).map(|r| self.row_weight(r)).max().unwrap_or(0)
+    }
+
+    /// Mean check-node degree over all block rows.
+    #[must_use]
+    pub fn mean_row_weight(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.nnz_blocks() as f64 / self.rows as f64
+    }
+
+    /// Re-expresses the base matrix for a different sub-matrix size `z` using
+    /// the given scaling rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidSubMatrixSize`] if `z == 0`.
+    pub fn scale_to(&self, z: usize, scaling: ShiftScaling) -> Result<BaseMatrix> {
+        if z == 0 {
+            return Err(CodeError::InvalidSubMatrixSize { z });
+        }
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| e.map(|shift| scaling.scale(shift, self.design_z, z)))
+            .collect();
+        BaseMatrix::new(self.rows, self.cols, z, entries)
+    }
+
+    /// Structural validation: every block row and block column must be
+    /// non-empty, otherwise the expanded graph contains unconnected check or
+    /// variable nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidBaseMatrix`] describing the first violation
+    /// found.
+    pub fn validate(&self) -> Result<()> {
+        for r in 0..self.rows {
+            if self.row_weight(r) < 2 {
+                return Err(CodeError::InvalidBaseMatrix {
+                    reason: format!("block row {r} has weight {} (< 2)", self.row_weight(r)),
+                });
+            }
+        }
+        for c in 0..self.cols {
+            if self.col_weight(c) == 0 {
+                return Err(CodeError::InvalidBaseMatrix {
+                    reason: format!("block column {c} is empty"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BaseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "BaseMatrix {}x{} (design z = {}):",
+            self.rows, self.cols, self.design_z
+        )?;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                match self.get(r, c) {
+                    Some(shift) => write!(f, "{shift:>4}")?,
+                    None => write!(f, "   -")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BaseMatrix {
+        // 2 x 4 base matrix at design z = 8.
+        BaseMatrix::new(
+            2,
+            4,
+            8,
+            vec![
+                Some(1),
+                None,
+                Some(3),
+                Some(0),
+                Some(5),
+                Some(2),
+                None,
+                Some(0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = small();
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.cols(), 4);
+        assert_eq!(b.design_z(), 8);
+        assert_eq!(b.get(0, 0), Some(1));
+        assert_eq!(b.get(0, 1), None);
+        assert_eq!(b.nnz_blocks(), 6);
+        assert_eq!(b.row_weight(0), 3);
+        assert_eq!(b.col_weight(3), 2);
+        assert_eq!(b.max_row_weight(), 3);
+        assert!((b.mean_row_weight() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        let err = BaseMatrix::new(2, 2, 4, vec![None; 3]).unwrap_err();
+        assert!(matches!(err, CodeError::DimensionMismatch { expected: 4, actual: 3 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_shift() {
+        let err = BaseMatrix::new(1, 1, 4, vec![Some(4)]).unwrap_err();
+        assert!(matches!(err, CodeError::ShiftOutOfRange { shift: 4, z: 4 }));
+    }
+
+    #[test]
+    fn rejects_zero_design_z() {
+        assert!(matches!(
+            BaseMatrix::empty(1, 1, 0),
+            Err(CodeError::InvalidSubMatrixSize { z: 0 })
+        ));
+    }
+
+    #[test]
+    fn set_checks_range() {
+        let mut b = BaseMatrix::empty(2, 2, 4).unwrap();
+        b.set(0, 0, Some(3)).unwrap();
+        assert_eq!(b.get(0, 0), Some(3));
+        assert!(b.set(0, 1, Some(4)).is_err());
+        b.set(0, 0, None).unwrap();
+        assert_eq!(b.get(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let b = small();
+        let _ = b.get(2, 0);
+    }
+
+    #[test]
+    fn floor_scaling_matches_80211n_rule() {
+        let s = ShiftScaling::Floor;
+        assert_eq!(s.scale(0, 96, 24), 0);
+        assert_eq!(s.scale(95, 96, 24), 23);
+        assert_eq!(s.scale(48, 96, 24), 12);
+        assert_eq!(s.scale(50, 81, 27), 16);
+    }
+
+    #[test]
+    fn modulo_scaling_matches_80216e_rule() {
+        let s = ShiftScaling::Modulo;
+        assert_eq!(s.scale(0, 96, 24), 0);
+        assert_eq!(s.scale(95, 96, 24), 95 % 24);
+        assert_eq!(s.scale(25, 96, 24), 1);
+    }
+
+    #[test]
+    fn scaling_preserves_zero_shifts() {
+        for rule in [ShiftScaling::Floor, ShiftScaling::Modulo] {
+            for z in [24, 27, 54, 81, 96] {
+                assert_eq!(rule.scale(0, 96, z), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_to_produces_valid_matrix() {
+        let b = small();
+        let scaled = b.scale_to(4, ShiftScaling::Modulo).unwrap();
+        assert_eq!(scaled.design_z(), 4);
+        assert_eq!(scaled.get(1, 0), Some(1)); // 5 mod 4
+        assert_eq!(scaled.nnz_blocks(), b.nnz_blocks());
+        assert!(b.scale_to(0, ShiftScaling::Floor).is_err());
+    }
+
+    #[test]
+    fn iter_nonzero_yields_row_major_triples() {
+        let b = small();
+        let triples: Vec<_> = b.iter_nonzero().collect();
+        assert_eq!(triples[0], (0, 0, 1));
+        assert_eq!(triples.len(), 6);
+        assert!(triples.windows(2).all(|w| w[0].0 < w[1].0 || w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn validate_detects_empty_column_and_thin_row() {
+        let mut b = BaseMatrix::empty(2, 2, 4).unwrap();
+        assert!(b.validate().is_err());
+        b.set(0, 0, Some(1)).unwrap();
+        b.set(0, 1, Some(2)).unwrap();
+        b.set(1, 0, Some(0)).unwrap();
+        b.set(1, 1, Some(3)).unwrap();
+        assert!(b.validate().is_ok());
+        b.set(1, 1, None).unwrap();
+        // row 1 now has weight 1.
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn display_contains_dash_for_zero_blocks() {
+        let b = small();
+        let s = b.to_string();
+        assert!(s.contains('-'));
+        assert!(s.contains("2x4"));
+    }
+}

@@ -1,0 +1,468 @@
+//! Synthetic construction of standard-compatible base matrices.
+//!
+//! The IEEE 802.11n / 802.16e / DMB-T base matrices themselves are copyrighted
+//! standard text, so this reproduction generates *standard-compatible*
+//! matrices: identical dimensions (`j × k`), identical sub-matrix sizes,
+//! a dual-diagonal (encodable) parity part and a pseudo-random information
+//! part with 4-cycle avoidance. The construction is fully deterministic for a
+//! given `(standard, rate)` so every run of the simulator, the tests and the
+//! benchmarks uses exactly the same codes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::base_matrix::{BaseMatrix, ShiftScaling};
+use crate::error::CodeError;
+use crate::girth;
+use crate::qc::QcCode;
+use crate::standard::{CodeRate, CodeSpec, Standard};
+use crate::Result;
+
+/// Structure of the parity (right-hand) part of the base matrix, which
+/// determines how systematic encoding proceeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParityStructure {
+    /// WiMax-style dual-diagonal structure: the first parity column has weight
+    /// 3 (equal non-zero shifts at the top and bottom rows, shift 0 in a
+    /// middle row) and the remaining parity columns form a dual diagonal of
+    /// identity blocks. Encoding needs the "sum of all layers" trick.
+    #[default]
+    DualDiagonalW3,
+    /// Strictly lower-bidiagonal parity part: parity column `t` has identity
+    /// blocks in rows `t` and `t+1`. Encoding is plain back-substitution.
+    LowerBidiagonal,
+}
+
+/// Parameters controlling a synthetic base-matrix construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstructionParams {
+    /// Standard family (fixes `k` and the admissible `z` set).
+    pub standard: Standard,
+    /// Code rate (fixes `j`).
+    pub rate: CodeRate,
+    /// Design sub-matrix size the shifts are generated for (the family's
+    /// largest `z`).
+    pub design_z: usize,
+    /// Additional expansion sizes (with their scaling rule) for which 4-cycle
+    /// avoidance is also enforced during shift selection.
+    pub also_avoid_cycles_at: Vec<(usize, ShiftScaling)>,
+    /// RNG seed; the default is derived deterministically from
+    /// `(standard, rate)`.
+    pub seed: u64,
+    /// Parity-part structure.
+    pub parity: ParityStructure,
+    /// Column weight used for most information columns.
+    pub base_column_weight: usize,
+    /// Column weight used for the first `high_weight_columns` information
+    /// columns (standards use a few higher-degree columns to speed up
+    /// convergence).
+    pub high_column_weight: usize,
+    /// Number of high-weight information columns.
+    pub high_weight_columns: usize,
+}
+
+impl ConstructionParams {
+    /// Canonical parameters for a `(standard, rate)` mode: design `z` is the
+    /// family's largest expansion, the seed is a fixed function of the mode,
+    /// and 4-cycle avoidance is additionally enforced at the family's smallest
+    /// expansion.
+    #[must_use]
+    pub fn for_mode(standard: Standard, rate: CodeRate) -> Self {
+        let sizes = standard.sub_matrix_sizes();
+        let design_z = *sizes.last().expect("every family has at least one z");
+        let smallest = *sizes.first().expect("every family has at least one z");
+        let scaling = default_scaling(standard);
+        let also = if smallest != design_z {
+            vec![(smallest, scaling)]
+        } else {
+            Vec::new()
+        };
+        let k = standard.block_cols();
+        let j = rate
+            .block_rows_for(k)
+            .expect("supported rates divide the block-column count");
+        ConstructionParams {
+            standard,
+            rate,
+            design_z,
+            also_avoid_cycles_at: also,
+            seed: mode_seed(standard, rate),
+            parity: ParityStructure::DualDiagonalW3,
+            base_column_weight: 3.min(j),
+            high_column_weight: 6.min(j),
+            high_weight_columns: (k - j) / 4,
+        }
+    }
+
+    /// Number of block rows `j` implied by the rate.
+    #[must_use]
+    pub fn block_rows(&self) -> usize {
+        self.rate
+            .block_rows_for(self.standard.block_cols())
+            .expect("validated at construction")
+    }
+
+    /// Number of block columns `k`.
+    #[must_use]
+    pub fn block_cols(&self) -> usize {
+        self.standard.block_cols()
+    }
+
+    /// Generates the base matrix at the design expansion size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidBaseMatrix`] if the requested degree
+    /// profile cannot be realized (e.g. a column weight exceeding `j`).
+    pub fn build_base(&self) -> Result<BaseMatrix> {
+        let j = self.block_rows();
+        let k = self.block_cols();
+        let k_info = k - j;
+        if self.base_column_weight > j || self.high_column_weight > j {
+            return Err(CodeError::InvalidBaseMatrix {
+                reason: format!(
+                    "column weight ({}, {}) exceeds number of block rows {j}",
+                    self.base_column_weight, self.high_column_weight
+                ),
+            });
+        }
+        if self.base_column_weight < 2 {
+            return Err(CodeError::InvalidBaseMatrix {
+                reason: "information columns need weight >= 2".to_string(),
+            });
+        }
+        let mut base = BaseMatrix::empty(j, k, self.design_z)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        self.place_parity_part(&mut base, &mut rng)?;
+        self.place_info_part(&mut base, &mut rng, k_info)?;
+        base.validate()?;
+        Ok(base)
+    }
+
+    /// Generates the full quasi-cyclic code for expansion size `z`, scaling
+    /// the design base matrix with the family's rule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors, and
+    /// [`CodeError::InvalidSubMatrixSize`] if `z == 0`.
+    pub fn build_code(&self, z: usize) -> Result<QcCode> {
+        let base = self.build_base()?;
+        let scaled = base.scale_to(z, default_scaling(self.standard))?;
+        let spec = CodeSpec {
+            standard: self.standard,
+            rate: self.rate,
+            z,
+            block_rows: self.block_rows(),
+            block_cols: self.block_cols(),
+        };
+        QcCode::from_parts(spec, scaled)
+    }
+
+    fn place_parity_part(&self, base: &mut BaseMatrix, rng: &mut StdRng) -> Result<()> {
+        let j = self.block_rows();
+        let k = self.block_cols();
+        let k_info = k - j;
+        match self.parity {
+            ParityStructure::DualDiagonalW3 => {
+                // Weight-3 first parity column: equal shifts top/bottom, shift 0
+                // in a middle row. Equal shifts stay equal under either scaling
+                // rule, preserving encodability for every expansion size.
+                let x0 = 1 + rng.gen_range(0..(self.design_z as u32 - 1));
+                let mid = j / 2;
+                base.set(0, k_info, Some(x0))?;
+                base.set(mid, k_info, Some(0))?;
+                base.set(j - 1, k_info, Some(x0))?;
+                // Dual diagonal of identity blocks on the remaining columns.
+                for t in 1..j {
+                    base.set(t - 1, k_info + t, Some(0))?;
+                    base.set(t, k_info + t, Some(0))?;
+                }
+            }
+            ParityStructure::LowerBidiagonal => {
+                for t in 0..j {
+                    base.set(t, k_info + t, Some(0))?;
+                    if t + 1 < j {
+                        base.set(t + 1, k_info + t, Some(0))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn place_info_part(&self, base: &mut BaseMatrix, rng: &mut StdRng, k_info: usize) -> Result<()> {
+        let j = self.block_rows();
+        for col in 0..k_info {
+            let weight = if col < self.high_weight_columns {
+                self.high_column_weight
+            } else {
+                self.base_column_weight
+            };
+            let rows = self.pick_rows(base, rng, weight, j);
+            for row in rows {
+                let shift = self.pick_shift(base, rng, row, col);
+                base.set(row, col, Some(shift))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Picks `weight` distinct rows, preferring the currently lightest rows so
+    /// the check-node degrees stay balanced (structured codes have near-uniform
+    /// row weights).
+    fn pick_rows(&self, base: &BaseMatrix, rng: &mut StdRng, weight: usize, j: usize) -> Vec<usize> {
+        let mut candidates: Vec<(usize, usize, u32)> = (0..j)
+            .map(|r| (base.row_weight(r), rng.gen::<u32>(), r as u32))
+            .map(|(w, tie, r)| (w, r as usize, tie))
+            .collect();
+        candidates.sort_by_key(|&(w, _, tie)| (w, tie));
+        candidates.into_iter().take(weight).map(|(_, r, _)| r).collect()
+    }
+
+    /// Picks a shift for `(row, col)` that avoids 4-cycles at the design `z`
+    /// and at every additional expansion listed in `also_avoid_cycles_at`,
+    /// falling back to the last candidate if no conflict-free shift exists.
+    fn pick_shift(&self, base: &BaseMatrix, rng: &mut StdRng, row: usize, col: usize) -> u32 {
+        const ATTEMPTS: usize = 200;
+        let mut last = 0;
+        for _ in 0..ATTEMPTS {
+            let shift = rng.gen_range(0..self.design_z as u32);
+            last = shift;
+            if self.shift_is_cycle_free(base, row, col, shift) {
+                return shift;
+            }
+        }
+        last
+    }
+
+    fn shift_is_cycle_free(&self, base: &BaseMatrix, row: usize, col: usize, shift: u32) -> bool {
+        if girth::placement_creates_four_cycle(base, row, col, shift, self.design_z) {
+            return false;
+        }
+        for &(z, scaling) in &self.also_avoid_cycles_at {
+            if placement_creates_scaled_four_cycle(base, row, col, shift, self.design_z, z, scaling)
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The shift-scaling rule each family uses when expanding at sizes below the
+/// design size (mirrors the real standards: 802.11n scales proportionally,
+/// 802.16e reduces modulo `z`).
+#[must_use]
+pub fn default_scaling(standard: Standard) -> ShiftScaling {
+    match standard {
+        Standard::Wifi80211n => ShiftScaling::Floor,
+        Standard::Wimax80216e | Standard::DmbT => ShiftScaling::Modulo,
+    }
+}
+
+/// Deterministic seed for a `(standard, rate)` mode.
+#[must_use]
+pub fn mode_seed(standard: Standard, rate: CodeRate) -> u64 {
+    let s = match standard {
+        Standard::Wifi80211n => 1,
+        Standard::Wimax80216e => 2,
+        Standard::DmbT => 3,
+    };
+    let r = match rate {
+        CodeRate::R1_5 => 1,
+        CodeRate::R2_5 => 2,
+        CodeRate::R3_5 => 3,
+        CodeRate::R1_2 => 4,
+        CodeRate::R2_3 => 5,
+        CodeRate::R3_4 => 6,
+        CodeRate::R5_6 => 7,
+    };
+    0x4C44_5043_5335_3038u64 ^ (s * 1_000_003 + r * 7919)
+}
+
+/// Like [`girth::placement_creates_four_cycle`], but evaluates the cycle
+/// condition after scaling all involved shifts to a different expansion size.
+fn placement_creates_scaled_four_cycle(
+    base: &BaseMatrix,
+    row: usize,
+    col: usize,
+    shift: u32,
+    design_z: usize,
+    target_z: usize,
+    scaling: ShiftScaling,
+) -> bool {
+    let zt = target_z as i64;
+    let scale = |x: u32| scaling.scale(x, design_z, target_z) as i64;
+    let shift_scaled = scale(shift);
+    for other_row in 0..base.rows() {
+        if other_row == row {
+            continue;
+        }
+        let Some(s_other_col) = base.get(other_row, col) else {
+            continue;
+        };
+        for other_col in 0..base.cols() {
+            if other_col == col {
+                continue;
+            }
+            let (Some(s_row_oc), Some(s_other_oc)) =
+                (base.get(row, other_col), base.get(other_row, other_col))
+            else {
+                continue;
+            };
+            let delta =
+                (shift_scaled - scale(s_other_col)) + (scale(s_other_oc) - scale(s_row_oc));
+            if delta.rem_euclid(zt) == 0 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::girth::count_four_cycles;
+
+    #[test]
+    fn construction_is_deterministic() {
+        let p = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R1_2);
+        let a = p.build_base().unwrap();
+        let b = p.build_base().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_rates_give_different_matrices() {
+        let a = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R1_2)
+            .build_base()
+            .unwrap();
+        let b = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R2_3)
+            .build_base()
+            .unwrap();
+        assert_ne!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn dimensions_follow_rate() {
+        for (rate, j) in [
+            (CodeRate::R1_2, 12),
+            (CodeRate::R2_3, 8),
+            (CodeRate::R3_4, 6),
+            (CodeRate::R5_6, 4),
+        ] {
+            let p = ConstructionParams::for_mode(Standard::Wimax80216e, rate);
+            let base = p.build_base().unwrap();
+            assert_eq!(base.rows(), j);
+            assert_eq!(base.cols(), 24);
+            assert_eq!(base.design_z(), 96);
+        }
+    }
+
+    #[test]
+    fn parity_part_is_dual_diagonal_w3() {
+        let p = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R1_2);
+        let base = p.build_base().unwrap();
+        let j = base.rows();
+        let k_info = base.cols() - j;
+        // Weight-3 first parity column with matching top/bottom shifts.
+        assert_eq!(base.col_weight(k_info), 3);
+        let top = base.get(0, k_info).unwrap();
+        let bottom = base.get(j - 1, k_info).unwrap();
+        assert_eq!(top, bottom);
+        assert_eq!(base.get(j / 2, k_info), Some(0));
+        // Remaining parity columns are weight-2 identity pairs.
+        for t in 1..j {
+            assert_eq!(base.get(t - 1, k_info + t), Some(0));
+            assert_eq!(base.get(t, k_info + t), Some(0));
+            assert_eq!(base.col_weight(k_info + t), 2);
+        }
+    }
+
+    #[test]
+    fn lower_bidiagonal_structure() {
+        let mut p = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R3_4);
+        p.parity = ParityStructure::LowerBidiagonal;
+        let base = p.build_base().unwrap();
+        let j = base.rows();
+        let k_info = base.cols() - j;
+        for t in 0..j {
+            assert_eq!(base.get(t, k_info + t), Some(0));
+            if t + 1 < j {
+                assert_eq!(base.get(t + 1, k_info + t), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn info_columns_have_requested_weights() {
+        let p = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R1_2);
+        let base = p.build_base().unwrap();
+        let j = base.rows();
+        let k_info = base.cols() - j;
+        for col in 0..k_info {
+            let w = base.col_weight(col);
+            if col < p.high_weight_columns {
+                assert_eq!(w, p.high_column_weight);
+            } else {
+                assert_eq!(w, p.base_column_weight);
+            }
+        }
+    }
+
+    #[test]
+    fn row_weights_are_balanced() {
+        let p = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R1_2);
+        let base = p.build_base().unwrap();
+        let weights: Vec<usize> = (0..base.rows()).map(|r| base.row_weight(r)).collect();
+        let min = *weights.iter().min().unwrap();
+        let max = *weights.iter().max().unwrap();
+        assert!(max - min <= 2, "row weights {weights:?} not balanced");
+    }
+
+    #[test]
+    fn design_z_code_is_four_cycle_free() {
+        let p = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R1_2);
+        let code = p.build_code(96).unwrap();
+        let report = count_four_cycles(&code);
+        assert!(
+            report.four_cycle_blocks <= 2,
+            "expected (near-)4-cycle-free design-z code, found {}",
+            report.four_cycle_blocks
+        );
+    }
+
+    #[test]
+    fn rejects_impossible_degree_profile() {
+        let mut p = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R5_6);
+        p.base_column_weight = 10; // j = 4
+        assert!(p.build_base().is_err());
+        let mut p2 = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R1_2);
+        p2.base_column_weight = 1;
+        assert!(p2.build_base().is_err());
+    }
+
+    #[test]
+    fn build_code_produces_requested_expansion() {
+        let p = ConstructionParams::for_mode(Standard::Wimax80216e, CodeRate::R1_2);
+        for z in [24, 48, 96] {
+            let code = p.build_code(z).unwrap();
+            assert_eq!(code.z(), z);
+            assert_eq!(code.n(), 24 * z);
+            assert_eq!(code.nnz_blocks(), p.build_base().unwrap().nnz_blocks());
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_mode() {
+        let mut seeds = std::collections::HashSet::new();
+        for s in Standard::ALL {
+            for r in s.rates() {
+                assert!(seeds.insert(mode_seed(s, r)), "seed collision for {s:?} {r:?}");
+            }
+        }
+    }
+}

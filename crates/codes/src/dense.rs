@@ -1,0 +1,221 @@
+//! Dense GF(2) view of a parity-check matrix.
+//!
+//! The dense representation is only used for validation and small-code tests
+//! (rank checks, exhaustive codeword enumeration); the decoder and the
+//! architecture model always work on the sparse quasi-cyclic views.
+
+use crate::error::CodeError;
+use crate::qc::QcCode;
+use crate::Result;
+
+/// A dense `m × n` binary parity-check matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseParityCheck {
+    m: usize,
+    n: usize,
+    /// Row-major bits, one byte per bit (0/1).
+    rows: Vec<Vec<u8>>,
+}
+
+impl DenseParityCheck {
+    /// Builds the dense matrix from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::DimensionMismatch`] if the rows have inconsistent
+    /// lengths.
+    pub fn from_rows(rows: Vec<Vec<u8>>) -> Result<Self> {
+        let m = rows.len();
+        let n = rows.first().map_or(0, Vec::len);
+        if rows.iter().any(|r| r.len() != n) {
+            return Err(CodeError::DimensionMismatch {
+                expected: n,
+                actual: rows.iter().map(Vec::len).find(|&l| l != n).unwrap_or(0),
+            });
+        }
+        let rows = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(|b| b & 1).collect())
+            .collect();
+        Ok(DenseParityCheck { m, n, rows })
+    }
+
+    /// Expands a quasi-cyclic code into its dense parity-check matrix.
+    #[must_use]
+    pub fn from_qc(code: &QcCode) -> Self {
+        let m = code.m();
+        let n = code.n();
+        let mut rows = vec![vec![0u8; n]; m];
+        for (row, row_bits) in rows.iter_mut().enumerate() {
+            for col in code.row_neighbors(row) {
+                row_bits[col] = 1;
+            }
+        }
+        DenseParityCheck { m, n, rows }
+    }
+
+    /// Number of rows `m`.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns `n`.
+    #[must_use]
+    pub fn num_cols(&self) -> usize {
+        self.n
+    }
+
+    /// The bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> u8 {
+        self.rows[row][col]
+    }
+
+    /// Computes the syndrome `H·xᵀ` over GF(2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::CodewordLengthMismatch`] if `x.len() != n`.
+    pub fn syndrome(&self, x: &[u8]) -> Result<Vec<u8>> {
+        if x.len() != self.n {
+            return Err(CodeError::CodewordLengthMismatch {
+                expected: self.n,
+                actual: x.len(),
+            });
+        }
+        Ok(self
+            .rows
+            .iter()
+            .map(|row| row.iter().zip(x).fold(0u8, |acc, (&h, &b)| acc ^ (h & b & 1)))
+            .collect())
+    }
+
+    /// Whether `x` satisfies every parity check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::CodewordLengthMismatch`] if `x.len() != n`.
+    pub fn is_codeword(&self, x: &[u8]) -> Result<bool> {
+        Ok(self.syndrome(x)?.iter().all(|&s| s == 0))
+    }
+
+    /// GF(2) rank of the matrix, computed by Gaussian elimination on a copy.
+    ///
+    /// A code with `rank(H) = m` has exactly `n − m` information bits; linearly
+    /// dependent rows reduce the effective number of parity constraints.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        let mut rows = self.rows.clone();
+        let mut rank = 0;
+        let mut pivot_row = 0;
+        for col in 0..self.n {
+            if pivot_row >= rows.len() {
+                break;
+            }
+            let Some(found) = (pivot_row..rows.len()).find(|&r| rows[r][col] == 1) else {
+                continue;
+            };
+            rows.swap(pivot_row, found);
+            let pivot = rows[pivot_row].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != pivot_row && row[col] == 1 {
+                    for (dst, src) in row.iter_mut().zip(&pivot) {
+                        *dst ^= src;
+                    }
+                }
+            }
+            pivot_row += 1;
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Number of non-zero entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().filter(|&&b| b == 1).count())
+            .sum()
+    }
+
+    /// Density of the matrix (fraction of entries that are 1). LDPC matrices
+    /// are, by definition, very sparse.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.m == 0 || self.n == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.m as f64 * self.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::{CodeId, CodeRate, Standard};
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(DenseParityCheck::from_rows(vec![vec![1, 0], vec![1]]).is_err());
+        let h = DenseParityCheck::from_rows(vec![vec![1, 0, 1], vec![0, 1, 1]]).unwrap();
+        assert_eq!(h.num_rows(), 2);
+        assert_eq!(h.num_cols(), 3);
+        assert_eq!(h.nnz(), 4);
+    }
+
+    #[test]
+    fn rank_of_simple_matrices() {
+        let h = DenseParityCheck::from_rows(vec![vec![1, 0, 1], vec![0, 1, 1], vec![1, 1, 0]])
+            .unwrap();
+        // Third row is the sum of the first two.
+        assert_eq!(h.rank(), 2);
+        let id = DenseParityCheck::from_rows(vec![vec![1, 0], vec![0, 1]]).unwrap();
+        assert_eq!(id.rank(), 2);
+        let zero = DenseParityCheck::from_rows(vec![vec![0, 0], vec![0, 0]]).unwrap();
+        assert_eq!(zero.rank(), 0);
+    }
+
+    #[test]
+    fn syndrome_matches_hand_computation() {
+        let h = DenseParityCheck::from_rows(vec![vec![1, 1, 0], vec![0, 1, 1]]).unwrap();
+        assert_eq!(h.syndrome(&[1, 1, 0]).unwrap(), vec![0, 1]);
+        assert_eq!(h.syndrome(&[1, 1, 1]).unwrap(), vec![0, 0]);
+        assert!(h.is_codeword(&[1, 1, 1]).unwrap());
+        assert!(h.syndrome(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn dense_expansion_agrees_with_sparse_views() {
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R5_6, 576)
+            .build()
+            .unwrap();
+        let dense = DenseParityCheck::from_qc(&code);
+        assert_eq!(dense.num_rows(), code.m());
+        assert_eq!(dense.num_cols(), code.n());
+        assert_eq!(dense.nnz(), code.num_edges());
+        for row in (0..code.m()).step_by(17) {
+            let neighbors = code.row_neighbors(row);
+            for col in 0..code.n() {
+                let expected = u8::from(neighbors.contains(&col));
+                assert_eq!(dense.get(row, col), expected);
+            }
+        }
+        assert!(dense.density() < 0.2, "LDPC matrix should be sparse");
+    }
+
+    #[test]
+    fn qc_code_parity_checks_have_full_or_near_full_rank() {
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap();
+        let dense = DenseParityCheck::from_qc(&code);
+        // The dual-diagonal construction guarantees full row rank.
+        assert_eq!(dense.rank(), code.m());
+    }
+}

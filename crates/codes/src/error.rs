@@ -1,0 +1,121 @@
+//! Error type shared by the code-construction crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing, expanding, encoding or validating a
+/// quasi-cyclic LDPC code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// The requested (standard, rate, length) combination is not part of the
+    /// supported mode set.
+    UnsupportedCode {
+        /// Human-readable description of the requested mode.
+        requested: String,
+    },
+    /// A shift value was out of range for the sub-matrix size.
+    ShiftOutOfRange {
+        /// Offending shift value.
+        shift: u32,
+        /// Sub-matrix size `z`.
+        z: usize,
+    },
+    /// Base-matrix dimensions are inconsistent with the supplied entries.
+    DimensionMismatch {
+        /// Expected number of entries (`rows * cols`).
+        expected: usize,
+        /// Number of entries actually supplied.
+        actual: usize,
+    },
+    /// The sub-matrix size must be strictly positive.
+    InvalidSubMatrixSize {
+        /// The offending value.
+        z: usize,
+    },
+    /// The information word handed to the encoder has the wrong length.
+    InfoLengthMismatch {
+        /// Expected number of information bits.
+        expected: usize,
+        /// Number supplied.
+        actual: usize,
+    },
+    /// The codeword handed to a checker has the wrong length.
+    CodewordLengthMismatch {
+        /// Expected codeword length `n`.
+        expected: usize,
+        /// Number supplied.
+        actual: usize,
+    },
+    /// The parity part of the base matrix does not have the dual-diagonal
+    /// structure required by the systematic back-substitution encoder.
+    NotEncodable {
+        /// Explanation of the structural violation.
+        reason: String,
+    },
+    /// A base matrix failed structural validation.
+    InvalidBaseMatrix {
+        /// Explanation of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::UnsupportedCode { requested } => {
+                write!(f, "unsupported code mode: {requested}")
+            }
+            CodeError::ShiftOutOfRange { shift, z } => {
+                write!(f, "circulant shift {shift} out of range for sub-matrix size {z}")
+            }
+            CodeError::DimensionMismatch { expected, actual } => {
+                write!(f, "base matrix expected {expected} entries, got {actual}")
+            }
+            CodeError::InvalidSubMatrixSize { z } => {
+                write!(f, "invalid sub-matrix size {z}")
+            }
+            CodeError::InfoLengthMismatch { expected, actual } => {
+                write!(f, "information word length mismatch: expected {expected}, got {actual}")
+            }
+            CodeError::CodewordLengthMismatch { expected, actual } => {
+                write!(f, "codeword length mismatch: expected {expected}, got {actual}")
+            }
+            CodeError::NotEncodable { reason } => {
+                write!(f, "parity structure is not encodable: {reason}")
+            }
+            CodeError::InvalidBaseMatrix { reason } => {
+                write!(f, "invalid base matrix: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CodeError::InvalidSubMatrixSize { z: 0 };
+        let s = e.to_string();
+        assert!(s.starts_with("invalid"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodeError>();
+    }
+
+    #[test]
+    fn unsupported_code_mentions_request() {
+        let e = CodeError::UnsupportedCode {
+            requested: "802.16e rate 7/8 n=1000".to_string(),
+        };
+        assert!(e.to_string().contains("rate 7/8"));
+    }
+}

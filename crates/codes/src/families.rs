@@ -1,0 +1,206 @@
+//! Per-standard code families (Table 1 of the paper).
+//!
+//! Each family module exposes a `build(rate, z)` constructor and the family's
+//! design parameters. The constructions are standard-compatible synthetic
+//! matrices (see [`crate::construction`]); the structural parameters match
+//! Table 1 of the paper exactly.
+
+use crate::construction::ConstructionParams;
+use crate::error::CodeError;
+use crate::qc::QcCode;
+use crate::standard::{CodeRate, Standard};
+use crate::Result;
+
+/// Design parameters of one code family — the contents of one column of
+/// Table 1 in the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyDesignParameters {
+    /// The standard family.
+    pub standard: Standard,
+    /// Minimum number of block rows `j`.
+    pub j_min: usize,
+    /// Maximum number of block rows `j`.
+    pub j_max: usize,
+    /// Number of block columns `k`.
+    pub k: usize,
+    /// Smallest sub-matrix size `z`.
+    pub z_min: usize,
+    /// Largest sub-matrix size `z`.
+    pub z_max: usize,
+    /// Number of distinct sub-matrix sizes defined by the family.
+    pub num_sub_matrix_sizes: usize,
+}
+
+/// Collects the design parameters of a family (one column of Table 1).
+#[must_use]
+pub fn design_parameters(standard: Standard) -> FamilyDesignParameters {
+    let (j_min, j_max) = standard.block_row_range();
+    let sizes = standard.sub_matrix_sizes();
+    FamilyDesignParameters {
+        standard,
+        j_min,
+        j_max,
+        k: standard.block_cols(),
+        z_min: *sizes.first().expect("non-empty"),
+        z_max: *sizes.last().expect("non-empty"),
+        num_sub_matrix_sizes: sizes.len(),
+    }
+}
+
+fn build_for(standard: Standard, rate: CodeRate, z: usize) -> Result<QcCode> {
+    if !standard.sub_matrix_sizes().contains(&z) || !standard.rates().contains(&rate) {
+        return Err(CodeError::UnsupportedCode {
+            requested: format!("{} rate {rate} z={z}", standard.short_name()),
+        });
+    }
+    ConstructionParams::for_mode(standard, rate).build_code(z)
+}
+
+/// IEEE 802.11n (WLAN) class codes: `k = 24`, `z ∈ {27, 54, 81}`.
+pub mod wifi {
+    use super::*;
+
+    /// Builds the 802.11n-class code with the given rate and sub-matrix size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnsupportedCode`] for `(rate, z)` combinations not
+    /// defined by the family.
+    pub fn build(rate: CodeRate, z: usize) -> Result<QcCode> {
+        build_for(Standard::Wifi80211n, rate, z)
+    }
+
+    /// The family design parameters (Table 1 column "WLAN-802.11n").
+    #[must_use]
+    pub fn design_parameters() -> FamilyDesignParameters {
+        super::design_parameters(Standard::Wifi80211n)
+    }
+
+    /// The codeword lengths (in bits) defined by the family.
+    #[must_use]
+    pub fn codeword_lengths() -> Vec<usize> {
+        Standard::Wifi80211n
+            .sub_matrix_sizes()
+            .into_iter()
+            .map(|z| z * Standard::Wifi80211n.block_cols())
+            .collect()
+    }
+}
+
+/// IEEE 802.16e (WiMax) class codes: `k = 24`, 19 sub-matrix sizes
+/// `z ∈ {24, 28, …, 96}`.
+pub mod wimax {
+    use super::*;
+
+    /// Builds the 802.16e-class code with the given rate and sub-matrix size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnsupportedCode`] for `(rate, z)` combinations not
+    /// defined by the family.
+    pub fn build(rate: CodeRate, z: usize) -> Result<QcCode> {
+        build_for(Standard::Wimax80216e, rate, z)
+    }
+
+    /// The family design parameters (Table 1 column "WiMax-802.16e").
+    #[must_use]
+    pub fn design_parameters() -> FamilyDesignParameters {
+        super::design_parameters(Standard::Wimax80216e)
+    }
+
+    /// The codeword lengths (in bits) defined by the family: 576 … 2304.
+    #[must_use]
+    pub fn codeword_lengths() -> Vec<usize> {
+        Standard::Wimax80216e
+            .sub_matrix_sizes()
+            .into_iter()
+            .map(|z| z * Standard::Wimax80216e.block_cols())
+            .collect()
+    }
+}
+
+/// DMB-T class codes: `k = 60`, `z = 127`, `j ∈ {24, 36, 48}`.
+pub mod dmbt {
+    use super::*;
+
+    /// Builds the DMB-T-class code with the given rate (the family has a
+    /// single sub-matrix size, `z = 127`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnsupportedCode`] for `(rate, z)` combinations not
+    /// defined by the family.
+    pub fn build(rate: CodeRate, z: usize) -> Result<QcCode> {
+        build_for(Standard::DmbT, rate, z)
+    }
+
+    /// The family design parameters (Table 1 column "DMB-T").
+    #[must_use]
+    pub fn design_parameters() -> FamilyDesignParameters {
+        super::design_parameters(Standard::DmbT)
+    }
+
+    /// The codeword length (in bits) of the family: `60 · 127 = 7620`.
+    #[must_use]
+    pub fn codeword_lengths() -> Vec<usize> {
+        vec![60 * 127]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_wifi_column() {
+        let p = wifi::design_parameters();
+        assert_eq!((p.j_min, p.j_max), (4, 12));
+        assert_eq!(p.k, 24);
+        assert_eq!((p.z_min, p.z_max), (27, 81));
+        assert_eq!(wifi::codeword_lengths(), vec![648, 1296, 1944]);
+    }
+
+    #[test]
+    fn table1_wimax_column() {
+        let p = wimax::design_parameters();
+        assert_eq!((p.j_min, p.j_max), (4, 12));
+        assert_eq!(p.k, 24);
+        assert_eq!((p.z_min, p.z_max), (24, 96));
+        assert_eq!(p.num_sub_matrix_sizes, 19);
+        let lengths = wimax::codeword_lengths();
+        assert_eq!(lengths.first(), Some(&576));
+        assert_eq!(lengths.last(), Some(&2304));
+    }
+
+    #[test]
+    fn table1_dmbt_column() {
+        let p = dmbt::design_parameters();
+        assert_eq!((p.j_min, p.j_max), (24, 48));
+        assert_eq!(p.k, 60);
+        assert_eq!((p.z_min, p.z_max), (127, 127));
+        assert_eq!(dmbt::codeword_lengths(), vec![7620]);
+    }
+
+    #[test]
+    fn family_builders_validate_inputs() {
+        assert!(wifi::build(CodeRate::R1_2, 27).is_ok());
+        assert!(wifi::build(CodeRate::R1_2, 24).is_err());
+        assert!(wimax::build(CodeRate::R3_4, 96).is_ok());
+        assert!(wimax::build(CodeRate::R3_5, 96).is_err());
+        assert!(dmbt::build(CodeRate::R3_5, 127).is_ok());
+        assert!(dmbt::build(CodeRate::R3_5, 96).is_err());
+    }
+
+    #[test]
+    fn built_codes_have_family_structure() {
+        let c = wimax::build(CodeRate::R1_2, 96).unwrap();
+        assert_eq!(c.n(), 2304);
+        assert_eq!(c.block_rows(), 12);
+        let c = wifi::build(CodeRate::R5_6, 81).unwrap();
+        assert_eq!(c.n(), 1944);
+        assert_eq!(c.block_rows(), 4);
+        let c = dmbt::build(CodeRate::R2_5, 127).unwrap();
+        assert_eq!(c.n(), 7620);
+        assert_eq!(c.block_rows(), 36);
+    }
+}

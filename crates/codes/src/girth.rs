@@ -1,0 +1,192 @@
+//! Short-cycle analysis of quasi-cyclic LDPC codes.
+//!
+//! Cycles of length 4 in the Tanner graph degrade belief-propagation
+//! performance because messages become correlated after a single iteration.
+//! For quasi-cyclic codes the 4-cycle condition can be checked directly on the
+//! base matrix: two block rows `r₁, r₂` that share two block columns `c₁, c₂`
+//! contribute `z` 4-cycles iff
+//!
+//! ```text
+//! s(r₁,c₁) − s(r₂,c₁) + s(r₂,c₂) − s(r₁,c₂) ≡ 0  (mod z)
+//! ```
+//!
+//! The synthetic code constructions in this crate use this check to avoid
+//! 4-cycles where the degree distribution permits.
+
+use crate::base_matrix::BaseMatrix;
+use crate::qc::QcCode;
+
+/// Result of a short-cycle scan over a quasi-cyclic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleReport {
+    /// Number of block-level 4-cycle configurations found (each corresponds to
+    /// `z` cycles in the expanded graph).
+    pub four_cycle_blocks: usize,
+    /// Number of row-pair/column-pair combinations examined.
+    pub checked_combinations: usize,
+}
+
+impl CycleReport {
+    /// Whether the code is free of length-4 cycles.
+    #[must_use]
+    pub fn is_four_cycle_free(&self) -> bool {
+        self.four_cycle_blocks == 0
+    }
+
+    /// Number of 4-cycles in the expanded Tanner graph.
+    #[must_use]
+    pub fn expanded_four_cycles(&self, z: usize) -> usize {
+        self.four_cycle_blocks * z
+    }
+}
+
+/// Checks whether placing shift `shift` at `(row, col)` of `base` would create
+/// a 4-cycle with the entries already present, for expansion size `z`.
+///
+/// Used incrementally by the code constructor.
+#[must_use]
+pub fn placement_creates_four_cycle(
+    base: &BaseMatrix,
+    row: usize,
+    col: usize,
+    shift: u32,
+    z: usize,
+) -> bool {
+    let z = z as i64;
+    for other_row in 0..base.rows() {
+        if other_row == row {
+            continue;
+        }
+        let Some(s_other_col) = base.get(other_row, col) else {
+            continue;
+        };
+        // Both rows have an entry in `col`; look for a second shared column.
+        for other_col in 0..base.cols() {
+            if other_col == col {
+                continue;
+            }
+            let (Some(s_row_oc), Some(s_other_oc)) =
+                (base.get(row, other_col), base.get(other_row, other_col))
+            else {
+                continue;
+            };
+            let delta = (shift as i64 - s_other_col as i64) + (s_other_oc as i64 - s_row_oc as i64);
+            if delta.rem_euclid(z) == 0 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Scans the whole code for block-level 4-cycles.
+#[must_use]
+pub fn count_four_cycles(code: &QcCode) -> CycleReport {
+    let base = code.base();
+    let z = code.z() as i64;
+    let mut report = CycleReport::default();
+    for r1 in 0..base.rows() {
+        for r2 in (r1 + 1)..base.rows() {
+            // Columns shared by both rows.
+            let shared: Vec<(usize, u32, u32)> = (0..base.cols())
+                .filter_map(|c| match (base.get(r1, c), base.get(r2, c)) {
+                    (Some(a), Some(b)) => Some((c, a, b)),
+                    _ => None,
+                })
+                .collect();
+            for i in 0..shared.len() {
+                for jdx in (i + 1)..shared.len() {
+                    report.checked_combinations += 1;
+                    let (_, a1, b1) = shared[i];
+                    let (_, a2, b2) = shared[jdx];
+                    let delta = (a1 as i64 - b1 as i64) + (b2 as i64 - a2 as i64);
+                    if delta.rem_euclid(z) == 0 {
+                        report.four_cycle_blocks += 1;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::{CodeId, CodeRate, CodeSpec, Standard};
+
+    fn code_with_shifts(entries: Vec<Option<u32>>, rows: usize, cols: usize, z: usize) -> QcCode {
+        let base = BaseMatrix::new(rows, cols, z, entries).unwrap();
+        let spec = CodeSpec {
+            standard: Standard::Wimax80216e,
+            rate: CodeRate::R1_2,
+            z,
+            block_rows: rows,
+            block_cols: cols,
+        };
+        QcCode::from_parts(spec, base).unwrap()
+    }
+
+    #[test]
+    fn detects_a_deliberate_four_cycle() {
+        // Two rows sharing two columns with identical shifts => 4-cycle.
+        let code = code_with_shifts(
+            vec![Some(1), Some(2), Some(0), Some(1), Some(2), Some(0)],
+            2,
+            3,
+            4,
+        );
+        let report = count_four_cycles(&code);
+        assert!(!report.is_four_cycle_free());
+        assert!(report.four_cycle_blocks >= 1);
+        assert_eq!(report.expanded_four_cycles(4), report.four_cycle_blocks * 4);
+    }
+
+    #[test]
+    fn shift_offset_breaks_the_cycle() {
+        // Same support but shifts chosen so the cycle condition fails.
+        let code = code_with_shifts(
+            vec![Some(1), Some(2), Some(0), Some(0), Some(3), Some(2)],
+            2,
+            3,
+            4,
+        );
+        let report = count_four_cycles(&code);
+        assert_eq!(report.four_cycle_blocks, 0);
+        assert!(report.checked_combinations > 0);
+        assert!(report.is_four_cycle_free());
+    }
+
+    #[test]
+    fn placement_check_agrees_with_full_scan() {
+        let mut base = BaseMatrix::empty(2, 3, 4).unwrap();
+        base.set(0, 0, Some(1)).unwrap();
+        base.set(0, 1, Some(2)).unwrap();
+        base.set(1, 0, Some(1)).unwrap();
+        // Placing shift 2 at (1,1) completes a 4-cycle (delta = 0).
+        assert!(placement_creates_four_cycle(&base, 1, 1, 2, 4));
+        // Placing shift 3 does not.
+        assert!(!placement_creates_four_cycle(&base, 1, 1, 3, 4));
+    }
+
+    #[test]
+    fn generated_standard_codes_have_few_four_cycles() {
+        for id in [
+            CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+            CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648),
+        ] {
+            let code = id.build().unwrap();
+            let report = count_four_cycles(&code);
+            // The information part is constructed with 4-cycle avoidance; a
+            // handful may remain from the dual-diagonal parity interaction or
+            // after shift scaling, but the count must be small relative to E².
+            let budget = code.nnz_blocks();
+            assert!(
+                report.four_cycle_blocks <= budget / 10,
+                "{id}: {} four-cycle blocks exceeds budget {}",
+                report.four_cycle_blocks,
+                budget / 10
+            );
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Expanded quasi-cyclic LDPC code.
+//!
+//! [`QcCode`] couples a [`BaseMatrix`] (already expressed for the target
+//! sub-matrix size `z`) with the structural parameters of the mode it
+//! implements, and provides the expanded-graph views needed by encoders,
+//! decoders and the architecture model: per-layer block entries, per-row
+//! neighbour lists and syndrome checks.
+
+use crate::base_matrix::BaseMatrix;
+use crate::error::CodeError;
+use crate::layers::{Layer, LayerEntry};
+use crate::standard::CodeSpec;
+use crate::Result;
+
+/// A fully specified quasi-cyclic block-structured LDPC code.
+///
+/// The expanded parity-check matrix has `m = j·z` rows and `n = k·z` columns.
+/// Row `l·z + r` (row `r` of layer `l`) has a 1 in column `c·z + ((r + s) mod z)`
+/// for every non-zero block `(l, c)` with shift `s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QcCode {
+    spec: CodeSpec,
+    base: BaseMatrix,
+    layers: Vec<Layer>,
+}
+
+impl QcCode {
+    /// Builds a code from its spec and a base matrix already scaled to
+    /// `spec.z`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::DimensionMismatch`] if the base matrix dimensions do not
+    ///   match `spec.block_rows × spec.block_cols`.
+    /// * [`CodeError::InvalidSubMatrixSize`] if the base matrix design `z`
+    ///   differs from `spec.z`.
+    /// * [`CodeError::InvalidBaseMatrix`] if structural validation fails.
+    pub fn from_parts(spec: CodeSpec, base: BaseMatrix) -> Result<Self> {
+        if base.rows() != spec.block_rows || base.cols() != spec.block_cols {
+            return Err(CodeError::DimensionMismatch {
+                expected: spec.block_rows * spec.block_cols,
+                actual: base.rows() * base.cols(),
+            });
+        }
+        if base.design_z() != spec.z {
+            return Err(CodeError::InvalidSubMatrixSize { z: base.design_z() });
+        }
+        base.validate()?;
+        let layers = (0..spec.block_rows)
+            .map(|l| Layer {
+                index: l,
+                entries: (0..spec.block_cols)
+                    .filter_map(|c| {
+                        base.get(l, c).map(|shift| LayerEntry {
+                            block_col: c,
+                            shift: shift as usize,
+                        })
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(QcCode { spec, base, layers })
+    }
+
+    /// Structural parameters of this code.
+    #[must_use]
+    pub fn spec(&self) -> &CodeSpec {
+        &self.spec
+    }
+
+    /// The underlying base matrix (scaled to `z`).
+    #[must_use]
+    pub fn base(&self) -> &BaseMatrix {
+        &self.base
+    }
+
+    /// Codeword length `n = k·z` in bits.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.spec.n()
+    }
+
+    /// Number of parity checks `m = j·z`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.spec.m()
+    }
+
+    /// Number of information bits `n − m`.
+    #[must_use]
+    pub fn info_bits(&self) -> usize {
+        self.spec.info_bits()
+    }
+
+    /// Sub-matrix (circulant) size `z`. This is also the parallelism factor of
+    /// the block-serial schedule.
+    #[must_use]
+    pub fn z(&self) -> usize {
+        self.spec.z
+    }
+
+    /// Number of block rows (layers) `j`.
+    #[must_use]
+    pub fn block_rows(&self) -> usize {
+        self.spec.block_rows
+    }
+
+    /// Number of block columns `k`.
+    #[must_use]
+    pub fn block_cols(&self) -> usize {
+        self.spec.block_cols
+    }
+
+    /// Number of non-zero `z × z` blocks `E` in `H`. The paper's throughput
+    /// expression `2·k·z·R·f / (E·I)` uses this quantity.
+    #[must_use]
+    pub fn nnz_blocks(&self) -> usize {
+        self.base.nnz_blocks()
+    }
+
+    /// Total number of edges (non-zero entries) in the expanded matrix,
+    /// `E · z`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.nnz_blocks() * self.z()
+    }
+
+    /// Design code rate `(n − m)/n`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.spec.design_rate()
+    }
+
+    /// The layers (block rows) of this code, in natural order.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// One layer by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= block_rows()`.
+    #[must_use]
+    pub fn layer(&self, index: usize) -> &Layer {
+        &self.layers[index]
+    }
+
+    /// Check-node degree `d_m` of the expanded rows in layer `l` (all rows in
+    /// a layer have the same degree).
+    #[must_use]
+    pub fn layer_degree(&self, l: usize) -> usize {
+        self.layers[l].weight()
+    }
+
+    /// Maximum check-node degree over all layers.
+    #[must_use]
+    pub fn max_layer_degree(&self) -> usize {
+        self.layers.iter().map(Layer::weight).max().unwrap_or(0)
+    }
+
+    /// Columns of the expanded matrix connected to expanded check row `row`
+    /// (`0 ≤ row < m`), in the order of the layer's block entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= m()`.
+    #[must_use]
+    pub fn row_neighbors(&self, row: usize) -> Vec<usize> {
+        assert!(row < self.m(), "check row {row} out of range");
+        let z = self.z();
+        let layer = &self.layers[row / z];
+        let r = row % z;
+        layer
+            .entries
+            .iter()
+            .map(|e| e.block_col * z + (r + e.shift) % z)
+            .collect()
+    }
+
+    /// Expanded check rows connected to expanded column `col` (`0 ≤ col < n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= n()`.
+    #[must_use]
+    pub fn col_neighbors(&self, col: usize) -> Vec<usize> {
+        assert!(col < self.n(), "column {col} out of range");
+        let z = self.z();
+        let block_col = col / z;
+        let within = col % z;
+        let mut rows = Vec::new();
+        for layer in &self.layers {
+            for e in &layer.entries {
+                if e.block_col == block_col {
+                    // Row r connects to column offset (r + shift) mod z, so the
+                    // row connected to `within` is (within - shift) mod z.
+                    let r = (within + z - e.shift % z) % z;
+                    rows.push(layer.index * z + r);
+                }
+            }
+        }
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Computes the syndrome `H·xᵀ` of a candidate codeword (one bit per
+    /// element, values 0/1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::CodewordLengthMismatch`] if `x.len() != n`.
+    pub fn syndrome(&self, x: &[u8]) -> Result<Vec<u8>> {
+        if x.len() != self.n() {
+            return Err(CodeError::CodewordLengthMismatch {
+                expected: self.n(),
+                actual: x.len(),
+            });
+        }
+        let z = self.z();
+        let mut syndrome = vec![0u8; self.m()];
+        for layer in &self.layers {
+            for r in 0..z {
+                let row = layer.index * z + r;
+                let mut parity = 0u8;
+                for e in &layer.entries {
+                    let col = e.block_col * z + (r + e.shift) % z;
+                    parity ^= x[col] & 1;
+                }
+                syndrome[row] = parity;
+            }
+        }
+        Ok(syndrome)
+    }
+
+    /// Whether `x` is a valid codeword (`H·xᵀ = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::CodewordLengthMismatch`] if `x.len() != n`.
+    pub fn is_codeword(&self, x: &[u8]) -> Result<bool> {
+        Ok(self.syndrome(x)?.iter().all(|&s| s == 0))
+    }
+
+    /// Variable-node degree of every bit in block column `c` (equal for all
+    /// bits in the column).
+    #[must_use]
+    pub fn block_col_degree(&self, c: usize) -> usize {
+        self.base.col_weight(c)
+    }
+
+    /// Mean variable-node degree over the whole code.
+    #[must_use]
+    pub fn mean_variable_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.n() as f64
+    }
+
+    /// Mean check-node degree over the whole code.
+    #[must_use]
+    pub fn mean_check_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.m() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::{CodeId, CodeRate, CodeSpec, Standard};
+
+    fn tiny_code() -> QcCode {
+        // 2 layers x 4 block cols, z = 4, hand-built.
+        let base = BaseMatrix::new(
+            2,
+            4,
+            4,
+            vec![
+                Some(1),
+                Some(0),
+                Some(2),
+                None,
+                Some(3),
+                Some(2),
+                None,
+                Some(0),
+            ],
+        )
+        .unwrap();
+        let spec = CodeSpec {
+            standard: Standard::Wimax80216e,
+            rate: CodeRate::R1_2,
+            z: 4,
+            block_rows: 2,
+            block_cols: 4,
+        };
+        QcCode::from_parts(spec, base).unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let code = tiny_code();
+        assert_eq!(code.n(), 16);
+        assert_eq!(code.m(), 8);
+        assert_eq!(code.info_bits(), 8);
+        assert_eq!(code.z(), 4);
+        assert_eq!(code.nnz_blocks(), 6);
+        assert_eq!(code.num_edges(), 24);
+        assert_eq!(code.block_rows(), 2);
+        assert_eq!(code.block_cols(), 4);
+        assert!((code.rate() - 0.5).abs() < 1e-12);
+        assert_eq!(code.max_layer_degree(), 3);
+        assert!((code.mean_check_degree() - 3.0).abs() < 1e-12);
+        assert!((code.mean_variable_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_neighbors_follow_shift_convention() {
+        let code = tiny_code();
+        // Layer 0, row 0: entries (col 0, shift 1), (col 1, shift 0), (col 2, shift 2).
+        assert_eq!(code.row_neighbors(0), vec![1, 4, 10]);
+        // Layer 0, row 3: shifts wrap modulo z = 4.
+        assert_eq!(code.row_neighbors(3), vec![0, 7, 9]);
+        // Layer 1, row 0: entries (col 0, shift 3), (col 1, shift 2), (col 3, shift 0).
+        assert_eq!(code.row_neighbors(4), vec![3, 6, 12]);
+    }
+
+    #[test]
+    fn col_neighbors_are_transpose_of_row_neighbors() {
+        let code = tiny_code();
+        for row in 0..code.m() {
+            for &col in &code.row_neighbors(row) {
+                assert!(
+                    code.col_neighbors(col).contains(&row),
+                    "row {row} lists col {col} but not vice versa"
+                );
+            }
+        }
+        for col in 0..code.n() {
+            for &row in &code.col_neighbors(col) {
+                assert!(code.row_neighbors(row).contains(&col));
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_match_base_matrix() {
+        let code = tiny_code();
+        assert_eq!(code.block_col_degree(0), 2);
+        assert_eq!(code.block_col_degree(2), 1);
+        assert_eq!(code.layer_degree(0), 3);
+        for row in 0..code.m() {
+            let layer = row / code.z();
+            assert_eq!(code.row_neighbors(row).len(), code.layer_degree(layer));
+        }
+    }
+
+    #[test]
+    fn syndrome_of_zero_word_is_zero() {
+        let code = tiny_code();
+        let zero = vec![0u8; code.n()];
+        assert!(code.is_codeword(&zero).unwrap());
+    }
+
+    #[test]
+    fn syndrome_flags_single_bit_flip() {
+        let code = tiny_code();
+        let mut x = vec![0u8; code.n()];
+        x[5] = 1;
+        let syn = code.syndrome(&x).unwrap();
+        let weight: usize = syn.iter().map(|&s| s as usize).sum();
+        assert_eq!(weight, code.col_neighbors(5).len());
+        assert!(!code.is_codeword(&x).unwrap());
+    }
+
+    #[test]
+    fn syndrome_rejects_wrong_length() {
+        let code = tiny_code();
+        assert!(matches!(
+            code.syndrome(&[0u8; 3]),
+            Err(CodeError::CodewordLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_dimensions() {
+        let base = BaseMatrix::empty(2, 4, 4).unwrap();
+        let spec = CodeSpec {
+            standard: Standard::Wimax80216e,
+            rate: CodeRate::R1_2,
+            z: 4,
+            block_rows: 3,
+            block_cols: 4,
+        };
+        assert!(QcCode::from_parts(spec, base).is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_z() {
+        let base = BaseMatrix::empty(2, 4, 8).unwrap();
+        let spec = CodeSpec {
+            standard: Standard::Wimax80216e,
+            rate: CodeRate::R1_2,
+            z: 4,
+            block_rows: 2,
+            block_cols: 4,
+        };
+        assert!(QcCode::from_parts(spec, base).is_err());
+    }
+
+    #[test]
+    fn built_standard_code_has_consistent_views() {
+        let code = CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648)
+            .build()
+            .unwrap();
+        assert_eq!(code.n(), 648);
+        assert_eq!(code.z(), 27);
+        assert_eq!(code.block_rows(), 12);
+        // Every expanded row degree matches its layer weight.
+        for row in (0..code.m()).step_by(53) {
+            assert_eq!(
+                code.row_neighbors(row).len(),
+                code.layer_degree(row / code.z())
+            );
+        }
+        // Edge count consistency.
+        let total_from_cols: usize = (0..code.block_cols())
+            .map(|c| code.block_col_degree(c) * code.z())
+            .sum();
+        assert_eq!(total_from_cols, code.num_edges());
+    }
+}

@@ -1,0 +1,412 @@
+//! Standard families, code rates and code identifiers.
+//!
+//! The decoder of the paper is *multi-standard*: it can be dynamically
+//! reconfigured to decode block-structured LDPC codes from IEEE 802.11n,
+//! IEEE 802.16e and (by extension of the same architecture) DMB-T. The types
+//! in this module name the supported modes.
+
+use std::fmt;
+
+use crate::error::CodeError;
+use crate::qc::QcCode;
+use crate::Result;
+
+/// Wireless standard families whose block-structured LDPC codes the decoder
+/// supports (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Standard {
+    /// IEEE 802.11n wireless LAN: `k = 24`, `z ∈ {27, 54, 81}`.
+    Wifi80211n,
+    /// IEEE 802.16e (WiMax): `k = 24`, `z ∈ {24, 28, …, 96}` (19 sizes).
+    Wimax80216e,
+    /// DMB-T (terrestrial digital multimedia broadcast): `k = 60`, `z = 127`.
+    DmbT,
+}
+
+impl Standard {
+    /// All supported standards, in the order they are listed in Table 1.
+    pub const ALL: [Standard; 3] = [Standard::Wifi80211n, Standard::Wimax80216e, Standard::DmbT];
+
+    /// Number of block columns `k` used by this family.
+    #[must_use]
+    pub fn block_cols(self) -> usize {
+        match self {
+            Standard::Wifi80211n | Standard::Wimax80216e => 24,
+            Standard::DmbT => 60,
+        }
+    }
+
+    /// The sub-matrix sizes `z` defined by this family, ascending.
+    #[must_use]
+    pub fn sub_matrix_sizes(self) -> Vec<usize> {
+        match self {
+            Standard::Wifi80211n => vec![27, 54, 81],
+            // 19 sizes: 24, 28, 32, …, 96 (step 4).
+            Standard::Wimax80216e => (0..19).map(|i| 24 + 4 * i).collect(),
+            Standard::DmbT => vec![127],
+        }
+    }
+
+    /// The range of block rows `j` this family uses, `(min, max)`.
+    #[must_use]
+    pub fn block_row_range(self) -> (usize, usize) {
+        match self {
+            Standard::Wifi80211n | Standard::Wimax80216e => (4, 12),
+            Standard::DmbT => (24, 48),
+        }
+    }
+
+    /// The code rates supported for this family by this reproduction.
+    #[must_use]
+    pub fn rates(self) -> Vec<CodeRate> {
+        match self {
+            Standard::Wifi80211n | Standard::Wimax80216e => {
+                vec![CodeRate::R1_2, CodeRate::R2_3, CodeRate::R3_4, CodeRate::R5_6]
+            }
+            Standard::DmbT => vec![CodeRate::R1_5, CodeRate::R2_5, CodeRate::R3_5],
+        }
+    }
+
+    /// Short display name used in reports (`"802.11n"`, `"802.16e"`, `"DMB-T"`).
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Standard::Wifi80211n => "802.11n",
+            Standard::Wimax80216e => "802.16e",
+            Standard::DmbT => "DMB-T",
+        }
+    }
+}
+
+impl fmt::Display for Standard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Standard::Wifi80211n => write!(f, "IEEE 802.11n (WLAN)"),
+            Standard::Wimax80216e => write!(f, "IEEE 802.16e (WiMax)"),
+            Standard::DmbT => write!(f, "DMB-T"),
+        }
+    }
+}
+
+/// Code rate of a block-structured LDPC code.
+///
+/// The rate fixes the number of block rows: `j = k · (1 − R)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum CodeRate {
+    /// Rate 1/5 (DMB-T class, `j = 48` of `k = 60`).
+    R1_5,
+    /// Rate 2/5 (DMB-T class, `j = 36` of `k = 60`).
+    R2_5,
+    /// Rate 3/5 (DMB-T class, `j = 24` of `k = 60`).
+    R3_5,
+    /// Rate 1/2 (`j = 12` of `k = 24`).
+    R1_2,
+    /// Rate 2/3 (`j = 8` of `k = 24`).
+    R2_3,
+    /// Rate 3/4 (`j = 6` of `k = 24`).
+    R3_4,
+    /// Rate 5/6 (`j = 4` of `k = 24`).
+    R5_6,
+}
+
+impl CodeRate {
+    /// The rate as a reduced fraction `(numerator, denominator)`.
+    #[must_use]
+    pub fn as_fraction(self) -> (usize, usize) {
+        match self {
+            CodeRate::R1_5 => (1, 5),
+            CodeRate::R2_5 => (2, 5),
+            CodeRate::R3_5 => (3, 5),
+            CodeRate::R1_2 => (1, 2),
+            CodeRate::R2_3 => (2, 3),
+            CodeRate::R3_4 => (3, 4),
+            CodeRate::R5_6 => (5, 6),
+        }
+    }
+
+    /// The rate as a floating-point value in `(0, 1)`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        let (num, den) = self.as_fraction();
+        num as f64 / den as f64
+    }
+
+    /// Number of block rows `j` for a family with `k` block columns.
+    ///
+    /// Returns `None` if `k · (1 − R)` is not an integer.
+    #[must_use]
+    pub fn block_rows_for(self, block_cols: usize) -> Option<usize> {
+        let (num, den) = self.as_fraction();
+        let parity_num = block_cols * (den - num);
+        if parity_num.is_multiple_of(den) {
+            Some(parity_num / den)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for CodeRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (num, den) = self.as_fraction();
+        write!(f, "{num}/{den}")
+    }
+}
+
+/// Identifier of one decodable mode: a `(standard, rate, codeword length)`
+/// triple, e.g. *WiMax, rate 1/2, 2304 bits*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeId {
+    /// Standard family.
+    pub standard: Standard,
+    /// Code rate.
+    pub rate: CodeRate,
+    /// Codeword length in bits (`n = k · z`).
+    pub n: usize,
+}
+
+impl CodeId {
+    /// Creates a new code identifier. The triple is validated lazily by
+    /// [`CodeId::build`].
+    #[must_use]
+    pub fn new(standard: Standard, rate: CodeRate, n: usize) -> Self {
+        CodeId { standard, rate, n }
+    }
+
+    /// The sub-matrix size `z = n / k` implied by this identifier, if `n` is a
+    /// multiple of the family's block-column count.
+    #[must_use]
+    pub fn sub_matrix_size(&self) -> Option<usize> {
+        let k = self.standard.block_cols();
+        if self.n.is_multiple_of(k) {
+            Some(self.n / k)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this identifier names a mode supported by the decoder.
+    #[must_use]
+    pub fn is_supported(&self) -> bool {
+        let Some(z) = self.sub_matrix_size() else {
+            return false;
+        };
+        self.standard.sub_matrix_sizes().contains(&z)
+            && self.standard.rates().contains(&self.rate)
+            && self.rate.block_rows_for(self.standard.block_cols()).is_some()
+    }
+
+    /// Builds the quasi-cyclic code for this mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnsupportedCode`] if the `(standard, rate, n)`
+    /// triple is not in the supported mode set.
+    pub fn build(&self) -> Result<QcCode> {
+        if !self.is_supported() {
+            return Err(CodeError::UnsupportedCode {
+                requested: self.to_string(),
+            });
+        }
+        let z = self.sub_matrix_size().expect("validated above");
+        match self.standard {
+            Standard::Wifi80211n => crate::wifi::build(self.rate, z),
+            Standard::Wimax80216e => crate::wimax::build(self.rate, z),
+            Standard::DmbT => crate::dmbt::build(self.rate, z),
+        }
+    }
+
+    /// Enumerates every supported mode of a standard family.
+    #[must_use]
+    pub fn all_modes(standard: Standard) -> Vec<CodeId> {
+        let k = standard.block_cols();
+        let mut out = Vec::new();
+        for rate in standard.rates() {
+            for z in standard.sub_matrix_sizes() {
+                let id = CodeId::new(standard, rate, k * z);
+                if id.is_supported() {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rate {} n={}", self.standard.short_name(), self.rate, self.n)
+    }
+}
+
+/// Structural parameters of one concrete code, carried by [`QcCode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeSpec {
+    /// Standard family this code belongs to.
+    pub standard: Standard,
+    /// Code rate.
+    pub rate: CodeRate,
+    /// Sub-matrix (circulant) size.
+    pub z: usize,
+    /// Number of block rows `j`.
+    pub block_rows: usize,
+    /// Number of block columns `k`.
+    pub block_cols: usize,
+}
+
+impl CodeSpec {
+    /// Codeword length in bits, `n = k · z`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.block_cols * self.z
+    }
+
+    /// Number of parity-check equations, `m = j · z`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.block_rows * self.z
+    }
+
+    /// Number of information bits, `n − m`.
+    #[must_use]
+    pub fn info_bits(&self) -> usize {
+        self.n() - self.m()
+    }
+
+    /// The design rate `(n − m) / n`.
+    #[must_use]
+    pub fn design_rate(&self) -> f64 {
+        self.info_bits() as f64 / self.n() as f64
+    }
+
+    /// The [`CodeId`] naming this mode.
+    #[must_use]
+    pub fn id(&self) -> CodeId {
+        CodeId::new(self.standard, self.rate, self.n())
+    }
+}
+
+impl fmt::Display for CodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rate {} (n={}, z={}, j={}, k={})",
+            self.standard.short_name(),
+            self.rate,
+            self.n(),
+            self.z,
+            self.block_rows,
+            self.block_cols
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wimax_has_19_sub_matrix_sizes() {
+        let sizes = Standard::Wimax80216e.sub_matrix_sizes();
+        assert_eq!(sizes.len(), 19);
+        assert_eq!(sizes.first(), Some(&24));
+        assert_eq!(sizes.last(), Some(&96));
+    }
+
+    #[test]
+    fn wifi_sizes_match_table1() {
+        assert_eq!(Standard::Wifi80211n.sub_matrix_sizes(), vec![27, 54, 81]);
+        assert_eq!(Standard::Wifi80211n.block_cols(), 24);
+    }
+
+    #[test]
+    fn dmbt_matches_table1() {
+        assert_eq!(Standard::DmbT.sub_matrix_sizes(), vec![127]);
+        assert_eq!(Standard::DmbT.block_cols(), 60);
+        assert_eq!(Standard::DmbT.block_row_range(), (24, 48));
+    }
+
+    #[test]
+    fn rate_fractions_and_block_rows() {
+        assert_eq!(CodeRate::R1_2.block_rows_for(24), Some(12));
+        assert_eq!(CodeRate::R2_3.block_rows_for(24), Some(8));
+        assert_eq!(CodeRate::R3_4.block_rows_for(24), Some(6));
+        assert_eq!(CodeRate::R5_6.block_rows_for(24), Some(4));
+        assert_eq!(CodeRate::R3_5.block_rows_for(60), Some(24));
+        assert_eq!(CodeRate::R2_5.block_rows_for(60), Some(36));
+        assert_eq!(CodeRate::R1_5.block_rows_for(60), Some(48));
+    }
+
+    #[test]
+    fn rate_value_is_consistent_with_fraction() {
+        for rate in [
+            CodeRate::R1_2,
+            CodeRate::R2_3,
+            CodeRate::R3_4,
+            CodeRate::R5_6,
+            CodeRate::R1_5,
+            CodeRate::R2_5,
+            CodeRate::R3_5,
+        ] {
+            let (num, den) = rate.as_fraction();
+            assert!((rate.value() - num as f64 / den as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn code_id_sub_matrix_size() {
+        let id = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2304);
+        assert_eq!(id.sub_matrix_size(), Some(96));
+        assert!(id.is_supported());
+        let bad = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2300);
+        assert_eq!(bad.sub_matrix_size(), None);
+        assert!(!bad.is_supported());
+    }
+
+    #[test]
+    fn unsupported_code_id_build_fails() {
+        let bad = CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 24 * 100);
+        assert!(matches!(bad.build(), Err(CodeError::UnsupportedCode { .. })));
+    }
+
+    #[test]
+    fn all_modes_enumerates_wifi() {
+        let modes = CodeId::all_modes(Standard::Wifi80211n);
+        // 4 rates × 3 expansion sizes.
+        assert_eq!(modes.len(), 12);
+        assert!(modes.iter().all(|m| m.is_supported()));
+    }
+
+    #[test]
+    fn all_modes_enumerates_wimax() {
+        let modes = CodeId::all_modes(Standard::Wimax80216e);
+        // 4 rates × 19 expansion sizes.
+        assert_eq!(modes.len(), 76);
+    }
+
+    #[test]
+    fn code_spec_arithmetic() {
+        let spec = CodeSpec {
+            standard: Standard::Wimax80216e,
+            rate: CodeRate::R1_2,
+            z: 96,
+            block_rows: 12,
+            block_cols: 24,
+        };
+        assert_eq!(spec.n(), 2304);
+        assert_eq!(spec.m(), 1152);
+        assert_eq!(spec.info_bits(), 1152);
+        assert!((spec.design_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(spec.id().n, 2304);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Standard::Wimax80216e.short_name(), "802.16e");
+        assert_eq!(format!("{}", CodeRate::R5_6), "5/6");
+        let id = CodeId::new(Standard::Wifi80211n, CodeRate::R3_4, 1944);
+        assert!(format!("{id}").contains("802.11n"));
+    }
+}

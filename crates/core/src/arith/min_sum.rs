@@ -1,0 +1,342 @@
+//! Min-Sum baseline arithmetic.
+//!
+//! The paper explicitly chooses *not* to use the "sub-optimal Min-Sum
+//! algorithm" and instead implements full BP with the ⊞/⊟ recursions. To make
+//! that comparison reproducible, this module implements the standard layered
+//! normalized Min-Sum check-node update (the algorithm used, e.g., by the
+//! WiMax decoder of reference [3]):
+//!
+//! ```text
+//! Λ_mn = α · Π_{j≠n} sign(λ_mj) · min_{j≠n} |λ_mj|
+//! ```
+//!
+//! with normalization factor `α` (default 0.75, realised as `x − x/4` in
+//! hardware).
+
+use super::DecoderArithmetic;
+use crate::boxplus::FLOAT_CLAMP;
+use crate::fixedpoint::FixedFormat;
+
+/// Computes, for each position, the minimum magnitude of the *other* entries
+/// and the product of the *other* signs, using the two-minima trick.
+fn min_sum_core<T, FAbs, FNeg>(
+    lambdas: &[T],
+    abs: FAbs,
+    is_neg: FNeg,
+) -> (Vec<(f64, bool)>, usize)
+where
+    T: Copy,
+    FAbs: Fn(T) -> f64,
+    FNeg: Fn(T) -> bool,
+{
+    let mut min1 = f64::INFINITY;
+    let mut min2 = f64::INFINITY;
+    let mut argmin = 0usize;
+    let mut neg_parity = false;
+    for (i, &l) in lambdas.iter().enumerate() {
+        let a = abs(l);
+        if a < min1 {
+            min2 = min1;
+            min1 = a;
+            argmin = i;
+        } else if a < min2 {
+            min2 = a;
+        }
+        if is_neg(l) {
+            neg_parity = !neg_parity;
+        }
+    }
+    let out = lambdas
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            let magnitude = if i == argmin { min2 } else { min1 };
+            let sign_neg = neg_parity ^ is_neg(l);
+            (magnitude, sign_neg)
+        })
+        .collect();
+    (out, argmin)
+}
+
+/// Floating-point normalized Min-Sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatMinSumArithmetic {
+    alpha: f64,
+    clamp: f64,
+    app_clamp: f64,
+}
+
+impl Default for FloatMinSumArithmetic {
+    /// Normalization factor 0.75, the common hardware choice.
+    fn default() -> Self {
+        FloatMinSumArithmetic {
+            alpha: 0.75,
+            clamp: FLOAT_CLAMP,
+            app_clamp: 4.0 * FLOAT_CLAMP,
+        }
+    }
+}
+
+impl FloatMinSumArithmetic {
+    /// Creates a normalized Min-Sum arithmetic with scaling factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1`.
+    #[must_use]
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        FloatMinSumArithmetic {
+            alpha,
+            clamp: FLOAT_CLAMP,
+            app_clamp: 4.0 * FLOAT_CLAMP,
+        }
+    }
+
+    /// The normalization factor α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl DecoderArithmetic for FloatMinSumArithmetic {
+    type Msg = f64;
+
+    fn from_channel(&self, llr: f64) -> f64 {
+        llr.clamp(-self.clamp, self.clamp)
+    }
+
+    fn to_llr(&self, m: f64) -> f64 {
+        m
+    }
+
+    fn zero(&self) -> f64 {
+        0.0
+    }
+
+    fn add(&self, a: f64, b: f64) -> f64 {
+        (a + b).clamp(-self.app_clamp, self.app_clamp)
+    }
+
+    fn sub(&self, a: f64, b: f64) -> f64 {
+        (a - b).clamp(-self.clamp, self.clamp)
+    }
+
+    fn check_node_update(&self, lambdas: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        if lambdas.is_empty() {
+            return;
+        }
+        let (core, _) = min_sum_core(lambdas, f64::abs, |x| x < 0.0);
+        out.extend(core.into_iter().map(|(mag, neg)| {
+            let v = (self.alpha * mag).min(self.clamp);
+            if neg {
+                -v
+            } else {
+                v
+            }
+        }));
+    }
+
+    fn name(&self) -> &'static str {
+        "normalized Min-Sum float64"
+    }
+}
+
+/// Fixed-point normalized Min-Sum (the hardware baseline the paper compares
+/// against, e.g. reference [3]). The normalization `α = 0.75` is realised as
+/// `x − (x >> 2)`, exactly as a shift-and-subtract datapath would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedMinSumArithmetic {
+    format: FixedFormat,
+    /// Wider a-posteriori format (2 extra integer bits), see
+    /// [`FixedBpArithmetic`](super::FixedBpArithmetic).
+    app_format: FixedFormat,
+}
+
+impl Default for FixedMinSumArithmetic {
+    fn default() -> Self {
+        FixedMinSumArithmetic::new(FixedFormat::default())
+    }
+}
+
+impl FixedMinSumArithmetic {
+    /// Creates the arithmetic for a given message format.
+    #[must_use]
+    pub fn new(format: FixedFormat) -> Self {
+        FixedMinSumArithmetic {
+            format,
+            app_format: FixedFormat::new((format.word_bits() + 2).min(24), format.frac_bits()),
+        }
+    }
+
+    /// The check-message format.
+    #[must_use]
+    pub fn format(&self) -> FixedFormat {
+        self.format
+    }
+
+    /// The (wider) a-posteriori memory format.
+    #[must_use]
+    pub fn app_format(&self) -> FixedFormat {
+        self.app_format
+    }
+
+    fn normalize(&self, magnitude: i32) -> i32 {
+        // α = 0.75 as shift-and-subtract.
+        magnitude - (magnitude >> 2)
+    }
+}
+
+impl DecoderArithmetic for FixedMinSumArithmetic {
+    type Msg = i32;
+
+    fn from_channel(&self, llr: f64) -> i32 {
+        self.format.quantize(llr)
+    }
+
+    fn to_llr(&self, m: i32) -> f64 {
+        self.format.dequantize(m)
+    }
+
+    fn zero(&self) -> i32 {
+        0
+    }
+
+    fn add(&self, a: i32, b: i32) -> i32 {
+        self.app_format.add(a, b)
+    }
+
+    fn sub(&self, a: i32, b: i32) -> i32 {
+        self.format.sub(a, b)
+    }
+
+    fn check_node_update(&self, lambdas: &[i32], out: &mut Vec<i32>) {
+        out.clear();
+        if lambdas.is_empty() {
+            return;
+        }
+        let (core, _) = min_sum_core(lambdas, |x: i32| x.abs() as f64, |x| x < 0);
+        out.extend(core.into_iter().map(|(mag, neg)| {
+            let mag = self.normalize(self.format.saturate(mag as i64));
+            if neg {
+                -mag
+            } else {
+                mag
+            }
+        }));
+    }
+
+    fn name(&self) -> &'static str {
+        "normalized Min-Sum fixed 8-bit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::test_support::check_basic_axioms;
+
+    #[test]
+    fn float_min_sum_satisfies_axioms() {
+        check_basic_axioms(&FloatMinSumArithmetic::default());
+    }
+
+    #[test]
+    fn fixed_min_sum_satisfies_axioms() {
+        check_basic_axioms(&FixedMinSumArithmetic::default());
+    }
+
+    #[test]
+    fn min_sum_uses_second_minimum_at_the_argmin() {
+        let arith = FloatMinSumArithmetic::with_alpha(1.0);
+        let lambdas = [5.0, -1.0, 3.0, 4.0];
+        let mut out = Vec::new();
+        arith.check_node_update(&lambdas, &mut out);
+        // argmin is position 1 (|−1| = 1): its output uses min2 = 3.
+        assert!((out[1].abs() - 3.0).abs() < 1e-12);
+        // every other output uses min1 = 1.
+        for (i, &v) in out.iter().enumerate() {
+            if i != 1 {
+                assert!((v.abs() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn min_sum_sign_is_product_of_other_signs() {
+        let arith = FloatMinSumArithmetic::default();
+        let lambdas = [2.0, -3.0, -4.0, 5.0];
+        let mut out = Vec::new();
+        arith.check_node_update(&lambdas, &mut out);
+        // Signs of others: pos0: (-)(-)(+) = +, pos1: (+)(-)(+) = -, etc.
+        assert!(out[0] > 0.0);
+        assert!(out[1] < 0.0);
+        assert!(out[2] < 0.0);
+        assert!(out[3] > 0.0);
+    }
+
+    #[test]
+    fn normalization_shrinks_magnitudes() {
+        let plain = FloatMinSumArithmetic::with_alpha(1.0);
+        let scaled = FloatMinSumArithmetic::default();
+        assert!((scaled.alpha() - 0.75).abs() < 1e-12);
+        let lambdas = [4.0, 8.0, -6.0];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        plain.check_node_update(&lambdas, &mut a);
+        scaled.check_node_update(&lambdas, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((y.abs() - 0.75 * x.abs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fixed_normalization_is_shift_and_subtract() {
+        let arith = FixedMinSumArithmetic::default();
+        assert_eq!(arith.normalize(8), 6);
+        assert_eq!(arith.normalize(7), 6); // 7 - 1
+        assert_eq!(arith.normalize(4), 3);
+        assert_eq!(arith.normalize(0), 0);
+    }
+
+    #[test]
+    fn min_sum_overestimates_bp() {
+        // Min-Sum (α = 1) magnitudes upper-bound the exact BP magnitudes: this
+        // is precisely why normalization is needed and why BP outperforms it.
+        use crate::arith::FloatBpArithmetic;
+        let ms = FloatMinSumArithmetic::with_alpha(1.0);
+        let bp = FloatBpArithmetic::default();
+        let lambdas = [1.5, -2.0, 3.0, 0.8, -4.2];
+        let (mut out_ms, mut out_bp) = (Vec::new(), Vec::new());
+        ms.check_node_update(&lambdas, &mut out_ms);
+        bp.check_node_update(&lambdas, &mut out_bp);
+        for (m, b) in out_ms.iter().zip(&out_bp) {
+            assert_eq!(m.is_sign_negative(), b.is_sign_negative());
+            assert!(m.abs() >= b.abs() - 1e-9, "min-sum {m} vs bp {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = FloatMinSumArithmetic::with_alpha(0.0);
+    }
+
+    #[test]
+    fn fixed_min_sum_matches_float_min_sum_on_exact_codes() {
+        let fx = FixedMinSumArithmetic::default();
+        let fmt = fx.format();
+        let fl = FloatMinSumArithmetic::default();
+        let row_f = [2.0, -3.0, 1.0, 4.0];
+        let row_c: Vec<i32> = row_f.iter().map(|&x| fmt.quantize(x)).collect();
+        let (mut out_c, mut out_f) = (Vec::new(), Vec::new());
+        fx.check_node_update(&row_c, &mut out_c);
+        fl.check_node_update(&row_f, &mut out_f);
+        for (c, f) in out_c.iter().zip(&out_f) {
+            // α = 0.75 on exact multiples of 0.25 stays exact unless the
+            // shift-and-subtract rounding differs by one LSB.
+            assert!((fmt.dequantize(*c) - f).abs() <= 0.25 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Message arithmetic back-ends for the layered decoder.
+//!
+//! The layered decoder ([`crate::decoder::LayeredDecoder`]) is generic over a
+//! [`DecoderArithmetic`]: the message representation (floating point or the
+//! hardware's 8-bit fixed point) together with the check-node update rule
+//! (full BP via ⊞/⊟ as in the paper, or the Min-Sum baseline the paper argues
+//! against). This keeps a single scheduling/control implementation — matching
+//! the fact that the ASIC datapath is the only thing that changes between
+//! algorithm variants.
+
+mod fixed_bp;
+mod float_bp;
+mod min_sum;
+
+pub use fixed_bp::{CheckNodeMode, FixedBpArithmetic};
+pub use float_bp::FloatBpArithmetic;
+pub use min_sum::{FixedMinSumArithmetic, FloatMinSumArithmetic};
+
+use std::fmt::Debug;
+
+/// A message representation plus the check-node update rule operating on it.
+pub trait DecoderArithmetic {
+    /// The message type carried through the decoder (e.g. `f64` or a
+    /// fixed-point code).
+    type Msg: Copy + Debug + PartialEq + Send + Sync + 'static;
+
+    /// Converts a channel LLR into the message domain (the `L_n = 2y/σ²`
+    /// initialisation of Algorithm 1, possibly quantised).
+    // The receiver is the arithmetic back-end, not the value being converted,
+    // so the `from_` self-convention lint does not apply.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_channel(&self, llr: f64) -> Self::Msg;
+
+    /// Converts a message back into an LLR value (for thresholds, reporting
+    /// and hard decisions).
+    fn to_llr(&self, m: Self::Msg) -> f64;
+
+    /// The additive zero of the message domain (used to initialise Λ).
+    fn zero(&self) -> Self::Msg;
+
+    /// Saturating addition `L = λ + Λ`, saturating to the *APP* range.
+    ///
+    /// The a-posteriori memory is wider than the check-message datapath
+    /// (2 extra integer bits in the fixed-point back-ends): if `L` and `Λ`
+    /// saturated at the same level, `λ = L − Λ` would collapse to zero once
+    /// the decoder converges and the iteration would diverge again.
+    fn add(&self, a: Self::Msg, b: Self::Msg) -> Self::Msg;
+
+    /// Saturating subtraction `λ = L − Λ`, saturating to the *message* range
+    /// (the result feeds the 8-bit SISO datapath).
+    fn sub(&self, a: Self::Msg, b: Self::Msg) -> Self::Msg;
+
+    /// Hard decision with the paper's sign convention: `L ≥ 0 ⇒ 0`.
+    fn hard_bit(&self, m: Self::Msg) -> u8 {
+        u8::from(self.to_llr(m) < 0.0)
+    }
+
+    /// Absolute LLR value of a message (drives the early-termination
+    /// threshold test).
+    fn magnitude(&self, m: Self::Msg) -> f64 {
+        self.to_llr(m).abs()
+    }
+
+    /// Check-node update (Eq. 1 of the paper for BP): given the incoming
+    /// variable-to-check messages `λ_mj` of one check row, computes the
+    /// outgoing check-to-variable messages `Λ_mn` for every position.
+    ///
+    /// `out` is cleared and filled with `lambdas.len()` messages.
+    fn check_node_update(&self, lambdas: &[Self::Msg], out: &mut Vec<Self::Msg>);
+
+    /// Short human-readable name used in reports ("full-BP fixed 8-bit", …).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::DecoderArithmetic;
+
+    /// Exhaustive sanity checks every arithmetic back-end must satisfy.
+    pub(crate) fn check_basic_axioms<A: DecoderArithmetic>(arith: &A) {
+        let a = arith.from_channel(3.0);
+        let b = arith.from_channel(-1.5);
+        let zero = arith.zero();
+        // Additive identity and hard decisions.
+        assert_eq!(arith.add(a, zero), a);
+        assert_eq!(arith.sub(a, zero), a);
+        assert_eq!(arith.hard_bit(a), 0);
+        assert_eq!(arith.hard_bit(b), 1);
+        assert!(arith.magnitude(a) > 0.0);
+        // add/sub are inverses for in-range values.
+        let sum = arith.add(a, b);
+        let back = arith.sub(sum, b);
+        assert!((arith.to_llr(back) - arith.to_llr(a)).abs() < 0.26);
+        // Check-node update preserves arity and is sign-correct for a
+        // two-message row: each output equals the *other* input.
+        let mut out = Vec::new();
+        arith.check_node_update(&[a, b], &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(arith.hard_bit(out[0]), arith.hard_bit(b));
+        assert_eq!(arith.hard_bit(out[1]), arith.hard_bit(a));
+    }
+}

@@ -1,0 +1,231 @@
+//! The ⊞ (`f`) and ⊟ (`g`) check-node operations of the belief-propagation
+//! decoder (Eq. 1–2 of the paper).
+//!
+//! Conventionally the check-node update uses `Ψ(x) = −log(tanh(|x/2|))`, but
+//! that function is numerically fragile in fixed point. The paper instead
+//! computes the check message with the pairwise recursions
+//!
+//! ```text
+//! a ⊞ b = f(a, b) = log((1 + e^a·e^b) / (e^a + e^b))
+//! a ⊟ b = g(a, b) = log((1 − e^a·e^b) / (e^a − e^b))
+//! ```
+//!
+//! which expand to the hardware-friendly form of Eq. (2):
+//!
+//! ```text
+//! f(a,b) = sign(a)·sign(b)·min(|a|,|b|) + log(1+e^−(|a|+|b|)) − log(1+e^−||a|−|b||)
+//! g(a,b) = sign(a)·sign(b)·min(|a|,|b|) + log(1−e^−(|a|+|b|)) − log(1−e^−||a|−|b||)
+//! ```
+//!
+//! `g` is the (left-)inverse of `f`: `g(f(a,b), b) = a`, which is what lets the
+//! layered decoder form the total row sum once and then *extract* each
+//! extrinsic message (Eq. 1). This module provides the exact floating-point
+//! versions; the fixed-point LUT versions live in [`crate::lut`] and
+//! [`crate::arith`].
+
+/// Magnitude clamp applied to the floating-point operators. The true `g` is
+/// unbounded when its operands have (nearly) equal magnitude; hardware
+/// saturates, and the float reference mirrors that with a generous limit.
+pub const FLOAT_CLAMP: f64 = 64.0;
+
+/// The correction term `log(1 + e^{-x})` for `x ≥ 0` (the `f` LUT input).
+#[must_use]
+pub fn correction_plus(x: f64) -> f64 {
+    debug_assert!(x >= 0.0);
+    (-x).exp().ln_1p()
+}
+
+/// The correction term `−log(1 − e^{-x})` for `x > 0` (the `g` LUT input,
+/// returned as a non-negative magnitude). Clamped at [`FLOAT_CLAMP`] as
+/// `x → 0`.
+#[must_use]
+pub fn correction_minus(x: f64) -> f64 {
+    debug_assert!(x >= 0.0);
+    if x <= 0.0 {
+        return FLOAT_CLAMP;
+    }
+    let v = -(-(-x).exp()).ln_1p();
+    v.min(FLOAT_CLAMP)
+}
+
+/// Exact ⊞ operator (`f` in the paper), computed with the robust Eq. (2) form.
+#[must_use]
+pub fn boxplus(a: f64, b: f64) -> f64 {
+    let sign = if (a < 0.0) ^ (b < 0.0) { -1.0 } else { 1.0 };
+    let (aa, ab) = (a.abs(), b.abs());
+    let magnitude = aa.min(ab) + correction_plus(aa + ab) - correction_plus((aa - ab).abs());
+    (sign * magnitude).clamp(-FLOAT_CLAMP, FLOAT_CLAMP)
+}
+
+/// Exact ⊟ operator (`g` in the paper): removes contribution `b` from the
+/// aggregate `a`, so that `boxminus(boxplus(x, b), b) ≈ x`.
+#[must_use]
+pub fn boxminus(a: f64, b: f64) -> f64 {
+    let sign = if (a < 0.0) ^ (b < 0.0) { -1.0 } else { 1.0 };
+    let (aa, ab) = (a.abs(), b.abs());
+    let magnitude = aa.min(ab) - correction_minus(aa + ab) + correction_minus((aa - ab).abs());
+    (sign * magnitude).clamp(-FLOAT_CLAMP, FLOAT_CLAMP)
+}
+
+/// Folds ⊞ over a slice (the total row sum `S_m` of the paper's decoding
+/// schedule, Fig. 4), accumulating in element order exactly like the serial
+/// `f(·)` recursion of the R2-SISO decoder.
+#[must_use]
+pub fn boxplus_all(values: &[f64]) -> f64 {
+    let mut iter = values.iter();
+    let Some(&first) = iter.next() else {
+        return FLOAT_CLAMP; // identity of ⊞ is +∞ (certain parity satisfied)
+    };
+    iter.fold(first, |acc, &v| boxplus(acc, v))
+}
+
+/// Reference check-node update via the classic Ψ-function formulation,
+/// `Λ_n = Π sign(λ_j) · Ψ(Σ Ψ(|λ_j|))` over `j ≠ n`. Used only to validate the
+/// ⊞/⊟ implementation in tests; it is *not* what the hardware computes.
+#[must_use]
+pub fn reference_check_node(lambdas: &[f64], exclude: usize) -> f64 {
+    fn psi(x: f64) -> f64 {
+        // -ln(tanh(x/2)), guarded against x == 0.
+        let x = x.max(1e-12);
+        -((x / 2.0).tanh().ln())
+    }
+    let mut sign = 1.0;
+    let mut sum = 0.0;
+    for (j, &l) in lambdas.iter().enumerate() {
+        if j == exclude {
+            continue;
+        }
+        if l < 0.0 {
+            sign = -sign;
+        }
+        sum += psi(l.abs());
+    }
+    (sign * psi(sum)).clamp(-FLOAT_CLAMP, FLOAT_CLAMP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxplus_direct(a: f64, b: f64) -> f64 {
+        // log((1 + e^a e^b)/(e^a + e^b)) evaluated in a numerically safe way
+        // for moderate arguments (used as ground truth for small values).
+        ((1.0 + (a + b).exp()) / (a.exp() + b.exp())).ln()
+    }
+
+    #[test]
+    fn boxplus_matches_direct_formula() {
+        for &a in &[-6.0, -2.5, -0.5, 0.0, 0.3, 1.7, 4.0] {
+            for &b in &[-5.0, -1.0, 0.0, 0.8, 2.2, 6.0] {
+                let expected = boxplus_direct(a, b);
+                let got = boxplus(a, b);
+                assert!(
+                    (expected - got).abs() < 1e-9,
+                    "boxplus({a},{b}) = {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boxplus_is_commutative_and_bounded_by_min() {
+        for &a in &[-3.0, -0.7, 1.2, 5.0] {
+            for &b in &[-4.0, 0.4, 2.0] {
+                assert!((boxplus(a, b) - boxplus(b, a)).abs() < 1e-12);
+                assert!(boxplus(a, b).abs() <= a.abs().min(b.abs()) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn boxplus_zero_annihilates() {
+        for &b in &[-5.0, -0.5, 0.0, 1.0, 9.0] {
+            assert!(boxplus(0.0, b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn boxminus_inverts_boxplus() {
+        for &a in &[-4.0, -1.5, 0.7, 2.0, 6.0] {
+            for &b in &[-5.0, -2.0, 1.0, 3.5] {
+                let s = boxplus(a, b);
+                let recovered = boxminus(s, b);
+                assert!(
+                    (recovered - a).abs() < 1e-6,
+                    "g(f({a},{b}),{b}) = {recovered}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boxminus_saturates_on_equal_magnitudes() {
+        // Removing a message equal to the aggregate leaves "certainty": the
+        // result saturates at the clamp instead of diverging.
+        let v = boxminus(1.5, 1.5);
+        assert!(v >= FLOAT_CLAMP - 1e-9);
+        let v = boxminus(-1.5, 1.5);
+        assert!(v <= -(FLOAT_CLAMP - 1e-9));
+    }
+
+    #[test]
+    fn sign_rules() {
+        assert!(boxplus(2.0, 3.0) > 0.0);
+        assert!(boxplus(-2.0, 3.0) < 0.0);
+        assert!(boxplus(-2.0, -3.0) > 0.0);
+        assert!(boxminus(2.0, -3.0) < 0.0);
+    }
+
+    #[test]
+    fn boxplus_all_matches_pairwise_fold() {
+        let xs = [1.2, -0.7, 3.0, -2.2, 0.4];
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = boxplus(acc, x);
+        }
+        assert!((boxplus_all(&xs) - acc).abs() < 1e-12);
+        // Identity element for the empty fold.
+        assert!(boxplus_all(&[]) >= FLOAT_CLAMP - 1e-9);
+        assert!((boxplus_all(&[2.5]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extraction_matches_reference_check_node() {
+        // The paper's Eq. (1): extracting λ_n from the total sum equals the
+        // boxplus of all the *other* messages, i.e. the classic Ψ update.
+        let rows: [&[f64]; 3] = [
+            &[1.0, -2.0, 3.0, -0.5],
+            &[4.0, 2.5, -1.5, 0.8, -3.0, 2.0],
+            &[0.9, 1.1, -0.6],
+        ];
+        for lambdas in rows {
+            let total = boxplus_all(lambdas);
+            for (i, &l) in lambdas.iter().enumerate() {
+                let extracted = boxminus(total, l);
+                let reference = reference_check_node(lambdas, i);
+                assert!(
+                    (extracted - reference).abs() < 1e-5,
+                    "row {lambdas:?} position {i}: extracted {extracted} vs reference {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correction_terms_are_positive_and_decreasing() {
+        let mut prev_plus = f64::INFINITY;
+        let mut prev_minus = f64::INFINITY;
+        for i in 1..40 {
+            let x = i as f64 * 0.2;
+            let p = correction_plus(x);
+            let m = correction_minus(x);
+            assert!(p > 0.0 && p < prev_plus);
+            assert!(m > 0.0 && m <= prev_minus);
+            assert!(m >= p, "−log(1−e^−x) ≥ log(1+e^−x) for all x > 0");
+            prev_plus = p;
+            prev_minus = m;
+        }
+        assert!((correction_plus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(correction_minus(0.0) >= FLOAT_CLAMP);
+    }
+}

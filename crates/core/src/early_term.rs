@@ -1,0 +1,128 @@
+//! Early-termination rule (§IV of the paper).
+//!
+//! To save power the decoder stops iterating when both of the following hold:
+//!
+//! 1. the hard decisions of the *information* bits have not changed over two
+//!    successive iterations, and
+//! 2. the minimum absolute LLR of the information bits exceeds a pre-defined
+//!    threshold.
+//!
+//! At good channel conditions this terminates most frames after a couple of
+//! iterations and yields the up-to-65 % power reduction of Fig. 9(a).
+
+/// Configuration of the early-termination rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyTermination {
+    /// Minimum absolute information-bit LLR required to allow termination.
+    pub threshold: f64,
+}
+
+impl Default for EarlyTermination {
+    /// A threshold of 4.0 LLR units (16 LSBs of the Q6.2 datapath).
+    fn default() -> Self {
+        EarlyTermination { threshold: 4.0 }
+    }
+}
+
+impl EarlyTermination {
+    /// Creates a rule with the given LLR threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is negative.
+    #[must_use]
+    pub fn with_threshold(threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        EarlyTermination { threshold }
+    }
+}
+
+/// Tracks hard decisions across iterations and evaluates the termination rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TerminationTracker {
+    rule: EarlyTermination,
+    previous_decisions: Option<Vec<u8>>,
+}
+
+impl TerminationTracker {
+    /// Creates a tracker for one frame.
+    #[must_use]
+    pub fn new(rule: EarlyTermination) -> Self {
+        TerminationTracker {
+            rule,
+            previous_decisions: None,
+        }
+    }
+
+    /// Feeds the information-bit hard decisions and LLR magnitudes of the
+    /// iteration that just finished; returns `true` if decoding may stop.
+    pub fn should_terminate(&mut self, info_decisions: &[u8], min_abs_info_llr: f64) -> bool {
+        let stable = self
+            .previous_decisions
+            .as_deref()
+            .is_some_and(|prev| prev == info_decisions);
+        self.previous_decisions = Some(info_decisions.to_vec());
+        stable && min_abs_info_llr > self.rule.threshold
+    }
+
+    /// Resets the tracker for a new frame.
+    pub fn reset(&mut self) {
+        self.previous_decisions = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_is_positive() {
+        assert!(EarlyTermination::default().threshold > 0.0);
+    }
+
+    #[test]
+    fn never_terminates_on_first_iteration() {
+        let mut t = TerminationTracker::new(EarlyTermination::default());
+        assert!(!t.should_terminate(&[0, 1, 0], 100.0));
+    }
+
+    #[test]
+    fn terminates_when_stable_and_confident() {
+        let mut t = TerminationTracker::new(EarlyTermination::with_threshold(4.0));
+        assert!(!t.should_terminate(&[0, 1, 0], 10.0));
+        assert!(t.should_terminate(&[0, 1, 0], 10.0));
+    }
+
+    #[test]
+    fn does_not_terminate_when_decisions_change() {
+        let mut t = TerminationTracker::new(EarlyTermination::with_threshold(4.0));
+        assert!(!t.should_terminate(&[0, 1, 0], 10.0));
+        assert!(!t.should_terminate(&[0, 1, 1], 10.0));
+        // Now stable again but only for one pair of iterations.
+        assert!(t.should_terminate(&[0, 1, 1], 10.0));
+    }
+
+    #[test]
+    fn does_not_terminate_below_threshold() {
+        let mut t = TerminationTracker::new(EarlyTermination::with_threshold(4.0));
+        assert!(!t.should_terminate(&[1, 1], 3.0));
+        assert!(!t.should_terminate(&[1, 1], 3.9));
+        assert!(!t.should_terminate(&[1, 1], 4.0), "strictly larger required");
+        assert!(t.should_terminate(&[1, 1], 4.1));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut t = TerminationTracker::new(EarlyTermination::with_threshold(1.0));
+        assert!(!t.should_terminate(&[0], 5.0));
+        t.reset();
+        assert!(!t.should_terminate(&[0], 5.0));
+        assert!(t.should_terminate(&[0], 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_negative_threshold() {
+        let _ = EarlyTermination::with_threshold(-1.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! 3-bit lookup tables for the non-linear correction terms.
+//!
+//! In hardware the correction terms `log(1 + e^{-x})` and `log(1 − e^{-x})` of
+//! Eq. (2) are approximated with small lookup tables — the paper uses 3-bit
+//! (8-entry) LUTs following Hu et al. [9]. [`CorrectionLut`] reproduces that
+//! approximation bit-accurately: the input magnitude (a fixed-point code) is
+//! mapped to one of `2^address_bits` regions and each region returns a
+//! pre-quantised correction code.
+
+use crate::fixedpoint::FixedFormat;
+
+/// Which correction term the table approximates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorrectionKind {
+    /// `log(1 + e^{-x})`, used by the `f(·)` (⊞) unit.
+    Plus,
+    /// `−log(1 − e^{-x})` (stored as a non-negative magnitude), used by the
+    /// `g(·)` (⊟) unit.
+    Minus,
+}
+
+/// A small lookup table approximating one correction term in the fixed-point
+/// code domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrectionLut {
+    kind: CorrectionKind,
+    format: FixedFormat,
+    address_bits: u32,
+    /// Input codes `>= cutoff` return the saturation entry (last table value).
+    region_width: i32,
+    table: Vec<i32>,
+}
+
+impl CorrectionLut {
+    /// Builds a LUT with `address_bits` address bits (the paper uses 3) for
+    /// the given message format.
+    ///
+    /// The input range `[0, x_max)` covered by the table is chosen so that the
+    /// correction term has decayed below half an LSB at `x_max`; beyond the
+    /// table the `Plus` correction returns 0 and the `Minus` correction
+    /// returns its last (smallest) entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address_bits` is 0 or greater than 8.
+    #[must_use]
+    pub fn new(kind: CorrectionKind, format: FixedFormat, address_bits: u32) -> Self {
+        assert!(
+            (1..=8).contains(&address_bits),
+            "address_bits must be in 1..=8"
+        );
+        let entries = 1usize << address_bits;
+        // Cover x in [0, 2.0): beyond 2.0 both corrections are below 0.13,
+        // i.e. at or below one LSB of the default Q6.2 format.
+        let covered_range = 2.0;
+        let region_width_real = covered_range / entries as f64;
+        // Region width in codes (at least one code per region).
+        let region_width = ((region_width_real / format.step()).round() as i32).max(1);
+        let table = (0..entries)
+            .map(|i| {
+                let value = match kind {
+                    // Evaluate log(1+e^-x) at the centre of each region
+                    // (minimises the absolute approximation error).
+                    CorrectionKind::Plus => {
+                        let x = (i as f64 + 0.5) * region_width as f64 * format.step();
+                        crate::boxplus::correction_plus(x)
+                    }
+                    // Evaluate −log(1−e^-x) at the *end* of each region: the
+                    // function diverges at 0, and over-estimating it would
+                    // inject over-confident extrinsic messages exactly at the
+                    // weakest bit positions (where the ⊟ extraction sees a
+                    // near-zero |S|−|λ| difference). Under-estimation merely
+                    // slows convergence, so the conservative edge is used.
+                    CorrectionKind::Minus => {
+                        let x = (i as f64 + 1.0) * region_width as f64 * format.step();
+                        crate::boxplus::correction_minus(x)
+                    }
+                };
+                format.quantize(value)
+            })
+            .collect();
+        CorrectionLut {
+            kind,
+            format,
+            address_bits,
+            region_width,
+            table,
+        }
+    }
+
+    /// The standard pair of 3-bit LUTs used by the paper's SISO decoder for a
+    /// given message format: `(plus, minus)`.
+    #[must_use]
+    pub fn standard_pair(format: FixedFormat) -> (CorrectionLut, CorrectionLut) {
+        (
+            CorrectionLut::new(CorrectionKind::Plus, format, 3),
+            CorrectionLut::new(CorrectionKind::Minus, format, 3),
+        )
+    }
+
+    /// Which correction term this table approximates.
+    #[must_use]
+    pub fn kind(&self) -> CorrectionKind {
+        self.kind
+    }
+
+    /// Number of address bits.
+    #[must_use]
+    pub fn address_bits(&self) -> u32 {
+        self.address_bits
+    }
+
+    /// Number of table entries, `2^address_bits`.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The raw table contents (correction codes).
+    #[must_use]
+    pub fn table(&self) -> &[i32] {
+        &self.table
+    }
+
+    /// Looks up the correction code for a non-negative input code.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `x_code` is negative.
+    #[must_use]
+    pub fn lookup(&self, x_code: i32) -> i32 {
+        debug_assert!(x_code >= 0, "LUT input must be a magnitude");
+        let region = (x_code / self.region_width) as usize;
+        if region < self.table.len() {
+            self.table[region]
+        } else {
+            match self.kind {
+                CorrectionKind::Plus => 0,
+                // The Minus correction saturates to its smallest table entry;
+                // it never reaches exactly zero for finite inputs.
+                CorrectionKind::Minus => *self.table.last().expect("table is non-empty"),
+            }
+        }
+    }
+
+    /// The exact (unquantised) correction this table approximates, for
+    /// accuracy analysis.
+    #[must_use]
+    pub fn exact(&self, x: f64) -> f64 {
+        match self.kind {
+            CorrectionKind::Plus => crate::boxplus::correction_plus(x),
+            CorrectionKind::Minus => crate::boxplus::correction_minus(x),
+        }
+    }
+
+    /// Worst-case absolute approximation error (in LLR units) over the covered
+    /// input range, sampled at every representable input code.
+    #[must_use]
+    pub fn max_error(&self) -> f64 {
+        let max_input = self.region_width * self.table.len() as i32 * 2;
+        (1..=max_input)
+            .map(|code| {
+                let x = self.format.dequantize(code);
+                (self.exact(x) - self.format.dequantize(self.lookup(code))).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_pair_is_3_bit() {
+        let (plus, minus) = CorrectionLut::standard_pair(FixedFormat::default());
+        assert_eq!(plus.address_bits(), 3);
+        assert_eq!(minus.address_bits(), 3);
+        assert_eq!(plus.entries(), 8);
+        assert_eq!(minus.entries(), 8);
+        assert_eq!(plus.kind(), CorrectionKind::Plus);
+        assert_eq!(minus.kind(), CorrectionKind::Minus);
+    }
+
+    #[test]
+    fn plus_table_is_monotone_non_increasing_and_ends_near_zero() {
+        let (plus, _) = CorrectionLut::standard_pair(FixedFormat::default());
+        let t = plus.table();
+        assert!(t.windows(2).all(|w| w[0] >= w[1]));
+        assert!(t[0] >= 2, "log(2) ≈ 0.69 is roughly 3 LSBs in Q6.2");
+        assert!(*t.last().unwrap() <= 1);
+        // Beyond the covered range the correction is zero.
+        assert_eq!(plus.lookup(1000), 0);
+    }
+
+    #[test]
+    fn minus_table_is_monotone_and_saturates() {
+        let (_, minus) = CorrectionLut::standard_pair(FixedFormat::default());
+        let t = minus.table();
+        assert!(t.windows(2).all(|w| w[0] >= w[1]));
+        assert!(t[0] > t[t.len() - 1]);
+        // Far inputs return the last entry, not zero: g keeps a small bias.
+        assert_eq!(minus.lookup(1000), *t.last().unwrap());
+    }
+
+    #[test]
+    fn lookup_matches_exact_value_within_tolerance() {
+        let format = FixedFormat::default();
+        let (plus, minus) = CorrectionLut::standard_pair(format);
+        // Within the covered range the 3-bit LUT should be within ~0.4 of the
+        // exact correction (coarse but sufficient, per Hu et al.).
+        assert!(plus.max_error() < 0.45, "plus error {}", plus.max_error());
+        // The minus correction diverges at 0, so measure from 0.5 onwards.
+        for code in 2..16 {
+            let x = format.dequantize(code);
+            let err = (minus.exact(x) - format.dequantize(minus.lookup(code))).abs();
+            assert!(err < 0.8, "minus error {err} at x={x}");
+        }
+    }
+
+    #[test]
+    fn more_address_bits_reduce_error() {
+        let format = FixedFormat::new(10, 4);
+        let coarse = CorrectionLut::new(CorrectionKind::Plus, format, 2);
+        let fine = CorrectionLut::new(CorrectionKind::Plus, format, 5);
+        assert!(fine.max_error() <= coarse.max_error());
+    }
+
+    #[test]
+    #[should_panic(expected = "address_bits")]
+    fn rejects_zero_address_bits() {
+        let _ = CorrectionLut::new(CorrectionKind::Plus, FixedFormat::default(), 0);
+    }
+
+    #[test]
+    fn region_width_scales_with_format() {
+        let lo = CorrectionLut::new(CorrectionKind::Plus, FixedFormat::new(8, 2), 3);
+        let hi = CorrectionLut::new(CorrectionKind::Plus, FixedFormat::new(10, 4), 3);
+        // Finer resolution => more codes per region.
+        assert!(hi.region_width >= lo.region_width);
+    }
+}

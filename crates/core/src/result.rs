@@ -1,0 +1,128 @@
+//! Decoder output and statistics.
+
+/// Operation counts accumulated during one decode, used by the architecture
+/// model to derive cycle counts and switching activity (power).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Number of sub-iterations (layers processed).
+    pub sub_iterations: usize,
+    /// Number of check-node (row) updates performed.
+    pub check_node_updates: usize,
+    /// Number of individual messages passed through the check-node units
+    /// (`Σ d_m` over all processed rows).
+    pub messages_processed: usize,
+}
+
+impl DecodeStats {
+    /// Merges the statistics of another decode into this accumulator.
+    pub fn merge(&mut self, other: &DecodeStats) {
+        self.sub_iterations += other.sub_iterations;
+        self.check_node_updates += other.check_node_updates;
+        self.messages_processed += other.messages_processed;
+    }
+}
+
+/// The result of decoding one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeOutput {
+    /// Hard decisions for every code bit (`x̂_n = sign(L_n)`, length `n`).
+    pub hard_bits: Vec<u8>,
+    /// A-posteriori LLRs after the last executed iteration (length `n`).
+    pub posterior_llrs: Vec<f64>,
+    /// Number of *full* iterations executed (≤ the configured maximum).
+    pub iterations: usize,
+    /// Whether the final hard decisions satisfy every parity check.
+    pub parity_satisfied: bool,
+    /// Whether decoding stopped early due to the early-termination rule.
+    pub early_terminated: bool,
+    /// Operation counts.
+    pub stats: DecodeStats,
+}
+
+impl DecodeOutput {
+    /// The hard decisions of the information (systematic) bits only.
+    #[must_use]
+    pub fn info_bits(&self, info_len: usize) -> &[u8] {
+        &self.hard_bits[..info_len.min(self.hard_bits.len())]
+    }
+
+    /// Counts bit errors against a reference codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference has a different length.
+    #[must_use]
+    pub fn bit_errors_against(&self, reference: &[u8]) -> usize {
+        assert_eq!(reference.len(), self.hard_bits.len(), "length mismatch");
+        self.hard_bits
+            .iter()
+            .zip(reference)
+            .filter(|(&a, &b)| a != (b & 1))
+            .count()
+    }
+
+    /// Counts bit errors in the information part only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is shorter than `info_len`.
+    #[must_use]
+    pub fn info_bit_errors_against(&self, reference: &[u8], info_len: usize) -> usize {
+        assert!(reference.len() >= info_len, "reference too short");
+        self.hard_bits[..info_len]
+            .iter()
+            .zip(&reference[..info_len])
+            .filter(|(&a, &b)| a != (b & 1))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output(bits: Vec<u8>) -> DecodeOutput {
+        DecodeOutput {
+            posterior_llrs: bits.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect(),
+            hard_bits: bits,
+            iterations: 3,
+            parity_satisfied: true,
+            early_terminated: false,
+            stats: DecodeStats::default(),
+        }
+    }
+
+    #[test]
+    fn bit_error_counting() {
+        let out = output(vec![0, 1, 1, 0]);
+        assert_eq!(out.bit_errors_against(&[0, 1, 1, 0]), 0);
+        assert_eq!(out.bit_errors_against(&[1, 1, 1, 1]), 2);
+        assert_eq!(out.info_bit_errors_against(&[1, 1, 0, 0], 2), 1);
+        assert_eq!(out.info_bits(2), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bit_error_counting_checks_length() {
+        let out = output(vec![0, 1]);
+        let _ = out.bit_errors_against(&[0]);
+    }
+
+    #[test]
+    fn stats_merge_adds_counts() {
+        let mut a = DecodeStats {
+            sub_iterations: 2,
+            check_node_updates: 10,
+            messages_processed: 70,
+        };
+        let b = DecodeStats {
+            sub_iterations: 3,
+            check_node_updates: 15,
+            messages_processed: 105,
+        };
+        a.merge(&b);
+        assert_eq!(a.sub_iterations, 5);
+        assert_eq!(a.check_node_updates, 25);
+        assert_eq!(a.messages_processed, 175);
+    }
+}

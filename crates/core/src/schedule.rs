@@ -1,0 +1,99 @@
+//! Layer-ordering policies for the block-serial schedule.
+//!
+//! One full iteration of the layered decoder is split into `j` sub-iterations,
+//! one per layer (Fig. 2). The order in which layers are visited does not
+//! change the fixed point of the algorithm but does affect (a) convergence
+//! speed slightly and (b) pipeline stalls when the decoding of consecutive
+//! layers is overlapped (Fig. 4); the paper cites layer shuffling [10] as the
+//! stall-avoidance mechanism.
+
+use ldpc_codes::{LayerSchedule, QcCode};
+
+/// How the decoder orders layers within an iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum LayerOrderPolicy {
+    /// Natural order `0, 1, …, j−1`.
+    #[default]
+    Natural,
+    /// Greedy order minimizing the block-column overlap between consecutive
+    /// layers (reduces pipeline stalls, §III-C).
+    StallMinimizing,
+    /// A caller-supplied explicit order.
+    Custom(Vec<usize>),
+}
+
+impl LayerOrderPolicy {
+    /// Resolves the policy into a concrete visit order for `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a custom order is not a permutation of `0..j`.
+    #[must_use]
+    pub fn resolve(&self, code: &QcCode) -> Vec<usize> {
+        match self {
+            LayerOrderPolicy::Natural => (0..code.block_rows()).collect(),
+            LayerOrderPolicy::StallMinimizing => {
+                LayerSchedule::stall_minimizing(code).order().to_vec()
+            }
+            LayerOrderPolicy::Custom(order) => {
+                let schedule = LayerSchedule::from_order(order.clone());
+                assert_eq!(
+                    schedule.len(),
+                    code.block_rows(),
+                    "custom order must cover every layer"
+                );
+                schedule.order().to_vec()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_codes::{CodeId, CodeRate, Standard};
+
+    fn code() -> QcCode {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn natural_order() {
+        let order = LayerOrderPolicy::Natural.resolve(&code());
+        assert_eq!(order, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stall_minimizing_is_permutation() {
+        let order = LayerOrderPolicy::StallMinimizing.resolve(&code());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn custom_order_is_used_verbatim() {
+        let custom: Vec<usize> = (0..12).rev().collect();
+        let order = LayerOrderPolicy::Custom(custom.clone()).resolve(&code());
+        assert_eq!(order, custom);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn custom_order_must_be_permutation() {
+        let _ = LayerOrderPolicy::Custom(vec![0, 0, 1]).resolve(&code());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every layer")]
+    fn custom_order_must_cover_all_layers() {
+        let _ = LayerOrderPolicy::Custom(vec![0, 1, 2]).resolve(&code());
+    }
+
+    #[test]
+    fn default_is_natural() {
+        assert_eq!(LayerOrderPolicy::default(), LayerOrderPolicy::Natural);
+    }
+}

@@ -1,0 +1,81 @@
+//! # ldpc — a reconfigurable multi-standard LDPC decoder, reproduced in Rust
+//!
+//! This facade crate re-exports the full reproduction of Sun & Cavallaro's
+//! SOCC 2008 paper *"A low-power 1-Gbps reconfigurable LDPC decoder design
+//! for multiple 4G wireless standards"*:
+//!
+//! * [`codes`] — quasi-cyclic block-structured LDPC code constructions for
+//!   the IEEE 802.11n / 802.16e / DMB-T families (Table 1) and a systematic
+//!   encoder;
+//! * [`channel`] — BPSK/AWGN channel, LLR computation and Monte-Carlo
+//!   workload generation;
+//! * [`core`] — the layered belief-propagation decoder built from ⊞/⊟
+//!   recursions with 3-bit LUTs, the Radix-2/Radix-4 SISO core models, the
+//!   Min-Sum baseline and the early-termination rule;
+//! * [`arch`] — the ASIC architecture model: distributed SISO lanes and
+//!   Λ-memory banks, central L-memory, circular shifter, reconfiguration
+//!   controller, cycle-accurate pipeline, and the calibrated area / power /
+//!   energy models behind Table 2, Table 3 and Fig. 9.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ldpc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the WiMax-class rate-1/2, 576-bit code and a decoder.
+//! let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576).build()?;
+//! let decoder = LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default())?;
+//!
+//! // Encode a random frame, push it through a 2.5 dB AWGN channel, decode.
+//! let mut source = FrameSource::random(&code, 7)?;
+//! let channel = AwgnChannel::from_ebn0_db(2.5, code.rate());
+//! let frame = source.next_frame();
+//! let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+//! let out = decoder.decode(&code, &llrs)?;
+//! assert_eq!(out.hard_bits.len(), code.n());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ldpc_arch as arch;
+pub use ldpc_channel as channel;
+pub use ldpc_codes as codes;
+pub use ldpc_core as core;
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use ldpc_arch::{
+        AreaModel, AsicLdpcDecoder, CircularShifter, DatapathConfig, EnergyReport, ModeRom,
+        PipelineModel, PipelineOptions, PowerModel, ThroughputModel,
+    };
+    pub use ldpc_channel::{
+        awgn::AwgnChannel, quantize::LlrQuantizer, stats::ErrorCounter, stats::IterationHistogram,
+        workload::FrameSource,
+    };
+    pub use ldpc_codes::{
+        CodeId, CodeRate, Encoder, LayerSchedule, QcCode, Standard,
+    };
+    pub use ldpc_core::{
+        decoder::{DecoderConfig, LayeredDecoder},
+        CheckNodeMode, DecoderArithmetic, EarlyTermination, FixedBpArithmetic,
+        FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic, LayerOrderPolicy, R2Siso,
+        R4Siso, SisoRadix,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        let id = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        assert!(id.is_supported());
+        let _ = FloatBpArithmetic::default();
+        let _ = PowerModel::paper_90nm();
+        let _ = AreaModel::paper_90nm();
+    }
+}

@@ -1,0 +1,99 @@
+//! BER/FER waterfall: full BP versus the Min-Sum baseline.
+//!
+//! The paper argues for implementing the full BP check-node update (via the
+//! ⊞/⊟ recursions) "instead of using the sub-optimal Min-Sum algorithm".
+//! This example produces the error-rate curves that justify that choice for
+//! the 576-bit WiMax-class rate-1/2 code, including the 8-bit fixed-point
+//! datapath.
+//!
+//! ```bash
+//! cargo run --release --example ber_waterfall
+//! ```
+
+use ldpc::prelude::*;
+
+fn run_curve<A>(
+    label: &str,
+    arith: A,
+    code: &QcCode,
+    ebn0_points: &[f64],
+    frames: usize,
+) -> Result<(), Box<dyn std::error::Error>>
+where
+    A: DecoderArithmetic,
+{
+    let decoder = LayeredDecoder::new(arith, DecoderConfig::default())?;
+    print!("{label:<34}");
+    for &ebn0 in ebn0_points {
+        let channel = AwgnChannel::from_ebn0_db(ebn0, code.rate());
+        let mut source = FrameSource::random(code, 31 + (ebn0 * 10.0) as u64)?;
+        let mut counter = ErrorCounter::new();
+        for _ in 0..frames {
+            let frame = source.next_frame();
+            let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+            let out = decoder.decode(code, &llrs)?;
+            counter.record_frame(out.bit_errors_against(&frame.codeword), code.n());
+        }
+        print!(" {:>9.2e}", counter.ber());
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576).build()?;
+    let ebn0_points = [1.0, 1.5, 2.0, 2.5, 3.0];
+    let frames = 60;
+
+    println!(
+        "BER vs Eb/N0, N = {}, rate 1/2, {} frames per point, max 10 iterations\n",
+        code.n(),
+        frames
+    );
+    print!("{:<34}", "decoder");
+    for e in ebn0_points {
+        print!(" {e:>9.1}");
+    }
+    println!(" (dB)");
+
+    run_curve(
+        "full BP (float reference)",
+        FloatBpArithmetic::default(),
+        &code,
+        &ebn0_points,
+        frames,
+    )?;
+    run_curve(
+        "full BP (8-bit, fwd/bwd)",
+        FixedBpArithmetic::forward_backward(),
+        &code,
+        &ebn0_points,
+        frames,
+    )?;
+    run_curve(
+        "full BP (8-bit, paper ⊟ extraction)",
+        FixedBpArithmetic::default(),
+        &code,
+        &ebn0_points,
+        frames,
+    )?;
+    run_curve(
+        "normalized Min-Sum (float)",
+        FloatMinSumArithmetic::default(),
+        &code,
+        &ebn0_points,
+        frames,
+    )?;
+    run_curve(
+        "normalized Min-Sum (8-bit)",
+        FixedMinSumArithmetic::default(),
+        &code,
+        &ebn0_points,
+        frames,
+    )?;
+
+    println!("\nFull BP reaches a given BER at a lower Eb/N0 than Min-Sum; the 8-bit");
+    println!("forward/backward datapath tracks the float reference closely, while the");
+    println!("⊟-extraction datapath of the paper pays a visible quantisation penalty.");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Early-termination power saving (the experiment behind Fig. 9a).
+//!
+//! For the 2304-bit WiMax-class rate-1/2 code, this example measures the
+//! average number of decoding iterations over an Eb/N0 sweep (with and
+//! without the early-termination rule of §IV) and converts it to power with
+//! the calibrated power model. At good channel conditions the decoder
+//! terminates after a couple of iterations and saves up to ~65 % power.
+//!
+//! ```bash
+//! cargo run --release --example early_termination_power
+//! ```
+
+use ldpc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2304).build()?;
+    let frames_per_point = 40;
+    let max_iterations = 10;
+    let power_model = PowerModel::paper_90nm();
+
+    let with_et = LayeredDecoder::new(
+        FloatBpArithmetic::default(),
+        DecoderConfig {
+            max_iterations,
+            early_termination: Some(EarlyTermination::default()),
+            stop_on_zero_syndrome: false,
+            layer_order: LayerOrderPolicy::Natural,
+        },
+    )?;
+    let without_et = LayeredDecoder::new(
+        FloatBpArithmetic::default(),
+        DecoderConfig::fixed_iterations(max_iterations),
+    )?;
+
+    println!("Early-termination power saving (N = 2304, rate 1/2, max 10 iterations)\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14} {:>9}",
+        "Eb/N0", "avg iters", "avg iters", "power (mW)", "power (mW)", "saving"
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14} {:>9}",
+        "(dB)", "with ET", "without ET", "with ET", "without ET", ""
+    );
+
+    for ebn0_tenths in (0..=50).step_by(10) {
+        let ebn0 = ebn0_tenths as f64 / 10.0;
+        let channel = AwgnChannel::from_ebn0_db(ebn0, code.rate());
+        let mut source = FrameSource::random(&code, 1000 + ebn0_tenths as u64)?;
+
+        let mut iters_et = 0.0;
+        let mut iters_no_et = 0.0;
+        for _ in 0..frames_per_point {
+            let frame = source.next_frame();
+            let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+            iters_et += with_et.decode(&code, &llrs)?.iterations as f64;
+            iters_no_et += without_et.decode(&code, &llrs)?.iterations as f64;
+        }
+        iters_et /= frames_per_point as f64;
+        iters_no_et /= frames_per_point as f64;
+
+        let p_et = power_model
+            .power_with_early_termination(96, 96, 450.0e6, iters_et, max_iterations)
+            .total_mw;
+        let p_no_et = power_model
+            .power_with_early_termination(96, 96, 450.0e6, iters_no_et, max_iterations)
+            .total_mw;
+
+        println!(
+            "{:>8.1} {:>12.2} {:>12.2} {:>14.0} {:>14.0} {:>8.0}%",
+            ebn0,
+            iters_et,
+            iters_no_et,
+            p_et,
+            p_no_et,
+            100.0 * (1.0 - p_et / p_no_et)
+        );
+    }
+
+    println!("\nCompare with Fig. 9(a) of the paper: ~410 mW without early termination,");
+    println!("dropping towards ~145 mW (≈65 % saving) as the channel improves.");
+    Ok(())
+}

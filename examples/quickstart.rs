@@ -1,0 +1,59 @@
+//! Quickstart: encode, transmit and decode one frame of every supported
+//! standard family.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ldpc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("LDPC decoder quickstart — one frame per standard family\n");
+
+    let modes = [
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2304),
+        CodeId::new(Standard::Wifi80211n, CodeRate::R3_4, 1296),
+        CodeId::new(Standard::DmbT, CodeRate::R3_5, 7620),
+    ];
+
+    let decoder = LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default())?;
+
+    for id in modes {
+        let code = id.build()?;
+        let mut source = FrameSource::random(&code, 2024)?;
+        let channel = AwgnChannel::from_ebn0_db(2.5, code.rate());
+
+        let frame = source.next_frame();
+        let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+        let channel_errors = llrs
+            .iter()
+            .zip(&frame.codeword)
+            .filter(|(&l, &b)| u8::from(l < 0.0) != b)
+            .count();
+
+        let out = decoder.decode(&code, &llrs)?;
+        let residual_errors = out.bit_errors_against(&frame.codeword);
+
+        println!("{id}");
+        println!(
+            "  n = {:5}  k_info = {:5}  z = {:3}  layers = {:2}  E = {:3}",
+            code.n(),
+            code.info_bits(),
+            code.z(),
+            code.block_rows(),
+            code.nnz_blocks()
+        );
+        println!(
+            "  channel errors {:4} -> decoded errors {:3} after {} iteration(s) \
+             (parity {}, early-terminated: {})\n",
+            channel_errors,
+            residual_errors,
+            out.iterations,
+            if out.parity_satisfied { "OK" } else { "FAIL" },
+            out.early_terminated,
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! End-to-end integration: code construction → encoding → BPSK/AWGN channel →
+//! layered decoding, across standards, rates and arithmetic back-ends.
+
+use ldpc::prelude::*;
+
+fn end_to_end(
+    id: CodeId,
+    ebn0_db: f64,
+    frames: usize,
+    seed: u64,
+) -> (usize, usize, f64, QcCode) {
+    let code = id.build().expect("supported mode");
+    let decoder = LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default())
+        .expect("valid config");
+    let channel = AwgnChannel::from_ebn0_db(ebn0_db, code.rate());
+    let mut source = FrameSource::random(&code, seed).expect("encodable");
+    let mut channel_errors = 0;
+    let mut decoded_errors = 0;
+    let mut iterations = 0.0;
+    for _ in 0..frames {
+        let frame = source.next_frame();
+        let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+        channel_errors += llrs
+            .iter()
+            .zip(&frame.codeword)
+            .filter(|(&l, &b)| u8::from(l < 0.0) != b)
+            .count();
+        let out = decoder.decode(&code, &llrs).expect("length is correct");
+        decoded_errors += out.bit_errors_against(&frame.codeword);
+        iterations += out.iterations as f64;
+    }
+    (channel_errors, decoded_errors, iterations / frames as f64, code)
+}
+
+#[test]
+fn wimax_rate_half_corrects_a_noisy_channel() {
+    let (channel_errors, decoded_errors, _, _) = end_to_end(
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+        2.5,
+        6,
+        1,
+    );
+    assert!(channel_errors > 50, "channel should be noisy");
+    assert!(
+        decoded_errors * 20 < channel_errors,
+        "decoder must remove nearly all channel errors ({decoded_errors} of {channel_errors} left)"
+    );
+}
+
+#[test]
+fn wifi_code_decodes_too() {
+    let (channel_errors, decoded_errors, _, _) = end_to_end(
+        CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648),
+        2.5,
+        5,
+        2,
+    );
+    assert!(channel_errors > 0);
+    assert!(decoded_errors * 10 < channel_errors);
+}
+
+#[test]
+fn higher_rate_codes_need_better_channels() {
+    // At a fixed Eb/N0 near the rate-1/2 waterfall, the rate-5/6 code (less
+    // redundancy) leaves more residual errors.
+    let (_, errors_r12, _, _) = end_to_end(
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+        2.5,
+        6,
+        3,
+    );
+    let (_, errors_r56, _, _) = end_to_end(
+        CodeId::new(Standard::Wimax80216e, CodeRate::R5_6, 576),
+        2.5,
+        6,
+        3,
+    );
+    assert!(errors_r56 >= errors_r12);
+}
+
+#[test]
+fn early_termination_iterations_fall_with_snr() {
+    let (_, _, iters_poor, _) = end_to_end(
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+        0.5,
+        4,
+        4,
+    );
+    let (_, _, iters_good, _) = end_to_end(
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+        4.0,
+        4,
+        4,
+    );
+    assert!(
+        iters_good < iters_poor,
+        "average iterations should drop from {iters_poor} to {iters_good}"
+    );
+    assert!(iters_good <= 4.0);
+}
+
+#[test]
+fn fixed_point_and_minsum_backends_decode_the_same_frame() {
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+        .build()
+        .unwrap();
+    let channel = AwgnChannel::from_ebn0_db(3.5, code.rate());
+    let mut source = FrameSource::random(&code, 11).unwrap();
+    let frame = source.next_frame();
+    let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+
+    let fixed = LayeredDecoder::new(
+        FixedBpArithmetic::forward_backward(),
+        DecoderConfig::default(),
+    )
+    .unwrap();
+    let minsum =
+        LayeredDecoder::new(FixedMinSumArithmetic::default(), DecoderConfig::default()).unwrap();
+    let out_fixed = fixed.decode(&code, &llrs).unwrap();
+    let out_minsum = minsum.decode(&code, &llrs).unwrap();
+    assert_eq!(out_fixed.bit_errors_against(&frame.codeword), 0);
+    assert_eq!(out_minsum.bit_errors_against(&frame.codeword), 0);
+    assert!(out_fixed.parity_satisfied);
+    assert!(out_minsum.parity_satisfied);
+}
+
+#[test]
+fn decoding_is_deterministic_and_reproducible() {
+    let id = CodeId::new(Standard::Wimax80216e, CodeRate::R2_3, 1152);
+    let a = end_to_end(id, 3.0, 3, 77);
+    let b = end_to_end(id, 3.0, 3, 77);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn quantized_channel_llrs_still_decode() {
+    // Quantising the channel LLRs to the 8-bit decoder input format must not
+    // break decoding at a comfortable operating point.
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+        .build()
+        .unwrap();
+    let quantizer = LlrQuantizer::default();
+    let channel = AwgnChannel::from_ebn0_db(3.5, code.rate());
+    let decoder =
+        LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+    let mut source = FrameSource::random(&code, 5).unwrap();
+    for _ in 0..3 {
+        let frame = source.next_frame();
+        let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+        let quantized = quantizer.quantize_all(&llrs);
+        let out = decoder.decode(&code, &quantized).unwrap();
+        assert_eq!(out.bit_errors_against(&frame.codeword), 0);
+    }
+}
+
+#[test]
+fn dmbt_class_code_end_to_end() {
+    // The DMB-T-class code is much longer (7620 bits); a single clean-ish
+    // frame checks that the whole pipeline scales.
+    let (channel_errors, decoded_errors, _, code) = end_to_end(
+        CodeId::new(Standard::DmbT, CodeRate::R3_5, 7620),
+        3.0,
+        1,
+        9,
+    );
+    assert_eq!(code.z(), 127);
+    assert!(channel_errors > 0);
+    assert_eq!(decoded_errors, 0);
+}

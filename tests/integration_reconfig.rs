@@ -1,0 +1,97 @@
+//! Dynamic reconfiguration across the full multi-standard mode set.
+
+use ldpc::prelude::*;
+
+#[test]
+fn every_wimax_and_wifi_mode_fits_and_decodes_on_the_paper_datapath() {
+    let mut decoder = AsicLdpcDecoder::paper_multimode().unwrap();
+    let mut modes = CodeId::all_modes(Standard::Wimax80216e);
+    modes.extend(CodeId::all_modes(Standard::Wifi80211n));
+    assert_eq!(modes.len(), 76 + 12, "19·4 WiMax modes plus 3·4 WLAN modes");
+
+    for id in modes {
+        decoder.configure(&id).unwrap();
+        let z = id.sub_matrix_size().unwrap();
+        assert_eq!(decoder.active_lanes(), z, "mode {id}");
+        // A strongly biased all-zero frame decodes immediately in every mode.
+        let n = id.n;
+        let out = decoder.decode(&vec![8.0; n]).unwrap();
+        assert!(out.parity_satisfied, "mode {id}");
+        assert!(out.iterations <= 3, "mode {id} took {} iterations", out.iterations);
+        assert_eq!(out.hard_bits, vec![0u8; n], "mode {id}");
+        assert_eq!(out.active_lanes, z);
+    }
+}
+
+#[test]
+fn reconfiguration_deactivates_unused_lanes_and_saves_power() {
+    let mut decoder = AsicLdpcDecoder::paper_multimode().unwrap();
+    let power = PowerModel::paper_90nm();
+
+    let small = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+    let large = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2304);
+
+    decoder.configure(&small).unwrap();
+    let p_small = power
+        .power(decoder.active_lanes(), 96, 450.0e6, 1.0)
+        .total_mw;
+    decoder.configure(&large).unwrap();
+    let p_large = power
+        .power(decoder.active_lanes(), 96, 450.0e6, 1.0)
+        .total_mw;
+
+    assert_eq!(decoder.active_lanes(), 96);
+    assert!(p_small < p_large);
+    // Fig. 9(b): the small-code operating point sits roughly 35 % below the
+    // full-size one.
+    let reduction = 1.0 - p_small / p_large;
+    assert!((0.25..=0.45).contains(&reduction), "reduction {reduction}");
+}
+
+#[test]
+fn dmbt_needs_a_larger_datapath_than_the_papers_chip() {
+    // The paper's multi-mode chip targets 802.16e/.11n (z ≤ 96); DMB-T's
+    // z = 127 requires a wider datapath, which the model checks for.
+    let mut decoder = AsicLdpcDecoder::paper_multimode().unwrap();
+    let dmbt = CodeId::new(Standard::DmbT, CodeRate::R3_5, 7620).build().unwrap();
+    assert!(decoder.configure_code(&dmbt).is_err());
+
+    // A datapath sized for DMB-T accepts it.
+    let mut datapath = DatapathConfig::paper_default();
+    datapath.z_max = 127;
+    datapath.block_cols_max = 60;
+    datapath.lambda_slots_per_lane = dmbt.nnz_blocks();
+    let mut wide = AsicLdpcDecoder::new(datapath, ModeRom::new()).unwrap();
+    wide.configure_code(&dmbt).unwrap();
+    assert_eq!(wide.active_lanes(), 127);
+    let out = wide.decode(&vec![6.0; dmbt.n()]).unwrap();
+    assert!(out.parity_satisfied);
+}
+
+#[test]
+fn back_to_back_reconfiguration_is_stateless_across_frames() {
+    // Decoding in one mode must not corrupt the next mode's decode: all the
+    // per-frame state (Λ banks, L words) is reinitialised.
+    let mut decoder = AsicLdpcDecoder::paper_multimode().unwrap();
+    let a = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+    let b = CodeId::new(Standard::Wifi80211n, CodeRate::R5_6, 1944);
+
+    let code_a = a.build().unwrap();
+    let channel = AwgnChannel::from_ebn0_db(3.0, code_a.rate());
+    let mut source = FrameSource::random(&code_a, 3).unwrap();
+    let frame = source.next_frame();
+    let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+
+    decoder.configure(&a).unwrap();
+    let first = decoder.decode(&llrs).unwrap();
+
+    // Interleave a decode in a completely different mode.
+    decoder.configure(&b).unwrap();
+    let _ = decoder.decode(&vec![5.0; b.n]).unwrap();
+
+    // Re-running the original frame gives the identical result.
+    decoder.configure(&a).unwrap();
+    let second = decoder.decode(&llrs).unwrap();
+    assert_eq!(first.hard_bits, second.hard_bits);
+    assert_eq!(first.iterations, second.iterations);
+}
