@@ -113,9 +113,12 @@ impl ModeRom {
     ///
     /// Returns [`ArchError::UnknownMode`] if the mode is not stored.
     pub fn lookup(&self, id: &CodeId) -> Result<&DecoderModeConfig, ArchError> {
-        self.modes.iter().find(|m| &m.id == id).ok_or_else(|| ArchError::UnknownMode {
-            requested: id.to_string(),
-        })
+        self.modes
+            .iter()
+            .find(|m| &m.id == id)
+            .ok_or_else(|| ArchError::UnknownMode {
+                requested: id.to_string(),
+            })
     }
 
     /// All stored modes.

@@ -94,9 +94,19 @@ impl AreaModel {
         };
         let f = clock_hz.clamp(self.clock_points_hz[0], self.clock_points_hz[2]);
         let (lo, hi, a, b) = if f <= self.clock_points_hz[1] {
-            (self.clock_points_hz[0], self.clock_points_hz[1], points[0], points[1])
+            (
+                self.clock_points_hz[0],
+                self.clock_points_hz[1],
+                points[0],
+                points[1],
+            )
         } else {
-            (self.clock_points_hz[1], self.clock_points_hz[2], points[1], points[2])
+            (
+                self.clock_points_hz[1],
+                self.clock_points_hz[2],
+                points[1],
+                points[2],
+            )
         };
         let t = (f - lo) / (hi - lo);
         a + t * (b - a)
@@ -133,8 +143,11 @@ impl AreaModel {
         let l_bits = block_cols * lanes * app_bits as usize;
         let l_mem_mm2 = l_bits as f64 * self.sram_um2_per_bit * um2_to_mm2;
         let stages = (usize::BITS - (lanes.max(2) - 1).leading_zeros()) as f64;
-        let shifter_mm2 =
-            lanes as f64 * message_bits as f64 * stages * self.shifter_um2_per_bit_stage * um2_to_mm2;
+        let shifter_mm2 = lanes as f64
+            * message_bits as f64
+            * stages
+            * self.shifter_um2_per_bit_stage
+            * um2_to_mm2;
         let control_mm2 = self.control_fixed_mm2
             + rom.total_rom_words() as f64 * self.rom_um2_per_word * um2_to_mm2;
         // Input and output frame buffers: one frame of channel LLRs in, one

@@ -97,8 +97,14 @@ impl PowerModel {
         clock_hz: f64,
         utilization: f64,
     ) -> PowerReport {
-        assert!((0.0..=1.0).contains(&utilization), "utilization must be in [0, 1]");
-        assert!(active_lanes <= z_max, "more active lanes than physical lanes");
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0, 1]"
+        );
+        assert!(
+            active_lanes <= z_max,
+            "more active lanes than physical lanes"
+        );
         let scale = utilization * clock_hz / self.reference_clock_hz;
         let control_mw = self.control_mw * scale;
         let central_mw = self.central_mw * (active_lanes as f64 / z_max as f64) * scale;

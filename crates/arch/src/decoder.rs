@@ -420,7 +420,10 @@ mod tests {
         let datapath = DatapathConfig::paper_default();
         let mut dec = AsicLdpcDecoder::new(datapath, ModeRom::new()).unwrap();
         assert_eq!(dec.active_lanes(), 0);
-        assert!(matches!(dec.decode(&[0.0; 10]), Err(ArchError::NotConfigured)));
+        assert!(matches!(
+            dec.decode(&[0.0; 10]),
+            Err(ArchError::NotConfigured)
+        ));
     }
 
     #[test]
@@ -448,7 +451,9 @@ mod tests {
             Err(ArchError::CodeTooLarge { .. })
         ));
         // DMB-T (z = 127) does not fit the 96-lane datapath either.
-        let dmbt = CodeId::new(Standard::DmbT, CodeRate::R3_5, 7620).build().unwrap();
+        let dmbt = CodeId::new(Standard::DmbT, CodeRate::R3_5, 7620)
+            .build()
+            .unwrap();
         let mut dec = AsicLdpcDecoder::paper_multimode().unwrap();
         assert!(matches!(
             dec.configure_code(&dmbt),

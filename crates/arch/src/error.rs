@@ -39,7 +39,10 @@ impl fmt::Display for ArchError {
             }
             ArchError::NotConfigured => write!(f, "decoder has not been configured with a code"),
             ArchError::LlrLengthMismatch { expected, actual } => {
-                write!(f, "channel LLR length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "channel LLR length mismatch: expected {expected}, got {actual}"
+                )
             }
             ArchError::UnknownMode { requested } => {
                 write!(f, "mode ROM does not contain mode: {requested}")

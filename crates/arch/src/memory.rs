@@ -52,7 +52,10 @@ impl LMemory {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(block_cols: usize, z_max: usize) -> Self {
-        assert!(block_cols > 0 && z_max > 0, "memory dimensions must be positive");
+        assert!(
+            block_cols > 0 && z_max > 0,
+            "memory dimensions must be positive"
+        );
         LMemory {
             z_max,
             words: vec![vec![0; z_max]; block_cols],
@@ -150,7 +153,10 @@ impl LambdaMemory {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(lanes: usize, entries_per_lane: usize) -> Self {
-        assert!(lanes > 0 && entries_per_lane > 0, "memory dimensions must be positive");
+        assert!(
+            lanes > 0 && entries_per_lane > 0,
+            "memory dimensions must be positive"
+        );
         LambdaMemory {
             lanes,
             entries_per_lane,
@@ -270,8 +276,14 @@ mod tests {
 
     #[test]
     fn activity_counters_merge_and_reset() {
-        let mut a = MemoryActivity { reads: 3, writes: 2 };
-        let b = MemoryActivity { reads: 1, writes: 4 };
+        let mut a = MemoryActivity {
+            reads: 3,
+            writes: 2,
+        };
+        let b = MemoryActivity {
+            reads: 1,
+            writes: 4,
+        };
         a.merge(&b);
         assert_eq!(a.total(), 10);
         let mut mem = LambdaMemory::new(2, 2);

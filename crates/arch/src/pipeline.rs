@@ -130,9 +130,8 @@ impl PipelineModel {
                     .iter()
                     .map(|l| l.iter().map(|&(c, _)| c).collect())
                     .collect();
-                let overlap = |a: &Vec<usize>, b: &Vec<usize>| {
-                    a.iter().filter(|c| b.contains(c)).count()
-                };
+                let overlap =
+                    |a: &Vec<usize>, b: &Vec<usize>| a.iter().filter(|c| b.contains(c)).count();
                 let mut order = vec![0usize];
                 let mut remaining: Vec<usize> = (1..config.block_rows).collect();
                 while !remaining.is_empty() {
@@ -262,7 +261,11 @@ mod tests {
             "ceil rounding adds at most one cycle per layer"
         );
         // Total overhead (shifter + stalls + fill/drain + I/O) stays below ~25 %.
-        assert!(report.overhead_fraction() < 0.25, "overhead {}", report.overhead_fraction());
+        assert!(
+            report.overhead_fraction() < 0.25,
+            "overhead {}",
+            report.overhead_fraction()
+        );
         assert_eq!(report.iterations, 10);
     }
 

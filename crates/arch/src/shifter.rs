@@ -81,7 +81,10 @@ impl CircularShifter {
     ///
     /// Panics if `size > z_max`, `size > word.len()` or `size == 0`.
     pub fn rotate<T: Copy>(&mut self, word: &[T], shift: usize, size: usize) -> Vec<T> {
-        assert!(size > 0 && size <= self.z_max, "invalid rotation size {size}");
+        assert!(
+            size > 0 && size <= self.z_max,
+            "invalid rotation size {size}"
+        );
         assert!(size <= word.len(), "word shorter than rotation size");
         self.rotations_performed += 1;
         let mut out = word.to_vec();
@@ -98,7 +101,10 @@ impl CircularShifter {
     ///
     /// Panics under the same conditions as [`CircularShifter::rotate`].
     pub fn rotate_back<T: Copy>(&mut self, word: &[T], shift: usize, size: usize) -> Vec<T> {
-        assert!(size > 0 && size <= self.z_max, "invalid rotation size {size}");
+        assert!(
+            size > 0 && size <= self.z_max,
+            "invalid rotation size {size}"
+        );
         assert!(size <= word.len(), "word shorter than rotation size");
         self.rotations_performed += 1;
         let mut out = word.to_vec();

@@ -60,7 +60,12 @@ impl ThroughputModel {
 
     /// Information throughput (bit/s) derived from a cycle-accurate report.
     #[must_use]
-    pub fn simulated_bps(&self, config: &DecoderModeConfig, rate: f64, cycles: &CycleReport) -> f64 {
+    pub fn simulated_bps(
+        &self,
+        config: &DecoderModeConfig,
+        rate: f64,
+        cycles: &CycleReport,
+    ) -> f64 {
         let info_bits = (config.n() as f64 * rate).round();
         info_bits * self.clock_hz / cycles.total() as f64
     }

@@ -1,0 +1,92 @@
+//! Criterion benchmark of the batched decode engine versus the naive
+//! sequential loop, for batch sizes 1 / 8 / 64 on the WiMax-class rate-1/2
+//! 2304-bit code at a fixed 10 iterations.
+//!
+//! Three variants per batch size:
+//!
+//! * `seq_naive`   — the seed-style loop: `decode(&code, llrs)` per frame,
+//!   which re-compiles the schedule and re-allocates all decoder state every
+//!   frame;
+//! * `seq_reused`  — sequential `decode_into` against a precompiled schedule
+//!   with one reused workspace (isolates the zero-allocation win);
+//! * `batch`       — `decode_batch_into`, which adds frame-level thread
+//!   parallelism on top of `seq_reused`.
+//!
+//! Throughput is declared in frames per iteration, so the report includes
+//! frames/s; info-bit Mbps is `frames/s · info_bits / 1e6` (info_bits = 1152
+//! for this code). Run with `CRITERION_JSON_OUT=BENCH_batch.json` to record a
+//! machine-readable baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldpc_channel::awgn::AwgnChannel;
+use ldpc_channel::workload::FrameSource;
+use ldpc_codes::{CodeId, CodeRate, Standard};
+use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
+use ldpc_core::{DecodeOutput, Decoder, FloatBpArithmetic, LlrBatch};
+
+fn bench_batch_decode(c: &mut Criterion) {
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2304)
+        .build()
+        .unwrap();
+    let compiled = code.compile();
+    // Fixed iteration count: every variant does identical arithmetic work,
+    // so the differences are pure engine overhead (allocation, schedule
+    // recompilation, threading).
+    let decoder = LayeredDecoder::new(
+        FloatBpArithmetic::default(),
+        DecoderConfig::fixed_iterations(10),
+    )
+    .unwrap();
+    let channel = AwgnChannel::from_ebn0_db(2.5, code.rate());
+    let mut source = FrameSource::random(&code, 99).unwrap();
+    let block = source.next_block(&channel, 64);
+
+    let mut group = c.benchmark_group("decoder_batch_throughput");
+    for &frames in &[1usize, 8, 64] {
+        let llrs = &block.llrs[..frames * code.n()];
+        let batch = LlrBatch::new(llrs, code.n()).unwrap();
+        group.throughput(Throughput::Elements(frames as u64));
+
+        group.bench_with_input(BenchmarkId::new("seq_naive", frames), &batch, |b, batch| {
+            b.iter(|| {
+                for llrs in batch.iter() {
+                    decoder.decode(&code, llrs).unwrap();
+                }
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("seq_reused", frames),
+            &batch,
+            |b, batch| {
+                let mut ws = decoder.workspace_for(&compiled);
+                let mut out = DecodeOutput::empty();
+                b.iter(|| {
+                    for llrs in batch.iter() {
+                        decoder
+                            .decode_into(&compiled, llrs, &mut ws, &mut out)
+                            .unwrap();
+                    }
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("batch", frames), &batch, |b, batch| {
+            let mut outputs: Vec<DecodeOutput> =
+                (0..frames).map(|_| DecodeOutput::empty()).collect();
+            b.iter(|| {
+                decoder
+                    .decode_batch_into(&compiled, *batch, &mut outputs)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(700));
+    targets = bench_batch_decode
+}
+criterion_main!(benches);

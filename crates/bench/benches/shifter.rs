@@ -8,7 +8,7 @@ fn bench_shifter(c: &mut Criterion) {
     let mut group = c.benchmark_group("circular_shifter_rotate");
     for &z in &[24usize, 48, 96] {
         let mut shifter = CircularShifter::new(96);
-        let word: Vec<i32> = (0..96).map(|i| i as i32 * 3 - 40).collect();
+        let word: Vec<i32> = (0..96).map(|i| i * 3 - 40).collect();
         group.bench_with_input(BenchmarkId::from_parameter(z), &z, |b, &z| {
             b.iter(|| {
                 let rotated = shifter.rotate(black_box(&word), black_box(z / 3), z);

@@ -16,7 +16,10 @@ fn row_f64(degree: usize) -> Vec<f64> {
 }
 
 fn row_codes(arith: &FixedBpArithmetic, degree: usize) -> Vec<i32> {
-    row_f64(degree).iter().map(|&x| arith.from_channel(x)).collect()
+    row_f64(degree)
+        .iter()
+        .map(|&x| arith.from_channel(x))
+        .collect()
 }
 
 fn bench_operators(c: &mut Criterion) {

@@ -32,7 +32,8 @@ fn main() {
         .expect("supported mode");
     let ebn0_points = [1.5, 2.0, 2.5, 3.0];
 
-    let variants: Vec<(&str, Box<dyn Fn() -> FixedBpArithmetic>)> = vec![
+    type VariantFactory = Box<dyn Fn() -> FixedBpArithmetic>;
+    let variants: Vec<(&str, VariantFactory)> = vec![
         (
             "8-bit, 3-bit LUT, sum-extract (paper)",
             Box::new(FixedBpArithmetic::default),

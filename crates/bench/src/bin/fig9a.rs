@@ -21,9 +21,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(80);
     let max_iterations = paper::fig9::FIG9A_MAX_ITERATIONS;
-    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, paper::fig9::FIG9A_BLOCK_SIZE)
-        .build()
-        .expect("supported mode");
+    let code = CodeId::new(
+        Standard::Wimax80216e,
+        CodeRate::R1_2,
+        paper::fig9::FIG9A_BLOCK_SIZE,
+    )
+    .build()
+    .expect("supported mode");
     let power_model = PowerModel::paper_90nm();
 
     let et_config = DecoderConfig {
@@ -88,5 +92,8 @@ fn main() {
         paper::fig9::FIG9A_POWER_WITH_ET_AT_5DB_MW,
         100.0 * paper::fig9::FIG9A_MAX_SAVING
     );
-    println!("This reproduction: maximum saving {:.0}%.", 100.0 * max_saving);
+    println!(
+        "This reproduction: maximum saving {:.0}%.",
+        100.0 * max_saving
+    );
 }

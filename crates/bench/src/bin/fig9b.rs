@@ -20,14 +20,22 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 9(b): power vs block size with distributed SISO decoding and memory banking",
-        &["block size (bits)", "z (active lanes)", "power (mW)", "paper (mW, approx.)"],
+        &[
+            "block size (bits)",
+            "z (active lanes)",
+            "power (mW)",
+            "paper (mW, approx.)",
+        ],
     );
 
     let paper_lookup = |n: usize| -> String {
         paper::fig9::FIG9B_BLOCK_SIZES
             .iter()
             .position(|&b| b == n)
-            .map_or_else(|| "-".to_string(), |i| format!("{:.0}", paper::fig9::FIG9B_POWER_MW[i]))
+            .map_or_else(
+                || "-".to_string(),
+                |i| format!("{:.0}", paper::fig9::FIG9B_POWER_MW[i]),
+            )
     };
 
     let mut first = None;

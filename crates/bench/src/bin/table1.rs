@@ -14,7 +14,10 @@ fn main() {
         &["parameter", "WLAN-802.11n", "WiMax-802.16e", "DMB-T"],
     );
 
-    let params: Vec<_> = Standard::ALL.iter().map(|&s| design_parameters(s)).collect();
+    let params: Vec<_> = Standard::ALL
+        .iter()
+        .map(|&s| design_parameters(s))
+        .collect();
     let fmt_range = |lo: usize, hi: usize| {
         if lo == hi {
             lo.to_string()

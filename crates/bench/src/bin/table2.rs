@@ -72,9 +72,24 @@ fn main() {
     ]);
     table.add_row(&[
         "eta = speedup/area-overhead, model".to_string(),
-        format!("{:.2}", speedup / (area.siso_area_um2(SisoRadix::Radix4, clocks[0]) / area.siso_area_um2(SisoRadix::Radix2, clocks[0]))),
-        format!("{:.2}", speedup / (area.siso_area_um2(SisoRadix::Radix4, clocks[1]) / area.siso_area_um2(SisoRadix::Radix2, clocks[1]))),
-        format!("{:.2}", speedup / (area.siso_area_um2(SisoRadix::Radix4, clocks[2]) / area.siso_area_um2(SisoRadix::Radix2, clocks[2]))),
+        format!(
+            "{:.2}",
+            speedup
+                / (area.siso_area_um2(SisoRadix::Radix4, clocks[0])
+                    / area.siso_area_um2(SisoRadix::Radix2, clocks[0]))
+        ),
+        format!(
+            "{:.2}",
+            speedup
+                / (area.siso_area_um2(SisoRadix::Radix4, clocks[1])
+                    / area.siso_area_um2(SisoRadix::Radix2, clocks[1]))
+        ),
+        format!(
+            "{:.2}",
+            speedup
+                / (area.siso_area_um2(SisoRadix::Radix4, clocks[2])
+                    / area.siso_area_um2(SisoRadix::Radix2, clocks[2]))
+        ),
     ]);
     table.add_row(&[
         "eta, paper".to_string(),

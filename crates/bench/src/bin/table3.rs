@@ -11,8 +11,9 @@
 //! cargo run --release -p ldpc-bench --bin table3
 //! ```
 
-use ldpc_arch::{AreaModel, AsicLdpcDecoder, PipelineModel, PipelineOptions, PowerModel,
-    ThroughputModel};
+use ldpc_arch::{
+    AreaModel, AsicLdpcDecoder, PipelineModel, PipelineOptions, PowerModel, ThroughputModel,
+};
 use ldpc_bench::{paper, Table};
 use ldpc_codes::{CodeId, Standard};
 use ldpc_core::siso::SisoRadix;
@@ -20,7 +21,10 @@ use ldpc_core::siso::SisoRadix;
 fn max_throughput_mbps(iterations: usize) -> (f64, CodeId) {
     let throughput = ThroughputModel::paper_operating_point();
     let pipeline = PipelineModel::new(PipelineOptions::default());
-    let mut best = (0.0, CodeId::new(Standard::Wimax80216e, ldpc_codes::CodeRate::R1_2, 576));
+    let mut best = (
+        0.0,
+        CodeId::new(Standard::Wimax80216e, ldpc_codes::CodeRate::R1_2, 576),
+    );
     let mut modes = CodeId::all_modes(Standard::Wimax80216e);
     modes.extend(CodeId::all_modes(Standard::Wifi80211n));
     for id in modes {
@@ -71,7 +75,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table 3: LDPC decoder architecture comparison",
-        &["quantity", "this reproduction", columns[0].name, columns[1].name, columns[2].name],
+        &[
+            "quantity",
+            "this reproduction",
+            columns[0].name,
+            columns[1].name,
+            columns[2].name,
+        ],
     );
     let paper_rows: Vec<[String; 4]> = vec![
         [

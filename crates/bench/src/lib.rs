@@ -13,5 +13,5 @@ pub mod mc;
 pub mod paper;
 pub mod table;
 
-pub use mc::{run_monte_carlo, McConfig, McResult};
+pub use mc::{run_monte_carlo, run_monte_carlo_with, McConfig, McResult};
 pub use table::Table;

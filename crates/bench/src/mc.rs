@@ -1,10 +1,23 @@
 //! Monte-Carlo decoding runs shared by the experiment binaries.
+//!
+//! The harness runs on the batched decode engine: the layer schedule is
+//! compiled once per run ([`ldpc_codes::CompiledCode`]), frames and LLRs are
+//! generated in blocks ([`ldpc_channel::FrameBlock`]) and decoded with
+//! [`Decoder::decode_batch_into`], which spreads frames across worker threads
+//! with one reused workspace each. Results are bit-identical to the old
+//! frame-at-a-time loop (same RNG interleaving, same per-frame kernel), just
+//! without its per-frame schedule/allocation cost.
 
 use ldpc_channel::awgn::AwgnChannel;
-use ldpc_channel::workload::FrameSource;
+use ldpc_channel::workload::{FrameBlock, FrameSource};
 use ldpc_codes::QcCode;
 use ldpc_core::arith::DecoderArithmetic;
 use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
+use ldpc_core::{DecodeOutput, Decoder, LlrBatch};
+
+/// Frames generated and decoded per batch (bounds peak memory while keeping
+/// every worker thread fed).
+const BATCH_FRAMES: usize = 32;
 
 /// Configuration of one Monte-Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,42 +45,72 @@ pub struct McResult {
     pub channel_ber: f64,
 }
 
-/// Runs `config.frames` encode → AWGN → decode trials and aggregates the
-/// statistics.
+/// Runs `config.frames` encode → AWGN → decode trials on the batch engine
+/// and aggregates the statistics.
 ///
 /// # Panics
 ///
 /// Panics if the code is not encodable or the decoder configuration is
 /// invalid — both indicate programming errors in the experiment harness.
 #[must_use]
-pub fn run_monte_carlo<A: DecoderArithmetic>(
+pub fn run_monte_carlo<A: DecoderArithmetic + Sync>(
     arith: A,
     decoder_config: DecoderConfig,
     code: &QcCode,
     config: McConfig,
 ) -> McResult {
     let decoder = LayeredDecoder::new(arith, decoder_config).expect("valid decoder config");
+    run_monte_carlo_with(&decoder, code, config)
+}
+
+/// Like [`run_monte_carlo`], but over any [`Decoder`] implementation
+/// (layered or flooding schedule).
+///
+/// # Panics
+///
+/// Panics if the code is not encodable.
+#[must_use]
+pub fn run_monte_carlo_with<D: Decoder + Sync>(
+    decoder: &D,
+    code: &QcCode,
+    config: McConfig,
+) -> McResult {
+    let compiled = code.compile();
     let channel = AwgnChannel::from_ebn0_db(config.ebn0_db, code.rate());
     let mut source = FrameSource::random(code, config.seed).expect("encodable code");
+
+    let mut block = FrameBlock::new();
+    let mut outputs: Vec<DecodeOutput> = Vec::new();
 
     let mut bit_errors = 0usize;
     let mut channel_errors = 0usize;
     let mut frame_errors = 0usize;
     let mut iterations = 0usize;
-    for _ in 0..config.frames {
-        let frame = source.next_frame();
-        let llrs = channel.transmit(&frame.codeword, source.noise_rng());
-        channel_errors += llrs
+    let mut remaining = config.frames;
+    while remaining > 0 {
+        let batch_frames = remaining.min(BATCH_FRAMES);
+        source.fill_block(&channel, batch_frames, &mut block);
+        channel_errors += block
+            .llrs
             .iter()
-            .zip(&frame.codeword)
+            .zip(&block.codewords)
             .filter(|(&l, &b)| u8::from(l < 0.0) != b)
             .count();
-        let out = decoder.decode(code, &llrs).expect("LLR length matches");
-        let errors = out.bit_errors_against(&frame.codeword);
-        bit_errors += errors;
-        frame_errors += usize::from(errors > 0);
-        iterations += out.iterations;
+
+        outputs.resize_with(batch_frames, DecodeOutput::empty);
+        let batch = LlrBatch::new(&block.llrs, code.n()).expect("block shape matches code");
+        decoder
+            .decode_batch_into(&compiled, batch, &mut outputs)
+            .expect("LLR length matches");
+        for (i, out) in outputs.iter().enumerate() {
+            let errors = out.bit_errors_against(block.codeword(i));
+            bit_errors += errors;
+            frame_errors += usize::from(errors > 0);
+            iterations += out.iterations;
+        }
+        remaining -= batch_frames;
     }
+
     let total_bits = (config.frames * code.n()) as f64;
     McResult {
         ber: bit_errors as f64 / total_bits,
@@ -82,17 +125,20 @@ pub fn run_monte_carlo<A: DecoderArithmetic>(
 mod tests {
     use super::*;
     use ldpc_codes::{CodeId, CodeRate, Standard};
-    use ldpc_core::FloatBpArithmetic;
+    use ldpc_core::{FloatBpArithmetic, FloodingDecoder};
+
+    fn code() -> QcCode {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn monte_carlo_reports_consistent_statistics() {
-        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
-            .build()
-            .unwrap();
         let result = run_monte_carlo(
             FloatBpArithmetic::default(),
             DecoderConfig::default(),
-            &code,
+            &code(),
             McConfig {
                 ebn0_db: 3.0,
                 frames: 4,
@@ -108,9 +154,7 @@ mod tests {
 
     #[test]
     fn monte_carlo_is_deterministic() {
-        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
-            .build()
-            .unwrap();
+        let code = code();
         let cfg = McConfig {
             ebn0_db: 2.0,
             frames: 3,
@@ -129,5 +173,63 @@ mod tests {
             cfg,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_harness_matches_sequential_decoding() {
+        // The batch engine must reproduce the frame-at-a-time loop exactly.
+        let code = code();
+        let cfg = McConfig {
+            ebn0_db: 2.5,
+            frames: 5,
+            seed: 4,
+        };
+        let batched = run_monte_carlo(
+            FloatBpArithmetic::default(),
+            DecoderConfig::default(),
+            &code,
+            cfg,
+        );
+
+        let decoder =
+            LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        let channel = AwgnChannel::from_ebn0_db(cfg.ebn0_db, code.rate());
+        let mut source = FrameSource::random(&code, cfg.seed).unwrap();
+        let mut bit_errors = 0usize;
+        let mut iterations = 0usize;
+        for _ in 0..cfg.frames {
+            let frame = source.next_frame();
+            let llrs = channel.transmit(&frame.codeword, source.noise_rng());
+            let out = decoder.decode(&code, &llrs).unwrap();
+            bit_errors += out.bit_errors_against(&frame.codeword);
+            iterations += out.iterations;
+        }
+        let total_bits = (cfg.frames * code.n()) as f64;
+        assert_eq!(batched.ber, bit_errors as f64 / total_bits);
+        assert_eq!(
+            batched.avg_iterations,
+            iterations as f64 / cfg.frames as f64
+        );
+    }
+
+    #[test]
+    fn generic_harness_runs_the_flooding_schedule() {
+        let code = code();
+        let decoder = FloodingDecoder::new(
+            FloatBpArithmetic::default(),
+            DecoderConfig::fixed_iterations(15),
+        )
+        .unwrap();
+        let result = run_monte_carlo_with(
+            &decoder,
+            &code,
+            McConfig {
+                ebn0_db: 3.5,
+                frames: 3,
+                seed: 2,
+            },
+        );
+        assert_eq!(result.frames, 3);
+        assert_eq!(result.ber, 0.0, "3.5 dB frames should decode cleanly");
     }
 }

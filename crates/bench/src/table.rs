@@ -23,7 +23,8 @@ impl Table {
 
     /// Appends a row (cells are displayed as given).
     pub fn add_row<S: ToString>(&mut self, cells: &[S]) {
-        self.rows.push(cells.iter().map(ToString::to_string).collect());
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
     }
 
     /// Number of data rows.

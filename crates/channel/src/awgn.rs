@@ -89,6 +89,22 @@ impl AwgnChannel {
         llr::channel_llrs(&received, self.sigma)
     }
 
+    /// Transmits a codeword and writes the channel LLRs into `out`, drawing
+    /// the exact same noise stream as [`transmit`](Self::transmit) but without
+    /// allocating. Feeds the batched Monte-Carlo workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != codeword.len()`.
+    pub fn transmit_into<R: Rng + ?Sized>(&self, codeword: &[u8], rng: &mut R, out: &mut [f64]) {
+        assert_eq!(out.len(), codeword.len(), "LLR buffer length mismatch");
+        for (slot, &bit) in out.iter_mut().zip(codeword) {
+            let symbol = bpsk::modulate_bit(bit);
+            let received = symbol + self.sigma * StandardNormal.sample(rng);
+            *slot = llr::channel_llr(received, self.sigma);
+        }
+    }
+
     /// Transmits and returns both the noisy symbols and the channel LLRs.
     #[must_use]
     pub fn transmit_with_symbols<R: Rng + ?Sized>(
@@ -159,10 +175,16 @@ mod tests {
         let symbols = vec![1.0; n];
         let received = ch.add_noise(&symbols, &mut rng);
         let mean: f64 = received.iter().sum::<f64>() / n as f64;
-        let var: f64 =
-            received.iter().map(|&y| (y - mean) * (y - mean)).sum::<f64>() / (n - 1) as f64;
+        let var: f64 = received
+            .iter()
+            .map(|&y| (y - mean) * (y - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
         assert!((mean - 1.0).abs() < 0.02, "mean {mean} too far from 1.0");
-        assert!((var - 0.64).abs() < 0.03, "variance {var} too far from 0.64");
+        assert!(
+            (var - 0.64).abs() < 0.03,
+            "variance {var} too far from 0.64"
+        );
     }
 
     #[test]
@@ -192,6 +214,27 @@ mod tests {
         for (l, b) in llrs.iter().zip(&bits) {
             assert_eq!(u8::from(*l < 0.0), *b);
         }
+    }
+
+    #[test]
+    fn transmit_into_matches_transmit_exactly() {
+        let ch = AwgnChannel::from_ebn0_db(2.0, 0.5);
+        let bits: Vec<u8> = (0..64).map(|i| ((i * 5) % 2) as u8).collect();
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        let allocated = ch.transmit(&bits, &mut rng_a);
+        let mut into = vec![0.0; bits.len()];
+        ch.transmit_into(&bits, &mut rng_b, &mut into);
+        assert_eq!(allocated, into, "same seed must give identical LLR streams");
+    }
+
+    #[test]
+    #[should_panic(expected = "LLR buffer length mismatch")]
+    fn transmit_into_checks_length() {
+        let ch = AwgnChannel::from_ebn0_db(2.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = vec![0.0; 3];
+        ch.transmit_into(&[0u8; 4], &mut rng, &mut out);
     }
 
     #[test]

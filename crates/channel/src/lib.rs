@@ -42,4 +42,4 @@ pub mod workload;
 pub use awgn::AwgnChannel;
 pub use quantize::LlrQuantizer;
 pub use stats::{ErrorCounter, IterationHistogram, SnrPoint, SnrSweep};
-pub use workload::{Frame, FrameSource};
+pub use workload::{Frame, FrameBlock, FrameSource};

@@ -2,11 +2,18 @@
 //!
 //! A [`FrameSource`] produces the transmit-side workload of one Monte-Carlo
 //! trial: an information word, the systematically encoded codeword and (via
-//! [`crate::awgn::AwgnChannel`]) the channel LLRs the decoder sees.
+//! [`crate::awgn::AwgnChannel`]) the channel LLRs the decoder sees. For
+//! batched decoding, [`FrameSource::fill_block`] generates whole blocks of
+//! frames and LLRs into flat reusable buffers ([`FrameBlock`]): bits are
+//! drawn, encoded and transmitted directly into the block, so refilling a
+//! same-shape block allocates nothing beyond the encoder's internal parity
+//! scratch, and the LLR buffer is handed to the decode engine's batch API
+//! as-is.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::awgn::AwgnChannel;
 use ldpc_codes::{CodeError, Encoder, QcCode};
 
 /// One generated frame: the information bits and the encoded codeword.
@@ -99,7 +106,9 @@ impl FrameSource {
                 codeword: self.encoder.all_zero_codeword(),
             };
         }
-        let info: Vec<u8> = (0..info_len).map(|_| self.data_rng.gen_range(0..=1)).collect();
+        let info: Vec<u8> = (0..info_len)
+            .map(|_| self.data_rng.gen_range(0..=1))
+            .collect();
         let codeword = self
             .encoder
             .encode(&info)
@@ -111,6 +120,135 @@ impl FrameSource {
     /// [`crate::awgn::AwgnChannel::transmit`].
     pub fn noise_rng(&mut self) -> &mut StdRng {
         &mut self.noise_rng
+    }
+
+    /// Generates `frames` frames and their channel LLRs into `block`,
+    /// reusing its buffers. Bits are drawn, encoded and transmitted directly
+    /// into the block's flat buffers, so a same-shape refill allocates
+    /// nothing beyond the encoder's internal parity scratch.
+    ///
+    /// The data and noise streams are drawn in exactly the same interleaving
+    /// as a `next_frame` / `transmit` loop, so block generation reproduces
+    /// the sequential workload bit for bit.
+    pub fn fill_block(&mut self, channel: &AwgnChannel, frames: usize, block: &mut FrameBlock) {
+        let n = self.code().n();
+        let info_len = self.code().info_bits();
+        block.reshape(frames, n, info_len);
+        for i in 0..frames {
+            self.frames_generated += 1;
+            if !self.all_zero {
+                let info = &mut block.infos[i * info_len..(i + 1) * info_len];
+                for bit in info.iter_mut() {
+                    *bit = self.data_rng.gen_range(0..=1);
+                }
+                self.encoder
+                    .encode_into(
+                        &block.infos[i * info_len..(i + 1) * info_len],
+                        &mut block.codewords[i * n..(i + 1) * n],
+                    )
+                    .expect("info length matches the code by construction");
+            }
+            // (all-zero sources transmit the zeroed buffers as-is.)
+            channel.transmit_into(
+                &block.codewords[i * n..(i + 1) * n],
+                &mut self.noise_rng,
+                &mut block.llrs[i * n..(i + 1) * n],
+            );
+        }
+    }
+
+    /// Allocates and fills a fresh [`FrameBlock`] of `frames` frames.
+    #[must_use]
+    pub fn next_block(&mut self, channel: &AwgnChannel, frames: usize) -> FrameBlock {
+        let mut block = FrameBlock::new();
+        self.fill_block(channel, frames, &mut block);
+        block
+    }
+}
+
+/// A block of generated frames in flat (structure-of-arrays) layout:
+/// `frames` consecutive information words, codewords and LLR frames.
+///
+/// The `llrs` buffer is exactly the shape the decode engine's batch API
+/// expects (`frames · n` values, frame-major).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameBlock {
+    frames: usize,
+    n: usize,
+    info_len: usize,
+    /// Information bits, `frames · info_len` values.
+    pub infos: Vec<u8>,
+    /// Codewords, `frames · n` values.
+    pub codewords: Vec<u8>,
+    /// Channel LLRs, `frames · n` values.
+    pub llrs: Vec<f64>,
+}
+
+impl FrameBlock {
+    /// An empty block; buffers grow on first fill.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameBlock::default()
+    }
+
+    fn reshape(&mut self, frames: usize, n: usize, info_len: usize) {
+        self.frames = frames;
+        self.n = n;
+        self.info_len = info_len;
+        self.infos.clear();
+        self.infos.resize(frames * info_len, 0);
+        self.codewords.clear();
+        self.codewords.resize(frames * n, 0);
+        self.llrs.clear();
+        self.llrs.resize(frames * n, 0.0);
+    }
+
+    /// Number of frames in the block.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Codeword length `n` of each frame.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Information bits per frame.
+    #[must_use]
+    pub fn info_len(&self) -> usize {
+        self.info_len
+    }
+
+    /// The information bits of frame `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= frames()`.
+    #[must_use]
+    pub fn info(&self, i: usize) -> &[u8] {
+        &self.infos[i * self.info_len..(i + 1) * self.info_len]
+    }
+
+    /// The codeword of frame `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= frames()`.
+    #[must_use]
+    pub fn codeword(&self, i: usize) -> &[u8] {
+        &self.codewords[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The channel LLRs of frame `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= frames()`.
+    #[must_use]
+    pub fn frame_llrs(&self, i: usize) -> &[f64] {
+        &self.llrs[i * self.n..(i + 1) * self.n]
     }
 }
 
@@ -165,6 +303,67 @@ mod tests {
         let mut a = FrameSource::random(&code, 1).unwrap();
         let mut b = FrameSource::random(&code, 2).unwrap();
         assert_ne!(a.next_frame(), b.next_frame());
+    }
+
+    #[test]
+    fn block_generation_matches_sequential_generation() {
+        let code = code();
+        let channel = AwgnChannel::from_ebn0_db(2.5, code.rate());
+        let frames = 4;
+
+        // Sequential reference.
+        let mut seq = FrameSource::random(&code, 33).unwrap();
+        let mut seq_codewords = Vec::new();
+        let mut seq_llrs = Vec::new();
+        for _ in 0..frames {
+            let frame = seq.next_frame();
+            let llrs = channel.transmit(&frame.codeword, seq.noise_rng());
+            seq_codewords.extend_from_slice(&frame.codeword);
+            seq_llrs.extend_from_slice(&llrs);
+        }
+
+        // Batched generation from the same seed.
+        let mut batched = FrameSource::random(&code, 33).unwrap();
+        let block = batched.next_block(&channel, frames);
+        assert_eq!(block.frames(), frames);
+        assert_eq!(block.n(), code.n());
+        assert_eq!(block.info_len(), code.info_bits());
+        assert_eq!(block.codewords, seq_codewords);
+        assert_eq!(block.llrs, seq_llrs);
+        assert_eq!(batched.frames_generated(), frames as u64);
+        for i in 0..frames {
+            assert!(code.is_codeword(block.codeword(i)).unwrap());
+            assert_eq!(&block.codeword(i)[..code.info_bits()], block.info(i));
+            assert_eq!(
+                block.frame_llrs(i),
+                &seq_llrs[i * code.n()..(i + 1) * code.n()]
+            );
+        }
+    }
+
+    #[test]
+    fn fill_block_reuses_buffers() {
+        let code = code();
+        let channel = AwgnChannel::from_ebn0_db(3.0, code.rate());
+        let mut source = FrameSource::all_zero(&code, 7).unwrap();
+        let mut block = FrameBlock::new();
+        source.fill_block(&channel, 6, &mut block);
+        let ptrs = (
+            block.infos.as_ptr(),
+            block.codewords.as_ptr(),
+            block.llrs.as_ptr(),
+        );
+        source.fill_block(&channel, 6, &mut block);
+        assert_eq!(
+            ptrs,
+            (
+                block.infos.as_ptr(),
+                block.codewords.as_ptr(),
+                block.llrs.as_ptr()
+            ),
+            "same-shape refill must not reallocate"
+        );
+        assert!(block.codewords.iter().all(|&b| b == 0));
     }
 
     #[test]

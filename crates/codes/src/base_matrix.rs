@@ -126,7 +126,10 @@ impl BaseMatrix {
     /// Panics if `row` or `col` is out of bounds.
     #[must_use]
     pub fn get(&self, row: usize, col: usize) -> Option<u32> {
-        assert!(row < self.rows && col < self.cols, "block index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "block index out of bounds"
+        );
         self.entries[row * self.cols + col]
     }
 
@@ -140,7 +143,10 @@ impl BaseMatrix {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn set(&mut self, row: usize, col: usize, entry: Option<u32>) -> Result<()> {
-        assert!(row < self.rows && col < self.cols, "block index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "block index out of bounds"
+        );
         if let Some(shift) = entry {
             if shift as usize >= self.design_z {
                 return Err(CodeError::ShiftOutOfRange {
@@ -156,9 +162,10 @@ impl BaseMatrix {
     /// Iterates over the non-empty entries as `(row, col, shift)` triples in
     /// row-major order.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
-        self.entries.iter().enumerate().filter_map(move |(idx, e)| {
-            e.map(|shift| (idx / self.cols, idx % self.cols, shift))
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, e)| e.map(|shift| (idx / self.cols, idx % self.cols, shift)))
     }
 
     /// Number of non-zero blocks `E` (each expands into `z` parity-check
@@ -172,20 +179,27 @@ impl BaseMatrix {
     /// every expanded row in that layer).
     #[must_use]
     pub fn row_weight(&self, row: usize) -> usize {
-        (0..self.cols).filter(|&c| self.get(row, c).is_some()).count()
+        (0..self.cols)
+            .filter(|&c| self.get(row, c).is_some())
+            .count()
     }
 
     /// Number of non-zero blocks in block column `col` (the variable-node
     /// degree of every expanded column in that block column).
     #[must_use]
     pub fn col_weight(&self, col: usize) -> usize {
-        (0..self.rows).filter(|&r| self.get(r, col).is_some()).count()
+        (0..self.rows)
+            .filter(|&r| self.get(r, col).is_some())
+            .count()
     }
 
     /// Maximum check-node degree over all block rows.
     #[must_use]
     pub fn max_row_weight(&self) -> usize {
-        (0..self.rows).map(|r| self.row_weight(r)).max().unwrap_or(0)
+        (0..self.rows)
+            .map(|r| self.row_weight(r))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean check-node degree over all block rows.
@@ -304,7 +318,13 @@ mod tests {
     #[test]
     fn rejects_bad_dimensions() {
         let err = BaseMatrix::new(2, 2, 4, vec![None; 3]).unwrap_err();
-        assert!(matches!(err, CodeError::DimensionMismatch { expected: 4, actual: 3 }));
+        assert!(matches!(
+            err,
+            CodeError::DimensionMismatch {
+                expected: 4,
+                actual: 3
+            }
+        ));
     }
 
     #[test]
@@ -380,7 +400,9 @@ mod tests {
         let triples: Vec<_> = b.iter_nonzero().collect();
         assert_eq!(triples[0], (0, 0, 1));
         assert_eq!(triples.len(), 6);
-        assert!(triples.windows(2).all(|w| w[0].0 < w[1].0 || w[0].1 < w[1].1));
+        assert!(triples
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 || w[0].1 < w[1].1));
     }
 
     #[test]

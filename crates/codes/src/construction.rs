@@ -192,7 +192,12 @@ impl ConstructionParams {
         Ok(())
     }
 
-    fn place_info_part(&self, base: &mut BaseMatrix, rng: &mut StdRng, k_info: usize) -> Result<()> {
+    fn place_info_part(
+        &self,
+        base: &mut BaseMatrix,
+        rng: &mut StdRng,
+        k_info: usize,
+    ) -> Result<()> {
         let j = self.block_rows();
         for col in 0..k_info {
             let weight = if col < self.high_weight_columns {
@@ -212,13 +217,23 @@ impl ConstructionParams {
     /// Picks `weight` distinct rows, preferring the currently lightest rows so
     /// the check-node degrees stay balanced (structured codes have near-uniform
     /// row weights).
-    fn pick_rows(&self, base: &BaseMatrix, rng: &mut StdRng, weight: usize, j: usize) -> Vec<usize> {
+    fn pick_rows(
+        &self,
+        base: &BaseMatrix,
+        rng: &mut StdRng,
+        weight: usize,
+        j: usize,
+    ) -> Vec<usize> {
         let mut candidates: Vec<(usize, usize, u32)> = (0..j)
             .map(|r| (base.row_weight(r), rng.gen::<u32>(), r as u32))
             .map(|(w, tie, r)| (w, r as usize, tie))
             .collect();
         candidates.sort_by_key(|&(w, _, tie)| (w, tie));
-        candidates.into_iter().take(weight).map(|(_, r, _)| r).collect()
+        candidates
+            .into_iter()
+            .take(weight)
+            .map(|(_, r, _)| r)
+            .collect()
     }
 
     /// Picks a shift for `(row, col)` that avoids 4-cycles at the design `z`
@@ -312,8 +327,7 @@ fn placement_creates_scaled_four_cycle(
             else {
                 continue;
             };
-            let delta =
-                (shift_scaled - scale(s_other_col)) + (scale(s_other_oc) - scale(s_row_oc));
+            let delta = (shift_scaled - scale(s_other_col)) + (scale(s_other_oc) - scale(s_row_oc));
             if delta.rem_euclid(zt) == 0 {
                 return true;
             }
@@ -461,7 +475,10 @@ mod tests {
         let mut seeds = std::collections::HashSet::new();
         for s in Standard::ALL {
             for r in s.rates() {
-                assert!(seeds.insert(mode_seed(s, r)), "seed collision for {s:?} {r:?}");
+                assert!(
+                    seeds.insert(mode_seed(s, r)),
+                    "seed collision for {s:?} {r:?}"
+                );
             }
         }
     }

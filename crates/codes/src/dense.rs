@@ -91,7 +91,11 @@ impl DenseParityCheck {
         Ok(self
             .rows
             .iter()
-            .map(|row| row.iter().zip(x).fold(0u8, |acc, (&h, &b)| acc ^ (h & b & 1)))
+            .map(|row| {
+                row.iter()
+                    .zip(x)
+                    .fold(0u8, |acc, (&h, &b)| acc ^ (h & b & 1))
+            })
             .collect())
     }
 
@@ -171,8 +175,8 @@ mod tests {
 
     #[test]
     fn rank_of_simple_matrices() {
-        let h = DenseParityCheck::from_rows(vec![vec![1, 0, 1], vec![0, 1, 1], vec![1, 1, 0]])
-            .unwrap();
+        let h =
+            DenseParityCheck::from_rows(vec![vec![1, 0, 1], vec![0, 1, 1], vec![1, 1, 0]]).unwrap();
         // Third row is the sum of the first two.
         assert_eq!(h.rank(), 2);
         let id = DenseParityCheck::from_rows(vec![vec![1, 0], vec![0, 1]]).unwrap();

@@ -73,6 +73,29 @@ impl Encoder {
     /// Returns [`CodeError::InfoLengthMismatch`] if `info.len()` is not the
     /// number of information bits of the code.
     pub fn encode(&self, info: &[u8]) -> Result<Vec<u8>> {
+        let mut codeword = vec![0u8; self.code.n()];
+        self.encode_into(info, &mut codeword)?;
+        Ok(codeword)
+    }
+
+    /// Like [`encode`](Self::encode), but writes the codeword into a
+    /// caller-owned buffer (batched workload generation reuses one flat
+    /// buffer for a whole block of frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InfoLengthMismatch`] if `info.len()` is not the
+    /// number of information bits of the code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codeword.len() != n`.
+    pub fn encode_into(&self, info: &[u8], codeword: &mut [u8]) -> Result<()> {
+        assert_eq!(
+            codeword.len(),
+            self.code.n(),
+            "codeword buffer length mismatch"
+        );
         let z = self.code.z();
         let j = self.code.block_rows();
         let k = self.code.block_cols();
@@ -130,13 +153,11 @@ impl Encoder {
             }
         }
 
-        let mut codeword = Vec::with_capacity(self.code.n());
-        codeword.extend_from_slice(info);
-        for block in &p {
-            codeword.extend_from_slice(block);
+        codeword[..info.len()].copy_from_slice(info);
+        for (l, block) in p.iter().enumerate() {
+            codeword[info.len() + l * z..info.len() + (l + 1) * z].copy_from_slice(block);
         }
-        debug_assert_eq!(codeword.len(), self.code.n());
-        Ok(codeword)
+        Ok(())
     }
 
     /// Encodes the all-zero information word (a valid codeword of any linear

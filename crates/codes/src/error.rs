@@ -67,7 +67,10 @@ impl fmt::Display for CodeError {
                 write!(f, "unsupported code mode: {requested}")
             }
             CodeError::ShiftOutOfRange { shift, z } => {
-                write!(f, "circulant shift {shift} out of range for sub-matrix size {z}")
+                write!(
+                    f,
+                    "circulant shift {shift} out of range for sub-matrix size {z}"
+                )
             }
             CodeError::DimensionMismatch { expected, actual } => {
                 write!(f, "base matrix expected {expected} entries, got {actual}")
@@ -76,10 +79,16 @@ impl fmt::Display for CodeError {
                 write!(f, "invalid sub-matrix size {z}")
             }
             CodeError::InfoLengthMismatch { expected, actual } => {
-                write!(f, "information word length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "information word length mismatch: expected {expected}, got {actual}"
+                )
             }
             CodeError::CodewordLengthMismatch { expected, actual } => {
-                write!(f, "codeword length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "codeword length mismatch: expected {expected}, got {actual}"
+                )
             }
             CodeError::NotEncodable { reason } => {
                 write!(f, "parity structure is not encodable: {reason}")

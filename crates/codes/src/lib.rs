@@ -10,6 +10,10 @@
 //! sub-matrices, each of which is either the all-zero matrix or a cyclically
 //! shifted identity matrix `I_x` with shift `0 ≤ x < z` (Fig. 1 of the paper).
 //!
+//! For decoding hot paths, [`compiled::CompiledCode`] flattens a [`QcCode`]
+//! into a CSR-style layer schedule with precomputed circulant-shift index
+//! tables — compile once per code, decode millions of frames.
+//!
 //! ## Standard families
 //!
 //! The exact base matrices of the IEEE / DMB-T standards are copyrighted
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod base_matrix;
+pub mod compiled;
 pub mod construction;
 pub mod dense;
 pub mod encoder;
@@ -55,9 +60,10 @@ pub mod qc;
 pub mod standard;
 
 mod families;
-pub use families::{dmbt, design_parameters, wifi, wimax, FamilyDesignParameters};
+pub use families::{design_parameters, dmbt, wifi, wimax, FamilyDesignParameters};
 
 pub use base_matrix::{BaseMatrix, ShiftScaling};
+pub use compiled::{CompiledCode, CompiledEntry};
 pub use construction::{ConstructionParams, ParityStructure};
 pub use dense::DenseParityCheck;
 pub use encoder::Encoder;

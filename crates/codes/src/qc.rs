@@ -7,6 +7,7 @@
 //! neighbour lists and syndrome checks.
 
 use crate::base_matrix::BaseMatrix;
+use crate::compiled::CompiledCode;
 use crate::error::CodeError;
 use crate::layers::{Layer, LayerEntry};
 use crate::standard::CodeSpec;
@@ -129,6 +130,14 @@ impl QcCode {
     #[must_use]
     pub fn rate(&self) -> f64 {
         self.spec.design_rate()
+    }
+
+    /// Flattens this code into the precompiled table form the decode engine
+    /// consumes (CSR layer schedule + circulant-shift index tables). Compile
+    /// once, decode many frames; see [`CompiledCode`].
+    #[must_use]
+    pub fn compile(&self) -> CompiledCode {
+        CompiledCode::compile(self)
     }
 
     /// The layers (block rows) of this code, in natural order.

@@ -62,7 +62,12 @@ impl Standard {
     pub fn rates(self) -> Vec<CodeRate> {
         match self {
             Standard::Wifi80211n | Standard::Wimax80216e => {
-                vec![CodeRate::R1_2, CodeRate::R2_3, CodeRate::R3_4, CodeRate::R5_6]
+                vec![
+                    CodeRate::R1_2,
+                    CodeRate::R2_3,
+                    CodeRate::R3_4,
+                    CodeRate::R5_6,
+                ]
             }
             Standard::DmbT => vec![CodeRate::R1_5, CodeRate::R2_5, CodeRate::R3_5],
         }
@@ -195,7 +200,10 @@ impl CodeId {
         };
         self.standard.sub_matrix_sizes().contains(&z)
             && self.standard.rates().contains(&self.rate)
-            && self.rate.block_rows_for(self.standard.block_cols()).is_some()
+            && self
+                .rate
+                .block_rows_for(self.standard.block_cols())
+                .is_some()
     }
 
     /// Builds the quasi-cyclic code for this mode.
@@ -237,7 +245,13 @@ impl CodeId {
 
 impl fmt::Display for CodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} rate {} n={}", self.standard.short_name(), self.rate, self.n)
+        write!(
+            f,
+            "{} rate {} n={}",
+            self.standard.short_name(),
+            self.rate,
+            self.n
+        )
     }
 }
 
@@ -368,7 +382,10 @@ mod tests {
     #[test]
     fn unsupported_code_id_build_fails() {
         let bad = CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 24 * 100);
-        assert!(matches!(bad.build(), Err(CodeError::UnsupportedCode { .. })));
+        assert!(matches!(
+            bad.build(),
+            Err(CodeError::UnsupportedCode { .. })
+        ));
     }
 
     #[test]

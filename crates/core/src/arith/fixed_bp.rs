@@ -349,7 +349,10 @@ mod tests {
         assert!(v <= max && v > 20);
         // The APP adder has two extra integer bits of headroom.
         assert_eq!(fx.add(max, max), 2 * max);
-        assert_eq!(fx.add(fx.app_format().max_code(), max), fx.app_format().max_code());
+        assert_eq!(
+            fx.add(fx.app_format().max_code(), max),
+            fx.app_format().max_code()
+        );
         // λ = L − Λ saturates back to the message range.
         assert_eq!(fx.sub(fx.app_format().max_code(), -max), max);
         assert_eq!(fx.from_channel(1e9), max);

@@ -96,9 +96,11 @@ impl DecoderArithmetic for FloatBpArithmetic {
         }
         // … then extraction of each extrinsic message with the g(·) unit
         // ("decoding stage 2"), Eq. (1): Λ_mn = S_m ⊟ λ_mn.
-        out.extend(lambdas.iter().map(|&l| {
-            boxminus(total, l).clamp(-self.clamp, self.clamp)
-        }));
+        out.extend(
+            lambdas
+                .iter()
+                .map(|&l| boxminus(total, l).clamp(-self.clamp, self.clamp)),
+        );
     }
 
     fn name(&self) -> &'static str {

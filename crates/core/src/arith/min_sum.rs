@@ -19,11 +19,7 @@ use crate::fixedpoint::FixedFormat;
 
 /// Computes, for each position, the minimum magnitude of the *other* entries
 /// and the product of the *other* signs, using the two-minima trick.
-fn min_sum_core<T, FAbs, FNeg>(
-    lambdas: &[T],
-    abs: FAbs,
-    is_neg: FNeg,
-) -> (Vec<(f64, bool)>, usize)
+fn min_sum_core<T, FAbs, FNeg>(lambdas: &[T], abs: FAbs, is_neg: FNeg) -> (Vec<(f64, bool)>, usize)
 where
     T: Copy,
     FAbs: Fn(T) -> f64,

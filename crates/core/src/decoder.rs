@@ -14,14 +14,21 @@
 //! 2. **Decode**: `Λ'_mn` from the check-node update (Eq. 1), then
 //!    `L'_n = λ_mn + Λ'_mn`,
 //! 3. **Write back** `L'_n` and `Λ'_mn`.
+//!
+//! The hot path runs against a [`CompiledCode`] (flattened schedule +
+//! circulant index tables) and a reusable [`DecodeWorkspace`], so steady-state
+//! decoding allocates nothing; see [`crate::engine::Decoder`] for the batched
+//! entry points.
 
-use ldpc_codes::QcCode;
+use ldpc_codes::{CompiledCode, QcCode};
 
 use crate::arith::DecoderArithmetic;
-use crate::early_term::{EarlyTermination, TerminationTracker};
+use crate::early_term::EarlyTermination;
+use crate::engine::Decoder;
 use crate::error::DecodeError;
 use crate::result::{DecodeOutput, DecodeStats};
 use crate::schedule::LayerOrderPolicy;
+use crate::workspace::DecodeWorkspace;
 
 /// Decoder configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +75,22 @@ impl DecoderConfig {
                 reason: "max_iterations must be at least 1".to_string(),
             });
         }
+        if let LayerOrderPolicy::Custom(order) = &self.layer_order {
+            // Self-consistency is checkable without a code (the length match
+            // against the code's layer count happens at decode time).
+            let mut seen = vec![false; order.len()];
+            for &l in order {
+                if l >= order.len() || seen[l] {
+                    return Err(DecodeError::InvalidConfig {
+                        reason: format!(
+                            "custom layer order {order:?} is not a permutation of 0..{}",
+                            order.len()
+                        ),
+                    });
+                }
+                seen[l] = true;
+            }
+        }
         Ok(())
     }
 }
@@ -104,71 +127,113 @@ impl<A: DecoderArithmetic> LayeredDecoder<A> {
 
     /// Decodes one frame given its channel LLRs (`2y/σ²`, length `n`).
     ///
+    /// Compatibility entry point: compiles the schedule and allocates a fresh
+    /// workspace on every call. Hot loops should compile once and use
+    /// [`Decoder::decode_into`] / [`Decoder::decode_batch`] instead.
+    ///
     /// # Errors
     ///
     /// Returns [`DecodeError::LlrLengthMismatch`] if `channel_llrs.len()` is
     /// not the code length.
     pub fn decode(&self, code: &QcCode, channel_llrs: &[f64]) -> Result<DecodeOutput, DecodeError> {
-        if channel_llrs.len() != code.n() {
+        Decoder::decode(self, code, channel_llrs)
+    }
+}
+
+impl<A: DecoderArithmetic> Decoder for LayeredDecoder<A> {
+    type Arith = A;
+
+    fn arithmetic(&self) -> &A {
+        &self.arith
+    }
+
+    fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    fn schedule_name(&self) -> &'static str {
+        "layered"
+    }
+
+    fn decode_into(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<A::Msg>,
+        out: &mut DecodeOutput,
+    ) -> Result<(), DecodeError> {
+        if llrs.len() != compiled.n() {
             return Err(DecodeError::LlrLengthMismatch {
-                expected: code.n(),
-                actual: channel_llrs.len(),
+                expected: compiled.n(),
+                actual: llrs.len(),
             });
         }
+        #[cfg(debug_assertions)]
+        let steady_fingerprint = ws
+            .is_ready_for(compiled, false)
+            .then(|| ws.allocation_fingerprint());
 
-        let z = code.z();
-        let info_len = code.info_bits();
-        let layer_order = self.config.layer_order.resolve(code);
+        let arith = &self.arith;
+        let z = compiled.z();
+        let num_layers = compiled.block_rows();
+        let info_len = compiled.info_bits();
+        let col_index = compiled.col_index();
 
-        // APP messages L_n, initialised from the channel (Algorithm 1).
-        let mut l_msgs: Vec<A::Msg> = channel_llrs
-            .iter()
-            .map(|&l| self.arith.from_channel(l))
-            .collect();
+        // Resolve the layer visit order without allocating: natural is
+        // implicit, the shuffled order is precompiled into the schedule,
+        // custom was permutation-checked at construction and only needs the
+        // cheap length match against this code here.
+        let stall_order = matches!(self.config.layer_order, LayerOrderPolicy::StallMinimizing)
+            .then(|| compiled.stall_minimizing_order());
+        let custom_order = match &self.config.layer_order {
+            LayerOrderPolicy::Custom(order) => {
+                assert_eq!(
+                    order.len(),
+                    num_layers,
+                    "custom order must cover every layer"
+                );
+                #[cfg(debug_assertions)]
+                crate::engine::validate_custom_order(order, num_layers);
+                Some(order.as_slice())
+            }
+            _ => None,
+        };
 
-        // Check messages Λ_mn, one per edge, initialised to zero. Indexed by
-        // (global block-entry index) · z + row-within-block, mirroring the
-        // distributed Λ-memory banks of the architecture.
-        let entry_offsets = entry_offsets(code);
-        let mut lambda_msgs: Vec<A::Msg> = vec![self.arith.zero(); code.num_edges()];
+        // L_n ← channel, Λ ← 0 (Algorithm 1 initialisation).
+        ws.prepare(compiled, arith.zero(), false);
+        ws.app.extend(llrs.iter().map(|&l| arith.from_channel(l)));
 
-        let mut tracker = self
-            .config
-            .early_termination
-            .map(TerminationTracker::new);
         let mut stats = DecodeStats::default();
         let mut iterations = 0;
         let mut early_terminated = false;
 
-        // Scratch buffers reused across rows.
-        let max_degree = code.max_layer_degree();
-        let mut row_lambdas: Vec<A::Msg> = Vec::with_capacity(max_degree);
-        let mut row_cols: Vec<usize> = Vec::with_capacity(max_degree);
-        let mut row_out: Vec<A::Msg> = Vec::with_capacity(max_degree);
-
         for _ in 0..self.config.max_iterations {
-            for &l in &layer_order {
-                let layer = code.layer(l);
-                let base_entry = entry_offsets[l];
+            for li in 0..num_layers {
+                let l = match (stall_order, custom_order) {
+                    (Some(order), _) => order[li] as usize,
+                    (_, Some(order)) => order[li],
+                    _ => li,
+                };
+                let entries = compiled.layer_entries(l);
                 stats.sub_iterations += 1;
                 for r in 0..z {
-                    // 1) Read: gather λ_mn = L_n − Λ_mn.
-                    row_lambdas.clear();
-                    row_cols.clear();
-                    for (ei, entry) in layer.entries.iter().enumerate() {
-                        let col = entry.block_col * z + (r + entry.shift) % z;
-                        let old_lambda = lambda_msgs[(base_entry + ei) * z + r];
-                        row_lambdas.push(self.arith.sub(l_msgs[col], old_lambda));
-                        row_cols.push(col);
+                    // 1) Read: gather λ_mn = L_n − Λ_mn via the index table.
+                    ws.row_in.clear();
+                    for e in entries {
+                        let edge = e.edge_base as usize + r;
+                        let col = col_index[edge] as usize;
+                        ws.row_in.push(arith.sub(ws.app[col], ws.lambda[edge]));
                     }
                     // 2) Decode: new Λ_mn (Eq. 1) and new L_n.
-                    self.arith.check_node_update(&row_lambdas, &mut row_out);
+                    arith.check_node_update(&ws.row_in, &mut ws.row_out);
                     stats.check_node_updates += 1;
-                    stats.messages_processed += row_lambdas.len();
+                    stats.messages_processed += ws.row_in.len();
                     // 3) Write back.
-                    for (ei, (&col, &new_lambda)) in row_cols.iter().zip(&row_out).enumerate() {
-                        lambda_msgs[(base_entry + ei) * z + r] = new_lambda;
-                        l_msgs[col] = self.arith.add(row_lambdas[ei], new_lambda);
+                    for (slot, e) in entries.iter().enumerate() {
+                        let edge = e.edge_base as usize + r;
+                        let col = col_index[edge] as usize;
+                        ws.lambda[edge] = ws.row_out[slot];
+                        ws.app[col] = arith.add(ws.row_in[slot], ws.row_out[slot]);
                     }
                 }
             }
@@ -177,16 +242,8 @@ impl<A: DecoderArithmetic> LayeredDecoder<A> {
             // Early termination (paper's rule, §IV): information-bit hard
             // decisions stable across two iterations and min |L| above the
             // threshold.
-            if let Some(tracker) = tracker.as_mut() {
-                let info_decisions: Vec<u8> = l_msgs[..info_len]
-                    .iter()
-                    .map(|&m| self.arith.hard_bit(m))
-                    .collect();
-                let min_abs = l_msgs[..info_len]
-                    .iter()
-                    .map(|&m| self.arith.magnitude(m))
-                    .fold(f64::INFINITY, f64::min);
-                if tracker.should_terminate(&info_decisions, min_abs)
+            if let Some(rule) = &self.config.early_termination {
+                if crate::engine::early_termination_reached(arith, rule.threshold, ws, info_len)
                     && iterations < self.config.max_iterations
                 {
                     early_terminated = true;
@@ -195,38 +252,34 @@ impl<A: DecoderArithmetic> LayeredDecoder<A> {
             }
 
             if self.config.stop_on_zero_syndrome && iterations < self.config.max_iterations {
-                let hard: Vec<u8> = l_msgs.iter().map(|&m| self.arith.hard_bit(m)).collect();
-                if code.is_codeword(&hard).unwrap_or(false) {
+                ws.hard.clear();
+                ws.hard.extend(ws.app.iter().map(|&m| arith.hard_bit(m)));
+                if compiled.syndrome_ok(&ws.hard) {
                     break;
                 }
             }
         }
 
-        let hard_bits: Vec<u8> = l_msgs.iter().map(|&m| self.arith.hard_bit(m)).collect();
-        let posterior_llrs: Vec<f64> = l_msgs.iter().map(|&m| self.arith.to_llr(m)).collect();
-        let parity_satisfied = code.is_codeword(&hard_bits).unwrap_or(false);
-
-        Ok(DecodeOutput {
-            hard_bits,
-            posterior_llrs,
+        crate::engine::finish_output(
+            arith,
+            compiled,
+            &ws.app,
+            out,
             iterations,
-            parity_satisfied,
             early_terminated,
             stats,
-        })
-    }
-}
+        );
 
-/// Global block-entry offset of each layer (prefix sums of the layer weights),
-/// defining the Λ-memory layout.
-fn entry_offsets(code: &QcCode) -> Vec<usize> {
-    let mut offsets = Vec::with_capacity(code.block_rows());
-    let mut acc = 0;
-    for layer in code.layers() {
-        offsets.push(acc);
-        acc += layer.weight();
+        #[cfg(debug_assertions)]
+        if let Some(fingerprint) = steady_fingerprint {
+            debug_assert_eq!(
+                fingerprint,
+                ws.allocation_fingerprint(),
+                "steady-state decode_into must not reallocate workspace buffers"
+            );
+        }
+        Ok(())
     }
-    offsets
 }
 
 #[cfg(test)]
@@ -449,6 +502,30 @@ mod tests {
                 "decoding should succeed regardless of layer order"
             );
         }
+    }
+
+    #[test]
+    fn custom_order_with_duplicates_is_rejected_at_construction() {
+        let config = DecoderConfig {
+            layer_order: LayerOrderPolicy::Custom(vec![0, 0, 2]),
+            ..DecoderConfig::default()
+        };
+        assert!(matches!(
+            LayeredDecoder::new(FloatBpArithmetic::default(), config),
+            Err(DecodeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every layer")]
+    fn custom_order_of_wrong_length_panics_at_decode() {
+        let code = small_code();
+        let config = DecoderConfig {
+            layer_order: LayerOrderPolicy::Custom(vec![2, 0, 1]),
+            ..DecoderConfig::default()
+        };
+        let decoder = LayeredDecoder::new(FloatBpArithmetic::default(), config).unwrap();
+        let _ = decoder.decode(&code, &vec![1.0; code.n()]);
     }
 
     #[test]

@@ -37,11 +37,73 @@ impl EarlyTermination {
     }
 }
 
+/// Hard-decision history across iterations — the *stability* half of the
+/// termination rule, shared by [`TerminationTracker`] and the decode engine's
+/// kernels (which keep one history per [`crate::workspace::DecodeWorkspace`]).
+///
+/// The record buffer is reused across iterations and frames, so steady-state
+/// updates perform no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionHistory {
+    previous: Vec<u8>,
+    has_previous: bool,
+}
+
+impl DecisionHistory {
+    /// An empty history (nothing recorded yet).
+    #[must_use]
+    pub fn new() -> Self {
+        DecisionHistory::default()
+    }
+
+    /// Returns whether `decisions` match the previously recorded iteration,
+    /// then records them. The first call after a reset always returns `false`.
+    pub fn stable_update(&mut self, decisions: &[u8]) -> bool {
+        let stable = self.has_previous && self.previous == decisions;
+        self.previous.clear();
+        self.previous.extend_from_slice(decisions);
+        self.has_previous = true;
+        stable
+    }
+
+    /// Forgets the recorded decisions (start of a new frame). Keeps the
+    /// buffer, so the next frame allocates nothing.
+    pub fn reset(&mut self) {
+        self.has_previous = false;
+    }
+
+    /// Grows the record buffer to hold `len` decisions without reallocating.
+    pub(crate) fn reserve(&mut self, len: usize) {
+        if self.previous.capacity() < len {
+            self.previous.reserve_exact(len - self.previous.len());
+        }
+    }
+
+    /// Whether the buffer can hold `len` decisions without reallocating.
+    pub(crate) fn is_ready(&self, len: usize) -> bool {
+        self.previous.capacity() >= len
+    }
+
+    /// Pointer/capacity of the record buffer (allocation-fingerprint support).
+    pub(crate) fn fingerprint(&self) -> (usize, usize) {
+        (self.previous.as_ptr() as usize, self.previous.capacity())
+    }
+}
+
+impl PartialEq for DecisionHistory {
+    fn eq(&self, other: &Self) -> bool {
+        // Two histories agree when they would answer the next stable_update
+        // identically; leftover buffer content behind a reset is invisible.
+        self.has_previous == other.has_previous
+            && (!self.has_previous || self.previous == other.previous)
+    }
+}
+
 /// Tracks hard decisions across iterations and evaluates the termination rule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TerminationTracker {
     rule: EarlyTermination,
-    previous_decisions: Option<Vec<u8>>,
+    history: DecisionHistory,
 }
 
 impl TerminationTracker {
@@ -50,24 +112,20 @@ impl TerminationTracker {
     pub fn new(rule: EarlyTermination) -> Self {
         TerminationTracker {
             rule,
-            previous_decisions: None,
+            history: DecisionHistory::new(),
         }
     }
 
     /// Feeds the information-bit hard decisions and LLR magnitudes of the
     /// iteration that just finished; returns `true` if decoding may stop.
     pub fn should_terminate(&mut self, info_decisions: &[u8], min_abs_info_llr: f64) -> bool {
-        let stable = self
-            .previous_decisions
-            .as_deref()
-            .is_some_and(|prev| prev == info_decisions);
-        self.previous_decisions = Some(info_decisions.to_vec());
+        let stable = self.history.stable_update(info_decisions);
         stable && min_abs_info_llr > self.rule.threshold
     }
 
     /// Resets the tracker for a new frame.
     pub fn reset(&mut self) {
-        self.previous_decisions = None;
+        self.history.reset();
     }
 }
 
@@ -107,7 +165,10 @@ mod tests {
         let mut t = TerminationTracker::new(EarlyTermination::with_threshold(4.0));
         assert!(!t.should_terminate(&[1, 1], 3.0));
         assert!(!t.should_terminate(&[1, 1], 3.9));
-        assert!(!t.should_terminate(&[1, 1], 4.0), "strictly larger required");
+        assert!(
+            !t.should_terminate(&[1, 1], 4.0),
+            "strictly larger required"
+        );
         assert!(t.should_terminate(&[1, 1], 4.1));
     }
 

@@ -1,0 +1,509 @@
+//! The batched decode engine: a common [`Decoder`] trait over the layered and
+//! flooding schedules, single-frame zero-allocation decoding via
+//! [`Decoder::decode_into`], and frame-parallel [`Decoder::decode_batch`].
+//!
+//! The paper's architecture reaches 1 Gbps by keeping `z` SISO decoders busy
+//! on independent rows while the control ROM supplies a precompiled schedule.
+//! The software analogues are:
+//!
+//! * [`ldpc_codes::CompiledCode`] — the schedule, compiled once per code;
+//! * [`crate::workspace::DecodeWorkspace`] — the L/Λ memories, allocated once
+//!   and reused for every frame;
+//! * [`Decoder::decode_batch`] — frame-level parallelism across OS threads
+//!   (scoped `std::thread`, one workspace per worker), the software stand-in
+//!   for the parallel SISO array. The environment variable
+//!   `LDPC_DECODE_THREADS` overrides the worker count; by default it follows
+//!   `std::thread::available_parallelism`.
+//!
+//! ```
+//! use ldpc_codes::{CodeId, CodeRate, Standard};
+//! use ldpc_core::{Decoder, DecoderConfig, FloatBpArithmetic, LayeredDecoder, LlrBatch};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576).build()?;
+//! let compiled = code.compile();
+//! let decoder = LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default())?;
+//!
+//! // Four clean frames, flattened into one buffer.
+//! let llrs = vec![8.0; 4 * compiled.n()];
+//! let outputs = decoder.decode_batch(&compiled, LlrBatch::new(&llrs, compiled.n())?)?;
+//! assert_eq!(outputs.len(), 4);
+//! assert!(outputs.iter().all(|o| o.parity_satisfied));
+//! # Ok(())
+//! # }
+//! ```
+
+use ldpc_codes::{CompiledCode, QcCode};
+
+use crate::arith::DecoderArithmetic;
+use crate::decoder::DecoderConfig;
+use crate::error::DecodeError;
+use crate::result::{DecodeOutput, DecodeStats};
+use crate::workspace::DecodeWorkspace;
+
+/// Panics unless `order` is a permutation of `0..num_layers` (the same
+/// contract [`crate::schedule::LayerOrderPolicy::resolve`] enforces).
+/// Debug-build backstop: `DecoderConfig::validate` already rejects
+/// non-permutations at construction.
+#[cfg(debug_assertions)]
+pub(crate) fn validate_custom_order(order: &[usize], num_layers: usize) {
+    assert_eq!(
+        order.len(),
+        num_layers,
+        "custom order must cover every layer"
+    );
+    for (i, &l) in order.iter().enumerate() {
+        assert!(
+            l < num_layers && !order[..i].contains(&l),
+            "order must be a permutation"
+        );
+    }
+}
+
+/// One early-termination check (the paper's rule, §IV): information-bit hard
+/// decisions stable across two successive iterations AND minimum |LLR|
+/// strictly above the threshold. The stability half is the same
+/// [`crate::early_term::DecisionHistory`] mechanism `TerminationTracker`
+/// uses, with the history kept in the workspace; shared by the layered and
+/// flooding kernels.
+pub(crate) fn early_termination_reached<A: DecoderArithmetic>(
+    arith: &A,
+    threshold: f64,
+    ws: &mut DecodeWorkspace<A::Msg>,
+    info_len: usize,
+) -> bool {
+    ws.info_hard.clear();
+    ws.info_hard
+        .extend(ws.app[..info_len].iter().map(|&m| arith.hard_bit(m)));
+    let min_abs = ws.app[..info_len]
+        .iter()
+        .map(|&m| arith.magnitude(m))
+        .fold(f64::INFINITY, f64::min);
+    let stable = ws.history.stable_update(&ws.info_hard);
+    stable && min_abs > threshold
+}
+
+/// Fills `out` from the final APP messages; shared by both kernels.
+pub(crate) fn finish_output<A: DecoderArithmetic>(
+    arith: &A,
+    compiled: &CompiledCode,
+    app: &[A::Msg],
+    out: &mut DecodeOutput,
+    iterations: usize,
+    early_terminated: bool,
+    stats: DecodeStats,
+) {
+    out.hard_bits.clear();
+    out.hard_bits.extend(app.iter().map(|&m| arith.hard_bit(m)));
+    out.posterior_llrs.clear();
+    out.posterior_llrs
+        .extend(app.iter().map(|&m| arith.to_llr(m)));
+    out.iterations = iterations;
+    out.parity_satisfied = compiled.syndrome_ok(&out.hard_bits);
+    out.early_terminated = early_terminated;
+    out.stats = stats;
+}
+
+/// Message type of a decoder's arithmetic back-end.
+pub type MsgOf<D> = <<D as Decoder>::Arith as DecoderArithmetic>::Msg;
+
+/// A flat batch of channel-LLR frames (`frames · frame_len` values).
+///
+/// Produced naturally by `ldpc_channel`'s block workload generation; borrowed,
+/// so batches can be sliced out of any contiguous buffer without copying.
+#[derive(Debug, Clone, Copy)]
+pub struct LlrBatch<'a> {
+    llrs: &'a [f64],
+    frame_len: usize,
+}
+
+impl<'a> LlrBatch<'a> {
+    /// Wraps a flat buffer holding a whole number of `frame_len`-sized frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BatchShape`] if `frame_len` is zero or does not
+    /// divide the buffer length.
+    pub fn new(llrs: &'a [f64], frame_len: usize) -> Result<Self, DecodeError> {
+        if frame_len == 0 || !llrs.len().is_multiple_of(frame_len) {
+            return Err(DecodeError::BatchShape {
+                reason: format!(
+                    "buffer of {} LLRs is not a whole number of {frame_len}-bit frames",
+                    llrs.len()
+                ),
+            });
+        }
+        Ok(LlrBatch { llrs, frame_len })
+    }
+
+    /// Number of frames in the batch.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.llrs.len() / self.frame_len
+    }
+
+    /// LLRs per frame (the code length `n`).
+    #[must_use]
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// The LLRs of one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= frames()`.
+    #[must_use]
+    pub fn frame(&self, index: usize) -> &'a [f64] {
+        &self.llrs[index * self.frame_len..(index + 1) * self.frame_len]
+    }
+
+    /// Iterates over the frames in order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [f64]> {
+        self.llrs.chunks_exact(self.frame_len)
+    }
+}
+
+/// Number of worker threads `decode_batch` uses for `frames` frames.
+///
+/// `LDPC_DECODE_THREADS` (if set and parseable) wins; otherwise the machine's
+/// available parallelism. Never more threads than frames, never zero.
+#[must_use]
+pub fn batch_threads(frames: usize) -> usize {
+    let hw = std::env::var("LDPC_DECODE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    hw.min(frames).max(1)
+}
+
+/// Common interface of the layered and flooding decode schedules.
+///
+/// The trait splits decoding into a cheap, allocation-free kernel
+/// ([`decode_into`](Decoder::decode_into)) and convenience entry points built
+/// on it: compatibility single-frame [`decode`](Decoder::decode) (compiles the
+/// schedule on the fly) and the batched, thread-parallel
+/// [`decode_batch`](Decoder::decode_batch).
+pub trait Decoder {
+    /// The arithmetic back-end (message format + check-node update rule).
+    type Arith: DecoderArithmetic;
+
+    /// The arithmetic back-end instance.
+    fn arithmetic(&self) -> &Self::Arith;
+
+    /// The decoder configuration.
+    fn config(&self) -> &DecoderConfig;
+
+    /// Human-readable schedule name ("layered" / "flooding").
+    fn schedule_name(&self) -> &'static str;
+
+    /// Decodes one frame into `out`, reusing `ws` for all intermediate state.
+    ///
+    /// Steady state (a workspace already sized for `compiled`, an output from
+    /// a previous frame of the same code) performs **zero heap allocations**;
+    /// debug builds assert this via the workspace allocation fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::LlrLengthMismatch`] if `llrs.len() != n`.
+    fn decode_into(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<MsgOf<Self>>,
+        out: &mut DecodeOutput,
+    ) -> Result<(), DecodeError>;
+
+    /// A workspace pre-sized for `compiled`, so the first `decode_into` is
+    /// already allocation-free.
+    fn workspace_for(&self, compiled: &CompiledCode) -> DecodeWorkspace<MsgOf<Self>> {
+        DecodeWorkspace::for_code(compiled)
+    }
+
+    /// Decodes one frame against a precompiled schedule, allocating a fresh
+    /// workspace and output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::LlrLengthMismatch`] if `llrs.len() != n`.
+    fn decode_compiled(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+    ) -> Result<DecodeOutput, DecodeError> {
+        let mut ws = self.workspace_for(compiled);
+        let mut out = DecodeOutput::empty();
+        self.decode_into(compiled, llrs, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// Single-frame compatibility entry point: compiles `code` and decodes.
+    /// Prefer [`decode_compiled`](Decoder::decode_compiled) /
+    /// [`decode_into`](Decoder::decode_into) in loops — compiling per frame
+    /// re-derives the whole schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::LlrLengthMismatch`] if `llrs.len() != n`.
+    fn decode(&self, code: &QcCode, llrs: &[f64]) -> Result<DecodeOutput, DecodeError> {
+        self.decode_compiled(&code.compile(), llrs)
+    }
+
+    /// Decodes every frame of `batch` in parallel across worker threads,
+    /// each with its own reused workspace. Frame `i` of the result is
+    /// bit-identical to `decode_compiled(compiled, batch.frame(i))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BatchShape`] if the batch frame length does not
+    /// match the code.
+    fn decode_batch(
+        &self,
+        compiled: &CompiledCode,
+        batch: LlrBatch<'_>,
+    ) -> Result<Vec<DecodeOutput>, DecodeError>
+    where
+        Self: Sync,
+    {
+        let mut outputs: Vec<DecodeOutput> = std::iter::repeat_with(DecodeOutput::empty)
+            .take(batch.frames())
+            .collect();
+        self.decode_batch_into(compiled, batch, &mut outputs)?;
+        Ok(outputs)
+    }
+
+    /// Like [`decode_batch`](Decoder::decode_batch), but reuses caller-owned
+    /// outputs (steady-state Monte-Carlo loops re-run with the same output
+    /// vector and allocate nothing but worker workspaces).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BatchShape`] on frame-length or output-length
+    /// mismatch.
+    fn decode_batch_into(
+        &self,
+        compiled: &CompiledCode,
+        batch: LlrBatch<'_>,
+        outputs: &mut [DecodeOutput],
+    ) -> Result<(), DecodeError>
+    where
+        Self: Sync,
+    {
+        self.decode_batch_into_threads(compiled, batch, outputs, batch_threads(outputs.len()))
+    }
+
+    /// Like [`decode_batch_into`](Decoder::decode_batch_into) with an explicit
+    /// worker count (ignoring `LDPC_DECODE_THREADS` and the machine's
+    /// parallelism). The result is independent of `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BatchShape`] on frame-length or output-length
+    /// mismatch.
+    fn decode_batch_into_threads(
+        &self,
+        compiled: &CompiledCode,
+        batch: LlrBatch<'_>,
+        outputs: &mut [DecodeOutput],
+        threads: usize,
+    ) -> Result<(), DecodeError>
+    where
+        Self: Sync,
+    {
+        if batch.frame_len() != compiled.n() {
+            return Err(DecodeError::BatchShape {
+                reason: format!(
+                    "batch frames have {} LLRs but the code length is {}",
+                    batch.frame_len(),
+                    compiled.n()
+                ),
+            });
+        }
+        if outputs.len() != batch.frames() {
+            return Err(DecodeError::BatchShape {
+                reason: format!(
+                    "batch holds {} frames but {} outputs were supplied",
+                    batch.frames(),
+                    outputs.len()
+                ),
+            });
+        }
+        if outputs.is_empty() {
+            return Ok(());
+        }
+
+        let threads = threads.clamp(1, outputs.len());
+        if threads == 1 {
+            let mut ws = self.workspace_for(compiled);
+            for (i, out) in outputs.iter_mut().enumerate() {
+                self.decode_into(compiled, batch.frame(i), &mut ws, out)?;
+            }
+            return Ok(());
+        }
+
+        let chunk = outputs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for (ci, out_chunk) in outputs.chunks_mut(chunk).enumerate() {
+                let first_frame = ci * chunk;
+                workers.push(scope.spawn(move || -> Result<(), DecodeError> {
+                    let mut ws = self.workspace_for(compiled);
+                    for (k, out) in out_chunk.iter_mut().enumerate() {
+                        self.decode_into(compiled, batch.frame(first_frame + k), &mut ws, out)?;
+                    }
+                    Ok(())
+                }));
+            }
+            for worker in workers {
+                worker.join().expect("decode worker panicked")?;
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{FixedBpArithmetic, FloatBpArithmetic};
+    use crate::decoder::LayeredDecoder;
+    use crate::flooding::FloodingDecoder;
+    use ldpc_codes::{CodeId, CodeRate, Standard};
+
+    fn compiled() -> CompiledCode {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap()
+            .compile()
+    }
+
+    #[test]
+    fn llr_batch_shape_checks() {
+        let buf = vec![0.0; 12];
+        assert!(LlrBatch::new(&buf, 0).is_err());
+        assert!(LlrBatch::new(&buf, 5).is_err());
+        let batch = LlrBatch::new(&buf, 4).unwrap();
+        assert_eq!(batch.frames(), 3);
+        assert_eq!(batch.frame_len(), 4);
+        assert_eq!(batch.frame(2), &buf[8..12]);
+        assert_eq!(batch.iter().count(), 3);
+    }
+
+    #[test]
+    fn batch_threads_is_bounded() {
+        assert_eq!(batch_threads(0), 1);
+        assert_eq!(batch_threads(1), 1);
+        assert!(batch_threads(1024) >= 1);
+    }
+
+    #[test]
+    fn decode_batch_matches_single_frame_decoding() {
+        let compiled = compiled();
+        let decoder =
+            LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        // Mildly noisy deterministic LLRs, different per frame.
+        let frames = 5;
+        let llrs: Vec<f64> = (0..frames * compiled.n())
+            .map(|i| {
+                let sign = if (i * 2654435761) % 97 < 6 { -1.0 } else { 1.0 };
+                sign * (1.0 + (i % 13) as f64 * 0.35)
+            })
+            .collect();
+        let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+        let outputs = decoder.decode_batch(&compiled, batch).unwrap();
+        assert_eq!(outputs.len(), frames);
+        for (i, out) in outputs.iter().enumerate() {
+            let single = decoder.decode_compiled(&compiled, batch.frame(i)).unwrap();
+            assert_eq!(out, &single, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn decode_batch_rejects_bad_shapes() {
+        let compiled = compiled();
+        let decoder =
+            LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        let llrs = vec![1.0; 2 * compiled.n()];
+        let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+        let mut too_few = vec![DecodeOutput::empty(); 1];
+        assert!(matches!(
+            decoder.decode_batch_into(&compiled, batch, &mut too_few),
+            Err(DecodeError::BatchShape { .. })
+        ));
+        let wrong_len = LlrBatch::new(&llrs[..compiled.n()], compiled.n() / 2).unwrap();
+        assert!(matches!(
+            decoder.decode_batch(&compiled, wrong_len),
+            Err(DecodeError::BatchShape { .. })
+        ));
+    }
+
+    #[test]
+    fn steady_state_decode_into_does_not_reallocate() {
+        let compiled = compiled();
+        let decoder =
+            LayeredDecoder::new(FixedBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        let mut ws = decoder.workspace_for(&compiled);
+        let mut out = DecodeOutput::empty();
+        let llrs: Vec<f64> = (0..compiled.n())
+            .map(|i| if i % 29 == 3 { -2.0 } else { 5.0 })
+            .collect();
+        decoder
+            .decode_into(&compiled, &llrs, &mut ws, &mut out)
+            .unwrap();
+        let fingerprint = ws.allocation_fingerprint();
+        for _ in 0..4 {
+            decoder
+                .decode_into(&compiled, &llrs, &mut ws, &mut out)
+                .unwrap();
+        }
+        assert_eq!(
+            fingerprint,
+            ws.allocation_fingerprint(),
+            "steady-state decoding must not touch the allocator"
+        );
+    }
+
+    #[test]
+    fn flooding_implements_the_same_trait() {
+        let compiled = compiled();
+        let decoder =
+            FloodingDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        assert_eq!(decoder.schedule_name(), "flooding");
+        let llrs = vec![7.0; 2 * compiled.n()];
+        let outputs = decoder
+            .decode_batch(&compiled, LlrBatch::new(&llrs, compiled.n()).unwrap())
+            .unwrap();
+        assert!(outputs.iter().all(|o| o.parity_satisfied));
+    }
+
+    #[test]
+    fn forced_multithreading_matches_sequential() {
+        // The box running CI may have a single core; force explicit worker
+        // counts so the scoped-thread path is exercised everywhere.
+        let compiled = compiled();
+        let decoder =
+            LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        let frames = 6;
+        let llrs: Vec<f64> = (0..frames * compiled.n())
+            .map(|i| if (i * 7919) % 101 < 7 { -1.5 } else { 3.0 })
+            .collect();
+        let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+
+        let mut sequential: Vec<DecodeOutput> = vec![DecodeOutput::empty(); frames];
+        decoder
+            .decode_batch_into_threads(&compiled, batch, &mut sequential, 1)
+            .unwrap();
+        for threads in [2usize, 3, 64] {
+            let mut parallel: Vec<DecodeOutput> = vec![DecodeOutput::empty(); frames];
+            decoder
+                .decode_batch_into_threads(&compiled, batch, &mut parallel, threads)
+                .unwrap();
+            assert_eq!(parallel, sequential, "{threads} workers");
+        }
+    }
+}

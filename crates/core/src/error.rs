@@ -19,16 +19,27 @@ pub enum DecodeError {
         /// Explanation of the violation.
         reason: String,
     },
+    /// A batched LLR buffer or output slice has an inconsistent shape.
+    BatchShape {
+        /// Explanation of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::LlrLengthMismatch { expected, actual } => {
-                write!(f, "channel LLR length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "channel LLR length mismatch: expected {expected}, got {actual}"
+                )
             }
             DecodeError::InvalidConfig { reason } => {
                 write!(f, "invalid decoder configuration: {reason}")
+            }
+            DecodeError::BatchShape { reason } => {
+                write!(f, "invalid batch shape: {reason}")
             }
         }
     }

@@ -12,13 +12,14 @@
 //! immediately uses the a-posteriori values updated by the layers processed
 //! before it within the same iteration — that is the whole difference.
 
-use ldpc_codes::QcCode;
+use ldpc_codes::{CompiledCode, QcCode};
 
 use crate::arith::DecoderArithmetic;
 use crate::decoder::DecoderConfig;
-use crate::early_term::TerminationTracker;
+use crate::engine::Decoder;
 use crate::error::DecodeError;
 use crate::result::{DecodeOutput, DecodeStats};
+use crate::workspace::DecodeWorkspace;
 
 /// Two-phase (flooding) LDPC decoder, the classic baseline schedule.
 #[derive(Debug, Clone)]
@@ -57,92 +58,108 @@ impl<A: DecoderArithmetic> FloodingDecoder<A> {
 
     /// Decodes one frame of channel LLRs (`2y/σ²`, length `n`).
     ///
+    /// Compatibility entry point: compiles the schedule and allocates a fresh
+    /// workspace on every call; hot loops should use the [`Decoder`] batch
+    /// APIs.
+    ///
     /// # Errors
     ///
     /// Returns [`DecodeError::LlrLengthMismatch`] if `channel_llrs.len()` is
     /// not the code length.
     pub fn decode(&self, code: &QcCode, channel_llrs: &[f64]) -> Result<DecodeOutput, DecodeError> {
-        if channel_llrs.len() != code.n() {
+        Decoder::decode(self, code, channel_llrs)
+    }
+}
+
+impl<A: DecoderArithmetic> Decoder for FloodingDecoder<A> {
+    type Arith = A;
+
+    fn arithmetic(&self) -> &A {
+        &self.arith
+    }
+
+    fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    fn schedule_name(&self) -> &'static str {
+        "flooding"
+    }
+
+    fn decode_into(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<A::Msg>,
+        out: &mut DecodeOutput,
+    ) -> Result<(), DecodeError> {
+        if llrs.len() != compiled.n() {
             return Err(DecodeError::LlrLengthMismatch {
-                expected: code.n(),
-                actual: channel_llrs.len(),
+                expected: compiled.n(),
+                actual: llrs.len(),
             });
         }
-        let z = code.z();
-        let info_len = code.info_bits();
-        let channel: Vec<A::Msg> = channel_llrs
-            .iter()
-            .map(|&l| self.arith.from_channel(l))
-            .collect();
+        #[cfg(debug_assertions)]
+        let steady_fingerprint = ws
+            .is_ready_for(compiled, true)
+            .then(|| ws.allocation_fingerprint());
 
-        // Edge storage: check-to-variable messages R, indexed like the layered
-        // decoder's Λ memory: (global block entry) · z + row-within-block.
-        let mut entry_offsets = Vec::with_capacity(code.block_rows());
-        let mut acc = 0usize;
-        for layer in code.layers() {
-            entry_offsets.push(acc);
-            acc += layer.weight();
-        }
-        let mut r_msgs: Vec<A::Msg> = vec![self.arith.zero(); code.num_edges()];
+        let arith = &self.arith;
+        let z = compiled.z();
+        let num_layers = compiled.block_rows();
+        let info_len = compiled.info_bits();
+        let col_index = compiled.col_index();
 
-        // Posterior values, recomputed each iteration.
-        let mut posteriors: Vec<A::Msg> = channel.clone();
-        let mut tracker = self.config.early_termination.map(TerminationTracker::new);
+        // Check-to-variable messages R live in `ws.lambda`, double-buffered
+        // against `ws.lambda_alt`; posteriors live in `ws.app`.
+        ws.prepare(compiled, arith.zero(), true);
+        ws.chan.extend(llrs.iter().map(|&l| arith.from_channel(l)));
+        ws.app.extend_from_slice(&ws.chan);
+
         let mut stats = DecodeStats::default();
         let mut iterations = 0usize;
         let mut early_terminated = false;
-        let mut row_q: Vec<A::Msg> = Vec::with_capacity(code.max_layer_degree());
-        let mut row_out: Vec<A::Msg> = Vec::with_capacity(code.max_layer_degree());
 
         for _ in 0..self.config.max_iterations {
             // Phase 1: every check node uses the posteriors of the previous
-            // iteration (extrinsic: subtract its own previous message).
-            let mut new_r = vec![self.arith.zero(); code.num_edges()];
-            for layer in code.layers() {
-                let base_entry = entry_offsets[layer.index];
+            // iteration (extrinsic: subtract its own previous message). Every
+            // edge of the alternate buffer is written before the swap.
+            for l in 0..num_layers {
+                let entries = compiled.layer_entries(l);
                 stats.sub_iterations += 1;
                 for r in 0..z {
-                    row_q.clear();
-                    for (ei, entry) in layer.entries.iter().enumerate() {
-                        let col = entry.block_col * z + (r + entry.shift) % z;
-                        let old_r = r_msgs[(base_entry + ei) * z + r];
-                        row_q.push(self.arith.sub(posteriors[col], old_r));
+                    ws.row_in.clear();
+                    for e in entries {
+                        let edge = e.edge_base as usize + r;
+                        let col = col_index[edge] as usize;
+                        ws.row_in.push(arith.sub(ws.app[col], ws.lambda[edge]));
                     }
-                    self.arith.check_node_update(&row_q, &mut row_out);
+                    arith.check_node_update(&ws.row_in, &mut ws.row_out);
                     stats.check_node_updates += 1;
-                    stats.messages_processed += row_q.len();
-                    for (ei, &msg) in row_out.iter().enumerate() {
-                        new_r[(base_entry + ei) * z + r] = msg;
+                    stats.messages_processed += ws.row_in.len();
+                    for (slot, e) in entries.iter().enumerate() {
+                        ws.lambda_alt[e.edge_base as usize + r] = ws.row_out[slot];
                     }
                 }
             }
-            r_msgs = new_r;
+            std::mem::swap(&mut ws.lambda, &mut ws.lambda_alt);
 
             // Phase 2: every variable node sums the channel value and all
             // incoming check messages.
-            posteriors.clone_from(&channel);
-            for layer in code.layers() {
-                let base_entry = entry_offsets[layer.index];
-                for r in 0..z {
-                    for (ei, entry) in layer.entries.iter().enumerate() {
-                        let col = entry.block_col * z + (r + entry.shift) % z;
-                        posteriors[col] =
-                            self.arith.add(posteriors[col], r_msgs[(base_entry + ei) * z + r]);
+            ws.app.copy_from_slice(&ws.chan);
+            for l in 0..num_layers {
+                for e in compiled.layer_entries(l) {
+                    for r in 0..z {
+                        let edge = e.edge_base as usize + r;
+                        let col = col_index[edge] as usize;
+                        ws.app[col] = arith.add(ws.app[col], ws.lambda[edge]);
                     }
                 }
             }
             iterations += 1;
 
-            if let Some(tracker) = tracker.as_mut() {
-                let decisions: Vec<u8> = posteriors[..info_len]
-                    .iter()
-                    .map(|&m| self.arith.hard_bit(m))
-                    .collect();
-                let min_abs = posteriors[..info_len]
-                    .iter()
-                    .map(|&m| self.arith.magnitude(m))
-                    .fold(f64::INFINITY, f64::min);
-                if tracker.should_terminate(&decisions, min_abs)
+            if let Some(rule) = &self.config.early_termination {
+                if crate::engine::early_termination_reached(arith, rule.threshold, ws, info_len)
                     && iterations < self.config.max_iterations
                 {
                     early_terminated = true;
@@ -150,24 +167,33 @@ impl<A: DecoderArithmetic> FloodingDecoder<A> {
                 }
             }
             if self.config.stop_on_zero_syndrome && iterations < self.config.max_iterations {
-                let hard: Vec<u8> = posteriors.iter().map(|&m| self.arith.hard_bit(m)).collect();
-                if code.is_codeword(&hard).unwrap_or(false) {
+                ws.hard.clear();
+                ws.hard.extend(ws.app.iter().map(|&m| arith.hard_bit(m)));
+                if compiled.syndrome_ok(&ws.hard) {
                     break;
                 }
             }
         }
 
-        let hard_bits: Vec<u8> = posteriors.iter().map(|&m| self.arith.hard_bit(m)).collect();
-        let posterior_llrs: Vec<f64> = posteriors.iter().map(|&m| self.arith.to_llr(m)).collect();
-        let parity_satisfied = code.is_codeword(&hard_bits).unwrap_or(false);
-        Ok(DecodeOutput {
-            hard_bits,
-            posterior_llrs,
+        crate::engine::finish_output(
+            arith,
+            compiled,
+            &ws.app,
+            out,
             iterations,
-            parity_satisfied,
             early_terminated,
             stats,
-        })
+        );
+
+        #[cfg(debug_assertions)]
+        if let Some(fingerprint) = steady_fingerprint {
+            debug_assert_eq!(
+                fingerprint,
+                ws.allocation_fingerprint(),
+                "steady-state decode_into must not reallocate workspace buffers"
+            );
+        }
+        Ok(())
     }
 }
 
@@ -222,9 +248,11 @@ mod tests {
     #[test]
     fn corrects_noisy_frames_like_the_layered_decoder() {
         let code = code();
-        let flooding =
-            FloodingDecoder::new(FloatBpArithmetic::default(), DecoderConfig::fixed_iterations(20))
-                .unwrap();
+        let flooding = FloodingDecoder::new(
+            FloatBpArithmetic::default(),
+            DecoderConfig::fixed_iterations(20),
+        )
+        .unwrap();
         let channel = AwgnChannel::from_ebn0_db(3.0, code.rate());
         let mut source = FrameSource::random(&code, 21).unwrap();
         for _ in 0..3 {

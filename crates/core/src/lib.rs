@@ -14,6 +14,12 @@
 //! * [`arith`] — interchangeable decoder arithmetics: full BP (float and
 //!   bit-accurate fixed point) and the normalized Min-Sum baseline,
 //! * [`decoder`] — the layered decoder itself (Algorithm 1),
+//! * [`flooding`] — the two-phase baseline schedule,
+//! * [`engine`] — the [`Decoder`] trait unifying both schedules, with the
+//!   zero-allocation `decode_into` kernel and thread-parallel `decode_batch`
+//!   (the software analogue of the paper's parallel SISO array),
+//! * [`workspace`] — the reusable L/Λ buffer set behind the zero-allocation
+//!   guarantee,
 //! * [`siso`] — cycle-annotated models of the Radix-2 / Radix-4 SISO cores,
 //! * [`early_term`] — the early-termination rule of §IV,
 //! * [`schedule`] — layer-ordering policies (natural / stall-minimizing).
@@ -41,6 +47,7 @@ pub mod arith;
 pub mod boxplus;
 pub mod decoder;
 pub mod early_term;
+pub mod engine;
 pub mod error;
 pub mod fixedpoint;
 pub mod flooding;
@@ -48,17 +55,20 @@ pub mod lut;
 pub mod result;
 pub mod schedule;
 pub mod siso;
+pub mod workspace;
 
 pub use arith::{
     CheckNodeMode, DecoderArithmetic, FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic,
     FloatMinSumArithmetic,
 };
 pub use decoder::{DecoderConfig, LayeredDecoder};
-pub use early_term::EarlyTermination;
-pub use flooding::FloodingDecoder;
+pub use early_term::{DecisionHistory, EarlyTermination};
+pub use engine::{batch_threads, Decoder, LlrBatch, MsgOf};
 pub use error::DecodeError;
 pub use fixedpoint::FixedFormat;
+pub use flooding::FloodingDecoder;
 pub use lut::{CorrectionKind, CorrectionLut};
 pub use result::{DecodeOutput, DecodeStats};
 pub use schedule::LayerOrderPolicy;
 pub use siso::{BoxArithmetic, R2Siso, R4Siso, SisoRadix, SisoRowResult};
+pub use workspace::DecodeWorkspace;

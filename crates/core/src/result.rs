@@ -40,6 +40,21 @@ pub struct DecodeOutput {
 }
 
 impl DecodeOutput {
+    /// An empty output shell for [`crate::engine::Decoder::decode_into`] to
+    /// fill; its buffers are reused (and therefore allocation-free) when the
+    /// same shell is decoded into repeatedly.
+    #[must_use]
+    pub fn empty() -> Self {
+        DecodeOutput {
+            hard_bits: Vec::new(),
+            posterior_llrs: Vec::new(),
+            iterations: 0,
+            parity_satisfied: false,
+            early_terminated: false,
+            stats: DecodeStats::default(),
+        }
+    }
+
     /// The hard decisions of the information (systematic) bits only.
     #[must_use]
     pub fn info_bits(&self, info_len: usize) -> &[u8] {
@@ -83,7 +98,10 @@ mod tests {
 
     fn output(bits: Vec<u8>) -> DecodeOutput {
         DecodeOutput {
-            posterior_llrs: bits.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect(),
+            posterior_llrs: bits
+                .iter()
+                .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+                .collect(),
             hard_bits: bits,
             iterations: 3,
             parity_satisfied: true,

@@ -1,0 +1,221 @@
+//! Reusable decode state, so steady-state decoding is allocation-free.
+//!
+//! The seed decoder allocated its APP memory, Λ memory and scratch rows on
+//! every `decode` call. [`DecodeWorkspace`] owns those buffers instead — the
+//! software analogue of the paper's dedicated L/Λ memory banks, which exist
+//! once in silicon and are merely re-initialised between frames. A workspace
+//! is created (or grown) on first use with a given code and then reused:
+//! every subsequent [`Decoder::decode_into`](crate::engine::Decoder::decode_into)
+//! with the same code performs **zero heap allocations**, which the engine
+//! enforces with a debug assertion on the buffer fingerprints.
+
+use ldpc_codes::CompiledCode;
+
+use crate::early_term::DecisionHistory;
+
+/// Buffer set for decoding frames of one code with messages of type `M`.
+///
+/// A workspace may be moved between codes: `prepare` grows the buffers as
+/// needed. Only the steady state (same code as the previous call) is
+/// guaranteed allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeWorkspace<M> {
+    /// A-posteriori messages `L_n`, length `n`.
+    pub(crate) app: Vec<M>,
+    /// Channel messages (flooding schedule only), length `n`.
+    pub(crate) chan: Vec<M>,
+    /// Check messages `Λ_mn`, one per edge, indexed `entry · z + r`.
+    pub(crate) lambda: Vec<M>,
+    /// Second edge buffer for the flooding schedule's double buffering.
+    pub(crate) lambda_alt: Vec<M>,
+    /// Row gather scratch `λ`, capacity = max check degree.
+    pub(crate) row_in: Vec<M>,
+    /// Row output scratch `Λ'`, capacity = max check degree.
+    pub(crate) row_out: Vec<M>,
+    /// Hard-decision scratch, length `n`.
+    pub(crate) hard: Vec<u8>,
+    /// Information-bit hard decisions of the current iteration.
+    pub(crate) info_hard: Vec<u8>,
+    /// Early-termination decision history (previous iteration's hard
+    /// decisions), the same mechanism [`crate::early_term::TerminationTracker`]
+    /// uses.
+    pub(crate) history: DecisionHistory,
+}
+
+impl<M: Copy> DecodeWorkspace<M> {
+    /// An empty workspace; buffers are allocated on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        DecodeWorkspace {
+            app: Vec::new(),
+            chan: Vec::new(),
+            lambda: Vec::new(),
+            lambda_alt: Vec::new(),
+            row_in: Vec::new(),
+            row_out: Vec::new(),
+            hard: Vec::new(),
+            info_hard: Vec::new(),
+            history: DecisionHistory::new(),
+        }
+    }
+
+    /// A workspace with capacity pre-allocated for `compiled` (including the
+    /// flooding-only buffers), so even the first decode is allocation-free.
+    #[must_use]
+    pub fn for_code(compiled: &CompiledCode) -> Self {
+        let mut ws = Self::new();
+        ws.reserve_for(compiled, true);
+        ws
+    }
+
+    /// Grows every buffer to the capacity `compiled` needs.
+    pub fn reserve_for(&mut self, compiled: &CompiledCode, flooding: bool) {
+        let n = compiled.n();
+        let edges = compiled.num_edges();
+        let degree = compiled.max_degree();
+        let info = compiled.info_bits();
+        reserve_to(&mut self.app, n);
+        reserve_to(&mut self.lambda, edges);
+        reserve_to(&mut self.row_in, degree);
+        reserve_to(&mut self.row_out, degree);
+        reserve_to(&mut self.hard, n);
+        reserve_to(&mut self.info_hard, info);
+        self.history.reserve(info);
+        if flooding {
+            reserve_to(&mut self.chan, n);
+            reserve_to(&mut self.lambda_alt, edges);
+        }
+    }
+
+    /// Whether every buffer already has the capacity `compiled` needs, i.e.
+    /// whether the next `prepare` for this code is guaranteed allocation-free.
+    #[must_use]
+    pub fn is_ready_for(&self, compiled: &CompiledCode, flooding: bool) -> bool {
+        let n = compiled.n();
+        let edges = compiled.num_edges();
+        let degree = compiled.max_degree();
+        let info = compiled.info_bits();
+        self.app.capacity() >= n
+            && self.lambda.capacity() >= edges
+            && self.row_in.capacity() >= degree
+            && self.row_out.capacity() >= degree
+            && self.hard.capacity() >= n
+            && self.info_hard.capacity() >= info
+            && self.history.is_ready(info)
+            && (!flooding || (self.chan.capacity() >= n && self.lambda_alt.capacity() >= edges))
+    }
+
+    /// Resets the per-frame state: Λ memory zeroed, APP cleared (the engine
+    /// refills it from the channel LLRs), early-termination history dropped.
+    pub(crate) fn prepare(&mut self, compiled: &CompiledCode, zero: M, flooding: bool) {
+        self.reserve_for(compiled, flooding);
+        self.app.clear();
+        self.lambda.clear();
+        self.lambda.resize(compiled.num_edges(), zero);
+        self.history.reset();
+        if flooding {
+            self.chan.clear();
+            // The flooding schedule writes every edge of `lambda_alt` before
+            // reading it, so its contents need no initialisation — only its
+            // length must match for the buffer swap.
+            self.lambda_alt.clear();
+            self.lambda_alt.resize(compiled.num_edges(), zero);
+        }
+    }
+
+    /// Pointer/capacity fingerprint of every buffer. Two equal fingerprints
+    /// around a `decode_into` call prove the call performed no reallocation
+    /// (and therefore no heap allocation, as the engine owns no other state).
+    #[must_use]
+    pub fn allocation_fingerprint(&self) -> [(usize, usize); 9] {
+        // The flooding schedule swaps `lambda` and `lambda_alt` every
+        // iteration; order the pair by address so the swap (which moves no
+        // memory) does not change the fingerprint.
+        let lambda = (self.lambda.as_ptr() as usize, self.lambda.capacity());
+        let lambda_alt = (
+            self.lambda_alt.as_ptr() as usize,
+            self.lambda_alt.capacity(),
+        );
+        let (lo, hi) = if lambda <= lambda_alt {
+            (lambda, lambda_alt)
+        } else {
+            (lambda_alt, lambda)
+        };
+        [
+            (self.app.as_ptr() as usize, self.app.capacity()),
+            (self.chan.as_ptr() as usize, self.chan.capacity()),
+            lo,
+            hi,
+            (self.row_in.as_ptr() as usize, self.row_in.capacity()),
+            (self.row_out.as_ptr() as usize, self.row_out.capacity()),
+            (self.hard.as_ptr() as usize, self.hard.capacity()),
+            (self.info_hard.as_ptr() as usize, self.info_hard.capacity()),
+            self.history.fingerprint(),
+        ]
+    }
+}
+
+fn reserve_to<T>(buf: &mut Vec<T>, capacity: usize) {
+    if buf.capacity() < capacity {
+        buf.reserve_exact(capacity - buf.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_codes::{CodeId, CodeRate, Standard};
+
+    fn compiled() -> CompiledCode {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap()
+            .compile()
+    }
+
+    #[test]
+    fn for_code_is_ready_immediately() {
+        let compiled = compiled();
+        let ws = DecodeWorkspace::<f64>::for_code(&compiled);
+        assert!(ws.is_ready_for(&compiled, false));
+        assert!(ws.is_ready_for(&compiled, true));
+    }
+
+    #[test]
+    fn empty_workspace_becomes_ready_after_prepare() {
+        let compiled = compiled();
+        let mut ws = DecodeWorkspace::<f64>::new();
+        assert!(!ws.is_ready_for(&compiled, false));
+        ws.prepare(&compiled, 0.0, false);
+        assert!(ws.is_ready_for(&compiled, false));
+        assert_eq!(ws.lambda.len(), compiled.num_edges());
+        assert!(ws.lambda.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn prepare_is_allocation_free_once_ready() {
+        let compiled = compiled();
+        let mut ws = DecodeWorkspace::<f64>::for_code(&compiled);
+        ws.prepare(&compiled, 0.0, true);
+        let fp = ws.allocation_fingerprint();
+        for _ in 0..3 {
+            ws.prepare(&compiled, 0.0, true);
+        }
+        assert_eq!(fp, ws.allocation_fingerprint());
+    }
+
+    #[test]
+    fn workspace_grows_across_codes() {
+        let small = compiled();
+        let big = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2304)
+            .build()
+            .unwrap()
+            .compile();
+        let mut ws = DecodeWorkspace::<f64>::for_code(&small);
+        assert!(!ws.is_ready_for(&big, false));
+        ws.prepare(&big, 0.0, false);
+        assert!(ws.is_ready_for(&big, false));
+        // And it still serves the small code without shrinking.
+        assert!(ws.is_ready_for(&small, false));
+    }
+}

@@ -17,7 +17,7 @@
 //!   controller, cycle-accurate pipeline, and the calibrated area / power /
 //!   energy models behind Table 2, Table 3 and Fig. 9.
 //!
-//! ## Quickstart
+//! ## Quickstart — single frame
 //!
 //! ```
 //! use ldpc::prelude::*;
@@ -34,6 +34,41 @@
 //! let llrs = channel.transmit(&frame.codeword, source.noise_rng());
 //! let out = decoder.decode(&code, &llrs)?;
 //! assert_eq!(out.hard_bits.len(), code.n());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Quickstart — the batched decode engine
+//!
+//! Every decoder (layered and flooding schedule alike) implements the
+//! [`Decoder`](ldpc_core::engine::Decoder) trait. For throughput, compile the
+//! code once, generate frames in blocks and decode whole batches: the
+//! compiled schedule replaces per-frame shift arithmetic with table lookups,
+//! per-worker [`DecodeWorkspace`](ldpc_core::workspace::DecodeWorkspace)s make
+//! steady-state decoding allocation-free, and frames spread across OS threads
+//! (override the worker count with `LDPC_DECODE_THREADS`).
+//!
+//! ```
+//! use ldpc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576).build()?;
+//! let compiled = code.compile();
+//! let decoder = LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default())?;
+//!
+//! // A block of 8 frames and their channel LLRs in one flat buffer.
+//! let channel = AwgnChannel::from_ebn0_db(2.5, code.rate());
+//! let mut source = FrameSource::random(&code, 7)?;
+//! let block = source.next_block(&channel, 8);
+//!
+//! let outputs = decoder.decode_batch(&compiled, LlrBatch::new(&block.llrs, code.n())?)?;
+//! let errors: usize = outputs
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, o)| o.bit_errors_against(block.codeword(i)))
+//!     .sum();
+//! assert_eq!(outputs.len(), 8);
+//! assert_eq!(errors, 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -54,16 +89,16 @@ pub mod prelude {
     };
     pub use ldpc_channel::{
         awgn::AwgnChannel, quantize::LlrQuantizer, stats::ErrorCounter, stats::IterationHistogram,
-        workload::FrameSource,
+        workload::FrameBlock, workload::FrameSource,
     };
     pub use ldpc_codes::{
-        CodeId, CodeRate, Encoder, LayerSchedule, QcCode, Standard,
+        CodeId, CodeRate, CompiledCode, Encoder, LayerSchedule, QcCode, Standard,
     };
     pub use ldpc_core::{
         decoder::{DecoderConfig, LayeredDecoder},
-        CheckNodeMode, DecoderArithmetic, EarlyTermination, FixedBpArithmetic,
-        FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic, LayerOrderPolicy, R2Siso,
-        R4Siso, SisoRadix,
+        CheckNodeMode, DecodeOutput, DecodeWorkspace, Decoder, DecoderArithmetic, EarlyTermination,
+        FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic,
+        FloodingDecoder, LayerOrderPolicy, LlrBatch, R2Siso, R4Siso, SisoRadix,
     };
 }
 

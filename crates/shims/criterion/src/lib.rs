@@ -1,0 +1,404 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses. The build environment has no crates.io access, so this shim
+//! implements a real (if simple) measuring harness behind the same API:
+//! warm-up, adaptive batching so timer resolution does not dominate, several
+//! samples, and a `min/mean/max` per-iteration report.
+//!
+//! Extras over plain printing:
+//!
+//! * results are collected in a process-wide registry, and
+//! * if `CRITERION_JSON_OUT` is set, [`write_json_if_requested`] (called by
+//!   `criterion_main!`) dumps every measurement as JSON — used to record
+//!   benchmark baselines such as `BENCH_batch.json`.
+//!
+//! A single positional CLI argument acts as a substring filter on benchmark
+//! ids (matching `cargo bench -- <filter>`); `--foo`-style flags are ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement, exported to JSON on demand.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Minimum observed time per iteration, seconds.
+    pub min_s: f64,
+    /// Mean time per iteration, seconds.
+    pub mean_s: f64,
+    /// Maximum observed time per iteration, seconds.
+    pub max_s: f64,
+    /// Iterations executed per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Declared throughput per iteration, if any.
+    pub throughput: Option<Throughput>,
+}
+
+static REGISTRY: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Throughput of one benchmark iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements (e.g. frames).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Harness configuration and entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Reads the benchmark-id filter from the command line (first positional
+    /// argument), ignoring `--flag`-style arguments cargo passes along.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, throughput: Option<Throughput>, f: &mut F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        let Some((times, iters)) = bencher.result else {
+            return;
+        };
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let mut line = format!(
+            "{id:<52} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+        if let Some(tp) = throughput {
+            let (amount, unit) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            let _ = write!(line, "  thrpt: {:.4e} {unit}", amount / mean);
+        }
+        println!("{line}");
+        REGISTRY
+            .lock()
+            .expect("registry poisoned")
+            .push(Measurement {
+                id: id.to_string(),
+                min_s: min,
+                mean_s: mean,
+                max_s: max,
+                iters_per_sample: iters,
+                samples: times.len(),
+                throughput,
+            });
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `group_name/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(&full, self.throughput, &mut |b: &mut Bencher| {
+                b_call(&mut f, b, input)
+            });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn b_call<I: ?Sized, F: FnMut(&mut Bencher, &I)>(f: &mut F, b: &mut Bencher, input: &I) {
+    f(b, input);
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    result: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Measures the closure: warm-up, then `sample_size` samples of an
+    /// adaptively chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also yielding a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Pick iterations per sample so one sample is ~1/sample_size of the
+        // measurement budget but at least ~50 µs (timer resolution).
+        let budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let target = budget.max(50e-6);
+        let iters = ((target / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut times = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        self.result = Some((times, iters));
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Writes every recorded measurement as JSON to `$CRITERION_JSON_OUT`, if set.
+/// Called automatically by `criterion_main!`.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+        return;
+    };
+    let measurements = REGISTRY.lock().expect("registry poisoned");
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        let throughput = match m.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(
+                    ", \"elements\": {n}, \"elements_per_sec\": {:.3}",
+                    n as f64 / m.mean_s
+                )
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    ", \"bytes\": {n}, \"bytes_per_sec\": {:.3}",
+                    n as f64 / m.mean_s
+                )
+            }
+            None => String::new(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"{}\", \"min_s\": {:.9}, \"mean_s\": {:.9}, \"max_s\": {:.9}, \
+             \"iters_per_sample\": {}, \"samples\": {}{}}}{}",
+            m.id.replace('"', "'"),
+            m.min_s,
+            m.mean_s,
+            m.max_s,
+            m.iters_per_sample,
+            m.samples,
+            throughput,
+            sep
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: could not write {path}: {e}");
+    } else {
+        eprintln!(
+            "criterion shim: wrote {} measurements to {path}",
+            measurements.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_json_if_requested();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        let reg = REGISTRY.lock().unwrap();
+        let m = reg.iter().find(|m| m.id == "smoke/add").expect("recorded");
+        assert!(m.mean_s > 0.0);
+        assert!(m.min_s <= m.mean_s && m.mean_s <= m.max_s + 1e-12);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 64).id, "f/64");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

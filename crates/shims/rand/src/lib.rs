@@ -1,0 +1,250 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this shim provides an
+//! API-compatible implementation of exactly the surface the workspace needs:
+//!
+//! * [`rngs::StdRng`] — a seedable, cloneable PRNG (xoshiro256** seeded via
+//!   SplitMix64; statistically solid for Monte-Carlo simulation, not
+//!   cryptographic),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen`] for `f64` / `u32` / `u64` / `bool`,
+//! * [`Rng::gen_range`] over half-open and inclusive integer ranges.
+//!
+//! Numeric streams differ from the real `rand` crate (which uses ChaCha12 for
+//! `StdRng`); everything in this repository treats seeds as opaque, so only
+//! determinism and statistical quality matter, and both hold here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` uniform in `[0, 1)`, integers uniform over the full domain).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_uniform(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 state expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from their standard distribution via [`Rng::gen`].
+pub trait StandardSample {
+    /// Draws one standard-distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable via [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_uniform<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[start, start + span)`, all arithmetic in i128 so that
+/// negative signed bounds neither overflow nor bias.
+fn draw_in_span<R: RngCore + ?Sized>(rng: &mut R, start: i128, span: u128) -> i128 {
+    // Modulo draw: bias is < 2^-64 per unit span, irrelevant for simulation
+    // workloads.
+    start + (rng.next_u64() as u128 % span) as i128
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_uniform<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let (start, end) = (self.start as i128, self.end as i128);
+                draw_in_span(rng, start, (end - start) as u128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_uniform<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start() <= self.end(), "cannot sample from empty range");
+                let (start, end) = (*self.start() as i128, *self.end() as i128);
+                draw_in_span(rng, start, (end - start) as u128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard PRNG: xoshiro256** with SplitMix64 seeding.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expands the 64-bit seed into the 256-bit state; it
+            // cannot produce the all-zero state xoshiro forbids.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            let v: u8 = rng.gen_range(0..=1u8);
+            seen[v as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+        for _ in 0..64 {
+            let v: u32 = rng.gen_range(5..10u32);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_negative_signed_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..256 {
+            let v: i32 = rng.gen_range(-3..3);
+            assert!((-3..3).contains(&v));
+            let w: i64 = rng.gen_range(-5..=-1i64);
+            assert!((-5..=-1).contains(&w));
+            lo_seen |= v == -3;
+            hi_seen |= v == 2;
+        }
+        assert!(lo_seen && hi_seen, "both extremes should be reachable");
+    }
+
+    #[test]
+    fn gen_range_covers_full_unsigned_domain() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..64 {
+            let _: u64 = rng.gen_range(0..=u64::MAX);
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let _ = draw(&mut rng);
+    }
+}

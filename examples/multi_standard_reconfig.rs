@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let out = decoder.decode(&llrs)?;
         let mode = decoder.current_mode().expect("configured").clone();
-        let throughput =
-            throughput_model.simulated_bps(&mode, code.rate(), &out.cycles) / 1.0e6;
+        let throughput = throughput_model.simulated_bps(&mode, code.rate(), &out.cycles) / 1.0e6;
         let power = power_model
             .power_with_early_termination(out.active_lanes, 96, 450.0e6, out.iterations as f64, 10)
             .total_mw;

@@ -137,11 +137,8 @@ fn energy_per_bit_is_in_the_expected_range() {
         .unwrap();
     let mode = ldpc::arch::DecoderModeConfig::from_code(&code);
     let cycles = PipelineModel::new(PipelineOptions::default()).frame_cycles(&mode, 10);
-    let throughput = ThroughputModel::paper_operating_point().simulated_bps(
-        &mode,
-        code.rate(),
-        &cycles,
-    );
+    let throughput =
+        ThroughputModel::paper_operating_point().simulated_bps(&mode, code.rate(), &cycles);
     let power = PowerModel::paper_90nm().peak_power_mw();
     let energy = EnergyReport::new(power, throughput, code.info_bits());
     assert!(energy.pj_per_bit > 100.0 && energy.pj_per_bit < 1000.0);

@@ -1,0 +1,122 @@
+//! Batched decode engine integration: `decode_batch` must be bit-identical
+//! to sequential single-frame `decode` for every arithmetic back-end, on the
+//! workloads the block generator produces, with and without forced
+//! multi-threading.
+
+use ldpc::prelude::*;
+
+/// Decodes `frames` noisy frames both ways and asserts bitwise equality of
+/// every output field (hard bits, posterior LLRs, iteration counts, stats).
+fn assert_batch_matches_sequential<A>(arith: A, label: &str)
+where
+    A: DecoderArithmetic + Clone + Sync,
+{
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+        .build()
+        .unwrap();
+    let compiled = code.compile();
+    let frames = 9;
+    let channel = AwgnChannel::from_ebn0_db(2.0, code.rate());
+    let mut source = FrameSource::random(&code, 2024).unwrap();
+    let block = source.next_block(&channel, frames);
+    let batch = LlrBatch::new(&block.llrs, code.n()).unwrap();
+
+    for config in [
+        DecoderConfig::default(),
+        DecoderConfig {
+            stop_on_zero_syndrome: true,
+            layer_order: LayerOrderPolicy::StallMinimizing,
+            ..DecoderConfig::default()
+        },
+    ] {
+        let decoder = LayeredDecoder::new(arith.clone(), config).unwrap();
+        let batched = decoder.decode_batch(&compiled, batch).unwrap();
+        assert_eq!(batched.len(), frames, "{label}");
+        for (i, out) in batched.iter().enumerate() {
+            // The compatibility path: fresh compile, fresh workspace.
+            let single = decoder.decode(&code, block.frame_llrs(i)).unwrap();
+            assert_eq!(out, &single, "{label}: frame {i} diverged");
+        }
+        // At 2 dB the channel is noisy; make sure the comparison exercises
+        // real decoding work rather than trivial one-iteration exits.
+        assert!(
+            batched.iter().any(|o| o.iterations > 1),
+            "{label}: workload too easy to be meaningful"
+        );
+    }
+}
+
+#[test]
+fn batch_matches_sequential_float_bp() {
+    assert_batch_matches_sequential(FloatBpArithmetic::default(), "float BP");
+}
+
+#[test]
+fn batch_matches_sequential_fixed_bp() {
+    assert_batch_matches_sequential(FixedBpArithmetic::forward_backward(), "fixed BP fwd/bwd");
+    assert_batch_matches_sequential(FixedBpArithmetic::default(), "fixed BP sum-extract");
+}
+
+#[test]
+fn batch_matches_sequential_min_sum() {
+    assert_batch_matches_sequential(FloatMinSumArithmetic::default(), "float min-sum");
+    assert_batch_matches_sequential(FixedMinSumArithmetic::default(), "fixed min-sum");
+}
+
+#[test]
+fn flooding_batch_matches_sequential() {
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+        .build()
+        .unwrap();
+    let compiled = code.compile();
+    let channel = AwgnChannel::from_ebn0_db(2.5, code.rate());
+    let mut source = FrameSource::random(&code, 55).unwrap();
+    let block = source.next_block(&channel, 4);
+    let decoder = FloodingDecoder::new(
+        FloatBpArithmetic::default(),
+        DecoderConfig::fixed_iterations(12),
+    )
+    .unwrap();
+    let batched = decoder
+        .decode_batch(&compiled, LlrBatch::new(&block.llrs, code.n()).unwrap())
+        .unwrap();
+    for (i, out) in batched.iter().enumerate() {
+        let single = decoder.decode(&code, block.frame_llrs(i)).unwrap();
+        assert_eq!(out, &single, "frame {i}");
+    }
+}
+
+#[test]
+fn batch_decoding_corrects_noisy_blocks_end_to_end() {
+    // Full pipeline: block generation → batch decode → error accounting.
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 1152)
+        .build()
+        .unwrap();
+    let compiled = code.compile();
+    let channel = AwgnChannel::from_ebn0_db(3.0, code.rate());
+    let mut source = FrameSource::random(&code, 8).unwrap();
+    let block = source.next_block(&channel, 8);
+    let channel_errors: usize = block
+        .llrs
+        .iter()
+        .zip(&block.codewords)
+        .filter(|(&l, &b)| u8::from(l < 0.0) != b)
+        .count();
+    assert!(channel_errors > 0, "channel should be noisy");
+
+    let decoder =
+        LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+    let outputs = decoder
+        .decode_batch(&compiled, LlrBatch::new(&block.llrs, code.n()).unwrap())
+        .unwrap();
+    let decoded_errors: usize = outputs
+        .iter()
+        .enumerate()
+        .map(|(i, o)| o.bit_errors_against(block.codeword(i)))
+        .sum();
+    assert!(
+        decoded_errors * 10 < channel_errors,
+        "batch decoding must remove nearly all channel errors \
+         ({decoded_errors} of {channel_errors} left)"
+    );
+}

@@ -3,12 +3,7 @@
 
 use ldpc::prelude::*;
 
-fn end_to_end(
-    id: CodeId,
-    ebn0_db: f64,
-    frames: usize,
-    seed: u64,
-) -> (usize, usize, f64, QcCode) {
+fn end_to_end(id: CodeId, ebn0_db: f64, frames: usize, seed: u64) -> (usize, usize, f64, QcCode) {
     let code = id.build().expect("supported mode");
     let decoder = LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default())
         .expect("valid config");
@@ -29,7 +24,12 @@ fn end_to_end(
         decoded_errors += out.bit_errors_against(&frame.codeword);
         iterations += out.iterations as f64;
     }
-    (channel_errors, decoded_errors, iterations / frames as f64, code)
+    (
+        channel_errors,
+        decoded_errors,
+        iterations / frames as f64,
+        code,
+    )
 }
 
 #[test]
@@ -159,12 +159,8 @@ fn quantized_channel_llrs_still_decode() {
 fn dmbt_class_code_end_to_end() {
     // The DMB-T-class code is much longer (7620 bits); a single clean-ish
     // frame checks that the whole pipeline scales.
-    let (channel_errors, decoded_errors, _, code) = end_to_end(
-        CodeId::new(Standard::DmbT, CodeRate::R3_5, 7620),
-        3.0,
-        1,
-        9,
-    );
+    let (channel_errors, decoded_errors, _, code) =
+        end_to_end(CodeId::new(Standard::DmbT, CodeRate::R3_5, 7620), 3.0, 1, 9);
     assert_eq!(code.z(), 127);
     assert!(channel_errors > 0);
     assert_eq!(decoded_errors, 0);

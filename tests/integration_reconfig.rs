@@ -17,7 +17,11 @@ fn every_wimax_and_wifi_mode_fits_and_decodes_on_the_paper_datapath() {
         let n = id.n;
         let out = decoder.decode(&vec![8.0; n]).unwrap();
         assert!(out.parity_satisfied, "mode {id}");
-        assert!(out.iterations <= 3, "mode {id} took {} iterations", out.iterations);
+        assert!(
+            out.iterations <= 3,
+            "mode {id} took {} iterations",
+            out.iterations
+        );
         assert_eq!(out.hard_bits, vec![0u8; n], "mode {id}");
         assert_eq!(out.active_lanes, z);
     }
@@ -53,7 +57,9 @@ fn dmbt_needs_a_larger_datapath_than_the_papers_chip() {
     // The paper's multi-mode chip targets 802.16e/.11n (z ≤ 96); DMB-T's
     // z = 127 requires a wider datapath, which the model checks for.
     let mut decoder = AsicLdpcDecoder::paper_multimode().unwrap();
-    let dmbt = CodeId::new(Standard::DmbT, CodeRate::R3_5, 7620).build().unwrap();
+    let dmbt = CodeId::new(Standard::DmbT, CodeRate::R3_5, 7620)
+        .build()
+        .unwrap();
     assert!(decoder.configure_code(&dmbt).is_err());
 
     // A datapath sized for DMB-T accepts it.
