@@ -12,6 +12,12 @@
 //! * `batch`       — `decode_batch_into`, which adds frame-level thread
 //!   parallelism on top of `seq_reused`.
 //!
+//! A second group, `decoder_lane_vs_scalar`, compares the lane-major kernel
+//! path (`decode_into`) against the row-serial scalar reference
+//! (`decode_into_reference`) for the fixed-point back-ends at the same batch
+//! sizes — the regression gate requires the `_lane` variants to be no slower
+//! than their `_scalar` counterparts.
+//!
 //! Throughput is declared in frames per iteration, so the report includes
 //! frames/s; info-bit Mbps is `frames/s · info_bits / 1e6` (info_bits = 1152
 //! for this code). Run with `CRITERION_JSON_OUT=BENCH_batch.json` to record a
@@ -22,7 +28,10 @@ use ldpc_channel::awgn::AwgnChannel;
 use ldpc_channel::workload::FrameSource;
 use ldpc_codes::{CodeId, CodeRate, Standard};
 use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
-use ldpc_core::{DecodeOutput, Decoder, FloatBpArithmetic, LlrBatch};
+use ldpc_core::{
+    DecodeOutput, Decoder, FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, LaneKernel,
+    LlrBatch,
+};
 
 fn bench_batch_decode(c: &mut Criterion) {
     let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2304)
@@ -84,9 +93,88 @@ fn bench_batch_decode(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lane-major kernel path vs row-serial scalar reference, fixed-point
+/// back-ends, sequential over the batch with one reused workspace each (so
+/// the difference is pure kernel shape, not threading).
+fn bench_lane_vs_scalar(c: &mut Criterion) {
+    let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2304)
+        .build()
+        .unwrap();
+    let compiled = code.compile();
+    let channel = AwgnChannel::from_ebn0_db(2.5, code.rate());
+    let mut source = FrameSource::random(&code, 99).unwrap();
+    let block = source.next_block(&channel, 64);
+
+    fn bench_backend<A: LaneKernel + Clone + Sync>(
+        group: &mut criterion::BenchmarkGroup<'_>,
+        name: &str,
+        arith: A,
+        compiled: &ldpc_codes::CompiledCode,
+        llrs: &[f64],
+        frames: usize,
+    ) {
+        // Fixed iterations: lane and scalar do identical arithmetic work.
+        let decoder = LayeredDecoder::new(arith, DecoderConfig::fixed_iterations(10)).unwrap();
+        let batch = LlrBatch::new(llrs, compiled.n()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(&format!("{name}_scalar"), frames),
+            &batch,
+            |b, batch| {
+                let mut ws = decoder.workspace_for(compiled);
+                let mut out = DecodeOutput::empty();
+                b.iter(|| {
+                    for llrs in batch.iter() {
+                        decoder
+                            .decode_into_reference(compiled, llrs, &mut ws, &mut out)
+                            .unwrap();
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(&format!("{name}_lane"), frames),
+            &batch,
+            |b, batch| {
+                let mut ws = decoder.workspace_for(compiled);
+                let mut out = DecodeOutput::empty();
+                b.iter(|| {
+                    for llrs in batch.iter() {
+                        decoder
+                            .decode_into(compiled, llrs, &mut ws, &mut out)
+                            .unwrap();
+                    }
+                })
+            },
+        );
+    }
+
+    let mut group = c.benchmark_group("decoder_lane_vs_scalar");
+    for &frames in &[1usize, 8, 64] {
+        let llrs = &block.llrs[..frames * code.n()];
+        group.throughput(Throughput::Elements(frames as u64));
+        bench_backend(
+            &mut group,
+            "fixed_bp",
+            FixedBpArithmetic::default(),
+            &compiled,
+            llrs,
+            frames,
+        );
+        bench_backend(
+            &mut group,
+            "fixed_min_sum",
+            FixedMinSumArithmetic::default(),
+            &compiled,
+            llrs,
+            frames,
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(700));
-    targets = bench_batch_decode
+    targets = bench_batch_decode, bench_lane_vs_scalar
 }
 criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! Criterion micro-benchmarks of the SISO decoder kernels: the ⊞/⊟
-//! operators, the check-node update variants and the R2/R4 row processing.
+//! operators, the check-node update variants (scalar per-row and lane-major
+//! across a whole layer) and the R2/R4 row processing.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ldpc_core::arith::DecoderArithmetic;
 use ldpc_core::boxplus::{boxminus, boxplus};
 use ldpc_core::siso::{R2Siso, R4Siso};
 use ldpc_core::{
-    FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic,
+    FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic, LaneKernel,
+    LaneScratch,
 };
 
 fn row_f64(degree: usize) -> Vec<f64> {
@@ -74,6 +76,99 @@ fn bench_check_node_updates(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar-vs-lane check-node update of one whole layer: `z = 96` rows (the
+/// largest WiMAX circulant) of degree 7, the shape the layered engine feeds
+/// the kernels. The scalar variant is the row-serial loop the engine used to
+/// run (strided gather, per-row update, strided scatter); the lane variant is
+/// one `check_node_update_lanes` call over the slot-major block.
+fn bench_lane_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lane_check_node_z96_d7");
+    let (z, degree) = (96usize, 7usize);
+    let fixed_bp = FixedBpArithmetic::default();
+    let fixed_fb = FixedBpArithmetic::forward_backward();
+    let fixed_ms = FixedMinSumArithmetic::default();
+    let lanes_f64: Vec<f64> = (0..degree * z)
+        .map(|i| ((i * 37 % 23) as f64 - 11.0) * 0.7 + 0.35)
+        .collect();
+    let lanes_codes: Vec<i32> = lanes_f64
+        .iter()
+        .map(|&x| fixed_bp.from_channel(x))
+        .collect();
+
+    fn scalar<A: DecoderArithmetic>(
+        arith: &A,
+        z: usize,
+        degree: usize,
+        lanes_in: &[A::Msg],
+        lanes_out: &mut [A::Msg],
+        row_in: &mut Vec<A::Msg>,
+        row_out: &mut Vec<A::Msg>,
+    ) {
+        for r in 0..z {
+            row_in.clear();
+            row_in.extend((0..degree).map(|slot| lanes_in[slot * z + r]));
+            arith.check_node_update(row_in, row_out);
+            for (slot, &m) in row_out.iter().enumerate() {
+                lanes_out[slot * z + r] = m;
+            }
+        }
+    }
+
+    for (name, arith) in [
+        ("fixed_bp_sum_extract", &fixed_bp),
+        ("fixed_bp_fwd_bwd", &fixed_fb),
+    ] {
+        group.bench_function(format!("{name}_scalar"), |b| {
+            let mut out = vec![0i32; degree * z];
+            let (mut row_in, mut row_out) = (Vec::new(), Vec::new());
+            b.iter(|| {
+                scalar(
+                    arith,
+                    z,
+                    degree,
+                    black_box(&lanes_codes),
+                    &mut out,
+                    &mut row_in,
+                    &mut row_out,
+                )
+            })
+        });
+        group.bench_function(format!("{name}_lane"), |b| {
+            let mut out = vec![0i32; degree * z];
+            let mut scratch = LaneScratch::new();
+            scratch.reserve(degree, z);
+            b.iter(|| {
+                arith.check_node_update_lanes(z, black_box(&lanes_codes), &mut out, &mut scratch)
+            })
+        });
+    }
+
+    group.bench_function("fixed_min_sum_scalar", |b| {
+        let mut out = vec![0i32; degree * z];
+        let (mut row_in, mut row_out) = (Vec::new(), Vec::new());
+        b.iter(|| {
+            scalar(
+                &fixed_ms,
+                z,
+                degree,
+                black_box(&lanes_codes),
+                &mut out,
+                &mut row_in,
+                &mut row_out,
+            )
+        })
+    });
+    group.bench_function("fixed_min_sum_lane", |b| {
+        let mut out = vec![0i32; degree * z];
+        let mut scratch = LaneScratch::new();
+        scratch.reserve(degree, z);
+        b.iter(|| {
+            fixed_ms.check_node_update_lanes(z, black_box(&lanes_codes), &mut out, &mut scratch)
+        })
+    });
+    group.finish();
+}
+
 fn bench_siso_rows(c: &mut Criterion) {
     let mut group = c.benchmark_group("siso_row_degree20");
     let arith = FixedBpArithmetic::default();
@@ -88,6 +183,6 @@ fn bench_siso_rows(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_operators, bench_check_node_updates, bench_siso_rows
+    targets = bench_operators, bench_check_node_updates, bench_lane_kernels, bench_siso_rows
 }
 criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! Benchmark regression gate for CI.
+//!
+//! Reads the JSON the criterion shim emits via `CRITERION_JSON_OUT` and
+//! applies two checks:
+//!
+//! 1. **Baseline comparison** (`compare_bench <baseline.json> <new.json>
+//!    [--tolerance F]`): every benchmark id recorded in the baseline must be
+//!    present in the new run, and its new `mean_s` must not exceed
+//!    `tolerance × baseline mean_s` (default 4.0 — the baseline and the CI
+//!    runner are different machines, so only large regressions are actionable
+//!    across them).
+//! 2. **Lane-vs-scalar invariant** (`--require-lane-not-slower [margin]`,
+//!    applied to the *new* run, machine-independent): for every id with a
+//!    `/`-segment ending in `_lane`, the matching `_scalar` id must exist and
+//!    the lane mean must not exceed `margin ×` the scalar mean (default 1.2,
+//!    absorbing timer noise; the recorded baselines show the lane kernels
+//!    1.3–3× faster).
+//!
+//! Exits non-zero with a per-benchmark report on any violation. The parser
+//! handles exactly the shim's one-measurement-per-line format — this tool
+//! gates our own recorded files, not arbitrary JSON.
+
+use std::process::ExitCode;
+
+/// One parsed measurement (id + mean seconds).
+#[derive(Debug, Clone, PartialEq)]
+struct Bench {
+    id: String,
+    mean_s: f64,
+}
+
+/// Extracts the string value of `"key": "…"` from a JSON object line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts the numeric value of `"key": …` from a JSON object line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses every `{"id": …, "mean_s": …}` line of a shim JSON dump.
+fn parse_benchmarks(json: &str) -> Vec<Bench> {
+    json.lines()
+        .filter_map(|line| {
+            let id = str_field(line, "id")?;
+            let mean_s = num_field(line, "mean_s")?;
+            Some(Bench { id, mean_s })
+        })
+        .collect()
+}
+
+fn mean_of<'a>(benches: &'a [Bench], id: &str) -> Option<&'a Bench> {
+    benches.iter().find(|b| b.id == id)
+}
+
+/// Check 1: every baseline id present and not grossly slower in `new`.
+fn check_against_baseline(baseline: &[Bench], new: &[Bench], tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in baseline {
+        match mean_of(new, &base.id) {
+            None => violations.push(format!("{}: missing from the new run", base.id)),
+            Some(b) if b.mean_s > tolerance * base.mean_s => violations.push(format!(
+                "{}: {:.3e}s vs baseline {:.3e}s (> {tolerance}x)",
+                base.id, b.mean_s, base.mean_s
+            )),
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
+/// The `_scalar` counterpart of a lane benchmark id, pairing on the
+/// `/`-separated id segment that *ends* with `_lane` (so a group name like
+/// `decoder_lane_vs_scalar` neither matches nor gets mangled).
+fn lane_counterpart(id: &str) -> Option<String> {
+    let mut replaced = false;
+    let segments: Vec<String> = id
+        .split('/')
+        .map(|seg| match seg.strip_suffix("_lane") {
+            Some(stem) if !replaced => {
+                replaced = true;
+                format!("{stem}_scalar")
+            }
+            _ => seg.to_string(),
+        })
+        .collect();
+    replaced.then(|| segments.join("/"))
+}
+
+/// Check 2: every `…_lane` benchmark at most `margin ×` its `…_scalar`
+/// counterpart, within one run.
+fn check_lane_not_slower(benches: &[Bench], margin: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut pairs = 0usize;
+    for lane in benches {
+        let Some(scalar_id) = lane_counterpart(&lane.id) else {
+            continue;
+        };
+        match mean_of(benches, &scalar_id) {
+            None => violations.push(format!("{}: no scalar counterpart {scalar_id}", lane.id)),
+            Some(s) if lane.mean_s > margin * s.mean_s => violations.push(format!(
+                "{}: lane {:.3e}s vs scalar {:.3e}s (> {margin}x)",
+                lane.id, lane.mean_s, s.mean_s
+            )),
+            Some(_) => pairs += 1,
+        }
+    }
+    if pairs == 0 && violations.is_empty() {
+        violations.push("no lane/scalar pairs found — wrong input file?".to_string());
+    }
+    violations
+}
+
+fn read_benches(path: &str) -> Result<Vec<Bench>, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let benches = parse_benchmarks(&json);
+    if benches.is_empty() {
+        return Err(format!("{path}: no benchmark measurements found"));
+    }
+    Ok(benches)
+}
+
+fn run(args: &[String]) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    let mut tolerance = 4.0f64;
+    let mut lane_margin: Option<f64> = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--tolerance needs a number")?;
+            }
+            "--require-lane-not-slower" => {
+                let margin = it
+                    .peek()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .inspect(|_| {
+                        it.next();
+                    })
+                    .unwrap_or(1.2);
+                lane_margin = Some(margin);
+            }
+            _ => files.push(arg.clone()),
+        }
+    }
+
+    let mut violations = Vec::new();
+    match files.as_slice() {
+        [single] => {
+            let benches = read_benches(single)?;
+            let margin = lane_margin.ok_or(
+                "single-file mode needs --require-lane-not-slower (two files for a baseline diff)",
+            )?;
+            violations.extend(check_lane_not_slower(&benches, margin));
+        }
+        [baseline, new] => {
+            let baseline = read_benches(baseline)?;
+            let new = read_benches(new)?;
+            violations.extend(check_against_baseline(&baseline, &new, tolerance));
+            if let Some(margin) = lane_margin {
+                violations.extend(check_lane_not_slower(&new, margin));
+            }
+        }
+        _ => return Err("usage: compare_bench [baseline.json] new.json [--tolerance F] [--require-lane-not-slower [M]]".to_string()),
+    }
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Err(e) => {
+            eprintln!("compare_bench: {e}");
+            ExitCode::from(2)
+        }
+        Ok(violations) if violations.is_empty() => {
+            println!("compare_bench: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            eprintln!("compare_bench: {} violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"id": "g/fixed_bp_scalar/8", "min_s": 0.001, "mean_s": 0.002000000, "max_s": 0.003, "iters_per_sample": 4, "samples": 15},
+    {"id": "g/fixed_bp_lane/8", "min_s": 0.001, "mean_s": 0.001500000, "max_s": 0.002, "iters_per_sample": 4, "samples": 15, "elements": 8, "elements_per_sec": 5333.333}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_shim_format() {
+        let benches = parse_benchmarks(SAMPLE);
+        assert_eq!(benches.len(), 2);
+        assert_eq!(benches[0].id, "g/fixed_bp_scalar/8");
+        assert!((benches[0].mean_s - 0.002).abs() < 1e-12);
+        assert!((benches[1].mean_s - 0.0015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_comparison_flags_regressions_and_missing_ids() {
+        let baseline = parse_benchmarks(SAMPLE);
+        let mut new = baseline.clone();
+        assert!(check_against_baseline(&baseline, &new, 4.0).is_empty());
+        new[0].mean_s = 0.009; // 4.5x the baseline
+        let v = check_against_baseline(&baseline, &new, 4.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("fixed_bp_scalar"));
+        new.remove(1);
+        let v = check_against_baseline(&baseline, &new, 100.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"));
+    }
+
+    #[test]
+    fn lane_counterpart_pairs_on_segment_suffix_only() {
+        assert_eq!(
+            lane_counterpart("g/fixed_bp_lane/8").as_deref(),
+            Some("g/fixed_bp_scalar/8")
+        );
+        assert_eq!(
+            lane_counterpart("lane_check_node_z96_d7/fixed_min_sum_lane").as_deref(),
+            Some("lane_check_node_z96_d7/fixed_min_sum_scalar")
+        );
+        // Ids whose *group* merely mentions lanes are not lane benchmarks.
+        assert_eq!(
+            lane_counterpart("decoder_lane_vs_scalar/fixed_bp_scalar/1"),
+            None
+        );
+        assert_eq!(lane_counterpart("lane_check_node_z96_d7/radix2"), None);
+    }
+
+    #[test]
+    fn lane_check_flags_slower_lanes_and_empty_inputs() {
+        let mut benches = parse_benchmarks(SAMPLE);
+        assert!(check_lane_not_slower(&benches, 1.2).is_empty());
+        benches[1].mean_s = 0.0025; // lane slower than scalar
+        assert_eq!(check_lane_not_slower(&benches, 1.2).len(), 1);
+        // No pairs at all is itself a violation (guards against gating an
+        // empty or mis-named file).
+        assert_eq!(check_lane_not_slower(&benches[..1], 1.2).len(), 1);
+    }
+
+    #[test]
+    fn run_parses_flags() {
+        assert!(run(&["a.json".into(), "b.json".into(), "c.json".into()]).is_err());
+        assert!(run(&["only.json".into()]).is_err(), "needs a mode flag");
+    }
+}

@@ -11,7 +11,7 @@
 use ldpc_channel::awgn::AwgnChannel;
 use ldpc_channel::workload::{FrameBlock, FrameSource};
 use ldpc_codes::QcCode;
-use ldpc_core::arith::DecoderArithmetic;
+use ldpc_core::arith::LaneKernel;
 use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
 use ldpc_core::{DecodeOutput, Decoder, LlrBatch};
 
@@ -53,7 +53,7 @@ pub struct McResult {
 /// Panics if the code is not encodable or the decoder configuration is
 /// invalid — both indicate programming errors in the experiment harness.
 #[must_use]
-pub fn run_monte_carlo<A: DecoderArithmetic + Sync>(
+pub fn run_monte_carlo<A: LaneKernel + Sync>(
     arith: A,
     decoder_config: DecoderConfig,
     code: &QcCode,

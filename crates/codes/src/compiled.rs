@@ -9,10 +9,39 @@
 //! SISO array:
 //!
 //! * a CSR-style flattened layer schedule (`layer_ptr` into `entries`),
-//! * per-entry precomputed edge offsets (`edge_base = entry_index · z`), and
+//! * per-entry precomputed edge offsets (`edge_base = entry_index · z`),
 //! * a full circulant-shift index table `col_index` mapping every edge
 //!   `(entry, r)` to its expanded column, so the inner decode loop is pure
-//!   table lookups with no modulo arithmetic.
+//!   table lookups with no modulo arithmetic, and
+//! * a **lane-major SoA layout** ([`LaneLayer`]) exposing, per layer, the
+//!   block-column bases and circulant shifts as parallel arrays — the form
+//!   consumed by the lane-parallel SISO kernels (see the gather/scatter
+//!   contract below).
+//!
+//! # The lane-major gather/scatter contract
+//!
+//! The `z` rows of one layer are processed by `z` parallel SISO units in the
+//! paper's architecture; in software they are the `z` *lanes* of the kernel
+//! layer. For a layer entry (one non-zero circulant block) with block-column
+//! base `c = col_base` and shift `s`, lane `r` of that entry touches:
+//!
+//! * **Λ memory** at `edge_base + r` — already lane-contiguous, so reads and
+//!   writes of a whole entry are one stride-1 slice `[edge_base, edge_base+z)`;
+//! * **L memory** (the APP values) at `c + ((r + s) mod z)` — a *rotation* of
+//!   the contiguous block column `[c, c+z)`. Because the rotation is a
+//!   bijection, the lane-major gather of all `z` lanes decomposes into exactly
+//!   two stride-1 slice copies: lanes `0..z−s` map to `[c+s, c+z)` and lanes
+//!   `z−s..z` map to `[c, c+s)`.
+//!
+//! Consequently the whole layer update is pure stride-1 gather/compute/scatter
+//! over `[edge_base, edge_base+z)` Λ-slices and rotated L-slices, with no
+//! per-edge index arithmetic at all. Within one layer every block column
+//! appears in at most one entry and the per-entry rotation is a bijection, so
+//! the lanes of a layer touch pairwise disjoint L addresses — the
+//! independence that lets hardware run `z` SISO units in lock-step and lets
+//! software vectorise across lanes. The per-edge `col_index` table (the
+//! expanded form of the same mapping) is retained for the row-serial
+//! reference path and the syndrome check.
 //!
 //! Compile once per code, decode millions of frames.
 
@@ -32,6 +61,31 @@ pub struct CompiledEntry {
     /// First edge index of the block: `entry_index · z`. Edge `(entry, r)`
     /// lives at `edge_base + r`, matching the Λ-memory bank layout.
     pub edge_base: u32,
+}
+
+/// Lane-major SoA view of one layer's schedule: parallel arrays over the
+/// layer's entries (non-zero circulant blocks), in slot order.
+///
+/// For slot `i`, lane `r` reads/writes Λ at `edge_base[i] + r` and the APP
+/// value at `col_base[i] + ((r + shift[i]) mod z)`; see the module-level
+/// gather/scatter contract for how that rotation becomes two stride-1 slice
+/// copies.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneLayer<'a> {
+    /// First expanded column of each entry's block (`block_col · z`).
+    pub col_base: &'a [u32],
+    /// Circulant shift of each entry, in `0..z`.
+    pub shift: &'a [u32],
+    /// First edge index of each entry (`entry_index · z`).
+    pub edge_base: &'a [u32],
+}
+
+impl LaneLayer<'_> {
+    /// Number of entries (= the check-node degree of the layer's rows).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.col_base.len()
+    }
 }
 
 /// A [`QcCode`] flattened into the table form the decode engine consumes.
@@ -66,6 +120,12 @@ pub struct CompiledCode {
     layer_ptr: Vec<u32>,
     /// Expanded column of every edge, indexed `entry_index · z + r`.
     col_index: Vec<u32>,
+    /// SoA mirror of `entries.col_base`, for the lane-major kernels.
+    lane_col_base: Vec<u32>,
+    /// SoA mirror of `entries.shift`.
+    lane_shift: Vec<u32>,
+    /// SoA mirror of `entries.edge_base`.
+    lane_edge_base: Vec<u32>,
     /// Greedy stall-minimizing layer order (§III-C); costs O(j²·d) at
     /// compile time, microseconds against the O(E·z) table build.
     stall_order: Vec<u32>,
@@ -98,6 +158,9 @@ impl CompiledCode {
                 col_index.push(e.col_base + ((r as u32 + e.shift) % z as u32));
             }
         }
+        let lane_col_base = entries.iter().map(|e| e.col_base).collect();
+        let lane_shift = entries.iter().map(|e| e.shift).collect();
+        let lane_edge_base = entries.iter().map(|e| e.edge_base).collect();
         let stall_order = LayerSchedule::stall_minimizing(code)
             .order()
             .iter()
@@ -110,6 +173,9 @@ impl CompiledCode {
             entries,
             layer_ptr,
             col_index,
+            lane_col_base,
+            lane_shift,
+            lane_edge_base,
             stall_order,
         }
     }
@@ -184,6 +250,23 @@ impl CompiledCode {
         let start = self.layer_ptr[layer] as usize;
         let end = self.layer_ptr[layer + 1] as usize;
         &self.entries[start..end]
+    }
+
+    /// The lane-major SoA view of one layer, consumed by the lane-parallel
+    /// SISO kernels. See the module-level gather/scatter contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= block_rows()`.
+    #[must_use]
+    pub fn layer_lanes(&self, layer: usize) -> LaneLayer<'_> {
+        let start = self.layer_ptr[layer] as usize;
+        let end = self.layer_ptr[layer + 1] as usize;
+        LaneLayer {
+            col_base: &self.lane_col_base[start..end],
+            shift: &self.lane_shift[start..end],
+            edge_base: &self.lane_edge_base[start..end],
+        }
     }
 
     /// Check-node degree of every row in `layer`.
@@ -321,6 +404,65 @@ mod tests {
             .map(|&l| l as u32)
             .collect();
         assert_eq!(compiled.stall_minimizing_order(), expected.as_slice());
+    }
+
+    #[test]
+    fn lane_layers_mirror_the_aos_entries() {
+        let code = code();
+        let compiled = CompiledCode::compile(&code);
+        for l in 0..compiled.block_rows() {
+            let entries = compiled.layer_entries(l);
+            let lanes = compiled.layer_lanes(l);
+            assert_eq!(lanes.degree(), entries.len());
+            for (i, e) in entries.iter().enumerate() {
+                assert_eq!(lanes.col_base[i], e.col_base);
+                assert_eq!(lanes.shift[i], e.shift);
+                assert_eq!(lanes.edge_base[i], e.edge_base);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_cols_satisfy_the_rotation_contract() {
+        // The gather/scatter contract: lane r of an entry addresses column
+        // col_base + ((r + shift) mod z), so lanes 0..z−s are the contiguous
+        // slice [c+s, c+z) and lanes z−s..z are [c, c+s).
+        let code = code();
+        let compiled = CompiledCode::compile(&code);
+        let z = compiled.z() as u32;
+        for l in 0..compiled.block_rows() {
+            let lanes = compiled.layer_lanes(l);
+            for i in 0..lanes.degree() {
+                let (c, s) = (lanes.col_base[i], lanes.shift[i]);
+                let eb = lanes.edge_base[i] as usize;
+                let cols = &compiled.col_index()[eb..eb + z as usize];
+                let split = (z - s) as usize;
+                for (r, &col) in cols.iter().enumerate() {
+                    assert_eq!(col, c + (r as u32 + s) % z);
+                    if r < split {
+                        assert_eq!(col, c + s + r as u32, "head slice is stride-1");
+                    } else {
+                        assert_eq!(col, c + (r - split) as u32, "tail slice is stride-1");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_block_columns_are_distinct() {
+        // The lane-major path gathers a whole layer before scattering it; that
+        // is only equivalent to the row-serial order because every block
+        // column appears at most once per layer.
+        let code = code();
+        let compiled = CompiledCode::compile(&code);
+        for l in 0..compiled.block_rows() {
+            let lanes = compiled.layer_lanes(l);
+            let mut cols: Vec<u32> = lanes.col_base.to_vec();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), lanes.degree(), "layer {l} repeats a block");
+        }
     }
 
     #[test]

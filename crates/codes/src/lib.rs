@@ -63,7 +63,7 @@ mod families;
 pub use families::{design_parameters, dmbt, wifi, wimax, FamilyDesignParameters};
 
 pub use base_matrix::{BaseMatrix, ShiftScaling};
-pub use compiled::{CompiledCode, CompiledEntry};
+pub use compiled::{CompiledCode, CompiledEntry, LaneLayer};
 pub use construction::{ConstructionParams, ParityStructure};
 pub use dense::DenseParityCheck;
 pub use encoder::Encoder;

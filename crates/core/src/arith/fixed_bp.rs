@@ -5,6 +5,7 @@
 //! the bit-accurate software model of the hardware SISO datapath: the R2/R4
 //! SISO decoder models in [`crate::siso`] produce identical messages.
 
+use super::lanes::{LaneKernel, LaneScratch};
 use super::DecoderArithmetic;
 use crate::fixedpoint::FixedFormat;
 use crate::lut::{CorrectionKind, CorrectionLut};
@@ -244,6 +245,97 @@ impl DecoderArithmetic for FixedBpArithmetic {
     }
 }
 
+/// Hand-written lane kernels for the fixed-point BP datapath.
+///
+/// Both check-node modes run the *same recursion in the same order* as the
+/// scalar [`DecoderArithmetic::check_node_update`], but with the slot loop
+/// outside and the lane loop inside, so every inner loop is a stride-1 sweep
+/// of `z` independent `i32` codes (one per SISO lane) — the
+/// autovectorisation-friendly shape. Unlike the scalar forward/backward
+/// update, which allocates two transient row buffers per check row, the lane
+/// kernel runs entirely out of the caller's [`LaneScratch`].
+impl LaneKernel for FixedBpArithmetic {
+    fn check_node_update_lanes(
+        &self,
+        z: usize,
+        lanes_in: &[i32],
+        lanes_out: &mut [i32],
+        scratch: &mut LaneScratch<i32>,
+    ) {
+        debug_assert_eq!(lanes_in.len(), lanes_out.len());
+        debug_assert!(z > 0 && lanes_in.len().is_multiple_of(z));
+        let degree = lanes_in.len() / z;
+        if degree == 0 {
+            return;
+        }
+        match self.mode {
+            CheckNodeMode::SumExtract => {
+                // Serial f(·) recursion across slots to form the lane of total
+                // sums S_m — each step a stride-1 ⊞ over the z lanes …
+                let total = scratch.lanes_mut(z, 0);
+                total.copy_from_slice(&lanes_in[..z]);
+                for slot in 1..degree {
+                    let inc = &lanes_in[slot * z..(slot + 1) * z];
+                    for (t, &l) in total.iter_mut().zip(inc) {
+                        *t = self.boxplus_codes(*t, l);
+                    }
+                }
+                // … then stride-1 g(·) extraction of every slot (Eq. 1).
+                for (out, inc) in lanes_out.chunks_exact_mut(z).zip(lanes_in.chunks_exact(z)) {
+                    for ((o, &t), &l) in out.iter_mut().zip(&*total).zip(inc) {
+                        *o = self.boxminus_codes(t, l);
+                    }
+                }
+            }
+            CheckNodeMode::ForwardBackward => {
+                if degree == 1 {
+                    lanes_out[..z].fill(self.format.max_code());
+                    return;
+                }
+                // fwd[s] = λ_0 ⊞ … ⊞ λ_s, bwd[s] = λ_s ⊞ … ⊞ λ_{d−1}, both
+                // slot-major in the scratch; every step is stride-1 in lanes.
+                let buf = scratch.lanes_mut(2 * degree * z, 0);
+                let (fwd, bwd) = buf.split_at_mut(degree * z);
+                fwd[..z].copy_from_slice(&lanes_in[..z]);
+                for slot in 1..degree {
+                    let (prev, cur) = fwd[(slot - 1) * z..(slot + 1) * z].split_at_mut(z);
+                    for ((c, &p), &l) in cur
+                        .iter_mut()
+                        .zip(&*prev)
+                        .zip(&lanes_in[slot * z..(slot + 1) * z])
+                    {
+                        *c = self.boxplus_codes(p, l);
+                    }
+                }
+                bwd[(degree - 1) * z..].copy_from_slice(&lanes_in[(degree - 1) * z..]);
+                for slot in (0..degree - 1).rev() {
+                    let (cur, next) = bwd[slot * z..(slot + 2) * z].split_at_mut(z);
+                    for ((c, &nx), &l) in cur
+                        .iter_mut()
+                        .zip(&*next)
+                        .zip(&lanes_in[slot * z..(slot + 1) * z])
+                    {
+                        *c = self.boxplus_codes(nx, l);
+                    }
+                }
+                for (slot, out) in lanes_out.chunks_exact_mut(z).enumerate() {
+                    if slot == 0 {
+                        out.copy_from_slice(&bwd[z..2 * z]);
+                    } else if slot == degree - 1 {
+                        out.copy_from_slice(&fwd[(degree - 2) * z..(degree - 1) * z]);
+                    } else {
+                        let f = &fwd[(slot - 1) * z..slot * z];
+                        let b = &bwd[(slot + 1) * z..(slot + 2) * z];
+                        for ((o, &pf), &nb) in out.iter_mut().zip(f).zip(b) {
+                            *o = self.boxplus_codes(pf, nb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +495,30 @@ mod tests {
             assert_eq!(*x < 0, *y < 0);
             assert!((x - y).abs() <= 6, "modes diverged: {x} vs {y}");
         }
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_rows_in_both_modes() {
+        // Messages covering saturation, near-zero codes and sign changes.
+        let msg = |i: usize| ((i as i32 * 37) % 255) - 127;
+        for arith in [
+            FixedBpArithmetic::default(),
+            FixedBpArithmetic::forward_backward(),
+        ] {
+            for (z, degree) in [(1usize, 3usize), (4, 1), (27, 2), (96, 7), (24, 20)] {
+                crate::arith::lanes::test_support::check_lane_axioms(&arith, z, degree, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernel_degree_one_saturates_like_scalar() {
+        let fx = FixedBpArithmetic::forward_backward();
+        let mut scratch = crate::arith::LaneScratch::new();
+        scratch.reserve(1, 4);
+        let mut out = [0i32; 4];
+        fx.check_node_update_lanes(4, &[7, -3, 1, 127], &mut out, &mut scratch);
+        assert_eq!(out, [fx.format().max_code(); 4]);
     }
 
     #[test]

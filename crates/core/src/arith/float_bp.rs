@@ -108,6 +108,11 @@ impl DecoderArithmetic for FloatBpArithmetic {
     }
 }
 
+/// Scalar-fallback lane kernels: the reference back-end keeps working
+/// unchanged on the lane-major engine path (the fallback walks the lanes
+/// row-serially, so it is bit-identical by construction).
+impl super::lanes::LaneKernel for FloatBpArithmetic {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

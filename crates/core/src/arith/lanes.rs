@@ -1,0 +1,243 @@
+//! Lane-parallel SISO kernels: slice operations over the `z` rows of a layer.
+//!
+//! The paper's architecture reaches its throughput by running `z` identical
+//! SISO units over the `z` independent rows of one layer in lock-step. The
+//! software analogue is *lane-major* processing: instead of walking the rows
+//! one at a time through scalar [`DecoderArithmetic`] calls, the layered
+//! engine lays the layer's messages out slot-major/lane-contiguous
+//! (`lanes[slot · z + r]` is the message of block-column slot `slot`, row `r`)
+//! and the arithmetic back-end processes whole `z`-length slices at once.
+//!
+//! [`LaneKernel`] is that extension of [`DecoderArithmetic`]. Every method has
+//! a provided scalar fallback (bit-identical by construction, so float
+//! back-ends keep working unchanged); the fixed-point back-ends override
+//! [`LaneKernel::check_node_update_lanes`] with hand-written slice kernels
+//! whose inner loops are stride-1 over the lanes — the
+//! autovectorisation-friendly shape — and which run out of [`LaneScratch`]
+//! instead of allocating per row (the scalar forward/backward and Min-Sum
+//! updates allocate transient row buffers on every call; the lane kernels
+//! allocate nothing in steady state).
+//!
+//! Layout invariant: `lanes_in` and `lanes_out` hold `degree · z` messages,
+//! slot-major. Lane `r` of the layer is the strided row
+//! `lanes[r], lanes[z + r], …, lanes[(degree−1)·z + r]`, and the kernel must
+//! produce, for every lane, exactly what
+//! [`DecoderArithmetic::check_node_update`] produces for that row — the
+//! engine's lane path is required to stay bit-identical to the row-serial
+//! reference for every back-end.
+
+use super::DecoderArithmetic;
+
+/// Reusable scratch for [`LaneKernel`] implementations, owned by the decode
+/// workspace so lane kernels are allocation-free in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct LaneScratch<M> {
+    /// Strided-row gather buffer of the scalar fallback (capacity = degree).
+    pub(crate) row_in: Vec<M>,
+    /// Row output buffer of the scalar fallback (capacity = degree).
+    pub(crate) row_out: Vec<M>,
+    /// Lane workspace of the vector kernels (capacity ≥ `lane_factor · z`,
+    /// see [`LaneScratch::reserve`]).
+    pub(crate) lanes: Vec<M>,
+}
+
+impl<M: Copy> LaneScratch<M> {
+    /// How many `z`-length lanes of scratch the provided kernels may ask for,
+    /// as a multiple of the maximum check-node degree: the forward/backward
+    /// fixed-BP kernel needs `2 · degree` lanes (prefix and suffix ⊞ sums),
+    /// the Min-Sum kernel needs 4 (min1/min2/argmin/parity).
+    #[must_use]
+    pub fn lane_factor(max_degree: usize) -> usize {
+        (2 * max_degree).max(4)
+    }
+
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        LaneScratch {
+            row_in: Vec::new(),
+            row_out: Vec::new(),
+            lanes: Vec::new(),
+        }
+    }
+
+    /// Grows the buffers to what a code with `max_degree`-row layers of `z`
+    /// lanes needs, so subsequent kernel calls are allocation-free.
+    pub fn reserve(&mut self, max_degree: usize, z: usize) {
+        reserve_to(&mut self.row_in, max_degree);
+        reserve_to(&mut self.row_out, max_degree);
+        reserve_to(&mut self.lanes, Self::lane_factor(max_degree) * z);
+    }
+
+    /// Whether [`LaneScratch::reserve`] with these parameters would allocate.
+    #[must_use]
+    pub fn is_ready(&self, max_degree: usize, z: usize) -> bool {
+        self.row_in.capacity() >= max_degree
+            && self.row_out.capacity() >= max_degree
+            && self.lanes.capacity() >= Self::lane_factor(max_degree) * z
+    }
+
+    /// Pointer/capacity fingerprint (see
+    /// [`DecodeWorkspace::allocation_fingerprint`](crate::workspace::DecodeWorkspace::allocation_fingerprint)).
+    #[must_use]
+    pub fn fingerprint(&self) -> [(usize, usize); 3] {
+        [
+            (self.row_in.as_ptr() as usize, self.row_in.capacity()),
+            (self.row_out.as_ptr() as usize, self.row_out.capacity()),
+            (self.lanes.as_ptr() as usize, self.lanes.capacity()),
+        ]
+    }
+
+    /// A zero-copy `len`-element view of the lane workspace, filled with
+    /// `fill`. Resizing within the reserved capacity never reallocates.
+    pub(crate) fn lanes_mut(&mut self, len: usize, fill: M) -> &mut [M] {
+        self.lanes.clear();
+        self.lanes.resize(len, fill);
+        &mut self.lanes
+    }
+}
+
+fn reserve_to<T>(buf: &mut Vec<T>, capacity: usize) {
+    if buf.capacity() < capacity {
+        buf.reserve_exact(capacity - buf.len());
+    }
+}
+
+/// Lane-parallel extension of [`DecoderArithmetic`]: the same message algebra
+/// applied to whole `z`-length slices (one element per SISO lane).
+///
+/// All methods have scalar fallbacks that apply the element operations
+/// lane-by-lane, so implementing the marker `impl LaneKernel for T {}` is
+/// enough for correctness; back-ends override methods with vector kernels
+/// where it pays. **Contract:** every override must be bit-identical to its
+/// fallback (the engine's lane path is tested against the row-serial
+/// reference for every back-end).
+pub trait LaneKernel: DecoderArithmetic {
+    /// Element-wise `λ = L − Λ` over lanes: `out[i] = sub(app[i], lambda[i])`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the three slices differ in length.
+    fn sub_lanes(&self, app: &[Self::Msg], lambda: &[Self::Msg], out: &mut [Self::Msg]) {
+        debug_assert!(app.len() == lambda.len() && lambda.len() == out.len());
+        for ((o, &a), &b) in out.iter_mut().zip(app).zip(lambda) {
+            *o = self.sub(a, b);
+        }
+    }
+
+    /// Element-wise `L = λ + Λ′` over lanes: `out[i] = add(lam[i], upd[i])`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the three slices differ in length.
+    fn add_lanes(&self, lam: &[Self::Msg], upd: &[Self::Msg], out: &mut [Self::Msg]) {
+        debug_assert!(lam.len() == upd.len() && upd.len() == out.len());
+        for ((o, &a), &b) in out.iter_mut().zip(lam).zip(upd) {
+            *o = self.add(a, b);
+        }
+    }
+
+    /// Check-node update of all `z` lanes of one layer at once.
+    ///
+    /// `lanes_in` and `lanes_out` hold `degree · z` messages, slot-major
+    /// (`lanes[slot · z + r]`); for every lane `r` the strided row across the
+    /// slots is updated exactly as [`DecoderArithmetic::check_node_update`]
+    /// would update it. `scratch` provides all transient storage, so the call
+    /// is allocation-free once the scratch is sized for the code.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `lanes_in.len() != lanes_out.len()`, or if the lengths are
+    /// not a multiple of `z`.
+    fn check_node_update_lanes(
+        &self,
+        z: usize,
+        lanes_in: &[Self::Msg],
+        lanes_out: &mut [Self::Msg],
+        scratch: &mut LaneScratch<Self::Msg>,
+    ) {
+        debug_assert_eq!(lanes_in.len(), lanes_out.len());
+        debug_assert!(z > 0 && lanes_in.len().is_multiple_of(z));
+        let degree = lanes_in.len() / z;
+        for r in 0..z {
+            scratch.row_in.clear();
+            scratch
+                .row_in
+                .extend((0..degree).map(|slot| lanes_in[slot * z + r]));
+            self.check_node_update(&scratch.row_in, &mut scratch.row_out);
+            for (slot, &m) in scratch.row_out.iter().enumerate() {
+                lanes_out[slot * z + r] = m;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// Asserts the lane methods of `arith` are bit-identical to the scalar
+    /// fallback semantics on a deterministic slot-major message block.
+    pub(crate) fn check_lane_axioms<A, F>(arith: &A, z: usize, degree: usize, msg_at: F)
+    where
+        A: LaneKernel,
+        F: Fn(usize) -> A::Msg,
+    {
+        let lanes_in: Vec<A::Msg> = (0..degree * z).map(&msg_at).collect();
+        // Reference: row-serial scalar updates on the strided rows.
+        let mut expected = vec![arith.zero(); degree * z];
+        let mut row_out = Vec::new();
+        for r in 0..z {
+            let row: Vec<A::Msg> = (0..degree).map(|s| lanes_in[s * z + r]).collect();
+            arith.check_node_update(&row, &mut row_out);
+            assert_eq!(row_out.len(), degree);
+            for (s, &m) in row_out.iter().enumerate() {
+                expected[s * z + r] = m;
+            }
+        }
+        // Lane path, scratch deliberately undersized to prove it grows.
+        let mut scratch = LaneScratch::new();
+        scratch.reserve(degree, z);
+        let mut lanes_out = vec![arith.zero(); degree * z];
+        arith.check_node_update_lanes(z, &lanes_in, &mut lanes_out, &mut scratch);
+        assert_eq!(lanes_out, expected, "lane kernel diverged from scalar");
+
+        // add/sub lanes agree with the element operations.
+        let a: Vec<A::Msg> = (0..z).map(&msg_at).collect();
+        let b: Vec<A::Msg> = (0..z).map(|i| msg_at(i + z)).collect();
+        let mut out = vec![arith.zero(); z];
+        arith.sub_lanes(&a, &b, &mut out);
+        for i in 0..z {
+            assert_eq!(out[i], arith.sub(a[i], b[i]));
+        }
+        arith.add_lanes(&a, &b, &mut out);
+        for i in 0..z {
+            assert_eq!(out[i], arith.add(a[i], b[i]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_reserve_and_fingerprint() {
+        let mut s = LaneScratch::<i32>::new();
+        assert!(!s.is_ready(7, 96));
+        s.reserve(7, 96);
+        assert!(s.is_ready(7, 96));
+        assert!(s.is_ready(3, 24));
+        let fp = s.fingerprint();
+        s.reserve(7, 96);
+        let _ = s.lanes_mut(LaneScratch::<i32>::lane_factor(7) * 96, 0);
+        assert_eq!(fp, s.fingerprint(), "sized scratch must not reallocate");
+    }
+
+    #[test]
+    fn lane_factor_covers_min_sum_and_fwd_bwd() {
+        assert_eq!(LaneScratch::<i32>::lane_factor(1), 4);
+        assert_eq!(LaneScratch::<i32>::lane_factor(2), 4);
+        assert_eq!(LaneScratch::<i32>::lane_factor(7), 14);
+    }
+}

@@ -13,6 +13,7 @@
 //! with normalization factor `α` (default 0.75, realised as `x − x/4` in
 //! hardware).
 
+use super::lanes::{LaneKernel, LaneScratch};
 use super::DecoderArithmetic;
 use crate::boxplus::FLOAT_CLAMP;
 use crate::fixedpoint::FixedFormat;
@@ -140,6 +141,9 @@ impl DecoderArithmetic for FloatMinSumArithmetic {
     }
 }
 
+/// Scalar-fallback lane kernels (the float baseline stays unchanged).
+impl LaneKernel for FloatMinSumArithmetic {}
+
 /// Fixed-point normalized Min-Sum (the hardware baseline the paper compares
 /// against, e.g. reference [3]). The normalization `α = 0.75` is realised as
 /// `x − (x >> 2)`, exactly as a shift-and-subtract datapath would.
@@ -229,6 +233,82 @@ impl DecoderArithmetic for FixedMinSumArithmetic {
     }
 }
 
+/// Hand-written lane kernel for the fixed-point Min-Sum datapath: the
+/// two-minima trick tracked per lane in four integer scratch lanes
+/// (min1/min2/argmin-slot/sign-parity), every inner loop a stride-1 sweep of
+/// the `z` lanes. Bit-identical to the scalar [`min_sum_core`] path — the
+/// magnitudes are small non-negative integers, on which the scalar path's
+/// `f64` comparisons are exact, and the `i32::MAX` sentinel saturates to
+/// `max_code` exactly as the scalar path's `f64::INFINITY` does — while
+/// allocating nothing (the scalar path builds a transient row `Vec` per
+/// check row).
+impl LaneKernel for FixedMinSumArithmetic {
+    fn check_node_update_lanes(
+        &self,
+        z: usize,
+        lanes_in: &[i32],
+        lanes_out: &mut [i32],
+        scratch: &mut LaneScratch<i32>,
+    ) {
+        debug_assert_eq!(lanes_in.len(), lanes_out.len());
+        debug_assert!(z > 0 && lanes_in.len().is_multiple_of(z));
+        let degree = lanes_in.len() / z;
+        if degree == 0 {
+            return;
+        }
+        let buf = scratch.lanes_mut(4 * z, 0);
+        let (min1, rest) = buf.split_at_mut(z);
+        let (min2, rest) = rest.split_at_mut(z);
+        let (argmin, parity) = rest.split_at_mut(z);
+        min1.fill(i32::MAX);
+        min2.fill(i32::MAX);
+        argmin.fill(0);
+        parity.fill(0);
+        for (slot, inc) in lanes_in.chunks_exact(z).enumerate() {
+            for ((((&l, m1), m2), am), p) in inc
+                .iter()
+                .zip(min1.iter_mut())
+                .zip(min2.iter_mut())
+                .zip(argmin.iter_mut())
+                .zip(parity.iter_mut())
+            {
+                let a = l.abs();
+                if a < *m1 {
+                    *m2 = *m1;
+                    *m1 = a;
+                    *am = slot as i32;
+                } else if a < *m2 {
+                    *m2 = a;
+                }
+                *p ^= i32::from(l < 0);
+            }
+        }
+        for (slot, (out, inc)) in lanes_out
+            .chunks_exact_mut(z)
+            .zip(lanes_in.chunks_exact(z))
+            .enumerate()
+        {
+            let slot = slot as i32;
+            for (((((o, &l), &m1), &m2), &am), &p) in out
+                .iter_mut()
+                .zip(inc)
+                .zip(min1.iter())
+                .zip(min2.iter())
+                .zip(argmin.iter())
+                .zip(parity.iter())
+            {
+                let raw = if am == slot { m2 } else { m1 };
+                let mag = self.normalize(self.format.saturate(i64::from(raw)));
+                *o = if (p ^ i32::from(l < 0)) != 0 {
+                    -mag
+                } else {
+                    mag
+                };
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +391,40 @@ mod tests {
             assert_eq!(m.is_sign_negative(), b.is_sign_negative());
             assert!(m.abs() >= b.abs() - 1e-9, "min-sum {m} vs bp {b}");
         }
+    }
+
+    #[test]
+    fn fixed_min_sum_lane_kernel_matches_scalar_rows() {
+        // Includes ties in magnitude (the argmin must keep first-wins
+        // semantics) and saturated codes.
+        let msg = |i: usize| {
+            let v = ((i as i32 * 29) % 255) - 127;
+            if i.is_multiple_of(11) {
+                v.signum().max(1) * 127
+            } else {
+                v
+            }
+        };
+        let arith = FixedMinSumArithmetic::default();
+        for (z, degree) in [(1usize, 4usize), (3, 1), (27, 2), (96, 7), (24, 20)] {
+            crate::arith::lanes::test_support::check_lane_axioms(&arith, z, degree, msg);
+        }
+        // All-equal magnitudes: every position is a tie.
+        crate::arith::lanes::test_support::check_lane_axioms(&arith, 8, 5, |i| {
+            if i % 2 == 0 {
+                12
+            } else {
+                -12
+            }
+        });
+    }
+
+    #[test]
+    fn float_min_sum_lane_fallback_matches_scalar_rows() {
+        let arith = FloatMinSumArithmetic::default();
+        crate::arith::lanes::test_support::check_lane_axioms(&arith, 27, 7, |i| {
+            ((i * 41 % 19) as f64 - 9.0) * 0.6 + 0.3
+        });
     }
 
     #[test]

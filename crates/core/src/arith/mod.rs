@@ -7,13 +7,20 @@
 //! against). This keeps a single scheduling/control implementation — matching
 //! the fact that the ASIC datapath is the only thing that changes between
 //! algorithm variants.
+//!
+//! [`LaneKernel`] extends the scalar algebra to lane-parallel slice kernels:
+//! the layered engine processes all `z` rows of a layer at once, the way the
+//! hardware's `z`-wide SISO array does, and the fixed-point back-ends provide
+//! hand-written stride-1 kernels for it.
 
 mod fixed_bp;
 mod float_bp;
+mod lanes;
 mod min_sum;
 
 pub use fixed_bp::{CheckNodeMode, FixedBpArithmetic};
 pub use float_bp::FloatBpArithmetic;
+pub use lanes::{LaneKernel, LaneScratch};
 pub use min_sum::{FixedMinSumArithmetic, FloatMinSumArithmetic};
 
 use std::fmt::Debug;

@@ -15,17 +15,29 @@
 //!    `L'_n = λ_mn + Λ'_mn`,
 //! 3. **Write back** `L'_n` and `Λ'_mn`.
 //!
+//! The hot loop is *lane-major*: the `z` independent rows of a layer are the
+//! lanes, and each step of the sub-iteration processes all of them at once
+//! through the [`LaneKernel`] slice operations — gather `λ` for every lane of
+//! a block column as two stride-1 spans (the rotation contract of
+//! [`CompiledCode`]'s lane layout), run the check-node update across the
+//! whole layer, scatter `Λ'` and `L'` back as stride-1 spans. This is the
+//! software shape of the paper's `z`-wide parallel SISO array and is
+//! bit-identical to row-serial processing (kept as
+//! [`LayeredDecoder::decode_into_reference`]) because the lanes of a layer
+//! touch pairwise disjoint L-memory addresses.
+//!
 //! The hot path runs against a [`CompiledCode`] (flattened schedule +
-//! circulant index tables) and a reusable [`DecodeWorkspace`], so steady-state
-//! decoding allocates nothing; see [`crate::engine::Decoder`] for the batched
-//! entry points.
+//! circulant index tables + lane-major SoA layout) and a reusable
+//! [`DecodeWorkspace`], so steady-state decoding allocates nothing; see
+//! [`crate::engine::Decoder`] for the batched entry points.
 
 use ldpc_codes::{CompiledCode, QcCode};
 
-use crate::arith::DecoderArithmetic;
+use crate::arith::{DecoderArithmetic, LaneKernel};
 use crate::early_term::EarlyTermination;
 use crate::engine::Decoder;
 use crate::error::DecodeError;
+use crate::pool::WorkspacePool;
 use crate::result::{DecodeOutput, DecodeStats};
 use crate::schedule::LayerOrderPolicy;
 use crate::workspace::DecodeWorkspace;
@@ -95,11 +107,154 @@ impl DecoderConfig {
     }
 }
 
+/// The configured layer visit order, resolved against one compiled code
+/// without allocating: natural is implicit, the shuffled order is precompiled
+/// into the schedule, custom was permutation-checked at construction and only
+/// needs the cheap length match against this code.
+enum ResolvedOrder<'a> {
+    Natural,
+    Stall(&'a [u32]),
+    Custom(&'a [usize]),
+}
+
+impl<'a> ResolvedOrder<'a> {
+    fn new(config: &'a DecoderConfig, compiled: &'a CompiledCode, num_layers: usize) -> Self {
+        match &config.layer_order {
+            LayerOrderPolicy::StallMinimizing => {
+                ResolvedOrder::Stall(compiled.stall_minimizing_order())
+            }
+            LayerOrderPolicy::Custom(order) => {
+                assert_eq!(
+                    order.len(),
+                    num_layers,
+                    "custom order must cover every layer"
+                );
+                #[cfg(debug_assertions)]
+                crate::engine::validate_custom_order(order, num_layers);
+                ResolvedOrder::Custom(order.as_slice())
+            }
+            LayerOrderPolicy::Natural => ResolvedOrder::Natural,
+        }
+    }
+
+    #[inline]
+    fn layer(&self, li: usize) -> usize {
+        match self {
+            ResolvedOrder::Natural => li,
+            ResolvedOrder::Stall(order) => order[li] as usize,
+            ResolvedOrder::Custom(order) => order[li],
+        }
+    }
+}
+
+/// One lane-major sub-iteration: updates every row of `layer` at once through
+/// the [`LaneKernel`] slice operations. Pure stride-1 gather/compute/scatter
+/// per the rotation contract of [`CompiledCode`]'s lane layout; bit-identical
+/// to processing the `z` rows serially because the lanes of a layer touch
+/// pairwise disjoint L-memory addresses.
+fn lane_layer_update<A: LaneKernel>(
+    arith: &A,
+    compiled: &CompiledCode,
+    layer: usize,
+    ws: &mut DecodeWorkspace<A::Msg>,
+) {
+    let z = compiled.z();
+    let lanes = compiled.layer_lanes(layer);
+    let degree = lanes.degree();
+    let lane_in = &mut ws.lane_in[..degree * z];
+    let lane_out = &mut ws.lane_out[..degree * z];
+
+    // 1) Read: gather λ = L − Λ for all z lanes of each block column. Lane r
+    //    reads L at col_base + ((r + shift) mod z), so the z lanes split into
+    //    the two contiguous spans [col_base+shift, col_base+z) and
+    //    [col_base, col_base+shift); Λ is lane-contiguous by construction.
+    for slot in 0..degree {
+        let eb = lanes.edge_base[slot] as usize;
+        let cb = lanes.col_base[slot] as usize;
+        let split = z - lanes.shift[slot] as usize;
+        let lam = &mut lane_in[slot * z..(slot + 1) * z];
+        let lambda = &ws.lambda[eb..eb + z];
+        arith.sub_lanes(
+            &ws.app[cb + z - split..cb + z],
+            &lambda[..split],
+            &mut lam[..split],
+        );
+        arith.sub_lanes(
+            &ws.app[cb..cb + z - split],
+            &lambda[split..],
+            &mut lam[split..],
+        );
+    }
+
+    // 2) Decode: the check-node update of every lane (Eq. 1), vectorised
+    //    across the z SISO lanes.
+    arith.check_node_update_lanes(z, lane_in, lane_out, &mut ws.lane_scratch);
+
+    // 3) Write back: Λ ← Λ′ is a straight lane-contiguous copy; L ← λ + Λ′
+    //    scatters through the same two contiguous spans as the gather.
+    for slot in 0..degree {
+        let eb = lanes.edge_base[slot] as usize;
+        let cb = lanes.col_base[slot] as usize;
+        let split = z - lanes.shift[slot] as usize;
+        let lam = &lane_in[slot * z..(slot + 1) * z];
+        let upd = &lane_out[slot * z..(slot + 1) * z];
+        ws.lambda[eb..eb + z].copy_from_slice(upd);
+        arith.add_lanes(
+            &lam[..split],
+            &upd[..split],
+            &mut ws.app[cb + z - split..cb + z],
+        );
+        arith.add_lanes(
+            &lam[split..],
+            &upd[split..],
+            &mut ws.app[cb..cb + z - split],
+        );
+    }
+}
+
+/// One row-serial sub-iteration (the reference kernel): walks the `z` rows of
+/// `layer` one at a time through the scalar arithmetic, gathering via the
+/// per-edge `col_index` table. Per-row processing follows Algorithm 1 exactly:
+/// read `λ = L − Λ`, check-node update, write back `Λ'` and `L'`.
+fn row_layer_update<A: DecoderArithmetic>(
+    arith: &A,
+    compiled: &CompiledCode,
+    layer: usize,
+    ws: &mut DecodeWorkspace<A::Msg>,
+    stats: &mut DecodeStats,
+) {
+    let z = compiled.z();
+    let col_index = compiled.col_index();
+    let entries = compiled.layer_entries(layer);
+    stats.sub_iterations += 1;
+    for r in 0..z {
+        ws.row_in.clear();
+        for e in entries {
+            let edge = e.edge_base as usize + r;
+            let col = col_index[edge] as usize;
+            ws.row_in.push(arith.sub(ws.app[col], ws.lambda[edge]));
+        }
+        arith.check_node_update(&ws.row_in, &mut ws.row_out);
+        stats.check_node_updates += 1;
+        stats.messages_processed += ws.row_in.len();
+        for (slot, e) in entries.iter().enumerate() {
+            let edge = e.edge_base as usize + r;
+            let col = col_index[edge] as usize;
+            ws.lambda[edge] = ws.row_out[slot];
+            ws.app[col] = arith.add(ws.row_in[slot], ws.row_out[slot]);
+        }
+    }
+}
+
 /// The layered (turbo-decoding message passing) LDPC decoder.
+///
+/// Owns a [`WorkspacePool`] for the batch engine (shared by clones), so
+/// repeated `decode_batch` calls of the same mode allocate nothing.
 #[derive(Debug, Clone)]
 pub struct LayeredDecoder<A: DecoderArithmetic> {
     arith: A,
     config: DecoderConfig,
+    pool: std::sync::Arc<WorkspacePool<A::Msg>>,
 }
 
 impl<A: DecoderArithmetic> LayeredDecoder<A> {
@@ -110,7 +265,11 @@ impl<A: DecoderArithmetic> LayeredDecoder<A> {
     /// Returns [`DecodeError::InvalidConfig`] for nonsensical configurations.
     pub fn new(arith: A, config: DecoderConfig) -> Result<Self, DecodeError> {
         config.validate()?;
-        Ok(LayeredDecoder { arith, config })
+        Ok(LayeredDecoder {
+            arith,
+            config,
+            pool: std::sync::Arc::new(WorkspacePool::new()),
+        })
     }
 
     /// The arithmetic back-end.
@@ -125,43 +284,42 @@ impl<A: DecoderArithmetic> LayeredDecoder<A> {
         &self.config
     }
 
-    /// Decodes one frame given its channel LLRs (`2y/σ²`, length `n`).
-    ///
-    /// Compatibility entry point: compiles the schedule and allocates a fresh
-    /// workspace on every call. Hot loops should compile once and use
-    /// [`Decoder::decode_into`] / [`Decoder::decode_batch`] instead.
+    /// Row-serial reference kernel: decodes one frame exactly like
+    /// [`Decoder::decode_into`], but walking the `z` rows of every layer one
+    /// at a time through the scalar [`DecoderArithmetic`] calls instead of the
+    /// lane-major [`LaneKernel`] path. The two paths are required to be
+    /// bit-identical for every back-end; this one is kept as the comparison
+    /// baseline for tests and benchmarks (it needs no [`LaneKernel`] bound).
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeError::LlrLengthMismatch`] if `channel_llrs.len()` is
-    /// not the code length.
-    pub fn decode(&self, code: &QcCode, channel_llrs: &[f64]) -> Result<DecodeOutput, DecodeError> {
-        Decoder::decode(self, code, channel_llrs)
-    }
-}
-
-impl<A: DecoderArithmetic> Decoder for LayeredDecoder<A> {
-    type Arith = A;
-
-    fn arithmetic(&self) -> &A {
-        &self.arith
-    }
-
-    fn config(&self) -> &DecoderConfig {
-        &self.config
-    }
-
-    fn schedule_name(&self) -> &'static str {
-        "layered"
-    }
-
-    fn decode_into(
+    /// Returns [`DecodeError::LlrLengthMismatch`] if `llrs.len() != n`.
+    pub fn decode_into_reference(
         &self,
         compiled: &CompiledCode,
         llrs: &[f64],
         ws: &mut DecodeWorkspace<A::Msg>,
         out: &mut DecodeOutput,
     ) -> Result<(), DecodeError> {
+        self.decode_layered_with(compiled, llrs, ws, out, row_layer_update)
+    }
+
+    /// The shared layered-schedule driver: Algorithm 1's initialisation,
+    /// iteration control (layer visit order, early termination, zero-syndrome
+    /// stop) and output finishing, parameterized over the per-layer update so
+    /// the lane-major hot path and the row-serial reference run the exact
+    /// same control flow around their different kernels.
+    fn decode_layered_with<F>(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<A::Msg>,
+        out: &mut DecodeOutput,
+        mut layer_update: F,
+    ) -> Result<(), DecodeError>
+    where
+        F: FnMut(&A, &CompiledCode, usize, &mut DecodeWorkspace<A::Msg>, &mut DecodeStats),
+    {
         if llrs.len() != compiled.n() {
             return Err(DecodeError::LlrLengthMismatch {
                 expected: compiled.n(),
@@ -174,30 +332,9 @@ impl<A: DecoderArithmetic> Decoder for LayeredDecoder<A> {
             .then(|| ws.allocation_fingerprint());
 
         let arith = &self.arith;
-        let z = compiled.z();
         let num_layers = compiled.block_rows();
         let info_len = compiled.info_bits();
-        let col_index = compiled.col_index();
-
-        // Resolve the layer visit order without allocating: natural is
-        // implicit, the shuffled order is precompiled into the schedule,
-        // custom was permutation-checked at construction and only needs the
-        // cheap length match against this code here.
-        let stall_order = matches!(self.config.layer_order, LayerOrderPolicy::StallMinimizing)
-            .then(|| compiled.stall_minimizing_order());
-        let custom_order = match &self.config.layer_order {
-            LayerOrderPolicy::Custom(order) => {
-                assert_eq!(
-                    order.len(),
-                    num_layers,
-                    "custom order must cover every layer"
-                );
-                #[cfg(debug_assertions)]
-                crate::engine::validate_custom_order(order, num_layers);
-                Some(order.as_slice())
-            }
-            _ => None,
-        };
+        let order = ResolvedOrder::new(&self.config, compiled, num_layers);
 
         // L_n ← channel, Λ ← 0 (Algorithm 1 initialisation).
         ws.prepare(compiled, arith.zero(), false);
@@ -209,33 +346,7 @@ impl<A: DecoderArithmetic> Decoder for LayeredDecoder<A> {
 
         for _ in 0..self.config.max_iterations {
             for li in 0..num_layers {
-                let l = match (stall_order, custom_order) {
-                    (Some(order), _) => order[li] as usize,
-                    (_, Some(order)) => order[li],
-                    _ => li,
-                };
-                let entries = compiled.layer_entries(l);
-                stats.sub_iterations += 1;
-                for r in 0..z {
-                    // 1) Read: gather λ_mn = L_n − Λ_mn via the index table.
-                    ws.row_in.clear();
-                    for e in entries {
-                        let edge = e.edge_base as usize + r;
-                        let col = col_index[edge] as usize;
-                        ws.row_in.push(arith.sub(ws.app[col], ws.lambda[edge]));
-                    }
-                    // 2) Decode: new Λ_mn (Eq. 1) and new L_n.
-                    arith.check_node_update(&ws.row_in, &mut ws.row_out);
-                    stats.check_node_updates += 1;
-                    stats.messages_processed += ws.row_in.len();
-                    // 3) Write back.
-                    for (slot, e) in entries.iter().enumerate() {
-                        let edge = e.edge_base as usize + r;
-                        let col = col_index[edge] as usize;
-                        ws.lambda[edge] = ws.row_out[slot];
-                        ws.app[col] = arith.add(ws.row_in[slot], ws.row_out[slot]);
-                    }
-                }
+                layer_update(arith, compiled, order.layer(li), ws, &mut stats);
             }
             iterations += 1;
 
@@ -250,7 +361,6 @@ impl<A: DecoderArithmetic> Decoder for LayeredDecoder<A> {
                     break;
                 }
             }
-
             if self.config.stop_on_zero_syndrome && iterations < self.config.max_iterations {
                 ws.hard.clear();
                 ws.hard.extend(ws.app.iter().map(|&m| arith.hard_bit(m)));
@@ -282,6 +392,60 @@ impl<A: DecoderArithmetic> Decoder for LayeredDecoder<A> {
     }
 }
 
+impl<A: LaneKernel> LayeredDecoder<A> {
+    /// Decodes one frame given its channel LLRs (`2y/σ²`, length `n`).
+    ///
+    /// Compatibility entry point: compiles the schedule and allocates a fresh
+    /// workspace on every call. Hot loops should compile once and use
+    /// [`Decoder::decode_into`] / [`Decoder::decode_batch`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::LlrLengthMismatch`] if `channel_llrs.len()` is
+    /// not the code length.
+    pub fn decode(&self, code: &QcCode, channel_llrs: &[f64]) -> Result<DecodeOutput, DecodeError> {
+        Decoder::decode(self, code, channel_llrs)
+    }
+}
+
+impl<A: LaneKernel> Decoder for LayeredDecoder<A> {
+    type Arith = A;
+
+    fn arithmetic(&self) -> &A {
+        &self.arith
+    }
+
+    fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    fn schedule_name(&self) -> &'static str {
+        "layered"
+    }
+
+    fn workspace_pool(&self) -> Option<&WorkspacePool<A::Msg>> {
+        Some(&self.pool)
+    }
+
+    fn decode_into(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<A::Msg>,
+        out: &mut DecodeOutput,
+    ) -> Result<(), DecodeError> {
+        // All z rows (lanes) of each layer at once — the software analogue of
+        // the paper's z parallel SISO units.
+        self.decode_layered_with(compiled, llrs, ws, out, |arith, compiled, l, ws, stats| {
+            lane_layer_update(arith, compiled, l, ws);
+            let z = compiled.z();
+            stats.sub_iterations += 1;
+            stats.check_node_updates += z;
+            stats.messages_processed += compiled.layer_degree(l) * z;
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,7 +462,7 @@ mod tests {
             .unwrap()
     }
 
-    fn decode_frames<A: DecoderArithmetic>(
+    fn decode_frames<A: LaneKernel>(
         arith: A,
         config: DecoderConfig,
         ebn0_db: f64,

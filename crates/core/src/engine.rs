@@ -38,6 +38,7 @@ use ldpc_codes::{CompiledCode, QcCode};
 use crate::arith::DecoderArithmetic;
 use crate::decoder::DecoderConfig;
 use crate::error::DecodeError;
+use crate::pool::WorkspacePool;
 use crate::result::{DecodeOutput, DecodeStats};
 use crate::workspace::DecodeWorkspace;
 
@@ -164,21 +165,50 @@ impl<'a> LlrBatch<'a> {
     }
 }
 
+/// Parses an `LDPC_DECODE_THREADS` override. `None` (with a diagnostic on
+/// stderr, once per process) for anything that is not a positive integer, so
+/// a malformed value falls back to the machine's parallelism instead of being
+/// silently misread as some other worker count.
+fn thread_override(raw: Option<&str>) -> Option<usize> {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let raw = raw?;
+    match raw.trim().parse::<usize>() {
+        Ok(t) if t > 0 => Some(t),
+        Ok(_) => {
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "ldpc-core: LDPC_DECODE_THREADS=0 is invalid (need a positive worker \
+                     count); falling back to available parallelism"
+                );
+            });
+            None
+        }
+        Err(e) => {
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "ldpc-core: ignoring unparseable LDPC_DECODE_THREADS={raw:?} ({e}); \
+                     falling back to available parallelism"
+                );
+            });
+            None
+        }
+    }
+}
+
 /// Number of worker threads `decode_batch` uses for `frames` frames.
 ///
-/// `LDPC_DECODE_THREADS` (if set and parseable) wins; otherwise the machine's
-/// available parallelism. Never more threads than frames, never zero.
+/// A valid `LDPC_DECODE_THREADS` (a positive integer, surrounding whitespace
+/// allowed) wins; a malformed or zero value is diagnosed on stderr and
+/// ignored. Otherwise the machine's available parallelism. Never more threads
+/// than frames, never zero.
 #[must_use]
 pub fn batch_threads(frames: usize) -> usize {
-    let hw = std::env::var("LDPC_DECODE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
+    let raw = std::env::var("LDPC_DECODE_THREADS").ok();
+    let hw = thread_override(raw.as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
     hw.min(frames).max(1)
 }
 
@@ -223,6 +253,33 @@ pub trait Decoder {
     /// already allocation-free.
     fn workspace_for(&self, compiled: &CompiledCode) -> DecodeWorkspace<MsgOf<Self>> {
         DecodeWorkspace::for_code(compiled)
+    }
+
+    /// The decoder's workspace pool, if it keeps one. When present,
+    /// [`decode_batch`](Decoder::decode_batch) workers check their workspaces
+    /// out of it and back in, so repeated batches of the same mode allocate
+    /// nothing at all; the provided decoders ([`crate::LayeredDecoder`],
+    /// [`crate::FloodingDecoder`]) all pool.
+    fn workspace_pool(&self) -> Option<&WorkspacePool<MsgOf<Self>>> {
+        None
+    }
+
+    /// A workspace for one batch worker: pooled when the decoder keeps a
+    /// [`workspace_pool`](Decoder::workspace_pool), freshly built otherwise.
+    /// Return it with [`finish_worker_workspace`](Decoder::finish_worker_workspace).
+    fn worker_workspace(&self, compiled: &CompiledCode) -> DecodeWorkspace<MsgOf<Self>> {
+        match self.workspace_pool() {
+            Some(pool) => pool.checkout(compiled),
+            None => self.workspace_for(compiled),
+        }
+    }
+
+    /// Returns a batch worker's workspace to the pool (a no-op for decoders
+    /// without one).
+    fn finish_worker_workspace(&self, compiled: &CompiledCode, ws: DecodeWorkspace<MsgOf<Self>>) {
+        if let Some(pool) = self.workspace_pool() {
+            pool.checkin(compiled, ws);
+        }
     }
 
     /// Decodes one frame against a precompiled schedule, allocating a fresh
@@ -278,8 +335,9 @@ pub trait Decoder {
     }
 
     /// Like [`decode_batch`](Decoder::decode_batch), but reuses caller-owned
-    /// outputs (steady-state Monte-Carlo loops re-run with the same output
-    /// vector and allocate nothing but worker workspaces).
+    /// outputs. Together with the workspace pool this makes steady-state
+    /// serving loops (same mode, reused output vector) allocate nothing at
+    /// all once the pool is warm.
     ///
     /// # Errors
     ///
@@ -339,11 +397,16 @@ pub trait Decoder {
 
         let threads = threads.clamp(1, outputs.len());
         if threads == 1 {
-            let mut ws = self.workspace_for(compiled);
+            let mut ws = self.worker_workspace(compiled);
+            let mut result = Ok(());
             for (i, out) in outputs.iter_mut().enumerate() {
-                self.decode_into(compiled, batch.frame(i), &mut ws, out)?;
+                if let Err(e) = self.decode_into(compiled, batch.frame(i), &mut ws, out) {
+                    result = Err(e);
+                    break;
+                }
             }
-            return Ok(());
+            self.finish_worker_workspace(compiled, ws);
+            return result;
         }
 
         let chunk = outputs.len().div_ceil(threads);
@@ -352,11 +415,18 @@ pub trait Decoder {
             for (ci, out_chunk) in outputs.chunks_mut(chunk).enumerate() {
                 let first_frame = ci * chunk;
                 workers.push(scope.spawn(move || -> Result<(), DecodeError> {
-                    let mut ws = self.workspace_for(compiled);
+                    let mut ws = self.worker_workspace(compiled);
+                    let mut result = Ok(());
                     for (k, out) in out_chunk.iter_mut().enumerate() {
-                        self.decode_into(compiled, batch.frame(first_frame + k), &mut ws, out)?;
+                        if let Err(e) =
+                            self.decode_into(compiled, batch.frame(first_frame + k), &mut ws, out)
+                        {
+                            result = Err(e);
+                            break;
+                        }
                     }
-                    Ok(())
+                    self.finish_worker_workspace(compiled, ws);
+                    result
                 }));
             }
             for worker in workers {
@@ -399,6 +469,77 @@ mod tests {
         assert_eq!(batch_threads(0), 1);
         assert_eq!(batch_threads(1), 1);
         assert!(batch_threads(1024) >= 1);
+    }
+
+    #[test]
+    fn thread_override_accepts_positive_integers_only() {
+        assert_eq!(thread_override(None), None);
+        assert_eq!(thread_override(Some("4")), Some(4));
+        assert_eq!(thread_override(Some(" 12\n")), Some(12), "whitespace ok");
+        // Zero, negatives, garbage and overflow all fall back (with a
+        // diagnostic) instead of being silently misread.
+        assert_eq!(thread_override(Some("0")), None);
+        assert_eq!(thread_override(Some("-3")), None);
+        assert_eq!(thread_override(Some("")), None);
+        assert_eq!(thread_override(Some("four")), None);
+        assert_eq!(thread_override(Some("8 threads")), None);
+        assert_eq!(thread_override(Some("999999999999999999999999")), None);
+    }
+
+    #[test]
+    fn batch_workspaces_are_pooled_across_calls() {
+        let compiled = compiled();
+        let decoder =
+            LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        let pool = decoder.workspace_pool().expect("layered decoder pools");
+        assert_eq!(pool.workspaces_created(), 0);
+
+        let llrs = vec![6.0; 8 * compiled.n()];
+        let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+        let mut outputs = vec![DecodeOutput::empty(); 8];
+        // Sequential path: exactly one workspace, built once, reused forever.
+        for round in 0..3 {
+            decoder
+                .decode_batch_into_threads(&compiled, batch, &mut outputs, 1)
+                .unwrap();
+            assert_eq!(
+                pool.workspaces_created(),
+                1,
+                "round {round}: repeated same-mode batches must reuse the \
+                 pooled workspace instead of building new ones"
+            );
+            assert_eq!(pool.pooled(compiled.spec()), 1);
+        }
+        // Threaded path: workers draw from the same pool. Scheduling decides
+        // whether two workers ever overlap, so the creation count is bounded
+        // by the worker count rather than exact — but it must never grow per
+        // round (without pooling it would grow by up to two every round).
+        for _ in 0..3 {
+            decoder
+                .decode_batch_into_threads(&compiled, batch, &mut outputs, 2)
+                .unwrap();
+            let created = pool.workspaces_created();
+            assert!(created <= 2, "at most one workspace per worker: {created}");
+            assert_eq!(pool.pooled(compiled.spec()), created, "all checked in");
+        }
+    }
+
+    #[test]
+    fn cloned_decoders_share_one_pool() {
+        let compiled = compiled();
+        let decoder =
+            LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        let clone = decoder.clone();
+        let llrs = vec![5.0; compiled.n()];
+        let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+        let mut outputs = vec![DecodeOutput::empty(); 1];
+        decoder
+            .decode_batch_into_threads(&compiled, batch, &mut outputs, 1)
+            .unwrap();
+        clone
+            .decode_batch_into_threads(&compiled, batch, &mut outputs, 1)
+            .unwrap();
+        assert_eq!(decoder.workspace_pool().unwrap().workspaces_created(), 1);
     }
 
     #[test]

@@ -18,14 +18,19 @@ use crate::arith::DecoderArithmetic;
 use crate::decoder::DecoderConfig;
 use crate::engine::Decoder;
 use crate::error::DecodeError;
+use crate::pool::WorkspacePool;
 use crate::result::{DecodeOutput, DecodeStats};
 use crate::workspace::DecodeWorkspace;
 
 /// Two-phase (flooding) LDPC decoder, the classic baseline schedule.
+///
+/// Owns a [`WorkspacePool`] for the batch engine (shared by clones), so
+/// repeated `decode_batch` calls of the same mode allocate nothing.
 #[derive(Debug, Clone)]
 pub struct FloodingDecoder<A: DecoderArithmetic> {
     arith: A,
     config: DecoderConfig,
+    pool: std::sync::Arc<WorkspacePool<A::Msg>>,
 }
 
 impl<A: DecoderArithmetic> FloodingDecoder<A> {
@@ -41,7 +46,11 @@ impl<A: DecoderArithmetic> FloodingDecoder<A> {
                 reason: "max_iterations must be at least 1".to_string(),
             });
         }
-        Ok(FloodingDecoder { arith, config })
+        Ok(FloodingDecoder {
+            arith,
+            config,
+            pool: std::sync::Arc::new(WorkspacePool::new()),
+        })
     }
 
     /// The arithmetic back-end.
@@ -84,6 +93,10 @@ impl<A: DecoderArithmetic> Decoder for FloodingDecoder<A> {
 
     fn schedule_name(&self) -> &'static str {
         "flooding"
+    }
+
+    fn workspace_pool(&self) -> Option<&WorkspacePool<A::Msg>> {
+        Some(&self.pool)
     }
 
     fn decode_into(

@@ -12,14 +12,18 @@
 //!   8-bit message format, the exact ⊞/⊟ operators and their 3-bit LUT
 //!   approximations,
 //! * [`arith`] — interchangeable decoder arithmetics: full BP (float and
-//!   bit-accurate fixed point) and the normalized Min-Sum baseline,
-//! * [`decoder`] — the layered decoder itself (Algorithm 1),
+//!   bit-accurate fixed point) and the normalized Min-Sum baseline, plus the
+//!   lane-parallel [`LaneKernel`] slice kernels the layered engine runs on
+//!   (the software analogue of the paper's `z`-wide SISO array),
+//! * [`decoder`] — the layered decoder itself (Algorithm 1), lane-major hot
+//!   loop plus the row-serial reference kernel,
 //! * [`flooding`] — the two-phase baseline schedule,
 //! * [`engine`] — the [`Decoder`] trait unifying both schedules, with the
-//!   zero-allocation `decode_into` kernel and thread-parallel `decode_batch`
-//!   (the software analogue of the paper's parallel SISO array),
-//! * [`workspace`] — the reusable L/Λ buffer set behind the zero-allocation
-//!   guarantee,
+//!   zero-allocation `decode_into` kernel and thread-parallel `decode_batch`,
+//! * [`workspace`] — the reusable L/Λ/lane buffer set behind the
+//!   zero-allocation guarantee,
+//! * [`pool`] — per-mode workspace pooling, so repeated `decode_batch` calls
+//!   of one mode allocate nothing at all,
 //! * [`siso`] — cycle-annotated models of the Radix-2 / Radix-4 SISO cores,
 //! * [`early_term`] — the early-termination rule of §IV,
 //! * [`schedule`] — layer-ordering policies (natural / stall-minimizing).
@@ -52,6 +56,7 @@ pub mod error;
 pub mod fixedpoint;
 pub mod flooding;
 pub mod lut;
+pub mod pool;
 pub mod result;
 pub mod schedule;
 pub mod siso;
@@ -59,7 +64,7 @@ pub mod workspace;
 
 pub use arith::{
     CheckNodeMode, DecoderArithmetic, FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic,
-    FloatMinSumArithmetic,
+    FloatMinSumArithmetic, LaneKernel, LaneScratch,
 };
 pub use decoder::{DecoderConfig, LayeredDecoder};
 pub use early_term::{DecisionHistory, EarlyTermination};
@@ -68,6 +73,7 @@ pub use error::DecodeError;
 pub use fixedpoint::FixedFormat;
 pub use flooding::FloodingDecoder;
 pub use lut::{CorrectionKind, CorrectionLut};
+pub use pool::WorkspacePool;
 pub use result::{DecodeOutput, DecodeStats};
 pub use schedule::LayerOrderPolicy;
 pub use siso::{BoxArithmetic, R2Siso, R4Siso, SisoRadix, SisoRowResult};

@@ -1,0 +1,135 @@
+//! Workspace pooling for the batched decode engine.
+//!
+//! `decode_batch` gives every worker thread its own [`DecodeWorkspace`];
+//! before pooling, those workspaces were rebuilt on every call, so a serving
+//! loop pushing batch after batch of the same mode paid one full L/Λ-memory
+//! allocation per worker per batch. [`WorkspacePool`] keeps the workspaces
+//! between calls, keyed by the compiled code's [`CodeSpec`] (the software
+//! mode-ROM key): workers check a workspace out at batch start and back in at
+//! batch end, so repeated batches of the same mode allocate nothing at all.
+//!
+//! Both decoder types own a pool behind an `Arc` — clones of a decoder share
+//! it, matching how cloned handles to one mode's decoder should share its
+//! memory banks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ldpc_codes::{CodeSpec, CompiledCode};
+
+use crate::workspace::DecodeWorkspace;
+
+/// A shelf of reusable [`DecodeWorkspace`]s per code spec.
+///
+/// Checkout prefers a pooled workspace already sized for the code and falls
+/// back to building a fresh one ([`DecodeWorkspace::for_code`]); check-in
+/// returns it for the next batch. The pool never shrinks — like the silicon
+/// memory banks it stands in for, capacity is provisioned once per mode and
+/// then reused.
+#[derive(Debug, Default)]
+pub struct WorkspacePool<M> {
+    shelves: Mutex<HashMap<CodeSpec, Vec<DecodeWorkspace<M>>>>,
+    created: AtomicUsize,
+}
+
+impl<M: Copy> WorkspacePool<M> {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkspacePool {
+            shelves: Mutex::new(HashMap::new()),
+            created: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes a workspace sized for `compiled`, reusing a pooled one for the
+    /// same spec when available.
+    #[must_use]
+    pub fn checkout(&self, compiled: &CompiledCode) -> DecodeWorkspace<M> {
+        let pooled = self
+            .shelves
+            .lock()
+            .expect("workspace pool poisoned")
+            .get_mut(compiled.spec())
+            .and_then(Vec::pop);
+        pooled.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            DecodeWorkspace::for_code(compiled)
+        })
+    }
+
+    /// Returns a workspace to the shelf of `compiled`'s spec for reuse.
+    pub fn checkin(&self, compiled: &CompiledCode, ws: DecodeWorkspace<M>) {
+        self.shelves
+            .lock()
+            .expect("workspace pool poisoned")
+            .entry(*compiled.spec())
+            .or_default()
+            .push(ws);
+    }
+
+    /// Number of workspaces currently shelved for `spec`.
+    #[must_use]
+    pub fn pooled(&self, spec: &CodeSpec) -> usize {
+        self.shelves
+            .lock()
+            .expect("workspace pool poisoned")
+            .get(spec)
+            .map_or(0, Vec::len)
+    }
+
+    /// Total number of workspaces this pool has ever built. Stable across
+    /// repeated same-mode batches — the observable form of "repeated batches
+    /// allocate nothing".
+    #[must_use]
+    pub fn workspaces_created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_codes::{CodeId, CodeRate, Standard};
+
+    fn compiled(n: usize) -> CompiledCode {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, n)
+            .build()
+            .unwrap()
+            .compile()
+    }
+
+    #[test]
+    fn checkout_reuses_checked_in_workspaces() {
+        let pool = WorkspacePool::<f64>::new();
+        let code = compiled(576);
+        let ws = pool.checkout(&code);
+        assert_eq!(pool.workspaces_created(), 1);
+        assert!(ws.is_ready_for(&code, true));
+        let fp = ws.allocation_fingerprint();
+        pool.checkin(&code, ws);
+        assert_eq!(pool.pooled(code.spec()), 1);
+        let ws = pool.checkout(&code);
+        assert_eq!(ws.allocation_fingerprint(), fp, "same buffers came back");
+        assert_eq!(pool.workspaces_created(), 1, "no rebuild on reuse");
+        assert_eq!(pool.pooled(code.spec()), 0);
+        pool.checkin(&code, ws);
+    }
+
+    #[test]
+    fn shelves_are_keyed_by_spec() {
+        let pool = WorkspacePool::<f64>::new();
+        let small = compiled(576);
+        let big = compiled(2304);
+        pool.checkin(&small, pool.checkout(&small));
+        assert_eq!(pool.pooled(small.spec()), 1);
+        assert_eq!(pool.pooled(big.spec()), 0);
+        // A different mode builds its own workspace instead of draining the
+        // small shelf.
+        let ws = pool.checkout(&big);
+        assert!(ws.is_ready_for(&big, true));
+        assert_eq!(pool.workspaces_created(), 2);
+        assert_eq!(pool.pooled(small.spec()), 1);
+    }
+}

@@ -3,7 +3,9 @@
 //! The seed decoder allocated its APP memory, Λ memory and scratch rows on
 //! every `decode` call. [`DecodeWorkspace`] owns those buffers instead — the
 //! software analogue of the paper's dedicated L/Λ memory banks, which exist
-//! once in silicon and are merely re-initialised between frames. A workspace
+//! once in silicon and are merely re-initialised between frames. It also owns
+//! the slot-major lane buffers and [`LaneScratch`] the lane-parallel SISO
+//! kernels run out of (see [`crate::arith::LaneKernel`]). A workspace
 //! is created (or grown) on first use with a given code and then reused:
 //! every subsequent [`Decoder::decode_into`](crate::engine::Decoder::decode_into)
 //! with the same code performs **zero heap allocations**, which the engine
@@ -11,6 +13,7 @@
 
 use ldpc_codes::CompiledCode;
 
+use crate::arith::LaneScratch;
 use crate::early_term::DecisionHistory;
 
 /// Buffer set for decoding frames of one code with messages of type `M`.
@@ -32,6 +35,13 @@ pub struct DecodeWorkspace<M> {
     pub(crate) row_in: Vec<M>,
     /// Row output scratch `Λ'`, capacity = max check degree.
     pub(crate) row_out: Vec<M>,
+    /// Lane-major gather buffer `λ` of one layer (slot-major, `degree · z`),
+    /// the input of [`LaneKernel::check_node_update_lanes`](crate::arith::LaneKernel::check_node_update_lanes).
+    pub(crate) lane_in: Vec<M>,
+    /// Lane-major output buffer `Λ'` of one layer (slot-major, `degree · z`).
+    pub(crate) lane_out: Vec<M>,
+    /// Transient storage of the lane kernels (fallback rows + vector lanes).
+    pub(crate) lane_scratch: LaneScratch<M>,
     /// Hard-decision scratch, length `n`.
     pub(crate) hard: Vec<u8>,
     /// Information-bit hard decisions of the current iteration.
@@ -53,6 +63,9 @@ impl<M: Copy> DecodeWorkspace<M> {
             lambda_alt: Vec::new(),
             row_in: Vec::new(),
             row_out: Vec::new(),
+            lane_in: Vec::new(),
+            lane_out: Vec::new(),
+            lane_scratch: LaneScratch::new(),
             hard: Vec::new(),
             info_hard: Vec::new(),
             history: DecisionHistory::new(),
@@ -78,6 +91,9 @@ impl<M: Copy> DecodeWorkspace<M> {
         reserve_to(&mut self.lambda, edges);
         reserve_to(&mut self.row_in, degree);
         reserve_to(&mut self.row_out, degree);
+        reserve_to(&mut self.lane_in, degree * compiled.z());
+        reserve_to(&mut self.lane_out, degree * compiled.z());
+        self.lane_scratch.reserve(degree, compiled.z());
         reserve_to(&mut self.hard, n);
         reserve_to(&mut self.info_hard, info);
         self.history.reserve(info);
@@ -99,6 +115,9 @@ impl<M: Copy> DecodeWorkspace<M> {
             && self.lambda.capacity() >= edges
             && self.row_in.capacity() >= degree
             && self.row_out.capacity() >= degree
+            && self.lane_in.capacity() >= degree * compiled.z()
+            && self.lane_out.capacity() >= degree * compiled.z()
+            && self.lane_scratch.is_ready(degree, compiled.z())
             && self.hard.capacity() >= n
             && self.info_hard.capacity() >= info
             && self.history.is_ready(info)
@@ -112,6 +131,13 @@ impl<M: Copy> DecodeWorkspace<M> {
         self.app.clear();
         self.lambda.clear();
         self.lambda.resize(compiled.num_edges(), zero);
+        // The lane buffers are fully written before every read; only their
+        // *length* must cover a whole layer so the engine can slice them.
+        let lane_len = compiled.max_degree() * compiled.z();
+        self.lane_in.clear();
+        self.lane_in.resize(lane_len, zero);
+        self.lane_out.clear();
+        self.lane_out.resize(lane_len, zero);
         self.history.reset();
         if flooding {
             self.chan.clear();
@@ -127,7 +153,7 @@ impl<M: Copy> DecodeWorkspace<M> {
     /// around a `decode_into` call prove the call performed no reallocation
     /// (and therefore no heap allocation, as the engine owns no other state).
     #[must_use]
-    pub fn allocation_fingerprint(&self) -> [(usize, usize); 9] {
+    pub fn allocation_fingerprint(&self) -> [(usize, usize); 14] {
         // The flooding schedule swaps `lambda` and `lambda_alt` every
         // iteration; order the pair by address so the swap (which moves no
         // memory) does not change the fingerprint.
@@ -141,6 +167,7 @@ impl<M: Copy> DecodeWorkspace<M> {
         } else {
             (lambda_alt, lambda)
         };
+        let scratch = self.lane_scratch.fingerprint();
         [
             (self.app.as_ptr() as usize, self.app.capacity()),
             (self.chan.as_ptr() as usize, self.chan.capacity()),
@@ -148,6 +175,11 @@ impl<M: Copy> DecodeWorkspace<M> {
             hi,
             (self.row_in.as_ptr() as usize, self.row_in.capacity()),
             (self.row_out.as_ptr() as usize, self.row_out.capacity()),
+            (self.lane_in.as_ptr() as usize, self.lane_in.capacity()),
+            (self.lane_out.as_ptr() as usize, self.lane_out.capacity()),
+            scratch[0],
+            scratch[1],
+            scratch[2],
             (self.hard.as_ptr() as usize, self.hard.capacity()),
             (self.info_hard.as_ptr() as usize, self.info_hard.capacity()),
             self.history.fingerprint(),

@@ -98,7 +98,8 @@ pub mod prelude {
         decoder::{DecoderConfig, LayeredDecoder},
         CheckNodeMode, DecodeOutput, DecodeWorkspace, Decoder, DecoderArithmetic, EarlyTermination,
         FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic,
-        FloodingDecoder, LayerOrderPolicy, LlrBatch, R2Siso, R4Siso, SisoRadix,
+        FloodingDecoder, LaneKernel, LaneScratch, LayerOrderPolicy, LlrBatch, R2Siso, R4Siso,
+        SisoRadix,
     };
 }
 

@@ -20,7 +20,7 @@ fn run_curve<A>(
     frames: usize,
 ) -> Result<(), Box<dyn std::error::Error>>
 where
-    A: DecoderArithmetic,
+    A: LaneKernel,
 {
     let decoder = LayeredDecoder::new(arith, DecoderConfig::default())?;
     print!("{label:<34}");

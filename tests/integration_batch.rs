@@ -9,7 +9,7 @@ use ldpc::prelude::*;
 /// every output field (hard bits, posterior LLRs, iteration counts, stats).
 fn assert_batch_matches_sequential<A>(arith: A, label: &str)
 where
-    A: DecoderArithmetic + Clone + Sync,
+    A: LaneKernel + Clone + Sync,
 {
     let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
         .build()
