@@ -1,0 +1,112 @@
+//! Criterion benchmark of the sharded decode service against direct
+//! per-mode `decode_batch` calls, on a mixed three-mode workload.
+//!
+//! Two variants per batch size:
+//!
+//! * `direct_mixed3`  — the lower bound: frames pre-sorted by mode, decoded
+//!   with one sequential `decode_batch` call per mode (no queues, no
+//!   routing, no completion handles);
+//! * `service_mixed3` — the same frames submitted to a running
+//!   [`ldpc_serve::DecodeService`] in mixed order and waited on, measuring
+//!   the full serving path: routing, bounded-queue handoff, worker
+//!   coalescing and per-frame completion.
+//!
+//! The gap between the two is the serving overhead per frame. Throughput is
+//! declared in frames per iteration. Run with
+//! `CRITERION_JSON_OUT=BENCH_service.json` to record the machine-readable
+//! baseline the CI service gate compares against.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldpc_channel::MixedTraffic;
+use ldpc_codes::{CodeId, CodeRate, CompiledCode, Standard};
+use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
+use ldpc_core::{Decoder, FloatBpArithmetic, LlrBatch};
+use ldpc_serve::DecodeService;
+
+fn modes() -> [CodeId; 3] {
+    [
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+        CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648),
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 1152),
+    ]
+}
+
+fn bench_service_vs_direct(c: &mut Criterion) {
+    // Fixed iterations: the service and direct paths do identical decode
+    // work, so the measured difference is pure serving overhead.
+    let decoder = LayeredDecoder::new(
+        FloatBpArithmetic::default(),
+        DecoderConfig::fixed_iterations(6),
+    )
+    .unwrap();
+
+    // Pre-generated mixed workload, shared by both variants.
+    let mut traffic = MixedTraffic::new(2024);
+    for id in modes() {
+        traffic.add_mode(id, 2.5, 1).unwrap();
+    }
+    let frames: Vec<(CodeId, Vec<f64>)> = (0..64).map(|_| traffic.next_frame()).collect();
+
+    let compiled: HashMap<CodeId, CompiledCode> = modes()
+        .into_iter()
+        .map(|id| (id, id.build().unwrap().compile()))
+        .collect();
+
+    let mut builder = DecodeService::builder(decoder.clone());
+    for id in modes() {
+        builder = builder.register(id).unwrap();
+    }
+    let service = builder.build().unwrap();
+
+    let mut group = c.benchmark_group("service_throughput");
+    for &count in &[16usize, 64] {
+        let workload = &frames[..count];
+        group.throughput(Throughput::Elements(count as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("direct_mixed3", count),
+            &workload,
+            |b, workload| {
+                b.iter(|| {
+                    // Sort by mode, then one sequential decode_batch per mode.
+                    let mut per_mode: HashMap<CodeId, Vec<f64>> = HashMap::new();
+                    for (id, llrs) in workload.iter() {
+                        per_mode.entry(*id).or_default().extend_from_slice(llrs);
+                    }
+                    for (id, llrs) in &per_mode {
+                        let compiled = &compiled[id];
+                        let batch = LlrBatch::new(llrs, id.n).unwrap();
+                        criterion::black_box(decoder.decode_batch(compiled, batch).unwrap());
+                    }
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("service_mixed3", count),
+            &workload,
+            |b, workload| {
+                b.iter(|| {
+                    let handles: Vec<_> = workload
+                        .iter()
+                        .map(|(id, llrs)| service.submit(*id, llrs.clone()).unwrap())
+                        .collect();
+                    for handle in handles {
+                        criterion::black_box(handle.wait().into_output().unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+    service.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(700));
+    targets = bench_service_vs_direct
+}
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Ablation — layered (turbo-decoding message passing) versus flooding
 //! schedule.
 //!
-//! The paper adopts the layered BP algorithm [6] because it converges in
+//! The paper adopts the layered BP algorithm \[6\] because it converges in
 //! roughly half the iterations of the two-phase flooding schedule, which
 //! directly improves both the throughput (`I` in the §III-E expression) and
 //! the early-termination power saving. This harness measures both schedules

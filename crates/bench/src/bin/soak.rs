@@ -1,0 +1,323 @@
+//! Streaming soak harness for the sharded decode service — the CI service
+//! gate.
+//!
+//! Pushes a bounded-duration stream of mixed-mode traffic (three code modes
+//! by default) through a [`ldpc_serve::DecodeService`] with blocking
+//! backpressure and per-frame deadlines, then verifies the service-level
+//! contract and exits non-zero on any violation:
+//!
+//! * **zero dropped frames** — no `try_submit` rejections (blocking
+//!   submission parks instead) and every accepted frame completed;
+//! * **zero expired frames** — at nominal load every frame decodes inside
+//!   its deadline;
+//! * **zero failed frames** — the decode engine never rejects a batch;
+//! * **bit-identity** — a prefix of the streamed frames (`--verify-frames`)
+//!   is re-decoded with per-mode sequential `decode_batch` calls and
+//!   compared output-for-output;
+//! * **zero steady-state allocation** — the workspace pool stops growing
+//!   after the warm-up half of the run;
+//! * **sustained throughput** — decoded frames/sec at least `--min-fps`.
+//!
+//! ```text
+//! soak [--duration-ms 2000] [--deadline-ms 1000] [--queue 64]
+//!      [--max-batch 32] [--ebn0 2.5] [--seed 1] [--min-fps 0]
+//!      [--verify-frames 4096] [--modes wimax:1/2:576,wifi:1/2:648,...]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ldpc_channel::MixedTraffic;
+use ldpc_codes::CodeId;
+use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
+use ldpc_core::{DecodeOutput, Decoder, FloatBpArithmetic, LlrBatch};
+use ldpc_serve::{DecodeOutcome, DecodeService, FrameHandle};
+
+struct Args {
+    duration: Duration,
+    deadline: Duration,
+    queue_capacity: usize,
+    max_batch: usize,
+    ebn0_db: f64,
+    seed: u64,
+    min_fps: f64,
+    verify_frames: usize,
+    modes: Vec<CodeId>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            duration: Duration::from_millis(2000),
+            deadline: Duration::from_millis(1000),
+            queue_capacity: 64,
+            max_batch: 32,
+            ebn0_db: 2.5,
+            seed: 1,
+            min_fps: 0.0,
+            verify_frames: 4096,
+            modes: vec![
+                "wimax:1/2:576".parse().unwrap(),
+                "wifi:1/2:648".parse().unwrap(),
+                "wimax:1/2:1152".parse().unwrap(),
+            ],
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--duration-ms" => {
+                args.duration = Duration::from_millis(
+                    value("--duration-ms")?
+                        .parse()
+                        .map_err(|e| format!("--duration-ms: {e}"))?,
+                );
+            }
+            "--deadline-ms" => {
+                args.deadline = Duration::from_millis(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--queue" => {
+                args.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--max-batch" => {
+                args.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--ebn0" => {
+                args.ebn0_db = value("--ebn0")?
+                    .parse()
+                    .map_err(|e| format!("--ebn0: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--min-fps" => {
+                args.min_fps = value("--min-fps")?
+                    .parse()
+                    .map_err(|e| format!("--min-fps: {e}"))?;
+            }
+            "--verify-frames" => {
+                args.verify_frames = value("--verify-frames")?
+                    .parse()
+                    .map_err(|e| format!("--verify-frames: {e}"))?;
+            }
+            "--modes" => {
+                args.modes = value("--modes")?
+                    .split(',')
+                    .map(|m| m.parse::<CodeId>().map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.modes.is_empty() {
+        return Err("--modes needs at least one mode".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            eprintln!(
+                "usage: soak [--duration-ms N] [--deadline-ms N] [--queue N] [--max-batch N] \
+                 [--ebn0 F] [--seed N] [--min-fps F] [--verify-frames N] [--modes a,b,c]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "soak: {} modes, {} ms stream, {} ms deadline, queue {}, max batch {}, Eb/N0 {} dB",
+        args.modes.len(),
+        args.duration.as_millis(),
+        args.deadline.as_millis(),
+        args.queue_capacity,
+        args.max_batch,
+        args.ebn0_db
+    );
+
+    let mut traffic = MixedTraffic::new(args.seed);
+    for &id in &args.modes {
+        if let Err(e) = traffic.add_mode(id, args.ebn0_db, 1) {
+            eprintln!("soak: cannot register {id}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let decoder =
+        LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+    let mut builder = DecodeService::builder(decoder.clone())
+        .queue_capacity(args.queue_capacity)
+        .max_batch(args.max_batch);
+    for &id in &args.modes {
+        builder = match builder.register(id) {
+            Ok(builder) => builder,
+            Err(e) => {
+                eprintln!("soak: cannot register {id}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+    let service = builder.build().unwrap();
+
+    // Stream frames for the configured duration with blocking backpressure.
+    // The first `verify_frames` frames are retained for the bit-identity
+    // re-decode after the drain.
+    let mut handles: Vec<FrameHandle> = Vec::new();
+    let mut retained: Vec<(CodeId, Vec<f64>)> = Vec::new();
+    let mut warm_pool_created: Option<usize> = None;
+    let start = Instant::now();
+    let mut llrs_buf: Vec<f64> = Vec::new();
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= args.duration {
+            break;
+        }
+        if warm_pool_created.is_none() && elapsed * 2 >= args.duration {
+            // Warm-up over: every shard has decoded for half the run. From
+            // here the workspace pool must not grow.
+            warm_pool_created = Some(service.pool_workspaces_created());
+        }
+        let id = traffic.next_frame_into(&mut llrs_buf);
+        if retained.len() < args.verify_frames {
+            retained.push((id, llrs_buf.clone()));
+        }
+        let deadline = Instant::now() + args.deadline;
+        match service.submit_with_deadline(id, std::mem::take(&mut llrs_buf), deadline) {
+            Ok(handle) => handles.push(handle),
+            Err(e) => {
+                eprintln!("soak: FAIL — blocking submission refused: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let submitted = handles.len();
+
+    // Drain: shutdown completes every accepted frame, then collect outcomes.
+    let stats = service.shutdown();
+    let stream_elapsed = start.elapsed();
+    let outcomes: Vec<DecodeOutcome> = handles.into_iter().map(FrameHandle::wait).collect();
+
+    let decoded: u64 = stats.iter().map(|s| s.decoded).sum();
+    let expired: u64 = stats.iter().map(|s| s.expired).sum();
+    let failed: u64 = stats.iter().map(|s| s.failed).sum();
+    let rejected: u64 = stats.iter().map(|s| s.rejected_full).sum();
+    let accepted: u64 = stats.iter().map(|s| s.accepted).sum();
+    let in_flight: u64 = stats.iter().map(|s| s.in_flight()).sum();
+    let fps = decoded as f64 / stream_elapsed.as_secs_f64();
+
+    for shard in &stats {
+        println!(
+            "soak: shard {:<28} accepted {:>6}  decoded {:>6}  expired {:>3}  failed {:>3}  \
+             batches {:>5}  max coalesced {:>3}",
+            shard.code.to_string(),
+            shard.accepted,
+            shard.decoded,
+            shard.expired,
+            shard.failed,
+            shard.batches,
+            shard.max_coalesced
+        );
+    }
+    println!(
+        "soak: {submitted} frames in {:.2}s -> {fps:.0} frames/s decoded, pool built {} workspaces",
+        stream_elapsed.as_secs_f64(),
+        stats.first().map_or(0, |s| s.pool_workspaces_created)
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    if accepted != submitted as u64 {
+        violations.push(format!("accepted {accepted} != submitted {submitted}"));
+    }
+    if rejected > 0 {
+        violations.push(format!("{rejected} frames dropped by backpressure"));
+    }
+    if expired > 0 {
+        violations.push(format!("{expired} frames expired at nominal load"));
+    }
+    if failed > 0 {
+        violations.push(format!("{failed} frames failed in the decode engine"));
+    }
+    if in_flight > 0 {
+        violations.push(format!("{in_flight} accepted frames never completed"));
+    }
+    if let Some(warm) = warm_pool_created {
+        let final_created = stats.first().map_or(0, |s| s.pool_workspaces_created);
+        if final_created != warm {
+            violations.push(format!(
+                "workspace pool grew after warm-up ({warm} -> {final_created}): \
+                 steady-state serving must not allocate decoder state"
+            ));
+        }
+    }
+    if fps < args.min_fps {
+        violations.push(format!(
+            "throughput {fps:.0} frames/s below the {:.0} frames/s floor",
+            args.min_fps
+        ));
+    }
+
+    // Bit-identity: re-decode the retained prefix with per-mode sequential
+    // decode_batch calls and compare output-for-output.
+    let mut per_mode: HashMap<CodeId, Vec<f64>> = HashMap::new();
+    let mut order: Vec<(CodeId, usize)> = Vec::new();
+    for (id, llrs) in &retained {
+        let buf = per_mode.entry(*id).or_default();
+        order.push((*id, buf.len() / id.n));
+        buf.extend_from_slice(llrs);
+    }
+    let mut reference: HashMap<CodeId, Vec<DecodeOutput>> = HashMap::new();
+    for (&id, llrs) in &per_mode {
+        let compiled = id.build().unwrap().compile();
+        let batch = LlrBatch::new(llrs, id.n).unwrap();
+        reference.insert(id, decoder.decode_batch(&compiled, batch).unwrap());
+    }
+    let mut mismatches = 0usize;
+    for ((id, frame_idx), outcome) in order.into_iter().zip(&outcomes) {
+        match outcome {
+            DecodeOutcome::Decoded(out) => {
+                if *out != reference[&id][frame_idx] {
+                    mismatches += 1;
+                }
+            }
+            _ => mismatches += 1,
+        }
+    }
+    println!(
+        "soak: verified {} frames against sequential decode_batch, {mismatches} mismatches",
+        retained.len()
+    );
+    if mismatches > 0 {
+        violations.push(format!(
+            "{mismatches} service outputs differ from sequential decode_batch"
+        ));
+    }
+
+    if violations.is_empty() {
+        println!("soak: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("soak: FAIL — {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

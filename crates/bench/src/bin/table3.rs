@@ -1,5 +1,5 @@
 //! Table 3 — decoder architecture comparison against the published reference
-//! designs [3] (Shih et al.) and [4] (Mansour & Shanbhag).
+//! designs \[3\] (Shih et al.) and \[4\] (Mansour & Shanbhag).
 //!
 //! The reference columns are literature constants (exactly as in the paper);
 //! the "this reproduction" column is produced by our models: maximum

@@ -51,7 +51,7 @@ pub mod table3 {
         algorithm: "Full BP",
     };
 
-    /// Reference [3]: Shih et al., 19-mode 802.16e decoder chip.
+    /// Reference \[3\]: Shih et al., 19-mode 802.16e decoder chip.
     pub const SHIH_2007: DecoderColumn = DecoderColumn {
         name: "[3] Shih et al. '07",
         flexibility: "802.16e",
@@ -64,7 +64,7 @@ pub mod table3 {
         algorithm: "Min-Sum",
     };
 
-    /// Reference [4]: Mansour & Shanbhag, 2048-bit programmable decoder.
+    /// Reference \[4\]: Mansour & Shanbhag, 2048-bit programmable decoder.
     pub const MANSOUR_2006: DecoderColumn = DecoderColumn {
         name: "[4] Mansour '06",
         flexibility: "2048-bit fixed",

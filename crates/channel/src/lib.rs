@@ -12,6 +12,8 @@
 //! * [`quantize`] — uniform saturating quantisation of channel LLRs to the
 //!   decoder's fixed-point message format,
 //! * [`workload`] — frame generators that encode random information words,
+//!   including the deterministic multi-code [`MixedTraffic`] stream used by
+//!   the serving-layer harnesses,
 //! * [`stats`] — BER / FER / iteration-count accumulators and Eb/N0 sweeps.
 //!
 //! ```
@@ -42,4 +44,4 @@ pub mod workload;
 pub use awgn::AwgnChannel;
 pub use quantize::LlrQuantizer;
 pub use stats::{ErrorCounter, IterationHistogram, SnrPoint, SnrSweep};
-pub use workload::{Frame, FrameBlock, FrameSource};
+pub use workload::{Frame, FrameBlock, FrameSource, MixedTraffic};

@@ -9,12 +9,17 @@
 //! same-shape block allocates nothing beyond the encoder's internal parity
 //! scratch, and the LLR buffer is handed to the decode engine's batch API
 //! as-is.
+//!
+//! For serving-layer harnesses, [`MixedTraffic`] interleaves several
+//! single-mode sources into one deterministic multi-code frame stream — the
+//! workload a sharded decode service sees in production, where frames of
+//! different standards and block lengths arrive mingled on one ingest path.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::awgn::AwgnChannel;
-use ldpc_codes::{CodeError, Encoder, QcCode};
+use ldpc_codes::{CodeError, CodeId, Encoder, QcCode};
 
 /// One generated frame: the information bits and the encoded codeword.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -252,6 +257,154 @@ impl FrameBlock {
     }
 }
 
+/// One registered mode of a [`MixedTraffic`] stream.
+#[derive(Debug, Clone)]
+struct TrafficMode {
+    id: CodeId,
+    source: FrameSource,
+    channel: AwgnChannel,
+    weight: u32,
+    /// Reusable one-frame staging block, so steady-state generation does not
+    /// allocate.
+    block: FrameBlock,
+}
+
+/// A deterministic stream of frames drawn from several code modes at once —
+/// the ingest-side workload of a multi-code decode service.
+///
+/// Each registered mode owns an independent [`FrameSource`] and
+/// [`AwgnChannel`]; a separate seeded picker interleaves them by weight, so
+/// the emitted `(CodeId, LLR frame)` sequence is reproducible from the seed
+/// alone and every mode's frame content is independent of which other modes
+/// are registered.
+///
+/// ```
+/// use ldpc_channel::workload::MixedTraffic;
+/// use ldpc_codes::{CodeId, CodeRate, Standard};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut traffic = MixedTraffic::new(42);
+/// traffic.add_mode(CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576), 2.5, 1)?;
+/// traffic.add_mode(CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648), 2.5, 1)?;
+/// let mut llrs = Vec::new();
+/// let id = traffic.next_frame_into(&mut llrs);
+/// assert_eq!(llrs.len(), id.n);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixedTraffic {
+    modes: Vec<TrafficMode>,
+    seed: u64,
+    picker: StdRng,
+    total_weight: u64,
+    emitted: u64,
+}
+
+impl MixedTraffic {
+    /// An empty stream; add modes with [`MixedTraffic::add_mode`].
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        MixedTraffic {
+            modes: Vec::new(),
+            seed,
+            picker: StdRng::seed_from_u64(seed.wrapping_mul(0xD134_2543_DE82_EF95) ^ 0x5bf0),
+            total_weight: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Registers a mode: frames of `id`'s code, transmitted at `ebn0_db`,
+    /// drawn `weight` times as often as a weight-1 mode. Per-mode frame
+    /// content is seeded from the stream seed and the mode index, so it is
+    /// reproducible and distinct across modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is unsupported, not encodable, or `weight`
+    /// is zero.
+    pub fn add_mode(&mut self, id: CodeId, ebn0_db: f64, weight: u32) -> Result<(), CodeError> {
+        if weight == 0 {
+            return Err(CodeError::InvalidParameter {
+                reason: format!("mode {id} registered with weight 0"),
+            });
+        }
+        let code = id.build()?;
+        let mode_seed = self
+            .seed
+            .wrapping_add(1 + self.modes.len() as u64)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+        self.modes.push(TrafficMode {
+            id,
+            source: FrameSource::random(&code, mode_seed)?,
+            channel: AwgnChannel::from_ebn0_db(ebn0_db, code.rate()),
+            weight,
+            block: FrameBlock::new(),
+        });
+        self.total_weight += u64::from(weight);
+        Ok(())
+    }
+
+    /// The registered modes, in registration order.
+    #[must_use]
+    pub fn modes(&self) -> Vec<CodeId> {
+        self.modes.iter().map(|m| m.id).collect()
+    }
+
+    /// Number of frames emitted so far.
+    #[must_use]
+    pub fn frames_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Generates the next frame of the stream into `llrs` (cleared and
+    /// refilled; a buffer reused across calls for the largest registered mode
+    /// stops allocating) and returns the mode it belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no modes are registered.
+    pub fn next_frame_into(&mut self, llrs: &mut Vec<f64>) -> CodeId {
+        assert!(
+            !self.modes.is_empty(),
+            "MixedTraffic has no registered modes"
+        );
+        // Weighted pick from the dedicated picker stream.
+        let mut ticket = self.picker.gen_range(0..self.total_weight);
+        let idx = self
+            .modes
+            .iter()
+            .position(|m| {
+                if ticket < u64::from(m.weight) {
+                    true
+                } else {
+                    ticket -= u64::from(m.weight);
+                    false
+                }
+            })
+            .expect("ticket is below the total weight");
+        let mode = &mut self.modes[idx];
+        let TrafficMode {
+            source,
+            channel,
+            block,
+            ..
+        } = mode;
+        source.fill_block(channel, 1, block);
+        llrs.clear();
+        llrs.extend_from_slice(&block.llrs);
+        self.emitted += 1;
+        mode.id
+    }
+
+    /// Like [`MixedTraffic::next_frame_into`] with a freshly allocated buffer.
+    pub fn next_frame(&mut self) -> (CodeId, Vec<f64>) {
+        let mut llrs = Vec::new();
+        let id = self.next_frame_into(&mut llrs);
+        (id, llrs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +517,118 @@ mod tests {
             "same-shape refill must not reallocate"
         );
         assert!(block.codewords.iter().all(|&b| b == 0));
+    }
+
+    fn mixed_traffic(seed: u64) -> MixedTraffic {
+        let mut traffic = MixedTraffic::new(seed);
+        traffic
+            .add_mode(
+                CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+                2.5,
+                2,
+            )
+            .unwrap();
+        traffic
+            .add_mode(
+                CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648),
+                3.0,
+                1,
+            )
+            .unwrap();
+        traffic
+    }
+
+    #[test]
+    fn mixed_traffic_is_deterministic_and_mode_tagged() {
+        let mut a = mixed_traffic(7);
+        let mut b = mixed_traffic(7);
+        assert_eq!(a.modes().len(), 2);
+        for _ in 0..20 {
+            let (id_a, llrs_a) = a.next_frame();
+            let (id_b, llrs_b) = b.next_frame();
+            assert_eq!(id_a, id_b);
+            assert_eq!(llrs_a, llrs_b);
+            assert_eq!(llrs_a.len(), id_a.n, "frame length matches its mode");
+        }
+        assert_eq!(a.frames_emitted(), 20);
+    }
+
+    #[test]
+    fn mixed_traffic_covers_every_mode() {
+        let mut traffic = mixed_traffic(11);
+        let modes = traffic.modes();
+        let mut seen = vec![0usize; modes.len()];
+        let mut llrs = Vec::new();
+        for _ in 0..60 {
+            let id = traffic.next_frame_into(&mut llrs);
+            let idx = modes.iter().position(|m| *m == id).expect("known mode");
+            seen[idx] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 0), "all modes emitted: {seen:?}");
+        // The weight-2 mode should dominate the weight-1 mode clearly over 60
+        // draws (binomial with p = 2/3; equality would be a picker bug).
+        assert!(seen[0] > seen[1], "weights respected: {seen:?}");
+    }
+
+    #[test]
+    fn mixed_traffic_frames_decode_consistently_with_single_mode_source() {
+        // A mode's frame stream must not depend on which other modes are
+        // registered: removing a mode must not change the other's frames.
+        let mut solo = MixedTraffic::new(5);
+        solo.add_mode(
+            CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+            2.5,
+            1,
+        )
+        .unwrap();
+        let mut duo = MixedTraffic::new(5);
+        duo.add_mode(
+            CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+            2.5,
+            1,
+        )
+        .unwrap();
+        duo.add_mode(
+            CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648),
+            3.0,
+            1,
+        )
+        .unwrap();
+        let wimax = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let mut solo_frames = Vec::new();
+        while solo_frames.len() < 5 {
+            let (id, llrs) = solo.next_frame();
+            assert_eq!(id, wimax);
+            solo_frames.push(llrs);
+        }
+        let mut duo_frames = Vec::new();
+        while duo_frames.len() < 5 {
+            let (id, llrs) = duo.next_frame();
+            if id == wimax {
+                duo_frames.push(llrs);
+            }
+        }
+        assert_eq!(solo_frames, duo_frames);
+    }
+
+    #[test]
+    fn mixed_traffic_rejects_bad_modes() {
+        let mut traffic = MixedTraffic::new(1);
+        let wimax = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        assert!(traffic.add_mode(wimax, 2.5, 0).is_err(), "zero weight");
+        let unsupported = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 100);
+        assert!(traffic.add_mode(unsupported, 2.5, 1).is_err());
+    }
+
+    #[test]
+    fn mixed_traffic_next_into_reuses_the_buffer() {
+        let mut traffic = mixed_traffic(3);
+        let mut llrs = Vec::with_capacity(648);
+        let ptr = llrs.as_ptr();
+        for _ in 0..10 {
+            let _ = traffic.next_frame_into(&mut llrs);
+        }
+        assert_eq!(ptr, llrs.as_ptr(), "pre-sized buffer never reallocates");
     }
 
     #[test]

@@ -58,6 +58,18 @@ pub enum CodeError {
         /// Explanation of the violation.
         reason: String,
     },
+    /// A textual code identifier could not be parsed (see
+    /// [`crate::CodeId`]'s `FromStr` implementation for the format).
+    ParseCode {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// A caller-supplied parameter is out of its valid domain (e.g. a
+    /// zero traffic weight).
+    InvalidParameter {
+        /// Explanation of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CodeError {
@@ -95,6 +107,12 @@ impl fmt::Display for CodeError {
             }
             CodeError::InvalidBaseMatrix { reason } => {
                 write!(f, "invalid base matrix: {reason}")
+            }
+            CodeError::ParseCode { reason } => {
+                write!(f, "cannot parse code id: {reason}")
+            }
+            CodeError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
             }
         }
     }

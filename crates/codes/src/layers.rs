@@ -57,7 +57,7 @@ impl Layer {
 ///
 /// The natural order `0, 1, …, j−1` is always correct; a *shuffled* order that
 /// minimizes the overlap between consecutive layers reduces pipeline stalls
-/// (the paper cites Gunnam et al. [10] for this trick).
+/// (the paper cites Gunnam et al. \[10\] for this trick).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayerSchedule {
     order: Vec<usize>,

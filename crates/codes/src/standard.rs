@@ -255,6 +255,58 @@ impl fmt::Display for CodeId {
     }
 }
 
+impl std::str::FromStr for CodeId {
+    type Err = CodeError;
+
+    /// Parses the compact `<standard>:<rate>:<n>` form used on command lines,
+    /// e.g. `wimax:1/2:576`, `802.11n:3/4:1944` or `dmbt:1/5:7620`.
+    ///
+    /// Standards accept their family aliases (`wifi`/`wlan`/`802.11n`,
+    /// `wimax`/`802.16e`, `dmbt`/`dmb-t`), case-insensitively. The triple is
+    /// parsed structurally only — pass the result to [`CodeId::is_supported`]
+    /// or [`CodeId::build`] to validate it against the supported mode set.
+    fn from_str(s: &str) -> Result<Self> {
+        let parse_err = |reason: String| CodeError::ParseCode { reason };
+        let mut parts = s.trim().split(':');
+        let (Some(std_part), Some(rate_part), Some(n_part), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(parse_err(format!(
+                "{s:?} is not of the form <standard>:<rate>:<n>"
+            )));
+        };
+        let standard = match std_part.trim().to_ascii_lowercase().as_str() {
+            "wifi" | "wlan" | "802.11n" => Standard::Wifi80211n,
+            "wimax" | "802.16e" => Standard::Wimax80216e,
+            "dmbt" | "dmb-t" => Standard::DmbT,
+            other => {
+                return Err(parse_err(format!(
+                    "unknown standard {other:?} (expected wifi/802.11n, wimax/802.16e or dmbt)"
+                )))
+            }
+        };
+        let rate = match rate_part.trim() {
+            "1/5" => CodeRate::R1_5,
+            "2/5" => CodeRate::R2_5,
+            "3/5" => CodeRate::R3_5,
+            "1/2" => CodeRate::R1_2,
+            "2/3" => CodeRate::R2_3,
+            "3/4" => CodeRate::R3_4,
+            "5/6" => CodeRate::R5_6,
+            other => {
+                return Err(parse_err(format!(
+                    "unknown rate {other:?} (expected 1/2, 2/3, 3/4, 5/6, 1/5, 2/5 or 3/5)"
+                )))
+            }
+        };
+        let n: usize = n_part
+            .trim()
+            .parse()
+            .map_err(|e| parse_err(format!("codeword length {n_part:?}: {e}")))?;
+        Ok(CodeId::new(standard, rate, n))
+    }
+}
+
 /// Structural parameters of one concrete code, carried by [`QcCode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CodeSpec {
@@ -417,6 +469,40 @@ mod tests {
         assert_eq!(spec.info_bits(), 1152);
         assert!((spec.design_rate() - 0.5).abs() < 1e-12);
         assert_eq!(spec.id().n, 2304);
+    }
+
+    #[test]
+    fn code_id_parses_compact_form() {
+        let id: CodeId = "wimax:1/2:576".parse().unwrap();
+        assert_eq!(id, CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576));
+        assert!(id.is_supported());
+        // Aliases, case-insensitivity and surrounding whitespace.
+        let id: CodeId = " 802.11n:3/4:1944 ".parse().unwrap();
+        assert_eq!(id, CodeId::new(Standard::Wifi80211n, CodeRate::R3_4, 1944));
+        let id: CodeId = "DMB-T:1/5:7620".parse().unwrap();
+        assert_eq!(id.standard, Standard::DmbT);
+        // Parsing is structural: an unsupported length still parses.
+        let id: CodeId = "wimax:1/2:100".parse().unwrap();
+        assert!(!id.is_supported());
+    }
+
+    #[test]
+    fn code_id_parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "wimax",
+            "wimax:1/2",
+            "wimax:1/2:576:extra",
+            "lte:1/2:576",
+            "wimax:7/8:576",
+            "wimax:1/2:many",
+        ] {
+            let err = bad.parse::<CodeId>().unwrap_err();
+            assert!(
+                matches!(err, CodeError::ParseCode { .. }),
+                "{bad:?} -> {err}"
+            );
+        }
     }
 
     #[test]

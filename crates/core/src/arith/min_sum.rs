@@ -145,7 +145,7 @@ impl DecoderArithmetic for FloatMinSumArithmetic {
 impl LaneKernel for FloatMinSumArithmetic {}
 
 /// Fixed-point normalized Min-Sum (the hardware baseline the paper compares
-/// against, e.g. reference [3]). The normalization `α = 0.75` is realised as
+/// against, e.g. reference \[3\]). The normalization `α = 0.75` is realised as
 /// `x − (x >> 2)`, exactly as a shift-and-subtract datapath would.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FixedMinSumArithmetic {
@@ -236,7 +236,7 @@ impl DecoderArithmetic for FixedMinSumArithmetic {
 /// Hand-written lane kernel for the fixed-point Min-Sum datapath: the
 /// two-minima trick tracked per lane in four integer scratch lanes
 /// (min1/min2/argmin-slot/sign-parity), every inner loop a stride-1 sweep of
-/// the `z` lanes. Bit-identical to the scalar [`min_sum_core`] path — the
+/// the `z` lanes. Bit-identical to the scalar `min_sum_core` path — the
 /// magnitudes are small non-negative integers, on which the scalar path's
 /// `f64` comparisons are exact, and the `i32::MAX` sentinel saturates to
 /// `max_code` exactly as the scalar path's `f64::INFINITY` does — while

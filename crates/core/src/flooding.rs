@@ -1,6 +1,6 @@
 //! Two-phase ("flooding") belief-propagation decoder.
 //!
-//! The paper adopts the *layered* BP algorithm [6] because it converges in
+//! The paper adopts the *layered* BP algorithm \[6\] because it converges in
 //! roughly half the iterations of the classic two-phase schedule, which
 //! directly halves the iteration count `I` in the throughput expression of
 //! §III-E and the dynamic power. This module implements the flooding schedule

@@ -2,7 +2,7 @@
 //!
 //! In hardware the correction terms `log(1 + e^{-x})` and `log(1 − e^{-x})` of
 //! Eq. (2) are approximated with small lookup tables — the paper uses 3-bit
-//! (8-entry) LUTs following Hu et al. [9]. [`CorrectionLut`] reproduces that
+//! (8-entry) LUTs following Hu et al. \[9\]. [`CorrectionLut`] reproduces that
 //! approximation bit-accurately: the input magnitude (a fixed-point code) is
 //! mapped to one of `2^address_bits` regions and each region returns a
 //! pre-quantised correction code.

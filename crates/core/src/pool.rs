@@ -24,23 +24,54 @@ use crate::workspace::DecodeWorkspace;
 ///
 /// Checkout prefers a pooled workspace already sized for the code and falls
 /// back to building a fresh one ([`DecodeWorkspace::for_code`]); check-in
-/// returns it for the next batch. The pool never shrinks — like the silicon
-/// memory banks it stands in for, capacity is provisioned once per mode and
-/// then reused.
-#[derive(Debug, Default)]
+/// returns it for the next batch. Each shelf retains at most
+/// [`WorkspacePool::DEFAULT_MAX_POOLED`] workspaces (configurable via
+/// [`WorkspacePool::with_max_pooled`]): a caller that once ran a batch with
+/// many workers would otherwise pin that worst-case worker count in memory
+/// forever, for every mode it ever touched. Check-ins beyond the cap drop the
+/// workspace instead of shelving it.
+#[derive(Debug)]
 pub struct WorkspacePool<M> {
     shelves: Mutex<HashMap<CodeSpec, Vec<DecodeWorkspace<M>>>>,
     created: AtomicUsize,
+    dropped: AtomicUsize,
+    max_pooled: usize,
+}
+
+impl<M: Copy> Default for WorkspacePool<M> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<M: Copy> WorkspacePool<M> {
-    /// An empty pool.
+    /// Default cap on shelved workspaces per code spec. Matches a healthy
+    /// worker count for one shard; steady-state serving with more concurrent
+    /// workers can raise it with [`WorkspacePool::with_max_pooled`].
+    pub const DEFAULT_MAX_POOLED: usize = 8;
+
+    /// An empty pool with the default per-spec retention cap.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_max_pooled(Self::DEFAULT_MAX_POOLED)
+    }
+
+    /// An empty pool retaining at most `max_pooled` workspaces per spec
+    /// (minimum 1, so check-in/checkout round trips always reuse).
+    #[must_use]
+    pub fn with_max_pooled(max_pooled: usize) -> Self {
         WorkspacePool {
             shelves: Mutex::new(HashMap::new()),
             created: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
+            max_pooled: max_pooled.max(1),
         }
+    }
+
+    /// The per-spec retention cap.
+    #[must_use]
+    pub fn max_pooled(&self) -> usize {
+        self.max_pooled
     }
 
     /// Takes a workspace sized for `compiled`, reusing a pooled one for the
@@ -59,14 +90,18 @@ impl<M: Copy> WorkspacePool<M> {
         })
     }
 
-    /// Returns a workspace to the shelf of `compiled`'s spec for reuse.
+    /// Returns a workspace to the shelf of `compiled`'s spec for reuse. If
+    /// the shelf is already at the retention cap the workspace is dropped —
+    /// transient worker spikes must not grow the pool without bound.
     pub fn checkin(&self, compiled: &CompiledCode, ws: DecodeWorkspace<M>) {
-        self.shelves
-            .lock()
-            .expect("workspace pool poisoned")
-            .entry(*compiled.spec())
-            .or_default()
-            .push(ws);
+        let mut shelves = self.shelves.lock().expect("workspace pool poisoned");
+        let shelf = shelves.entry(*compiled.spec()).or_default();
+        if shelf.len() < self.max_pooled {
+            shelf.push(ws);
+        } else {
+            drop(ws);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of workspaces currently shelved for `spec`.
@@ -85,6 +120,14 @@ impl<M: Copy> WorkspacePool<M> {
     #[must_use]
     pub fn workspaces_created(&self) -> usize {
         self.created.load(Ordering::Relaxed)
+    }
+
+    /// Number of check-ins discarded because the shelf was at the retention
+    /// cap. A growing value under steady load means the cap is smaller than
+    /// the real concurrent worker count.
+    #[must_use]
+    pub fn workspaces_dropped(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -131,5 +174,38 @@ mod tests {
         assert!(ws.is_ready_for(&big, true));
         assert_eq!(pool.workspaces_created(), 2);
         assert_eq!(pool.pooled(small.spec()), 1);
+    }
+
+    #[test]
+    fn checkin_is_capped_per_spec() {
+        // Regression: a caller that once checked workspaces out under a large
+        // worker count (varying batch sizes / thread counts) used to pin that
+        // worst case on the shelf forever. Retention is now capped.
+        let pool = WorkspacePool::<f64>::with_max_pooled(3);
+        let code = compiled(576);
+        let spike: Vec<_> = (0..10).map(|_| pool.checkout(&code)).collect();
+        assert_eq!(pool.workspaces_created(), 10);
+        for ws in spike {
+            pool.checkin(&code, ws);
+        }
+        assert_eq!(pool.pooled(code.spec()), 3, "shelf capped at max_pooled");
+        assert_eq!(pool.workspaces_dropped(), 7);
+        // The cap is per spec: another mode still shelves its own workspaces.
+        let big = compiled(2304);
+        pool.checkin(&big, pool.checkout(&big));
+        assert_eq!(pool.pooled(big.spec()), 1);
+    }
+
+    #[test]
+    fn default_cap_is_sane_and_floor_is_one() {
+        assert_eq!(
+            WorkspacePool::<f64>::new().max_pooled(),
+            WorkspacePool::<f64>::DEFAULT_MAX_POOLED
+        );
+        let pool = WorkspacePool::<f64>::with_max_pooled(0);
+        assert_eq!(pool.max_pooled(), 1, "cap of zero would defeat pooling");
+        let code = compiled(576);
+        pool.checkin(&code, pool.checkout(&code));
+        assert_eq!(pool.pooled(code.spec()), 1);
     }
 }

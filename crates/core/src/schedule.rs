@@ -4,7 +4,7 @@
 //! one per layer (Fig. 2). The order in which layers are visited does not
 //! change the fixed point of the algorithm but does affect (a) convergence
 //! speed slightly and (b) pipeline stalls when the decoding of consecutive
-//! layers is overlapped (Fig. 4); the paper cites layer shuffling [10] as the
+//! layers is overlapped (Fig. 4); the paper cites layer shuffling \[10\] as the
 //! stall-avoidance mechanism.
 
 use ldpc_codes::{LayerSchedule, QcCode};

@@ -15,7 +15,11 @@
 //! * [`arch`] — the ASIC architecture model: distributed SISO lanes and
 //!   Λ-memory banks, central L-memory, circular shifter, reconfiguration
 //!   controller, cycle-accurate pipeline, and the calibrated area / power /
-//!   energy models behind Table 2, Table 3 and Fig. 9.
+//!   energy models behind Table 2, Table 3 and Fig. 9;
+//! * [`serve`] — the serving layer: a multi-code sharded
+//!   [`DecodeService`](ldpc_serve::DecodeService) with bounded per-mode frame
+//!   queues, batch-coalescing workers, backpressure, per-frame deadlines and
+//!   a draining shutdown.
 //!
 //! ## Quickstart — single frame
 //!
@@ -80,6 +84,7 @@ pub use ldpc_arch as arch;
 pub use ldpc_channel as channel;
 pub use ldpc_codes as codes;
 pub use ldpc_core as core;
+pub use ldpc_serve as serve;
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
@@ -89,7 +94,7 @@ pub mod prelude {
     };
     pub use ldpc_channel::{
         awgn::AwgnChannel, quantize::LlrQuantizer, stats::ErrorCounter, stats::IterationHistogram,
-        workload::FrameBlock, workload::FrameSource,
+        workload::FrameBlock, workload::FrameSource, workload::MixedTraffic,
     };
     pub use ldpc_codes::{
         CodeId, CodeRate, CompiledCode, Encoder, LayerSchedule, QcCode, Standard,
@@ -100,6 +105,10 @@ pub mod prelude {
         FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic,
         FloodingDecoder, LaneKernel, LaneScratch, LayerOrderPolicy, LlrBatch, R2Siso, R4Siso,
         SisoRadix,
+    };
+    pub use ldpc_serve::{
+        DecodeOutcome, DecodeService, FrameHandle, ServeError, ServiceConfig, ShardStats,
+        SubmitError,
     };
 }
 

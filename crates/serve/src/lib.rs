@@ -1,0 +1,59 @@
+//! # ldpc-serve — the multi-code sharded decode service
+//!
+//! The paper's decoder is multi-mode by construction: one hardware fabric
+//! serves every WiMax/WiFi/DMB-T code mode by switching a compiled mode ROM
+//! while frames stream through the `z`-wide SISO array. This crate is the
+//! serving-layer analogue of that fabric, built on the batched zero-alloc
+//! engine of `ldpc-core`:
+//!
+//! ```text
+//!                        ┌──────────────── DecodeService ────────────────┐
+//!  submit(code, llrs) ──▶│ route by CodeId                               │
+//!                        │   ├─▶ shard[WiMax 576]  queue ▷▷▷ worker ──┐  │
+//!                        │   ├─▶ shard[WiFi 648]   queue ▷▷▷ worker ──┤  │
+//!                        │   └─▶ shard[WiMax 1152] queue ▷▷▷ worker ──┤  │
+//!                        │        (bounded MPSC)    coalesce into      │  │
+//!                        │                          decode_batch ◀─────┘  │
+//!                        │                          workspaces from the   │
+//!                        │                          shared WorkspacePool  │
+//!                        └───────────────────────────────────────────────┘
+//!                                        │
+//!  FrameHandle::wait() ◀── DecodeOutcome ┘  (Decoded / Expired / Failed)
+//! ```
+//!
+//! * **Sharding** — one shard per registered [`ldpc_codes::CodeId`]: an
+//!   `Arc<CompiledCode>` (the software mode ROM), a bounded ingest queue and
+//!   one worker thread. Frames route by mode at submission.
+//! * **Batch coalescing** — each worker drains whatever is queued (up to
+//!   [`ServiceConfig::max_batch`]) into a single flat LLR buffer and decodes
+//!   it with one `decode_batch` call, so bursts amortise engine overhead
+//!   exactly like the paper's frame pipeline keeps the SISO array busy.
+//! * **Backpressure** — the queue bound is the service's limit: `try_submit`
+//!   refuses with the frame handed back, `submit` parks the producer.
+//! * **Deadlines** — a frame whose deadline passes while queued completes as
+//!   [`DecodeOutcome::Expired`] without spending decoder time.
+//! * **Drain guarantee** — [`DecodeService::shutdown`] (and plain drop)
+//!   closes intake, lets workers finish every accepted frame, and joins
+//!   them: a successful submission always resolves.
+//! * **Zero steady-state decoder allocation** — workers draw their
+//!   workspaces from the decoder's shared
+//!   [`ldpc_core::WorkspacePool`]; once every shard is warm,
+//!   [`DecodeService::pool_workspaces_created`] stops growing.
+//!
+//! Results are **bit-identical** to calling `decode_batch` directly on the
+//! same frames, whatever the submission interleaving — decoding is
+//! per-frame deterministic and shards are independent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod handle;
+mod queue;
+mod service;
+mod stats;
+
+pub use error::{ServeError, SubmitError};
+pub use handle::{DecodeOutcome, FrameHandle};
+pub use service::{DecodeService, DecodeServiceBuilder, ServiceConfig};
+pub use stats::ShardStats;

@@ -1,0 +1,312 @@
+//! The bounded MPSC ingest queue in front of each shard.
+//!
+//! Any number of submitting threads push [`PendingFrame`]s; the shard's one
+//! worker pops them, coalescing as many queued frames as are available into a
+//! single `decode_batch` call. The bound is the backpressure mechanism:
+//! [`FrameQueue::try_push`] refuses when full (handing the frame back), while
+//! [`FrameQueue::push_blocking`] parks the producer until the worker drains —
+//! exactly the two submission flavours the service exposes.
+//!
+//! Closing the queue ([`FrameQueue::close`]) refuses new frames but leaves
+//! everything already queued poppable, so a draining worker completes every
+//! accepted frame before [`FrameQueue::pop_blocking`] returns `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::handle::{DecodeOutcome, Slot};
+
+/// Completion-on-drop wrapper around a frame's [`Slot`]: dropping it without
+/// an explicit [`complete`](CompletionGuard::complete) resolves the handle as
+/// [`DecodeOutcome::Abandoned`]. This is what keeps the "every accepted frame
+/// resolves" guarantee true even if a shard worker panics mid-batch — the
+/// unwinding drops the worker's pending frames, and each drop unblocks its
+/// waiter instead of leaving it hanging forever.
+#[derive(Debug)]
+pub(crate) struct CompletionGuard(Option<Arc<Slot>>);
+
+impl CompletionGuard {
+    pub(crate) fn new(slot: Arc<Slot>) -> Self {
+        CompletionGuard(Some(slot))
+    }
+
+    /// Resolves the frame with `outcome`, disarming the drop path.
+    pub(crate) fn complete(mut self, outcome: DecodeOutcome) {
+        if let Some(slot) = self.0.take() {
+            slot.complete(outcome);
+        }
+    }
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        if let Some(slot) = self.0.take() {
+            slot.try_complete(DecodeOutcome::Abandoned);
+        }
+    }
+}
+
+/// One accepted frame waiting for its shard worker.
+#[derive(Debug)]
+pub(crate) struct PendingFrame {
+    /// Channel LLRs, exactly `n` values for the shard's code.
+    pub llrs: Vec<f64>,
+    /// Completion deadline; frames past it are expired instead of decoded.
+    pub deadline: Option<Instant>,
+    /// Completion guard over the slot shared with the caller's
+    /// [`crate::FrameHandle`].
+    pub slot: CompletionGuard,
+}
+
+impl PendingFrame {
+    /// Resolves the frame's handle with `outcome`.
+    pub(crate) fn complete(self, outcome: DecodeOutcome) {
+        self.slot.complete(outcome);
+    }
+}
+
+/// Why a push was refused; the frame is handed back either way.
+#[derive(Debug)]
+pub(crate) enum PushError {
+    /// The queue is at capacity (transient — backpressure).
+    Full(PendingFrame),
+    /// The queue is closed (permanent — the service is shutting down).
+    Closed(PendingFrame),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    frames: VecDeque<PendingFrame>,
+    closed: bool,
+}
+
+/// Bounded multi-producer single-consumer frame queue.
+#[derive(Debug)]
+pub(crate) struct FrameQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl FrameQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        FrameQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("frame queue poisoned")
+            .frames
+            .len()
+    }
+
+    /// Non-blocking push; refuses (returning the frame) when full or closed.
+    pub(crate) fn try_push(&self, frame: PendingFrame) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("frame queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(frame));
+        }
+        if inner.frames.len() >= self.capacity {
+            return Err(PushError::Full(frame));
+        }
+        inner.frames.push_back(frame);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: parks until the worker makes room (backpressure) or the
+    /// queue closes (the frame is handed back as the error).
+    pub(crate) fn push_blocking(&self, frame: PendingFrame) -> Result<(), PendingFrame> {
+        let mut inner = self.inner.lock().expect("frame queue poisoned");
+        loop {
+            if inner.closed {
+                return Err(frame);
+            }
+            if inner.frames.len() < self.capacity {
+                inner.frames.push_back(frame);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("frame queue poisoned");
+        }
+    }
+
+    /// Blocking pop for the shard worker. Returns `None` only when the queue
+    /// is closed *and* drained — every accepted frame is handed out first.
+    pub(crate) fn pop_blocking(&self) -> Option<PendingFrame> {
+        let mut inner = self.inner.lock().expect("frame queue poisoned");
+        loop {
+            if let Some(frame) = inner.frames.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(frame);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("frame queue poisoned");
+        }
+    }
+
+    /// Non-blocking bulk pop of up to `max` additional frames, appended to
+    /// `out` — the coalescing step after a successful `pop_blocking`.
+    pub(crate) fn drain_into(&self, out: &mut Vec<PendingFrame>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock().expect("frame queue poisoned");
+        let take = max.min(inner.frames.len());
+        out.extend(inner.frames.drain(..take));
+        drop(inner);
+        if take > 0 {
+            self.not_full.notify_all();
+        }
+        take
+    }
+
+    /// Refuses all future pushes; queued frames remain poppable. Idempotent.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("frame queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> PendingFrame {
+        PendingFrame {
+            llrs: vec![1.0; 4],
+            deadline: None,
+            slot: CompletionGuard::new(Arc::new(Slot::default())),
+        }
+    }
+
+    #[test]
+    fn try_push_refuses_when_full_and_hands_the_frame_back() {
+        let queue = FrameQueue::new(2);
+        assert_eq!(queue.capacity(), 2);
+        queue.try_push(frame()).unwrap();
+        queue.try_push(frame()).unwrap();
+        let refused = queue.try_push(frame());
+        assert!(matches!(refused, Err(PushError::Full(_))));
+        if let Err(PushError::Full(f)) = refused {
+            assert_eq!(f.llrs.len(), 4, "frame ownership returned intact");
+        }
+        assert_eq!(queue.len(), 2);
+        // Popping makes room again.
+        assert!(queue.pop_blocking().is_some());
+        queue.try_push(frame()).unwrap();
+    }
+
+    #[test]
+    fn close_refuses_pushes_but_drains_queued_frames() {
+        let queue = FrameQueue::new(4);
+        queue.try_push(frame()).unwrap();
+        queue.try_push(frame()).unwrap();
+        queue.close();
+        assert!(matches!(queue.try_push(frame()), Err(PushError::Closed(_))));
+        assert!(queue.push_blocking(frame()).is_err());
+        assert!(queue.pop_blocking().is_some());
+        assert!(queue.pop_blocking().is_some());
+        assert!(queue.pop_blocking().is_none(), "closed and drained");
+        queue.close(); // idempotent
+    }
+
+    #[test]
+    fn push_blocking_parks_until_the_consumer_makes_room() {
+        let queue = Arc::new(FrameQueue::new(1));
+        queue.try_push(frame()).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push_blocking(frame()).is_ok())
+        };
+        // The producer cannot finish until we pop.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!producer.is_finished(), "blocked on the full queue");
+        assert!(queue.pop_blocking().is_some());
+        assert!(producer.join().unwrap());
+        assert_eq!(queue.len(), 1);
+    }
+
+    #[test]
+    fn pop_blocking_wakes_on_push() {
+        let queue = Arc::new(FrameQueue::new(4));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop_blocking().is_some())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        queue.try_push(frame()).unwrap();
+        assert!(consumer.join().unwrap());
+    }
+
+    #[test]
+    fn drain_into_coalesces_without_blocking() {
+        let queue = FrameQueue::new(8);
+        for _ in 0..5 {
+            queue.try_push(frame()).unwrap();
+        }
+        let first = queue.pop_blocking().unwrap();
+        let mut batch = vec![first];
+        assert_eq!(queue.drain_into(&mut batch, 3), 3);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.drain_into(&mut batch, 0), 0, "zero max is a no-op");
+        assert_eq!(queue.drain_into(&mut batch, 10), 1, "capped by contents");
+    }
+
+    #[test]
+    fn dropping_an_uncompleted_frame_resolves_its_handle_as_abandoned() {
+        use crate::handle::FrameHandle;
+        use ldpc_codes::{CodeId, CodeRate, Standard};
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+
+        // The panic path: a frame dropped mid-flight (worker unwinding)
+        // resolves its waiter as Abandoned instead of hanging it.
+        let slot = Arc::new(Slot::default());
+        let handle = FrameHandle::new(code, Arc::clone(&slot));
+        drop(PendingFrame {
+            llrs: Vec::new(),
+            deadline: None,
+            slot: CompletionGuard::new(slot),
+        });
+        assert_eq!(handle.wait(), DecodeOutcome::Abandoned);
+
+        // The happy path: explicit completion disarms the drop guard.
+        let slot = Arc::new(Slot::default());
+        let handle = FrameHandle::new(code, Arc::clone(&slot));
+        let frame = PendingFrame {
+            llrs: Vec::new(),
+            deadline: None,
+            slot: CompletionGuard::new(slot),
+        };
+        frame.complete(DecodeOutcome::Expired);
+        assert_eq!(handle.wait(), DecodeOutcome::Expired);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let queue = FrameQueue::new(0);
+        assert_eq!(queue.capacity(), 1);
+        queue.try_push(frame()).unwrap();
+        assert!(matches!(queue.try_push(frame()), Err(PushError::Full(_))));
+    }
+}

@@ -1,0 +1,803 @@
+//! The sharded decode service.
+//!
+//! A [`DecodeService`] owns one **shard** per registered mode — the software
+//! analogue of the paper's mode-ROM fabric, where one hardware array serves
+//! every WiMax/WiFi code by switching compiled control state. Each shard
+//! holds the mode's shared [`CompiledCode`], a bounded ingest
+//! [`FrameQueue`](crate::queue::FrameQueue) and one worker thread that
+//! coalesces queued frames into `decode_batch` calls, drawing its
+//! [`DecodeWorkspace`](ldpc_core::DecodeWorkspace)s from the decoder's
+//! workspace pool so steady-state serving builds no new decoder state.
+//!
+//! Frames are routed by [`CodeId`] at submission, validated (known mode,
+//! exact LLR count), and accepted into the shard queue; the returned
+//! [`FrameHandle`] resolves to a [`DecodeOutcome`] — bit-identical to a
+//! direct `decode_batch` call, `Expired` if the frame's deadline passed
+//! before its shard worker reached it. [`DecodeService::shutdown`] closes
+//! every queue, lets the workers drain, and joins them: every accepted frame
+//! is completed, none silently dropped.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ldpc_codes::{CodeId, CompiledCode};
+use ldpc_core::{DecodeOutput, Decoder, LlrBatch};
+
+use crate::error::{ServeError, SubmitError};
+use crate::handle::{DecodeOutcome, FrameHandle, Slot};
+use crate::queue::{CompletionGuard, FrameQueue, PendingFrame, PushError};
+use crate::stats::{ShardCounters, ShardStats};
+
+/// Tuning knobs of a [`DecodeService`], set through the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Ingest-queue bound per shard; the backpressure limit. Minimum 1.
+    pub queue_capacity: usize,
+    /// Most frames coalesced into one `decode_batch` call. Minimum 1.
+    pub max_batch: usize,
+    /// Worker threads *inside* one shard's `decode_batch` call (frame-level
+    /// parallelism). The default of 1 keeps each shard single-threaded and
+    /// scales across shards instead. Minimum 1.
+    pub decode_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            max_batch: 32,
+            decode_threads: 1,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn normalized(mut self) -> Self {
+        self.queue_capacity = self.queue_capacity.max(1);
+        self.max_batch = self.max_batch.max(1);
+        self.decode_threads = self.decode_threads.max(1);
+        self
+    }
+}
+
+/// Start gate for shard workers: closed while the service is paused, opened
+/// by `resume` (and unconditionally by shutdown, so draining never stalls).
+#[derive(Debug, Default)]
+struct Gate {
+    open: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl Gate {
+    fn new(open: bool) -> Self {
+        Gate {
+            open: Mutex::new(open),
+            opened: Condvar::new(),
+        }
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().expect("gate poisoned");
+        while !*open {
+            open = self.opened.wait(open).expect("gate poisoned");
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().expect("gate poisoned") = true;
+        self.opened.notify_all();
+    }
+}
+
+/// One mode's serving state: compiled schedule, ingest queue, counters and
+/// worker thread.
+#[derive(Debug)]
+struct Shard {
+    compiled: Arc<CompiledCode>,
+    queue: Arc<FrameQueue>,
+    counters: Arc<ShardCounters>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// Builder for [`DecodeService`]; see [`DecodeService::builder`].
+#[derive(Debug)]
+pub struct DecodeServiceBuilder<D> {
+    decoder: D,
+    config: ServiceConfig,
+    start_paused: bool,
+    codes: Vec<Arc<CompiledCode>>,
+}
+
+impl<D> DecodeServiceBuilder<D>
+where
+    D: Decoder + Clone + Send + Sync + 'static,
+{
+    fn new(decoder: D) -> Self {
+        DecodeServiceBuilder {
+            decoder,
+            config: ServiceConfig::default(),
+            start_paused: false,
+            codes: Vec::new(),
+        }
+    }
+
+    /// Sets the per-shard ingest queue bound (backpressure limit).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the most frames coalesced into one `decode_batch` call.
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the worker-thread count inside each shard's `decode_batch` call.
+    #[must_use]
+    pub fn decode_threads(mut self, threads: usize) -> Self {
+        self.config.decode_threads = threads;
+        self
+    }
+
+    /// Builds the service with its workers parked: frames can be submitted
+    /// (and queues can fill, exercising backpressure deterministically) but
+    /// nothing decodes until [`DecodeService::resume`]. Shutdown still drains.
+    #[must_use]
+    pub fn start_paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+
+    /// Registers a mode: builds and compiles its code, creating one shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Code`] if the mode is unsupported and
+    /// [`ServeError::DuplicateCode`] if it is already registered.
+    pub fn register(self, id: CodeId) -> Result<Self, ServeError> {
+        let compiled = id.build()?.compile();
+        self.register_compiled(compiled)
+    }
+
+    /// Registers a mode from an already-compiled code (no rebuild), creating
+    /// one shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DuplicateCode`] if the mode is already
+    /// registered.
+    pub fn register_compiled(mut self, compiled: CompiledCode) -> Result<Self, ServeError> {
+        let id = compiled.spec().id();
+        if self.codes.iter().any(|c| c.spec().id() == id) {
+            return Err(ServeError::DuplicateCode { code: id });
+        }
+        self.codes.push(Arc::new(compiled));
+        Ok(self)
+    }
+
+    /// Spawns the shard workers and returns the running service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NoCodes`] if no mode was registered.
+    pub fn build(self) -> Result<DecodeService<D>, ServeError> {
+        if self.codes.is_empty() {
+            return Err(ServeError::NoCodes);
+        }
+        let config = self.config.normalized();
+        let gate = Arc::new(Gate::new(!self.start_paused));
+        let mut shards = HashMap::with_capacity(self.codes.len());
+        let mut order = Vec::with_capacity(self.codes.len());
+        for compiled in self.codes {
+            let id = compiled.spec().id();
+            let queue = Arc::new(FrameQueue::new(config.queue_capacity));
+            let counters = Arc::new(ShardCounters::default());
+            let worker = {
+                let decoder = self.decoder.clone();
+                let compiled = Arc::clone(&compiled);
+                let queue = Arc::clone(&queue);
+                let counters = Arc::clone(&counters);
+                let gate = Arc::clone(&gate);
+                std::thread::Builder::new()
+                    .name(format!("ldpc-shard-{}", id.n))
+                    .spawn(move || {
+                        run_worker(&decoder, &compiled, &queue, &gate, &counters, config);
+                    })
+                    .expect("cannot spawn shard worker")
+            };
+            order.push(id);
+            shards.insert(
+                id,
+                Shard {
+                    compiled,
+                    queue,
+                    counters,
+                    worker: Some(worker),
+                },
+            );
+        }
+        Ok(DecodeService {
+            shards,
+            order,
+            gate,
+            config,
+            decoder: self.decoder,
+        })
+    }
+}
+
+/// A multi-code decode service: one queue-fed, batch-coalescing worker shard
+/// per registered mode, routed by [`CodeId`].
+///
+/// ```
+/// use ldpc_codes::{CodeId, CodeRate, Standard};
+/// use ldpc_core::{DecoderConfig, FloatBpArithmetic, LayeredDecoder};
+/// use ldpc_serve::DecodeService;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let wimax = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+/// let decoder = LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default())?;
+/// let service = DecodeService::builder(decoder).register(wimax)?.build()?;
+///
+/// // A trivially clean frame: strong positive LLRs = all-zero codeword.
+/// let handle = service.submit(wimax, vec![8.0; wimax.n])?;
+/// let output = handle.wait().into_output().expect("decoded");
+/// assert!(output.parity_satisfied);
+///
+/// let report = service.shutdown();
+/// assert_eq!(report.iter().map(|s| s.decoded).sum::<u64>(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DecodeService<D> {
+    shards: HashMap<CodeId, Shard>,
+    order: Vec<CodeId>,
+    gate: Arc<Gate>,
+    config: ServiceConfig,
+    /// Kept for pool introspection: clones handed to the workers share this
+    /// decoder's workspace pool.
+    decoder: D,
+}
+
+impl<D> DecodeService<D>
+where
+    D: Decoder + Clone + Send + Sync + 'static,
+{
+    /// Starts building a service around `decoder` (cloned into every shard
+    /// worker; clones of the provided decoders share one workspace pool).
+    #[must_use]
+    pub fn builder(decoder: D) -> DecodeServiceBuilder<D> {
+        DecodeServiceBuilder::new(decoder)
+    }
+
+    /// The registered modes, in registration order.
+    #[must_use]
+    pub fn codes(&self) -> &[CodeId] {
+        &self.order
+    }
+
+    /// The normalized service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Opens the worker gate of a service built with `start_paused`. A no-op
+    /// when already running.
+    pub fn resume(&self) {
+        self.gate.open();
+    }
+
+    /// Submits a frame without a deadline, parking the caller while the
+    /// shard's queue is full (blocking backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownCode`] / [`SubmitError::FrameLength`] on
+    /// validation failure, [`SubmitError::ShutDown`] once shutdown started.
+    pub fn submit(&self, code: CodeId, llrs: Vec<f64>) -> Result<FrameHandle, SubmitError> {
+        self.submit_inner(code, llrs, None, true)
+    }
+
+    /// Submits a frame with a completion deadline, parking while full. A
+    /// frame still queued when `deadline` passes completes as
+    /// [`DecodeOutcome::Expired`] instead of occupying the decoder.
+    ///
+    /// # Errors
+    ///
+    /// As [`DecodeService::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        code: CodeId,
+        llrs: Vec<f64>,
+        deadline: Instant,
+    ) -> Result<FrameHandle, SubmitError> {
+        self.submit_inner(code, llrs, Some(deadline), true)
+    }
+
+    /// Non-blocking submission: refuses with [`SubmitError::QueueFull`]
+    /// (handing the LLRs back) when the shard queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// As [`DecodeService::submit`], plus [`SubmitError::QueueFull`].
+    pub fn try_submit(&self, code: CodeId, llrs: Vec<f64>) -> Result<FrameHandle, SubmitError> {
+        self.submit_inner(code, llrs, None, false)
+    }
+
+    /// Non-blocking submission with a completion deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`DecodeService::try_submit`].
+    pub fn try_submit_with_deadline(
+        &self,
+        code: CodeId,
+        llrs: Vec<f64>,
+        deadline: Instant,
+    ) -> Result<FrameHandle, SubmitError> {
+        self.submit_inner(code, llrs, Some(deadline), false)
+    }
+
+    fn submit_inner(
+        &self,
+        code: CodeId,
+        llrs: Vec<f64>,
+        deadline: Option<Instant>,
+        blocking: bool,
+    ) -> Result<FrameHandle, SubmitError> {
+        let Some(shard) = self.shards.get(&code) else {
+            return Err(SubmitError::UnknownCode { code });
+        };
+        let expected = shard.compiled.n();
+        if llrs.len() != expected {
+            return Err(SubmitError::FrameLength {
+                code,
+                expected,
+                actual: llrs.len(),
+            });
+        }
+        let slot = Arc::new(Slot::default());
+        let frame = PendingFrame {
+            llrs,
+            deadline,
+            slot: CompletionGuard::new(Arc::clone(&slot)),
+        };
+        // Count the acceptance *before* the push: once pushed, the frame is
+        // visible to the worker, and a completion must never be observable
+        // ahead of its acceptance. Refusals roll the count back.
+        shard.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let refused = |counters: &crate::stats::ShardCounters| {
+            counters.accepted.fetch_sub(1, Ordering::Relaxed);
+        };
+        if blocking {
+            shard.queue.push_blocking(frame).map_err(|frame| {
+                refused(&shard.counters);
+                SubmitError::ShutDown { llrs: frame.llrs }
+            })?;
+        } else {
+            shard.queue.try_push(frame).map_err(|e| {
+                refused(&shard.counters);
+                match e {
+                    PushError::Full(frame) => {
+                        shard.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+                        SubmitError::QueueFull { llrs: frame.llrs }
+                    }
+                    PushError::Closed(frame) => SubmitError::ShutDown { llrs: frame.llrs },
+                }
+            })?;
+        }
+        Ok(FrameHandle::new(code, slot))
+    }
+
+    /// Snapshot of one shard's counters.
+    #[must_use]
+    pub fn shard_stats(&self, code: CodeId) -> Option<ShardStats> {
+        let shard = self.shards.get(&code)?;
+        Some(
+            shard
+                .counters
+                .snapshot(code, shard.queue.len(), self.pool_workspaces_created()),
+        )
+    }
+
+    /// Snapshots of every shard, in registration order.
+    #[must_use]
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.order
+            .iter()
+            .filter_map(|&code| self.shard_stats(code))
+            .collect()
+    }
+
+    /// Workspaces ever built by the (service-wide, per-mode-shelved)
+    /// workspace pool; stable across snapshots once every shard is warm.
+    #[must_use]
+    pub fn pool_workspaces_created(&self) -> usize {
+        self.decoder
+            .workspace_pool()
+            .map_or(0, |pool| pool.workspaces_created())
+    }
+
+    /// Closes every shard's intake without stopping the workers: frames
+    /// already accepted still decode, new submissions fail with
+    /// [`SubmitError::ShutDown`]. The first half of
+    /// [`shutdown`](DecodeService::shutdown), usable on a shared reference to
+    /// initiate a graceful drain while other threads still hold handles.
+    pub fn close_intake(&self) {
+        for shard in self.shards.values() {
+            shard.queue.close();
+        }
+    }
+
+    /// Drains and stops the service: closes every ingest queue (new
+    /// submissions fail with [`SubmitError::ShutDown`]), opens the worker
+    /// gate, lets every worker decode or expire what was accepted, joins
+    /// them, and returns the final per-shard statistics. On return, every
+    /// accepted frame's handle is resolved.
+    pub fn shutdown(mut self) -> Vec<ShardStats> {
+        self.finish();
+        self.stats()
+    }
+}
+
+impl<D> DecodeService<D> {
+    // Bound-free so `Drop` (no `D` bounds) can share it with `shutdown`.
+    fn finish(&mut self) {
+        for shard in self.shards.values() {
+            shard.queue.close();
+        }
+        // Open the gate *after* closing the queues so paused services drain
+        // exactly the accepted set.
+        self.gate.open();
+        for (code, shard) in &mut self.shards {
+            let Some(worker) = shard.worker.take() else {
+                continue;
+            };
+            if worker.join().is_err() {
+                // A panicked worker already resolved its in-hand frames as
+                // `Abandoned` through the completion-on-drop guards while
+                // unwinding; resolve whatever it left on the queue the same
+                // way so no accepted frame dangles, and report instead of
+                // panicking (this also runs from Drop).
+                let mut abandoned = 0u64;
+                while let Some(frame) = shard.queue.pop_blocking() {
+                    drop(frame);
+                    abandoned += 1;
+                }
+                shard
+                    .counters
+                    .failed
+                    .fetch_add(abandoned, Ordering::Relaxed);
+                eprintln!(
+                    "ldpc-serve: shard worker for {code} panicked; \
+                     {abandoned} queued frames abandoned"
+                );
+            }
+        }
+    }
+}
+
+impl<D> Drop for DecodeService<D> {
+    fn drop(&mut self) {
+        // After `shutdown` this is a no-op (workers already joined); a plain
+        // drop performs the same drain so accepted frames never dangle.
+        self.finish();
+    }
+}
+
+/// One shard's serving loop: pop, coalesce, expire, decode, complete.
+fn run_worker<D>(
+    decoder: &D,
+    compiled: &CompiledCode,
+    queue: &FrameQueue,
+    gate: &Gate,
+    counters: &ShardCounters,
+    config: ServiceConfig,
+) where
+    D: Decoder + Sync,
+{
+    let n = compiled.n();
+    let mut pending: Vec<PendingFrame> = Vec::with_capacity(config.max_batch);
+    let mut live: Vec<PendingFrame> = Vec::with_capacity(config.max_batch);
+    let mut llr_buf: Vec<f64> = Vec::with_capacity(config.max_batch * n);
+    let mut outputs: Vec<DecodeOutput> = Vec::new();
+    loop {
+        gate.wait_open();
+        let Some(first) = queue.pop_blocking() else {
+            // Closed and fully drained: every accepted frame was completed.
+            break;
+        };
+        pending.push(first);
+        queue.drain_into(&mut pending, config.max_batch - 1);
+
+        // Expire overdue frames now instead of decoding them; the deadline
+        // check is per coalesced batch, at the moment the worker takes it.
+        let now = Instant::now();
+        llr_buf.clear();
+        live.clear();
+        for frame in pending.drain(..) {
+            if frame.deadline.is_some_and(|deadline| deadline <= now) {
+                counters.expired.fetch_add(1, Ordering::Relaxed);
+                frame.complete(DecodeOutcome::Expired);
+            } else {
+                llr_buf.extend_from_slice(&frame.llrs);
+                live.push(frame);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .max_coalesced
+            .fetch_max(live.len() as u64, Ordering::Relaxed);
+        outputs.resize_with(live.len(), DecodeOutput::empty);
+        let batch = LlrBatch::new(&llr_buf, n).expect("coalesced buffer holds whole frames");
+        match decoder.decode_batch_into_threads(
+            compiled,
+            batch,
+            &mut outputs,
+            config.decode_threads,
+        ) {
+            Ok(()) => {
+                for (frame, out) in live.drain(..).zip(outputs.iter_mut()) {
+                    let out = std::mem::replace(out, DecodeOutput::empty());
+                    counters.decoded.fetch_add(1, Ordering::Relaxed);
+                    frame.complete(DecodeOutcome::Decoded(out));
+                }
+            }
+            Err(e) => {
+                for frame in live.drain(..) {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    frame.complete(DecodeOutcome::Failed(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_codes::{CodeRate, Standard};
+    use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
+    use ldpc_core::FloatBpArithmetic;
+
+    fn wimax576() -> CodeId {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+    }
+
+    fn decoder() -> LayeredDecoder<FloatBpArithmetic> {
+        LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn builder_validates_registration() {
+        let err = DecodeService::builder(decoder()).build().unwrap_err();
+        assert_eq!(err, ServeError::NoCodes);
+
+        let unsupported = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 100);
+        let err = DecodeService::builder(decoder())
+            .register(unsupported)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Code(_)));
+
+        let err = DecodeService::builder(decoder())
+            .register(wimax576())
+            .unwrap()
+            .register(wimax576())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DuplicateCode { .. }));
+    }
+
+    #[test]
+    fn config_is_normalized_to_sane_minimums() {
+        let service = DecodeService::builder(decoder())
+            .queue_capacity(0)
+            .max_batch(0)
+            .decode_threads(0)
+            .register(wimax576())
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(
+            *service.config(),
+            ServiceConfig {
+                queue_capacity: 1,
+                max_batch: 1,
+                decode_threads: 1,
+            }
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn submission_is_validated_before_queueing() {
+        let service = DecodeService::builder(decoder())
+            .register(wimax576())
+            .unwrap()
+            .build()
+            .unwrap();
+        let unknown = CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648);
+        assert!(matches!(
+            service.submit(unknown, vec![1.0; 648]),
+            Err(SubmitError::UnknownCode { .. })
+        ));
+        assert!(matches!(
+            service.submit(wimax576(), vec![1.0; 100]),
+            Err(SubmitError::FrameLength {
+                expected: 576,
+                actual: 100,
+                ..
+            })
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats[0].accepted, 0, "invalid frames were never accepted");
+    }
+
+    #[test]
+    fn clean_frames_decode_and_stats_add_up() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let handles: Vec<_> = (0..6)
+            .map(|_| service.submit(code, vec![7.5; code.n]).unwrap())
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.code(), code);
+            let out = handle.wait().into_output().expect("decoded");
+            assert!(out.parity_satisfied);
+            assert!(out.hard_bits.iter().all(|&b| b == 0));
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].decoded, 6);
+        assert_eq!(stats[0].accepted, 6);
+        assert_eq!(stats[0].in_flight(), 0);
+        assert!(stats[0].batches >= 1);
+        assert!(stats[0].pool_workspaces_created >= 1);
+    }
+
+    #[test]
+    fn closed_intake_refuses_new_frames_but_drains_accepted_ones() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let accepted = service.submit(code, vec![6.0; code.n]).unwrap();
+        service.close_intake();
+        let err = service.submit(code, vec![6.0; code.n]).unwrap_err();
+        let llrs = match err {
+            SubmitError::ShutDown { llrs } => llrs,
+            other => panic!("expected ShutDown, got {other:?}"),
+        };
+        assert_eq!(llrs.len(), code.n, "frame handed back intact");
+        assert!(matches!(
+            service.try_submit(code, llrs),
+            Err(SubmitError::ShutDown { .. })
+        ));
+        service.resume();
+        assert!(accepted.wait().is_decoded());
+        let stats = service.shutdown();
+        assert_eq!(stats[0].accepted, 1);
+        assert_eq!(stats[0].decoded, 1);
+    }
+
+    #[test]
+    fn paused_service_queues_without_decoding_until_resume() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let handle = service.submit(code, vec![6.0; code.n]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!handle.is_complete(), "paused worker must not decode");
+        assert_eq!(service.shard_stats(code).unwrap().queue_depth, 1);
+        service.resume();
+        assert!(handle.wait().is_decoded());
+        service.shutdown();
+    }
+
+    #[test]
+    fn paused_service_exposes_deterministic_backpressure() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .queue_capacity(2)
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let h1 = service.try_submit(code, vec![6.0; code.n]).unwrap();
+        let h2 = service.try_submit(code, vec![6.0; code.n]).unwrap();
+        let err = service.try_submit(code, vec![6.0; code.n]).unwrap_err();
+        let llrs = match err {
+            SubmitError::QueueFull { llrs } => llrs,
+            other => panic!("expected QueueFull, got {other:?}"),
+        };
+        assert_eq!(llrs.len(), code.n, "frame handed back for retry");
+        let stats = service.shard_stats(code).unwrap();
+        assert_eq!(stats.rejected_full, 1);
+        assert_eq!(stats.accepted, 2);
+        service.resume();
+        assert!(h1.wait().is_decoded());
+        assert!(h2.wait().is_decoded());
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_completes_every_accepted_frame_even_when_paused() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let handles: Vec<_> = (0..5)
+            .map(|_| service.submit(code, vec![6.5; code.n]).unwrap())
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats[0].decoded, 5, "drain decodes everything accepted");
+        for handle in handles {
+            assert!(handle.wait().is_decoded());
+        }
+    }
+
+    #[test]
+    fn dropping_the_service_also_drains() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let handle = service.submit(code, vec![6.0; code.n]).unwrap();
+        drop(service);
+        assert!(handle.wait().is_decoded(), "drop drains like shutdown");
+    }
+
+    #[test]
+    fn expired_frames_skip_the_decoder() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let expired = service
+            .submit_with_deadline(code, vec![6.0; code.n], past)
+            .unwrap();
+        let future = Instant::now() + std::time::Duration::from_secs(3600);
+        let fresh = service
+            .try_submit_with_deadline(code, vec![6.0; code.n], future)
+            .unwrap();
+        service.resume();
+        assert_eq!(expired.wait(), DecodeOutcome::Expired);
+        assert!(fresh.wait().is_decoded());
+        let stats = service.shutdown();
+        assert_eq!(stats[0].expired, 1);
+        assert_eq!(stats[0].decoded, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-shard serving counters and their public snapshot form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ldpc_codes::CodeId;
+
+/// Live counters one shard's submit paths and worker update. Reads are
+/// relaxed snapshots — consistent enough for monitoring and for quiescent
+/// assertions (after `shutdown`, all counters are final).
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    /// Frames accepted into the ingest queue.
+    pub accepted: AtomicU64,
+    /// `try_submit` refusals due to a full queue (backpressure events).
+    pub rejected_full: AtomicU64,
+    /// Frames decoded and completed with an output.
+    pub decoded: AtomicU64,
+    /// Frames completed as expired (deadline passed before decoding).
+    pub expired: AtomicU64,
+    /// Frames completed with a decode-engine error.
+    pub failed: AtomicU64,
+    /// Coalesced `decode_batch` calls issued.
+    pub batches: AtomicU64,
+    /// Largest number of frames coalesced into one batch.
+    pub max_coalesced: AtomicU64,
+}
+
+impl ShardCounters {
+    pub(crate) fn snapshot(
+        &self,
+        code: CodeId,
+        queue_depth: usize,
+        pool_workspaces_created: usize,
+    ) -> ShardStats {
+        ShardStats {
+            code,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            decoded: self.decoded.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_coalesced: self.max_coalesced.load(Ordering::Relaxed),
+            queue_depth,
+            pool_workspaces_created,
+        }
+    }
+}
+
+/// Snapshot of one shard's serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShardStats {
+    /// The mode this shard serves.
+    pub code: CodeId,
+    /// Frames accepted into the ingest queue.
+    pub accepted: u64,
+    /// `try_submit` refusals due to a full queue (backpressure events).
+    pub rejected_full: u64,
+    /// Frames decoded and completed with an output.
+    pub decoded: u64,
+    /// Frames completed as expired (deadline passed before decoding).
+    pub expired: u64,
+    /// Frames completed with a decode-engine error.
+    pub failed: u64,
+    /// Coalesced `decode_batch` calls the shard worker issued.
+    pub batches: u64,
+    /// Largest number of frames coalesced into one batch.
+    pub max_coalesced: u64,
+    /// Frames queued but not yet pulled by the worker at snapshot time.
+    pub queue_depth: usize,
+    /// Workspaces ever built by the decoder's workspace pool. The pool is
+    /// shared by all shards of one service (shelves are keyed per mode), so
+    /// this value is service-global; it being stable across snapshots is the
+    /// observable form of "steady-state serving allocates no decoder state".
+    pub pool_workspaces_created: usize,
+}
+
+impl ShardStats {
+    /// Frames resolved so far (decoded + expired + failed).
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.decoded + self.expired + self.failed
+    }
+
+    /// Accepted frames not yet resolved. Saturating: the counters are
+    /// relaxed-atomic snapshots, so a racing reader could otherwise observe
+    /// a completion fractionally ahead of another shard event.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.accepted.saturating_sub(self.completed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_codes::{CodeRate, Standard};
+
+    #[test]
+    fn snapshot_carries_all_counters() {
+        let counters = ShardCounters::default();
+        counters.accepted.store(10, Ordering::Relaxed);
+        counters.decoded.store(6, Ordering::Relaxed);
+        counters.expired.store(2, Ordering::Relaxed);
+        counters.failed.store(1, Ordering::Relaxed);
+        counters.rejected_full.store(3, Ordering::Relaxed);
+        counters.batches.store(4, Ordering::Relaxed);
+        counters.max_coalesced.store(5, Ordering::Relaxed);
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let stats = counters.snapshot(code, 1, 2);
+        assert_eq!(stats.code, code);
+        assert_eq!(stats.completed(), 9);
+        assert_eq!(stats.in_flight(), 1);
+        assert_eq!(stats.rejected_full, 3);
+        assert_eq!(stats.batches, 4);
+        assert_eq!(stats.max_coalesced, 5);
+        assert_eq!(stats.queue_depth, 1);
+        assert_eq!(stats.pool_workspaces_created, 2);
+    }
+}
