@@ -169,6 +169,37 @@ fn bench_lane_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hottest gather of the fixed-point decode profile: the 3-bit
+/// [`CorrectionLut`] lookup feeding every ⊞/⊟ (two lookups per operator).
+/// `…_scalar` is the branchy per-element `lookup` loop the kernels used to
+/// run (region branch + division per element); `…_lane` is the branch-free
+/// clamped-index `lookup_slice` the hand-tuned kernels gather through now.
+/// One panel of `z·d = 672` magnitudes, the shape one layer update feeds it.
+fn bench_lut_gather(c: &mut Criterion) {
+    use ldpc_core::CorrectionLut;
+    let mut group = c.benchmark_group("lut_gather_z96_d7");
+    let fx = FixedBpArithmetic::default();
+    let magnitudes: Vec<i32> = (0..96 * 7).map(|i| (i * 37) % 128).collect();
+    for (name, lut) in [("plus", fx.lut_plus()), ("minus", fx.lut_minus())] {
+        group.bench_function(format!("{name}_scalar"), |b| {
+            let mut out = vec![0i32; magnitudes.len()];
+            b.iter(|| {
+                for (o, &x) in out.iter_mut().zip(black_box(&magnitudes)) {
+                    *o = lut.lookup(x);
+                }
+            })
+        });
+        group.bench_function(format!("{name}_lane"), |b| {
+            let mut out = vec![0i32; magnitudes.len()];
+            b.iter(|| {
+                let lut: &CorrectionLut = lut;
+                lut.lookup_slice(black_box(&magnitudes), &mut out);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_siso_rows(c: &mut Criterion) {
     let mut group = c.benchmark_group("siso_row_degree20");
     let arith = FixedBpArithmetic::default();
@@ -183,6 +214,6 @@ fn bench_siso_rows(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_operators, bench_check_node_updates, bench_lane_kernels, bench_siso_rows
+    targets = bench_operators, bench_check_node_updates, bench_lane_kernels, bench_lut_gather, bench_siso_rows
 }
 criterion_main!(benches);

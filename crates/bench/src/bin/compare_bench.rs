@@ -15,6 +15,19 @@
 //!    the lane mean must not exceed `margin ×` the scalar mean (default 1.2,
 //!    absorbing timer noise; the recorded baselines show the lane kernels
 //!    1.3–3× faster).
+//! 3. **Multiframe-vs-lane invariant** (`--require-multiframe-not-slower
+//!    [margin]`): the same same-run check for `…_multiframe` ids against
+//!    their `…_lane` counterparts (the frame-major engine must never lose to
+//!    the single-frame lane path).
+//! 4. **Multiframe speedup gate** (`--require-multiframe-speedup [factor]`,
+//!    two-file mode, replaces the baseline diff): every
+//!    `decoder_multiframe/X_multiframe/N` id of the new file must be at
+//!    least `factor ×` (default 1.25) faster than the recorded
+//!    `decoder_lane_vs_scalar/X_lane/N` baseline — invoked in CI on the two
+//!    *committed* files (`BENCH_batch.json` vs `BENCH_multiframe.json`),
+//!    which were recorded on the same container, so the comparison is
+//!    same-machine and nobody can regress the recorded engine baseline
+//!    without re-measuring.
 //!
 //! Exits non-zero with a per-benchmark report on any violation. The parser
 //! handles exactly the shim's one-measurement-per-line format — this tool
@@ -79,17 +92,19 @@ fn check_against_baseline(baseline: &[Bench], new: &[Bench], tolerance: f64) -> 
     violations
 }
 
-/// The `_scalar` counterpart of a lane benchmark id, pairing on the
-/// `/`-separated id segment that *ends* with `_lane` (so a group name like
-/// `decoder_lane_vs_scalar` neither matches nor gets mangled).
-fn lane_counterpart(id: &str) -> Option<String> {
+/// The counterpart of a benchmark id under a suffix rename, pairing on the
+/// first *function* segment (everything after the leading group segment)
+/// that ends with `from` — so group names like `decoder_lane_vs_scalar` or
+/// `decoder_multiframe` neither match nor get mangled.
+fn suffix_counterpart(id: &str, from: &str, to: &str) -> Option<String> {
     let mut replaced = false;
     let segments: Vec<String> = id
         .split('/')
-        .map(|seg| match seg.strip_suffix("_lane") {
-            Some(stem) if !replaced => {
+        .enumerate()
+        .map(|(i, seg)| match seg.strip_suffix(from) {
+            Some(stem) if i > 0 && !replaced => {
                 replaced = true;
-                format!("{stem}_scalar")
+                format!("{stem}{to}")
             }
             _ => seg.to_string(),
         })
@@ -97,26 +112,59 @@ fn lane_counterpart(id: &str) -> Option<String> {
     replaced.then(|| segments.join("/"))
 }
 
-/// Check 2: every `…_lane` benchmark at most `margin ×` its `…_scalar`
+/// Check 2: every `…{from}` benchmark at most `margin ×` its `…{to}`
 /// counterpart, within one run.
-fn check_lane_not_slower(benches: &[Bench], margin: f64) -> Vec<String> {
+fn check_pair_not_slower(benches: &[Bench], from: &str, to: &str, margin: f64) -> Vec<String> {
     let mut violations = Vec::new();
     let mut pairs = 0usize;
-    for lane in benches {
-        let Some(scalar_id) = lane_counterpart(&lane.id) else {
+    for bench in benches {
+        let Some(counterpart_id) = suffix_counterpart(&bench.id, from, to) else {
             continue;
         };
-        match mean_of(benches, &scalar_id) {
-            None => violations.push(format!("{}: no scalar counterpart {scalar_id}", lane.id)),
-            Some(s) if lane.mean_s > margin * s.mean_s => violations.push(format!(
-                "{}: lane {:.3e}s vs scalar {:.3e}s (> {margin}x)",
-                lane.id, lane.mean_s, s.mean_s
+        match mean_of(benches, &counterpart_id) {
+            None => violations.push(format!("{}: no counterpart {counterpart_id}", bench.id)),
+            Some(s) if bench.mean_s > margin * s.mean_s => violations.push(format!(
+                "{}: {:.3e}s vs {to} {:.3e}s (> {margin}x)",
+                bench.id, bench.mean_s, s.mean_s
             )),
             Some(_) => pairs += 1,
         }
     }
     if pairs == 0 && violations.is_empty() {
-        violations.push("no lane/scalar pairs found — wrong input file?".to_string());
+        violations.push(format!("no {from}/{to} pairs found — wrong input file?"));
+    }
+    violations
+}
+
+/// Check 3 (two-file mode): every `…_multiframe` id of the multi-frame run
+/// must be at least `factor ×` faster than the PR 2 lane baseline it
+/// supersedes — `decoder_multiframe/X_multiframe/N` is compared against
+/// `decoder_lane_vs_scalar/X_lane/N` of the baseline file (the recorded
+/// `BENCH_batch.json`). Multi-frame ids whose back-end has no recorded lane
+/// baseline (e.g. the fwd/bwd mode, which `decoder_lane_vs_scalar` never
+/// measured) are skipped; at least one gated pair is required.
+fn check_multiframe_speedup(baseline: &[Bench], new: &[Bench], factor: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut pairs = 0usize;
+    for bench in new {
+        let Some(lane_id) = suffix_counterpart(&bench.id, "_multiframe", "_lane") else {
+            continue;
+        };
+        let lane_id = lane_id.replacen("decoder_multiframe/", "decoder_lane_vs_scalar/", 1);
+        let Some(base) = mean_of(baseline, &lane_id) else {
+            continue;
+        };
+        if bench.mean_s * factor > base.mean_s {
+            violations.push(format!(
+                "{}: {:.3e}s is not {factor}x faster than lane baseline {} ({:.3e}s)",
+                bench.id, bench.mean_s, base.id, base.mean_s
+            ));
+        } else {
+            pairs += 1;
+        }
+    }
+    if pairs == 0 && violations.is_empty() {
+        violations.push("no multiframe/lane-baseline pairs found — wrong input files?".to_string());
     }
     violations
 }
@@ -130,10 +178,23 @@ fn read_benches(path: &str) -> Result<Vec<Bench>, String> {
     Ok(benches)
 }
 
+/// Reads an optional trailing numeric value of a flag, falling back to
+/// `default`.
+fn flag_value(it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>, default: f64) -> f64 {
+    it.peek()
+        .and_then(|v| v.parse::<f64>().ok())
+        .inspect(|_| {
+            it.next();
+        })
+        .unwrap_or(default)
+}
+
 fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut files = Vec::new();
     let mut tolerance = 4.0f64;
     let mut lane_margin: Option<f64> = None;
+    let mut multiframe_margin: Option<f64> = None;
+    let mut speedup_factor: Option<f64> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -144,14 +205,16 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                     .ok_or("--tolerance needs a number")?;
             }
             "--require-lane-not-slower" => {
-                let margin = it
-                    .peek()
-                    .and_then(|v| v.parse::<f64>().ok())
-                    .inspect(|_| {
-                        it.next();
-                    })
-                    .unwrap_or(1.2);
-                lane_margin = Some(margin);
+                lane_margin = Some(flag_value(&mut it, 1.2));
+            }
+            "--require-multiframe-not-slower" => {
+                multiframe_margin = Some(flag_value(&mut it, 1.2));
+            }
+            // Two-file mode against the recorded BENCH_batch.json lane
+            // baselines; replaces the baseline-presence diff (the two files
+            // intentionally hold different benchmark sets).
+            "--require-multiframe-speedup" => {
+                speedup_factor = Some(flag_value(&mut it, 1.25));
             }
             _ => files.push(arg.clone()),
         }
@@ -161,20 +224,47 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     match files.as_slice() {
         [single] => {
             let benches = read_benches(single)?;
-            let margin = lane_margin.ok_or(
-                "single-file mode needs --require-lane-not-slower (two files for a baseline diff)",
-            )?;
-            violations.extend(check_lane_not_slower(&benches, margin));
+            if lane_margin.is_none() && multiframe_margin.is_none() {
+                return Err(
+                    "single-file mode needs a same-run check flag (two files for a baseline diff)"
+                        .to_string(),
+                );
+            }
+            if let Some(margin) = lane_margin {
+                violations.extend(check_pair_not_slower(&benches, "_lane", "_scalar", margin));
+            }
+            if let Some(margin) = multiframe_margin {
+                violations.extend(check_pair_not_slower(
+                    &benches,
+                    "_multiframe",
+                    "_lane",
+                    margin,
+                ));
+            }
         }
         [baseline, new] => {
             let baseline = read_benches(baseline)?;
             let new = read_benches(new)?;
-            violations.extend(check_against_baseline(&baseline, &new, tolerance));
+            if let Some(factor) = speedup_factor {
+                violations.extend(check_multiframe_speedup(&baseline, &new, factor));
+            } else {
+                violations.extend(check_against_baseline(&baseline, &new, tolerance));
+            }
             if let Some(margin) = lane_margin {
-                violations.extend(check_lane_not_slower(&new, margin));
+                violations.extend(check_pair_not_slower(&new, "_lane", "_scalar", margin));
+            }
+            if let Some(margin) = multiframe_margin {
+                violations.extend(check_pair_not_slower(&new, "_multiframe", "_lane", margin));
             }
         }
-        _ => return Err("usage: compare_bench [baseline.json] new.json [--tolerance F] [--require-lane-not-slower [M]]".to_string()),
+        _ => {
+            return Err(
+                "usage: compare_bench [baseline.json] new.json [--tolerance F] \
+                         [--require-lane-not-slower [M]] [--require-multiframe-not-slower [M]] \
+                         [--require-multiframe-speedup [F]]"
+                    .to_string(),
+            )
+        }
     }
     Ok(violations)
 }
@@ -236,32 +326,103 @@ mod tests {
     }
 
     #[test]
-    fn lane_counterpart_pairs_on_segment_suffix_only() {
+    fn suffix_counterpart_pairs_on_segment_suffix_only() {
         assert_eq!(
-            lane_counterpart("g/fixed_bp_lane/8").as_deref(),
+            suffix_counterpart("g/fixed_bp_lane/8", "_lane", "_scalar").as_deref(),
             Some("g/fixed_bp_scalar/8")
         );
         assert_eq!(
-            lane_counterpart("lane_check_node_z96_d7/fixed_min_sum_lane").as_deref(),
+            suffix_counterpart(
+                "lane_check_node_z96_d7/fixed_min_sum_lane",
+                "_lane",
+                "_scalar"
+            )
+            .as_deref(),
             Some("lane_check_node_z96_d7/fixed_min_sum_scalar")
         );
         // Ids whose *group* merely mentions lanes are not lane benchmarks.
         assert_eq!(
-            lane_counterpart("decoder_lane_vs_scalar/fixed_bp_scalar/1"),
+            suffix_counterpart(
+                "decoder_lane_vs_scalar/fixed_bp_scalar/1",
+                "_lane",
+                "_scalar"
+            ),
             None
         );
-        assert_eq!(lane_counterpart("lane_check_node_z96_d7/radix2"), None);
+        assert_eq!(
+            suffix_counterpart("lane_check_node_z96_d7/radix2", "_lane", "_scalar"),
+            None
+        );
+        assert_eq!(
+            suffix_counterpart(
+                "decoder_multiframe/fixed_bp_multiframe/8",
+                "_multiframe",
+                "_lane"
+            )
+            .as_deref(),
+            Some("decoder_multiframe/fixed_bp_lane/8")
+        );
     }
 
     #[test]
     fn lane_check_flags_slower_lanes_and_empty_inputs() {
         let mut benches = parse_benchmarks(SAMPLE);
-        assert!(check_lane_not_slower(&benches, 1.2).is_empty());
+        assert!(check_pair_not_slower(&benches, "_lane", "_scalar", 1.2).is_empty());
         benches[1].mean_s = 0.0025; // lane slower than scalar
-        assert_eq!(check_lane_not_slower(&benches, 1.2).len(), 1);
+        assert_eq!(
+            check_pair_not_slower(&benches, "_lane", "_scalar", 1.2).len(),
+            1
+        );
         // No pairs at all is itself a violation (guards against gating an
         // empty or mis-named file).
-        assert_eq!(check_lane_not_slower(&benches[..1], 1.2).len(), 1);
+        assert_eq!(
+            check_pair_not_slower(&benches[..1], "_lane", "_scalar", 1.2).len(),
+            1
+        );
+    }
+
+    const MULTIFRAME_SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"id": "decoder_multiframe/fixed_bp_lane/8", "min_s": 0.003, "mean_s": 0.003500000, "max_s": 0.004, "iters_per_sample": 4, "samples": 15},
+    {"id": "decoder_multiframe/fixed_bp_multiframe/8", "min_s": 0.002, "mean_s": 0.002500000, "max_s": 0.003, "iters_per_sample": 4, "samples": 15},
+    {"id": "decoder_multiframe/fixed_bp_fwd_bwd_lane/8", "min_s": 0.004, "mean_s": 0.004200000, "max_s": 0.005, "iters_per_sample": 4, "samples": 15},
+    {"id": "decoder_multiframe/fixed_bp_fwd_bwd_multiframe/8", "min_s": 0.003, "mean_s": 0.003600000, "max_s": 0.004, "iters_per_sample": 4, "samples": 15}
+  ]
+}"#;
+
+    const BATCH_BASELINE_SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"id": "decoder_lane_vs_scalar/fixed_bp_lane/8", "min_s": 0.011, "mean_s": 0.011900000, "max_s": 0.013, "iters_per_sample": 4, "samples": 15}
+  ]
+}"#;
+
+    #[test]
+    fn multiframe_same_run_check_pairs_with_lane() {
+        let mut benches = parse_benchmarks(MULTIFRAME_SAMPLE);
+        assert!(check_pair_not_slower(&benches, "_multiframe", "_lane", 1.2).is_empty());
+        benches[1].mean_s = 0.0045; // multiframe slower than same-run lane
+        assert_eq!(
+            check_pair_not_slower(&benches, "_multiframe", "_lane", 1.2).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn multiframe_speedup_gates_against_recorded_lane_baseline() {
+        let baseline = parse_benchmarks(BATCH_BASELINE_SAMPLE);
+        let mut new = parse_benchmarks(MULTIFRAME_SAMPLE);
+        // 2.5 ms vs 11.9 ms baseline: 4.76x — passes the 1.25x gate. The
+        // fwd/bwd ids have no recorded lane baseline and are skipped.
+        assert!(check_multiframe_speedup(&baseline, &new, 1.25).is_empty());
+        new[1].mean_s = 0.010; // only 1.19x faster than the baseline
+        let v = check_multiframe_speedup(&baseline, &new, 1.25);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("fixed_bp_multiframe"));
+        // No gateable pairs at all is a violation.
+        assert_eq!(
+            check_multiframe_speedup(&baseline[..0], &new, 1.25).len(),
+            1
+        );
     }
 
     #[test]

@@ -102,6 +102,45 @@ impl LlrQuantizer {
     pub fn quantize_all(&self, llrs: &[f64]) -> Vec<f64> {
         llrs.iter().map(|&l| self.quantize(l)).collect()
     }
+
+    /// Normalises one frame of raw channel LLRs into the representable range
+    /// and quantises it in place, returning the applied gain.
+    ///
+    /// Raw LLRs (`2y/σ²`) grow without bound as the SNR improves; fed
+    /// straight into an 8-bit fixed-point decoder they *all* clip to the
+    /// saturation code, which erases the relative reliability ordering
+    /// between strong and weak bits — exactly the information belief
+    /// propagation feeds on. This is the software analogue of the receiver's
+    /// automatic gain control: when the frame's peak magnitude exceeds
+    /// [`LlrQuantizer::max_value`], every LLR is scaled by
+    /// `max_value / peak` (one common gain per frame, so the ordering and all
+    /// relative magnitudes survive); frames already in range pass through
+    /// with gain 1. The result is then rounded to representable values, so
+    /// downstream fixed-point conversion is exact — except that non-zero
+    /// inputs which would round to zero are rounded *away* from zero to
+    /// ±1 LSB instead: collapsing a weak LLR to `+0.0` would erase its sign
+    /// (the one bit of prior information it carries), which the fixed-point
+    /// decoders' sign-magnitude datapaths go out of their way to preserve.
+    pub fn normalize_in_place(&self, llrs: &mut [f64]) -> f64 {
+        let peak = llrs.iter().fold(0.0f64, |m, &l| m.max(l.abs()));
+        let gain = if peak > self.max_value() {
+            self.max_value() / peak
+        } else {
+            1.0
+        };
+        for l in llrs.iter_mut() {
+            let scaled = *l * gain;
+            let q = self.quantize(scaled);
+            // (NaN is excluded explicitly: `NaN != 0.0` is true, but NaN
+            // carries no sign worth preserving and must stay 0.)
+            *l = if q == 0.0 && scaled != 0.0 && !scaled.is_nan() {
+                self.step().copysign(scaled)
+            } else {
+                q
+            };
+        }
+        gain
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +206,62 @@ mod tests {
             assert_eq!(*c, q.quantize_to_code(*x));
             assert!((v - q.quantize(*x)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn normalize_scales_saturating_frames_and_preserves_ordering() {
+        let q = LlrQuantizer::default();
+        // High-SNR frame: strong bits at ±300, one weak (wrong-sign) bit at
+        // -40 — raw quantisation would clip both to ±31.75 and erase the
+        // reliability gap.
+        let mut llrs = vec![300.0, -300.0, -40.0, 150.0];
+        let gain = q.normalize_in_place(&mut llrs);
+        assert!((gain - q.max_value() / 300.0).abs() < 1e-12);
+        assert!((llrs[0] - q.max_value()).abs() < 1e-12, "peak maps to max");
+        assert!((llrs[1] + q.max_value()).abs() < 1e-12);
+        assert!(
+            llrs[2].abs() < llrs[3].abs() && llrs[3].abs() < llrs[0].abs(),
+            "relative ordering survives: {llrs:?}"
+        );
+        // The weak bit stays clearly below saturation.
+        assert!(llrs[2].abs() < 0.5 * q.max_value());
+        // Every value is exactly representable.
+        for &l in &llrs {
+            assert_eq!(q.quantize(l), l);
+        }
+    }
+
+    #[test]
+    fn normalize_never_erases_the_sign_of_weak_llrs() {
+        // A weak LLR rounding to zero must keep its sign as ±1 LSB: the
+        // fixed-point decoders remap the zero code by the *sign of the f64*
+        // they receive, and `-0.1 → +0.0` would hard-flip the bit's prior.
+        let q = LlrQuantizer::default();
+        let mut llrs = vec![-0.1, 0.1, 0.0, -300.0, 0.002];
+        q.normalize_in_place(&mut llrs);
+        assert_eq!(llrs[0], -q.step(), "weak negative keeps its sign");
+        assert_eq!(llrs[1], q.step());
+        assert_eq!(llrs[2], 0.0, "exact zero stays zero");
+        assert_eq!(llrs[3], -q.max_value());
+        // Scaled-to-tiny values (0.002 · gain) also keep their sign.
+        assert_eq!(llrs[4], q.step());
+        let mut nan = vec![f64::NAN, 40.0];
+        q.normalize_in_place(&mut nan);
+        assert_eq!(nan[0], 0.0, "NaN maps to zero, not ±1 LSB");
+    }
+
+    #[test]
+    fn normalize_passes_in_range_frames_through() {
+        let q = LlrQuantizer::default();
+        let mut llrs = vec![3.25, -0.5, 7.75, -31.75];
+        let original = llrs.clone();
+        let gain = q.normalize_in_place(&mut llrs);
+        assert_eq!(gain, 1.0);
+        assert_eq!(llrs, original, "representable in-range values unchanged");
+        // In-range but unrepresentable values are rounded, not scaled.
+        let mut odd = vec![1.13, -2.06];
+        assert_eq!(q.normalize_in_place(&mut odd), 1.0);
+        assert_eq!(odd, vec![1.25, -2.0]);
     }
 
     #[test]

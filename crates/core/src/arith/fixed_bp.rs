@@ -245,16 +245,157 @@ impl DecoderArithmetic for FixedBpArithmetic {
     }
 }
 
+/// Pass 1 of the branch-free ⊞/⊟ lane decomposition: per lane, the minimum,
+/// the format-saturated sum and the absolute difference of the two input
+/// magnitudes. Straight-line `abs`/`min` arithmetic, no branches.
+///
+/// Inputs must be in-range message codes (`|x| ≤ max_code`), which the
+/// decoder guarantees: λ is saturated to the message format and every ⊞/⊟
+/// output is clamped back into it — so `aa + ab` cannot overflow and the sum
+/// saturation reduces to a `min`.
+fn magnitude_split(
+    max_code: i32,
+    a: &[i32],
+    b: &[i32],
+    mins: &mut [i32],
+    sums: &mut [i32],
+    diffs: &mut [i32],
+) {
+    for ((((&a, &b), mn), sm), df) in a
+        .iter()
+        .zip(b)
+        .zip(mins.iter_mut())
+        .zip(sums.iter_mut())
+        .zip(diffs.iter_mut())
+    {
+        let (aa, ab) = (a.abs(), b.abs());
+        *mn = aa.min(ab);
+        *sm = (aa + ab).min(max_code);
+        *df = (aa - ab).abs();
+    }
+}
+
+/// Pass 3 of the branch-free ⊞: combines the min lane with the LUT-corrected
+/// sum/diff lanes into `out = a ⊞ b`, bit-identical to
+/// [`FixedBpArithmetic::boxplus_codes`]. The sign is applied by multiplying
+/// with `((a ^ b) >> 31) | 1` (±1), so there is no per-element branch.
+fn combine_plus(
+    max_code: i32,
+    a: &[i32],
+    b: &[i32],
+    mins: &[i32],
+    corr_sums: &[i32],
+    corr_diffs: &[i32],
+    out: &mut [i32],
+) {
+    for (((((&a, &b), &mn), &cs), &cd), o) in a
+        .iter()
+        .zip(b)
+        .zip(mins)
+        .zip(corr_sums)
+        .zip(corr_diffs)
+        .zip(out.iter_mut())
+    {
+        let magnitude = (mn + cs - cd).clamp(1, max_code);
+        *o = (((a ^ b) >> 31) | 1) * magnitude;
+    }
+}
+
+/// In-place variant of [`combine_plus`] for the running ⊞ accumulator:
+/// `acc = acc ⊞ b` (the sign still reads the pre-update `acc`).
+fn combine_plus_assign(
+    max_code: i32,
+    acc: &mut [i32],
+    b: &[i32],
+    mins: &[i32],
+    corr_sums: &[i32],
+    corr_diffs: &[i32],
+) {
+    for ((((acc, &b), &mn), &cs), &cd) in acc
+        .iter_mut()
+        .zip(b)
+        .zip(mins)
+        .zip(corr_sums)
+        .zip(corr_diffs)
+    {
+        let magnitude = (mn + cs - cd).clamp(1, max_code);
+        *acc = (((*acc ^ b) >> 31) | 1) * magnitude;
+    }
+}
+
+/// Pass 3 of the branch-free ⊟: bit-identical to
+/// [`FixedBpArithmetic::boxminus_codes`] (magnitude floored at 0, not 1).
+fn combine_minus(
+    max_code: i32,
+    a: &[i32],
+    b: &[i32],
+    mins: &[i32],
+    corr_sums: &[i32],
+    corr_diffs: &[i32],
+    out: &mut [i32],
+) {
+    for (((((&a, &b), &mn), &cs), &cd), o) in a
+        .iter()
+        .zip(b)
+        .zip(mins)
+        .zip(corr_sums)
+        .zip(corr_diffs)
+        .zip(out.iter_mut())
+    {
+        let magnitude = (mn - cs + cd).clamp(0, max_code);
+        *o = (((a ^ b) >> 31) | 1) * magnitude;
+    }
+}
+
 /// Hand-written lane kernels for the fixed-point BP datapath.
 ///
 /// Both check-node modes run the *same recursion in the same order* as the
 /// scalar [`DecoderArithmetic::check_node_update`], but with the slot loop
 /// outside and the lane loop inside, so every inner loop is a stride-1 sweep
-/// of `z` independent `i32` codes (one per SISO lane) — the
-/// autovectorisation-friendly shape. Unlike the scalar forward/backward
-/// update, which allocates two transient row buffers per check row, the lane
-/// kernel runs entirely out of the caller's [`LaneScratch`].
+/// of independent `i32` codes (one per SISO lane; the frame-major engine
+/// passes `z · F` lanes per panel). Each ⊞/⊟ step over a panel runs as three
+/// branch-free passes: magnitude decomposition (`magnitude_split`), the
+/// [`CorrectionLut`] gather through the clamped-index
+/// [`CorrectionLut::map_slice`] (no per-element region branch, no division
+/// for practical formats), and the sign/saturate combine (`combine_plus` /
+/// `combine_minus`) — replacing the former per-element
+/// [`FixedBpArithmetic::boxplus_codes`] calls, whose region branches and
+/// divisions dominated the decode profile. The scalar operators remain the
+/// bit-identity reference. Unlike the scalar forward/backward update, which
+/// allocates two transient row buffers per check row, the lane kernel runs
+/// entirely out of the caller's [`LaneScratch`].
 impl LaneKernel for FixedBpArithmetic {
+    fn prefers_frame_groups(&self) -> bool {
+        true
+    }
+
+    /// `λ = L − Λ` over a panel in pure `i32`, with the zero code remapped to
+    /// ±1 LSB in select form. The operands are in-range APP/message codes
+    /// (far below `i32` overflow), so the scalar path's widen-to-`i64`
+    /// saturate reduces to a clamp, and the clamped difference is zero only
+    /// when the exact difference is zero — where the scalar rule falls back
+    /// to the sign of `L`. Branch-free, bit-identical to
+    /// [`DecoderArithmetic::sub`] per element.
+    fn sub_lanes(&self, app: &[i32], lambda: &[i32], out: &mut [i32]) {
+        debug_assert!(app.len() == lambda.len() && lambda.len() == out.len());
+        let (lo, hi) = (self.format.min_code(), self.format.max_code());
+        for ((o, &a), &b) in out.iter_mut().zip(app).zip(lambda) {
+            let r = (a - b).clamp(lo, hi);
+            let zero_remap = (a >> 31) | 1;
+            *o = if r == 0 { zero_remap } else { r };
+        }
+    }
+
+    /// `L = λ + Λ′` over a panel, `i32`-only (clamped to the wider APP
+    /// format).
+    fn add_lanes(&self, lam: &[i32], upd: &[i32], out: &mut [i32]) {
+        debug_assert!(lam.len() == upd.len() && upd.len() == out.len());
+        let (lo, hi) = (self.app_format.min_code(), self.app_format.max_code());
+        for ((o, &a), &b) in out.iter_mut().zip(lam).zip(upd) {
+            *o = (a + b).clamp(lo, hi);
+        }
+    }
+
     fn check_node_update_lanes(
         &self,
         z: usize,
@@ -268,55 +409,61 @@ impl LaneKernel for FixedBpArithmetic {
         if degree == 0 {
             return;
         }
+        let max_code = self.format.max_code();
         match self.mode {
             CheckNodeMode::SumExtract => {
                 // Serial f(·) recursion across slots to form the lane of total
-                // sums S_m — each step a stride-1 ⊞ over the z lanes …
-                let total = scratch.lanes_mut(z, 0);
+                // sums S_m — each step three stride-1 passes over the panel …
+                let buf = scratch.lanes_mut(4 * z, 0);
+                let (total, rest) = buf.split_at_mut(z);
+                let (mins, rest) = rest.split_at_mut(z);
+                let (sums, diffs) = rest.split_at_mut(z);
                 total.copy_from_slice(&lanes_in[..z]);
                 for slot in 1..degree {
                     let inc = &lanes_in[slot * z..(slot + 1) * z];
-                    for (t, &l) in total.iter_mut().zip(inc) {
-                        *t = self.boxplus_codes(*t, l);
-                    }
+                    magnitude_split(max_code, total, inc, mins, sums, diffs);
+                    self.lut_plus.map_slice(sums);
+                    self.lut_plus.map_slice(diffs);
+                    combine_plus_assign(max_code, total, inc, mins, sums, diffs);
                 }
-                // … then stride-1 g(·) extraction of every slot (Eq. 1).
+                // … then the g(·) extraction of every slot (Eq. 1), same
+                // three-pass shape through the ⊟ LUT.
                 for (out, inc) in lanes_out.chunks_exact_mut(z).zip(lanes_in.chunks_exact(z)) {
-                    for ((o, &t), &l) in out.iter_mut().zip(&*total).zip(inc) {
-                        *o = self.boxminus_codes(t, l);
-                    }
+                    magnitude_split(max_code, total, inc, mins, sums, diffs);
+                    self.lut_minus.map_slice(sums);
+                    self.lut_minus.map_slice(diffs);
+                    combine_minus(max_code, total, inc, mins, sums, diffs, out);
                 }
             }
             CheckNodeMode::ForwardBackward => {
                 if degree == 1 {
-                    lanes_out[..z].fill(self.format.max_code());
+                    lanes_out[..z].fill(max_code);
                     return;
                 }
                 // fwd[s] = λ_0 ⊞ … ⊞ λ_s, bwd[s] = λ_s ⊞ … ⊞ λ_{d−1}, both
-                // slot-major in the scratch; every step is stride-1 in lanes.
-                let buf = scratch.lanes_mut(2 * degree * z, 0);
-                let (fwd, bwd) = buf.split_at_mut(degree * z);
+                // slot-major in the scratch; every ⊞ is the three-pass form.
+                let buf = scratch.lanes_mut((2 * degree + 3) * z, 0);
+                let (fwd, rest) = buf.split_at_mut(degree * z);
+                let (bwd, rest) = rest.split_at_mut(degree * z);
+                let (mins, rest) = rest.split_at_mut(z);
+                let (sums, diffs) = rest.split_at_mut(z);
                 fwd[..z].copy_from_slice(&lanes_in[..z]);
                 for slot in 1..degree {
                     let (prev, cur) = fwd[(slot - 1) * z..(slot + 1) * z].split_at_mut(z);
-                    for ((c, &p), &l) in cur
-                        .iter_mut()
-                        .zip(&*prev)
-                        .zip(&lanes_in[slot * z..(slot + 1) * z])
-                    {
-                        *c = self.boxplus_codes(p, l);
-                    }
+                    let inc = &lanes_in[slot * z..(slot + 1) * z];
+                    magnitude_split(max_code, prev, inc, mins, sums, diffs);
+                    self.lut_plus.map_slice(sums);
+                    self.lut_plus.map_slice(diffs);
+                    combine_plus(max_code, prev, inc, mins, sums, diffs, cur);
                 }
                 bwd[(degree - 1) * z..].copy_from_slice(&lanes_in[(degree - 1) * z..]);
                 for slot in (0..degree - 1).rev() {
                     let (cur, next) = bwd[slot * z..(slot + 2) * z].split_at_mut(z);
-                    for ((c, &nx), &l) in cur
-                        .iter_mut()
-                        .zip(&*next)
-                        .zip(&lanes_in[slot * z..(slot + 1) * z])
-                    {
-                        *c = self.boxplus_codes(nx, l);
-                    }
+                    let inc = &lanes_in[slot * z..(slot + 1) * z];
+                    magnitude_split(max_code, next, inc, mins, sums, diffs);
+                    self.lut_plus.map_slice(sums);
+                    self.lut_plus.map_slice(diffs);
+                    combine_plus(max_code, next, inc, mins, sums, diffs, cur);
                 }
                 for (slot, out) in lanes_out.chunks_exact_mut(z).enumerate() {
                     if slot == 0 {
@@ -326,9 +473,10 @@ impl LaneKernel for FixedBpArithmetic {
                     } else {
                         let f = &fwd[(slot - 1) * z..slot * z];
                         let b = &bwd[(slot + 1) * z..(slot + 2) * z];
-                        for ((o, &pf), &nb) in out.iter_mut().zip(f).zip(b) {
-                            *o = self.boxplus_codes(pf, nb);
-                        }
+                        magnitude_split(max_code, f, b, mins, sums, diffs);
+                        self.lut_plus.map_slice(sums);
+                        self.lut_plus.map_slice(diffs);
+                        combine_plus(max_code, f, b, mins, sums, diffs, out);
                     }
                 }
             }

@@ -43,12 +43,14 @@ pub struct LaneScratch<M> {
 
 impl<M: Copy> LaneScratch<M> {
     /// How many `z`-length lanes of scratch the provided kernels may ask for,
-    /// as a multiple of the maximum check-node degree: the forward/backward
-    /// fixed-BP kernel needs `2 · degree` lanes (prefix and suffix ⊞ sums),
-    /// the Min-Sum kernel needs 4 (min1/min2/argmin/parity).
+    /// as a function of the maximum check-node degree: the forward/backward
+    /// fixed-BP kernel needs `2 · degree` lanes (prefix and suffix ⊞ sums)
+    /// plus 3 transient panels for the branch-free ⊞ decomposition
+    /// (min/sum/diff magnitudes feeding the LUT gather); the Min-Sum kernel
+    /// needs 4 (min1/min2/argmin/parity), covered by the same bound.
     #[must_use]
     pub fn lane_factor(max_degree: usize) -> usize {
-        (2 * max_degree).max(4)
+        2 * max_degree + 3
     }
 
     /// An empty scratch; buffers grow on first use.
@@ -112,7 +114,26 @@ fn reserve_to<T>(buf: &mut Vec<T>, capacity: usize) {
 /// where it pays. **Contract:** every override must be bit-identical to its
 /// fallback (the engine's lane path is tested against the row-serial
 /// reference for every back-end).
+///
+/// # Frame-major panels
+///
+/// Nothing in the contract ties the lane count to one code's `z`: every
+/// method is element-wise per lane, so the frame-major multi-frame engine
+/// (see [`crate::group`]) calls the same kernels with `z · F` lanes — the
+/// `z` rows of a layer across `F` interleaved frames, one contiguous panel.
+/// Kernels written against this trait vectorise across both axes for free.
 pub trait LaneKernel: DecoderArithmetic {
+    /// Whether the batch engine should pack frames of this back-end into
+    /// frame-major groups (see
+    /// [`Decoder::decode_group_into`](crate::engine::Decoder::decode_group_into)).
+    /// `true` for back-ends whose vector kernels get faster with wider
+    /// panels (the fixed-point back-ends); the float back-ends use the
+    /// scalar fallback kernels, for which grouping only adds interleaving
+    /// overhead, and stay frame-serial.
+    fn prefers_frame_groups(&self) -> bool {
+        false
+    }
+
     /// Element-wise `λ = L − Λ` over lanes: `out[i] = sub(app[i], lambda[i])`.
     ///
     /// # Panics
@@ -236,8 +257,11 @@ mod tests {
 
     #[test]
     fn lane_factor_covers_min_sum_and_fwd_bwd() {
-        assert_eq!(LaneScratch::<i32>::lane_factor(1), 4);
-        assert_eq!(LaneScratch::<i32>::lane_factor(2), 4);
-        assert_eq!(LaneScratch::<i32>::lane_factor(7), 14);
+        // Every provided kernel fits: fwd/bwd needs 2d + 3 panels, sum-extract
+        // needs 4 (total + min/sum/diff), min-sum needs 4.
+        assert_eq!(LaneScratch::<i32>::lane_factor(1), 5);
+        assert_eq!(LaneScratch::<i32>::lane_factor(2), 7);
+        assert_eq!(LaneScratch::<i32>::lane_factor(7), 17);
+        assert!((1..=24).all(|d| LaneScratch::<i32>::lane_factor(d) >= 4));
     }
 }

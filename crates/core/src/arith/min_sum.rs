@@ -236,13 +236,42 @@ impl DecoderArithmetic for FixedMinSumArithmetic {
 /// Hand-written lane kernel for the fixed-point Min-Sum datapath: the
 /// two-minima trick tracked per lane in four integer scratch lanes
 /// (min1/min2/argmin-slot/sign-parity), every inner loop a stride-1 sweep of
-/// the `z` lanes. Bit-identical to the scalar `min_sum_core` path — the
-/// magnitudes are small non-negative integers, on which the scalar path's
-/// `f64` comparisons are exact, and the `i32::MAX` sentinel saturates to
-/// `max_code` exactly as the scalar path's `f64::INFINITY` does — while
+/// the `z` lanes (the frame-major engine passes `z · F` lanes per panel).
+/// The minima updates are written in *select* form — `min`/conditional moves
+/// instead of the scalar path's `if a < m1 { … } else if a < m2 { … }`
+/// branches, which mispredict heavily on noisy messages — so the whole sweep
+/// is branch-free and vectorises. Bit-identical to the scalar `min_sum_core`
+/// path — the magnitudes are small non-negative integers, on which the scalar
+/// path's `f64` comparisons are exact, and the `i32::MAX` sentinel saturates
+/// to `max_code` exactly as the scalar path's `f64::INFINITY` does — while
 /// allocating nothing (the scalar path builds a transient row `Vec` per
 /// check row).
 impl LaneKernel for FixedMinSumArithmetic {
+    fn prefers_frame_groups(&self) -> bool {
+        true
+    }
+
+    /// `λ = L − Λ` over a panel, in pure `i32`: the operands are in-range
+    /// APP/message codes (|L| ≤ app max, |Λ| ≤ message max, both far below
+    /// `i32` overflow), so the scalar path's widen-to-`i64`-and-saturate
+    /// reduces to a clamp — one stride-1 sweep the vector units chew through.
+    fn sub_lanes(&self, app: &[i32], lambda: &[i32], out: &mut [i32]) {
+        debug_assert!(app.len() == lambda.len() && lambda.len() == out.len());
+        let (lo, hi) = (self.format.min_code(), self.format.max_code());
+        for ((o, &a), &b) in out.iter_mut().zip(app).zip(lambda) {
+            *o = (a - b).clamp(lo, hi);
+        }
+    }
+
+    /// `L = λ + Λ′` over a panel, `i32`-only for the same reason.
+    fn add_lanes(&self, lam: &[i32], upd: &[i32], out: &mut [i32]) {
+        debug_assert!(lam.len() == upd.len() && upd.len() == out.len());
+        let (lo, hi) = (self.app_format.min_code(), self.app_format.max_code());
+        for ((o, &a), &b) in out.iter_mut().zip(lam).zip(upd) {
+            *o = (a + b).clamp(lo, hi);
+        }
+    }
+
     fn check_node_update_lanes(
         &self,
         z: usize,
@@ -265,6 +294,7 @@ impl LaneKernel for FixedMinSumArithmetic {
         argmin.fill(0);
         parity.fill(0);
         for (slot, inc) in lanes_in.chunks_exact(z).enumerate() {
+            let slot = slot as i32;
             for ((((&l, m1), m2), am), p) in inc
                 .iter()
                 .zip(min1.iter_mut())
@@ -272,14 +302,14 @@ impl LaneKernel for FixedMinSumArithmetic {
                 .zip(argmin.iter_mut())
                 .zip(parity.iter_mut())
             {
+                // Select form of: if a < m1 { m2 = m1; m1 = a; am = slot }
+                // else if a < m2 { m2 = a } — same first-wins tie semantics
+                // (a == m1 keeps the earlier argmin), no branches.
                 let a = l.abs();
-                if a < *m1 {
-                    *m2 = *m1;
-                    *m1 = a;
-                    *am = slot as i32;
-                } else if a < *m2 {
-                    *m2 = a;
-                }
+                let displaces = a < *m1;
+                *m2 = if displaces { *m1 } else { a.min(*m2) };
+                *am = if displaces { slot } else { *am };
+                *m1 = a.min(*m1);
                 *p ^= i32::from(l < 0);
             }
         }
@@ -298,7 +328,9 @@ impl LaneKernel for FixedMinSumArithmetic {
                 .zip(parity.iter())
             {
                 let raw = if am == slot { m2 } else { m1 };
-                let mag = self.normalize(self.format.saturate(i64::from(raw)));
+                // The magnitudes are non-negative (abs codes or the MAX
+                // sentinel), so the i64 saturate reduces to a min.
+                let mag = self.normalize(raw.min(self.format.max_code()));
                 *o = if (p ^ i32::from(l < 0)) != 0 {
                     -mag
                 } else {

@@ -147,68 +147,126 @@ impl<'a> ResolvedOrder<'a> {
     }
 }
 
-/// One lane-major sub-iteration: updates every row of `layer` at once through
-/// the [`LaneKernel`] slice operations. Pure stride-1 gather/compute/scatter
-/// per the rotation contract of [`CompiledCode`]'s lane layout; bit-identical
-/// to processing the `z` rows serially because the lanes of a layer touch
-/// pairwise disjoint L-memory addresses.
+/// One lane-major sub-iteration over a `width`-frame group: updates every row
+/// of `layer` of every packed frame at once through the [`LaneKernel`] slice
+/// operations. Pure stride-1 gather/compute/scatter per the rotation contract
+/// of [`CompiledCode`]'s lane layout — with the frame-innermost interleave of
+/// [`crate::group`], every single-frame span simply scales by `width`, so the
+/// kernels see `z · width`-lane panels. Bit-identical to processing the rows
+/// (and frames) serially because the lanes of a layer touch pairwise disjoint
+/// L-memory addresses and every kernel operation is element-wise per lane.
+/// `width == 1` is exactly the single-frame hot path.
 fn lane_layer_update<A: LaneKernel>(
     arith: &A,
     compiled: &CompiledCode,
     layer: usize,
+    width: usize,
     ws: &mut DecodeWorkspace<A::Msg>,
 ) {
     let z = compiled.z();
+    let zw = z * width;
     let lanes = compiled.layer_lanes(layer);
     let degree = lanes.degree();
-    let lane_in = &mut ws.lane_in[..degree * z];
-    let lane_out = &mut ws.lane_out[..degree * z];
+    let lane_in = &mut ws.lane_in[..degree * zw];
+    let lane_out = &mut ws.lane_out[..degree * zw];
 
-    // 1) Read: gather λ = L − Λ for all z lanes of each block column. Lane r
-    //    reads L at col_base + ((r + shift) mod z), so the z lanes split into
-    //    the two contiguous spans [col_base+shift, col_base+z) and
-    //    [col_base, col_base+shift); Λ is lane-contiguous by construction.
+    // 1) Read: gather λ = L − Λ for all z·width lanes of each block column.
+    //    Lane (r, f) reads L at (col_base + ((r + shift) mod z))·width + f, so
+    //    the lanes split into the two contiguous spans
+    //    [(col_base+shift)·width, (col_base+z)·width) and
+    //    [col_base·width, (col_base+shift)·width); Λ is lane-contiguous by
+    //    construction.
     for slot in 0..degree {
-        let eb = lanes.edge_base[slot] as usize;
-        let cb = lanes.col_base[slot] as usize;
-        let split = z - lanes.shift[slot] as usize;
-        let lam = &mut lane_in[slot * z..(slot + 1) * z];
-        let lambda = &ws.lambda[eb..eb + z];
+        let eb = lanes.edge_base[slot] as usize * width;
+        let cb = lanes.col_base[slot] as usize * width;
+        let split = (z - lanes.shift[slot] as usize) * width;
+        let lam = &mut lane_in[slot * zw..(slot + 1) * zw];
+        let lambda = &ws.lambda[eb..eb + zw];
         arith.sub_lanes(
-            &ws.app[cb + z - split..cb + z],
+            &ws.app[cb + zw - split..cb + zw],
             &lambda[..split],
             &mut lam[..split],
         );
         arith.sub_lanes(
-            &ws.app[cb..cb + z - split],
+            &ws.app[cb..cb + zw - split],
             &lambda[split..],
             &mut lam[split..],
         );
     }
 
     // 2) Decode: the check-node update of every lane (Eq. 1), vectorised
-    //    across the z SISO lanes.
-    arith.check_node_update_lanes(z, lane_in, lane_out, &mut ws.lane_scratch);
+    //    across the z·width SISO lanes.
+    arith.check_node_update_lanes(zw, lane_in, lane_out, &mut ws.lane_scratch);
 
     // 3) Write back: Λ ← Λ′ is a straight lane-contiguous copy; L ← λ + Λ′
     //    scatters through the same two contiguous spans as the gather.
     for slot in 0..degree {
-        let eb = lanes.edge_base[slot] as usize;
-        let cb = lanes.col_base[slot] as usize;
-        let split = z - lanes.shift[slot] as usize;
-        let lam = &lane_in[slot * z..(slot + 1) * z];
-        let upd = &lane_out[slot * z..(slot + 1) * z];
-        ws.lambda[eb..eb + z].copy_from_slice(upd);
+        let eb = lanes.edge_base[slot] as usize * width;
+        let cb = lanes.col_base[slot] as usize * width;
+        let split = (z - lanes.shift[slot] as usize) * width;
+        let lam = &lane_in[slot * zw..(slot + 1) * zw];
+        let upd = &lane_out[slot * zw..(slot + 1) * zw];
+        ws.lambda[eb..eb + zw].copy_from_slice(upd);
         arith.add_lanes(
             &lam[..split],
             &upd[..split],
-            &mut ws.app[cb + z - split..cb + z],
+            &mut ws.app[cb + zw - split..cb + zw],
         );
         arith.add_lanes(
             &lam[split..],
             &upd[split..],
-            &mut ws.app[cb..cb + z - split],
+            &mut ws.app[cb..cb + zw - split],
         );
+    }
+}
+
+/// The early-termination check of one packed frame of a group (paper's rule,
+/// §IV): exactly [`crate::engine::early_termination_reached`] applied to the
+/// strided column `slot` of the frame-major APP buffer, with the decision
+/// history kept per original frame index so it follows the frame through
+/// compaction.
+fn group_early_termination<A: DecoderArithmetic>(
+    arith: &A,
+    threshold: f64,
+    ws: &mut DecodeWorkspace<A::Msg>,
+    info_len: usize,
+    width: usize,
+    slot: usize,
+    frame: usize,
+) -> bool {
+    let DecodeWorkspace {
+        app,
+        info_hard,
+        group_histories,
+        ..
+    } = ws;
+    let info = &app[..info_len * width];
+    info_hard.clear();
+    info_hard.extend(
+        info.iter()
+            .skip(slot)
+            .step_by(width)
+            .map(|&m| arith.hard_bit(m)),
+    );
+    let min_abs = info
+        .iter()
+        .skip(slot)
+        .step_by(width)
+        .map(|&m| arith.magnitude(m))
+        .fold(f64::INFINITY, f64::min);
+    let stable = group_histories[frame].stable_update(info_hard);
+    stable && min_abs > threshold
+}
+
+/// The operation counts of one frame after `iterations` full group
+/// iterations — identical to what the single-frame lane path accumulates
+/// (one sub-iteration, `z` check-node updates and `degree · z` messages per
+/// layer, summed over all layers and iterations).
+fn group_frame_stats(compiled: &CompiledCode, iterations: usize) -> DecodeStats {
+    DecodeStats {
+        sub_iterations: iterations * compiled.block_rows(),
+        check_node_updates: iterations * compiled.m(),
+        messages_processed: iterations * compiled.num_edges(),
     }
 }
 
@@ -406,6 +464,153 @@ impl<A: LaneKernel> LayeredDecoder<A> {
     pub fn decode(&self, code: &QcCode, channel_llrs: &[f64]) -> Result<DecodeOutput, DecodeError> {
         Decoder::decode(self, code, channel_llrs)
     }
+
+    /// The frame-major group driver behind
+    /// [`Decoder::decode_group_into`]: packs the frames frame-innermost (see
+    /// [`crate::group`]), runs the layered schedule over `z · width`-lane
+    /// panels, applies the termination rules *per frame* in the same order as
+    /// the single-frame engine, and compacts converged frames out of the
+    /// group so they skip all remaining-iteration work. Frame `f` of the
+    /// result is bit-identical to `decode_into` on that frame alone.
+    fn decode_group_layered(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<A::Msg>,
+        outs: &mut [DecodeOutput],
+    ) -> Result<(), DecodeError> {
+        let n = compiled.n();
+        let frames = outs.len();
+        if llrs.len() != frames * n {
+            return Err(DecodeError::BatchShape {
+                reason: format!(
+                    "group of {frames} outputs needs {} LLRs, got {}",
+                    frames * n,
+                    llrs.len()
+                ),
+            });
+        }
+        if frames == 0 {
+            return Ok(());
+        }
+        if frames == 1 {
+            // A group of one is exactly the single-frame hot path.
+            return Decoder::decode_into(self, compiled, llrs, ws, &mut outs[0]);
+        }
+
+        #[cfg(debug_assertions)]
+        let steady_fingerprint = ws
+            .is_ready_for_group(compiled, frames)
+            .then(|| ws.group_fingerprint());
+
+        let arith = &self.arith;
+        let num_layers = compiled.block_rows();
+        let info_len = compiled.info_bits();
+        let order = ResolvedOrder::new(&self.config, compiled, num_layers);
+
+        // L ← channel, Λ ← 0, frame-innermost (Algorithm 1 initialisation,
+        // interleaved: app[col · width + f]).
+        ws.prepare_group(compiled, arith.zero(), frames);
+        ws.app.resize(n * frames, arith.zero());
+        for (f, frame) in llrs.chunks_exact(n).enumerate() {
+            for (col, &l) in frame.iter().enumerate() {
+                ws.app[col * frames + f] = arith.from_channel(l);
+            }
+        }
+
+        let mut width = frames;
+        let mut iterations = 0usize;
+        loop {
+            for li in 0..num_layers {
+                lane_layer_update(arith, compiled, order.layer(li), width, ws);
+            }
+            iterations += 1;
+            let last = iterations == self.config.max_iterations;
+
+            // Per-frame termination, same rule order as the single-frame
+            // engine (early termination first, then the syndrome stop).
+            // Finished frames produce their output now; survivors are listed
+            // in `group_keep`.
+            ws.group_keep.clear();
+            for slot in 0..width {
+                let frame = ws.group_active[slot] as usize;
+                let mut done = last;
+                let mut early = false;
+                if let Some(rule) = &self.config.early_termination {
+                    // The history update runs every iteration for every live
+                    // frame, exactly like the single-frame engine.
+                    let reached = group_early_termination(
+                        arith,
+                        rule.threshold,
+                        ws,
+                        info_len,
+                        width,
+                        slot,
+                        frame,
+                    );
+                    if reached && !last {
+                        done = true;
+                        early = true;
+                    }
+                }
+                if !done && !last && self.config.stop_on_zero_syndrome {
+                    ws.hard.clear();
+                    ws.hard.extend(
+                        ws.app
+                            .iter()
+                            .skip(slot)
+                            .step_by(width)
+                            .map(|&m| arith.hard_bit(m)),
+                    );
+                    if compiled.syndrome_ok(&ws.hard) {
+                        done = true;
+                    }
+                }
+                if done {
+                    crate::group::extract_column(&ws.app, width, slot, &mut ws.group_frame);
+                    crate::engine::finish_output(
+                        arith,
+                        compiled,
+                        &ws.group_frame,
+                        &mut outs[frame],
+                        iterations,
+                        early,
+                        group_frame_stats(compiled, iterations),
+                    );
+                } else {
+                    ws.group_keep.push(slot as u32);
+                }
+            }
+            if ws.group_keep.is_empty() {
+                break;
+            }
+            if ws.group_keep.len() < width {
+                // Converged frames drop out: repack the survivors so the
+                // remaining iterations do strictly less work. (`take` swaps
+                // the keep buffer out to satisfy the borrow checker; it is
+                // put back below, so nothing reallocates.)
+                let keep = std::mem::take(&mut ws.group_keep);
+                crate::group::compact_columns(&mut ws.app, n, width, &keep);
+                crate::group::compact_columns(&mut ws.lambda, compiled.num_edges(), width, &keep);
+                for (a, &s) in keep.iter().enumerate() {
+                    ws.group_active[a] = ws.group_active[s as usize];
+                }
+                width = keep.len();
+                ws.group_active.truncate(width);
+                ws.group_keep = keep;
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        if let Some(fingerprint) = steady_fingerprint {
+            debug_assert_eq!(
+                fingerprint,
+                ws.group_fingerprint(),
+                "steady-state group decode must not reallocate workspace buffers"
+            );
+        }
+        Ok(())
+    }
 }
 
 impl<A: LaneKernel> Decoder for LayeredDecoder<A> {
@@ -437,12 +642,30 @@ impl<A: LaneKernel> Decoder for LayeredDecoder<A> {
         // All z rows (lanes) of each layer at once — the software analogue of
         // the paper's z parallel SISO units.
         self.decode_layered_with(compiled, llrs, ws, out, |arith, compiled, l, ws, stats| {
-            lane_layer_update(arith, compiled, l, ws);
+            lane_layer_update(arith, compiled, l, 1, ws);
             let z = compiled.z();
             stats.sub_iterations += 1;
             stats.check_node_updates += z;
             stats.messages_processed += compiled.layer_degree(l) * z;
         })
+    }
+
+    fn preferred_group_width(&self, compiled: &CompiledCode) -> usize {
+        if self.arith.prefers_frame_groups() {
+            crate::group::group_width_for(compiled.z())
+        } else {
+            1
+        }
+    }
+
+    fn decode_group_into(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<A::Msg>,
+        outs: &mut [DecodeOutput],
+    ) -> Result<(), DecodeError> {
+        self.decode_group_layered(compiled, llrs, ws, outs)
     }
 }
 

@@ -159,6 +159,18 @@ impl<'a> LlrBatch<'a> {
         &self.llrs[index * self.frame_len..(index + 1) * self.frame_len]
     }
 
+    /// The LLRs of `count` consecutive frames starting at `start`, as one
+    /// flat slice — the shape
+    /// [`Decoder::decode_group_into`] consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > frames()`.
+    #[must_use]
+    pub fn frames_slice(&self, start: usize, count: usize) -> &'a [f64] {
+        &self.llrs[start * self.frame_len..(start + count) * self.frame_len]
+    }
+
     /// Iterates over the frames in order.
     pub fn iter(&self) -> impl Iterator<Item = &'a [f64]> {
         self.llrs.chunks_exact(self.frame_len)
@@ -282,6 +294,52 @@ pub trait Decoder {
         }
     }
 
+    /// How many frames of `compiled` the batch engine should pack into one
+    /// frame-major group (see [`crate::group`]) before calling
+    /// [`decode_group_into`](Decoder::decode_group_into). The default of 1
+    /// keeps decoding frame-serial; [`crate::LayeredDecoder`] returns the
+    /// [`crate::group::group_width_for`] heuristic for back-ends whose
+    /// kernels profit from wider panels (the fixed-point arithmetics).
+    fn preferred_group_width(&self, _compiled: &CompiledCode) -> usize {
+        1
+    }
+
+    /// Decodes `outs.len()` consecutive frames (`llrs` holds them flattened,
+    /// `outs.len() · n` values) as one frame-major group. Frame `i` of the
+    /// result is **bit-identical** to
+    /// [`decode_into`](Decoder::decode_into) on `llrs[i·n..(i+1)·n]` alone —
+    /// the group is purely an execution-shape change. The default
+    /// implementation is that sequential loop; [`crate::LayeredDecoder`]
+    /// overrides it with the frame-major SoA driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BatchShape`] if `llrs` does not hold exactly
+    /// `outs.len()` frames of the code length.
+    fn decode_group_into(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<MsgOf<Self>>,
+        outs: &mut [DecodeOutput],
+    ) -> Result<(), DecodeError> {
+        let n = compiled.n();
+        if llrs.len() != outs.len() * n {
+            return Err(DecodeError::BatchShape {
+                reason: format!(
+                    "group of {} outputs needs {} LLRs, got {}",
+                    outs.len(),
+                    outs.len() * n,
+                    llrs.len()
+                ),
+            });
+        }
+        for (frame, out) in llrs.chunks_exact(n).zip(outs.iter_mut()) {
+            self.decode_into(compiled, frame, ws, out)?;
+        }
+        Ok(())
+    }
+
     /// Decodes one frame against a precompiled schedule, allocating a fresh
     /// workspace and output.
     ///
@@ -396,15 +454,10 @@ pub trait Decoder {
         }
 
         let threads = threads.clamp(1, outputs.len());
+        let width = self.preferred_group_width(compiled).max(1);
         if threads == 1 {
             let mut ws = self.worker_workspace(compiled);
-            let mut result = Ok(());
-            for (i, out) in outputs.iter_mut().enumerate() {
-                if let Err(e) = self.decode_into(compiled, batch.frame(i), &mut ws, out) {
-                    result = Err(e);
-                    break;
-                }
-            }
+            let result = decode_chunk_grouped(self, compiled, batch, outputs, 0, width, &mut ws);
             self.finish_worker_workspace(compiled, ws);
             return result;
         }
@@ -416,15 +469,15 @@ pub trait Decoder {
                 let first_frame = ci * chunk;
                 workers.push(scope.spawn(move || -> Result<(), DecodeError> {
                     let mut ws = self.worker_workspace(compiled);
-                    let mut result = Ok(());
-                    for (k, out) in out_chunk.iter_mut().enumerate() {
-                        if let Err(e) =
-                            self.decode_into(compiled, batch.frame(first_frame + k), &mut ws, out)
-                        {
-                            result = Err(e);
-                            break;
-                        }
-                    }
+                    let result = decode_chunk_grouped(
+                        self,
+                        compiled,
+                        batch,
+                        out_chunk,
+                        first_frame,
+                        width,
+                        &mut ws,
+                    );
                     self.finish_worker_workspace(compiled, ws);
                     result
                 }));
@@ -435,6 +488,29 @@ pub trait Decoder {
             Ok(())
         })
     }
+}
+
+/// One batch worker's loop: regroups its chunk of consecutive frames into
+/// frame-major groups of at most `width` frames (the tail group is ragged)
+/// and decodes each through [`Decoder::decode_group_into`]. With `width == 1`
+/// this is exactly the former frame-serial worker loop.
+fn decode_chunk_grouped<D: Decoder + ?Sized>(
+    decoder: &D,
+    compiled: &CompiledCode,
+    batch: LlrBatch<'_>,
+    outs: &mut [DecodeOutput],
+    first_frame: usize,
+    width: usize,
+    ws: &mut DecodeWorkspace<MsgOf<D>>,
+) -> Result<(), DecodeError> {
+    let mut start = 0;
+    while start < outs.len() {
+        let group = width.min(outs.len() - start);
+        let llrs = batch.frames_slice(first_frame + start, group);
+        decoder.decode_group_into(compiled, llrs, ws, &mut outs[start..start + group])?;
+        start += group;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -20,6 +20,10 @@
 //! * [`flooding`] — the two-phase baseline schedule,
 //! * [`engine`] — the [`Decoder`] trait unifying both schedules, with the
 //!   zero-allocation `decode_into` kernel and thread-parallel `decode_batch`,
+//! * [`group`] — the frame-major SoA multi-frame layout: `F` frames
+//!   interleaved frame-innermost so the lane kernels run over `z · F`-lane
+//!   panels (full vectors even at small `z`), with per-frame early
+//!   termination compacting converged frames out of the group,
 //! * [`workspace`] — the reusable L/Λ/lane buffer set behind the
 //!   zero-allocation guarantee,
 //! * [`pool`] — per-mode workspace pooling, so repeated `decode_batch` calls
@@ -55,6 +59,7 @@ pub mod engine;
 pub mod error;
 pub mod fixedpoint;
 pub mod flooding;
+pub mod group;
 pub mod lut;
 pub mod pool;
 pub mod result;
@@ -72,6 +77,7 @@ pub use engine::{batch_threads, Decoder, LlrBatch, MsgOf};
 pub use error::DecodeError;
 pub use fixedpoint::FixedFormat;
 pub use flooding::FloodingDecoder;
+pub use group::{group_width_for, MAX_GROUP_WIDTH, TARGET_PANEL_LANES};
 pub use lut::{CorrectionKind, CorrectionLut};
 pub use pool::WorkspacePool;
 pub use result::{DecodeOutput, DecodeStats};

@@ -21,6 +21,19 @@ pub enum CorrectionKind {
 
 /// A small lookup table approximating one correction term in the fixed-point
 /// code domain.
+///
+/// Besides the branchy scalar [`CorrectionLut::lookup`] (kept as the
+/// bit-identity reference), the table carries two branch-free derived forms
+/// used by the hand-tuned lane kernels:
+///
+/// * `extended` — the region table with the saturation entry appended, so a
+///   lookup becomes `extended[min(x / region_width, extended.len() − 1)]`:
+///   a clamped, saturating index instead of a per-element region branch;
+/// * `dense` — when the covered input range is small (it is for every
+///   practical format: `2^address_bits · region_width + 1` codes, 129 entries
+///   for the paper's Q6.2/3-bit operating point), the table expanded to one
+///   entry *per input code*, so the gather is `dense[min(x, dense.len() − 1)]`
+///   with no division at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorrectionLut {
     kind: CorrectionKind,
@@ -29,6 +42,11 @@ pub struct CorrectionLut {
     /// Input codes `>= cutoff` return the saturation entry (last table value).
     region_width: i32,
     table: Vec<i32>,
+    /// `table` plus the saturation entry: region lookups clamp into this.
+    extended: Vec<i32>,
+    /// Per-input-code expansion of the whole table (empty above
+    /// [`CorrectionLut::DENSE_LIMIT`]); index clamps to the last entry.
+    dense: Vec<i32>,
 }
 
 impl CorrectionLut {
@@ -78,13 +96,32 @@ impl CorrectionLut {
                 };
                 format.quantize(value)
             })
-            .collect();
+            .collect::<Vec<i32>>();
+        let saturation = match kind {
+            CorrectionKind::Plus => 0,
+            CorrectionKind::Minus => *table.last().expect("table is non-empty"),
+        };
+        let mut extended = table.clone();
+        extended.push(saturation);
+        // Expand to one entry per input code when the covered range is small:
+        // index `min(x, len − 1)` then reproduces `lookup` for every x ≥ 0
+        // (all codes at or beyond the cutoff share the saturation entry).
+        let cutoff = region_width as usize * entries;
+        let dense = if cutoff < Self::DENSE_LIMIT {
+            (0..=cutoff)
+                .map(|x| extended[(x / region_width as usize).min(entries)])
+                .collect()
+        } else {
+            Vec::new()
+        };
         CorrectionLut {
             kind,
             format,
             address_bits,
             region_width,
             table,
+            extended,
+            dense,
         }
     }
 
@@ -139,6 +176,61 @@ impl CorrectionLut {
                 // The Minus correction saturates to its smallest table entry;
                 // it never reaches exactly zero for finite inputs.
                 CorrectionKind::Minus => *self.table.last().expect("table is non-empty"),
+            }
+        }
+    }
+
+    /// Expanded-table budget for the dense (division-free) gather form. Any
+    /// format with a per-code region resolution up to this many covered codes
+    /// gets the dense table; coarser-than-usual formats (very many fractional
+    /// bits) fall back to the divide-then-clamp form, still branch-free.
+    pub const DENSE_LIMIT: usize = 1 << 16;
+
+    /// Branch-free slice lookup: `out[i] = lookup(xs[i])` for non-negative
+    /// input codes, computed as a clamped saturating index (no per-element
+    /// region branch) — `dense[min(x, last)]` when the dense expansion exists,
+    /// `extended[min(x / region_width, last)]` otherwise. This is the form
+    /// the hand-tuned lane kernels gather through; [`CorrectionLut::lookup`]
+    /// is the scalar bit-identity reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length; debug-asserts every input is a
+    /// non-negative magnitude.
+    pub fn lookup_slice(&self, xs: &[i32], out: &mut [i32]) {
+        assert_eq!(xs.len(), out.len(), "lookup_slice length mismatch");
+        debug_assert!(xs.iter().all(|&x| x >= 0), "LUT input must be a magnitude");
+        if self.dense.is_empty() {
+            let last = self.extended.len() - 1;
+            let width = self.region_width;
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.extended[((x / width) as usize).min(last)];
+            }
+        } else {
+            let last = self.dense.len() - 1;
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.dense[(x as usize).min(last)];
+            }
+        }
+    }
+
+    /// In-place [`CorrectionLut::lookup_slice`]: `xs[i] = lookup(xs[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts every input is a non-negative magnitude.
+    pub fn map_slice(&self, xs: &mut [i32]) {
+        debug_assert!(xs.iter().all(|&x| x >= 0), "LUT input must be a magnitude");
+        if self.dense.is_empty() {
+            let last = self.extended.len() - 1;
+            let width = self.region_width;
+            for x in xs.iter_mut() {
+                *x = self.extended[((*x / width) as usize).min(last)];
+            }
+        } else {
+            let last = self.dense.len() - 1;
+            for x in xs.iter_mut() {
+                *x = self.dense[(*x as usize).min(last)];
             }
         }
     }
@@ -230,6 +322,48 @@ mod tests {
     #[should_panic(expected = "address_bits")]
     fn rejects_zero_address_bits() {
         let _ = CorrectionLut::new(CorrectionKind::Plus, FixedFormat::default(), 0);
+    }
+
+    #[test]
+    fn lookup_slice_matches_scalar_lookup_everywhere() {
+        // The branch-free clamped-index forms must be bit-identical to the
+        // branchy scalar reference over the whole non-negative input range
+        // (far past the cutoff), for both kinds and several formats.
+        for format in [
+            FixedFormat::default(),
+            FixedFormat::new(6, 1),
+            FixedFormat::new(10, 4),
+        ] {
+            for kind in [CorrectionKind::Plus, CorrectionKind::Minus] {
+                let lut = CorrectionLut::new(kind, format, 3);
+                assert!(!lut.dense.is_empty(), "practical formats go dense");
+                let xs: Vec<i32> = (0..format.max_code().min(4096)).collect();
+                let mut out = vec![0i32; xs.len()];
+                lut.lookup_slice(&xs, &mut out);
+                let mut inplace = xs.clone();
+                lut.map_slice(&mut inplace);
+                for (i, &x) in xs.iter().enumerate() {
+                    assert_eq!(out[i], lut.lookup(x), "{kind:?} {format} at {x}");
+                    assert_eq!(inplace[i], lut.lookup(x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_formats_fall_back_to_the_divide_form() {
+        // frac_bits 14 → region width ≈ 4096 codes → cutoff 32769 ≤ limit;
+        // frac_bits 16 → cutoff ≈ 131072 > limit → no dense table. Both paths
+        // must agree with the scalar reference.
+        let format = FixedFormat::new(24, 16);
+        let lut = CorrectionLut::new(CorrectionKind::Plus, format, 3);
+        assert!(lut.dense.is_empty(), "past the dense budget");
+        let xs: Vec<i32> = (0..200_000).step_by(977).collect();
+        let mut out = vec![0i32; xs.len()];
+        lut.lookup_slice(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(o, lut.lookup(x), "divide form diverged at {x}");
+        }
     }
 
     #[test]

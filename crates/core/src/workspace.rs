@@ -50,6 +50,16 @@ pub struct DecodeWorkspace<M> {
     /// decisions), the same mechanism [`crate::early_term::TerminationTracker`]
     /// uses.
     pub(crate) history: DecisionHistory,
+    /// Per-frame early-termination histories of the frame-major group path
+    /// (one per frame of the widest group decoded so far).
+    pub(crate) group_histories: Vec<DecisionHistory>,
+    /// Original frame index of each packed column of the current group (the
+    /// active set; converged frames are compacted out).
+    pub(crate) group_active: Vec<u32>,
+    /// Per-iteration survivor list scratch of the group path.
+    pub(crate) group_keep: Vec<u32>,
+    /// Single-frame APP extraction scratch of the group path, length `n`.
+    pub(crate) group_frame: Vec<M>,
 }
 
 impl<M: Copy> DecodeWorkspace<M> {
@@ -69,6 +79,10 @@ impl<M: Copy> DecodeWorkspace<M> {
             hard: Vec::new(),
             info_hard: Vec::new(),
             history: DecisionHistory::new(),
+            group_histories: Vec::new(),
+            group_active: Vec::new(),
+            group_keep: Vec::new(),
+            group_frame: Vec::new(),
         }
     }
 
@@ -147,6 +161,113 @@ impl<M: Copy> DecodeWorkspace<M> {
             self.lambda_alt.clear();
             self.lambda_alt.resize(compiled.num_edges(), zero);
         }
+    }
+
+    /// Grows every buffer the frame-major group path touches to the capacity
+    /// a `width`-frame group of `compiled` needs (see [`crate::group`] for
+    /// the layout): the single-frame buffers scaled by `width`, plus the
+    /// per-frame histories and the group bookkeeping scratch.
+    pub fn reserve_for_group(&mut self, compiled: &CompiledCode, width: usize) {
+        let n = compiled.n();
+        let edges = compiled.num_edges();
+        let degree = compiled.max_degree();
+        let info = compiled.info_bits();
+        let zw = compiled.z() * width;
+        reserve_to(&mut self.app, n * width);
+        reserve_to(&mut self.lambda, edges * width);
+        reserve_to(&mut self.row_in, degree);
+        reserve_to(&mut self.row_out, degree);
+        reserve_to(&mut self.lane_in, degree * zw);
+        reserve_to(&mut self.lane_out, degree * zw);
+        self.lane_scratch.reserve(degree, zw);
+        reserve_to(&mut self.hard, n);
+        reserve_to(&mut self.info_hard, info);
+        reserve_to(&mut self.group_active, width);
+        reserve_to(&mut self.group_keep, width);
+        reserve_to(&mut self.group_frame, n);
+        if self.group_histories.len() < width {
+            self.group_histories
+                .resize_with(width, DecisionHistory::new);
+        }
+        for history in &mut self.group_histories[..width] {
+            history.reserve(info);
+        }
+    }
+
+    /// Whether preparing a group decode (`prepare_group`) with these parameters is
+    /// guaranteed allocation-free.
+    #[must_use]
+    pub fn is_ready_for_group(&self, compiled: &CompiledCode, width: usize) -> bool {
+        let n = compiled.n();
+        let info = compiled.info_bits();
+        let zw = compiled.z() * width;
+        let degree = compiled.max_degree();
+        self.app.capacity() >= n * width
+            && self.lambda.capacity() >= compiled.num_edges() * width
+            && self.lane_in.capacity() >= degree * zw
+            && self.lane_out.capacity() >= degree * zw
+            && self.lane_scratch.is_ready(degree, zw)
+            && self.hard.capacity() >= n
+            && self.info_hard.capacity() >= info
+            && self.group_active.capacity() >= width
+            && self.group_keep.capacity() >= width
+            && self.group_frame.capacity() >= n
+            && self.group_histories.len() >= width
+            && self.group_histories[..width]
+                .iter()
+                .all(|h| h.is_ready(info))
+    }
+
+    /// Resets the workspace for a `width`-frame group decode: Λ memory zeroed
+    /// at group stride, APP cleared (the group driver packs it from the
+    /// channel LLRs), the active set reset to all frames, every per-frame
+    /// history dropped.
+    pub(crate) fn prepare_group(&mut self, compiled: &CompiledCode, zero: M, width: usize) {
+        self.reserve_for_group(compiled, width);
+        self.app.clear();
+        self.lambda.clear();
+        self.lambda.resize(compiled.num_edges() * width, zero);
+        let lane_len = compiled.max_degree() * compiled.z() * width;
+        self.lane_in.clear();
+        self.lane_in.resize(lane_len, zero);
+        self.lane_out.clear();
+        self.lane_out.resize(lane_len, zero);
+        self.group_active.clear();
+        self.group_active.extend(0..width as u32);
+        for history in &mut self.group_histories[..width] {
+            history.reset();
+        }
+    }
+
+    /// Pointer/capacity fingerprint of the group-path buffers (everything
+    /// [`DecodeWorkspace::allocation_fingerprint`] covers, plus the group
+    /// bookkeeping and the per-frame histories). Building the vector
+    /// allocates, so this is a test/debug aid, not a hot-path call.
+    #[must_use]
+    pub fn group_fingerprint(&self) -> Vec<(usize, usize)> {
+        let mut fp: Vec<(usize, usize)> = self.allocation_fingerprint().to_vec();
+        fp.push((
+            self.group_active.as_ptr() as usize,
+            self.group_active.capacity(),
+        ));
+        fp.push((
+            self.group_keep.as_ptr() as usize,
+            self.group_keep.capacity(),
+        ));
+        fp.push((
+            self.group_frame.as_ptr() as usize,
+            self.group_frame.capacity(),
+        ));
+        fp.push((
+            self.group_histories.as_ptr() as usize,
+            self.group_histories.capacity(),
+        ));
+        fp.extend(
+            self.group_histories
+                .iter()
+                .map(DecisionHistory::fingerprint),
+        );
+        fp
     }
 
     /// Pointer/capacity fingerprint of every buffer. Two equal fingerprints

@@ -23,6 +23,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use ldpc_channel::quantize::LlrQuantizer;
 use ldpc_codes::{CodeId, CompiledCode};
 use ldpc_core::{DecodeOutput, Decoder, LlrBatch};
 
@@ -42,6 +43,13 @@ pub struct ServiceConfig {
     /// parallelism). The default of 1 keeps each shard single-threaded and
     /// scales across shards instead. Minimum 1.
     pub decode_threads: usize,
+    /// When set, every submitted frame is gain-normalised and quantised into
+    /// this quantiser's range at submission
+    /// ([`LlrQuantizer::normalize_in_place`]) — the AGC stage that makes
+    /// high-SNR traffic decodable by the 8-bit fixed-point back-ends, whose
+    /// formats raw channel LLRs would otherwise saturate flat. Leave `None`
+    /// (the default) to pass raw LLRs through, e.g. for float decoders.
+    pub ingest_quantizer: Option<LlrQuantizer>,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +58,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             max_batch: 32,
             decode_threads: 1,
+            ingest_quantizer: None,
         }
     }
 }
@@ -142,6 +151,19 @@ where
     #[must_use]
     pub fn decode_threads(mut self, threads: usize) -> Self {
         self.config.decode_threads = threads;
+        self
+    }
+
+    /// Routes every submitted frame through `quantizer` at submission:
+    /// frames whose peak |LLR| exceeds the representable range are
+    /// gain-normalised into it (one common gain per frame, preserving the
+    /// reliability ordering), then rounded to representable values. Required
+    /// for serving fixed-point back-ends under high-SNR traffic, whose raw
+    /// LLRs would otherwise clip flat at the 8-bit saturation code; see
+    /// [`LlrQuantizer::normalize_in_place`].
+    #[must_use]
+    pub fn quantize_ingest(mut self, quantizer: LlrQuantizer) -> Self {
+        self.config.ingest_quantizer = Some(quantizer);
         self
     }
 
@@ -349,7 +371,7 @@ where
     fn submit_inner(
         &self,
         code: CodeId,
-        llrs: Vec<f64>,
+        mut llrs: Vec<f64>,
         deadline: Option<Instant>,
         blocking: bool,
     ) -> Result<FrameHandle, SubmitError> {
@@ -363,6 +385,13 @@ where
                 expected,
                 actual: llrs.len(),
             });
+        }
+        // Quantized ingest (when configured): gain-normalise the frame into
+        // the fixed-point range at submission, so the shard workers — and the
+        // caller, should the frame be handed back — see the exact LLRs the
+        // decoder will consume.
+        if let Some(quantizer) = &self.config.ingest_quantizer {
+            quantizer.normalize_in_place(&mut llrs);
         }
         let slot = Arc::new(Slot::default());
         let frame = PendingFrame {
@@ -615,6 +644,7 @@ mod tests {
                 queue_capacity: 1,
                 max_batch: 1,
                 decode_threads: 1,
+                ingest_quantizer: None,
             }
         );
         service.shutdown();

@@ -269,3 +269,86 @@ fn coalescing_happens_under_burst_load() {
         stats[0].max_coalesced
     );
 }
+
+/// ROADMAP "quantized ingest": raw high-SNR channel LLRs clip flat at the
+/// 8-bit saturation code — every bit, right or wrong, arrives maximally
+/// confident, the reliability ordering belief propagation feeds on is erased,
+/// and frames fail even when the channel flipped few (or no) bits. Routing
+/// [`LlrQuantizer`] through the submission path (per-frame gain
+/// normalisation) makes the fixed-point back-ends first-class serving
+/// citizens.
+#[test]
+fn quantized_ingest_recovers_high_snr_fixed_point_traffic() {
+    let mode = modes()[0];
+    let code = mode.build().unwrap();
+    let compiled = code.compile();
+    let decoder = LayeredDecoder::new(
+        FixedBpArithmetic::forward_backward(),
+        DecoderConfig::default(),
+    )
+    .unwrap();
+    let quantizer = LlrQuantizer::default();
+
+    // Deterministic 12 dB traffic: peak |LLR| runs far beyond the
+    // representable ±31.75 of the Q6.2 ingest format.
+    let channel = AwgnChannel::from_ebn0_db(12.0, code.rate());
+    let mut source = FrameSource::random(&code, 11).unwrap();
+    let frames = 4;
+    let mut codewords = Vec::new();
+    let mut raw_llrs: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..frames {
+        let frame = source.next_frame();
+        codewords.push(frame.codeword.clone());
+        raw_llrs.push(channel.transmit(&frame.codeword, source.noise_rng()));
+    }
+    assert!(
+        raw_llrs
+            .iter()
+            .flatten()
+            .any(|l| l.abs() > 1.5 * quantizer.max_value()),
+        "workload must actually exceed the quantiser range"
+    );
+
+    // The regression being fixed: raw ingest fails on this traffic.
+    let raw_failures = raw_llrs
+        .iter()
+        .zip(&codewords)
+        .filter(|(llrs, codeword)| {
+            let out = decoder.decode_compiled(&compiled, llrs).unwrap();
+            out.bit_errors_against(codeword) > 0
+        })
+        .count();
+    assert!(
+        raw_failures > 0,
+        "saturating raw ingest should fail at 12 dB (got {raw_failures}/{frames})"
+    );
+
+    // The service with quantized ingest decodes every frame correctly …
+    let service = DecodeService::builder(decoder.clone())
+        .quantize_ingest(quantizer)
+        .register(mode)
+        .unwrap()
+        .build()
+        .unwrap();
+    let handles: Vec<FrameHandle> = raw_llrs
+        .iter()
+        .map(|llrs| service.submit(mode, llrs.clone()).unwrap())
+        .collect();
+    let outcomes: Vec<DecodeOutcome> = handles.into_iter().map(FrameHandle::wait).collect();
+    let stats = service.shutdown();
+    assert_eq!(stats[0].decoded, frames as u64);
+    for ((outcome, codeword), llrs) in outcomes.into_iter().zip(&codewords).zip(&raw_llrs) {
+        let out = outcome.into_output().expect("decoded");
+        assert_eq!(
+            out.bit_errors_against(codeword),
+            0,
+            "quantized ingest must recover the high-SNR frame"
+        );
+        // … and stays bit-identical to direct decoding of the normalised
+        // frame (the service adds AGC, not a different decoder).
+        let mut normalized = llrs.clone();
+        quantizer.normalize_in_place(&mut normalized);
+        let direct = decoder.decode_compiled(&compiled, &normalized).unwrap();
+        assert_eq!(out, direct, "service output == direct decode of AGC'd LLRs");
+    }
+}
