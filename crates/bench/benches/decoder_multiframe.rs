@@ -23,6 +23,23 @@
 //! `compare_bench BENCH_batch.json BENCH_multiframe.json
 //! --require-multiframe-speedup 1.25` gates the recorded files against the
 //! PR 2 lane baselines.
+//!
+//! A third pair per fixed-point back-end measures the explicit-SIMD kernel
+//! tier end-to-end at batch 64 on the engine path:
+//!
+//! * `…_mf_scalar` — the multi-frame engine with the arithmetic pinned to
+//!   [`SimdLevel::Scalar`] (the auto-vectorised panel loops, i.e. the PR 4
+//!   code path);
+//! * `…_mf_simd`   — the same engine following the process-wide runtime
+//!   dispatch (AVX2 with `vpgatherdd` LUT gathers on the recording
+//!   container; degrades to the identical scalar kernels on hosts without
+//!   SIMD, making the pair a self-comparison there).
+//!
+//! The two sides decode bit-identically — the pair isolates exactly the
+//! kernel-tier contribution. `compare_bench --require-simd-not-slower`
+//! gates fresh runs on any host, and `--require-simd-speedup 1.15` gates
+//! the committed `BENCH_simd.json` recording of this bench (end-to-end
+//! fixed-point speedup on an AVX2 host, machine-independent in CI).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ldpc_channel::awgn::AwgnChannel;
@@ -31,6 +48,7 @@ use ldpc_codes::{CodeId, CodeRate, Standard};
 use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
 use ldpc_core::{
     DecodeOutput, Decoder, FixedBpArithmetic, FixedMinSumArithmetic, LaneKernel, LlrBatch,
+    SimdLevel,
 };
 
 fn bench_multiframe(c: &mut Criterion) {
@@ -99,6 +117,37 @@ fn bench_code(c: &mut Criterion, id: CodeId, prefix: &str) {
         );
     }
 
+    /// The explicit-SIMD end-to-end pair: the same engine path as
+    /// `…_multiframe`, once with the kernels pinned to the scalar tier and
+    /// once following the process-wide dispatch.
+    fn bench_simd_pair<A: LaneKernel + Clone + Sync>(
+        group: &mut criterion::BenchmarkGroup<'_>,
+        name: &str,
+        scalar_arith: A,
+        simd_arith: A,
+        compiled: &ldpc_codes::CompiledCode,
+        llrs: &[f64],
+        frames: usize,
+    ) {
+        for (tier, arith) in [("mf_scalar", scalar_arith), ("mf_simd", simd_arith)] {
+            let decoder = LayeredDecoder::new(arith, DecoderConfig::fixed_iterations(10)).unwrap();
+            let batch = LlrBatch::new(llrs, compiled.n()).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(&format!("{name}_{tier}"), frames),
+                &batch,
+                |b, batch| {
+                    let mut outputs: Vec<DecodeOutput> =
+                        (0..batch.frames()).map(|_| DecodeOutput::empty()).collect();
+                    b.iter(|| {
+                        decoder
+                            .decode_batch_into_threads(compiled, *batch, &mut outputs, 1)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+
     let mut group = c.benchmark_group("decoder_multiframe");
     for &frames in &[8usize, 64] {
         let llrs = &block.llrs[..frames * code.n()];
@@ -122,6 +171,41 @@ fn bench_code(c: &mut Criterion, id: CodeId, prefix: &str) {
         bench_backend(
             &mut group,
             &format!("{prefix}fixed_min_sum"),
+            FixedMinSumArithmetic::default(),
+            &compiled,
+            llrs,
+            frames,
+        );
+    }
+    // The SIMD tier pairs at the steady-state batch size only (the tier
+    // contribution is shape-independent; one size keeps the gate fast), and
+    // only for the main code (the z24 ids exist for the frame-major axis).
+    if prefix.is_empty() {
+        let frames = 64usize;
+        let llrs = &block.llrs[..frames * code.n()];
+        group.throughput(Throughput::Elements(frames as u64));
+        bench_simd_pair(
+            &mut group,
+            "fixed_bp",
+            FixedBpArithmetic::default().with_simd_level(SimdLevel::Scalar),
+            FixedBpArithmetic::default(),
+            &compiled,
+            llrs,
+            frames,
+        );
+        bench_simd_pair(
+            &mut group,
+            "fixed_bp_fwd_bwd",
+            FixedBpArithmetic::forward_backward().with_simd_level(SimdLevel::Scalar),
+            FixedBpArithmetic::forward_backward(),
+            &compiled,
+            llrs,
+            frames,
+        );
+        bench_simd_pair(
+            &mut group,
+            "fixed_min_sum",
+            FixedMinSumArithmetic::default().with_simd_level(SimdLevel::Scalar),
             FixedMinSumArithmetic::default(),
             &compiled,
             llrs,

@@ -8,7 +8,7 @@ use ldpc_core::boxplus::{boxminus, boxplus};
 use ldpc_core::siso::{R2Siso, R4Siso};
 use ldpc_core::{
     FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic, LaneKernel,
-    LaneScratch,
+    LaneScratch, SimdLevel,
 };
 
 fn row_f64(degree: usize) -> Vec<f64> {
@@ -200,6 +200,113 @@ fn bench_lut_gather(c: &mut Criterion) {
     group.finish();
 }
 
+/// Explicit-SIMD tier vs the scalar panel tier, same panel kernels, same
+/// inputs — the `…_scalar` side pins [`SimdLevel::Scalar`] per instance
+/// (the auto-vectorised branch-free loops, exactly the pre-SIMD code path)
+/// and the `…_simd` side follows the process-wide dispatch (AVX2 with
+/// hardware LUT gathers on the recording container). Gated in CI by
+/// `compare_bench --require-simd-not-slower` on fresh runs (any host: both
+/// sides dispatch identically without AVX2) and by
+/// `--require-simd-speedup` on the committed recording. One layer of
+/// `z = 96`, degree 7 — the same shape as `lane_check_node_z96_d7`.
+fn bench_simd_panels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_panels_z96_d7");
+    let (z, degree) = (96usize, 7usize);
+    let reference = FixedBpArithmetic::default();
+    let lanes_codes: Vec<i32> = (0..degree * z)
+        .map(|i| {
+            let x = ((i * 37 % 23) as f64 - 11.0) * 0.7 + 0.35;
+            reference.from_channel(x)
+        })
+        .collect();
+
+    fn bench_lanes_pair<A: LaneKernel<Msg = i32>>(
+        group: &mut criterion::BenchmarkGroup<'_>,
+        name: &str,
+        scalar: A,
+        simd: A,
+        z: usize,
+        degree: usize,
+        lanes_codes: &[i32],
+    ) {
+        for (tier, arith) in [("scalar", &scalar), ("simd", &simd)] {
+            group.bench_function(format!("{name}_{tier}"), |b| {
+                let mut out = vec![0i32; degree * z];
+                let mut scratch = LaneScratch::new();
+                scratch.reserve(degree, z);
+                b.iter(|| {
+                    arith.check_node_update_lanes(z, black_box(lanes_codes), &mut out, &mut scratch)
+                })
+            });
+        }
+    }
+
+    bench_lanes_pair(
+        &mut group,
+        "fixed_bp_sum_extract",
+        FixedBpArithmetic::default().with_simd_level(SimdLevel::Scalar),
+        FixedBpArithmetic::default(),
+        z,
+        degree,
+        &lanes_codes,
+    );
+    bench_lanes_pair(
+        &mut group,
+        "fixed_bp_fwd_bwd",
+        FixedBpArithmetic::forward_backward().with_simd_level(SimdLevel::Scalar),
+        FixedBpArithmetic::forward_backward(),
+        z,
+        degree,
+        &lanes_codes,
+    );
+    bench_lanes_pair(
+        &mut group,
+        "fixed_min_sum",
+        FixedMinSumArithmetic::default().with_simd_level(SimdLevel::Scalar),
+        FixedMinSumArithmetic::default(),
+        z,
+        degree,
+        &lanes_codes,
+    );
+
+    // The LUT gather pass alone: scalar clamped-index loop vs the AVX2
+    // `vpgatherdd` through the same dense table.
+    let magnitudes: Vec<i32> = lanes_codes.iter().map(|&x| x.abs()).collect();
+    for (name, lut) in [
+        ("lut_plus", reference.lut_plus()),
+        ("lut_minus", reference.lut_minus()),
+    ] {
+        // The `_simd` side follows the process-wide dispatch — on a host
+        // without SIMD both sides run the scalar loop and the pair gates
+        // degenerate to a self-comparison, by design.
+        for (suffix, tier) in [
+            ("scalar", SimdLevel::Scalar),
+            ("simd", ldpc_core::arith::simd::active_level()),
+        ] {
+            group.bench_function(format!("{name}_{suffix}"), |b| {
+                let mut out = vec![0i32; magnitudes.len()];
+                b.iter(|| lut.lookup_slice_with(tier, black_box(&magnitudes), &mut out))
+            });
+        }
+    }
+
+    // The λ/L panel clamps (APP subtraction with zero remap, APP addition).
+    let upd: Vec<i32> = lanes_codes.iter().rev().copied().collect();
+    let sub_add_scalar = FixedBpArithmetic::default().with_simd_level(SimdLevel::Scalar);
+    let sub_add_simd = FixedBpArithmetic::default();
+    for (tier, arith) in [("scalar", &sub_add_scalar), ("simd", &sub_add_simd)] {
+        group.bench_function(format!("fixed_bp_sub_add_{tier}"), |b| {
+            let mut lam = vec![0i32; lanes_codes.len()];
+            let mut app = vec![0i32; lanes_codes.len()];
+            b.iter(|| {
+                arith.sub_lanes(black_box(&lanes_codes), &upd, &mut lam);
+                arith.add_lanes(&lam, &upd, &mut app);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_siso_rows(c: &mut Criterion) {
     let mut group = c.benchmark_group("siso_row_degree20");
     let arith = FixedBpArithmetic::default();
@@ -214,6 +321,6 @@ fn bench_siso_rows(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_operators, bench_check_node_updates, bench_lane_kernels, bench_lut_gather, bench_siso_rows
+    targets = bench_operators, bench_check_node_updates, bench_lane_kernels, bench_lut_gather, bench_simd_panels, bench_siso_rows
 }
 criterion_main!(benches);

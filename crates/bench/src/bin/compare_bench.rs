@@ -28,10 +28,24 @@
 //!    which were recorded on the same container, so the comparison is
 //!    same-machine and nobody can regress the recorded engine baseline
 //!    without re-measuring.
+//! 5. **SIMD-vs-scalar invariants** (`--require-simd-not-slower [margin]`
+//!    and `--require-simd-speedup [factor]`): the same suffix-pair pattern
+//!    for `…_simd` ids against their `…_scalar` counterparts, *within one
+//!    run* — the two sides differ only in the kernel tier the panel
+//!    kernels dispatched to. The not-slower check (default margin 1.2)
+//!    runs on fresh CI measurements and holds on any host (on a machine
+//!    without AVX2/SSE4.1 both sides dispatch to the scalar tier and the
+//!    ratio is ~1). The speedup check (default 1.15×) is only meaningful
+//!    on a host whose SIMD tier actually engages, so CI applies it to the
+//!    *committed* `BENCH_simd.json` (recorded on an AVX2 container):
+//!    machine-independent, and nobody can regress the recorded SIMD gain
+//!    without re-measuring.
 //!
 //! Exits non-zero with a per-benchmark report on any violation. The parser
 //! handles exactly the shim's one-measurement-per-line format — this tool
-//! gates our own recorded files, not arbitrary JSON.
+//! gates our own recorded files, not arbitrary JSON. The header prints the
+//! kernel tier of the machine *running the gate*, so same-run checks in CI
+//! logs are attributable to the tier that produced them.
 
 use std::process::ExitCode;
 
@@ -110,6 +124,31 @@ fn suffix_counterpart(id: &str, from: &str, to: &str) -> Option<String> {
         })
         .collect();
     replaced.then(|| segments.join("/"))
+}
+
+/// Check 5b: every `…{from}` benchmark at least `factor ×` *faster* than
+/// its `…{to}` counterpart, within one run — the recorded-speedup gate for
+/// the explicit-SIMD kernels.
+fn check_pair_speedup(benches: &[Bench], from: &str, to: &str, factor: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut pairs = 0usize;
+    for bench in benches {
+        let Some(counterpart_id) = suffix_counterpart(&bench.id, from, to) else {
+            continue;
+        };
+        match mean_of(benches, &counterpart_id) {
+            None => violations.push(format!("{}: no counterpart {counterpart_id}", bench.id)),
+            Some(s) if bench.mean_s * factor > s.mean_s => violations.push(format!(
+                "{}: {:.3e}s is not {factor}x faster than {to} {:.3e}s",
+                bench.id, bench.mean_s, s.mean_s
+            )),
+            Some(_) => pairs += 1,
+        }
+    }
+    if pairs == 0 && violations.is_empty() {
+        violations.push(format!("no {from}/{to} pairs found — wrong input file?"));
+    }
+    violations
 }
 
 /// Check 2: every `…{from}` benchmark at most `margin ×` its `…{to}`
@@ -195,6 +234,8 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut lane_margin: Option<f64> = None;
     let mut multiframe_margin: Option<f64> = None;
     let mut speedup_factor: Option<f64> = None;
+    let mut simd_margin: Option<f64> = None;
+    let mut simd_speedup: Option<f64> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -216,6 +257,12 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             "--require-multiframe-speedup" => {
                 speedup_factor = Some(flag_value(&mut it, 1.25));
             }
+            "--require-simd-not-slower" => {
+                simd_margin = Some(flag_value(&mut it, 1.2));
+            }
+            "--require-simd-speedup" => {
+                simd_speedup = Some(flag_value(&mut it, 1.15));
+            }
             _ => files.push(arg.clone()),
         }
     }
@@ -224,7 +271,11 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     match files.as_slice() {
         [single] => {
             let benches = read_benches(single)?;
-            if lane_margin.is_none() && multiframe_margin.is_none() {
+            if lane_margin.is_none()
+                && multiframe_margin.is_none()
+                && simd_margin.is_none()
+                && simd_speedup.is_none()
+            {
                 return Err(
                     "single-file mode needs a same-run check flag (two files for a baseline diff)"
                         .to_string(),
@@ -241,6 +292,12 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                     margin,
                 ));
             }
+            if let Some(margin) = simd_margin {
+                violations.extend(check_pair_not_slower(&benches, "_simd", "_scalar", margin));
+            }
+            if let Some(factor) = simd_speedup {
+                violations.extend(check_pair_speedup(&benches, "_simd", "_scalar", factor));
+            }
         }
         [baseline, new] => {
             let baseline = read_benches(baseline)?;
@@ -256,12 +313,19 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             if let Some(margin) = multiframe_margin {
                 violations.extend(check_pair_not_slower(&new, "_multiframe", "_lane", margin));
             }
+            if let Some(margin) = simd_margin {
+                violations.extend(check_pair_not_slower(&new, "_simd", "_scalar", margin));
+            }
+            if let Some(factor) = simd_speedup {
+                violations.extend(check_pair_speedup(&new, "_simd", "_scalar", factor));
+            }
         }
         _ => {
             return Err(
                 "usage: compare_bench [baseline.json] new.json [--tolerance F] \
                          [--require-lane-not-slower [M]] [--require-multiframe-not-slower [M]] \
-                         [--require-multiframe-speedup [F]]"
+                         [--require-multiframe-speedup [F]] [--require-simd-not-slower [M]] \
+                         [--require-simd-speedup [F]]"
                     .to_string(),
             )
         }
@@ -270,6 +334,15 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
 }
 
 fn main() -> ExitCode {
+    // Same-run pair checks compare two code paths measured on *this*
+    // machine; the active kernel tier says which tier those measurements
+    // actually exercised (e.g. `_simd` ids degrade to the scalar kernels on
+    // a host without AVX2/SSE4.1).
+    println!(
+        "compare_bench: kernel tier {} (detected {})",
+        ldpc_core::kernel_tier(),
+        ldpc_core::arith::simd::detected_level().name()
+    );
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Err(e) => {
@@ -429,5 +502,39 @@ mod tests {
     fn run_parses_flags() {
         assert!(run(&["a.json".into(), "b.json".into(), "c.json".into()]).is_err());
         assert!(run(&["only.json".into()]).is_err(), "needs a mode flag");
+    }
+
+    const SIMD_SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"id": "simd_panels_z96_d7/fixed_bp_scalar", "min_s": 0.002, "mean_s": 0.002400000, "max_s": 0.003, "iters_per_sample": 4, "samples": 15},
+    {"id": "simd_panels_z96_d7/fixed_bp_simd", "min_s": 0.001, "mean_s": 0.001200000, "max_s": 0.002, "iters_per_sample": 4, "samples": 15},
+    {"id": "decoder_multiframe/fixed_bp_mf_scalar/64", "min_s": 0.030, "mean_s": 0.032000000, "max_s": 0.034, "iters_per_sample": 4, "samples": 15},
+    {"id": "decoder_multiframe/fixed_bp_mf_simd/64", "min_s": 0.020, "mean_s": 0.021000000, "max_s": 0.022, "iters_per_sample": 4, "samples": 15}
+  ]
+}"#;
+
+    #[test]
+    fn simd_pair_checks_gate_both_directions() {
+        let mut benches = parse_benchmarks(SIMD_SAMPLE);
+        // Recorded: simd 2x / 1.52x faster — passes both the not-slower
+        // margin and the 1.15x speedup gate.
+        assert!(check_pair_not_slower(&benches, "_simd", "_scalar", 1.2).is_empty());
+        assert!(check_pair_speedup(&benches, "_simd", "_scalar", 1.15).is_empty());
+        // A simd id that lost its gain fails the speedup gate first …
+        benches[3].mean_s = 0.030; // only 1.07x faster than 0.032
+        let v = check_pair_speedup(&benches, "_simd", "_scalar", 1.15);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("fixed_bp_mf_simd"));
+        // … and the not-slower margin once it regresses past the scalar.
+        benches[3].mean_s = 0.040;
+        assert_eq!(
+            check_pair_not_slower(&benches, "_simd", "_scalar", 1.2).len(),
+            1
+        );
+        // No pairs at all is itself a violation.
+        assert_eq!(
+            check_pair_speedup(&benches[..1], "_simd", "_scalar", 1.15).len(),
+            1
+        );
     }
 }

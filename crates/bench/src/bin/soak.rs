@@ -144,14 +144,18 @@ fn main() -> ExitCode {
         }
     };
 
+    // The kernel tier makes soak logs attributable: a throughput number only
+    // means something relative to the kernels (avx2/sse4.1/scalar) it ran on.
     println!(
-        "soak: {} modes, {} ms stream, {} ms deadline, queue {}, max batch {}, Eb/N0 {} dB",
+        "soak: {} modes, {} ms stream, {} ms deadline, queue {}, max batch {}, Eb/N0 {} dB, \
+         kernel tier {}",
         args.modes.len(),
         args.duration.as_millis(),
         args.deadline.as_millis(),
         args.queue_capacity,
         args.max_batch,
-        args.ebn0_db
+        args.ebn0_db,
+        ldpc_core::kernel_tier()
     );
 
     let mut traffic = MixedTraffic::new(args.seed);

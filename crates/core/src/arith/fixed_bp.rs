@@ -6,6 +6,7 @@
 //! SISO decoder models in [`crate::siso`] produce identical messages.
 
 use super::lanes::{LaneKernel, LaneScratch};
+use super::simd::{self, SimdLevel};
 use super::DecoderArithmetic;
 use crate::fixedpoint::FixedFormat;
 use crate::lut::{CorrectionKind, CorrectionLut};
@@ -44,6 +45,11 @@ pub struct FixedBpArithmetic {
     mode: CheckNodeMode,
     lut_plus: CorrectionLut,
     lut_minus: CorrectionLut,
+    /// Kernel-tier pin for the panel kernels: `None` follows the
+    /// process-wide [`simd::active_level`]; `Some` forces a tier for this
+    /// instance (A/B benches, bit-identity sweeps). Outputs are identical
+    /// either way.
+    simd: Option<SimdLevel>,
 }
 
 impl Default for FixedBpArithmetic {
@@ -72,7 +78,24 @@ impl FixedBpArithmetic {
             mode,
             lut_plus: CorrectionLut::new(CorrectionKind::Plus, format, lut_address_bits),
             lut_minus: CorrectionLut::new(CorrectionKind::Minus, format, lut_address_bits),
+            simd: None,
         }
+    }
+
+    /// Pins this instance's panel kernels to an explicit SIMD tier (clamped
+    /// to the detected CPU capability) instead of the process-wide
+    /// [`simd::active_level`]. Decode outputs are bit-identical across
+    /// tiers; this exists for A/B benchmarking and the bit-identity sweeps.
+    #[must_use]
+    pub fn with_simd_level(mut self, level: SimdLevel) -> Self {
+        self.simd = Some(level);
+        self
+    }
+
+    /// The kernel tier this instance's panel kernels dispatch to.
+    #[must_use]
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd.unwrap_or_else(simd::active_level)
     }
 
     /// The 8-bit datapath with the robust forward/backward check-node mode.
@@ -245,125 +268,27 @@ impl DecoderArithmetic for FixedBpArithmetic {
     }
 }
 
-/// Pass 1 of the branch-free ⊞/⊟ lane decomposition: per lane, the minimum,
-/// the format-saturated sum and the absolute difference of the two input
-/// magnitudes. Straight-line `abs`/`min` arithmetic, no branches.
-///
-/// Inputs must be in-range message codes (`|x| ≤ max_code`), which the
-/// decoder guarantees: λ is saturated to the message format and every ⊞/⊟
-/// output is clamped back into it — so `aa + ab` cannot overflow and the sum
-/// saturation reduces to a `min`.
-fn magnitude_split(
-    max_code: i32,
-    a: &[i32],
-    b: &[i32],
-    mins: &mut [i32],
-    sums: &mut [i32],
-    diffs: &mut [i32],
-) {
-    for ((((&a, &b), mn), sm), df) in a
-        .iter()
-        .zip(b)
-        .zip(mins.iter_mut())
-        .zip(sums.iter_mut())
-        .zip(diffs.iter_mut())
-    {
-        let (aa, ab) = (a.abs(), b.abs());
-        *mn = aa.min(ab);
-        *sm = (aa + ab).min(max_code);
-        *df = (aa - ab).abs();
-    }
-}
-
-/// Pass 3 of the branch-free ⊞: combines the min lane with the LUT-corrected
-/// sum/diff lanes into `out = a ⊞ b`, bit-identical to
-/// [`FixedBpArithmetic::boxplus_codes`]. The sign is applied by multiplying
-/// with `((a ^ b) >> 31) | 1` (±1), so there is no per-element branch.
-fn combine_plus(
-    max_code: i32,
-    a: &[i32],
-    b: &[i32],
-    mins: &[i32],
-    corr_sums: &[i32],
-    corr_diffs: &[i32],
-    out: &mut [i32],
-) {
-    for (((((&a, &b), &mn), &cs), &cd), o) in a
-        .iter()
-        .zip(b)
-        .zip(mins)
-        .zip(corr_sums)
-        .zip(corr_diffs)
-        .zip(out.iter_mut())
-    {
-        let magnitude = (mn + cs - cd).clamp(1, max_code);
-        *o = (((a ^ b) >> 31) | 1) * magnitude;
-    }
-}
-
-/// In-place variant of [`combine_plus`] for the running ⊞ accumulator:
-/// `acc = acc ⊞ b` (the sign still reads the pre-update `acc`).
-fn combine_plus_assign(
-    max_code: i32,
-    acc: &mut [i32],
-    b: &[i32],
-    mins: &[i32],
-    corr_sums: &[i32],
-    corr_diffs: &[i32],
-) {
-    for ((((acc, &b), &mn), &cs), &cd) in acc
-        .iter_mut()
-        .zip(b)
-        .zip(mins)
-        .zip(corr_sums)
-        .zip(corr_diffs)
-    {
-        let magnitude = (mn + cs - cd).clamp(1, max_code);
-        *acc = (((*acc ^ b) >> 31) | 1) * magnitude;
-    }
-}
-
-/// Pass 3 of the branch-free ⊟: bit-identical to
-/// [`FixedBpArithmetic::boxminus_codes`] (magnitude floored at 0, not 1).
-fn combine_minus(
-    max_code: i32,
-    a: &[i32],
-    b: &[i32],
-    mins: &[i32],
-    corr_sums: &[i32],
-    corr_diffs: &[i32],
-    out: &mut [i32],
-) {
-    for (((((&a, &b), &mn), &cs), &cd), o) in a
-        .iter()
-        .zip(b)
-        .zip(mins)
-        .zip(corr_sums)
-        .zip(corr_diffs)
-        .zip(out.iter_mut())
-    {
-        let magnitude = (mn - cs + cd).clamp(0, max_code);
-        *o = (((a ^ b) >> 31) | 1) * magnitude;
-    }
-}
-
 /// Hand-written lane kernels for the fixed-point BP datapath.
 ///
 /// Both check-node modes run the *same recursion in the same order* as the
 /// scalar [`DecoderArithmetic::check_node_update`], but with the slot loop
 /// outside and the lane loop inside, so every inner loop is a stride-1 sweep
 /// of independent `i32` codes (one per SISO lane; the frame-major engine
-/// passes `z · F` lanes per panel). Each ⊞/⊟ step over a panel runs as three
-/// branch-free passes: magnitude decomposition (`magnitude_split`), the
-/// [`CorrectionLut`] gather through the clamped-index
-/// [`CorrectionLut::map_slice`] (no per-element region branch, no division
-/// for practical formats), and the sign/saturate combine (`combine_plus` /
-/// `combine_minus`) — replacing the former per-element
-/// [`FixedBpArithmetic::boxplus_codes`] calls, whose region branches and
-/// divisions dominated the decode profile. The scalar operators remain the
-/// bit-identity reference. Unlike the scalar forward/backward update, which
-/// allocates two transient row buffers per check row, the lane kernel runs
-/// entirely out of the caller's [`LaneScratch`].
+/// passes `z · F` lanes per panel). Each ⊞/⊟ step over a panel is one
+/// [`simd::boxplus_panel`] / [`simd::boxminus_panel`] call, dispatched to
+/// the instance's kernel tier ([`FixedBpArithmetic::simd_level`]): on AVX2
+/// the whole operator runs as a single fused register-resident pass with
+/// hardware LUT gathers (`vpgatherdd`); lower tiers run the three
+/// branch-free passes — magnitude decomposition, the clamped-index
+/// [`CorrectionLut`] gather (no per-element region branch, no division for
+/// practical formats) and the sign/saturate combine — through the scratch
+/// panels at their own vector width. All tiers replace the former
+/// per-element [`FixedBpArithmetic::boxplus_codes`] calls, whose region
+/// branches and divisions dominated the decode profile; the scalar
+/// operators remain the bit-identity reference. Unlike the scalar
+/// forward/backward update, which allocates two transient row buffers per
+/// check row, the lane kernel runs entirely out of the caller's
+/// [`LaneScratch`].
 impl LaneKernel for FixedBpArithmetic {
     fn prefers_frame_groups(&self) -> bool {
         true
@@ -375,25 +300,18 @@ impl LaneKernel for FixedBpArithmetic {
     /// saturate reduces to a clamp, and the clamped difference is zero only
     /// when the exact difference is zero — where the scalar rule falls back
     /// to the sign of `L`. Branch-free, bit-identical to
-    /// [`DecoderArithmetic::sub`] per element.
+    /// [`DecoderArithmetic::sub`] per element; dispatched to the instance's
+    /// kernel tier.
     fn sub_lanes(&self, app: &[i32], lambda: &[i32], out: &mut [i32]) {
-        debug_assert!(app.len() == lambda.len() && lambda.len() == out.len());
         let (lo, hi) = (self.format.min_code(), self.format.max_code());
-        for ((o, &a), &b) in out.iter_mut().zip(app).zip(lambda) {
-            let r = (a - b).clamp(lo, hi);
-            let zero_remap = (a >> 31) | 1;
-            *o = if r == 0 { zero_remap } else { r };
-        }
+        simd::sub_lanes_remap(self.simd_level(), lo, hi, app, lambda, out);
     }
 
     /// `L = λ + Λ′` over a panel, `i32`-only (clamped to the wider APP
-    /// format).
+    /// format), dispatched to the instance's kernel tier.
     fn add_lanes(&self, lam: &[i32], upd: &[i32], out: &mut [i32]) {
-        debug_assert!(lam.len() == upd.len() && upd.len() == out.len());
         let (lo, hi) = (self.app_format.min_code(), self.app_format.max_code());
-        for ((o, &a), &b) in out.iter_mut().zip(lam).zip(upd) {
-            *o = (a + b).clamp(lo, hi);
-        }
+        simd::add_lanes_clamp(self.simd_level(), lo, hi, lam, upd, out);
     }
 
     fn check_node_update_lanes(
@@ -410,10 +328,12 @@ impl LaneKernel for FixedBpArithmetic {
             return;
         }
         let max_code = self.format.max_code();
+        let level = self.simd_level();
         match self.mode {
             CheckNodeMode::SumExtract => {
                 // Serial f(·) recursion across slots to form the lane of total
-                // sums S_m — each step three stride-1 passes over the panel …
+                // sums S_m — one ⊞ panel step per slot (fused on AVX2,
+                // three branch-free passes below it) …
                 let buf = scratch.lanes_mut(4 * z, 0);
                 let (total, rest) = buf.split_at_mut(z);
                 let (mins, rest) = rest.split_at_mut(z);
@@ -421,18 +341,31 @@ impl LaneKernel for FixedBpArithmetic {
                 total.copy_from_slice(&lanes_in[..z]);
                 for slot in 1..degree {
                     let inc = &lanes_in[slot * z..(slot + 1) * z];
-                    magnitude_split(max_code, total, inc, mins, sums, diffs);
-                    self.lut_plus.map_slice(sums);
-                    self.lut_plus.map_slice(diffs);
-                    combine_plus_assign(max_code, total, inc, mins, sums, diffs);
+                    simd::boxplus_assign_panel(
+                        level,
+                        &self.lut_plus,
+                        max_code,
+                        total,
+                        inc,
+                        mins,
+                        sums,
+                        diffs,
+                    );
                 }
                 // … then the g(·) extraction of every slot (Eq. 1), same
-                // three-pass shape through the ⊟ LUT.
+                // panel shape through the ⊟ LUT.
                 for (out, inc) in lanes_out.chunks_exact_mut(z).zip(lanes_in.chunks_exact(z)) {
-                    magnitude_split(max_code, total, inc, mins, sums, diffs);
-                    self.lut_minus.map_slice(sums);
-                    self.lut_minus.map_slice(diffs);
-                    combine_minus(max_code, total, inc, mins, sums, diffs, out);
+                    simd::boxminus_panel(
+                        level,
+                        &self.lut_minus,
+                        max_code,
+                        total,
+                        inc,
+                        out,
+                        mins,
+                        sums,
+                        diffs,
+                    );
                 }
             }
             CheckNodeMode::ForwardBackward => {
@@ -441,7 +374,7 @@ impl LaneKernel for FixedBpArithmetic {
                     return;
                 }
                 // fwd[s] = λ_0 ⊞ … ⊞ λ_s, bwd[s] = λ_s ⊞ … ⊞ λ_{d−1}, both
-                // slot-major in the scratch; every ⊞ is the three-pass form.
+                // slot-major in the scratch; every ⊞ is one panel step.
                 let buf = scratch.lanes_mut((2 * degree + 3) * z, 0);
                 let (fwd, rest) = buf.split_at_mut(degree * z);
                 let (bwd, rest) = rest.split_at_mut(degree * z);
@@ -451,19 +384,33 @@ impl LaneKernel for FixedBpArithmetic {
                 for slot in 1..degree {
                     let (prev, cur) = fwd[(slot - 1) * z..(slot + 1) * z].split_at_mut(z);
                     let inc = &lanes_in[slot * z..(slot + 1) * z];
-                    magnitude_split(max_code, prev, inc, mins, sums, diffs);
-                    self.lut_plus.map_slice(sums);
-                    self.lut_plus.map_slice(diffs);
-                    combine_plus(max_code, prev, inc, mins, sums, diffs, cur);
+                    simd::boxplus_panel(
+                        level,
+                        &self.lut_plus,
+                        max_code,
+                        prev,
+                        inc,
+                        cur,
+                        mins,
+                        sums,
+                        diffs,
+                    );
                 }
                 bwd[(degree - 1) * z..].copy_from_slice(&lanes_in[(degree - 1) * z..]);
                 for slot in (0..degree - 1).rev() {
                     let (cur, next) = bwd[slot * z..(slot + 2) * z].split_at_mut(z);
                     let inc = &lanes_in[slot * z..(slot + 1) * z];
-                    magnitude_split(max_code, next, inc, mins, sums, diffs);
-                    self.lut_plus.map_slice(sums);
-                    self.lut_plus.map_slice(diffs);
-                    combine_plus(max_code, next, inc, mins, sums, diffs, cur);
+                    simd::boxplus_panel(
+                        level,
+                        &self.lut_plus,
+                        max_code,
+                        next,
+                        inc,
+                        cur,
+                        mins,
+                        sums,
+                        diffs,
+                    );
                 }
                 for (slot, out) in lanes_out.chunks_exact_mut(z).enumerate() {
                     if slot == 0 {
@@ -473,10 +420,17 @@ impl LaneKernel for FixedBpArithmetic {
                     } else {
                         let f = &fwd[(slot - 1) * z..slot * z];
                         let b = &bwd[(slot + 1) * z..(slot + 2) * z];
-                        magnitude_split(max_code, f, b, mins, sums, diffs);
-                        self.lut_plus.map_slice(sums);
-                        self.lut_plus.map_slice(diffs);
-                        combine_plus(max_code, f, b, mins, sums, diffs, out);
+                        simd::boxplus_panel(
+                            level,
+                            &self.lut_plus,
+                            max_code,
+                            f,
+                            b,
+                            out,
+                            mins,
+                            sums,
+                            diffs,
+                        );
                     }
                 }
             }

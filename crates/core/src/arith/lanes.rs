@@ -18,6 +18,14 @@
 //! updates allocate transient row buffers on every call; the lane kernels
 //! allocate nothing in steady state).
 //!
+//! Underneath the slice kernels sits a third tier: the fixed-point
+//! overrides dispatch their panel passes through
+//! [`crate::arith::simd`] — explicit AVX2/SSE4.1 intrinsics (with hardware
+//! LUT gathers and fused ⊞/⊟ on AVX2) selected once per process at
+//! runtime, with these scalar panel loops as the universal, bit-identical
+//! fallback (`LDPC_FORCE_SCALAR=1` pins it). The row-serial fallback in
+//! this module remains the reference above both.
+//!
 //! Layout invariant: `lanes_in` and `lanes_out` hold `degree · z` messages,
 //! slot-major. Lane `r` of the layer is the strided row
 //! `lanes[r], lanes[z + r], …, lanes[(degree−1)·z + r]`, and the kernel must

@@ -14,6 +14,7 @@
 //! hardware).
 
 use super::lanes::{LaneKernel, LaneScratch};
+use super::simd::{self, SimdLevel};
 use super::DecoderArithmetic;
 use crate::boxplus::FLOAT_CLAMP;
 use crate::fixedpoint::FixedFormat;
@@ -153,6 +154,10 @@ pub struct FixedMinSumArithmetic {
     /// Wider a-posteriori format (2 extra integer bits), see
     /// [`FixedBpArithmetic`](super::FixedBpArithmetic).
     app_format: FixedFormat,
+    /// Kernel-tier pin for the panel kernels: `None` follows the
+    /// process-wide [`simd::active_level`]. Outputs are identical either
+    /// way.
+    simd: Option<SimdLevel>,
 }
 
 impl Default for FixedMinSumArithmetic {
@@ -168,7 +173,24 @@ impl FixedMinSumArithmetic {
         FixedMinSumArithmetic {
             format,
             app_format: FixedFormat::new((format.word_bits() + 2).min(24), format.frac_bits()),
+            simd: None,
         }
+    }
+
+    /// Pins this instance's panel kernels to an explicit SIMD tier (clamped
+    /// to the detected CPU capability) instead of the process-wide
+    /// [`simd::active_level`]. Decode outputs are bit-identical across
+    /// tiers; this exists for A/B benchmarking and the bit-identity sweeps.
+    #[must_use]
+    pub fn with_simd_level(mut self, level: SimdLevel) -> Self {
+        self.simd = Some(level);
+        self
+    }
+
+    /// The kernel tier this instance's panel kernels dispatch to.
+    #[must_use]
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd.unwrap_or_else(simd::active_level)
     }
 
     /// The check-message format.
@@ -184,7 +206,9 @@ impl FixedMinSumArithmetic {
     }
 
     fn normalize(&self, magnitude: i32) -> i32 {
-        // α = 0.75 as shift-and-subtract.
+        // α = 0.75 as shift-and-subtract. The panel kernels inline this
+        // exact formula (`simd::min_sum_emit` and its vector twins); keep
+        // them in lock-step if the normalisation ever changes.
         magnitude - (magnitude >> 2)
     }
 }
@@ -254,22 +278,16 @@ impl LaneKernel for FixedMinSumArithmetic {
     /// `λ = L − Λ` over a panel, in pure `i32`: the operands are in-range
     /// APP/message codes (|L| ≤ app max, |Λ| ≤ message max, both far below
     /// `i32` overflow), so the scalar path's widen-to-`i64`-and-saturate
-    /// reduces to a clamp — one stride-1 sweep the vector units chew through.
+    /// reduces to a clamp — dispatched to the instance's kernel tier.
     fn sub_lanes(&self, app: &[i32], lambda: &[i32], out: &mut [i32]) {
-        debug_assert!(app.len() == lambda.len() && lambda.len() == out.len());
         let (lo, hi) = (self.format.min_code(), self.format.max_code());
-        for ((o, &a), &b) in out.iter_mut().zip(app).zip(lambda) {
-            *o = (a - b).clamp(lo, hi);
-        }
+        simd::sub_lanes_clamp(self.simd_level(), lo, hi, app, lambda, out);
     }
 
     /// `L = λ + Λ′` over a panel, `i32`-only for the same reason.
     fn add_lanes(&self, lam: &[i32], upd: &[i32], out: &mut [i32]) {
-        debug_assert!(lam.len() == upd.len() && upd.len() == out.len());
         let (lo, hi) = (self.app_format.min_code(), self.app_format.max_code());
-        for ((o, &a), &b) in out.iter_mut().zip(lam).zip(upd) {
-            *o = (a + b).clamp(lo, hi);
-        }
+        simd::add_lanes_clamp(self.simd_level(), lo, hi, lam, upd, out);
     }
 
     fn check_node_update_lanes(
@@ -285,6 +303,7 @@ impl LaneKernel for FixedMinSumArithmetic {
         if degree == 0 {
             return;
         }
+        let level = self.simd_level();
         let buf = scratch.lanes_mut(4 * z, 0);
         let (min1, rest) = buf.split_at_mut(z);
         let (min2, rest) = rest.split_at_mut(z);
@@ -293,50 +312,33 @@ impl LaneKernel for FixedMinSumArithmetic {
         min2.fill(i32::MAX);
         argmin.fill(0);
         parity.fill(0);
+        // Select form of: if a < m1 { m2 = m1; m1 = a; am = slot }
+        // else if a < m2 { m2 = a } — same first-wins tie semantics
+        // (a == m1 keeps the earlier argmin), no branches; one
+        // tier-dispatched panel sweep per slot.
         for (slot, inc) in lanes_in.chunks_exact(z).enumerate() {
-            let slot = slot as i32;
-            for ((((&l, m1), m2), am), p) in inc
-                .iter()
-                .zip(min1.iter_mut())
-                .zip(min2.iter_mut())
-                .zip(argmin.iter_mut())
-                .zip(parity.iter_mut())
-            {
-                // Select form of: if a < m1 { m2 = m1; m1 = a; am = slot }
-                // else if a < m2 { m2 = a } — same first-wins tie semantics
-                // (a == m1 keeps the earlier argmin), no branches.
-                let a = l.abs();
-                let displaces = a < *m1;
-                *m2 = if displaces { *m1 } else { a.min(*m2) };
-                *am = if displaces { slot } else { *am };
-                *m1 = a.min(*m1);
-                *p ^= i32::from(l < 0);
-            }
+            simd::min_sum_track(level, slot as i32, inc, min1, min2, argmin, parity);
         }
+        // Output pass: second minimum at the argmin, first elsewhere. The
+        // magnitudes are non-negative (abs codes or the MAX sentinel), so
+        // the scalar path's i64 saturate reduces to a min, and the α = 0.75
+        // normalisation is the hardware shift-and-subtract.
         for (slot, (out, inc)) in lanes_out
             .chunks_exact_mut(z)
             .zip(lanes_in.chunks_exact(z))
             .enumerate()
         {
-            let slot = slot as i32;
-            for (((((o, &l), &m1), &m2), &am), &p) in out
-                .iter_mut()
-                .zip(inc)
-                .zip(min1.iter())
-                .zip(min2.iter())
-                .zip(argmin.iter())
-                .zip(parity.iter())
-            {
-                let raw = if am == slot { m2 } else { m1 };
-                // The magnitudes are non-negative (abs codes or the MAX
-                // sentinel), so the i64 saturate reduces to a min.
-                let mag = self.normalize(raw.min(self.format.max_code()));
-                *o = if (p ^ i32::from(l < 0)) != 0 {
-                    -mag
-                } else {
-                    mag
-                };
-            }
+            simd::min_sum_emit(
+                level,
+                slot as i32,
+                self.format.max_code(),
+                inc,
+                min1,
+                min2,
+                argmin,
+                parity,
+                out,
+            );
         }
     }
 }

@@ -17,11 +17,18 @@ mod fixed_bp;
 mod float_bp;
 mod lanes;
 mod min_sum;
+// The explicit-SIMD kernel tier is the one module in the crate allowed to
+// use `unsafe` (std::arch intrinsics + bounded raw-pointer panel loops);
+// the crate-level lint is `deny(unsafe_code)`, relaxed here alone. See the
+// module docs for the per-block safety arguments.
+#[allow(unsafe_code)]
+pub mod simd;
 
 pub use fixed_bp::{CheckNodeMode, FixedBpArithmetic};
 pub use float_bp::FloatBpArithmetic;
 pub use lanes::{LaneKernel, LaneScratch};
 pub use min_sum::{FixedMinSumArithmetic, FloatMinSumArithmetic};
+pub use simd::SimdLevel;
 
 use std::fmt::Debug;
 

@@ -1,0 +1,1627 @@
+//! Explicit-SIMD panel kernels with once-per-process runtime dispatch.
+//!
+//! The [`LaneKernel`](super::LaneKernel) slice kernels process
+//! `z · F`-lane panels through
+//! branch-free scalar `i32` loops and rely on the compiler to auto-vectorise
+//! them. This module is the tier below: hand-written `std::arch` intrinsics
+//! for the fixed-point panel hot loops, selected **once per process** by
+//! [`active_level`] (runtime CPU feature detection on stable Rust — no
+//! nightly, no compile-time `-C target-cpu` requirement) and always
+//! bit-identical to the scalar panel reference:
+//!
+//! * **AVX2** — 8-lane `i32` vectors, and the one thing auto-vectorisation
+//!   can never produce from the scalar loops: true hardware gathers
+//!   (`vpgatherdd`, [`_mm256_i32gather_epi32`]) through the dense
+//!   [`CorrectionLut`] table. At this width the whole ⊞/⊟ operator *fuses*
+//!   into a single register-resident pass ([`boxplus_panel`] /
+//!   [`boxminus_panel`]): magnitude split, both LUT gathers and the
+//!   sign/saturate combine with no round-trips through the `LaneScratch`
+//!   panels.
+//! * **SSE4.1** — 4-lane vectors for the split/combine/minima/`sub`/`add`
+//!   passes. SSE has no gather, so the LUT pass stays the scalar
+//!   clamped-index loop and the three-pass structure is kept.
+//! * **Scalar** — the universal fallback: exactly the branch-free loops the
+//!   auto-vectorised panel tier has always run (kept in [`mod@self`] as the
+//!   bit-identity reference), used on non-x86 targets, on CPUs without
+//!   SSE4.1, and whenever `LDPC_FORCE_SCALAR` is set.
+//!
+//! # Dispatch
+//!
+//! [`detected_level`] probes the CPU once (cached) via
+//! `is_x86_feature_detected!`; [`active_level`] additionally honours the
+//! `LDPC_FORCE_SCALAR` environment variable (read once per process, like
+//! `LDPC_DECODE_THREADS`) as an escape hatch for A/B measurement and for
+//! pinning CI legs to the fallback path. Every public kernel takes an
+//! explicit [`SimdLevel`] so tests and benches can pin a tier per call; the
+//! level is clamped to the detected capability
+//! ([`SimdLevel::effective`]), which is what makes these functions *safe*:
+//! an intrinsic path can only be reached on a CPU that reported the feature.
+//!
+//! # Safety
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the crate
+//! lint is `deny(unsafe_code)`, relaxed for this module alone). Every
+//! `unsafe` block is one of exactly two shapes, each individually justified
+//! at the block:
+//!
+//! 1. **Feature-gated intrinsic calls** — `#[target_feature]` functions are
+//!    only invoked after [`SimdLevel::effective`] capped the requested level
+//!    at [`detected_level`], so the ISA extension is guaranteed present.
+//! 2. **Raw-pointer panel loads/stores** — every kernel asserts all its
+//!    slices share one length `n` on entry, and every pointer access is at
+//!    offset `i + WIDTH ≤ n`; ragged tails (`n mod WIDTH`) are delegated to
+//!    the safe scalar reference on sub-slices.
+//!
+//! The gather index vector is clamped with an **unsigned** min against
+//! `dense.len() − 1` before every `vpgatherdd`, so each gathered address is
+//! in-bounds for any `i32` input, exactly mirroring the scalar
+//! `dense[(x as usize).min(last)]` (negative codes wrap to huge unsigned
+//! values and clamp to the saturation entry on both paths).
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel here produces, for every lane, exactly the bytes the scalar
+//! panel reference produces — same clamps in the same order, same sign rule,
+//! same tie semantics in the minima tracking. The contract is pinned by the
+//! unit tests below, by `tests/integration_simd.rs` (exhaustive dense-LUT
+//! domain sweep, boundary/saturation sweeps, ragged tails, full-decoder
+//! bit-identity across levels) and by the `LDPC_FORCE_SCALAR=1` CI leg
+//! running the whole suite on the fallback path.
+//!
+//! [`_mm256_i32gather_epi32`]: core::arch::x86_64::_mm256_i32gather_epi32
+//! [`CorrectionLut`]: crate::lut::CorrectionLut
+
+#![allow(clippy::too_many_arguments)]
+
+use crate::lut::CorrectionLut;
+use std::sync::OnceLock;
+
+/// A kernel tier: which instruction-set extension the panel kernels run on.
+///
+/// Ordered by capability: `Scalar < Sse41 < Avx2`. Requesting a level the
+/// CPU does not support silently degrades to the best supported one
+/// ([`SimdLevel::effective`]), so any `SimdLevel` value is safe to pass
+/// anywhere; on non-x86 targets every level degrades to `Scalar`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// The branch-free scalar panel loops (auto-vectorised by the compiler).
+    Scalar,
+    /// 4-lane `i32` SSE4.1 kernels (scalar LUT gather — SSE has none).
+    Sse41,
+    /// 8-lane `i32` AVX2 kernels with `vpgatherdd` LUT gathers and fused
+    /// ⊞/⊟ panels.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Short lower-case tier name, as printed by CI headers and baselines:
+    /// `"avx2"`, `"sse4.1"` or `"scalar"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Sse41 => "sse4.1",
+            SimdLevel::Scalar => "scalar",
+        }
+    }
+
+    /// This level clamped to what the running CPU actually supports — the
+    /// level whose kernels will really execute. Idempotent.
+    #[must_use]
+    pub fn effective(self) -> SimdLevel {
+        self.min(detected_level())
+    }
+}
+
+/// The best kernel tier the running CPU supports, probed once per process
+/// (cached) via `is_x86_feature_detected!`. Ignores `LDPC_FORCE_SCALAR`;
+/// see [`active_level`] for the tier the decode engine actually uses.
+#[must_use]
+pub fn detected_level() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                return SimdLevel::Sse41;
+            }
+        }
+        SimdLevel::Scalar
+    })
+}
+
+/// Whether a raw `LDPC_FORCE_SCALAR` value requests the scalar fallback.
+///
+/// Unset and the usual falsey spellings (`0`, `false`, `no`, `off`, empty —
+/// trimmed, case-insensitive) leave SIMD dispatch on; the truthy spellings
+/// (`1`, `true`, `yes`, `on`) force scalar. Any other value is diagnosed on
+/// stderr once per process and treated as *forcing scalar* — the user
+/// clearly asked for the fallback, and degrading performance is the safe
+/// way to honour a garbled request.
+fn force_scalar(raw: Option<&str>) -> bool {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let Some(raw) = raw else {
+        return false;
+    };
+    let v = raw.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" | "0" | "false" | "no" | "off" => false,
+        "1" | "true" | "yes" | "on" => true,
+        _ => {
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "ldpc-core: unrecognised LDPC_FORCE_SCALAR={raw:?} (expected 0/1); \
+                     treating it as set and forcing the scalar kernel tier"
+                );
+            });
+            true
+        }
+    }
+}
+
+/// The kernel tier the decode engine dispatches to: [`detected_level`]
+/// unless the `LDPC_FORCE_SCALAR` environment variable pins the scalar
+/// fallback. Read once per process and cached — changing the variable after
+/// the first decode has no effect.
+#[must_use]
+pub fn active_level() -> SimdLevel {
+    static ACTIVE: OnceLock<SimdLevel> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        if force_scalar(std::env::var("LDPC_FORCE_SCALAR").ok().as_deref()) {
+            SimdLevel::Scalar
+        } else {
+            detected_level()
+        }
+    })
+}
+
+/// Asserts that every slice passed to a panel kernel shares one length.
+/// Hard (release-mode) asserts: the intrinsic kernels turn these lengths
+/// into raw-pointer bounds, so a mismatch must never reach them.
+macro_rules! assert_same_len {
+    ($first:expr $(, $rest:expr)+ $(,)?) => {
+        let n = $first.len();
+        $(assert_eq!($rest.len(), n, "panel kernel slice length mismatch");)+
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations
+// ---------------------------------------------------------------------------
+
+/// The branch-free scalar panel loops — the bit-identity reference every
+/// vector kernel is pinned against, and the universal dispatch fallback.
+/// These are exactly the loops the auto-vectorised panel tier has always
+/// run (moved here from `fixed_bp.rs`/`min_sum.rs` when the explicit-SIMD
+/// tier landed).
+pub(crate) mod scalar {
+    /// Pass 1 of the ⊞/⊟ decomposition: per lane, the minimum, the
+    /// format-saturated sum and the absolute difference of the two input
+    /// magnitudes. Inputs are in-range message codes (`|x| ≤ max_code`), so
+    /// `aa + ab` cannot overflow and the sum saturation reduces to a `min`.
+    pub(crate) fn magnitude_split(
+        max_code: i32,
+        a: &[i32],
+        b: &[i32],
+        mins: &mut [i32],
+        sums: &mut [i32],
+        diffs: &mut [i32],
+    ) {
+        for ((((&a, &b), mn), sm), df) in a
+            .iter()
+            .zip(b)
+            .zip(mins.iter_mut())
+            .zip(sums.iter_mut())
+            .zip(diffs.iter_mut())
+        {
+            let (aa, ab) = (a.abs(), b.abs());
+            *mn = aa.min(ab);
+            *sm = (aa + ab).min(max_code);
+            *df = (aa - ab).abs();
+        }
+    }
+
+    /// Pass 3 of the ⊞: combines the min lane with the LUT-corrected
+    /// sum/diff lanes, magnitude floored at one LSB, sign applied as
+    /// `((a ^ b) >> 31) | 1` (±1) — no per-element branch.
+    pub(crate) fn combine_plus(
+        max_code: i32,
+        a: &[i32],
+        b: &[i32],
+        mins: &[i32],
+        corr_sums: &[i32],
+        corr_diffs: &[i32],
+        out: &mut [i32],
+    ) {
+        for (((((&a, &b), &mn), &cs), &cd), o) in a
+            .iter()
+            .zip(b)
+            .zip(mins)
+            .zip(corr_sums)
+            .zip(corr_diffs)
+            .zip(out.iter_mut())
+        {
+            let magnitude = (mn + cs - cd).clamp(1, max_code);
+            *o = (((a ^ b) >> 31) | 1) * magnitude;
+        }
+    }
+
+    /// In-place [`combine_plus`] for the running ⊞ accumulator
+    /// (`acc = acc ⊞ b`; the sign still reads the pre-update `acc`).
+    pub(crate) fn combine_plus_assign(
+        max_code: i32,
+        acc: &mut [i32],
+        b: &[i32],
+        mins: &[i32],
+        corr_sums: &[i32],
+        corr_diffs: &[i32],
+    ) {
+        for ((((acc, &b), &mn), &cs), &cd) in acc
+            .iter_mut()
+            .zip(b)
+            .zip(mins)
+            .zip(corr_sums)
+            .zip(corr_diffs)
+        {
+            let magnitude = (mn + cs - cd).clamp(1, max_code);
+            *acc = (((*acc ^ b) >> 31) | 1) * magnitude;
+        }
+    }
+
+    /// Pass 3 of the ⊟ (magnitude floored at 0, not 1).
+    pub(crate) fn combine_minus(
+        max_code: i32,
+        a: &[i32],
+        b: &[i32],
+        mins: &[i32],
+        corr_sums: &[i32],
+        corr_diffs: &[i32],
+        out: &mut [i32],
+    ) {
+        for (((((&a, &b), &mn), &cs), &cd), o) in a
+            .iter()
+            .zip(b)
+            .zip(mins)
+            .zip(corr_sums)
+            .zip(corr_diffs)
+            .zip(out.iter_mut())
+        {
+            let magnitude = (mn - cs + cd).clamp(0, max_code);
+            *o = (((a ^ b) >> 31) | 1) * magnitude;
+        }
+    }
+
+    /// Dense-table LUT gather: `out[i] = dense[min(xs[i], last)]` with the
+    /// index clamp in unsigned/`usize` space (negative codes clamp to the
+    /// saturation entry).
+    pub(crate) fn lut_gather_dense(dense: &[i32], xs: &[i32], out: &mut [i32]) {
+        let last = dense.len() - 1;
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = dense[(x as usize).min(last)];
+        }
+    }
+
+    /// In-place [`lut_gather_dense`].
+    pub(crate) fn lut_map_dense(dense: &[i32], xs: &mut [i32]) {
+        let last = dense.len() - 1;
+        for x in xs.iter_mut() {
+            *x = dense[(*x as usize).min(last)];
+        }
+    }
+
+    /// Fused dense-LUT ⊞ over a panel — the scalar twin of the AVX2 gather
+    /// kernel, used for its ragged tail. Bit-identical to
+    /// `magnitude_split` + two `lut_gather_dense` + `combine_plus`.
+    pub(crate) fn boxplus_dense(
+        dense: &[i32],
+        max_code: i32,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i32],
+    ) {
+        let last = dense.len() - 1;
+        for ((&a, &b), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            let (aa, ab) = (a.abs(), b.abs());
+            let mn = aa.min(ab);
+            let sm = (aa + ab).min(max_code);
+            let df = (aa - ab).abs();
+            let magnitude = (mn + dense[(sm as usize).min(last)] - dense[(df as usize).min(last)])
+                .clamp(1, max_code);
+            *o = (((a ^ b) >> 31) | 1) * magnitude;
+        }
+    }
+
+    /// In-place fused dense-LUT ⊞ (`acc = acc ⊞ b`).
+    pub(crate) fn boxplus_assign_dense(dense: &[i32], max_code: i32, acc: &mut [i32], b: &[i32]) {
+        let last = dense.len() - 1;
+        for (acc, &b) in acc.iter_mut().zip(b) {
+            let a = *acc;
+            let (aa, ab) = (a.abs(), b.abs());
+            let mn = aa.min(ab);
+            let sm = (aa + ab).min(max_code);
+            let df = (aa - ab).abs();
+            let magnitude = (mn + dense[(sm as usize).min(last)] - dense[(df as usize).min(last)])
+                .clamp(1, max_code);
+            *acc = (((a ^ b) >> 31) | 1) * magnitude;
+        }
+    }
+
+    /// Fused dense-LUT ⊟ over a panel (corrections swapped, floor 0).
+    pub(crate) fn boxminus_dense(
+        dense: &[i32],
+        max_code: i32,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i32],
+    ) {
+        let last = dense.len() - 1;
+        for ((&a, &b), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            let (aa, ab) = (a.abs(), b.abs());
+            let mn = aa.min(ab);
+            let sm = (aa + ab).min(max_code);
+            let df = (aa - ab).abs();
+            let magnitude = (mn - dense[(sm as usize).min(last)] + dense[(df as usize).min(last)])
+                .clamp(0, max_code);
+            *o = (((a ^ b) >> 31) | 1) * magnitude;
+        }
+    }
+
+    /// `λ = L − Λ` clamp with the fixed-BP ±1-LSB zero remap in select form.
+    pub(crate) fn sub_lanes_remap(lo: i32, hi: i32, app: &[i32], lambda: &[i32], out: &mut [i32]) {
+        for ((o, &a), &b) in out.iter_mut().zip(app).zip(lambda) {
+            let r = (a - b).clamp(lo, hi);
+            let zero_remap = (a >> 31) | 1;
+            *o = if r == 0 { zero_remap } else { r };
+        }
+    }
+
+    /// Plain `λ = L − Λ` clamp (fixed Min-Sum).
+    pub(crate) fn sub_lanes_clamp(lo: i32, hi: i32, app: &[i32], lambda: &[i32], out: &mut [i32]) {
+        for ((o, &a), &b) in out.iter_mut().zip(app).zip(lambda) {
+            *o = (a - b).clamp(lo, hi);
+        }
+    }
+
+    /// `L = λ + Λ′` clamp to the (wider) APP range.
+    pub(crate) fn add_lanes_clamp(lo: i32, hi: i32, lam: &[i32], upd: &[i32], out: &mut [i32]) {
+        for ((o, &a), &b) in out.iter_mut().zip(lam).zip(upd) {
+            *o = (a + b).clamp(lo, hi);
+        }
+    }
+
+    /// One slot of the two-minima tracking pass, in select form: same
+    /// first-wins tie semantics as the row-serial reference (`a == m1`
+    /// keeps the earlier argmin), no branches.
+    pub(crate) fn min_sum_track(
+        slot: i32,
+        inc: &[i32],
+        min1: &mut [i32],
+        min2: &mut [i32],
+        argmin: &mut [i32],
+        parity: &mut [i32],
+    ) {
+        for ((((&l, m1), m2), am), p) in inc
+            .iter()
+            .zip(min1.iter_mut())
+            .zip(min2.iter_mut())
+            .zip(argmin.iter_mut())
+            .zip(parity.iter_mut())
+        {
+            let a = l.abs();
+            let displaces = a < *m1;
+            *m2 = if displaces { *m1 } else { a.min(*m2) };
+            *am = if displaces { slot } else { *am };
+            *m1 = a.min(*m1);
+            *p ^= i32::from(l < 0);
+        }
+    }
+
+    /// One slot of the Min-Sum output pass: second minimum at the argmin,
+    /// first minimum elsewhere, saturated, normalised with the hardware
+    /// `α = 0.75` shift-and-subtract (`x − (x >> 2)`, matching
+    /// `FixedMinSumArithmetic::normalize`), sign = row parity ⊕ own sign.
+    pub(crate) fn min_sum_emit(
+        slot: i32,
+        max_code: i32,
+        inc: &[i32],
+        min1: &[i32],
+        min2: &[i32],
+        argmin: &[i32],
+        parity: &[i32],
+        out: &mut [i32],
+    ) {
+        for (((((o, &l), &m1), &m2), &am), &p) in out
+            .iter_mut()
+            .zip(inc)
+            .zip(min1)
+            .zip(min2)
+            .zip(argmin)
+            .zip(parity)
+        {
+            let raw = if am == slot { m2 } else { m1 };
+            let mag0 = raw.min(max_code);
+            let mag = mag0 - (mag0 >> 2);
+            *o = if (p ^ i32::from(l < 0)) != 0 {
+                -mag
+            } else {
+                mag
+            };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86 intrinsic kernels (AVX2 + SSE4.1, one macro instantiation per width)
+// ---------------------------------------------------------------------------
+
+/// Stamps out one width-specific x86 kernel module. Every function carries
+/// `#[target_feature(enable = …)]` and is `unsafe` with the single safety
+/// requirement *"the CPU supports this feature"*: all slice lengths are
+/// hard-asserted equal on entry, every raw-pointer access is bounded by
+/// `i + WIDTH ≤ n`, and ragged tails go through the safe scalar reference.
+#[cfg(target_arch = "x86_64")]
+macro_rules! x86_panel_kernels {
+    (
+        $modname:ident, $feature:literal, $vec:ty, $width:expr,
+        $loadu:ident, $storeu:ident, $set1:ident, $setzero:ident,
+        $abs:ident, $min:ident, $max:ident,
+        $add:ident, $sub:ident, $xor:ident, $or:ident,
+        $srli:ident, $srai:ident, $cmpeq:ident, $cmpgt:ident,
+        $blendv:ident, $sign:ident
+    ) => {
+        mod $modname {
+            use super::scalar;
+            use core::arch::x86_64::*;
+
+            pub(super) const WIDTH: usize = $width;
+
+            /// # Safety
+            /// The CPU must support the module's target feature.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn magnitude_split(
+                max_code: i32,
+                a: &[i32],
+                b: &[i32],
+                mins: &mut [i32],
+                sums: &mut [i32],
+                diffs: &mut [i32],
+            ) {
+                assert_same_len!(a, b, mins, sums, diffs);
+                let n = a.len();
+                let vmax = $set1(max_code);
+                let mut i = 0;
+                while i + WIDTH <= n {
+                    // SAFETY: i + WIDTH ≤ n and all slices have length n.
+                    let va = $loadu(a.as_ptr().add(i).cast());
+                    let vb = $loadu(b.as_ptr().add(i).cast());
+                    let aa = $abs(va);
+                    let ab = $abs(vb);
+                    $storeu(mins.as_mut_ptr().add(i).cast(), $min(aa, ab));
+                    $storeu(sums.as_mut_ptr().add(i).cast(), $min($add(aa, ab), vmax));
+                    $storeu(diffs.as_mut_ptr().add(i).cast(), $abs($sub(aa, ab)));
+                    i += WIDTH;
+                }
+                scalar::magnitude_split(
+                    max_code,
+                    &a[i..],
+                    &b[i..],
+                    &mut mins[i..],
+                    &mut sums[i..],
+                    &mut diffs[i..],
+                );
+            }
+
+            /// # Safety
+            /// The CPU must support the module's target feature.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn combine_plus(
+                max_code: i32,
+                a: &[i32],
+                b: &[i32],
+                mins: &[i32],
+                corr_sums: &[i32],
+                corr_diffs: &[i32],
+                out: &mut [i32],
+            ) {
+                assert_same_len!(a, b, mins, corr_sums, corr_diffs, out);
+                let n = a.len();
+                let vmax = $set1(max_code);
+                let vone = $set1(1);
+                let mut i = 0;
+                while i + WIDTH <= n {
+                    // SAFETY: i + WIDTH ≤ n and all slices have length n.
+                    let va = $loadu(a.as_ptr().add(i).cast());
+                    let vb = $loadu(b.as_ptr().add(i).cast());
+                    let mn = $loadu(mins.as_ptr().add(i).cast());
+                    let cs = $loadu(corr_sums.as_ptr().add(i).cast());
+                    let cd = $loadu(corr_diffs.as_ptr().add(i).cast());
+                    let mag = $max($min($sub($add(mn, cs), cd), vmax), vone);
+                    // `(a ^ b) | 1` is never zero and carries the sign of
+                    // `a ^ b`, so the sign-select reproduces
+                    // `(((a ^ b) >> 31) | 1) * mag` exactly.
+                    let s = $or($xor(va, vb), vone);
+                    $storeu(out.as_mut_ptr().add(i).cast(), $sign(mag, s));
+                    i += WIDTH;
+                }
+                scalar::combine_plus(
+                    max_code,
+                    &a[i..],
+                    &b[i..],
+                    &mins[i..],
+                    &corr_sums[i..],
+                    &corr_diffs[i..],
+                    &mut out[i..],
+                );
+            }
+
+            /// # Safety
+            /// The CPU must support the module's target feature.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn combine_plus_assign(
+                max_code: i32,
+                acc: &mut [i32],
+                b: &[i32],
+                mins: &[i32],
+                corr_sums: &[i32],
+                corr_diffs: &[i32],
+            ) {
+                assert_same_len!(acc, b, mins, corr_sums, corr_diffs);
+                let n = acc.len();
+                let vmax = $set1(max_code);
+                let vone = $set1(1);
+                let mut i = 0;
+                while i + WIDTH <= n {
+                    // SAFETY: i + WIDTH ≤ n; the load of `acc` happens
+                    // before the store to the same span.
+                    let va = $loadu(acc.as_ptr().add(i).cast());
+                    let vb = $loadu(b.as_ptr().add(i).cast());
+                    let mn = $loadu(mins.as_ptr().add(i).cast());
+                    let cs = $loadu(corr_sums.as_ptr().add(i).cast());
+                    let cd = $loadu(corr_diffs.as_ptr().add(i).cast());
+                    let mag = $max($min($sub($add(mn, cs), cd), vmax), vone);
+                    let s = $or($xor(va, vb), vone);
+                    $storeu(acc.as_mut_ptr().add(i).cast(), $sign(mag, s));
+                    i += WIDTH;
+                }
+                scalar::combine_plus_assign(
+                    max_code,
+                    &mut acc[i..],
+                    &b[i..],
+                    &mins[i..],
+                    &corr_sums[i..],
+                    &corr_diffs[i..],
+                );
+            }
+
+            /// # Safety
+            /// The CPU must support the module's target feature.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn combine_minus(
+                max_code: i32,
+                a: &[i32],
+                b: &[i32],
+                mins: &[i32],
+                corr_sums: &[i32],
+                corr_diffs: &[i32],
+                out: &mut [i32],
+            ) {
+                assert_same_len!(a, b, mins, corr_sums, corr_diffs, out);
+                let n = a.len();
+                let vmax = $set1(max_code);
+                let vone = $set1(1);
+                let vzero = $setzero();
+                let mut i = 0;
+                while i + WIDTH <= n {
+                    // SAFETY: i + WIDTH ≤ n and all slices have length n.
+                    let va = $loadu(a.as_ptr().add(i).cast());
+                    let vb = $loadu(b.as_ptr().add(i).cast());
+                    let mn = $loadu(mins.as_ptr().add(i).cast());
+                    let cs = $loadu(corr_sums.as_ptr().add(i).cast());
+                    let cd = $loadu(corr_diffs.as_ptr().add(i).cast());
+                    let mag = $max($min($add($sub(mn, cs), cd), vmax), vzero);
+                    let s = $or($xor(va, vb), vone);
+                    $storeu(out.as_mut_ptr().add(i).cast(), $sign(mag, s));
+                    i += WIDTH;
+                }
+                scalar::combine_minus(
+                    max_code,
+                    &a[i..],
+                    &b[i..],
+                    &mins[i..],
+                    &corr_sums[i..],
+                    &corr_diffs[i..],
+                    &mut out[i..],
+                );
+            }
+
+            /// # Safety
+            /// The CPU must support the module's target feature.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn sub_lanes_remap(
+                lo: i32,
+                hi: i32,
+                app: &[i32],
+                lambda: &[i32],
+                out: &mut [i32],
+            ) {
+                assert_same_len!(app, lambda, out);
+                let n = app.len();
+                let (vlo, vhi) = ($set1(lo), $set1(hi));
+                let vone = $set1(1);
+                let vzero = $setzero();
+                let mut i = 0;
+                while i + WIDTH <= n {
+                    // SAFETY: i + WIDTH ≤ n and all slices have length n.
+                    let va = $loadu(app.as_ptr().add(i).cast());
+                    let vb = $loadu(lambda.as_ptr().add(i).cast());
+                    let r = $min($max($sub(va, vb), vlo), vhi);
+                    let zero_remap = $or($srai::<31>(va), vone);
+                    let is_zero = $cmpeq(r, vzero);
+                    $storeu(
+                        out.as_mut_ptr().add(i).cast(),
+                        $blendv(r, zero_remap, is_zero),
+                    );
+                    i += WIDTH;
+                }
+                scalar::sub_lanes_remap(lo, hi, &app[i..], &lambda[i..], &mut out[i..]);
+            }
+
+            /// # Safety
+            /// The CPU must support the module's target feature.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn sub_lanes_clamp(
+                lo: i32,
+                hi: i32,
+                app: &[i32],
+                lambda: &[i32],
+                out: &mut [i32],
+            ) {
+                assert_same_len!(app, lambda, out);
+                let n = app.len();
+                let (vlo, vhi) = ($set1(lo), $set1(hi));
+                let mut i = 0;
+                while i + WIDTH <= n {
+                    // SAFETY: i + WIDTH ≤ n and all slices have length n.
+                    let va = $loadu(app.as_ptr().add(i).cast());
+                    let vb = $loadu(lambda.as_ptr().add(i).cast());
+                    let r = $min($max($sub(va, vb), vlo), vhi);
+                    $storeu(out.as_mut_ptr().add(i).cast(), r);
+                    i += WIDTH;
+                }
+                scalar::sub_lanes_clamp(lo, hi, &app[i..], &lambda[i..], &mut out[i..]);
+            }
+
+            /// # Safety
+            /// The CPU must support the module's target feature.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn add_lanes_clamp(
+                lo: i32,
+                hi: i32,
+                lam: &[i32],
+                upd: &[i32],
+                out: &mut [i32],
+            ) {
+                assert_same_len!(lam, upd, out);
+                let n = lam.len();
+                let (vlo, vhi) = ($set1(lo), $set1(hi));
+                let mut i = 0;
+                while i + WIDTH <= n {
+                    // SAFETY: i + WIDTH ≤ n and all slices have length n.
+                    let va = $loadu(lam.as_ptr().add(i).cast());
+                    let vb = $loadu(upd.as_ptr().add(i).cast());
+                    let r = $min($max($add(va, vb), vlo), vhi);
+                    $storeu(out.as_mut_ptr().add(i).cast(), r);
+                    i += WIDTH;
+                }
+                scalar::add_lanes_clamp(lo, hi, &lam[i..], &upd[i..], &mut out[i..]);
+            }
+
+            /// # Safety
+            /// The CPU must support the module's target feature.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn min_sum_track(
+                slot: i32,
+                inc: &[i32],
+                min1: &mut [i32],
+                min2: &mut [i32],
+                argmin: &mut [i32],
+                parity: &mut [i32],
+            ) {
+                assert_same_len!(inc, min1, min2, argmin, parity);
+                let n = inc.len();
+                let vslot = $set1(slot);
+                let mut i = 0;
+                while i + WIDTH <= n {
+                    // SAFETY: i + WIDTH ≤ n and all slices have length n.
+                    let l = $loadu(inc.as_ptr().add(i).cast());
+                    let a = $abs(l);
+                    let m1 = $loadu(min1.as_ptr().add(i).cast());
+                    let m2 = $loadu(min2.as_ptr().add(i).cast());
+                    let am = $loadu(argmin.as_ptr().add(i).cast());
+                    let p = $loadu(parity.as_ptr().add(i).cast());
+                    // `a < m1` in select form; ties keep the earlier argmin,
+                    // exactly like the scalar reference.
+                    let displaces = $cmpgt(m1, a);
+                    $storeu(
+                        min2.as_mut_ptr().add(i).cast(),
+                        $blendv($min(a, m2), m1, displaces),
+                    );
+                    $storeu(
+                        argmin.as_mut_ptr().add(i).cast(),
+                        $blendv(am, vslot, displaces),
+                    );
+                    $storeu(min1.as_mut_ptr().add(i).cast(), $min(a, m1));
+                    $storeu(parity.as_mut_ptr().add(i).cast(), $xor(p, $srli::<31>(l)));
+                    i += WIDTH;
+                }
+                scalar::min_sum_track(
+                    slot,
+                    &inc[i..],
+                    &mut min1[i..],
+                    &mut min2[i..],
+                    &mut argmin[i..],
+                    &mut parity[i..],
+                );
+            }
+
+            /// # Safety
+            /// The CPU must support the module's target feature.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn min_sum_emit(
+                slot: i32,
+                max_code: i32,
+                inc: &[i32],
+                min1: &[i32],
+                min2: &[i32],
+                argmin: &[i32],
+                parity: &[i32],
+                out: &mut [i32],
+            ) {
+                assert_same_len!(inc, min1, min2, argmin, parity, out);
+                let n = inc.len();
+                let vslot = $set1(slot);
+                let vmax = $set1(max_code);
+                let vzero = $setzero();
+                let mut i = 0;
+                while i + WIDTH <= n {
+                    // SAFETY: i + WIDTH ≤ n and all slices have length n.
+                    let l = $loadu(inc.as_ptr().add(i).cast());
+                    let m1 = $loadu(min1.as_ptr().add(i).cast());
+                    let m2 = $loadu(min2.as_ptr().add(i).cast());
+                    let am = $loadu(argmin.as_ptr().add(i).cast());
+                    let p = $loadu(parity.as_ptr().add(i).cast());
+                    let raw = $blendv(m1, m2, $cmpeq(am, vslot));
+                    // Saturate then normalise `x − (x >> 2)`; the magnitude
+                    // is non-negative so the arithmetic shift is exact.
+                    let sat = $min(raw, vmax);
+                    let mag = $sub(sat, $srai::<2>(sat));
+                    // Negate where parity ⊕ own-sign is 1.
+                    let s = $xor(p, $srli::<31>(l));
+                    let neg = $cmpgt(s, vzero);
+                    $storeu(
+                        out.as_mut_ptr().add(i).cast(),
+                        $blendv(mag, $sub(vzero, mag), neg),
+                    );
+                    i += WIDTH;
+                }
+                scalar::min_sum_emit(
+                    slot,
+                    max_code,
+                    &inc[i..],
+                    &min1[i..],
+                    &min2[i..],
+                    &argmin[i..],
+                    &parity[i..],
+                    &mut out[i..],
+                );
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+x86_panel_kernels!(
+    avx2,
+    "avx2",
+    __m256i,
+    8,
+    _mm256_loadu_si256,
+    _mm256_storeu_si256,
+    _mm256_set1_epi32,
+    _mm256_setzero_si256,
+    _mm256_abs_epi32,
+    _mm256_min_epi32,
+    _mm256_max_epi32,
+    _mm256_add_epi32,
+    _mm256_sub_epi32,
+    _mm256_xor_si256,
+    _mm256_or_si256,
+    _mm256_srli_epi32,
+    _mm256_srai_epi32,
+    _mm256_cmpeq_epi32,
+    _mm256_cmpgt_epi32,
+    _mm256_blendv_epi8,
+    _mm256_sign_epi32
+);
+
+#[cfg(target_arch = "x86_64")]
+x86_panel_kernels!(
+    sse41,
+    "sse4.1",
+    __m128i,
+    4,
+    _mm_loadu_si128,
+    _mm_storeu_si128,
+    _mm_set1_epi32,
+    _mm_setzero_si128,
+    _mm_abs_epi32,
+    _mm_min_epi32,
+    _mm_max_epi32,
+    _mm_add_epi32,
+    _mm_sub_epi32,
+    _mm_xor_si128,
+    _mm_or_si128,
+    _mm_srli_epi32,
+    _mm_srai_epi32,
+    _mm_cmpeq_epi32,
+    _mm_cmpgt_epi32,
+    _mm_blendv_epi8,
+    _mm_sign_epi32
+);
+
+/// AVX2-only kernels: the hardware LUT gathers (`vpgatherdd`) and the fused
+/// ⊞/⊟ panels built on them. SSE4.1 has no gather instruction, so these
+/// have no 128-bit twin — the SSE tier keeps the three-pass structure with
+/// a scalar gather.
+#[cfg(target_arch = "x86_64")]
+mod avx2_gather {
+    use super::scalar;
+    use core::arch::x86_64::*;
+
+    /// Clamps gather indices into `[0, last]` with an **unsigned** min, so
+    /// any `i32` input (including negative codes, which wrap to huge
+    /// unsigned values) lands in-bounds — the vector twin of the scalar
+    /// `(x as usize).min(last)`.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn clamp_index(x: __m256i, vlast: __m256i) -> __m256i {
+        _mm256_min_epu32(x, vlast)
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2. `dense` must be non-empty (asserted).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lut_gather_dense(dense: &[i32], xs: &[i32], out: &mut [i32]) {
+        assert_same_len!(xs, out);
+        assert!(!dense.is_empty());
+        let n = xs.len();
+        let vlast = _mm256_set1_epi32((dense.len() - 1) as i32);
+        let base = dense.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n; every gather index is clamped into
+            // [0, dense.len() − 1], so all eight loads are in-bounds.
+            let x = _mm256_loadu_si256(xs.as_ptr().add(i).cast());
+            let idx = clamp_index(x, vlast);
+            let g = _mm256_i32gather_epi32::<4>(base, idx);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), g);
+            i += 8;
+        }
+        scalar::lut_gather_dense(dense, &xs[i..], &mut out[i..]);
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2. `dense` must be non-empty (asserted).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lut_map_dense(dense: &[i32], xs: &mut [i32]) {
+        assert!(!dense.is_empty());
+        let n = xs.len();
+        let vlast = _mm256_set1_epi32((dense.len() - 1) as i32);
+        let base = dense.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n; gather indices clamped in-bounds; the
+            // load happens before the store to the same span.
+            let x = _mm256_loadu_si256(xs.as_ptr().add(i).cast());
+            let idx = clamp_index(x, vlast);
+            let g = _mm256_i32gather_epi32::<4>(base, idx);
+            _mm256_storeu_si256(xs.as_mut_ptr().add(i).cast(), g);
+            i += 8;
+        }
+        scalar::lut_map_dense(dense, &mut xs[i..]);
+    }
+
+    /// The fused ⊞/⊟ core on loaded vectors: magnitude split, both dense
+    /// gathers and the sign/saturate combine, entirely in registers.
+    /// `MINUS` selects the ⊟ variant (corrections swapped, floor 0).
+    ///
+    /// # Safety
+    /// The CPU must support AVX2; every gather index is clamped into
+    /// `[0, dense.len() − 1]` before the `vpgatherdd`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn box_core<const MINUS: bool>(
+        base: *const i32,
+        vlast: __m256i,
+        vmax: __m256i,
+        va: __m256i,
+        vb: __m256i,
+    ) -> __m256i {
+        let vone = _mm256_set1_epi32(1);
+        let aa = _mm256_abs_epi32(va);
+        let ab = _mm256_abs_epi32(vb);
+        let mn = _mm256_min_epi32(aa, ab);
+        let sm = _mm256_min_epi32(_mm256_add_epi32(aa, ab), vmax);
+        let df = _mm256_abs_epi32(_mm256_sub_epi32(aa, ab));
+        // SAFETY: indices clamped in-bounds (see clamp_index).
+        let cs = _mm256_i32gather_epi32::<4>(base, clamp_index(sm, vlast));
+        let cd = _mm256_i32gather_epi32::<4>(base, clamp_index(df, vlast));
+        let (raw, floor) = if MINUS {
+            (
+                _mm256_add_epi32(_mm256_sub_epi32(mn, cs), cd),
+                _mm256_setzero_si256(),
+            )
+        } else {
+            (_mm256_sub_epi32(_mm256_add_epi32(mn, cs), cd), vone)
+        };
+        let mag = _mm256_max_epi32(_mm256_min_epi32(raw, vmax), floor);
+        // `(a ^ b) | 1` is never zero and carries the sign of `a ^ b`.
+        let s = _mm256_or_si256(_mm256_xor_si256(va, vb), vone);
+        _mm256_sign_epi32(mag, s)
+    }
+
+    /// Fused dense-LUT ⊞ panel: `out = a ⊞ b`.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2. `dense` must be non-empty (asserted).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn boxplus_fused(
+        dense: &[i32],
+        max_code: i32,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i32],
+    ) {
+        assert_same_len!(a, b, out);
+        assert!(!dense.is_empty());
+        let n = a.len();
+        let vlast = _mm256_set1_epi32((dense.len() - 1) as i32);
+        let vmax = _mm256_set1_epi32(max_code);
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n and all slices have length n.
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            let r = box_core::<false>(dense.as_ptr(), vlast, vmax, va, vb);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), r);
+            i += 8;
+        }
+        scalar::boxplus_dense(dense, max_code, &a[i..], &b[i..], &mut out[i..]);
+    }
+
+    /// Fused dense-LUT ⊞ accumulator panel: `acc = acc ⊞ b`.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2. `dense` must be non-empty (asserted).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn boxplus_assign_fused(
+        dense: &[i32],
+        max_code: i32,
+        acc: &mut [i32],
+        b: &[i32],
+    ) {
+        assert_same_len!(acc, b);
+        assert!(!dense.is_empty());
+        let n = acc.len();
+        let vlast = _mm256_set1_epi32((dense.len() - 1) as i32);
+        let vmax = _mm256_set1_epi32(max_code);
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n; `acc` is loaded before the store to the
+            // same span.
+            let va = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            let r = box_core::<false>(dense.as_ptr(), vlast, vmax, va, vb);
+            _mm256_storeu_si256(acc.as_mut_ptr().add(i).cast(), r);
+            i += 8;
+        }
+        scalar::boxplus_assign_dense(dense, max_code, &mut acc[i..], &b[i..]);
+    }
+
+    /// Fused dense-LUT ⊟ panel: `out = a ⊟ b`.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2. `dense` must be non-empty (asserted).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn boxminus_fused(
+        dense: &[i32],
+        max_code: i32,
+        a: &[i32],
+        b: &[i32],
+        out: &mut [i32],
+    ) {
+        assert_same_len!(a, b, out);
+        assert!(!dense.is_empty());
+        let n = a.len();
+        let vlast = _mm256_set1_epi32((dense.len() - 1) as i32);
+        let vmax = _mm256_set1_epi32(max_code);
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: i + 8 ≤ n and all slices have length n.
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            let r = box_core::<true>(dense.as_ptr(), vlast, vmax, va, vb);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), r);
+            i += 8;
+        }
+        scalar::boxminus_dense(dense, max_code, &a[i..], &b[i..], &mut out[i..]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Safe dispatch wrappers
+// ---------------------------------------------------------------------------
+
+/// Dispatches one op to the requested tier (clamped to the detected CPU
+/// capability) with the scalar reference as the universal `_` arm.
+macro_rules! dispatch {
+    ($level:expr, $op:ident ( $($arg:expr),* $(,)? )) => {{
+        match $level.effective() {
+            // SAFETY: `effective()` caps the level at `detected_level()`,
+            // so this arm is only reached on a CPU that reported AVX2.
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => unsafe { avx2::$op($($arg),*) },
+            // SAFETY: as above, for SSE4.1.
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse41 => unsafe { sse41::$op($($arg),*) },
+            _ => scalar::$op($($arg),*),
+        }
+    }};
+}
+
+/// Pass 1 of the ⊞/⊟ lane decomposition over a panel: per lane, the
+/// minimum, the format-saturated sum and the absolute difference of the two
+/// input magnitudes.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn magnitude_split(
+    level: SimdLevel,
+    max_code: i32,
+    a: &[i32],
+    b: &[i32],
+    mins: &mut [i32],
+    sums: &mut [i32],
+    diffs: &mut [i32],
+) {
+    assert_same_len!(a, b, mins, sums, diffs);
+    dispatch!(level, magnitude_split(max_code, a, b, mins, sums, diffs))
+}
+
+/// Pass 3 of the ⊞ over a panel: `out = a ⊞ b` from the pre-split and
+/// LUT-corrected lanes, bit-identical to the scalar `boxplus_codes`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn combine_plus(
+    level: SimdLevel,
+    max_code: i32,
+    a: &[i32],
+    b: &[i32],
+    mins: &[i32],
+    corr_sums: &[i32],
+    corr_diffs: &[i32],
+    out: &mut [i32],
+) {
+    assert_same_len!(a, b, mins, corr_sums, corr_diffs, out);
+    dispatch!(
+        level,
+        combine_plus(max_code, a, b, mins, corr_sums, corr_diffs, out)
+    )
+}
+
+/// In-place [`combine_plus`] for the running ⊞ accumulator (`acc = acc ⊞ b`).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn combine_plus_assign(
+    level: SimdLevel,
+    max_code: i32,
+    acc: &mut [i32],
+    b: &[i32],
+    mins: &[i32],
+    corr_sums: &[i32],
+    corr_diffs: &[i32],
+) {
+    assert_same_len!(acc, b, mins, corr_sums, corr_diffs);
+    dispatch!(
+        level,
+        combine_plus_assign(max_code, acc, b, mins, corr_sums, corr_diffs)
+    )
+}
+
+/// Pass 3 of the ⊟ over a panel (magnitude floored at 0, not 1).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn combine_minus(
+    level: SimdLevel,
+    max_code: i32,
+    a: &[i32],
+    b: &[i32],
+    mins: &[i32],
+    corr_sums: &[i32],
+    corr_diffs: &[i32],
+    out: &mut [i32],
+) {
+    assert_same_len!(a, b, mins, corr_sums, corr_diffs, out);
+    dispatch!(
+        level,
+        combine_minus(max_code, a, b, mins, corr_sums, corr_diffs, out)
+    )
+}
+
+/// Dense-table LUT gather over a panel:
+/// `out[i] = dense[min(xs[i], dense.len() − 1)]` with the clamp in unsigned
+/// index space. On AVX2 this is a true hardware gather (`vpgatherdd`);
+/// SSE4.1 has no gather, so lower tiers run the scalar clamped-index loop.
+///
+/// # Panics
+///
+/// Panics if `dense` is empty or the slices differ in length.
+pub fn lut_gather_dense(level: SimdLevel, dense: &[i32], xs: &[i32], out: &mut [i32]) {
+    assert!(!dense.is_empty(), "dense LUT gather needs a table");
+    assert_same_len!(xs, out);
+    match level.effective() {
+        // SAFETY: `effective()` caps the level at `detected_level()`.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2_gather::lut_gather_dense(dense, xs, out) },
+        _ => scalar::lut_gather_dense(dense, xs, out),
+    }
+}
+
+/// In-place [`lut_gather_dense`]: `xs[i] = dense[min(xs[i], last)]`.
+///
+/// # Panics
+///
+/// Panics if `dense` is empty.
+pub fn lut_map_dense(level: SimdLevel, dense: &[i32], xs: &mut [i32]) {
+    assert!(!dense.is_empty(), "dense LUT gather needs a table");
+    match level.effective() {
+        // SAFETY: `effective()` caps the level at `detected_level()`.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2_gather::lut_map_dense(dense, xs) },
+        _ => scalar::lut_map_dense(dense, xs),
+    }
+}
+
+/// Whether [`boxplus_panel`]/[`boxminus_panel`] take the fused single-pass
+/// gather path at this level for this LUT (AVX2 + a dense table). Exposed
+/// so callers can size their scratch expectations; the result is identical
+/// either way.
+#[must_use]
+pub fn fuses_box_panels(level: SimdLevel, lut: &CorrectionLut) -> bool {
+    // `detected_level()` never reports Avx2 off x86-64, so the `cfg!` is
+    // belt-and-braces for the `#[cfg]`-gated fused call sites.
+    cfg!(target_arch = "x86_64")
+        && level.effective() == SimdLevel::Avx2
+        && !lut.dense_table().is_empty()
+}
+
+/// One full ⊞ step over a panel: `out = a ⊞ b` with `lut`'s corrections,
+/// bit-identical to the three-pass scalar decomposition (magnitude split →
+/// LUT gather → sign/saturate combine). On AVX2 with a dense LUT the whole
+/// operator fuses into one register-resident pass with two hardware
+/// gathers and never touches `mins`/`sums`/`diffs`; every other tier runs
+/// the three passes through that scratch at its own vector width.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn boxplus_panel(
+    level: SimdLevel,
+    lut: &CorrectionLut,
+    max_code: i32,
+    a: &[i32],
+    b: &[i32],
+    out: &mut [i32],
+    mins: &mut [i32],
+    sums: &mut [i32],
+    diffs: &mut [i32],
+) {
+    if fuses_box_panels(level, lut) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `fuses_box_panels` is only true when the *detected*
+        // level is AVX2 (and the dense table exists).
+        unsafe {
+            avx2_gather::boxplus_fused(lut.dense_table(), max_code, a, b, out)
+        }
+    } else {
+        magnitude_split(level, max_code, a, b, mins, sums, diffs);
+        lut.map_slice_with(level, sums);
+        lut.map_slice_with(level, diffs);
+        combine_plus(level, max_code, a, b, mins, sums, diffs, out);
+    }
+}
+
+/// One full in-place ⊞ accumulator step over a panel: `acc = acc ⊞ b`.
+/// Same tiering as [`boxplus_panel`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn boxplus_assign_panel(
+    level: SimdLevel,
+    lut: &CorrectionLut,
+    max_code: i32,
+    acc: &mut [i32],
+    b: &[i32],
+    mins: &mut [i32],
+    sums: &mut [i32],
+    diffs: &mut [i32],
+) {
+    if fuses_box_panels(level, lut) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `fuses_box_panels` is only true when the *detected*
+        // level is AVX2 (and the dense table exists).
+        unsafe {
+            avx2_gather::boxplus_assign_fused(lut.dense_table(), max_code, acc, b)
+        }
+    } else {
+        magnitude_split(level, max_code, acc, b, mins, sums, diffs);
+        lut.map_slice_with(level, sums);
+        lut.map_slice_with(level, diffs);
+        combine_plus_assign(level, max_code, acc, b, mins, sums, diffs);
+    }
+}
+
+/// One full ⊟ step over a panel: `out = a ⊟ b` with `lut`'s corrections.
+/// Same tiering as [`boxplus_panel`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn boxminus_panel(
+    level: SimdLevel,
+    lut: &CorrectionLut,
+    max_code: i32,
+    a: &[i32],
+    b: &[i32],
+    out: &mut [i32],
+    mins: &mut [i32],
+    sums: &mut [i32],
+    diffs: &mut [i32],
+) {
+    if fuses_box_panels(level, lut) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `fuses_box_panels` is only true when the *detected*
+        // level is AVX2 (and the dense table exists).
+        unsafe {
+            avx2_gather::boxminus_fused(lut.dense_table(), max_code, a, b, out)
+        }
+    } else {
+        magnitude_split(level, max_code, a, b, mins, sums, diffs);
+        lut.map_slice_with(level, sums);
+        lut.map_slice_with(level, diffs);
+        combine_minus(level, max_code, a, b, mins, sums, diffs, out);
+    }
+}
+
+/// `λ = L − Λ` over a panel with the fixed-BP ±1-LSB zero remap
+/// (`out = clamp(a − b, lo, hi)`, zeros remapped to `sign(a)·1`).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sub_lanes_remap(
+    level: SimdLevel,
+    lo: i32,
+    hi: i32,
+    app: &[i32],
+    lambda: &[i32],
+    out: &mut [i32],
+) {
+    assert_same_len!(app, lambda, out);
+    dispatch!(level, sub_lanes_remap(lo, hi, app, lambda, out))
+}
+
+/// Plain `λ = L − Λ` clamp over a panel (fixed Min-Sum).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sub_lanes_clamp(
+    level: SimdLevel,
+    lo: i32,
+    hi: i32,
+    app: &[i32],
+    lambda: &[i32],
+    out: &mut [i32],
+) {
+    assert_same_len!(app, lambda, out);
+    dispatch!(level, sub_lanes_clamp(lo, hi, app, lambda, out))
+}
+
+/// `L = λ + Λ′` over a panel, clamped to the (wider) APP range.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add_lanes_clamp(
+    level: SimdLevel,
+    lo: i32,
+    hi: i32,
+    lam: &[i32],
+    upd: &[i32],
+    out: &mut [i32],
+) {
+    assert_same_len!(lam, upd, out);
+    dispatch!(level, add_lanes_clamp(lo, hi, lam, upd, out))
+}
+
+/// One slot of the Min-Sum two-minima tracking pass over a panel, in select
+/// form with first-wins tie semantics.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn min_sum_track(
+    level: SimdLevel,
+    slot: i32,
+    inc: &[i32],
+    min1: &mut [i32],
+    min2: &mut [i32],
+    argmin: &mut [i32],
+    parity: &mut [i32],
+) {
+    assert_same_len!(inc, min1, min2, argmin, parity);
+    dispatch!(level, min_sum_track(slot, inc, min1, min2, argmin, parity))
+}
+
+/// One slot of the Min-Sum output pass over a panel: second minimum at the
+/// argmin, first minimum elsewhere, saturated and `α = 0.75`-normalised,
+/// sign = row parity ⊕ own sign.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn min_sum_emit(
+    level: SimdLevel,
+    slot: i32,
+    max_code: i32,
+    inc: &[i32],
+    min1: &[i32],
+    min2: &[i32],
+    argmin: &[i32],
+    parity: &[i32],
+    out: &mut [i32],
+) {
+    assert_same_len!(inc, min1, min2, argmin, parity, out);
+    dispatch!(
+        level,
+        min_sum_emit(slot, max_code, inc, min1, min2, argmin, parity, out)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixedpoint::FixedFormat;
+    use crate::lut::CorrectionKind;
+
+    #[test]
+    fn force_scalar_parses_like_a_boolean_knob() {
+        assert!(!force_scalar(None));
+        for falsey in ["", "0", "false", "no", "off", " 0 ", "FALSE"] {
+            assert!(!force_scalar(Some(falsey)), "{falsey:?}");
+        }
+        for truthy in ["1", "true", "yes", "on", " 1\n", "TRUE"] {
+            assert!(force_scalar(Some(truthy)), "{truthy:?}");
+        }
+        // Garbled values force the fallback (and diagnose once on stderr).
+        assert!(force_scalar(Some("maybe")));
+        assert!(force_scalar(Some("2")));
+    }
+
+    #[test]
+    fn effective_never_exceeds_detected_and_is_idempotent() {
+        let det = detected_level();
+        for lvl in [SimdLevel::Scalar, SimdLevel::Sse41, SimdLevel::Avx2] {
+            let eff = lvl.effective();
+            assert!(eff <= det);
+            assert!(eff <= lvl);
+            assert_eq!(eff.effective(), eff);
+        }
+        assert_eq!(SimdLevel::Scalar.effective(), SimdLevel::Scalar);
+        assert!(active_level() <= det);
+    }
+
+    #[test]
+    fn level_names_are_the_ci_spellings() {
+        assert_eq!(SimdLevel::Avx2.name(), "avx2");
+        assert_eq!(SimdLevel::Sse41.name(), "sse4.1");
+        assert_eq!(SimdLevel::Scalar.name(), "scalar");
+    }
+
+    /// Deterministic panel covering saturation, zeros and sign changes.
+    fn panel(n: usize, seed: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| {
+                let v = ((i.wrapping_mul(2654435761).wrapping_add(seed * 97)) % 255) as i32 - 127;
+                if i % 17 == 0 {
+                    v.signum() * 127
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    /// Every level must match the scalar reference on every op, including
+    /// ragged tails (lengths straddling both vector widths).
+    #[test]
+    fn all_levels_match_scalar_on_every_op() {
+        let max_code = 127;
+        let (lo, hi) = (-127, 127);
+        let lut = CorrectionLut::new(CorrectionKind::Plus, FixedFormat::default(), 3);
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 15, 16, 23, 96, 101] {
+            let a = panel(n, 1);
+            let b = panel(n, 2);
+            let mags: Vec<i32> = a.iter().map(|x| x.abs()).collect();
+            for level in [SimdLevel::Sse41, SimdLevel::Avx2] {
+                // magnitude_split
+                let (mut m1, mut s1, mut d1) = (vec![0; n], vec![0; n], vec![0; n]);
+                let (mut m2, mut s2, mut d2) = (vec![0; n], vec![0; n], vec![0; n]);
+                scalar::magnitude_split(max_code, &a, &b, &mut m1, &mut s1, &mut d1);
+                magnitude_split(level, max_code, &a, &b, &mut m2, &mut s2, &mut d2);
+                assert_eq!((&m1, &s1, &d1), (&m2, &s2, &d2), "{level:?} n={n}");
+
+                // combines (reuse the split lanes as plausible corrections)
+                let (mut o1, mut o2) = (vec![0; n], vec![0; n]);
+                scalar::combine_plus(max_code, &a, &b, &m1, &s1, &d1, &mut o1);
+                combine_plus(level, max_code, &a, &b, &m1, &s1, &d1, &mut o2);
+                assert_eq!(o1, o2, "combine_plus {level:?} n={n}");
+                scalar::combine_minus(max_code, &a, &b, &m1, &s1, &d1, &mut o1);
+                combine_minus(level, max_code, &a, &b, &m1, &s1, &d1, &mut o2);
+                assert_eq!(o1, o2, "combine_minus {level:?} n={n}");
+                let (mut acc1, mut acc2) = (a.clone(), a.clone());
+                scalar::combine_plus_assign(max_code, &mut acc1, &b, &m1, &s1, &d1);
+                combine_plus_assign(level, max_code, &mut acc2, &b, &m1, &s1, &d1);
+                assert_eq!(acc1, acc2, "combine_plus_assign {level:?} n={n}");
+
+                // LUT gathers
+                scalar::lut_gather_dense(lut.dense_table(), &mags, &mut o1);
+                lut_gather_dense(level, lut.dense_table(), &mags, &mut o2);
+                assert_eq!(o1, o2, "lut_gather {level:?} n={n}");
+                let (mut x1, mut x2) = (mags.clone(), mags.clone());
+                scalar::lut_map_dense(lut.dense_table(), &mut x1);
+                lut_map_dense(level, lut.dense_table(), &mut x2);
+                assert_eq!(x1, x2, "lut_map {level:?} n={n}");
+
+                // Fused box panels vs the three-pass scalar reference.
+                let mut scratch = (vec![0; n], vec![0; n], vec![0; n]);
+                scalar::magnitude_split(max_code, &a, &b, &mut m1, &mut s1, &mut d1);
+                scalar::lut_map_dense(lut.dense_table(), &mut s1);
+                scalar::lut_map_dense(lut.dense_table(), &mut d1);
+                scalar::combine_plus(max_code, &a, &b, &m1, &s1, &d1, &mut o1);
+                boxplus_panel(
+                    level,
+                    &lut,
+                    max_code,
+                    &a,
+                    &b,
+                    &mut o2,
+                    &mut scratch.0,
+                    &mut scratch.1,
+                    &mut scratch.2,
+                );
+                assert_eq!(o1, o2, "boxplus_panel {level:?} n={n}");
+                scalar::magnitude_split(max_code, &a, &b, &mut m1, &mut s1, &mut d1);
+                scalar::lut_map_dense(lut.dense_table(), &mut s1);
+                scalar::lut_map_dense(lut.dense_table(), &mut d1);
+                scalar::combine_minus(max_code, &a, &b, &m1, &s1, &d1, &mut o1);
+                boxminus_panel(
+                    level,
+                    &lut,
+                    max_code,
+                    &a,
+                    &b,
+                    &mut o2,
+                    &mut scratch.0,
+                    &mut scratch.1,
+                    &mut scratch.2,
+                );
+                assert_eq!(o1, o2, "boxminus_panel {level:?} n={n}");
+                acc1.copy_from_slice(&a);
+                acc2.copy_from_slice(&a);
+                scalar::boxplus_assign_dense(lut.dense_table(), max_code, &mut acc1, &b);
+                boxplus_assign_panel(
+                    level,
+                    &lut,
+                    max_code,
+                    &mut acc2,
+                    &b,
+                    &mut scratch.0,
+                    &mut scratch.1,
+                    &mut scratch.2,
+                );
+                assert_eq!(acc1, acc2, "boxplus_assign_panel {level:?} n={n}");
+
+                // sub/add lanes
+                scalar::sub_lanes_remap(lo, hi, &a, &b, &mut o1);
+                sub_lanes_remap(level, lo, hi, &a, &b, &mut o2);
+                assert_eq!(o1, o2, "sub_remap {level:?} n={n}");
+                scalar::sub_lanes_clamp(lo, hi, &a, &b, &mut o1);
+                sub_lanes_clamp(level, lo, hi, &a, &b, &mut o2);
+                assert_eq!(o1, o2, "sub_clamp {level:?} n={n}");
+                scalar::add_lanes_clamp(4 * lo, 4 * hi, &a, &b, &mut o1);
+                add_lanes_clamp(level, 4 * lo, 4 * hi, &a, &b, &mut o2);
+                assert_eq!(o1, o2, "add_clamp {level:?} n={n}");
+
+                // min-sum track + emit across three slots (covers ties,
+                // displacement and the sentinel).
+                let mut st1 = (vec![i32::MAX; n], vec![i32::MAX; n], vec![0; n], vec![0; n]);
+                let mut st2 = st1.clone();
+                for (slot, inc) in [&a, &b, &mags].into_iter().enumerate() {
+                    scalar::min_sum_track(
+                        slot as i32,
+                        inc,
+                        &mut st1.0,
+                        &mut st1.1,
+                        &mut st1.2,
+                        &mut st1.3,
+                    );
+                    min_sum_track(
+                        level,
+                        slot as i32,
+                        inc,
+                        &mut st2.0,
+                        &mut st2.1,
+                        &mut st2.2,
+                        &mut st2.3,
+                    );
+                    assert_eq!(st1, st2, "min_sum_track slot {slot} {level:?} n={n}");
+                }
+                for (slot, inc) in [&a, &b, &mags].into_iter().enumerate() {
+                    scalar::min_sum_emit(
+                        slot as i32,
+                        max_code,
+                        inc,
+                        &st1.0,
+                        &st1.1,
+                        &st1.2,
+                        &st1.3,
+                        &mut o1,
+                    );
+                    min_sum_emit(
+                        level,
+                        slot as i32,
+                        max_code,
+                        inc,
+                        &st2.0,
+                        &st2.1,
+                        &st2.2,
+                        &st2.3,
+                        &mut o2,
+                    );
+                    assert_eq!(o1, o2, "min_sum_emit slot {slot} {level:?} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrappers_reject_mismatched_lengths() {
+        let mut out = vec![0; 4];
+        sub_lanes_clamp(SimdLevel::Scalar, -10, 10, &[1, 2, 3], &[1, 2, 3], &mut out);
+    }
+}

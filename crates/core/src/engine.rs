@@ -15,6 +15,13 @@
 //!   `LDPC_DECODE_THREADS` overrides the worker count; by default it follows
 //!   `std::thread::available_parallelism`.
 //!
+//! Below the engine, the fixed-point panel kernels dispatch once per
+//! process to the best kernel tier the CPU supports (AVX2 → SSE4.1 →
+//! scalar; see [`crate::arith::simd`]). [`kernel_tier`] reports the active
+//! tier, and setting `LDPC_FORCE_SCALAR=1` pins the scalar fallback for
+//! the whole process — outputs are bit-identical either way, so the knob
+//! only trades speed.
+//!
 //! ```
 //! use ldpc_codes::{CodeId, CodeRate, Standard};
 //! use ldpc_core::{Decoder, DecoderConfig, FloatBpArithmetic, LayeredDecoder, LlrBatch};
@@ -205,6 +212,15 @@ fn thread_override(raw: Option<&str>) -> Option<usize> {
             None
         }
     }
+}
+
+/// The kernel tier every decode in this process dispatches to
+/// (`"avx2"` / `"sse4.1"` / `"scalar"`): the best level the CPU supports,
+/// unless `LDPC_FORCE_SCALAR` pinned the fallback. CI headers and bench
+/// baselines print this so recorded numbers are attributable to a tier.
+#[must_use]
+pub fn kernel_tier() -> &'static str {
+    crate::arith::simd::active_level().name()
 }
 
 /// Number of worker threads `decode_batch` uses for `frames` frames.

@@ -14,7 +14,10 @@
 //! * [`arith`] — interchangeable decoder arithmetics: full BP (float and
 //!   bit-accurate fixed point) and the normalized Min-Sum baseline, plus the
 //!   lane-parallel [`LaneKernel`] slice kernels the layered engine runs on
-//!   (the software analogue of the paper's `z`-wide SISO array),
+//!   (the software analogue of the paper's `z`-wide SISO array) and the
+//!   explicit-SIMD kernel tier underneath them ([`arith::simd`]: AVX2 with
+//!   hardware LUT gathers, SSE4.1, scalar fallback — selected once per
+//!   process by runtime dispatch, bit-identical across tiers),
 //! * [`decoder`] — the layered decoder itself (Algorithm 1), lane-major hot
 //!   loop plus the row-serial reference kernel,
 //! * [`flooding`] — the two-phase baseline schedule,
@@ -48,7 +51,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the explicit-SIMD kernel tier
+// (`arith::simd`) is the single module allowed to opt back in for
+// `std::arch` intrinsics, with a per-block safety argument. Everything else
+// stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arith;
@@ -69,11 +76,11 @@ pub mod workspace;
 
 pub use arith::{
     CheckNodeMode, DecoderArithmetic, FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic,
-    FloatMinSumArithmetic, LaneKernel, LaneScratch,
+    FloatMinSumArithmetic, LaneKernel, LaneScratch, SimdLevel,
 };
 pub use decoder::{DecoderConfig, LayeredDecoder};
 pub use early_term::{DecisionHistory, EarlyTermination};
-pub use engine::{batch_threads, Decoder, LlrBatch, MsgOf};
+pub use engine::{batch_threads, kernel_tier, Decoder, LlrBatch, MsgOf};
 pub use error::DecodeError;
 pub use fixedpoint::FixedFormat;
 pub use flooding::FloodingDecoder;

@@ -7,6 +7,7 @@
 //! mapped to one of `2^address_bits` regions and each region returns a
 //! pre-quantised correction code.
 
+use crate::arith::simd::{self, SimdLevel};
 use crate::fixedpoint::FixedFormat;
 
 /// Which correction term the table approximates.
@@ -186,18 +187,42 @@ impl CorrectionLut {
     /// bits) fall back to the divide-then-clamp form, still branch-free.
     pub const DENSE_LIMIT: usize = 1 << 16;
 
+    /// The per-input-code dense expansion of the table (empty for formats
+    /// past [`CorrectionLut::DENSE_LIMIT`]). This is the array the explicit
+    /// SIMD tier hardware-gathers through (`dense[min(x, last)]`, index
+    /// clamp in unsigned space); exposed so kernels and tests can address
+    /// it directly.
+    #[must_use]
+    pub fn dense_table(&self) -> &[i32] {
+        &self.dense
+    }
+
     /// Branch-free slice lookup: `out[i] = lookup(xs[i])` for non-negative
     /// input codes, computed as a clamped saturating index (no per-element
     /// region branch) — `dense[min(x, last)]` when the dense expansion exists,
-    /// `extended[min(x / region_width, last)]` otherwise. This is the form
-    /// the hand-tuned lane kernels gather through; [`CorrectionLut::lookup`]
-    /// is the scalar bit-identity reference.
+    /// `extended[min(x / region_width, last)]` otherwise. Dispatches to the
+    /// process-wide kernel tier ([`simd::active_level`]): a true hardware
+    /// gather (`vpgatherdd`) on AVX2, the scalar clamped-index loop
+    /// elsewhere. [`CorrectionLut::lookup`] is the scalar bit-identity
+    /// reference.
     ///
     /// # Panics
     ///
     /// Panics if the slices differ in length; debug-asserts every input is a
     /// non-negative magnitude.
     pub fn lookup_slice(&self, xs: &[i32], out: &mut [i32]) {
+        self.lookup_slice_with(simd::active_level(), xs, out);
+    }
+
+    /// [`CorrectionLut::lookup_slice`] pinned to an explicit kernel tier
+    /// (clamped to the detected CPU capability) — the form the bit-identity
+    /// sweeps and the `simd_vs_scalar` benches drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length; debug-asserts every input is a
+    /// non-negative magnitude.
+    pub fn lookup_slice_with(&self, level: SimdLevel, xs: &[i32], out: &mut [i32]) {
         assert_eq!(xs.len(), out.len(), "lookup_slice length mismatch");
         debug_assert!(xs.iter().all(|&x| x >= 0), "LUT input must be a magnitude");
         if self.dense.is_empty() {
@@ -207,19 +232,27 @@ impl CorrectionLut {
                 *o = self.extended[((x / width) as usize).min(last)];
             }
         } else {
-            let last = self.dense.len() - 1;
-            for (o, &x) in out.iter_mut().zip(xs) {
-                *o = self.dense[(x as usize).min(last)];
-            }
+            simd::lut_gather_dense(level, &self.dense, xs, out);
         }
     }
 
-    /// In-place [`CorrectionLut::lookup_slice`]: `xs[i] = lookup(xs[i])`.
+    /// In-place [`CorrectionLut::lookup_slice`]: `xs[i] = lookup(xs[i])`,
+    /// dispatched to the process-wide kernel tier.
     ///
     /// # Panics
     ///
     /// Debug-asserts every input is a non-negative magnitude.
     pub fn map_slice(&self, xs: &mut [i32]) {
+        self.map_slice_with(simd::active_level(), xs);
+    }
+
+    /// [`CorrectionLut::map_slice`] pinned to an explicit kernel tier
+    /// (clamped to the detected CPU capability).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts every input is a non-negative magnitude.
+    pub fn map_slice_with(&self, level: SimdLevel, xs: &mut [i32]) {
         debug_assert!(xs.iter().all(|&x| x >= 0), "LUT input must be a magnitude");
         if self.dense.is_empty() {
             let last = self.extended.len() - 1;
@@ -228,10 +261,7 @@ impl CorrectionLut {
                 *x = self.extended[((*x / width) as usize).min(last)];
             }
         } else {
-            let last = self.dense.len() - 1;
-            for x in xs.iter_mut() {
-                *x = self.dense[(*x as usize).min(last)];
-            }
+            simd::lut_map_dense(level, &self.dense, xs);
         }
     }
 

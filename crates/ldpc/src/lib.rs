@@ -101,10 +101,10 @@ pub mod prelude {
     };
     pub use ldpc_core::{
         decoder::{DecoderConfig, LayeredDecoder},
-        CheckNodeMode, DecodeOutput, DecodeWorkspace, Decoder, DecoderArithmetic, EarlyTermination,
-        FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic,
-        FloodingDecoder, LaneKernel, LaneScratch, LayerOrderPolicy, LlrBatch, R2Siso, R4Siso,
-        SisoRadix,
+        kernel_tier, CheckNodeMode, DecodeOutput, DecodeWorkspace, Decoder, DecoderArithmetic,
+        EarlyTermination, FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic,
+        FloatMinSumArithmetic, FloodingDecoder, LaneKernel, LaneScratch, LayerOrderPolicy,
+        LlrBatch, R2Siso, R4Siso, SimdLevel, SisoRadix,
     };
     pub use ldpc_serve::{
         DecodeOutcome, DecodeService, FrameHandle, ServeError, ServiceConfig, ShardStats,

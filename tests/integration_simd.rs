@@ -1,0 +1,408 @@
+//! Explicit-SIMD kernel tier integration: every vector kernel must be
+//! **bit-identical** to the scalar panel reference on every reachable input
+//! — swept exhaustively over the dense-LUT domain, over boundary/saturation
+//! values of the clamp/minima kernels, over ragged panel lengths that are
+//! not a multiple of any vector width, and end-to-end through the full
+//! decoder for every fixed-point back-end at every kernel tier.
+//!
+//! Levels above the running CPU's capability silently degrade
+//! ([`SimdLevel::effective`]), so the whole sweep is portable: on an AVX2
+//! host it pins AVX2, SSE4.1 and scalar against each other; on a host
+//! without SIMD it degenerates to scalar-vs-scalar self-checks. The
+//! `LDPC_FORCE_SCALAR=1` CI leg reruns all of this (and every other test)
+//! with the process-wide dispatch pinned to the fallback.
+
+use ldpc::core::arith::simd::{self, SimdLevel};
+use ldpc::core::fixedpoint::FixedFormat;
+use ldpc::core::lut::{CorrectionKind, CorrectionLut};
+use ldpc::prelude::*;
+
+const LEVELS: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Sse41, SimdLevel::Avx2];
+
+/// Every `(kind, x)` pair of the dense-LUT domain — all input codes from 0
+/// through far past the saturation cutoff — must gather identically to the
+/// branchy scalar `lookup` at every kernel tier, for a spread of formats.
+#[test]
+fn lut_gather_matches_scalar_lookup_over_the_whole_dense_domain() {
+    for format in [
+        FixedFormat::default(),
+        FixedFormat::new(6, 1),
+        FixedFormat::new(10, 4),
+        FixedFormat::new(12, 6),
+    ] {
+        for kind in [CorrectionKind::Plus, CorrectionKind::Minus] {
+            let lut = CorrectionLut::new(kind, format, 3);
+            assert!(
+                !lut.dense_table().is_empty(),
+                "practical formats must go dense"
+            );
+            // The whole representable non-negative input range: every dense
+            // entry, the clamp boundary, and the saturated region above it.
+            let xs: Vec<i32> = (0..=format.max_code().min(1 << 17)).collect();
+            let expected: Vec<i32> = xs.iter().map(|&x| lut.lookup(x)).collect();
+            for level in LEVELS {
+                let mut out = vec![0i32; xs.len()];
+                lut.lookup_slice_with(level, &xs, &mut out);
+                assert_eq!(out, expected, "{kind:?} {format} lookup_slice at {level:?}");
+                let mut inplace = xs.clone();
+                lut.map_slice_with(level, &mut inplace);
+                assert_eq!(
+                    inplace, expected,
+                    "{kind:?} {format} map_slice at {level:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Boundary and saturation sweep for the clamp kernels (`sub_lanes` both
+/// flavours, `add_lanes`) and the ⊞/⊟ panel decomposition: message and APP
+/// codes at and around every clamp edge, ragged lengths straddling both
+/// vector widths.
+#[test]
+fn clamp_and_box_kernels_match_scalar_on_boundary_values() {
+    let format = FixedFormat::default();
+    let app = FixedFormat::new(10, 2);
+    let (lo, hi) = (format.min_code(), format.max_code());
+    let (alo, ahi) = (app.min_code(), app.max_code());
+    let lut = CorrectionLut::new(CorrectionKind::Plus, format, 3);
+
+    // Edge-heavy value pool: zeros, ±1, clamp edges of both formats, and
+    // values just inside/outside them.
+    let pool: Vec<i32> = vec![
+        0,
+        1,
+        -1,
+        2,
+        -2,
+        hi,
+        lo,
+        hi - 1,
+        lo + 1,
+        ahi,
+        alo,
+        ahi - 1,
+        alo + 1,
+        64,
+        -64,
+        127,
+        -127,
+        200,
+        -200,
+        300,
+        -300,
+        511,
+        -511,
+    ];
+    for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 11, 15, 16, 17, 31, 33, 64, 97] {
+        let a: Vec<i32> = (0..n).map(|i| pool[(i * 7) % pool.len()]).collect();
+        let b: Vec<i32> = (0..n).map(|i| pool[(i * 11 + 3) % pool.len()]).collect();
+        // Message-range operands for the ⊞/⊟ kernels (the decoder only
+        // feeds them saturated codes).
+        let am: Vec<i32> = a.iter().map(|&x| x.clamp(lo, hi)).collect();
+        let bm: Vec<i32> = b.iter().map(|&x| x.clamp(lo, hi)).collect();
+
+        let mut expected = vec![0i32; n];
+        let mut got = vec![0i32; n];
+        for level in LEVELS {
+            simd::sub_lanes_remap(SimdLevel::Scalar, lo, hi, &a, &b, &mut expected);
+            simd::sub_lanes_remap(level, lo, hi, &a, &b, &mut got);
+            assert_eq!(got, expected, "sub_lanes_remap {level:?} n={n}");
+
+            simd::sub_lanes_clamp(SimdLevel::Scalar, lo, hi, &a, &b, &mut expected);
+            simd::sub_lanes_clamp(level, lo, hi, &a, &b, &mut got);
+            assert_eq!(got, expected, "sub_lanes_clamp {level:?} n={n}");
+
+            simd::add_lanes_clamp(SimdLevel::Scalar, alo, ahi, &a, &b, &mut expected);
+            simd::add_lanes_clamp(level, alo, ahi, &a, &b, &mut got);
+            assert_eq!(got, expected, "add_lanes_clamp {level:?} n={n}");
+
+            let mut scratch = vec![0i32; 3 * n];
+            let (mins, rest) = scratch.split_at_mut(n);
+            let (sums, diffs) = rest.split_at_mut(n);
+            simd::boxplus_panel(
+                SimdLevel::Scalar,
+                &lut,
+                hi,
+                &am,
+                &bm,
+                &mut expected,
+                mins,
+                sums,
+                diffs,
+            );
+            simd::boxplus_panel(level, &lut, hi, &am, &bm, &mut got, mins, sums, diffs);
+            assert_eq!(got, expected, "boxplus_panel {level:?} n={n}");
+
+            simd::boxminus_panel(
+                SimdLevel::Scalar,
+                &lut,
+                hi,
+                &am,
+                &bm,
+                &mut expected,
+                mins,
+                sums,
+                diffs,
+            );
+            simd::boxminus_panel(level, &lut, hi, &am, &bm, &mut got, mins, sums, diffs);
+            assert_eq!(got, expected, "boxminus_panel {level:?} n={n}");
+
+            let mut acc_expected = am.clone();
+            let mut acc_got = am.clone();
+            simd::boxplus_assign_panel(
+                SimdLevel::Scalar,
+                &lut,
+                hi,
+                &mut acc_expected,
+                &bm,
+                mins,
+                sums,
+                diffs,
+            );
+            simd::boxplus_assign_panel(level, &lut, hi, &mut acc_got, &bm, mins, sums, diffs);
+            assert_eq!(
+                acc_got, acc_expected,
+                "boxplus_assign_panel {level:?} n={n}"
+            );
+        }
+    }
+}
+
+/// The Min-Sum minima tracking must keep exact first-wins tie semantics at
+/// every tier: sweeps panels full of magnitude ties, sentinel survivals
+/// (degree-1 lanes keep `i32::MAX` until saturation) and saturated codes.
+#[test]
+fn min_sum_minima_tracking_matches_scalar_with_ties_and_saturation() {
+    let max_code = 127;
+    // Tie-heavy pool: repeated magnitudes force the argmin tie-break path.
+    let pool: Vec<i32> = vec![12, -12, 12, -12, 5, -5, 127, -127, 1, -1, 12, 5];
+    for n in [1usize, 3, 4, 7, 8, 9, 13, 16, 25, 64, 96, 101] {
+        for degree in [1usize, 2, 3, 5, 8] {
+            let slots: Vec<Vec<i32>> = (0..degree)
+                .map(|s| (0..n).map(|i| pool[(i * 3 + s) % pool.len()]).collect())
+                .collect();
+            for level in LEVELS {
+                let mut st_ref = (vec![i32::MAX; n], vec![i32::MAX; n], vec![0; n], vec![0; n]);
+                let mut st = st_ref.clone();
+                for (slot, inc) in slots.iter().enumerate() {
+                    simd::min_sum_track(
+                        SimdLevel::Scalar,
+                        slot as i32,
+                        inc,
+                        &mut st_ref.0,
+                        &mut st_ref.1,
+                        &mut st_ref.2,
+                        &mut st_ref.3,
+                    );
+                    simd::min_sum_track(
+                        level,
+                        slot as i32,
+                        inc,
+                        &mut st.0,
+                        &mut st.1,
+                        &mut st.2,
+                        &mut st.3,
+                    );
+                    assert_eq!(st, st_ref, "track {level:?} n={n} d={degree} slot={slot}");
+                }
+                let (mut expected, mut got) = (vec![0i32; n], vec![0i32; n]);
+                for (slot, inc) in slots.iter().enumerate() {
+                    simd::min_sum_emit(
+                        SimdLevel::Scalar,
+                        slot as i32,
+                        max_code,
+                        inc,
+                        &st_ref.0,
+                        &st_ref.1,
+                        &st_ref.2,
+                        &st_ref.3,
+                        &mut expected,
+                    );
+                    simd::min_sum_emit(
+                        level,
+                        slot as i32,
+                        max_code,
+                        inc,
+                        &st.0,
+                        &st.1,
+                        &st.2,
+                        &st.3,
+                        &mut got,
+                    );
+                    assert_eq!(got, expected, "emit {level:?} n={n} d={degree} slot={slot}");
+                }
+            }
+        }
+    }
+}
+
+/// Full check-node panel kernels at every tier vs the row-serial scalar
+/// reference, for both fixed back-ends (and both fixed-BP check-node
+/// modes), across ragged panel widths that are not a multiple of either
+/// vector width and messages spanning the full code range.
+#[test]
+fn check_node_panels_are_bit_identical_across_tiers_and_ragged_widths() {
+    // Saturation-heavy deterministic messages (same recipe as the lane
+    // integration sweep, plus forced ±max codes).
+    let msg = |i: usize| {
+        let v = ((i as i32).wrapping_mul(37) % 255) - 127;
+        if i.is_multiple_of(13) {
+            v.signum().max(1) * 127
+        } else {
+            v
+        }
+    };
+
+    fn sweep_one<A, F>(name: &str, make: F, z: usize, degree: usize, lanes_in: &[i32])
+    where
+        A: LaneKernel<Msg = i32>,
+        F: Fn(SimdLevel) -> A,
+    {
+        // Row-serial scalar reference via the trait's check_node_update.
+        let reference_arith = make(SimdLevel::Scalar);
+        let mut expected = vec![0i32; degree * z];
+        let mut row_out = Vec::new();
+        for r in 0..z {
+            let row: Vec<i32> = (0..degree).map(|s| lanes_in[s * z + r]).collect();
+            reference_arith.check_node_update(&row, &mut row_out);
+            for (s, &m) in row_out.iter().enumerate() {
+                expected[s * z + r] = m;
+            }
+        }
+        for level in LEVELS {
+            let arith = make(level);
+            let mut scratch = LaneScratch::new();
+            scratch.reserve(degree, z);
+            let mut lanes_out = vec![0i32; degree * z];
+            arith.check_node_update_lanes(z, lanes_in, &mut lanes_out, &mut scratch);
+            assert_eq!(
+                lanes_out, expected,
+                "{name} diverged from the row-serial reference at {level:?} (z={z}, d={degree})"
+            );
+        }
+    }
+
+    for (z, degree) in [
+        (1usize, 3usize),
+        (3, 7),
+        (5, 2),
+        (7, 7),
+        (9, 4),
+        (13, 20),
+        (24, 6),
+        (31, 7),
+        (96, 7),
+        (97, 3),
+    ] {
+        let lanes_in: Vec<i32> = (0..degree * z).map(msg).collect();
+        sweep_one(
+            "fixed_bp_sum_extract",
+            |lvl| FixedBpArithmetic::default().with_simd_level(lvl),
+            z,
+            degree,
+            &lanes_in,
+        );
+        sweep_one(
+            "fixed_bp_fwd_bwd",
+            |lvl| FixedBpArithmetic::forward_backward().with_simd_level(lvl),
+            z,
+            degree,
+            &lanes_in,
+        );
+        sweep_one(
+            "fixed_min_sum",
+            |lvl| FixedMinSumArithmetic::default().with_simd_level(lvl),
+            z,
+            degree,
+            &lanes_in,
+        );
+    }
+}
+
+/// End-to-end: the full layered decode of a noisy batch must be
+/// bit-identical (bits, posteriors, iterations, flags, statistics) across
+/// every kernel tier for every fixed-point back-end, on codes whose `z` is
+/// not a multiple of the vector widths.
+#[test]
+fn full_decode_is_bit_identical_across_kernel_tiers() {
+    let codes: Vec<QcCode> = [
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+        CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648),
+    ]
+    .into_iter()
+    .map(|id| id.build().unwrap())
+    .collect();
+    let frames = 8usize;
+    for code in &codes {
+        let compiled = code.compile();
+        let llrs: Vec<f64> = (0..frames * compiled.n())
+            .map(|i| {
+                let sign = if (i * 2654435761) % 101 < 8 {
+                    -1.0
+                } else {
+                    1.0
+                };
+                sign * (0.25 + (i % 23) as f64 * 0.25)
+            })
+            .collect();
+        let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+
+        fn decode_all<A: LaneKernel + Clone + Sync>(
+            arith: A,
+            compiled: &CompiledCode,
+            batch: LlrBatch<'_>,
+        ) -> Vec<DecodeOutput> {
+            let decoder = LayeredDecoder::new(arith, DecoderConfig::default()).unwrap();
+            decoder.decode_batch(compiled, batch).unwrap()
+        }
+
+        macro_rules! sweep {
+            ($name:literal, $make:expr) => {{
+                let reference = decode_all($make(SimdLevel::Scalar), &compiled, batch);
+                assert!(
+                    reference.iter().any(|o| o.iterations > 1),
+                    "noise too weak to exercise the kernels"
+                );
+                for level in LEVELS {
+                    let outputs = decode_all($make(level), &compiled, batch);
+                    assert_eq!(
+                        outputs,
+                        reference,
+                        "{} decode diverged between {level:?} and scalar on n={}",
+                        $name,
+                        compiled.n()
+                    );
+                }
+            }};
+        }
+        sweep!("fixed_bp_sum_extract", |lvl| FixedBpArithmetic::default()
+            .with_simd_level(lvl));
+        sweep!("fixed_bp_fwd_bwd", |lvl| {
+            FixedBpArithmetic::forward_backward().with_simd_level(lvl)
+        });
+        sweep!("fixed_min_sum", |lvl| FixedMinSumArithmetic::default()
+            .with_simd_level(lvl));
+    }
+}
+
+/// The dispatch surface itself: detected/active levels are coherent, the
+/// tier name matches, and pinning a higher level than the CPU supports
+/// degrades instead of misbehaving.
+#[test]
+fn dispatch_levels_are_coherent() {
+    let detected = simd::detected_level();
+    let active = simd::active_level();
+    assert!(active <= detected, "active tier can only be forced *down*");
+    assert_eq!(kernel_tier(), active.name());
+    assert!(["avx2", "sse4.1", "scalar"].contains(&kernel_tier()));
+    for level in LEVELS {
+        assert!(level.effective() <= detected);
+        assert_eq!(level.effective().effective(), level.effective());
+    }
+    // An arithmetic pinned above the CPU's capability must still decode
+    // (degrading internally) — Avx2 here is a no-op pin on an AVX2 host
+    // and a degradation everywhere else.
+    let arith = FixedBpArithmetic::default().with_simd_level(SimdLevel::Avx2);
+    assert!(arith.simd_level() <= SimdLevel::Avx2);
+}
