@@ -1,0 +1,109 @@
+//! Criterion thread-scaling sweep of `decode_batch` — the multi-core tier's
+//! recorded curve and CI gate.
+//!
+//! Every earlier bench pinned `decode_batch_into_threads(…, 1)` so recorded
+//! baselines isolated single-core kernel work. This bench sweeps the worker
+//! count over the persistent decode pool for the fixed-point back-ends on
+//! the WiMax-class rate-1/2 2304-bit code at a fixed 10 iterations (identical
+//! arithmetic work at every thread count — the sweep measures pure execution
+//! shape: pool fan-out, group-aligned chunk stealing, workspace striping).
+//!
+//! Ids carry a thread-count suffix so `compare_bench` can pair them within
+//! one run:
+//!
+//! * `…_b64_t1` / `…_b64_t2` / `…_b64_t4` — a 64-frame batch decoded with
+//!   1/2/4-way concurrency (the calling thread plus pool workers);
+//! * `…_b64_tmax` — the host's full `available_parallelism`, emitted only
+//!   when that exceeds 4 (the id is stable across hosts; the thread count
+//!   behind it is whatever the machine has).
+//!
+//! Throughput is declared in frames per iteration. Run with
+//! `CRITERION_JSON_OUT=BENCH_scaling.json` to record a machine-readable
+//! curve; `compare_bench BENCH_scaling.json bench_scaling_new.json
+//! --require-scaling 2.5` diffs a fresh run against the recorded baseline
+//! and gates same-run `_t4` ≥ 2.5× `_t1` on hosts with ≥ 4 cores (on
+//! smaller hosts the gate degenerates to a bounded-overhead self-check —
+//! see `compare_bench`'s module docs).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ldpc_channel::awgn::AwgnChannel;
+use ldpc_channel::workload::FrameSource;
+use ldpc_codes::{CodeId, CodeRate, Standard};
+use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
+use ldpc_core::{
+    DecodeOutput, Decoder, FixedBpArithmetic, FixedMinSumArithmetic, LaneKernel, LlrBatch,
+};
+
+const BATCH_FRAMES: usize = 64;
+
+fn bench_scaling(c: &mut Criterion) {
+    let id = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 2304);
+    let code = id.build().unwrap();
+    let compiled = code.compile();
+    let channel = AwgnChannel::from_ebn0_db(2.5, code.rate());
+    let mut source = FrameSource::random(&code, 99).unwrap();
+    let block = source.next_block(&channel, BATCH_FRAMES);
+
+    // The sweep points: fixed 1/2/4 (stable ids for the recorded curve and
+    // the `_t4`/`_t1` gate) plus the whole machine when it is bigger.
+    let cores = ldpc_core::detected_cores();
+    let mut sweep: Vec<(String, usize)> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| (format!("t{t}"), t))
+        .collect();
+    if cores > 4 {
+        sweep.push(("tmax".to_string(), cores));
+    }
+
+    fn bench_backend<A: LaneKernel + Clone + Sync>(
+        group: &mut criterion::BenchmarkGroup<'_>,
+        name: &str,
+        arith: A,
+        compiled: &ldpc_codes::CompiledCode,
+        llrs: &[f64],
+        sweep: &[(String, usize)],
+    ) {
+        // Fixed iterations: every thread count does identical arithmetic.
+        let decoder = LayeredDecoder::new(arith, DecoderConfig::fixed_iterations(10)).unwrap();
+        let batch = LlrBatch::new(llrs, compiled.n()).unwrap();
+        for (suffix, threads) in sweep {
+            group.bench_function(format!("{name}_b{BATCH_FRAMES}_{suffix}"), |b| {
+                let mut outputs: Vec<DecodeOutput> =
+                    (0..batch.frames()).map(|_| DecodeOutput::empty()).collect();
+                b.iter(|| {
+                    decoder
+                        .decode_batch_into_threads(compiled, batch, &mut outputs, *threads)
+                        .unwrap()
+                })
+            });
+        }
+    }
+
+    let mut group = c.benchmark_group("decoder_scaling");
+    group.throughput(Throughput::Elements(BATCH_FRAMES as u64));
+    let llrs = &block.llrs[..BATCH_FRAMES * code.n()];
+    bench_backend(
+        &mut group,
+        "fixed_bp",
+        FixedBpArithmetic::default(),
+        &compiled,
+        llrs,
+        &sweep,
+    );
+    bench_backend(
+        &mut group,
+        "fixed_min_sum",
+        FixedMinSumArithmetic::default(),
+        &compiled,
+        llrs,
+        &sweep,
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(700));
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -40,12 +40,24 @@
 //!    *committed* `BENCH_simd.json` (recorded on an AVX2 container):
 //!    machine-independent, and nobody can regress the recorded SIMD gain
 //!    without re-measuring.
+//! 6. **Thread-scaling gate** (`--require-scaling [factor]`): the same
+//!    suffix-pair pattern for `…_t4` ids against their `…_t1` counterparts
+//!    from the thread-sweep bench (`decoder_scaling`), *within one run*. On
+//!    a host with ≥ 4 cores the 4-thread mean must be at least `factor ×`
+//!    (default 2.5) faster than the 1-thread mean — the multi-core scaling
+//!    requirement. On a host with fewer cores a 4-thread run cannot beat a
+//!    1-thread run, so the gate degenerates to a bounded-overhead
+//!    self-check (mirroring how the SIMD not-slower check degrades on
+//!    non-SIMD hosts): `_t4` must stay within 1.35× of `_t1`, pinning down
+//!    that the pool fan-out machinery costs noise, not throughput, when
+//!    there is nothing to win.
 //!
 //! Exits non-zero with a per-benchmark report on any violation. The parser
 //! handles exactly the shim's one-measurement-per-line format — this tool
 //! gates our own recorded files, not arbitrary JSON. The header prints the
-//! kernel tier of the machine *running the gate*, so same-run checks in CI
-//! logs are attributable to the tier that produced them.
+//! kernel tier, core count and `LDPC_PIN_THREADS` state of the machine
+//! *running the gate*, so same-run checks in CI logs are attributable to
+//! the tier, parallelism and pinning that produced them.
 
 use std::process::ExitCode;
 
@@ -208,6 +220,55 @@ fn check_multiframe_speedup(baseline: &[Bench], new: &[Bench], factor: f64) -> V
     violations
 }
 
+/// On hosts with fewer than [`SCALING_MIN_CORES`] cores the scaling gate
+/// degenerates to this bounded-overhead self-check margin: `_t4` within
+/// 1.35× of `_t1` (fan-out over too few cores costs scheduling noise but
+/// must never cost real throughput — the caller cancels what it outran).
+const SCALING_SELF_CHECK_MARGIN: f64 = 1.35;
+
+/// Core count below which `--require-scaling` cannot demand a real speedup.
+const SCALING_MIN_CORES: usize = 4;
+
+/// Check 6: thread-scaling gate over same-run `_t4`/`_t1` suffix pairs.
+/// `cores` is the gate machine's parallelism (parameterised for tests): with
+/// at least [`SCALING_MIN_CORES`] cores the 4-thread run must beat the
+/// 1-thread run by `factor ×`; below that, the self-check margin applies.
+fn check_scaling(benches: &[Bench], factor: f64, cores: usize) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut pairs = 0usize;
+    let full_gate = cores >= SCALING_MIN_CORES;
+    for bench in benches {
+        let Some(t1_id) = suffix_counterpart(&bench.id, "_t4", "_t1") else {
+            continue;
+        };
+        match mean_of(benches, &t1_id) {
+            None => violations.push(format!("{}: no counterpart {t1_id}", bench.id)),
+            Some(t1) if full_gate && bench.mean_s * factor > t1.mean_s => {
+                violations.push(format!(
+                    "{}: {:.3e}s is not {factor}x faster than _t1 {:.3e}s \
+                     (scaling {:.2}x on {cores} cores)",
+                    bench.id,
+                    bench.mean_s,
+                    t1.mean_s,
+                    t1.mean_s / bench.mean_s
+                ));
+            }
+            Some(t1) if !full_gate && bench.mean_s > SCALING_SELF_CHECK_MARGIN * t1.mean_s => {
+                violations.push(format!(
+                    "{}: {:.3e}s vs _t1 {:.3e}s (> {SCALING_SELF_CHECK_MARGIN}x on a \
+                     {cores}-core host — fan-out overhead, not scaling, is being gated)",
+                    bench.id, bench.mean_s, t1.mean_s
+                ));
+            }
+            Some(_) => pairs += 1,
+        }
+    }
+    if pairs == 0 && violations.is_empty() {
+        violations.push("no _t4/_t1 pairs found — wrong input file?".to_string());
+    }
+    violations
+}
+
 fn read_benches(path: &str) -> Result<Vec<Bench>, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let benches = parse_benchmarks(&json);
@@ -236,6 +297,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut speedup_factor: Option<f64> = None;
     let mut simd_margin: Option<f64> = None;
     let mut simd_speedup: Option<f64> = None;
+    let mut scaling_factor: Option<f64> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -263,6 +325,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             "--require-simd-speedup" => {
                 simd_speedup = Some(flag_value(&mut it, 1.15));
             }
+            "--require-scaling" => {
+                scaling_factor = Some(flag_value(&mut it, 2.5));
+            }
             _ => files.push(arg.clone()),
         }
     }
@@ -275,6 +340,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                 && multiframe_margin.is_none()
                 && simd_margin.is_none()
                 && simd_speedup.is_none()
+                && scaling_factor.is_none()
             {
                 return Err(
                     "single-file mode needs a same-run check flag (two files for a baseline diff)"
@@ -298,6 +364,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             if let Some(factor) = simd_speedup {
                 violations.extend(check_pair_speedup(&benches, "_simd", "_scalar", factor));
             }
+            if let Some(factor) = scaling_factor {
+                violations.extend(check_scaling(&benches, factor, ldpc_core::detected_cores()));
+            }
         }
         [baseline, new] => {
             let baseline = read_benches(baseline)?;
@@ -319,13 +388,16 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             if let Some(factor) = simd_speedup {
                 violations.extend(check_pair_speedup(&new, "_simd", "_scalar", factor));
             }
+            if let Some(factor) = scaling_factor {
+                violations.extend(check_scaling(&new, factor, ldpc_core::detected_cores()));
+            }
         }
         _ => {
             return Err(
                 "usage: compare_bench [baseline.json] new.json [--tolerance F] \
                          [--require-lane-not-slower [M]] [--require-multiframe-not-slower [M]] \
                          [--require-multiframe-speedup [F]] [--require-simd-not-slower [M]] \
-                         [--require-simd-speedup [F]]"
+                         [--require-simd-speedup [F]] [--require-scaling [F]]"
                     .to_string(),
             )
         }
@@ -337,11 +409,18 @@ fn main() -> ExitCode {
     // Same-run pair checks compare two code paths measured on *this*
     // machine; the active kernel tier says which tier those measurements
     // actually exercised (e.g. `_simd` ids degrade to the scalar kernels on
-    // a host without AVX2/SSE4.1).
+    // a host without AVX2/SSE4.1), and the core count / pinning state say
+    // whether thread-scaling pairs could show a real speedup.
     println!(
-        "compare_bench: kernel tier {} (detected {})",
+        "compare_bench: kernel tier {} (detected {}), {} core(s), thread pinning {}",
         ldpc_core::kernel_tier(),
-        ldpc_core::arith::simd::detected_level().name()
+        ldpc_core::arith::simd::detected_level().name(),
+        ldpc_core::detected_cores(),
+        if ldpc_core::pin_threads_requested() {
+            "requested"
+        } else {
+            "off"
+        }
     );
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -512,6 +591,53 @@ mod tests {
     {"id": "decoder_multiframe/fixed_bp_mf_simd/64", "min_s": 0.020, "mean_s": 0.021000000, "max_s": 0.022, "iters_per_sample": 4, "samples": 15}
   ]
 }"#;
+
+    const SCALING_SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"id": "decoder_scaling/fixed_bp_b64_t1", "min_s": 0.030, "mean_s": 0.032000000, "max_s": 0.034, "iters_per_sample": 4, "samples": 15},
+    {"id": "decoder_scaling/fixed_bp_b64_t2", "min_s": 0.016, "mean_s": 0.017000000, "max_s": 0.018, "iters_per_sample": 4, "samples": 15},
+    {"id": "decoder_scaling/fixed_bp_b64_t4", "min_s": 0.009, "mean_s": 0.010000000, "max_s": 0.011, "iters_per_sample": 4, "samples": 15}
+  ]
+}"#;
+
+    #[test]
+    fn scaling_gate_requires_the_factor_on_multicore_hosts() {
+        let mut benches = parse_benchmarks(SCALING_SAMPLE);
+        // Recorded: 3.2x from one to four threads — passes the 2.5x gate.
+        assert!(check_scaling(&benches, 2.5, 8).is_empty());
+        // A _t4 run that only reaches 2.0x fails on a multi-core host …
+        benches[2].mean_s = 0.016;
+        let v = check_scaling(&benches, 2.5, 8);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("fixed_bp_b64_t4"));
+        // … exactly at the factor passes (no strict inequality games).
+        benches[2].mean_s = 0.032 / 2.5;
+        assert!(check_scaling(&benches, 2.5, 4).is_empty());
+        // A missing _t1 counterpart is flagged.
+        let orphan =
+            parse_benchmarks(r#"{"id": "decoder_scaling/fixed_bp_b64_t4", "mean_s": 0.010000000}"#);
+        assert_eq!(check_scaling(&orphan, 2.5, 8).len(), 1);
+        // No pairs at all is itself a violation.
+        let none =
+            parse_benchmarks(r#"{"id": "decoder_scaling/fixed_bp_b64_t1", "mean_s": 0.032000000}"#);
+        assert_eq!(check_scaling(&none, 2.5, 8).len(), 1);
+    }
+
+    #[test]
+    fn scaling_gate_degenerates_to_a_self_check_on_small_hosts() {
+        let mut benches = parse_benchmarks(SCALING_SAMPLE);
+        // On a single-core host no speedup is demanded …
+        benches[2].mean_s = 0.033; // t4 ~ t1: pure fan-out overhead
+        assert!(check_scaling(&benches, 2.5, 1).is_empty());
+        assert!(check_scaling(&benches, 2.5, 2).is_empty());
+        // … but unbounded overhead still fails the self-check.
+        benches[2].mean_s = 0.050; // 1.56x the t1 run
+        let v = check_scaling(&benches, 2.5, 1);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("fan-out overhead"));
+        // The same measurements would fail the full gate on a real host.
+        assert_eq!(check_scaling(&benches, 2.5, 4).len(), 1);
+    }
 
     #[test]
     fn simd_pair_checks_gate_both_directions() {

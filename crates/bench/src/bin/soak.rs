@@ -15,13 +15,22 @@
 //!   is re-decoded with per-mode sequential `decode_batch` calls and
 //!   compared output-for-output;
 //! * **zero steady-state allocation** — the workspace pool stops growing
-//!   after the warm-up half of the run;
+//!   after the warm-up half of the run (with `--decode-threads N > 1` the
+//!   bound is `modes × N` workspaces instead of strict stability: which pool
+//!   workers claim a given batch's chunks varies run to run, so a
+//!   late-arriving worker may lazily build its workspace after warm-up);
 //! * **sustained throughput** — decoded frames/sec at least `--min-fps`.
+//!
+//! `--decode-threads N` fans each shard's coalesced batches across the
+//! persistent decode pool (frame-group chunk stealing, cross-shard by
+//! construction) — the service-level entry point of the thread-scaling
+//! sweep; outputs stay bit-identical to the single-threaded run.
 //!
 //! ```text
 //! soak [--duration-ms 2000] [--deadline-ms 1000] [--queue 64]
-//!      [--max-batch 32] [--ebn0 2.5] [--seed 1] [--min-fps 0]
-//!      [--verify-frames 4096] [--modes wimax:1/2:576,wifi:1/2:648,...]
+//!      [--max-batch 32] [--decode-threads 1] [--ebn0 2.5] [--seed 1]
+//!      [--min-fps 0] [--verify-frames 4096]
+//!      [--modes wimax:1/2:576,wifi:1/2:648,...]
 //! ```
 
 use std::collections::HashMap;
@@ -39,6 +48,7 @@ struct Args {
     deadline: Duration,
     queue_capacity: usize,
     max_batch: usize,
+    decode_threads: usize,
     ebn0_db: f64,
     seed: u64,
     min_fps: f64,
@@ -53,6 +63,7 @@ impl Default for Args {
             deadline: Duration::from_millis(1000),
             queue_capacity: 64,
             max_batch: 32,
+            decode_threads: 1,
             ebn0_db: 2.5,
             seed: 1,
             min_fps: 0.0,
@@ -96,6 +107,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-batch: {e}"))?;
             }
+            "--decode-threads" => {
+                args.decode_threads = value("--decode-threads")?
+                    .parse()
+                    .map_err(|e| format!("--decode-threads: {e}"))?;
+            }
             "--ebn0" => {
                 args.ebn0_db = value("--ebn0")?
                     .parse()
@@ -138,24 +154,39 @@ fn main() -> ExitCode {
             eprintln!("soak: {e}");
             eprintln!(
                 "usage: soak [--duration-ms N] [--deadline-ms N] [--queue N] [--max-batch N] \
-                 [--ebn0 F] [--seed N] [--min-fps F] [--verify-frames N] [--modes a,b,c]"
+                 [--decode-threads N] [--ebn0 F] [--seed N] [--min-fps F] [--verify-frames N] \
+                 [--modes a,b,c]"
             );
             return ExitCode::from(2);
         }
     };
 
-    // The kernel tier makes soak logs attributable: a throughput number only
-    // means something relative to the kernels (avx2/sse4.1/scalar) it ran on.
+    // The kernel tier, core count and pinning state make soak logs
+    // attributable: a throughput number only means something relative to the
+    // kernels (avx2/sse4.1/scalar) it ran on and the parallelism it had.
+    let pool = ldpc_core::DecodePool::global();
     println!(
-        "soak: {} modes, {} ms stream, {} ms deadline, queue {}, max batch {}, Eb/N0 {} dB, \
-         kernel tier {}",
+        "soak: {} modes, {} ms stream, {} ms deadline, queue {}, max batch {}, \
+         decode threads {}, Eb/N0 {} dB, kernel tier {}, {} core(s), \
+         decode pool {} worker(s), pinning {}",
         args.modes.len(),
         args.duration.as_millis(),
         args.deadline.as_millis(),
         args.queue_capacity,
         args.max_batch,
+        args.decode_threads,
         args.ebn0_db,
-        ldpc_core::kernel_tier()
+        ldpc_core::kernel_tier(),
+        ldpc_core::detected_cores(),
+        pool.workers(),
+        // Workers pin themselves as they start up, so the pinned count is
+        // reported at the end of the run; here only the request state is
+        // known race-free.
+        if pool.pin_requested() {
+            "requested"
+        } else {
+            "off"
+        }
     );
 
     let mut traffic = MixedTraffic::new(args.seed);
@@ -170,7 +201,8 @@ fn main() -> ExitCode {
         LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
     let mut builder = DecodeService::builder(decoder.clone())
         .queue_capacity(args.queue_capacity)
-        .max_batch(args.max_batch);
+        .max_batch(args.max_batch)
+        .decode_threads(args.decode_threads);
     for &id in &args.modes {
         builder = match builder.register(id) {
             Ok(builder) => builder,
@@ -242,9 +274,12 @@ fn main() -> ExitCode {
         );
     }
     println!(
-        "soak: {submitted} frames in {:.2}s -> {fps:.0} frames/s decoded, pool built {} workspaces",
+        "soak: {submitted} frames in {:.2}s -> {fps:.0} frames/s decoded, pool built {} \
+         workspaces, {} of {} decode pool worker(s) pinned",
         stream_elapsed.as_secs_f64(),
-        stats.first().map_or(0, |s| s.pool_workspaces_created)
+        stats.first().map_or(0, |s| s.pool_workspaces_created),
+        pool.pinned_workers(),
+        pool.workers()
     );
 
     let mut violations: Vec<String> = Vec::new();
@@ -265,11 +300,27 @@ fn main() -> ExitCode {
     }
     if let Some(warm) = warm_pool_created {
         let final_created = stats.first().map_or(0, |s| s.pool_workspaces_created);
-        if final_created != warm {
-            violations.push(format!(
-                "workspace pool grew after warm-up ({warm} -> {final_created}): \
-                 steady-state serving must not allocate decoder state"
-            ));
+        if args.decode_threads <= 1 {
+            // Single-threaded shards: exactly one workspace per mode, fixed
+            // after warm-up.
+            if final_created != warm {
+                violations.push(format!(
+                    "workspace pool grew after warm-up ({warm} -> {final_created}): \
+                     steady-state serving must not allocate decoder state"
+                ));
+            }
+        } else {
+            // Fan-out shards checkout lazily per claimed chunk, and which
+            // pool workers claim a batch varies — a worker can build its
+            // first workspace after warm-up. The bound that must hold is
+            // one workspace per participating thread per mode.
+            let cap = args.modes.len() * args.decode_threads;
+            if final_created > cap {
+                violations.push(format!(
+                    "workspace pool built {final_created} workspaces, more than \
+                     modes x decode_threads = {cap}: fan-out is leaking decoder state"
+                ));
+            }
         }
     }
     if fps < args.min_fps {

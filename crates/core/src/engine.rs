@@ -9,11 +9,18 @@
 //! * [`ldpc_codes::CompiledCode`] — the schedule, compiled once per code;
 //! * [`crate::workspace::DecodeWorkspace`] — the L/Λ memories, allocated once
 //!   and reused for every frame;
-//! * [`Decoder::decode_batch`] — frame-level parallelism across OS threads
-//!   (scoped `std::thread`, one workspace per worker), the software stand-in
-//!   for the parallel SISO array. The environment variable
+//! * [`Decoder::decode_batch`] — frame-level parallelism across OS threads,
+//!   the software stand-in for the parallel SISO array. Batches fan out onto
+//!   the process-wide persistent [`crate::threadpool::DecodePool`] (spawned
+//!   once, parked when idle — no per-call thread spawn): the batch is cut
+//!   into chunks of whole frame-major groups (multiples of
+//!   [`Decoder::preferred_group_width`], so partitioning never strands
+//!   ragged sub-group tails inside a worker) and the participating threads —
+//!   the calling thread plus up to `threads − 1` pool workers — claim chunks
+//!   dynamically off a shared cursor. The environment variable
 //!   `LDPC_DECODE_THREADS` overrides the worker count; by default it follows
-//!   `std::thread::available_parallelism`.
+//!   `std::thread::available_parallelism`. `LDPC_PIN_THREADS` additionally
+//!   pins the pool workers to cores (see [`crate::threadpool`]).
 //!
 //! Below the engine, the fixed-point panel kernels dispatch once per
 //! process to the best kernel tier the CPU supports (AVX2 → SSE4.1 →
@@ -40,6 +47,9 @@
 //! # }
 //! ```
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use ldpc_codes::{CompiledCode, QcCode};
 
 use crate::arith::DecoderArithmetic;
@@ -47,6 +57,7 @@ use crate::decoder::DecoderConfig;
 use crate::error::DecodeError;
 use crate::pool::WorkspacePool;
 use crate::result::{DecodeOutput, DecodeStats};
+use crate::threadpool::DecodePool;
 use crate::workspace::DecodeWorkspace;
 
 /// Panics unless `order` is a permutation of `0..num_layers` (the same
@@ -433,6 +444,16 @@ pub trait Decoder {
     /// worker count (ignoring `LDPC_DECODE_THREADS` and the machine's
     /// parallelism). The result is independent of `threads`.
     ///
+    /// `threads` bounds *concurrency*, not thread creation: the work runs on
+    /// the calling thread plus up to `threads − 1` workers of the shared
+    /// [`DecodePool`]. The batch is cut into chunks of whole frame-major
+    /// groups and every participating thread claims
+    /// chunks off a shared cursor, so frames that converge early (early
+    /// termination) never strand one thread with all the slow chunks. Because
+    /// each chunk boundary is a multiple of the group width, the grouping —
+    /// and hence the bit-exact result — is identical for every `threads`
+    /// value.
+    ///
     /// # Errors
     ///
     /// Returns [`DecodeError::BatchShape`] on frame-length or output-length
@@ -478,32 +499,81 @@ pub trait Decoder {
             return result;
         }
 
-        let chunk = outputs.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut workers = Vec::with_capacity(threads);
-            for (ci, out_chunk) in outputs.chunks_mut(chunk).enumerate() {
-                let first_frame = ci * chunk;
-                workers.push(scope.spawn(move || -> Result<(), DecodeError> {
-                    let mut ws = self.worker_workspace(compiled);
-                    let result = decode_chunk_grouped(
-                        self,
-                        compiled,
-                        batch,
-                        out_chunk,
-                        first_frame,
-                        width,
-                        &mut ws,
-                    );
-                    self.finish_worker_workspace(compiled, ws);
-                    result
-                }));
+        let chunk_frames = chunk_frames_for(outputs.len(), threads, width);
+        let chunk_slots: Vec<ChunkSlot<'_>> = outputs
+            .chunks_mut(chunk_frames)
+            .enumerate()
+            .map(|(ci, chunk)| Mutex::new(Some((ci * chunk_frames, chunk))))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let first_error: Mutex<Option<DecodeError>> = Mutex::new(None);
+
+        let work = || {
+            let mut ws = None;
+            loop {
+                let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                if ci >= chunk_slots.len() {
+                    break;
+                }
+                let claimed = chunk_slots[ci]
+                    .lock()
+                    .expect("decode chunk slot poisoned")
+                    .take();
+                let Some((first_frame, chunk)) = claimed else {
+                    continue;
+                };
+                // Workspaces are checked out lazily, on the first chunk a
+                // thread actually claims: pool workers that never get a
+                // chunk (small batch, or the caller outran them) cost no
+                // workspace at all.
+                let ws = ws.get_or_insert_with(|| self.worker_workspace(compiled));
+                if let Err(e) =
+                    decode_chunk_grouped(self, compiled, batch, chunk, first_frame, width, ws)
+                {
+                    let mut slot = first_error.lock().expect("decode error slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    break;
+                }
             }
-            for worker in workers {
-                worker.join().expect("decode worker panicked")?;
+            if let Some(ws) = ws.take() {
+                self.finish_worker_workspace(compiled, ws);
             }
-            Ok(())
-        })
+        };
+        DecodePool::global().run_scoped(threads - 1, &work);
+
+        match first_error
+            .into_inner()
+            .expect("decode error slot poisoned")
+        {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
+}
+
+/// One claimable chunk of the output batch: its first frame index plus the
+/// output slots, consumed (`take`n) by whichever thread claims it.
+type ChunkSlot<'a> = Mutex<Option<(usize, &'a mut [DecodeOutput])>>;
+
+/// How many chunks the batch engine aims to hand each participating thread.
+/// Over-partitioning (rather than one chunk per thread) keeps the dynamic
+/// cursor meaningful: threads that draw fast-converging frames claim more
+/// chunks instead of idling while a slow chunk finishes elsewhere.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Frames per batch chunk for `frames` frames across `threads` threads with
+/// frame-major groups of `width`: always a multiple of `width` (so chunk
+/// boundaries never cut a group — the only ragged group is the true batch
+/// tail), at least one group, and small enough to give each thread roughly
+/// [`CHUNKS_PER_THREAD`] chunks to claim.
+fn chunk_frames_for(frames: usize, threads: usize, width: usize) -> usize {
+    let total_groups = frames.div_ceil(width);
+    let chunk_groups = total_groups
+        .div_ceil(threads.max(1) * CHUNKS_PER_THREAD)
+        .max(1);
+    chunk_groups * width
 }
 
 /// One batch worker's loop: regroups its chunk of consecutive frames into
@@ -715,9 +785,48 @@ mod tests {
     }
 
     #[test]
+    fn chunk_partitioning_hands_out_whole_groups() {
+        // Every chunk boundary must be a multiple of the group width (the old
+        // even split could strand ragged sub-group tails on every thread),
+        // chunks must cover the batch exactly, and over-partitioning must
+        // leave the dynamic cursor something to balance with.
+        for frames in [1usize, 2, 5, 13, 64, 257, 1024] {
+            for threads in [1usize, 2, 3, 4, 7, 64] {
+                for width in [1usize, 2, 4, 6, 16] {
+                    let chunk = chunk_frames_for(frames, threads, width);
+                    assert!(chunk >= width, "at least one group per chunk");
+                    assert_eq!(chunk % width, 0, "chunks are whole groups");
+                    let chunks = frames.div_ceil(chunk);
+                    assert_eq!(
+                        (chunks - 1) * chunk + (frames - (chunks - 1) * chunk),
+                        frames,
+                        "chunks cover the batch"
+                    );
+                    // Only the final chunk may hold the batch's ragged tail
+                    // group; every interior boundary sits on a group edge.
+                    assert_eq!(
+                        (0..chunks - 1)
+                            .filter(|ci| !(ci * chunk).is_multiple_of(width))
+                            .count(),
+                        0,
+                        "frames={frames} threads={threads} width={width}"
+                    );
+                    if frames / width >= threads * CHUNKS_PER_THREAD {
+                        assert!(
+                            chunks >= threads,
+                            "large batches must out-partition the thread count \
+                             (frames={frames} threads={threads} width={width})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn forced_multithreading_matches_sequential() {
         // The box running CI may have a single core; force explicit worker
-        // counts so the scoped-thread path is exercised everywhere.
+        // counts so the pool fan-out path is exercised everywhere.
         let compiled = compiled();
         let decoder =
             LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();

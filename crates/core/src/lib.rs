@@ -29,8 +29,12 @@
 //!   termination compacting converged frames out of the group,
 //! * [`workspace`] — the reusable L/Λ/lane buffer set behind the
 //!   zero-allocation guarantee,
-//! * [`pool`] — per-mode workspace pooling, so repeated `decode_batch` calls
-//!   of one mode allocate nothing at all,
+//! * [`pool`] — per-mode workspace pooling (internally striped so parallel
+//!   batch workers don't serialize on one mutex), so repeated `decode_batch`
+//!   calls of one mode allocate nothing at all,
+//! * [`threadpool`] — the persistent process-wide decode worker pool behind
+//!   `decode_batch`: spawned once, parked when idle, chunk-stealing fan-out,
+//!   optional core pinning via `LDPC_PIN_THREADS`,
 //! * [`siso`] — cycle-annotated models of the Radix-2 / Radix-4 SISO cores,
 //! * [`early_term`] — the early-termination rule of §IV,
 //! * [`schedule`] — layer-ordering policies (natural / stall-minimizing).
@@ -51,10 +55,11 @@
 //! # }
 //! ```
 
-// `deny` rather than `forbid`: the explicit-SIMD kernel tier
-// (`arith::simd`) is the single module allowed to opt back in for
-// `std::arch` intrinsics, with a per-block safety argument. Everything else
-// stays unsafe-free.
+// `deny` rather than `forbid`: exactly two modules are allowed to opt back
+// in, each with a per-block safety argument — the explicit-SIMD kernel tier
+// (`arith::simd`, `std::arch` intrinsics) and the persistent decode pool
+// (`threadpool`, one scoped-lifetime erasure plus the `sched_setaffinity`
+// FFI). Everything else stays unsafe-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -72,6 +77,8 @@ pub mod pool;
 pub mod result;
 pub mod schedule;
 pub mod siso;
+#[allow(unsafe_code)]
+pub mod threadpool;
 pub mod workspace;
 
 pub use arith::{
@@ -90,4 +97,5 @@ pub use pool::WorkspacePool;
 pub use result::{DecodeOutput, DecodeStats};
 pub use schedule::LayerOrderPolicy;
 pub use siso::{BoxArithmetic, R2Siso, R4Siso, SisoRadix, SisoRowResult};
+pub use threadpool::{detected_cores, pin_threads_requested, DecodePool};
 pub use workspace::DecodeWorkspace;

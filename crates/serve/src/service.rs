@@ -16,6 +16,21 @@
 //! before its shard worker reached it. [`DecodeService::shutdown`] closes
 //! every queue, lets the workers drain, and joins them: every accepted frame
 //! is completed, none silently dropped.
+//!
+//! # Threading
+//!
+//! Each shard owns exactly one coalescing worker thread; decode parallelism
+//! *inside* a batch comes from [`ServiceConfig::decode_threads`], which each
+//! shard routes onto the process-wide persistent decode pool
+//! ([`ldpc_core::DecodePool`]) via `decode_batch_into_threads`. Because the
+//! pool is shared rather than partitioned per shard, cross-shard stealing is
+//! structural: when one mode's traffic runs hot while another mode sits
+//! idle, the idle mode reserves no threads — the hot shard's frame-group
+//! chunks are claimed by whichever pool workers are free, so the whole
+//! machine drains the busiest queue. A saturated pool never delays a shard
+//! either: the shard's own worker thread always decodes alongside the pool
+//! and cancels any fan-out it outran, so `decode_threads > 1` is a
+//! speed-only knob — outputs stay bit-identical to `decode_threads = 1`.
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -40,8 +55,12 @@ pub struct ServiceConfig {
     /// Most frames coalesced into one `decode_batch` call. Minimum 1.
     pub max_batch: usize,
     /// Worker threads *inside* one shard's `decode_batch` call (frame-level
-    /// parallelism). The default of 1 keeps each shard single-threaded and
-    /// scales across shards instead. Minimum 1.
+    /// parallelism), drawn from the process-wide persistent decode pool —
+    /// not spawned per shard, so idle modes cost nothing and a hot mode's
+    /// chunks are stolen by whatever pool capacity is free (see the
+    /// module-level *Threading* notes). The default of 1 keeps each shard's
+    /// decoding on its own worker thread and scales across shards instead.
+    /// Outputs are bit-identical for every value. Minimum 1.
     pub decode_threads: usize,
     /// When set, every submitted frame is gain-normalised and quantised into
     /// this quantiser's range at submission
@@ -147,7 +166,9 @@ where
         self
     }
 
-    /// Sets the worker-thread count inside each shard's `decode_batch` call.
+    /// Sets the worker-thread count inside each shard's `decode_batch` call
+    /// (routed onto the shared persistent decode pool; bit-identical outputs
+    /// for every value — see [`ServiceConfig::decode_threads`]).
     #[must_use]
     pub fn decode_threads(mut self, threads: usize) -> Self {
         self.config.decode_threads = threads;
@@ -804,6 +825,49 @@ mod tests {
         let handle = service.submit(code, vec![6.0; code.n]).unwrap();
         drop(service);
         assert!(handle.wait().is_decoded(), "drop drains like shutdown");
+    }
+
+    #[test]
+    fn hot_shard_fanout_is_bit_identical_with_an_idle_shard_registered() {
+        // Cross-shard stealing sanity: one hot mode, one idle mode, with the
+        // hot shard fanning each coalesced batch across the shared decode
+        // pool. Outputs must match a direct single-threaded decode_batch
+        // frame for frame, and the idle shard must see no traffic.
+        use ldpc_core::Decoder;
+        let hot = wimax576();
+        let idle = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 1152);
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .queue_capacity(64)
+            .max_batch(32)
+            .decode_threads(4)
+            .register(hot)
+            .unwrap()
+            .register(idle)
+            .unwrap()
+            .build()
+            .unwrap();
+        let frames = 24;
+        let llrs: Vec<f64> = (0..frames * hot.n)
+            .map(|i| if (i * 2654435761) % 89 < 6 { -1.2 } else { 3.5 })
+            .collect();
+        let handles: Vec<_> = llrs
+            .chunks_exact(hot.n)
+            .map(|frame| service.submit(hot, frame.to_vec()).unwrap())
+            .collect();
+        service.resume();
+
+        let compiled = hot.build().unwrap().compile();
+        let reference = decoder()
+            .decode_batch(&compiled, ldpc_core::LlrBatch::new(&llrs, hot.n).unwrap())
+            .unwrap();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let out = handle.wait().into_output().expect("decoded");
+            assert_eq!(out, reference[i], "frame {i}");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats[0].decoded, frames as u64);
+        assert_eq!(stats[1].decoded, 0, "idle shard saw no frames");
     }
 
     #[test]

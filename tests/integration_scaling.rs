@@ -1,0 +1,195 @@
+//! Multi-core scaling integration: thread-count must be a **speed-only**
+//! knob, never a results knob.
+//!
+//! The persistent decode pool hands out group-width-aligned chunks, so the
+//! frame grouping — and therefore every message, iteration count, flag and
+//! stat — is identical no matter how many threads claim chunks or in what
+//! order. These tests pin that contract end to end through the `ldpc`
+//! facade:
+//!
+//! * `decode_batch_into_threads` is bit-identical across explicit thread
+//!   counts 1/2/4/7 (the counts `LDPC_DECODE_THREADS` selects between),
+//!   for every fixed-point back-end and the float reference, including
+//!   adversarial batch sizes that leave ragged group tails;
+//! * repeated runs at the same thread count are bit-identical (no
+//!   scheduling-order leakage through the shared pool or striped
+//!   workspace pool);
+//! * the env-driven `decode_batch` default matches the explicit
+//!   single-thread path on whatever host runs the suite;
+//! * `DecodeService` outputs are bit-identical across per-shard
+//!   `decode_threads` settings 1/2/4.
+
+use std::collections::HashMap;
+
+use ldpc::prelude::*;
+
+fn code_set() -> Vec<QcCode> {
+    [
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+        CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648),
+        CodeId::new(Standard::Wimax80216e, CodeRate::R3_4, 1152),
+    ]
+    .into_iter()
+    .map(|id| id.build().unwrap())
+    .collect()
+}
+
+/// Deterministic noisy LLRs (varied magnitudes, ~8 % sign flips, different
+/// per frame) so frames converge at different iterations and early
+/// termination interacts with the chunking.
+fn noisy_llrs(frames: usize, n: usize) -> Vec<f64> {
+    (0..frames * n)
+        .map(|i| {
+            let sign = if (i * 2654435761) % 101 < 8 {
+                -1.0
+            } else {
+                1.0
+            };
+            sign * (0.25 + (i % 23) as f64 * 0.25)
+        })
+        .collect()
+}
+
+/// Sweeps `arith` over the code set, adversarial batch sizes and explicit
+/// thread counts, asserting that every thread count reproduces the
+/// single-thread reference bit for bit — twice, so a second run through the
+/// warmed pools cannot diverge either.
+fn assert_thread_count_is_speed_only<A>(arith: A, label: &str)
+where
+    A: LaneKernel + Clone + Sync,
+{
+    for code in code_set() {
+        let compiled = code.compile();
+        let decoder = LayeredDecoder::new(arith.clone(), DecoderConfig::default()).unwrap();
+        // 13 frames: prime, smaller than most group widths' chunk quanta,
+        // guaranteed ragged tail. 64: the steady-state batch size.
+        for frames in [1usize, 13, 64] {
+            let llrs = noisy_llrs(frames, compiled.n());
+            let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+            let mut reference = vec![DecodeOutput::empty(); frames];
+            decoder
+                .decode_batch_into_threads(&compiled, batch, &mut reference, 1)
+                .unwrap();
+            for threads in [2usize, 4, 7] {
+                let mut outputs = vec![DecodeOutput::empty(); frames];
+                for run in 0..2 {
+                    outputs.iter_mut().for_each(|o| *o = DecodeOutput::empty());
+                    decoder
+                        .decode_batch_into_threads(&compiled, batch, &mut outputs, threads)
+                        .unwrap();
+                    assert_eq!(
+                        outputs,
+                        reference,
+                        "{label}: n={} frames={frames} threads={threads} run={run} diverged",
+                        compiled.n()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_count_is_speed_only_fixed_bp_sum_extract() {
+    assert_thread_count_is_speed_only(FixedBpArithmetic::default(), "fixed BP ⊟-extract");
+}
+
+#[test]
+fn thread_count_is_speed_only_fixed_bp_forward_backward() {
+    assert_thread_count_is_speed_only(FixedBpArithmetic::forward_backward(), "fixed BP fwd/bwd");
+}
+
+#[test]
+fn thread_count_is_speed_only_fixed_min_sum() {
+    assert_thread_count_is_speed_only(FixedMinSumArithmetic::default(), "fixed min-sum");
+}
+
+#[test]
+fn thread_count_is_speed_only_float_bp() {
+    assert_thread_count_is_speed_only(FloatBpArithmetic::default(), "float BP");
+}
+
+/// The env-driven default entry point (`decode_batch`, worker count from
+/// `LDPC_DECODE_THREADS` or the machine's parallelism) must match the
+/// explicit single-thread path on whatever host runs the suite.
+#[test]
+fn env_default_decode_batch_matches_single_thread() {
+    let code = code_set().remove(0);
+    let compiled = code.compile();
+    let decoder =
+        LayeredDecoder::new(FixedBpArithmetic::default(), DecoderConfig::default()).unwrap();
+    let llrs = noisy_llrs(48, compiled.n());
+    let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+    let defaulted = decoder.decode_batch(&compiled, batch).unwrap();
+    let mut reference = vec![DecodeOutput::empty(); 48];
+    decoder
+        .decode_batch_into_threads(&compiled, batch, &mut reference, 1)
+        .unwrap();
+    assert_eq!(defaulted, reference);
+}
+
+/// `DecodeService` outputs must be bit-identical across per-shard
+/// `decode_threads` settings — the shard fan-out rides the same
+/// group-aligned pool path as `decode_batch`.
+#[test]
+fn service_outputs_are_bit_identical_across_decode_threads() {
+    let modes = [
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576),
+        CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648),
+    ];
+    let decoder =
+        LayeredDecoder::new(FixedMinSumArithmetic::default(), DecoderConfig::default()).unwrap();
+
+    // The same deterministic interleaved traffic for every service config.
+    let frames: Vec<(CodeId, Vec<f64>)> = (0..24)
+        .map(|i| {
+            let id = modes[i % 2];
+            (
+                id,
+                noisy_llrs(1, id.n)
+                    .iter()
+                    .map(|&v| v + i as f64 * 1e-3)
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let mut per_threads: Vec<Vec<DecodeOutput>> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut builder = DecodeService::builder(decoder.clone()).decode_threads(threads);
+        for id in modes {
+            builder = builder.register(id).unwrap();
+        }
+        let service = builder.build().unwrap();
+        let handles: Vec<FrameHandle> = frames
+            .iter()
+            .map(|(id, llrs)| service.submit(*id, llrs.clone()).unwrap())
+            .collect();
+        let outputs: Vec<DecodeOutput> = handles
+            .into_iter()
+            .map(|h| h.wait().into_output().expect("frame decoded"))
+            .collect();
+        service.shutdown();
+        per_threads.push(outputs);
+    }
+    assert_eq!(per_threads[0], per_threads[1], "decode_threads=2 diverged");
+    assert_eq!(per_threads[0], per_threads[2], "decode_threads=4 diverged");
+
+    // And the service path itself matches direct per-mode decode_batch.
+    let mut per_mode_llrs: HashMap<CodeId, Vec<f64>> = HashMap::new();
+    let mut order: Vec<(CodeId, usize)> = Vec::new();
+    for (id, llrs) in &frames {
+        let buf = per_mode_llrs.entry(*id).or_default();
+        order.push((*id, buf.len() / id.n));
+        buf.extend_from_slice(llrs);
+    }
+    let mut reference: HashMap<CodeId, Vec<DecodeOutput>> = HashMap::new();
+    for (&id, llrs) in &per_mode_llrs {
+        let compiled = id.build().unwrap().compile();
+        let batch = LlrBatch::new(llrs, id.n).unwrap();
+        reference.insert(id, decoder.decode_batch(&compiled, batch).unwrap());
+    }
+    for ((id, frame_idx), out) in order.into_iter().zip(&per_threads[0]) {
+        assert_eq!(out, &reference[&id][frame_idx], "{id:?} frame {frame_idx}");
+    }
+}
