@@ -40,7 +40,16 @@
 //!    *committed* `BENCH_simd.json` (recorded on an AVX2 container):
 //!    machine-independent, and nobody can regress the recorded SIMD gain
 //!    without re-measuring.
-//! 6. **Thread-scaling gate** (`--require-scaling [factor]`): the same
+//! 6. **Cascade speedup gate** (`--require-cascade-speedup [factor]`): the
+//!    same suffix-pair pattern for `…_cascade` ids against their
+//!    `…_fixed_bp` counterparts, *within one run* — both sides of the
+//!    `cascade_throughput` bench decode the identical realistic SNR-mix
+//!    batch, one through the Min-Sum→BP cascade and one through straight
+//!    fixed BP, so the ratio is the cascade's end-to-end win at equal BER.
+//!    Default factor 1.3. CI applies it to fresh runs *and* to the
+//!    committed `BENCH_cascade.json`, so nobody can regress the recorded
+//!    gain without re-measuring.
+//! 7. **Thread-scaling gate** (`--require-scaling [factor]`): the same
 //!    suffix-pair pattern for `…_t4` ids against their `…_t1` counterparts
 //!    from the thread-sweep bench (`decoder_scaling`), *within one run*. On
 //!    a host with ≥ 4 cores the 4-thread mean must be at least `factor ×`
@@ -298,6 +307,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut simd_margin: Option<f64> = None;
     let mut simd_speedup: Option<f64> = None;
     let mut scaling_factor: Option<f64> = None;
+    let mut cascade_speedup: Option<f64> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -328,6 +338,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             "--require-scaling" => {
                 scaling_factor = Some(flag_value(&mut it, 2.5));
             }
+            "--require-cascade-speedup" => {
+                cascade_speedup = Some(flag_value(&mut it, 1.3));
+            }
             _ => files.push(arg.clone()),
         }
     }
@@ -341,6 +354,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                 && simd_margin.is_none()
                 && simd_speedup.is_none()
                 && scaling_factor.is_none()
+                && cascade_speedup.is_none()
             {
                 return Err(
                     "single-file mode needs a same-run check flag (two files for a baseline diff)"
@@ -367,6 +381,14 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             if let Some(factor) = scaling_factor {
                 violations.extend(check_scaling(&benches, factor, ldpc_core::detected_cores()));
             }
+            if let Some(factor) = cascade_speedup {
+                violations.extend(check_pair_speedup(
+                    &benches,
+                    "_cascade",
+                    "_fixed_bp",
+                    factor,
+                ));
+            }
         }
         [baseline, new] => {
             let baseline = read_benches(baseline)?;
@@ -391,13 +413,17 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             if let Some(factor) = scaling_factor {
                 violations.extend(check_scaling(&new, factor, ldpc_core::detected_cores()));
             }
+            if let Some(factor) = cascade_speedup {
+                violations.extend(check_pair_speedup(&new, "_cascade", "_fixed_bp", factor));
+            }
         }
         _ => {
             return Err(
                 "usage: compare_bench [baseline.json] new.json [--tolerance F] \
                          [--require-lane-not-slower [M]] [--require-multiframe-not-slower [M]] \
                          [--require-multiframe-speedup [F]] [--require-simd-not-slower [M]] \
-                         [--require-simd-speedup [F]] [--require-scaling [F]]"
+                         [--require-simd-speedup [F]] [--require-scaling [F]] \
+                         [--require-cascade-speedup [F]]"
                     .to_string(),
             )
         }
@@ -637,6 +663,30 @@ mod tests {
         assert!(v[0].contains("fan-out overhead"));
         // The same measurements would fail the full gate on a real host.
         assert_eq!(check_scaling(&benches, 2.5, 4).len(), 1);
+    }
+
+    const CASCADE_SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"id": "cascade_throughput/wimax2304_mix246_fixed_bp", "min_s": 0.020, "mean_s": 0.021000000, "max_s": 0.022, "iters_per_sample": 4, "samples": 15},
+    {"id": "cascade_throughput/wimax2304_mix246_cascade", "min_s": 0.013, "mean_s": 0.014000000, "max_s": 0.015, "iters_per_sample": 4, "samples": 15}
+  ]
+}"#;
+
+    #[test]
+    fn cascade_gate_requires_the_recorded_speedup() {
+        let mut benches = parse_benchmarks(CASCADE_SAMPLE);
+        // Recorded: 1.5x — passes the 1.3x gate.
+        assert!(check_pair_speedup(&benches, "_cascade", "_fixed_bp", 1.3).is_empty());
+        // A cascade that lost its edge fails …
+        benches[1].mean_s = 0.018; // only 1.17x
+        let v = check_pair_speedup(&benches, "_cascade", "_fixed_bp", 1.3);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("mix246_cascade"));
+        // … and a file without cascade pairs is itself a violation.
+        assert_eq!(
+            check_pair_speedup(&benches[..1], "_cascade", "_fixed_bp", 1.3).len(),
+            1
+        );
     }
 
     #[test]

@@ -26,10 +26,18 @@
 //! construction) — the service-level entry point of the thread-scaling
 //! sweep; outputs stay bit-identical to the single-threaded run.
 //!
+//! `--cascade` swaps the per-shard decoder for the SNR-adaptive
+//! [`ldpc_core::CascadeDecoder`] with the default
+//! [`ldpc_serve::CascadePolicy`] ladder. The whole contract above still
+//! holds (bit-identity is then against sequential cascade `decode_batch`
+//! calls), and the exit report additionally prints the per-shard
+//! escalation counters so a soak log shows how much of the stream stayed
+//! on the cheap Min-Sum path.
+//!
 //! ```text
 //! soak [--duration-ms 2000] [--deadline-ms 1000] [--queue 64]
-//!      [--max-batch 32] [--decode-threads 1] [--ebn0 2.5] [--seed 1]
-//!      [--min-fps 0] [--verify-frames 4096]
+//!      [--max-batch 32] [--decode-threads 1] [--cascade] [--ebn0 2.5]
+//!      [--seed 1] [--min-fps 0] [--verify-frames 4096]
 //!      [--modes wimax:1/2:576,wifi:1/2:648,...]
 //! ```
 
@@ -41,7 +49,7 @@ use ldpc_channel::MixedTraffic;
 use ldpc_codes::CodeId;
 use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
 use ldpc_core::{DecodeOutput, Decoder, FloatBpArithmetic, LlrBatch};
-use ldpc_serve::{DecodeOutcome, DecodeService, FrameHandle};
+use ldpc_serve::{CascadePolicy, DecodeOutcome, DecodeService, DecodeServiceBuilder, FrameHandle};
 
 struct Args {
     duration: Duration,
@@ -49,6 +57,7 @@ struct Args {
     queue_capacity: usize,
     max_batch: usize,
     decode_threads: usize,
+    cascade: bool,
     ebn0_db: f64,
     seed: u64,
     min_fps: f64,
@@ -64,6 +73,7 @@ impl Default for Args {
             queue_capacity: 64,
             max_batch: 32,
             decode_threads: 1,
+            cascade: false,
             ebn0_db: 2.5,
             seed: 1,
             min_fps: 0.0,
@@ -112,6 +122,9 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--decode-threads: {e}"))?;
             }
+            "--cascade" => {
+                args.cascade = true;
+            }
             "--ebn0" => {
                 args.ebn0_db = value("--ebn0")?
                     .parse()
@@ -154,20 +167,52 @@ fn main() -> ExitCode {
             eprintln!("soak: {e}");
             eprintln!(
                 "usage: soak [--duration-ms N] [--deadline-ms N] [--queue N] [--max-batch N] \
-                 [--decode-threads N] [--ebn0 F] [--seed N] [--min-fps F] [--verify-frames N] \
-                 [--modes a,b,c]"
+                 [--decode-threads N] [--cascade] [--ebn0 F] [--seed N] [--min-fps F] \
+                 [--verify-frames N] [--modes a,b,c]"
             );
             return ExitCode::from(2);
         }
     };
 
+    if args.cascade {
+        // The reference decoder for the bit-identity re-decode is a second
+        // cascade instance: cascade decoding is deterministic per frame, so
+        // any instance with the same policy reproduces the service outputs.
+        let policy = CascadePolicy::default();
+        run(
+            &args,
+            "cascade",
+            policy.decoder(),
+            DecodeService::cascade_builder(policy),
+        )
+    } else {
+        let decoder =
+            LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        run(
+            &args,
+            "float_bp",
+            decoder.clone(),
+            DecodeService::builder(decoder),
+        )
+    }
+}
+
+fn run<D>(
+    args: &Args,
+    decoder_label: &str,
+    decoder: D,
+    builder: DecodeServiceBuilder<D>,
+) -> ExitCode
+where
+    D: Decoder + Clone + Send + Sync + 'static,
+{
     // The kernel tier, core count and pinning state make soak logs
     // attributable: a throughput number only means something relative to the
     // kernels (avx2/sse4.1/scalar) it ran on and the parallelism it had.
     let pool = ldpc_core::DecodePool::global();
     println!(
         "soak: {} modes, {} ms stream, {} ms deadline, queue {}, max batch {}, \
-         decode threads {}, Eb/N0 {} dB, kernel tier {}, {} core(s), \
+         decode threads {}, decoder {decoder_label}, Eb/N0 {} dB, kernel tier {}, {} core(s), \
          decode pool {} worker(s), pinning {}",
         args.modes.len(),
         args.duration.as_millis(),
@@ -197,9 +242,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let decoder =
-        LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
-    let mut builder = DecodeService::builder(decoder.clone())
+    let mut builder = builder
         .queue_capacity(args.queue_capacity)
         .max_batch(args.max_batch)
         .decode_threads(args.decode_threads);
@@ -272,6 +315,17 @@ fn main() -> ExitCode {
             shard.batches,
             shard.max_coalesced
         );
+        if args.cascade {
+            println!(
+                "soak: shard {:<28} cascade stages [{} min_sum, {} fixed_bp, {} float_bp], \
+                 {} escalations",
+                shard.code.to_string(),
+                shard.cascade_stage_frames[0],
+                shard.cascade_stage_frames[1],
+                shard.cascade_stage_frames[2],
+                shard.cascade_escalations
+            );
+        }
     }
     println!(
         "soak: {submitted} frames in {:.2}s -> {fps:.0} frames/s decoded, pool built {} \

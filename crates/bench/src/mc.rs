@@ -45,6 +45,32 @@ pub struct McResult {
     pub channel_ber: f64,
 }
 
+/// Returns `true` when two Monte-Carlo BER estimates are statistically
+/// indistinguishable at `sigmas` standard deviations.
+///
+/// Each estimate is a binomial proportion over `frames × bits_per_frame`
+/// trials; the two are compared with the classic pooled two-proportion
+/// z-test: the difference must not exceed
+/// `sigmas · √(p̂(1−p̂)(1/nₐ + 1/n_b))` where `p̂` pools both runs. This is
+/// what the cascade waterfall check uses — "matches fixed BP" means the
+/// observed BER gap is within Monte-Carlo noise, not bit-identical output
+/// (stage-1 Min-Sum converges some frames the BP baseline never sees).
+///
+/// Two runs that both observed zero errors trivially match.
+#[must_use]
+pub fn ber_within_confidence(
+    a: &McResult,
+    b: &McResult,
+    bits_per_frame: usize,
+    sigmas: f64,
+) -> bool {
+    let na = (a.frames * bits_per_frame) as f64;
+    let nb = (b.frames * bits_per_frame) as f64;
+    let pooled = (a.ber * na + b.ber * nb) / (na + nb);
+    let sigma = (pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb)).sqrt();
+    (a.ber - b.ber).abs() <= sigmas * sigma + f64::EPSILON
+}
+
 /// Runs `config.frames` encode → AWGN → decode trials on the batch engine
 /// and aggregates the statistics.
 ///
@@ -210,6 +236,67 @@ mod tests {
             batched.avg_iterations,
             iterations as f64 / cfg.frames as f64
         );
+    }
+
+    #[test]
+    fn ber_confidence_accepts_noise_and_rejects_real_gaps() {
+        let base = McResult {
+            ber: 1.0e-3,
+            fer: 0.0,
+            avg_iterations: 0.0,
+            frames: 100,
+            channel_ber: 0.0,
+        };
+        // 1.1e-3 vs 1.0e-3 over 100×576 bits is well inside 3σ …
+        let close = McResult {
+            ber: 1.1e-3,
+            ..base
+        };
+        assert!(ber_within_confidence(&base, &close, 576, 3.0));
+        // … a 5× BER blow-up is not …
+        let far = McResult {
+            ber: 5.0e-3,
+            ..base
+        };
+        assert!(!ber_within_confidence(&base, &far, 576, 3.0));
+        // … and two error-free runs trivially match.
+        let zero = McResult { ber: 0.0, ..base };
+        assert!(ber_within_confidence(&zero, &zero, 576, 3.0));
+    }
+
+    #[test]
+    fn cascade_waterfall_matches_straight_fixed_bp() {
+        // The cascade must buy throughput, not coding gain: at a
+        // waterfall-region operating point its BER has to sit on the straight
+        // fixed-BP curve to within Monte-Carlo confidence.
+        use ldpc_core::{CascadeConfig, CascadeDecoder, FixedBpArithmetic};
+
+        let code = code();
+        let cascade = CascadeDecoder::new(CascadeConfig::default()).unwrap();
+        let baseline = LayeredDecoder::new(
+            FixedBpArithmetic::forward_backward(),
+            DecoderConfig::default(),
+        )
+        .unwrap();
+        for ebn0_db in [1.5, 2.0] {
+            let cfg = McConfig {
+                ebn0_db,
+                frames: 120,
+                seed: 77,
+            };
+            let a = run_monte_carlo_with(&cascade, &code, cfg);
+            let b = run_monte_carlo_with(&baseline, &code, cfg);
+            assert!(
+                a.ber > 0.0 || b.ber > 0.0,
+                "operating point too clean to be a meaningful comparison"
+            );
+            assert!(
+                ber_within_confidence(&a, &b, code.n(), 4.0),
+                "cascade BER {} vs fixed BP {} at {ebn0_db} dB exceeds 4σ",
+                a.ber,
+                b.ber
+            );
+        }
     }
 
     #[test]

@@ -257,16 +257,97 @@ impl FrameBlock {
     }
 }
 
+/// Per-mode SNR behaviour of a [`MixedTraffic`] mode: every frame at one
+/// fixed operating point, or a weighted mixture of points — the realistic
+/// easy/hard frame mix a serving deployment sees, where users sit at
+/// different distances from the cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnrProfile {
+    /// Every frame of the mode transmits at this Eb/N0 (dB).
+    Fixed(f64),
+    /// Each frame independently draws its Eb/N0 from these `(ebn0_db,
+    /// weight)` points, with probability proportional to weight. The draw
+    /// comes from a dedicated per-mode RNG seeded from the stream seed, so
+    /// the SNR sequence is deterministic and independent of the data and
+    /// noise streams.
+    Mixed(Vec<(f64, u32)>),
+}
+
+impl SnrProfile {
+    /// The classic serving mix this repo benchmarks the decoder cascade
+    /// against: cell-edge 2 dB, mid-cell 4 dB and near-cell 6 dB frames at
+    /// 1 : 3 : 6 weights (mostly-easy traffic with a hard tail).
+    #[must_use]
+    pub fn serving_mix() -> Self {
+        SnrProfile::Mixed(vec![(2.0, 1), (4.0, 3), (6.0, 6)])
+    }
+
+    fn validate(&self, id: CodeId) -> Result<(), CodeError> {
+        let points: &[(f64, u32)] = match self {
+            SnrProfile::Fixed(ebn0) => &[(*ebn0, 1)],
+            SnrProfile::Mixed(points) => {
+                if points.is_empty() {
+                    return Err(CodeError::InvalidParameter {
+                        reason: format!("mode {id} registered with an empty SNR mixture"),
+                    });
+                }
+                points
+            }
+        };
+        for &(ebn0, weight) in points {
+            if !ebn0.is_finite() {
+                return Err(CodeError::InvalidParameter {
+                    reason: format!("mode {id} registered with non-finite Eb/N0 {ebn0}"),
+                });
+            }
+            if weight == 0 {
+                return Err(CodeError::InvalidParameter {
+                    reason: format!("mode {id} SNR point {ebn0} dB has weight 0"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One registered mode of a [`MixedTraffic`] stream.
 #[derive(Debug, Clone)]
 struct TrafficMode {
     id: CodeId,
     source: FrameSource,
-    channel: AwgnChannel,
+    /// One prebuilt channel per SNR point of the mode's profile.
+    channels: Vec<(AwgnChannel, u32)>,
+    snr_total_weight: u64,
+    /// SNR-point picker stream; `None` for fixed-SNR modes, which never
+    /// draw (keeping their frame streams bit-identical to the pre-profile
+    /// behaviour).
+    snr_rng: Option<StdRng>,
     weight: u32,
     /// Reusable one-frame staging block, so steady-state generation does not
     /// allocate.
     block: FrameBlock,
+}
+
+impl TrafficMode {
+    fn pick_channel(&mut self) -> &AwgnChannel {
+        let Some(rng) = &mut self.snr_rng else {
+            return &self.channels[0].0;
+        };
+        let mut ticket = rng.gen_range(0..self.snr_total_weight);
+        let idx = self
+            .channels
+            .iter()
+            .position(|&(_, weight)| {
+                if ticket < u64::from(weight) {
+                    true
+                } else {
+                    ticket -= u64::from(weight);
+                    false
+                }
+            })
+            .expect("ticket is below the total SNR weight");
+        &self.channels[idx].0
+    }
 }
 
 /// A deterministic stream of frames drawn from several code modes at once —
@@ -324,20 +405,63 @@ impl MixedTraffic {
     /// Returns an error if `id` is unsupported, not encodable, or `weight`
     /// is zero.
     pub fn add_mode(&mut self, id: CodeId, ebn0_db: f64, weight: u32) -> Result<(), CodeError> {
+        self.add_mode_with_snr(id, SnrProfile::Fixed(ebn0_db), weight)
+    }
+
+    /// Like [`MixedTraffic::add_mode`], with a full per-mode [`SnrProfile`]:
+    /// a [`SnrProfile::Mixed`] mode draws each frame's Eb/N0 from its
+    /// weighted points through a dedicated seeded RNG, producing a
+    /// deterministic easy/hard frame mix. A [`SnrProfile::Fixed`] mode is
+    /// exactly `add_mode` (bit-identical stream, no SNR draws).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is unsupported or not encodable, `weight` is
+    /// zero, or the profile is invalid (empty mixture, zero-weight point,
+    /// non-finite Eb/N0).
+    pub fn add_mode_with_snr(
+        &mut self,
+        id: CodeId,
+        profile: SnrProfile,
+        weight: u32,
+    ) -> Result<(), CodeError> {
         if weight == 0 {
             return Err(CodeError::InvalidParameter {
                 reason: format!("mode {id} registered with weight 0"),
             });
         }
+        profile.validate(id)?;
         let code = id.build()?;
         let mode_seed = self
             .seed
             .wrapping_add(1 + self.modes.len() as u64)
             .wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let (channels, snr_rng) = match profile {
+            SnrProfile::Fixed(ebn0) => {
+                let channels = vec![(AwgnChannel::from_ebn0_db(ebn0, code.rate()), 1)];
+                (channels, None)
+            }
+            SnrProfile::Mixed(points) => {
+                let channels = points
+                    .into_iter()
+                    .map(|(ebn0, w)| (AwgnChannel::from_ebn0_db(ebn0, code.rate()), w))
+                    .collect();
+                // A distinct mixing constant keeps the SNR stream decoupled
+                // from the mode's data and noise streams (both derived from
+                // the same mode seed).
+                let rng = StdRng::seed_from_u64(
+                    mode_seed.wrapping_mul(0x94D0_49BB_1331_11EB) ^ 0x5DEECE66D,
+                );
+                (channels, Some(rng))
+            }
+        };
+        let snr_total_weight = channels.iter().map(|&(_, w)| u64::from(w)).sum();
         self.modes.push(TrafficMode {
             id,
             source: FrameSource::random(&code, mode_seed)?,
-            channel: AwgnChannel::from_ebn0_db(ebn0_db, code.rate()),
+            channels,
+            snr_total_weight,
+            snr_rng,
             weight,
             block: FrameBlock::new(),
         });
@@ -384,13 +508,9 @@ impl MixedTraffic {
             })
             .expect("ticket is below the total weight");
         let mode = &mut self.modes[idx];
-        let TrafficMode {
-            source,
-            channel,
-            block,
-            ..
-        } = mode;
-        source.fill_block(channel, 1, block);
+        let channel = *mode.pick_channel();
+        let TrafficMode { source, block, .. } = mode;
+        source.fill_block(&channel, 1, block);
         llrs.clear();
         llrs.extend_from_slice(&block.llrs);
         self.emitted += 1;
@@ -618,6 +738,100 @@ mod tests {
         assert!(traffic.add_mode(wimax, 2.5, 0).is_err(), "zero weight");
         let unsupported = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 100);
         assert!(traffic.add_mode(unsupported, 2.5, 1).is_err());
+    }
+
+    #[test]
+    fn snr_profile_validation_rejects_degenerate_mixtures() {
+        let mut traffic = MixedTraffic::new(1);
+        let wimax = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        assert!(
+            traffic
+                .add_mode_with_snr(wimax, SnrProfile::Mixed(vec![]), 1)
+                .is_err(),
+            "empty mixture"
+        );
+        assert!(
+            traffic
+                .add_mode_with_snr(wimax, SnrProfile::Mixed(vec![(2.0, 1), (4.0, 0)]), 1)
+                .is_err(),
+            "zero-weight SNR point"
+        );
+        assert!(
+            traffic
+                .add_mode_with_snr(wimax, SnrProfile::Fixed(f64::NAN), 1)
+                .is_err(),
+            "non-finite Eb/N0"
+        );
+    }
+
+    #[test]
+    fn fixed_profile_matches_plain_add_mode_bit_for_bit() {
+        let wimax = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let mut plain = MixedTraffic::new(13);
+        plain.add_mode(wimax, 2.5, 1).unwrap();
+        let mut profiled = MixedTraffic::new(13);
+        profiled
+            .add_mode_with_snr(wimax, SnrProfile::Fixed(2.5), 1)
+            .unwrap();
+        for _ in 0..8 {
+            assert_eq!(plain.next_frame(), profiled.next_frame());
+        }
+    }
+
+    #[test]
+    fn snr_mixture_is_deterministic_and_varies_noise_levels() {
+        let wimax = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let build = || {
+            let mut traffic = MixedTraffic::new(21);
+            traffic
+                .add_mode_with_snr(wimax, SnrProfile::serving_mix(), 1)
+                .unwrap();
+            traffic
+        };
+        let mut a = build();
+        let mut b = build();
+        // Deterministic: two streams from one seed agree frame for frame.
+        let frames: Vec<Vec<f64>> = (0..40).map(|_| a.next_frame().1).collect();
+        for frame in &frames {
+            assert_eq!(*frame, b.next_frame().1);
+        }
+        // Mixture actually varies the operating point: per-frame mean |LLR|
+        // scales with Eb/N0, so a 2/4/6 dB mix must show a clear spread
+        // (a fixed-SNR stream's per-frame means cluster tightly).
+        let mean_abs: Vec<f64> = frames
+            .iter()
+            .map(|f| f.iter().map(|&l| l.abs()).sum::<f64>() / f.len() as f64)
+            .collect();
+        let lo = mean_abs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = mean_abs.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            hi > lo * 1.5,
+            "SNR mixture should spread per-frame LLR magnitudes: lo={lo:.2} hi={hi:.2}"
+        );
+    }
+
+    #[test]
+    fn snr_draws_leave_other_modes_untouched() {
+        // Registering a mixed-SNR mode must not perturb another mode's
+        // frames (per-mode RNG streams stay independent).
+        let wimax = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let wifi = CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648);
+        let mut plain = MixedTraffic::new(9);
+        plain.add_mode(wimax, 2.5, 1).unwrap();
+        plain.add_mode(wifi, 3.0, 1).unwrap();
+        let mut mixed = MixedTraffic::new(9);
+        mixed.add_mode(wimax, 2.5, 1).unwrap();
+        mixed
+            .add_mode_with_snr(wifi, SnrProfile::Mixed(vec![(3.0, 1)]), 1)
+            .unwrap();
+        for _ in 0..30 {
+            let (id_a, llrs_a) = plain.next_frame();
+            let (id_b, llrs_b) = mixed.next_frame();
+            assert_eq!(id_a, id_b, "picker stream unchanged");
+            if id_a == wimax {
+                assert_eq!(llrs_a, llrs_b, "fixed mode bit-identical");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,683 @@
+//! SNR-adaptive decoder cascade: cheap-first Min-Sum with BP escalation.
+//!
+//! At realistic operating SNRs most frames are easy — a few Min-Sum
+//! iterations decode them — and only a tail needs the heavier fixed-BP (or
+//! float-BP) machinery. A [`CascadeDecoder`] runs a configurable stage
+//! ladder over every frame-major group the batch engine hands it:
+//!
+//! ```text
+//!   stage 1: fixed Min-Sum, small fixed budget      (all frames)
+//!      │  syndrome clean ──────────────► done (bit-identical to Min-Sum)
+//!      ▼  syndrome failed
+//!   stage 2: fixed BP (forward/backward), ET        (survivors only)
+//!      │  syndrome clean ──────────────► done (bit-identical to fixed BP)
+//!      ▼  syndrome failed
+//!   stage 3: float BP (optional last resort)        (survivors only)
+//! ```
+//!
+//! Stage 1 decodes the whole group; frames whose hard decisions satisfy
+//! every parity check keep their Min-Sum output (converged frames compact
+//! out of the group exactly as in per-frame early termination — stage 1
+//! *is* [`LayeredDecoder`] with the stage-1 config, so enabling early
+//! termination there compacts mid-stage too). Only the surviving failures
+//! re-enter stage 2 as a fresh, narrower group, re-ingesting **the same
+//! quantized LLRs** stage 1 decoded: the handoff values are
+//! `dequantize(quantize(llr))`, which round-trip to the identical quantized
+//! codes in stage 2's format, so an escalated frame's output is
+//! bit-identical to running the stage-2 decoder directly on those LLRs.
+//!
+//! Why the default stage 1 runs a *fixed* 4-iteration budget instead of the
+//! early-termination rule: under the explicit-SIMD kernel tier a decode
+//! iteration is cheap enough that the per-iteration scalar convergence scan
+//! (decision history + min-|LLR| reduction) costs as much as the iteration
+//! it might save. The cascade sidesteps the scan entirely — the syndrome
+//! check that [`finish_output`](crate::engine) already performs for every
+//! frame doubles as the escalation test, so easy frames pay four SIMD
+//! Min-Sum iterations and *zero* convergence bookkeeping. Hard frames pay
+//! one wasted stage-1 budget and then the full stage-2 decoder; at realistic
+//! SNR mixes the easy majority dominates (see the `cascade_throughput`
+//! bench and `BENCH_cascade.json`).
+//!
+//! The cascade implements [`Decoder`], so `decode_batch`,
+//! `decode_batch_into_threads`, the persistent decode pool and the serving
+//! layer all work unchanged; per-stage frame counts and escalations are
+//! observable through [`CascadeDecoder::stats`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ldpc_codes::CompiledCode;
+
+use crate::arith::{
+    DecoderArithmetic, FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic,
+};
+use crate::decoder::{DecoderConfig, LayeredDecoder};
+use crate::engine::Decoder;
+use crate::error::DecodeError;
+use crate::pool::WorkspacePool;
+use crate::result::DecodeOutput;
+use crate::workspace::DecodeWorkspace;
+
+/// Per-stage configurations of a [`CascadeDecoder`] ladder.
+///
+/// Each stage is a full [`DecoderConfig`], so iteration budgets, early
+/// termination and layer order are all tunable per stage. The default
+/// ladder is fixed Min-Sum (4 iterations, no convergence scan) → fixed
+/// forward/backward BP (the defaults: 10 iterations with early
+/// termination), with no float stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeConfig {
+    /// Stage 1: the cheap fixed Min-Sum pass every frame takes.
+    pub min_sum: DecoderConfig,
+    /// Stage 2: the fixed forward/backward-BP pass for stage-1 failures.
+    pub fixed_bp: DecoderConfig,
+    /// Optional stage 3: a float-BP last resort for stage-2 failures.
+    pub float_bp: Option<DecoderConfig>,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig {
+            min_sum: DecoderConfig::fixed_iterations(4),
+            fixed_bp: DecoderConfig::default(),
+            float_bp: None,
+        }
+    }
+}
+
+impl CascadeConfig {
+    /// A ladder with the default stage shapes but explicit per-stage
+    /// iteration budgets (stage 3 present only when `float_bp` is `Some`).
+    /// Budgets are clamped to at least one iteration.
+    #[must_use]
+    pub fn with_budgets(min_sum: usize, fixed_bp: usize, float_bp: Option<usize>) -> Self {
+        CascadeConfig {
+            min_sum: DecoderConfig::fixed_iterations(min_sum.max(1)),
+            fixed_bp: DecoderConfig {
+                max_iterations: fixed_bp.max(1),
+                ..DecoderConfig::default()
+            },
+            float_bp: float_bp.map(|iters| DecoderConfig {
+                max_iterations: iters.max(1),
+                ..DecoderConfig::default()
+            }),
+        }
+    }
+}
+
+/// Snapshot of a cascade's per-stage work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Frames decoded by each stage (stage 1 counts every frame; stages 2
+    /// and 3 count only the failures escalated to them).
+    pub stage_frames: [u64; 3],
+    /// Total escalation events (frames re-entering a later stage; equals
+    /// `stage_frames[1] + stage_frames[2]`).
+    pub escalations: u64,
+}
+
+impl CascadeStats {
+    /// Fraction of stage-1 frames that escalated to stage 2 (0 when the
+    /// cascade has decoded nothing yet).
+    #[must_use]
+    pub fn escalation_rate(&self) -> f64 {
+        if self.stage_frames[0] == 0 {
+            0.0
+        } else {
+            self.stage_frames[1] as f64 / self.stage_frames[0] as f64
+        }
+    }
+}
+
+/// Live cascade counters, shared by clones of one decoder (fresh per
+/// [`Decoder::detached_clone`]); relaxed atomics, exact once the decoder
+/// is quiescent.
+#[derive(Debug, Default)]
+struct CascadeCounters {
+    stage_frames: [AtomicU64; 3],
+    escalations: AtomicU64,
+}
+
+impl CascadeCounters {
+    fn snapshot(&self) -> CascadeStats {
+        CascadeStats {
+            stage_frames: [
+                self.stage_frames[0].load(Ordering::Relaxed),
+                self.stage_frames[1].load(Ordering::Relaxed),
+                self.stage_frames[2].load(Ordering::Relaxed),
+            ],
+            escalations: self.escalations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count_stage(&self, stage: usize, frames: usize) {
+        self.stage_frames[stage].fetch_add(frames as u64, Ordering::Relaxed);
+        if stage > 0 {
+            self.escalations.fetch_add(frames as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The SNR-adaptive stage-ladder decoder (see the module docs).
+///
+/// Implements [`Decoder`] with the stage-1 Min-Sum arithmetic as its
+/// nominal back-end: both fixed-point stages share one `i32` workspace
+/// (and workspace pool), while the optional float stage checks its `f64`
+/// workspace out of its own pool only when a frame actually reaches it.
+/// Clones share stage workspace pools *and* counters;
+/// [`Decoder::detached_clone`] gives a clone with fresh counters for
+/// per-shard accounting.
+#[derive(Debug, Clone)]
+pub struct CascadeDecoder {
+    config: CascadeConfig,
+    stage1: LayeredDecoder<FixedMinSumArithmetic>,
+    stage2: LayeredDecoder<FixedBpArithmetic>,
+    stage3: Option<LayeredDecoder<FloatBpArithmetic>>,
+    counters: Arc<CascadeCounters>,
+}
+
+impl CascadeDecoder {
+    /// Builds the ladder from per-stage configurations. Stage 1 runs
+    /// [`FixedMinSumArithmetic`], stage 2
+    /// [`FixedBpArithmetic::forward_backward`] (the mode whose waterfall
+    /// tracks the float reference), stage 3 — when configured —
+    /// [`FloatBpArithmetic`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidConfig`] if any stage configuration is
+    /// invalid (e.g. a zero iteration budget).
+    pub fn new(config: CascadeConfig) -> Result<Self, DecodeError> {
+        let stage1 = LayeredDecoder::new(FixedMinSumArithmetic::default(), config.min_sum.clone())?;
+        let stage2 = LayeredDecoder::new(
+            FixedBpArithmetic::forward_backward(),
+            config.fixed_bp.clone(),
+        )?;
+        let stage3 = config
+            .float_bp
+            .as_ref()
+            .map(|cfg| LayeredDecoder::new(FloatBpArithmetic::default(), cfg.clone()))
+            .transpose()?;
+        Ok(CascadeDecoder {
+            config,
+            stage1,
+            stage2,
+            stage3,
+            counters: Arc::new(CascadeCounters::default()),
+        })
+    }
+
+    /// The ladder configuration.
+    #[must_use]
+    pub fn cascade_config(&self) -> &CascadeConfig {
+        &self.config
+    }
+
+    /// The stage-1 Min-Sum decoder (the ladder's cheap front).
+    #[must_use]
+    pub fn stage1(&self) -> &LayeredDecoder<FixedMinSumArithmetic> {
+        &self.stage1
+    }
+
+    /// The stage-2 forward/backward fixed-BP decoder.
+    #[must_use]
+    pub fn stage2(&self) -> &LayeredDecoder<FixedBpArithmetic> {
+        &self.stage2
+    }
+
+    /// The optional stage-3 float-BP decoder.
+    #[must_use]
+    pub fn stage3(&self) -> Option<&LayeredDecoder<FloatBpArithmetic>> {
+        self.stage3.as_ref()
+    }
+
+    /// Snapshot of the per-stage work counters accumulated so far (shared
+    /// by plain clones; see [`Decoder::detached_clone`]).
+    #[must_use]
+    pub fn stats(&self) -> CascadeStats {
+        self.counters.snapshot()
+    }
+
+    /// The exact LLR value a stage ≥ 2 re-ingests for a channel LLR `raw`:
+    /// the dequantized form of stage 1's quantization, which round-trips to
+    /// the identical quantized code. Public so tests and benches can build
+    /// the reference "straight fixed BP on the same quantized LLRs" input.
+    #[must_use]
+    pub fn handoff_llr(&self, raw: f64) -> f64 {
+        let arith = self.stage1.arithmetic();
+        arith.to_llr(arith.from_channel(raw))
+    }
+
+    /// Packs the handoff LLRs of the surviving frames listed in `pending`
+    /// into `buf`, frame-contiguous.
+    fn pack_handoff(&self, llrs: &[f64], n: usize, pending: &[u32], buf: &mut Vec<f64>) {
+        buf.clear();
+        for &f in pending {
+            let frame = &llrs[f as usize * n..(f as usize + 1) * n];
+            buf.extend(frame.iter().map(|&l| self.handoff_llr(l)));
+        }
+    }
+
+    /// Stages 2 and 3: re-decode the surviving failures as fresh, narrower
+    /// groups on the handoff LLRs, swapping each improved output back into
+    /// the caller's slot. `scratch` holds the workspace's cascade buffers,
+    /// temporarily owned by the caller.
+    fn escalate(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<i32>,
+        outs: &mut [DecodeOutput],
+        scratch: EscalationScratch<'_>,
+    ) -> Result<(), DecodeError> {
+        let EscalationScratch {
+            pending,
+            llrs: stage_llrs,
+            outs: stage_outs,
+        } = scratch;
+        let n = compiled.n();
+        self.pack_handoff(llrs, n, pending, stage_llrs);
+        self.counters.count_stage(1, pending.len());
+        self.stage2.decode_group_into(
+            compiled,
+            stage_llrs,
+            ws,
+            &mut stage_outs[..pending.len()],
+        )?;
+        for (slot, &f) in pending.iter().enumerate() {
+            std::mem::swap(&mut outs[f as usize], &mut stage_outs[slot]);
+        }
+
+        let Some(stage3) = &self.stage3 else {
+            return Ok(());
+        };
+        pending.retain(|&f| !outs[f as usize].parity_satisfied);
+        if pending.is_empty() {
+            return Ok(());
+        }
+        self.pack_handoff(llrs, n, pending, stage_llrs);
+        self.counters.count_stage(2, pending.len());
+        let mut ws3 = stage3.worker_workspace(compiled);
+        let result = stage3.decode_group_into(
+            compiled,
+            stage_llrs,
+            &mut ws3,
+            &mut stage_outs[..pending.len()],
+        );
+        stage3.finish_worker_workspace(compiled, ws3);
+        result?;
+        for (slot, &f) in pending.iter().enumerate() {
+            std::mem::swap(&mut outs[f as usize], &mut stage_outs[slot]);
+        }
+        Ok(())
+    }
+}
+
+/// The workspace's cascade scratch buffers, taken out of the
+/// [`DecodeWorkspace`] for the duration of an escalation so stage ≥ 2 can
+/// borrow the workspace itself.
+struct EscalationScratch<'a> {
+    pending: &'a mut Vec<u32>,
+    llrs: &'a mut Vec<f64>,
+    outs: &'a mut [DecodeOutput],
+}
+
+impl Default for CascadeDecoder {
+    fn default() -> Self {
+        CascadeDecoder::new(CascadeConfig::default()).expect("default cascade config is valid")
+    }
+}
+
+impl Decoder for CascadeDecoder {
+    type Arith = FixedMinSumArithmetic;
+
+    fn arithmetic(&self) -> &FixedMinSumArithmetic {
+        self.stage1.arithmetic()
+    }
+
+    fn config(&self) -> &DecoderConfig {
+        self.stage1.config()
+    }
+
+    fn schedule_name(&self) -> &'static str {
+        "cascade"
+    }
+
+    fn workspace_pool(&self) -> Option<&WorkspacePool<i32>> {
+        Decoder::workspace_pool(&self.stage1)
+    }
+
+    fn preferred_group_width(&self, compiled: &CompiledCode) -> usize {
+        Decoder::preferred_group_width(&self.stage1, compiled)
+    }
+
+    fn cascade_stats(&self) -> Option<CascadeStats> {
+        Some(self.stats())
+    }
+
+    fn detached_clone(&self) -> Self {
+        CascadeDecoder {
+            counters: Arc::new(CascadeCounters::default()),
+            ..self.clone()
+        }
+    }
+
+    fn decode_into(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<i32>,
+        out: &mut DecodeOutput,
+    ) -> Result<(), DecodeError> {
+        self.decode_group_into(compiled, llrs, ws, std::slice::from_mut(out))
+    }
+
+    fn decode_group_into(
+        &self,
+        compiled: &CompiledCode,
+        llrs: &[f64],
+        ws: &mut DecodeWorkspace<i32>,
+        outs: &mut [DecodeOutput],
+    ) -> Result<(), DecodeError> {
+        let n = compiled.n();
+        let frames = outs.len();
+        if llrs.len() != frames * n {
+            return Err(DecodeError::BatchShape {
+                reason: format!(
+                    "group of {frames} outputs needs {} LLRs, got {}",
+                    frames * n,
+                    llrs.len()
+                ),
+            });
+        }
+        if frames == 0 {
+            return Ok(());
+        }
+
+        #[cfg(debug_assertions)]
+        let steady_fingerprint = ws
+            .is_ready_for_cascade(compiled, frames)
+            .then(|| ws.cascade_fingerprint());
+        ws.reserve_for_cascade(compiled, frames);
+
+        // Stage 1: the whole group through the cheap Min-Sum pass. Each
+        // output's syndrome (computed by finish_output for every frame
+        // anyway) is the escalation test — no extra convergence scan.
+        self.stage1.decode_group_into(compiled, llrs, ws, outs)?;
+        self.counters.count_stage(0, frames);
+
+        // The surviving failures, by original frame index. The cascade
+        // buffers are swapped out of the workspace while stage ≥ 2 borrows
+        // it, and unconditionally put back (they are plain scratch: on error
+        // their contents are dead, only their allocations are kept).
+        let mut pending = std::mem::take(&mut ws.cascade_pending);
+        pending.clear();
+        pending.extend(
+            outs.iter()
+                .enumerate()
+                .filter(|(_, out)| !out.parity_satisfied)
+                .map(|(f, _)| f as u32),
+        );
+        let result = if pending.is_empty() {
+            Ok(())
+        } else {
+            let mut stage_llrs = std::mem::take(&mut ws.cascade_llrs);
+            let mut stage_outs = std::mem::take(&mut ws.cascade_outs);
+            let result = self.escalate(
+                compiled,
+                llrs,
+                ws,
+                outs,
+                EscalationScratch {
+                    pending: &mut pending,
+                    llrs: &mut stage_llrs,
+                    outs: &mut stage_outs,
+                },
+            );
+            ws.cascade_llrs = stage_llrs;
+            ws.cascade_outs = stage_outs;
+            result
+        };
+        ws.cascade_pending = pending;
+
+        #[cfg(debug_assertions)]
+        if let Some(fingerprint) = steady_fingerprint {
+            debug_assert_eq!(
+                fingerprint,
+                ws.cascade_fingerprint(),
+                "steady-state cascade decode must not reallocate workspace buffers"
+            );
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LlrBatch;
+    use ldpc_codes::{CodeId, CodeRate, Standard};
+
+    fn compiled() -> CompiledCode {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap()
+            .compile()
+    }
+
+    /// Deterministic mildly-noisy LLRs: mostly-confident positives (the
+    /// all-zero codeword) with a sprinkle of flipped, weak values.
+    fn noisy_llrs(frames: usize, n: usize, flip_mod: usize) -> Vec<f64> {
+        (0..frames * n)
+            .map(|i| {
+                let sign = if (i * 2654435761) % flip_mod < 5 {
+                    -1.0
+                } else {
+                    1.0
+                };
+                sign * (0.8 + (i % 11) as f64 * 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn default_ladder_shape() {
+        let cascade = CascadeDecoder::default();
+        assert_eq!(cascade.cascade_config().min_sum.max_iterations, 4);
+        assert!(cascade.cascade_config().min_sum.early_termination.is_none());
+        assert_eq!(cascade.cascade_config().fixed_bp.max_iterations, 10);
+        assert!(cascade.cascade_config().float_bp.is_none());
+        assert!(cascade.stage3().is_none());
+        assert_eq!(cascade.schedule_name(), "cascade");
+    }
+
+    #[test]
+    fn with_budgets_clamps_and_builds_stage3() {
+        let config = CascadeConfig::with_budgets(0, 0, Some(0));
+        assert_eq!(config.min_sum.max_iterations, 1);
+        assert_eq!(config.fixed_bp.max_iterations, 1);
+        assert_eq!(config.float_bp.as_ref().unwrap().max_iterations, 1);
+        let cascade = CascadeDecoder::new(config).unwrap();
+        assert!(cascade.stage3().is_some());
+    }
+
+    #[test]
+    fn clean_frames_never_escalate() {
+        let compiled = compiled();
+        let cascade = CascadeDecoder::default();
+        let llrs = vec![8.0; 4 * compiled.n()];
+        let outs = cascade
+            .decode_batch(&compiled, LlrBatch::new(&llrs, compiled.n()).unwrap())
+            .unwrap();
+        assert!(outs.iter().all(|o| o.parity_satisfied));
+        let stats = cascade.stats();
+        assert_eq!(stats.stage_frames, [4, 0, 0]);
+        assert_eq!(stats.escalations, 0);
+        assert_eq!(stats.escalation_rate(), 0.0);
+    }
+
+    #[test]
+    fn hopeless_frames_escalate_through_every_stage() {
+        // A one-iteration Min-Sum budget on heavily corrupted LLRs fails its
+        // syndrome, forcing escalation; a one-iteration stage 2 fails too,
+        // reaching the float stage.
+        let compiled = compiled();
+        let cascade = CascadeDecoder::new(CascadeConfig::with_budgets(1, 1, Some(1))).unwrap();
+        let llrs = noisy_llrs(3, compiled.n(), 7);
+        let outs = cascade
+            .decode_batch(&compiled, LlrBatch::new(&llrs, compiled.n()).unwrap())
+            .unwrap();
+        assert_eq!(outs.len(), 3);
+        let stats = cascade.stats();
+        assert_eq!(stats.stage_frames[0], 3);
+        assert!(stats.stage_frames[1] > 0, "corrupted frames must escalate");
+        assert_eq!(
+            stats.escalations,
+            stats.stage_frames[1] + stats.stage_frames[2]
+        );
+    }
+
+    #[test]
+    fn converged_frames_match_plain_min_sum_and_escalated_match_fixed_bp() {
+        let compiled = compiled();
+        let cascade = CascadeDecoder::default();
+        let min_sum = LayeredDecoder::new(
+            FixedMinSumArithmetic::default(),
+            cascade.cascade_config().min_sum.clone(),
+        )
+        .unwrap();
+        let fixed_bp = LayeredDecoder::new(
+            FixedBpArithmetic::forward_backward(),
+            cascade.cascade_config().fixed_bp.clone(),
+        )
+        .unwrap();
+
+        // Three clean frames (stay at stage 1) interleaved with three heavily
+        // corrupted ones (escalate).
+        let frames = 6;
+        let n = compiled.n();
+        let hard = noisy_llrs(3, n, 21);
+        let mut llrs = Vec::with_capacity(frames * n);
+        for f in 0..3 {
+            llrs.extend(std::iter::repeat_n(8.0, n));
+            llrs.extend_from_slice(&hard[f * n..(f + 1) * n]);
+        }
+        let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+        let outs = cascade.decode_batch(&compiled, batch).unwrap();
+        let mut saw_converged = false;
+        let mut saw_escalated = false;
+        for (f, out) in outs.iter().enumerate() {
+            let stage1 = min_sum.decode_compiled(&compiled, batch.frame(f)).unwrap();
+            if stage1.parity_satisfied {
+                saw_converged = true;
+                assert_eq!(out, &stage1, "frame {f}: stage-1 convergence");
+            } else {
+                saw_escalated = true;
+                let handoff: Vec<f64> = batch
+                    .frame(f)
+                    .iter()
+                    .map(|&l| cascade.handoff_llr(l))
+                    .collect();
+                let stage2 = fixed_bp.decode_compiled(&compiled, &handoff).unwrap();
+                assert_eq!(out, &stage2, "frame {f}: escalated to stage 2");
+            }
+        }
+        assert!(
+            saw_converged && saw_escalated,
+            "test vector must exercise both paths"
+        );
+    }
+
+    #[test]
+    fn single_frame_decode_into_matches_batch() {
+        let compiled = compiled();
+        let cascade = CascadeDecoder::default();
+        let llrs = noisy_llrs(1, compiled.n(), 41);
+        let batch_out = cascade
+            .decode_batch(&compiled, LlrBatch::new(&llrs, compiled.n()).unwrap())
+            .unwrap();
+        let single = cascade.decode_compiled(&compiled, &llrs).unwrap();
+        assert_eq!(single, batch_out[0]);
+    }
+
+    #[test]
+    fn handoff_llrs_round_trip_to_identical_quantized_codes() {
+        let cascade = CascadeDecoder::default();
+        let arith = Decoder::arithmetic(&cascade);
+        for raw in [-40.0, -3.7, -0.06, 0.0, 0.06, 1.234, 31.74, 40.0] {
+            let handoff = cascade.handoff_llr(raw);
+            assert_eq!(
+                arith.from_channel(handoff),
+                arith.from_channel(raw),
+                "handoff of {raw} must requantize identically"
+            );
+            assert_eq!(cascade.handoff_llr(handoff), handoff, "idempotent");
+        }
+    }
+
+    #[test]
+    fn detached_clone_counts_independently_but_shares_pools() {
+        let compiled = compiled();
+        let cascade = CascadeDecoder::default();
+        let detached = cascade.detached_clone();
+        let llrs = vec![8.0; compiled.n()];
+        let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+        cascade.decode_batch(&compiled, batch).unwrap();
+        assert_eq!(cascade.stats().stage_frames[0], 1);
+        assert_eq!(detached.stats().stage_frames[0], 0, "fresh counters");
+        let plain = cascade.clone();
+        detached.decode_batch(&compiled, batch).unwrap();
+        assert_eq!(detached.stats().stage_frames[0], 1);
+        assert_eq!(cascade.stats().stage_frames[0], 1);
+        assert_eq!(
+            plain.stats().stage_frames[0],
+            1,
+            "plain clones share counters"
+        );
+        // Workspace pools are shared by both clone flavours.
+        assert_eq!(
+            Decoder::workspace_pool(&cascade)
+                .unwrap()
+                .workspaces_created(),
+            Decoder::workspace_pool(&detached)
+                .unwrap()
+                .workspaces_created()
+        );
+    }
+
+    #[test]
+    fn steady_state_cascade_reuses_buffers() {
+        let compiled = compiled();
+        let cascade = CascadeDecoder::new(CascadeConfig::with_budgets(1, 2, None)).unwrap();
+        let mut ws = cascade.workspace_for(&compiled);
+        let frames = 3;
+        let llrs = noisy_llrs(frames, compiled.n(), 7);
+        let mut outs = vec![DecodeOutput::empty(); frames];
+        // Warm-up decode sizes every buffer (including the escalation path);
+        // afterwards the workspace must be cascade-ready and stable.
+        cascade
+            .decode_group_into(&compiled, &llrs, &mut ws, &mut outs)
+            .unwrap();
+        assert!(ws.is_ready_for_cascade(&compiled, frames));
+        let fingerprint = ws.cascade_fingerprint();
+        for _ in 0..3 {
+            cascade
+                .decode_group_into(&compiled, &llrs, &mut ws, &mut outs)
+                .unwrap();
+        }
+        assert_eq!(fingerprint, ws.cascade_fingerprint());
+    }
+
+    #[test]
+    fn group_shape_is_validated() {
+        let compiled = compiled();
+        let cascade = CascadeDecoder::default();
+        let mut ws = cascade.workspace_for(&compiled);
+        let llrs = vec![1.0; compiled.n()];
+        let mut outs = vec![DecodeOutput::empty(); 2];
+        assert!(matches!(
+            cascade.decode_group_into(&compiled, &llrs, &mut ws, &mut outs),
+            Err(DecodeError::BatchShape { .. })
+        ));
+    }
+}

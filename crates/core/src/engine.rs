@@ -367,6 +367,24 @@ pub trait Decoder {
         Ok(())
     }
 
+    /// Per-stage work counters, for decoders that run a stage ladder
+    /// ([`crate::cascade::CascadeDecoder`] returns its live snapshot; plain
+    /// single-schedule decoders return `None`). The serving layer polls this
+    /// to export per-shard escalation counters.
+    fn cascade_stats(&self) -> Option<crate::cascade::CascadeStats> {
+        None
+    }
+
+    /// A clone with *private counters* but shared workspace pools: what a
+    /// serving shard wants, so per-shard statistics do not aggregate across
+    /// shards. For decoders without counters this is a plain clone.
+    fn detached_clone(&self) -> Self
+    where
+        Self: Clone + Sized,
+    {
+        self.clone()
+    }
+
     /// Decodes one frame against a precompiled schedule, allocating a fresh
     /// workspace and output.
     ///

@@ -23,6 +23,10 @@
 //! * [`flooding`] — the two-phase baseline schedule,
 //! * [`engine`] — the [`Decoder`] trait unifying both schedules, with the
 //!   zero-allocation `decode_into` kernel and thread-parallel `decode_batch`,
+//! * [`cascade`] — the SNR-adaptive stage ladder (cheap fixed Min-Sum first,
+//!   fixed-BP escalation for syndrome failures, optional float-BP last
+//!   resort), a [`Decoder`] itself so every batch entry point and the
+//!   serving layer run it unchanged,
 //! * [`group`] — the frame-major SoA multi-frame layout: `F` frames
 //!   interleaved frame-innermost so the lane kernels run over `z · F`-lane
 //!   panels (full vectors even at small `z`), with per-frame early
@@ -65,6 +69,7 @@
 
 pub mod arith;
 pub mod boxplus;
+pub mod cascade;
 pub mod decoder;
 pub mod early_term;
 pub mod engine;
@@ -85,6 +90,7 @@ pub use arith::{
     CheckNodeMode, DecoderArithmetic, FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic,
     FloatMinSumArithmetic, LaneKernel, LaneScratch, SimdLevel,
 };
+pub use cascade::{CascadeConfig, CascadeDecoder, CascadeStats};
 pub use decoder::{DecoderConfig, LayeredDecoder};
 pub use early_term::{DecisionHistory, EarlyTermination};
 pub use engine::{batch_threads, kernel_tier, Decoder, LlrBatch, MsgOf};

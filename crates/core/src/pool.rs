@@ -370,9 +370,15 @@ mod tests {
     fn concurrent_round_trips_keep_pool_hits_stable() {
         // Contention regression for the striped shelf: N threads hammering
         // checkout/checkin on one spec must never build more than N
-        // workspaces (the all-stripes scan before creating makes the shelf's
-        // emptiness check exact), and once warm the creation count must not
-        // move at all.
+        // workspaces, warm or cold. The bound is per *concurrent thread*,
+        // not "no growth once warm": the all-stripes scan is not atomic, so
+        // a shelved workspace can migrate (checkin by one thread, checkout
+        // by another) from a not-yet-scanned stripe to an already-scanned
+        // one mid-scan and be missed — a scan that instead serialised on
+        // every stripe at once would be the contention this pool exists to
+        // avoid. What must never happen is a thread building a workspace
+        // while fewer than THREADS are checked out *and* none is in
+        // transit, and the N-bound captures exactly that.
         const THREADS: usize = 4;
         const ROUNDS: usize = 300;
         let pool = WorkspacePool::<f64>::with_shape(8, 4);
@@ -402,10 +408,16 @@ mod tests {
         assert_eq!(pool.pooled(code.spec()), warm, "all returned to shelves");
 
         hammer(&pool, &code);
+        let total = pool.workspaces_created();
+        assert!(
+            total <= THREADS,
+            "a warm pool must stay within one workspace per concurrent \
+             thread, got {total}"
+        );
         assert_eq!(
-            pool.workspaces_created(),
-            warm,
-            "a warm pool must serve every concurrent checkout from the shelves"
+            pool.pooled(code.spec()),
+            total,
+            "all returned to shelves after the second hammer"
         );
         assert_eq!(pool.workspaces_dropped(), 0, "cap never hit at N <= cap");
     }

@@ -60,6 +60,13 @@ pub struct DecodeWorkspace<M> {
     pub(crate) group_keep: Vec<u32>,
     /// Single-frame APP extraction scratch of the group path, length `n`.
     pub(crate) group_frame: Vec<M>,
+    /// Original frame indices of the stage-1 failures a cascade escalates
+    /// (see [`crate::cascade`]).
+    pub(crate) cascade_pending: Vec<u32>,
+    /// Frame-contiguous handoff LLRs of the escalated frames.
+    pub(crate) cascade_llrs: Vec<f64>,
+    /// Stage ≥ 2 output slots, swapped against the caller's outputs.
+    pub(crate) cascade_outs: Vec<crate::result::DecodeOutput>,
 }
 
 impl<M: Copy> DecodeWorkspace<M> {
@@ -83,6 +90,9 @@ impl<M: Copy> DecodeWorkspace<M> {
             group_active: Vec::new(),
             group_keep: Vec::new(),
             group_frame: Vec::new(),
+            cascade_pending: Vec::new(),
+            cascade_llrs: Vec::new(),
+            cascade_outs: Vec::new(),
         }
     }
 
@@ -237,6 +247,55 @@ impl<M: Copy> DecodeWorkspace<M> {
         for history in &mut self.group_histories[..width] {
             history.reset();
         }
+    }
+
+    /// Grows every buffer a [`crate::cascade::CascadeDecoder`] needs for a
+    /// `width`-frame group of `compiled`: the group-path buffers plus the
+    /// escalation scratch (pending list, handoff LLRs and stage output
+    /// slots, all sized for the worst case of every frame escalating).
+    pub fn reserve_for_cascade(&mut self, compiled: &CompiledCode, width: usize) {
+        self.reserve_for_group(compiled, width);
+        reserve_to(&mut self.cascade_pending, width);
+        reserve_to(&mut self.cascade_llrs, compiled.n() * width);
+        if self.cascade_outs.len() < width {
+            self.cascade_outs
+                .resize_with(width, crate::result::DecodeOutput::empty);
+        }
+    }
+
+    /// Whether a cascade decode of a `width`-frame group is guaranteed not to
+    /// grow any workspace-owned buffer. (The stage output slots' *inner*
+    /// buffers still grow on the first escalation that reaches them — they
+    /// are swapped against caller outputs, so their contents are not part of
+    /// the workspace's steady state.)
+    #[must_use]
+    pub fn is_ready_for_cascade(&self, compiled: &CompiledCode, width: usize) -> bool {
+        self.is_ready_for_group(compiled, width)
+            && self.cascade_pending.capacity() >= width
+            && self.cascade_llrs.capacity() >= compiled.n() * width
+            && self.cascade_outs.len() >= width
+    }
+
+    /// Pointer/capacity fingerprint of the cascade buffers on top of
+    /// [`DecodeWorkspace::group_fingerprint`]. The stage output slots
+    /// contribute only their outer vector (their inner buffers are swapped
+    /// with caller outputs, so their identity legitimately changes).
+    #[must_use]
+    pub fn cascade_fingerprint(&self) -> Vec<(usize, usize)> {
+        let mut fp = self.group_fingerprint();
+        fp.push((
+            self.cascade_pending.as_ptr() as usize,
+            self.cascade_pending.capacity(),
+        ));
+        fp.push((
+            self.cascade_llrs.as_ptr() as usize,
+            self.cascade_llrs.capacity(),
+        ));
+        fp.push((
+            self.cascade_outs.as_ptr() as usize,
+            self.cascade_outs.capacity(),
+        ));
+        fp
     }
 
     /// Pointer/capacity fingerprint of the group-path buffers (everything

@@ -11,7 +11,8 @@
 //!   workload generation;
 //! * [`core`] — the layered belief-propagation decoder built from ⊞/⊟
 //!   recursions with 3-bit LUTs, the Radix-2/Radix-4 SISO core models, the
-//!   Min-Sum baseline and the early-termination rule;
+//!   Min-Sum baseline, the early-termination rule and the SNR-adaptive
+//!   Min-Sum→BP decoder cascade;
 //! * [`arch`] — the ASIC architecture model: distributed SISO lanes and
 //!   Λ-memory banks, central L-memory, circular shifter, reconfiguration
 //!   controller, cycle-accurate pipeline, and the calibrated area / power /
@@ -101,14 +102,14 @@ pub mod prelude {
     };
     pub use ldpc_core::{
         decoder::{DecoderConfig, LayeredDecoder},
-        kernel_tier, CheckNodeMode, DecodeOutput, DecodeWorkspace, Decoder, DecoderArithmetic,
-        EarlyTermination, FixedBpArithmetic, FixedMinSumArithmetic, FloatBpArithmetic,
-        FloatMinSumArithmetic, FloodingDecoder, LaneKernel, LaneScratch, LayerOrderPolicy,
-        LlrBatch, R2Siso, R4Siso, SimdLevel, SisoRadix,
+        kernel_tier, CascadeConfig, CascadeDecoder, CascadeStats, CheckNodeMode, DecodeOutput,
+        DecodeWorkspace, Decoder, DecoderArithmetic, EarlyTermination, FixedBpArithmetic,
+        FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic, FloodingDecoder,
+        LaneKernel, LaneScratch, LayerOrderPolicy, LlrBatch, R2Siso, R4Siso, SimdLevel, SisoRadix,
     };
     pub use ldpc_serve::{
-        DecodeOutcome, DecodeService, FrameHandle, ServeError, ServiceConfig, ShardStats,
-        SubmitError,
+        CascadePolicy, DecodeOutcome, DecodeService, FrameHandle, ServeError, ServiceConfig,
+        ShardStats, SubmitError,
     };
 }
 

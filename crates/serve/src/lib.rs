@@ -55,5 +55,5 @@ mod stats;
 
 pub use error::{ServeError, SubmitError};
 pub use handle::{DecodeOutcome, FrameHandle};
-pub use service::{DecodeService, DecodeServiceBuilder, ServiceConfig};
+pub use service::{CascadePolicy, DecodeService, DecodeServiceBuilder, ServiceConfig};
 pub use stats::ShardStats;

@@ -40,7 +40,7 @@ use std::time::Instant;
 
 use ldpc_channel::quantize::LlrQuantizer;
 use ldpc_codes::{CodeId, CompiledCode};
-use ldpc_core::{DecodeOutput, Decoder, LlrBatch};
+use ldpc_core::{CascadeConfig, CascadeDecoder, DecodeOutput, Decoder, LlrBatch};
 
 use crate::error::{ServeError, SubmitError};
 use crate::handle::{DecodeOutcome, FrameHandle, Slot};
@@ -69,6 +69,11 @@ pub struct ServiceConfig {
     /// formats raw channel LLRs would otherwise saturate flat. Leave `None`
     /// (the default) to pass raw LLRs through, e.g. for float decoders.
     pub ingest_quantizer: Option<LlrQuantizer>,
+    /// The cascade policy the shards run under, when the service was built
+    /// through [`DecodeService::cascade_builder`]. Purely descriptive for
+    /// services built around any other decoder (the decoder instance — not
+    /// this field — is what decodes), so those leave it `None`.
+    pub cascade: Option<CascadePolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -78,7 +83,55 @@ impl Default for ServiceConfig {
             max_batch: 32,
             decode_threads: 1,
             ingest_quantizer: None,
+            cascade: None,
         }
+    }
+}
+
+/// Per-stage iteration budgets of a serving-layer decoder cascade: the
+/// `ServiceConfig`-level form of [`ldpc_core::CascadeConfig`], reduced to the
+/// integer knobs a deployment tunes. Build a cascade service from one with
+/// [`DecodeService::cascade_builder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CascadePolicy {
+    /// Stage-1 fixed Min-Sum iteration budget (run without a convergence
+    /// scan; the syndrome check decides escalation). Minimum 1.
+    pub min_sum_iterations: usize,
+    /// Stage-2 fixed-BP iteration ceiling (early termination enabled).
+    /// Minimum 1.
+    pub fixed_bp_iterations: usize,
+    /// Iteration ceiling of the optional float-BP last resort; `None` (the
+    /// default) ends the ladder at stage 2.
+    pub float_bp_iterations: Option<usize>,
+}
+
+impl Default for CascadePolicy {
+    fn default() -> Self {
+        CascadePolicy {
+            min_sum_iterations: 4,
+            fixed_bp_iterations: 10,
+            float_bp_iterations: None,
+        }
+    }
+}
+
+impl CascadePolicy {
+    /// The core-level ladder configuration this policy describes (budgets
+    /// clamped to at least one iteration).
+    #[must_use]
+    pub fn cascade_config(&self) -> CascadeConfig {
+        CascadeConfig::with_budgets(
+            self.min_sum_iterations,
+            self.fixed_bp_iterations,
+            self.float_bp_iterations,
+        )
+    }
+
+    /// A [`CascadeDecoder`] running this policy's ladder.
+    #[must_use]
+    pub fn decoder(&self) -> CascadeDecoder {
+        CascadeDecoder::new(self.cascade_config())
+            .expect("clamped cascade budgets are always valid")
     }
 }
 
@@ -242,7 +295,10 @@ where
             let queue = Arc::new(FrameQueue::new(config.queue_capacity));
             let counters = Arc::new(ShardCounters::default());
             let worker = {
-                let decoder = self.decoder.clone();
+                // Detached: shards share the decoder's workspace pools but
+                // keep private stage counters, so per-shard cascade stats
+                // never aggregate across shards.
+                let decoder = self.decoder.detached_clone();
                 let compiled = Arc::clone(&compiled);
                 let queue = Arc::clone(&queue);
                 let counters = Arc::clone(&counters);
@@ -307,6 +363,23 @@ pub struct DecodeService<D> {
     /// Kept for pool introspection: clones handed to the workers share this
     /// decoder's workspace pool.
     decoder: D,
+}
+
+impl DecodeService<CascadeDecoder> {
+    /// Starts building a service whose shards run the SNR-adaptive decoder
+    /// cascade under `policy` (see [`CascadePolicy`] and
+    /// [`ldpc_core::cascade`]): each shard worker gets a detached clone of
+    /// one [`CascadeDecoder`] — shared workspace pools, private stage
+    /// counters — and the policy is recorded in [`ServiceConfig::cascade`].
+    /// Per-shard escalation counters surface in
+    /// [`ShardStats::cascade_escalations`] /
+    /// [`ShardStats::cascade_stage_frames`].
+    #[must_use]
+    pub fn cascade_builder(policy: CascadePolicy) -> DecodeServiceBuilder<CascadeDecoder> {
+        let mut builder = DecodeServiceBuilder::new(policy.decoder());
+        builder.config.cascade = Some(policy);
+        builder
+    }
 }
 
 impl<D> DecodeService<D>
@@ -612,6 +685,12 @@ fn run_worker<D>(
                 }
             }
         }
+        // Mirror stage-ladder counters (cascade decoders only) into the
+        // shard counters so snapshots taken between batches see the decoder's
+        // exact totals — the worker exclusively owns its detached clone.
+        if let Some(stats) = decoder.cascade_stats() {
+            counters.mirror_cascade(stats);
+        }
     }
 }
 
@@ -666,6 +745,7 @@ mod tests {
                 max_batch: 1,
                 decode_threads: 1,
                 ingest_quantizer: None,
+                cascade: None,
             }
         );
         service.shutdown();
@@ -868,6 +948,46 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats[0].decoded, frames as u64);
         assert_eq!(stats[1].decoded, 0, "idle shard saw no frames");
+    }
+
+    #[test]
+    fn cascade_service_reports_per_shard_escalations() {
+        // One clean frame stays at stage 1; heavily corrupted frames under a
+        // one-iteration stage-1 budget must escalate. The shard's mirrored
+        // counters must show exactly the decoder's ladder traffic.
+        let code = wimax576();
+        let policy = CascadePolicy {
+            min_sum_iterations: 1,
+            ..CascadePolicy::default()
+        };
+        let service = DecodeService::cascade_builder(policy)
+            .start_paused()
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(service.config().cascade, Some(policy));
+
+        let clean = service.submit(code, vec![8.0; code.n]).unwrap();
+        let noisy: Vec<f64> = (0..code.n)
+            .map(|i| {
+                let sign = if (i * 2654435761) % 21 < 5 { -1.0 } else { 1.0 };
+                sign * (0.8 + (i % 11) as f64 * 0.5)
+            })
+            .collect();
+        let hard = service.submit(code, noisy).unwrap();
+        service.resume();
+        assert!(clean.wait().is_decoded());
+        assert!(hard.wait().is_decoded());
+
+        let stats = service.shutdown();
+        assert_eq!(stats[0].decoded, 2);
+        assert_eq!(stats[0].cascade_stage_frames[0], 2);
+        assert_eq!(
+            stats[0].cascade_stage_frames[1], 1,
+            "only the noisy frame escalates"
+        );
+        assert_eq!(stats[0].cascade_escalations, 1);
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub(crate) struct ShardCounters {
     pub batches: AtomicU64,
     /// Largest number of frames coalesced into one batch.
     pub max_coalesced: AtomicU64,
+    /// Cascade escalation events (stage ≥ 2 entries), mirrored from the
+    /// shard decoder's [`ldpc_core::CascadeStats`] after every batch; zero
+    /// for non-cascade decoders.
+    pub cascade_escalations: AtomicU64,
+    /// Frames decoded per cascade stage, mirrored like
+    /// [`ShardCounters::cascade_escalations`].
+    pub cascade_stage_frames: [AtomicU64; 3],
 }
 
 impl ShardCounters {
@@ -41,8 +48,25 @@ impl ShardCounters {
             failed: self.failed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             max_coalesced: self.max_coalesced.load(Ordering::Relaxed),
+            cascade_escalations: self.cascade_escalations.load(Ordering::Relaxed),
+            cascade_stage_frames: [
+                self.cascade_stage_frames[0].load(Ordering::Relaxed),
+                self.cascade_stage_frames[1].load(Ordering::Relaxed),
+                self.cascade_stage_frames[2].load(Ordering::Relaxed),
+            ],
             queue_depth,
             pool_workspaces_created,
+        }
+    }
+
+    /// Mirrors a cascade decoder's live stage counters into the shard
+    /// counters (stores, not adds: each shard worker owns a detached decoder
+    /// clone, so the decoder's totals *are* the shard's totals).
+    pub(crate) fn mirror_cascade(&self, stats: ldpc_core::CascadeStats) {
+        self.cascade_escalations
+            .store(stats.escalations, Ordering::Relaxed);
+        for (counter, frames) in self.cascade_stage_frames.iter().zip(stats.stage_frames) {
+            counter.store(frames, Ordering::Relaxed);
         }
     }
 }
@@ -67,6 +91,16 @@ pub struct ShardStats {
     pub batches: u64,
     /// Largest number of frames coalesced into one batch.
     pub max_coalesced: u64,
+    /// Cascade escalation events: frames this shard's decoder re-decoded at
+    /// stage ≥ 2 of its ladder. Zero for non-cascade decoders. A rising
+    /// escalation *rate* (escalations ÷ decoded) under fixed traffic is the
+    /// serving-layer signal that channel conditions — or a decoder
+    /// regression — are pushing frames off the cheap path.
+    pub cascade_escalations: u64,
+    /// Frames decoded per cascade stage (stage 1 counts every frame its
+    /// groups entered with; stages 2/3 count escalated survivors). All zero
+    /// for non-cascade decoders.
+    pub cascade_stage_frames: [u64; 3],
     /// Frames queued but not yet pulled by the worker at snapshot time.
     pub queue_depth: usize,
     /// Workspaces ever built by the decoder's workspace pool. The pool is
@@ -107,6 +141,10 @@ mod tests {
         counters.rejected_full.store(3, Ordering::Relaxed);
         counters.batches.store(4, Ordering::Relaxed);
         counters.max_coalesced.store(5, Ordering::Relaxed);
+        counters.mirror_cascade(ldpc_core::CascadeStats {
+            stage_frames: [10, 7, 2],
+            escalations: 9,
+        });
         let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
         let stats = counters.snapshot(code, 1, 2);
         assert_eq!(stats.code, code);
@@ -115,7 +153,24 @@ mod tests {
         assert_eq!(stats.rejected_full, 3);
         assert_eq!(stats.batches, 4);
         assert_eq!(stats.max_coalesced, 5);
+        assert_eq!(stats.cascade_escalations, 9);
+        assert_eq!(stats.cascade_stage_frames, [10, 7, 2]);
         assert_eq!(stats.queue_depth, 1);
         assert_eq!(stats.pool_workspaces_created, 2);
+    }
+
+    #[test]
+    fn mirror_cascade_stores_rather_than_adds() {
+        let counters = ShardCounters::default();
+        for total in [3u64, 8, 21] {
+            counters.mirror_cascade(ldpc_core::CascadeStats {
+                stage_frames: [total, total / 2, 0],
+                escalations: total / 2,
+            });
+        }
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let stats = counters.snapshot(code, 0, 0);
+        assert_eq!(stats.cascade_stage_frames, [21, 10, 0]);
+        assert_eq!(stats.cascade_escalations, 10);
     }
 }
