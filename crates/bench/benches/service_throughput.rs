@@ -91,7 +91,7 @@ fn bench_service_vs_direct(c: &mut Criterion) {
                 b.iter(|| {
                     let handles: Vec<_> = workload
                         .iter()
-                        .map(|(id, llrs)| service.submit(*id, llrs.clone()).unwrap())
+                        .map(|(id, llrs)| service.submit(*id, llrs.clone(), ()).unwrap())
                         .collect();
                     for handle in handles {
                         criterion::black_box(handle.wait().into_output().unwrap());

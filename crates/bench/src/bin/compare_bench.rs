@@ -60,6 +60,14 @@
 //!    non-SIMD hosts): `_t4` must stay within 1.35× of `_t1`, pinning down
 //!    that the pool fan-out machinery costs noise, not throughput, when
 //!    there is nothing to win.
+//! 8. **Tail-latency gate** (`--require-latency [margin]`, single-file
+//!    mode): the file is a latency-percentile dump from `soak
+//!    --latency-json` — one `{"mode": …, "p99_ms": …, "slo_ms": …}` object
+//!    per line. Every entry that carries an `slo_ms` must have `p99_ms ≤
+//!    margin × slo_ms` (default margin 1.0: the SLO itself is the bound).
+//!    Entries without an `slo_ms` (greedy shards) are not gated; a file
+//!    with *no* gated entries is itself a violation — an SLO gate that
+//!    checked nothing must not pass.
 //!
 //! Exits non-zero with a per-benchmark report on any violation. The parser
 //! handles exactly the shim's one-measurement-per-line format — this tool
@@ -109,6 +117,50 @@ fn parse_benchmarks(json: &str) -> Vec<Bench> {
 
 fn mean_of<'a>(benches: &'a [Bench], id: &str) -> Option<&'a Bench> {
     benches.iter().find(|b| b.id == id)
+}
+
+/// One parsed per-mode latency entry of a `soak --latency-json` dump.
+#[derive(Debug, Clone, PartialEq)]
+struct LatencyEntry {
+    mode: String,
+    p99_ms: f64,
+    slo_ms: f64,
+}
+
+/// Parses every latency line that carries an SLO (greedy shards emit no
+/// `slo_ms` and are not gated).
+fn parse_latency(json: &str) -> Vec<LatencyEntry> {
+    json.lines()
+        .filter_map(|line| {
+            let mode = str_field(line, "mode")?;
+            let p99_ms = num_field(line, "p99_ms")?;
+            let slo_ms = num_field(line, "slo_ms")?;
+            Some(LatencyEntry {
+                mode,
+                p99_ms,
+                slo_ms,
+            })
+        })
+        .collect()
+}
+
+/// Check 8: every SLO-carrying mode's p99 within `margin ×` its SLO; at
+/// least one gated entry required.
+fn check_latency(json: &str, margin: f64) -> Vec<String> {
+    let entries = parse_latency(json);
+    let mut violations = Vec::new();
+    for entry in &entries {
+        if entry.p99_ms > margin * entry.slo_ms {
+            violations.push(format!(
+                "{}: p99 {:.2} ms exceeds {margin} x the {:.0} ms SLO",
+                entry.mode, entry.p99_ms, entry.slo_ms
+            ));
+        }
+    }
+    if entries.is_empty() && violations.is_empty() {
+        violations.push("no latency entries with an SLO found — wrong input file?".to_string());
+    }
+    violations
 }
 
 /// Check 1: every baseline id present and not grossly slower in `new`.
@@ -308,6 +360,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut simd_speedup: Option<f64> = None;
     let mut scaling_factor: Option<f64> = None;
     let mut cascade_speedup: Option<f64> = None;
+    let mut latency_margin: Option<f64> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -341,6 +394,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             "--require-cascade-speedup" => {
                 cascade_speedup = Some(flag_value(&mut it, 1.3));
             }
+            "--require-latency" => {
+                latency_margin = Some(flag_value(&mut it, 1.0));
+            }
             _ => files.push(arg.clone()),
         }
     }
@@ -348,19 +404,38 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut violations = Vec::new();
     match files.as_slice() {
         [single] => {
-            let benches = read_benches(single)?;
             if lane_margin.is_none()
                 && multiframe_margin.is_none()
                 && simd_margin.is_none()
                 && simd_speedup.is_none()
                 && scaling_factor.is_none()
                 && cascade_speedup.is_none()
+                && latency_margin.is_none()
             {
                 return Err(
                     "single-file mode needs a same-run check flag (two files for a baseline diff)"
                         .to_string(),
                 );
             }
+            // The latency gate reads a soak percentile dump, not a criterion
+            // shim dump — parse it directly and skip the bench parser unless
+            // a bench-shaped check also ran.
+            if let Some(margin) = latency_margin {
+                let json = std::fs::read_to_string(single)
+                    .map_err(|e| format!("cannot read {single}: {e}"))?;
+                violations.extend(check_latency(&json, margin));
+            }
+            let needs_benches = lane_margin.is_some()
+                || multiframe_margin.is_some()
+                || simd_margin.is_some()
+                || simd_speedup.is_some()
+                || scaling_factor.is_some()
+                || cascade_speedup.is_some();
+            let benches = if needs_benches {
+                read_benches(single)?
+            } else {
+                Vec::new()
+            };
             if let Some(margin) = lane_margin {
                 violations.extend(check_pair_not_slower(&benches, "_lane", "_scalar", margin));
             }
@@ -391,6 +466,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             }
         }
         [baseline, new] => {
+            if latency_margin.is_some() {
+                return Err("--require-latency is a single-file check".to_string());
+            }
             let baseline = read_benches(baseline)?;
             let new = read_benches(new)?;
             if let Some(factor) = speedup_factor {
@@ -423,7 +501,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                          [--require-lane-not-slower [M]] [--require-multiframe-not-slower [M]] \
                          [--require-multiframe-speedup [F]] [--require-simd-not-slower [M]] \
                          [--require-simd-speedup [F]] [--require-scaling [F]] \
-                         [--require-cascade-speedup [F]]"
+                         [--require-cascade-speedup [F]] [--require-latency [M]]"
                     .to_string(),
             )
         }
@@ -478,6 +556,40 @@ mod tests {
     {"id": "g/fixed_bp_lane/8", "min_s": 0.001, "mean_s": 0.001500000, "max_s": 0.002, "iters_per_sample": 4, "samples": 15, "elements": 8, "elements_per_sec": 5333.333}
   ]
 }"#;
+
+    const LATENCY_SAMPLE: &str = r#"{"mode": "wimax:1/2:576", "decoded": 4096, "shed": 0, "expired": 0, "p50_ms": 1.420, "p99_ms": 5.610, "p999_ms": 8.920, "max_ms": 9.100, "slo_ms": 1500}
+{"mode": "wifi:1/2:648", "decoded": 3800, "shed": 2, "expired": 0, "p50_ms": 1.900, "p99_ms": 7.250, "p999_ms": 11.000, "max_ms": 12.400, "slo_ms": 1500}
+{"mode": "wimax:1/2:1152", "decoded": 2100, "shed": 0, "expired": 0, "p50_ms": 2.800, "p99_ms": 9.400, "p999_ms": 14.100, "max_ms": 15.000}"#;
+
+    #[test]
+    fn latency_parser_gates_only_slo_entries() {
+        let entries = parse_latency(LATENCY_SAMPLE);
+        assert_eq!(entries.len(), 2, "the SLO-less mode must not be gated");
+        assert_eq!(entries[0].mode, "wimax:1/2:576");
+        assert!((entries[0].p99_ms - 5.61).abs() < 1e-9);
+        assert!((entries[0].slo_ms - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_gate_passes_within_slo_and_fails_beyond_it() {
+        assert!(check_latency(LATENCY_SAMPLE, 1.0).is_empty());
+        // Tightening the margin far enough fails both gated modes.
+        let v = check_latency(LATENCY_SAMPLE, 0.004);
+        assert_eq!(v.len(), 1, "only wifi p99 7.25 > 0.004 x 1500 = 6.0");
+        assert!(v[0].contains("wifi"), "{v:?}");
+        let v = check_latency(LATENCY_SAMPLE, 0.003);
+        assert_eq!(v.len(), 2, "both p99s exceed 4.5 ms");
+    }
+
+    #[test]
+    fn latency_gate_with_no_slo_entries_is_a_violation() {
+        let no_slo = r#"{"mode": "wimax:1/2:576", "p50_ms": 1.0, "p99_ms": 2.0, "p999_ms": 3.0, "max_ms": 4.0}"#;
+        let v = check_latency(no_slo, 1.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("no latency entries"), "{v:?}");
+        let v = check_latency("", 1.0);
+        assert_eq!(v.len(), 1);
+    }
 
     #[test]
     fn parses_the_shim_format() {

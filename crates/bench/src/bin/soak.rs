@@ -1,15 +1,19 @@
-//! Streaming soak harness for the sharded decode service — the CI service
-//! gate.
+//! Streaming soak and latency-percentile harness for the sharded decode
+//! service — the CI service gate.
 //!
 //! Pushes a bounded-duration stream of mixed-mode traffic (three code modes
 //! by default) through a [`ldpc_serve::DecodeService`] with blocking
 //! backpressure and per-frame deadlines, then verifies the service-level
 //! contract and exits non-zero on any violation:
 //!
-//! * **zero dropped frames** — no `try_submit` rejections (blocking
+//! * **zero dropped frames** — no non-blocking rejections (blocking
 //!   submission parks instead) and every accepted frame completed;
 //! * **zero expired frames** — at nominal load every frame decodes inside
 //!   its deadline;
+//! * **zero shed frames** (unless `--allow-shed`) — admission control must
+//!   not fire at nominal load; when it legitimately fires under an
+//!   overload experiment, `--allow-shed` keeps the run green while the
+//!   shed counts still print;
 //! * **zero failed frames** — the decode engine never rejects a batch;
 //! * **bit-identity** — a prefix of the streamed frames (`--verify-frames`)
 //!   is re-decoded with per-mode sequential `decode_batch` calls and
@@ -21,6 +25,30 @@
 //!   late-arriving worker may lazily build its workspace after warm-up);
 //! * **sustained throughput** — decoded frames/sec at least `--min-fps`.
 //!
+//! ## SLO mode and the latency report
+//!
+//! `--slo-ms N` switches every shard from the greedy default to
+//! [`ldpc_serve::ShardPolicy::with_slo`]: micro-batching dispatch with
+//! deadline-slack timers and admission-control shedding, frames submitted
+//! *without* an explicit deadline (the SLO provides it). The exit report
+//! then includes per-mode p50/p99/p999/max queue-to-completion latency from
+//! the service's own histograms, and `--latency-json PATH` dumps them as
+//! one JSON object per line:
+//!
+//! ```text
+//! {"mode": "wimax:1/2:576", "decoded": 4096, "shed": 0, "expired": 0,
+//!  "p50_ms": 1.42, "p99_ms": 5.61, "p999_ms": 8.92, "max_ms": 9.10,
+//!  "slo_ms": 1500}
+//! ```
+//!
+//! `compare_bench latency.json --require-latency [margin]` gates each
+//! mode's `p99_ms` against its `slo_ms` — the CI tail-latency gate.
+//!
+//! `--burst N --gap-ms G` shapes arrivals into back-to-back bursts of `N`
+//! frames separated by `G` ms idle ([`ldpc_channel::BurstProfile`]) — the
+//! workload that actually exercises micro-batch coalescing and deadline
+//! slack, instead of a steady trickle that never fills a batch.
+//!
 //! `--decode-threads N` fans each shard's coalesced batches across the
 //! persistent decode pool (frame-group chunk stealing, cross-shard by
 //! construction) — the service-level entry point of the thread-scaling
@@ -28,16 +56,18 @@
 //!
 //! `--cascade` swaps the per-shard decoder for the SNR-adaptive
 //! [`ldpc_core::CascadeDecoder`] with the default
-//! [`ldpc_serve::CascadePolicy`] ladder. The whole contract above still
+//! [`ldpc_serve::CascadePolicy`] ladder (via the uniform
+//! [`ldpc_serve::DecoderPolicy`] plumbing). The whole contract above still
 //! holds (bit-identity is then against sequential cascade `decode_batch`
 //! calls), and the exit report additionally prints the per-shard
 //! escalation counters so a soak log shows how much of the stream stayed
 //! on the cheap Min-Sum path.
 //!
 //! ```text
-//! soak [--duration-ms 2000] [--deadline-ms 1000] [--queue 64]
-//!      [--max-batch 32] [--decode-threads 1] [--cascade] [--ebn0 2.5]
-//!      [--seed 1] [--min-fps 0] [--verify-frames 4096]
+//! soak [--duration-ms 2000] [--deadline-ms 1000] [--slo-ms N]
+//!      [--burst N] [--gap-ms N] [--latency-json PATH] [--allow-shed]
+//!      [--queue 64] [--max-batch 32] [--decode-threads 1] [--cascade]
+//!      [--ebn0 2.5] [--seed 1] [--min-fps 0] [--verify-frames 4096]
 //!      [--modes wimax:1/2:576,wifi:1/2:648,...]
 //! ```
 
@@ -45,15 +75,23 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use ldpc_channel::MixedTraffic;
+use ldpc_channel::{BurstProfile, MixedTraffic};
 use ldpc_codes::CodeId;
 use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
 use ldpc_core::{DecodeOutput, Decoder, FloatBpArithmetic, LlrBatch};
-use ldpc_serve::{CascadePolicy, DecodeOutcome, DecodeService, DecodeServiceBuilder, FrameHandle};
+use ldpc_serve::{
+    CascadePolicy, DecodeOutcome, DecodeService, DecoderPolicy, FrameHandle, ShardPolicy,
+    SubmitOptions,
+};
 
 struct Args {
     duration: Duration,
     deadline: Duration,
+    slo: Option<Duration>,
+    burst: usize,
+    gap: Duration,
+    latency_json: Option<String>,
+    allow_shed: bool,
     queue_capacity: usize,
     max_batch: usize,
     decode_threads: usize,
@@ -70,6 +108,11 @@ impl Default for Args {
         Args {
             duration: Duration::from_millis(2000),
             deadline: Duration::from_millis(1000),
+            slo: None,
+            burst: 0,
+            gap: Duration::ZERO,
+            latency_json: None,
+            allow_shed: false,
             queue_capacity: 64,
             max_batch: 32,
             decode_threads: 1,
@@ -106,6 +149,31 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
                 );
+            }
+            "--slo-ms" => {
+                args.slo = Some(Duration::from_millis(
+                    value("--slo-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slo-ms: {e}"))?,
+                ));
+            }
+            "--burst" => {
+                args.burst = value("--burst")?
+                    .parse()
+                    .map_err(|e| format!("--burst: {e}"))?;
+            }
+            "--gap-ms" => {
+                args.gap = Duration::from_millis(
+                    value("--gap-ms")?
+                        .parse()
+                        .map_err(|e| format!("--gap-ms: {e}"))?,
+                );
+            }
+            "--latency-json" => {
+                args.latency_json = Some(value("--latency-json")?);
+            }
+            "--allow-shed" => {
+                args.allow_shed = true;
             }
             "--queue" => {
                 args.queue_capacity = value("--queue")?
@@ -166,7 +234,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("soak: {e}");
             eprintln!(
-                "usage: soak [--duration-ms N] [--deadline-ms N] [--queue N] [--max-batch N] \
+                "usage: soak [--duration-ms N] [--deadline-ms N] [--slo-ms N] [--burst N] \
+                 [--gap-ms N] [--latency-json PATH] [--allow-shed] [--queue N] [--max-batch N] \
                  [--decode-threads N] [--cascade] [--ebn0 F] [--seed N] [--min-fps F] \
                  [--verify-frames N] [--modes a,b,c]"
             );
@@ -178,45 +247,39 @@ fn main() -> ExitCode {
         // The reference decoder for the bit-identity re-decode is a second
         // cascade instance: cascade decoding is deterministic per frame, so
         // any instance with the same policy reproduces the service outputs.
-        let policy = CascadePolicy::default();
-        run(
-            &args,
-            "cascade",
-            policy.decoder(),
-            DecodeService::cascade_builder(policy),
-        )
+        run(&args, "cascade", CascadePolicy::default())
     } else {
         let decoder =
             LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
-        run(
-            &args,
-            "float_bp",
-            decoder.clone(),
-            DecodeService::builder(decoder),
-        )
+        run(&args, "float_bp", decoder)
     }
 }
 
-fn run<D>(
-    args: &Args,
-    decoder_label: &str,
-    decoder: D,
-    builder: DecodeServiceBuilder<D>,
-) -> ExitCode
-where
-    D: Decoder + Clone + Send + Sync + 'static,
-{
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCode {
+    let decoder = policy.build_decoder();
     // The kernel tier, core count and pinning state make soak logs
     // attributable: a throughput number only means something relative to the
     // kernels (avx2/sse4.1/scalar) it ran on and the parallelism it had.
     let pool = ldpc_core::DecodePool::global();
     println!(
-        "soak: {} modes, {} ms stream, {} ms deadline, queue {}, max batch {}, \
+        "soak: {} modes, {} ms stream, {}, queue {}, max batch {}, \
          decode threads {}, decoder {decoder_label}, Eb/N0 {} dB, kernel tier {}, {} core(s), \
          decode pool {} worker(s), pinning {}",
         args.modes.len(),
         args.duration.as_millis(),
-        args.deadline.as_millis(),
+        match args.slo {
+            Some(slo) => format!(
+                "{} ms SLO (burst {}, gap {} ms)",
+                slo.as_millis(),
+                args.burst,
+                args.gap.as_millis()
+            ),
+            None => format!("{} ms deadline", args.deadline.as_millis()),
+        },
         args.queue_capacity,
         args.max_batch,
         args.decode_threads,
@@ -242,12 +305,16 @@ where
         }
     }
 
-    let mut builder = builder
+    let shard_policy = match args.slo {
+        Some(slo) => ShardPolicy::with_slo(slo),
+        None => ShardPolicy::greedy(),
+    };
+    let mut builder = DecodeService::builder(policy)
         .queue_capacity(args.queue_capacity)
         .max_batch(args.max_batch)
         .decode_threads(args.decode_threads);
     for &id in &args.modes {
-        builder = match builder.register(id) {
+        builder = match builder.register_with_policy(id, shard_policy) {
             Ok(builder) => builder,
             Err(e) => {
                 eprintln!("soak: cannot register {id}: {e}");
@@ -257,9 +324,10 @@ where
     }
     let service = builder.build().unwrap();
 
-    // Stream frames for the configured duration with blocking backpressure.
-    // The first `verify_frames` frames are retained for the bit-identity
-    // re-decode after the drain.
+    // Stream frames for the configured duration with blocking backpressure,
+    // shaped into bursts when requested. The first `verify_frames` frames
+    // are retained for the bit-identity re-decode after the drain.
+    let shaping = BurstProfile::new(args.burst, args.gap);
     let mut handles: Vec<FrameHandle> = Vec::new();
     let mut retained: Vec<(CodeId, Vec<f64>)> = Vec::new();
     let mut warm_pool_created: Option<usize> = None;
@@ -275,12 +343,20 @@ where
             // here the workspace pool must not grow.
             warm_pool_created = Some(service.pool_workspaces_created());
         }
+        if let Some(gap) = shaping.gap_before(handles.len() as u64) {
+            std::thread::sleep(gap);
+        }
         let id = traffic.next_frame_into(&mut llrs_buf);
         if retained.len() < args.verify_frames {
             retained.push((id, llrs_buf.clone()));
         }
-        let deadline = Instant::now() + args.deadline;
-        match service.submit_with_deadline(id, std::mem::take(&mut llrs_buf), deadline) {
+        // In SLO mode the shard policy supplies the effective deadline;
+        // otherwise the harness stamps an explicit one per frame.
+        let options = match args.slo {
+            Some(_) => SubmitOptions::new(),
+            None => SubmitOptions::new().deadline(Instant::now() + args.deadline),
+        };
+        match service.submit(id, std::mem::take(&mut llrs_buf), options) {
             Ok(handle) => handles.push(handle),
             Err(e) => {
                 eprintln!("soak: FAIL — blocking submission refused: {e}");
@@ -297,6 +373,7 @@ where
 
     let decoded: u64 = stats.iter().map(|s| s.decoded).sum();
     let expired: u64 = stats.iter().map(|s| s.expired).sum();
+    let shed: u64 = stats.iter().map(|s| s.shed).sum();
     let failed: u64 = stats.iter().map(|s| s.failed).sum();
     let rejected: u64 = stats.iter().map(|s| s.rejected_full).sum();
     let accepted: u64 = stats.iter().map(|s| s.accepted).sum();
@@ -305,16 +382,30 @@ where
 
     for shard in &stats {
         println!(
-            "soak: shard {:<28} accepted {:>6}  decoded {:>6}  expired {:>3}  failed {:>3}  \
-             batches {:>5}  max coalesced {:>3}",
+            "soak: shard {:<28} accepted {:>6}  decoded {:>6}  expired {:>3}  shed {:>3}  \
+             failed {:>3}  batches {:>5}  max coalesced {:>3}",
             shard.code.to_string(),
             shard.accepted,
             shard.decoded,
             shard.expired,
+            shard.shed,
             shard.failed,
             shard.batches,
             shard.max_coalesced
         );
+        let lat = shard.latency;
+        if lat.count > 0 {
+            println!(
+                "soak: shard {:<28} latency p50 {:>8.2} ms  p99 {:>8.2} ms  p999 {:>8.2} ms  \
+                 max {:>8.2} ms  ({} samples)",
+                shard.code.to_string(),
+                ms(lat.p50()),
+                ms(lat.p99()),
+                ms(lat.p999()),
+                ms(lat.max()),
+                lat.count
+            );
+        }
         if args.cascade {
             println!(
                 "soak: shard {:<28} cascade stages [{} min_sum, {} fixed_bp, {} float_bp], \
@@ -336,6 +427,37 @@ where
         pool.workers()
     );
 
+    // Latency JSON: one object per mode, `slo_ms` present only when the
+    // shard actually had an SLO — compare_bench --require-latency gates
+    // exactly the entries that carry one.
+    if let Some(path) = &args.latency_json {
+        let mut lines = String::new();
+        for shard in &stats {
+            let lat = shard.latency;
+            let slo_field = shard
+                .slo
+                .map_or(String::new(), |slo| format!(", \"slo_ms\": {}", ms(slo)));
+            lines.push_str(&format!(
+                "{{\"mode\": \"{}\", \"decoded\": {}, \"shed\": {}, \"expired\": {}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
+                 \"max_ms\": {:.3}{slo_field}}}\n",
+                shard.code,
+                shard.decoded,
+                shard.shed,
+                shard.expired,
+                ms(lat.p50()),
+                ms(lat.p99()),
+                ms(lat.p999()),
+                ms(lat.max()),
+            ));
+        }
+        if let Err(e) = std::fs::write(path, &lines) {
+            eprintln!("soak: FAIL — cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("soak: latency percentiles written to {path}");
+    }
+
     let mut violations: Vec<String> = Vec::new();
     if accepted != submitted as u64 {
         violations.push(format!("accepted {accepted} != submitted {submitted}"));
@@ -345,6 +467,11 @@ where
     }
     if expired > 0 {
         violations.push(format!("{expired} frames expired at nominal load"));
+    }
+    if shed > 0 && !args.allow_shed {
+        violations.push(format!(
+            "{shed} frames shed by admission control at nominal load"
+        ));
     }
     if failed > 0 {
         violations.push(format!("{failed} frames failed in the decode engine"));
@@ -385,7 +512,9 @@ where
     }
 
     // Bit-identity: re-decode the retained prefix with per-mode sequential
-    // decode_batch calls and compare output-for-output.
+    // decode_batch calls and compare output-for-output. Shed frames carry
+    // no output and are accounted by the shed counter above, so they are
+    // skipped here rather than miscounted as identity mismatches.
     let mut per_mode: HashMap<CodeId, Vec<f64>> = HashMap::new();
     let mut order: Vec<(CodeId, usize)> = Vec::new();
     for (id, llrs) in &retained {
@@ -400,18 +529,22 @@ where
         reference.insert(id, decoder.decode_batch(&compiled, batch).unwrap());
     }
     let mut mismatches = 0usize;
+    let mut verified = 0usize;
     for ((id, frame_idx), outcome) in order.into_iter().zip(&outcomes) {
         match outcome {
             DecodeOutcome::Decoded(out) => {
+                verified += 1;
                 if *out != reference[&id][frame_idx] {
                     mismatches += 1;
                 }
             }
+            DecodeOutcome::Shed => {}
             _ => mismatches += 1,
         }
     }
     println!(
-        "soak: verified {} frames against sequential decode_batch, {mismatches} mismatches",
+        "soak: verified {verified} of {} retained frames against sequential decode_batch, \
+         {mismatches} mismatches",
         retained.len()
     );
     if mismatches > 0 {

@@ -15,6 +15,8 @@
 //! workload a sharded decode service sees in production, where frames of
 //! different standards and block lengths arrive mingled on one ingest path.
 
+use std::time::Duration;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -254,6 +256,58 @@ impl FrameBlock {
     #[must_use]
     pub fn frame_llrs(&self, i: usize) -> &[f64] {
         &self.llrs[i * self.n..(i + 1) * self.n]
+    }
+}
+
+/// Arrival shaping for an offered-load harness: frames arrive in
+/// back-to-back bursts of `burst` frames separated by idle `gap`s, instead
+/// of an even trickle. This is the tail-latency workload an SLO-scheduled
+/// serving tier has to survive — a burst fills a shard's queue faster than
+/// one batch can drain it, so micro-batching, deadline slack and load
+/// shedding all get exercised; a steady stream exercises none of them.
+///
+/// The profile is a pure pacing function: `gap_before(i)` tells the
+/// producer how long to idle before submitting frame `i`. Frame content is
+/// unaffected, so the same [`MixedTraffic`] stream stays bit-identical
+/// whatever the shaping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstProfile {
+    /// Frames per burst; `0` or `1` degenerates to steady arrivals when the
+    /// gap is zero, or a fixed inter-frame gap otherwise.
+    pub burst: usize,
+    /// Idle time between bursts.
+    pub gap: Duration,
+}
+
+impl BurstProfile {
+    /// Steady back-to-back arrivals: no bursts, no idle gaps.
+    #[must_use]
+    pub fn steady() -> Self {
+        BurstProfile {
+            burst: 0,
+            gap: Duration::ZERO,
+        }
+    }
+
+    /// Bursts of `burst` back-to-back frames separated by `gap` of idle.
+    #[must_use]
+    pub fn new(burst: usize, gap: Duration) -> Self {
+        BurstProfile { burst, gap }
+    }
+
+    /// How long the producer should idle before submitting frame `index`
+    /// (0-based), or `None` when the frame belongs to the current burst.
+    /// The first frame never waits.
+    #[must_use]
+    pub fn gap_before(&self, index: u64) -> Option<Duration> {
+        if index == 0 || self.gap.is_zero() {
+            return None;
+        }
+        if self.burst <= 1 || index.is_multiple_of(self.burst as u64) {
+            Some(self.gap)
+        } else {
+            None
+        }
     }
 }
 
@@ -535,6 +589,24 @@ mod tests {
         CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn burst_profile_paces_bursts_and_never_delays_the_first_frame() {
+        let profile = BurstProfile::new(4, Duration::from_millis(10));
+        let gaps: Vec<Option<Duration>> = (0..9).map(|i| profile.gap_before(i)).collect();
+        let g = Some(Duration::from_millis(10));
+        assert_eq!(gaps, vec![None, None, None, None, g, None, None, None, g]);
+
+        // Steady shaping never idles.
+        let steady = BurstProfile::steady();
+        assert!((0..32).all(|i| steady.gap_before(i).is_none()));
+
+        // burst <= 1 with a gap degenerates to a fixed inter-frame gap.
+        let paced = BurstProfile::new(1, Duration::from_millis(3));
+        assert_eq!(paced.gap_before(0), None);
+        assert_eq!(paced.gap_before(1), Some(Duration::from_millis(3)));
+        assert_eq!(paced.gap_before(2), Some(Duration::from_millis(3)));
     }
 
     #[test]

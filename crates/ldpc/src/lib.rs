@@ -19,8 +19,10 @@
 //!   energy models behind Table 2, Table 3 and Fig. 9;
 //! * [`serve`] — the serving layer: a multi-code sharded
 //!   [`DecodeService`](ldpc_serve::DecodeService) with bounded per-mode frame
-//!   queues, batch-coalescing workers, backpressure, per-frame deadlines and
-//!   a draining shutdown.
+//!   queues, per-mode SLO/priority scheduling policies
+//!   ([`ShardPolicy`](ldpc_serve::ShardPolicy)), micro-batching dispatch
+//!   workers, deadline-aware load shedding, backpressure, per-mode latency
+//!   percentiles and a draining shutdown.
 //!
 //! ## Quickstart — single frame
 //!
@@ -95,7 +97,8 @@ pub mod prelude {
     };
     pub use ldpc_channel::{
         awgn::AwgnChannel, quantize::LlrQuantizer, stats::ErrorCounter, stats::IterationHistogram,
-        workload::FrameBlock, workload::FrameSource, workload::MixedTraffic,
+        workload::BurstProfile, workload::FrameBlock, workload::FrameSource,
+        workload::MixedTraffic,
     };
     pub use ldpc_codes::{
         CodeId, CodeRate, CompiledCode, Encoder, LayerSchedule, QcCode, Standard,
@@ -108,8 +111,8 @@ pub mod prelude {
         LaneKernel, LaneScratch, LayerOrderPolicy, LlrBatch, R2Siso, R4Siso, SimdLevel, SisoRadix,
     };
     pub use ldpc_serve::{
-        CascadePolicy, DecodeOutcome, DecodeService, FrameHandle, ServeError, ServiceConfig,
-        ShardStats, SubmitError,
+        CascadePolicy, DecodeOutcome, DecodeService, DecoderPolicy, FrameHandle, LatencyStats,
+        Priority, ServeError, ServiceConfig, ShardPolicy, ShardStats, SubmitError, SubmitOptions,
     };
 }
 

@@ -18,6 +18,13 @@ pub enum ServeError {
     },
     /// Building the code for a registered mode failed.
     Code(CodeError),
+    /// The service configuration is invalid (e.g. a zero `max_batch`);
+    /// rejected at [`build`](crate::DecodeServiceBuilder::build) instead of
+    /// being silently clamped.
+    InvalidConfig {
+        /// What was rejected and why.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -28,6 +35,9 @@ impl fmt::Display for ServeError {
                 write!(f, "code {code} is already registered")
             }
             ServeError::Code(e) => write!(f, "cannot build registered code: {e}"),
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid service configuration: {reason}")
+            }
         }
     }
 }

@@ -24,6 +24,13 @@ pub enum DecodeOutcome {
     /// The frame's deadline had passed when its shard worker pulled it for
     /// decoding, so the decoder's time was not spent on it.
     Expired,
+    /// Admission control shed the frame: its deadline was still in the
+    /// future, but the shard's queue depth and observed decode cost showed
+    /// it could not be met, so the frame was dropped up front instead of
+    /// decoded late (see [`ShardPolicy::shed`](crate::ShardPolicy::shed)).
+    /// Counted in [`ShardStats::shed`](crate::ShardStats::shed) — never a
+    /// silent drop.
+    Shed,
     /// The decode engine rejected the coalesced batch (cannot happen for
     /// frames the service validated at submission; kept for robustness).
     Failed(DecodeError),

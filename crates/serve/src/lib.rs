@@ -1,4 +1,4 @@
-//! # ldpc-serve — the multi-code sharded decode service
+//! # ldpc-serve — the SLO-driven multi-code decode service
 //!
 //! The paper's decoder is multi-mode by construction: one hardware fabric
 //! serves every WiMax/WiFi/DMB-T code mode by switching a compiled mode ROM
@@ -7,31 +7,46 @@
 //! engine of `ldpc-core`:
 //!
 //! ```text
-//!                        ┌──────────────── DecodeService ────────────────┐
-//!  submit(code, llrs) ──▶│ route by CodeId                               │
-//!                        │   ├─▶ shard[WiMax 576]  queue ▷▷▷ worker ──┐  │
-//!                        │   ├─▶ shard[WiFi 648]   queue ▷▷▷ worker ──┤  │
-//!                        │   └─▶ shard[WiMax 1152] queue ▷▷▷ worker ──┤  │
-//!                        │        (bounded MPSC)    coalesce into      │  │
-//!                        │                          decode_batch ◀─────┘  │
-//!                        │                          workspaces from the   │
-//!                        │                          shared WorkspacePool  │
-//!                        └───────────────────────────────────────────────┘
-//!                                        │
-//!  FrameHandle::wait() ◀── DecodeOutcome ┘  (Decoded / Expired / Failed)
+//!                           ┌───────────────── DecodeService ─────────────────┐
+//!  submit(code, llrs, opts)─▶ route by CodeId                                 │
+//!                           │   ├─▶ shard[WiMax 576]  queue + ShardPolicy ◀─┐ │
+//!                           │   ├─▶ shard[WiFi 648]   queue + ShardPolicy ◀─┤ │
+//!                           │   └─▶ shard[WiMax 1152] queue + ShardPolicy ◀─┤ │
+//!                           │        (bounded, priority-ordered)            │ │
+//!                           │                                     scheduler │ │
+//!                           │   dispatch workers ◀── claim ready shard ─────┘ │
+//!                           │     coalesce ▷ decode_batch ▷ complete frames   │
+//!                           │     (workspaces from the shared WorkspacePool)  │
+//!                           └─────────────────────────────────────────────────┘
+//!                                          │
+//!  FrameHandle::wait() ◀─── DecodeOutcome ─┘  (Decoded / Expired / Shed / Failed)
 //! ```
 //!
 //! * **Sharding** — one shard per registered [`ldpc_codes::CodeId`]: an
 //!   `Arc<CompiledCode>` (the software mode ROM), a bounded ingest queue and
-//!   one worker thread. Frames route by mode at submission.
-//! * **Batch coalescing** — each worker drains whatever is queued (up to
-//!   [`ServiceConfig::max_batch`]) into a single flat LLR buffer and decodes
-//!   it with one `decode_batch` call, so bursts amortise engine overhead
-//!   exactly like the paper's frame pipeline keeps the SISO array busy.
-//! * **Backpressure** — the queue bound is the service's limit: `try_submit`
-//!   refuses with the frame handed back, `submit` parks the producer.
+//!   a [`ShardPolicy`]. Frames route by mode at submission; a pool of
+//!   dispatch workers claims whichever shard is *ready* next (at most one
+//!   worker per shard at a time, so per-mode results stay deterministic).
+//! * **SLO scheduling** — [`ShardPolicy`] gives each mode a latency SLO
+//!   target and a [`Priority`] class. A shard with an SLO micro-batches: it
+//!   holds frames to coalesce bigger batches and dispatches at
+//!   [`ServiceConfig::max_batch`] *or* deadline slack, whichever comes
+//!   first, with batch sizes snapped to the mode's preferred group width.
+//!   Greedy shards (the [`ShardPolicy::greedy`] default) dispatch as soon
+//!   as a worker is free, exactly like the pre-policy service.
+//! * **Admission control** — when [`ShardPolicy::shed`] is on, frames whose
+//!   deadline cannot be met (based on queue depth × the shard's observed
+//!   per-frame decode cost) resolve as [`DecodeOutcome::Shed`] instead of
+//!   being decoded late; shed frames are counted in
+//!   [`ShardStats::shed`], never silently dropped.
+//! * **Backpressure** — the queue bound is the service's limit: a
+//!   non-blocking [`SubmitOptions`] refuses with the frame handed back, a
+//!   blocking submission parks the producer.
 //! * **Deadlines** — a frame whose deadline passes while queued completes as
 //!   [`DecodeOutcome::Expired`] without spending decoder time.
+//! * **Latency accounting** — every decoded frame's queue-to-completion
+//!   latency lands in a lock-free histogram; [`ShardStats::latency`] reports
+//!   p50/p99/p999/max per mode for SLO verification.
 //! * **Drain guarantee** — [`DecodeService::shutdown`] (and plain drop)
 //!   closes intake, lets workers finish every accepted frame, and joins
 //!   them: a successful submission always resolves.
@@ -41,19 +56,21 @@
 //!   [`DecodeService::pool_workspaces_created`] stops growing.
 //!
 //! Results are **bit-identical** to calling `decode_batch` directly on the
-//! same frames, whatever the submission interleaving — decoding is
-//! per-frame deterministic and shards are independent.
+//! same frames, whatever the submission interleaving or scheduling policy —
+//! decoding is per-frame deterministic and shards are independent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod handle;
+mod policy;
 mod queue;
 mod service;
 mod stats;
 
 pub use error::{ServeError, SubmitError};
 pub use handle::{DecodeOutcome, FrameHandle};
+pub use policy::{DecoderPolicy, Priority, ShardPolicy, SubmitOptions};
 pub use service::{CascadePolicy, DecodeService, DecodeServiceBuilder, ServiceConfig};
-pub use stats::ShardStats;
+pub use stats::{LatencyStats, ShardStats};

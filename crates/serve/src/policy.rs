@@ -1,0 +1,378 @@
+//! Serving policies: the per-mode [`ShardPolicy`], the per-frame
+//! [`SubmitOptions`], and the [`DecoderPolicy`] trait behind the uniform
+//! [`DecodeService::builder`](crate::DecodeService::builder) path.
+//!
+//! A [`ShardPolicy`] describes *how a mode wants to be served* — its latency
+//! SLO, its priority class against other modes, how long the dispatcher may
+//! hold frames to grow a batch, and whether frames that can no longer meet
+//! their deadline should be shed up front instead of decoded late. The
+//! default policy reproduces the greedy pre-policy behaviour exactly:
+//! dispatch as soon as a worker is free, coalesce whatever is queued, never
+//! shed.
+//!
+//! A [`DecoderPolicy`] describes *what decodes*: anything that can stamp out
+//! the decoder instance a service template-clones into its shards. Every
+//! provided decoder is its own policy (so `DecodeService::builder(decoder)`
+//! keeps working verbatim), and [`CascadePolicy`](crate::CascadePolicy) is
+//! just one more implementation — not a special-cased constructor.
+
+use std::time::{Duration, Instant};
+
+use ldpc_core::arith::DecoderArithmetic;
+use ldpc_core::cascade::CascadeDecoder;
+use ldpc_core::decoder::LayeredDecoder;
+use ldpc_core::flooding::FloodingDecoder;
+use ldpc_core::Decoder;
+
+use crate::service::CascadePolicy;
+
+/// Dispatch priority class of a shard or frame. Ordered by urgency:
+/// [`Priority::High`] sorts (and is served) first.
+///
+/// Priorities compose at two levels. A shard's [`ShardPolicy::priority`]
+/// decides which mode a free dispatch worker serves when several shards are
+/// ready at once; a frame's [`SubmitOptions::priority`] reorders that frame
+/// within its shard's queue (ahead of every lower class, behind earlier
+/// frames of its own class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Served before every other class.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Served only when no higher class is ready.
+    Low,
+}
+
+/// Per-mode serving policy: how one shard batches, prioritises and sheds.
+///
+/// Registered per mode through
+/// [`DecodeServiceBuilder::register_with_policy`](crate::DecodeServiceBuilder::register_with_policy);
+/// plain `register` uses [`ShardPolicy::default`], which is today's greedy
+/// behaviour (dispatch immediately, never hold, never shed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardPolicy {
+    /// Target completion latency for this mode's frames. When set, frames
+    /// submitted without an explicit deadline get `arrival + slo` as their
+    /// effective deadline, and the micro-batch hold timer defaults to half
+    /// the SLO (see [`ShardPolicy::max_hold`]).
+    pub slo: Option<Duration>,
+    /// The shard's dispatch class against other shards; see [`Priority`].
+    pub priority: Priority,
+    /// Longest time the dispatcher may hold this shard's frames waiting for
+    /// a fuller batch. A frame becomes dispatchable at
+    /// `arrival + min(max_hold, deadline_slack)` — or immediately once the
+    /// shard has a full batch queued. `None` defaults to `slo / 2` when an
+    /// SLO is set, or zero (greedy dispatch) otherwise.
+    pub max_hold: Option<Duration>,
+    /// Queue-depth-based admission control: when `true`, a frame whose
+    /// effective deadline cannot be met — at admission, given the queue
+    /// ahead of it, or at dispatch, given the batch being formed — resolves
+    /// as [`DecodeOutcome::Shed`](crate::DecodeOutcome::Shed) instead of
+    /// being decoded late. Requires an observed (or seeded) decode-cost
+    /// estimate; a shard that has never decoded sheds nothing.
+    pub shed: bool,
+    /// Seed for the shard's per-frame decode-cost estimate, which the
+    /// dispatcher otherwise learns as an EWMA of observed batch times. Set
+    /// it to make shedding decisions deterministic from the first frame
+    /// (tests, or deployments with known mode costs).
+    pub expected_frame_cost: Option<Duration>,
+}
+
+impl ShardPolicy {
+    /// The greedy default policy: dispatch as soon as a worker is free,
+    /// never hold, never shed. Identical to what plain
+    /// [`register`](crate::DecodeServiceBuilder::register) applies.
+    #[must_use]
+    pub fn greedy() -> Self {
+        ShardPolicy::default()
+    }
+
+    /// An SLO-driven policy: frames target completion within `slo` of
+    /// arrival, the micro-batch timer holds up to `slo / 2`, and frames that
+    /// can no longer make the target are shed instead of decoded late.
+    #[must_use]
+    pub fn with_slo(slo: Duration) -> Self {
+        ShardPolicy {
+            slo: Some(slo),
+            shed: true,
+            ..ShardPolicy::default()
+        }
+    }
+
+    /// Sets the shard's dispatch [`Priority`].
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the micro-batch hold ceiling; see [`ShardPolicy::max_hold`].
+    #[must_use]
+    pub fn max_hold(mut self, max_hold: Duration) -> Self {
+        self.max_hold = Some(max_hold);
+        self
+    }
+
+    /// Enables or disables load shedding; see [`ShardPolicy::shed`].
+    #[must_use]
+    pub fn shed(mut self, shed: bool) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Seeds the decode-cost estimate; see
+    /// [`ShardPolicy::expected_frame_cost`].
+    #[must_use]
+    pub fn expected_frame_cost(mut self, cost: Duration) -> Self {
+        self.expected_frame_cost = Some(cost);
+        self
+    }
+
+    /// The effective micro-batch hold ceiling.
+    pub(crate) fn hold_limit(&self) -> Duration {
+        self.max_hold.unwrap_or_else(|| {
+            self.slo
+                .map_or(Duration::ZERO, |slo| slo.checked_div(2).unwrap_or(slo))
+        })
+    }
+
+    /// Whether this shard micro-batches (holds frames) at all; greedy shards
+    /// keep the pre-policy take-everything drain behaviour, including ragged
+    /// batch tails.
+    pub(crate) fn micro_batching(&self) -> bool {
+        !self.hold_limit().is_zero()
+    }
+}
+
+/// Per-frame submission options for
+/// [`DecodeService::submit`](crate::DecodeService::submit) — the one entry
+/// point subsuming the old `submit` / `submit_with_deadline` / `try_submit` /
+/// `try_submit_with_deadline` matrix.
+///
+/// `submit` takes `impl Into<SubmitOptions>`, so the common cases stay terse:
+///
+/// * `()` — blocking, no deadline (the old `submit`);
+/// * an [`Instant`] — blocking with that deadline (the old
+///   `submit_with_deadline`);
+/// * a [`Priority`] — blocking, no deadline, in that class;
+/// * a full `SubmitOptions` for everything else, e.g.
+///   `SubmitOptions::new().deadline(t).non_blocking()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Completion deadline. A frame still queued past it completes as
+    /// [`DecodeOutcome::Expired`](crate::DecodeOutcome::Expired); with
+    /// [`ShardPolicy::shed`] it may resolve as
+    /// [`DecodeOutcome::Shed`](crate::DecodeOutcome::Shed) earlier. `None`
+    /// falls back to the shard's SLO (when set) as an implicit
+    /// `arrival + slo` deadline.
+    pub deadline: Option<Instant>,
+    /// Whether a full shard queue parks the caller (`true`, the default) or
+    /// refuses with
+    /// [`SubmitError::QueueFull`](crate::SubmitError::QueueFull) handing the
+    /// frame back (`false`, the old `try_submit`).
+    pub blocking: bool,
+    /// The frame's [`Priority`] within its shard queue.
+    pub priority: Priority,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            deadline: None,
+            blocking: true,
+            priority: Priority::Normal,
+        }
+    }
+}
+
+impl SubmitOptions {
+    /// Blocking submission, no deadline, normal priority — the defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        SubmitOptions::default()
+    }
+
+    /// Sets the completion deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Makes the submission non-blocking: a full queue refuses the frame
+    /// instead of parking the caller.
+    #[must_use]
+    pub fn non_blocking(mut self) -> Self {
+        self.blocking = false;
+        self
+    }
+
+    /// Sets the frame's [`Priority`].
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+impl From<()> for SubmitOptions {
+    fn from((): ()) -> Self {
+        SubmitOptions::default()
+    }
+}
+
+impl From<Instant> for SubmitOptions {
+    fn from(deadline: Instant) -> Self {
+        SubmitOptions::default().deadline(deadline)
+    }
+}
+
+impl From<Priority> for SubmitOptions {
+    fn from(priority: Priority) -> Self {
+        SubmitOptions::default().priority(priority)
+    }
+}
+
+/// What decodes in a service's shards: a factory for the decoder instance
+/// the service template-clones (via
+/// [`Decoder::detached_clone`]) into every shard.
+///
+/// This is the uniform parameter of
+/// [`DecodeService::builder`](crate::DecodeService::builder). Every provided
+/// decoder ([`LayeredDecoder`], [`FloodingDecoder`], [`CascadeDecoder`])
+/// implements it as its own factory — `builder(decoder)` call sites from the
+/// pre-policy API compile unchanged — and
+/// [`CascadePolicy`](crate::CascadePolicy) implements it by building the
+/// cascade it describes, replacing the old `cascade_builder` special case.
+pub trait DecoderPolicy {
+    /// The decoder type this policy builds.
+    type Decoder: Decoder + Clone + Send + Sync + 'static;
+
+    /// Builds the service's template decoder instance.
+    fn build_decoder(&self) -> Self::Decoder;
+
+    /// Human-readable label of what decodes (for reports and harnesses),
+    /// e.g. `"layered/float-bp"` or `"cascade"`.
+    fn label(&self) -> String;
+}
+
+impl<A: DecoderArithmetic> DecoderPolicy for LayeredDecoder<A>
+where
+    LayeredDecoder<A>: Decoder + Clone + Send + Sync + 'static,
+{
+    type Decoder = Self;
+
+    fn build_decoder(&self) -> Self {
+        self.clone()
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.schedule_name(), self.arithmetic().name())
+    }
+}
+
+impl<A: DecoderArithmetic> DecoderPolicy for FloodingDecoder<A>
+where
+    FloodingDecoder<A>: Decoder + Clone + Send + Sync + 'static,
+{
+    type Decoder = Self;
+
+    fn build_decoder(&self) -> Self {
+        self.clone()
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.schedule_name(), self.arithmetic().name())
+    }
+}
+
+impl DecoderPolicy for CascadeDecoder {
+    type Decoder = Self;
+
+    fn build_decoder(&self) -> Self {
+        self.clone()
+    }
+
+    fn label(&self) -> String {
+        "cascade".to_string()
+    }
+}
+
+impl DecoderPolicy for CascadePolicy {
+    type Decoder = CascadeDecoder;
+
+    fn build_decoder(&self) -> CascadeDecoder {
+        self.decoder()
+    }
+
+    fn label(&self) -> String {
+        "cascade".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_core::{DecoderConfig, FloatBpArithmetic};
+
+    #[test]
+    fn priority_orders_high_first() {
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn default_policy_is_greedy() {
+        let p = ShardPolicy::default();
+        assert_eq!(p, ShardPolicy::greedy());
+        assert_eq!(p.hold_limit(), Duration::ZERO);
+        assert!(!p.micro_batching());
+        assert!(!p.shed);
+    }
+
+    #[test]
+    fn slo_policy_holds_half_the_slo_and_sheds() {
+        let p = ShardPolicy::with_slo(Duration::from_millis(10));
+        assert_eq!(p.hold_limit(), Duration::from_millis(5));
+        assert!(p.micro_batching());
+        assert!(p.shed);
+        let capped = p.max_hold(Duration::from_millis(2));
+        assert_eq!(capped.hold_limit(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn submit_options_conversions_cover_the_old_matrix() {
+        let plain: SubmitOptions = ().into();
+        assert_eq!(plain, SubmitOptions::new());
+        assert!(plain.blocking);
+        assert!(plain.deadline.is_none());
+
+        let t = Instant::now();
+        let deadlined: SubmitOptions = t.into();
+        assert_eq!(deadlined.deadline, Some(t));
+        assert!(deadlined.blocking);
+
+        let urgent: SubmitOptions = Priority::High.into();
+        assert_eq!(urgent.priority, Priority::High);
+
+        let full = SubmitOptions::new().deadline(t).non_blocking();
+        assert!(!full.blocking);
+        assert_eq!(full.deadline, Some(t));
+    }
+
+    #[test]
+    fn decoder_policies_label_and_build() {
+        let layered =
+            LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default()).unwrap();
+        assert!(DecoderPolicy::label(&layered).starts_with("layered/"));
+        let _ = layered.build_decoder();
+
+        let policy = CascadePolicy::default();
+        assert_eq!(DecoderPolicy::label(&policy), "cascade");
+        let cascade = policy.build_decoder();
+        assert_eq!(DecoderPolicy::label(&cascade), "cascade");
+    }
+}

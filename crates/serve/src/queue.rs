@@ -1,14 +1,21 @@
-//! The bounded MPSC ingest queue in front of each shard.
+//! The bounded priority ingest queue in front of each shard.
 //!
-//! Any number of submitting threads push [`PendingFrame`]s; the shard's one
-//! worker pops them, coalescing as many queued frames as are available into a
-//! single `decode_batch` call. The bound is the backpressure mechanism:
-//! [`FrameQueue::try_push`] refuses when full (handing the frame back), while
-//! [`FrameQueue::push_blocking`] parks the producer until the worker drains —
-//! exactly the two submission flavours the service exposes.
+//! Any number of submitting threads push [`PendingFrame`]s; the service's
+//! dispatch workers claim a shard and drain a batch. The bound is the
+//! backpressure mechanism: [`FrameQueue::try_push`] refuses when full
+//! (handing the frame back), while [`FrameQueue::push_blocking`] parks the
+//! producer until a worker drains — exactly the two submission flavours
+//! [`SubmitOptions::blocking`](crate::SubmitOptions::blocking) selects.
+//!
+//! Frames are kept priority-ordered: a pushed frame is inserted ahead of
+//! every strictly lower-priority frame and behind earlier frames of its own
+//! class, so draining the front is always FIFO-within-class. The
+//! [`FrameQueue::view`] snapshot gives the scheduler what it ranks shards
+//! by — depth, the earliest micro-batch release time, closedness — under a
+//! single lock acquisition.
 //!
 //! Closing the queue ([`FrameQueue::close`]) refuses new frames but leaves
-//! everything already queued poppable, so a draining worker completes every
+//! everything already queued drainable, so a draining worker completes every
 //! accepted frame before [`FrameQueue::pop_blocking`] returns `None`.
 
 use std::collections::VecDeque;
@@ -16,11 +23,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::handle::{DecodeOutcome, Slot};
+use crate::policy::Priority;
 
 /// Completion-on-drop wrapper around a frame's [`Slot`]: dropping it without
 /// an explicit [`complete`](CompletionGuard::complete) resolves the handle as
 /// [`DecodeOutcome::Abandoned`]. This is what keeps the "every accepted frame
-/// resolves" guarantee true even if a shard worker panics mid-batch — the
+/// resolves" guarantee true even if a dispatch worker panics mid-batch — the
 /// unwinding drops the worker's pending frames, and each drop unblocks its
 /// waiter instead of leaving it hanging forever.
 #[derive(Debug)]
@@ -47,13 +55,23 @@ impl Drop for CompletionGuard {
     }
 }
 
-/// One accepted frame waiting for its shard worker.
+/// One accepted frame waiting for a dispatch worker.
 #[derive(Debug)]
 pub(crate) struct PendingFrame {
     /// Channel LLRs, exactly `n` values for the shard's code.
     pub llrs: Vec<f64>,
-    /// Completion deadline; frames past it are expired instead of decoded.
+    /// Effective completion deadline: the explicit submission deadline, or
+    /// `arrival + slo` for shards with an SLO. Frames past it are expired
+    /// instead of decoded.
     pub deadline: Option<Instant>,
+    /// The frame's priority within its shard queue.
+    pub priority: Priority,
+    /// When the frame was accepted; latency is measured from here.
+    pub arrival: Instant,
+    /// When the micro-batch hold on this frame releases: the shard becomes
+    /// dispatchable at `min(dispatch_by)` over its queue even without a full
+    /// batch. Greedy shards use `arrival` (dispatch immediately).
+    pub dispatch_by: Instant,
     /// Completion guard over the slot shared with the caller's
     /// [`crate::FrameHandle`].
     pub slot: CompletionGuard,
@@ -75,13 +93,37 @@ pub(crate) enum PushError {
     Closed(PendingFrame),
 }
 
+/// What the scheduler ranks a shard by, snapshotted under one lock.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueueView {
+    /// Frames currently queued.
+    pub len: usize,
+    /// Earliest micro-batch release time over the queued frames; `None`
+    /// when empty.
+    pub earliest_dispatch_by: Option<Instant>,
+    /// Whether the queue refuses new frames (service draining).
+    pub closed: bool,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     frames: VecDeque<PendingFrame>,
     closed: bool,
 }
 
-/// Bounded multi-producer single-consumer frame queue.
+impl Inner {
+    /// Inserts keeping priority order: ahead of every strictly
+    /// lower-priority frame, behind earlier frames of the same class.
+    fn insert(&mut self, frame: PendingFrame) {
+        let mut idx = self.frames.len();
+        while idx > 0 && self.frames[idx - 1].priority > frame.priority {
+            idx -= 1;
+        }
+        self.frames.insert(idx, frame);
+    }
+}
+
+/// Bounded multi-producer frame queue, priority-ordered.
 #[derive(Debug)]
 pub(crate) struct FrameQueue {
     capacity: usize,
@@ -113,6 +155,16 @@ impl FrameQueue {
             .len()
     }
 
+    /// Scheduler snapshot; one lock acquisition.
+    pub(crate) fn view(&self) -> QueueView {
+        let inner = self.inner.lock().expect("frame queue poisoned");
+        QueueView {
+            len: inner.frames.len(),
+            earliest_dispatch_by: inner.frames.iter().map(|f| f.dispatch_by).min(),
+            closed: inner.closed,
+        }
+    }
+
     /// Non-blocking push; refuses (returning the frame) when full or closed.
     pub(crate) fn try_push(&self, frame: PendingFrame) -> Result<(), PushError> {
         let mut inner = self.inner.lock().expect("frame queue poisoned");
@@ -122,13 +174,13 @@ impl FrameQueue {
         if inner.frames.len() >= self.capacity {
             return Err(PushError::Full(frame));
         }
-        inner.frames.push_back(frame);
+        inner.insert(frame);
         drop(inner);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Blocking push: parks until the worker makes room (backpressure) or the
+    /// Blocking push: parks until a worker makes room (backpressure) or the
     /// queue closes (the frame is handed back as the error).
     pub(crate) fn push_blocking(&self, frame: PendingFrame) -> Result<(), PendingFrame> {
         let mut inner = self.inner.lock().expect("frame queue poisoned");
@@ -137,7 +189,7 @@ impl FrameQueue {
                 return Err(frame);
             }
             if inner.frames.len() < self.capacity {
-                inner.frames.push_back(frame);
+                inner.insert(frame);
                 drop(inner);
                 self.not_empty.notify_one();
                 return Ok(());
@@ -146,8 +198,9 @@ impl FrameQueue {
         }
     }
 
-    /// Blocking pop for the shard worker. Returns `None` only when the queue
-    /// is closed *and* drained — every accepted frame is handed out first.
+    /// Blocking pop. Returns `None` only when the queue is closed *and*
+    /// drained — every accepted frame is handed out first. Used by the
+    /// shutdown path to resolve frames a panicked worker left behind.
     pub(crate) fn pop_blocking(&self) -> Option<PendingFrame> {
         let mut inner = self.inner.lock().expect("frame queue poisoned");
         loop {
@@ -163,14 +216,30 @@ impl FrameQueue {
         }
     }
 
-    /// Non-blocking bulk pop of up to `max` additional frames, appended to
-    /// `out` — the coalescing step after a successful `pop_blocking`.
-    pub(crate) fn drain_into(&self, out: &mut Vec<PendingFrame>, max: usize) -> usize {
+    /// Non-blocking bulk drain of up to `max` frames into `out` — the
+    /// coalescing step after the scheduler claims this shard.
+    ///
+    /// When `snap` is set and the queue holds at least `group_width` frames,
+    /// the take is rounded *down* to a multiple of `group_width` (leaving
+    /// the remainder queued for the next dispatch), so micro-batched shards
+    /// feed the engine group-aligned batches that waste no frame-major
+    /// packing. A closed (draining) queue never snaps: completing accepted
+    /// frames beats alignment.
+    pub(crate) fn drain_batch(
+        &self,
+        out: &mut Vec<PendingFrame>,
+        max: usize,
+        group_width: usize,
+        snap: bool,
+    ) -> usize {
         if max == 0 {
             return 0;
         }
         let mut inner = self.inner.lock().expect("frame queue poisoned");
-        let take = max.min(inner.frames.len());
+        let mut take = max.min(inner.frames.len());
+        if snap && !inner.closed && group_width > 1 && take >= group_width {
+            take = (take / group_width) * group_width;
+        }
         out.extend(inner.frames.drain(..take));
         drop(inner);
         if take > 0 {
@@ -179,7 +248,7 @@ impl FrameQueue {
         take
     }
 
-    /// Refuses all future pushes; queued frames remain poppable. Idempotent.
+    /// Refuses all future pushes; queued frames remain drainable. Idempotent.
     pub(crate) fn close(&self) {
         self.inner.lock().expect("frame queue poisoned").closed = true;
         self.not_empty.notify_all();
@@ -192,9 +261,17 @@ mod tests {
     use super::*;
 
     fn frame() -> PendingFrame {
+        frame_with_priority(Priority::Normal)
+    }
+
+    fn frame_with_priority(priority: Priority) -> PendingFrame {
+        let now = Instant::now();
         PendingFrame {
             llrs: vec![1.0; 4],
             deadline: None,
+            priority,
+            arrival: now,
+            dispatch_by: now,
             slot: CompletionGuard::new(Arc::new(Slot::default())),
         }
     }
@@ -259,18 +336,86 @@ mod tests {
     }
 
     #[test]
-    fn drain_into_coalesces_without_blocking() {
+    fn drain_batch_coalesces_without_blocking() {
         let queue = FrameQueue::new(8);
         for _ in 0..5 {
             queue.try_push(frame()).unwrap();
         }
-        let first = queue.pop_blocking().unwrap();
-        let mut batch = vec![first];
-        assert_eq!(queue.drain_into(&mut batch, 3), 3);
+        let mut batch = Vec::new();
+        assert_eq!(queue.drain_batch(&mut batch, 4, 1, false), 4);
         assert_eq!(batch.len(), 4);
         assert_eq!(queue.len(), 1);
-        assert_eq!(queue.drain_into(&mut batch, 0), 0, "zero max is a no-op");
-        assert_eq!(queue.drain_into(&mut batch, 10), 1, "capped by contents");
+        assert_eq!(
+            queue.drain_batch(&mut batch, 0, 1, false),
+            0,
+            "zero max is a no-op"
+        );
+        assert_eq!(
+            queue.drain_batch(&mut batch, 10, 1, false),
+            1,
+            "capped by contents"
+        );
+    }
+
+    #[test]
+    fn drain_batch_snaps_to_the_group_width_until_the_queue_closes() {
+        let queue = FrameQueue::new(16);
+        for _ in 0..7 {
+            queue.try_push(frame()).unwrap();
+        }
+        let mut batch = Vec::new();
+        // 7 queued, width 3 → snapped take of 6, remainder left queued.
+        assert_eq!(queue.drain_batch(&mut batch, 16, 3, true), 6);
+        assert_eq!(queue.len(), 1);
+        // Below one group width nothing can snap: the tail still dispatches.
+        assert_eq!(queue.drain_batch(&mut batch, 16, 3, true), 1);
+        // A closed queue drains everything regardless of alignment.
+        for _ in 0..5 {
+            queue.try_push(frame()).unwrap();
+        }
+        queue.close();
+        assert_eq!(queue.drain_batch(&mut batch, 16, 3, true), 5);
+    }
+
+    #[test]
+    fn frames_queue_in_priority_order_fifo_within_class() {
+        let queue = FrameQueue::new(8);
+        let tagged = |p: Priority, tag: f64| {
+            let mut f = frame_with_priority(p);
+            f.llrs = vec![tag];
+            f
+        };
+        queue.try_push(tagged(Priority::Normal, 1.0)).unwrap();
+        queue.try_push(tagged(Priority::Low, 2.0)).unwrap();
+        queue.try_push(tagged(Priority::High, 3.0)).unwrap();
+        queue.try_push(tagged(Priority::Normal, 4.0)).unwrap();
+        queue.try_push(tagged(Priority::High, 5.0)).unwrap();
+        let mut batch = Vec::new();
+        queue.drain_batch(&mut batch, 8, 1, false);
+        let order: Vec<f64> = batch.iter().map(|f| f.llrs[0]).collect();
+        assert_eq!(order, vec![3.0, 5.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn view_reports_depth_earliest_release_and_closedness() {
+        let queue = FrameQueue::new(8);
+        let empty = queue.view();
+        assert_eq!(empty.len, 0);
+        assert!(empty.earliest_dispatch_by.is_none());
+        assert!(!empty.closed);
+
+        let now = Instant::now();
+        let mut early = frame();
+        early.dispatch_by = now;
+        let mut late = frame();
+        late.dispatch_by = now + std::time::Duration::from_secs(5);
+        queue.try_push(late).unwrap();
+        queue.try_push(early).unwrap();
+        let view = queue.view();
+        assert_eq!(view.len, 2);
+        assert_eq!(view.earliest_dispatch_by, Some(now));
+        queue.close();
+        assert!(queue.view().closed);
     }
 
     #[test]
@@ -283,22 +428,17 @@ mod tests {
         // resolves its waiter as Abandoned instead of hanging it.
         let slot = Arc::new(Slot::default());
         let handle = FrameHandle::new(code, Arc::clone(&slot));
-        drop(PendingFrame {
-            llrs: Vec::new(),
-            deadline: None,
-            slot: CompletionGuard::new(slot),
-        });
+        let mut dropped = frame();
+        dropped.slot = CompletionGuard::new(slot);
+        drop(dropped);
         assert_eq!(handle.wait(), DecodeOutcome::Abandoned);
 
         // The happy path: explicit completion disarms the drop guard.
         let slot = Arc::new(Slot::default());
         let handle = FrameHandle::new(code, Arc::clone(&slot));
-        let frame = PendingFrame {
-            llrs: Vec::new(),
-            deadline: None,
-            slot: CompletionGuard::new(slot),
-        };
-        frame.complete(DecodeOutcome::Expired);
+        let mut completed = frame();
+        completed.slot = CompletionGuard::new(slot);
+        completed.complete(DecodeOutcome::Expired);
         assert_eq!(handle.wait(), DecodeOutcome::Expired);
     }
 

@@ -1,42 +1,46 @@
-//! The sharded decode service.
+//! The policy-driven sharded decode service.
 //!
 //! A [`DecodeService`] owns one **shard** per registered mode — the software
 //! analogue of the paper's mode-ROM fabric, where one hardware array serves
 //! every WiMax/WiFi code by switching compiled control state. Each shard
-//! holds the mode's shared [`CompiledCode`], a bounded ingest
-//! [`FrameQueue`](crate::queue::FrameQueue) and one worker thread that
-//! coalesces queued frames into `decode_batch` calls, drawing its
-//! [`DecodeWorkspace`](ldpc_core::DecodeWorkspace)s from the decoder's
-//! workspace pool so steady-state serving builds no new decoder state.
+//! holds the mode's shared [`CompiledCode`], a bounded priority ingest
+//! [`FrameQueue`](crate::queue::FrameQueue), a [`ShardPolicy`] (SLO,
+//! priority class, micro-batch hold, load shedding) and a detached decoder
+//! clone. A pool of **dispatch workers** serves every shard: the scheduler
+//! picks, among the shards whose batch is full or whose micro-batch hold has
+//! released, the highest-priority one, and the claiming worker drains a
+//! group-width-snapped batch into one `decode_batch` call.
 //!
 //! Frames are routed by [`CodeId`] at submission, validated (known mode,
 //! exact LLR count), and accepted into the shard queue; the returned
 //! [`FrameHandle`] resolves to a [`DecodeOutcome`] — bit-identical to a
-//! direct `decode_batch` call, `Expired` if the frame's deadline passed
-//! before its shard worker reached it. [`DecodeService::shutdown`] closes
-//! every queue, lets the workers drain, and joins them: every accepted frame
-//! is completed, none silently dropped.
+//! direct `decode_batch` call, `Expired` if the frame's effective deadline
+//! passed before a worker reached it, `Shed` if admission control proved the
+//! deadline unmeetable first. [`DecodeService::shutdown`] closes every
+//! queue, lets the workers drain, and joins them: every accepted frame is
+//! completed, none silently dropped.
 //!
 //! # Threading
 //!
-//! Each shard owns exactly one coalescing worker thread; decode parallelism
-//! *inside* a batch comes from [`ServiceConfig::decode_threads`], which each
-//! shard routes onto the process-wide persistent decode pool
+//! The service spawns [`ServiceConfig::dispatch_workers`] dispatch threads
+//! (one per shard by default). A shard is decoded by at most one worker at a
+//! time (a claim flag serialises it), so outputs and per-shard counters
+//! behave exactly as under the old one-worker-per-shard scheme — but a hot
+//! mode no longer idles the workers of quiet modes. Decode parallelism
+//! *inside* a batch comes from [`ServiceConfig::decode_threads`], routed
+//! onto the process-wide persistent decode pool
 //! ([`ldpc_core::DecodePool`]) via `decode_batch_into_threads`. Because the
 //! pool is shared rather than partitioned per shard, cross-shard stealing is
-//! structural: when one mode's traffic runs hot while another mode sits
-//! idle, the idle mode reserves no threads — the hot shard's frame-group
-//! chunks are claimed by whichever pool workers are free, so the whole
-//! machine drains the busiest queue. A saturated pool never delays a shard
-//! either: the shard's own worker thread always decodes alongside the pool
+//! structural: an idle mode reserves no threads, and a saturated pool never
+//! delays a shard — the claiming worker always decodes alongside the pool
 //! and cancels any fan-out it outran, so `decode_threads > 1` is a
-//! speed-only knob — outputs stay bit-identical to `decode_threads = 1`.
+//! speed-only knob with bit-identical outputs.
 
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ldpc_channel::quantize::LlrQuantizer;
 use ldpc_codes::{CodeId, CompiledCode};
@@ -44,24 +48,34 @@ use ldpc_core::{CascadeConfig, CascadeDecoder, DecodeOutput, Decoder, LlrBatch};
 
 use crate::error::{ServeError, SubmitError};
 use crate::handle::{DecodeOutcome, FrameHandle, Slot};
+use crate::policy::{DecoderPolicy, Priority, ShardPolicy, SubmitOptions};
 use crate::queue::{CompletionGuard, FrameQueue, PendingFrame, PushError};
 use crate::stats::{ShardCounters, ShardStats};
 
-/// Tuning knobs of a [`DecodeService`], set through the builder.
+/// Tuning knobs of a [`DecodeService`], set through the builder and
+/// validated at [`DecodeServiceBuilder::build`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
-    /// Ingest-queue bound per shard; the backpressure limit. Minimum 1.
+    /// Ingest-queue bound per shard; the backpressure limit. Must be ≥ 1.
     pub queue_capacity: usize,
-    /// Most frames coalesced into one `decode_batch` call. Minimum 1.
+    /// Most frames coalesced into one `decode_batch` call. Must be ≥ 1.
+    /// Per shard, this is snapped *down* to a multiple of the mode's
+    /// preferred group width when possible (see
+    /// [`ShardStats::effective_max_batch`]), so coalesced batches waste no
+    /// frame-major packing.
     pub max_batch: usize,
     /// Worker threads *inside* one shard's `decode_batch` call (frame-level
     /// parallelism), drawn from the process-wide persistent decode pool —
     /// not spawned per shard, so idle modes cost nothing and a hot mode's
     /// chunks are stolen by whatever pool capacity is free (see the
-    /// module-level *Threading* notes). The default of 1 keeps each shard's
-    /// decoding on its own worker thread and scales across shards instead.
-    /// Outputs are bit-identical for every value. Minimum 1.
+    /// module-level *Threading* notes). The default of 1 keeps each batch on
+    /// its dispatch worker and scales across shards instead. Outputs are
+    /// bit-identical for every value. Must be ≥ 1.
     pub decode_threads: usize,
+    /// Dispatch worker threads serving all shards; `None` (the default)
+    /// spawns one per registered mode — the old one-worker-per-shard
+    /// parallelism, minus the idle threads. Must be ≥ 1 when set.
+    pub dispatch_workers: Option<usize>,
     /// When set, every submitted frame is gain-normalised and quantised into
     /// this quantiser's range at submission
     /// ([`LlrQuantizer::normalize_in_place`]) — the AGC stage that makes
@@ -69,11 +83,6 @@ pub struct ServiceConfig {
     /// formats raw channel LLRs would otherwise saturate flat. Leave `None`
     /// (the default) to pass raw LLRs through, e.g. for float decoders.
     pub ingest_quantizer: Option<LlrQuantizer>,
-    /// The cascade policy the shards run under, when the service was built
-    /// through [`DecodeService::cascade_builder`]. Purely descriptive for
-    /// services built around any other decoder (the decoder instance — not
-    /// this field — is what decodes), so those leave it `None`.
-    pub cascade: Option<CascadePolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -82,16 +91,41 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             max_batch: 32,
             decode_threads: 1,
+            dispatch_workers: None,
             ingest_quantizer: None,
-            cascade: None,
         }
     }
 }
 
+impl ServiceConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        let reject = |reason: &str| {
+            Err(ServeError::InvalidConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if self.queue_capacity == 0 {
+            return reject("queue_capacity must be at least 1");
+        }
+        if self.max_batch == 0 {
+            return reject("max_batch must be at least 1 (a zero batch can never dispatch)");
+        }
+        if self.decode_threads == 0 {
+            return reject("decode_threads must be at least 1");
+        }
+        if self.dispatch_workers == Some(0) {
+            return reject("dispatch_workers must be at least 1");
+        }
+        Ok(())
+    }
+}
+
 /// Per-stage iteration budgets of a serving-layer decoder cascade: the
-/// `ServiceConfig`-level form of [`ldpc_core::CascadeConfig`], reduced to the
-/// integer knobs a deployment tunes. Build a cascade service from one with
-/// [`DecodeService::cascade_builder`].
+/// deployment-level form of [`ldpc_core::CascadeConfig`], reduced to the
+/// integer knobs a deployment tunes. Implements
+/// [`DecoderPolicy`](crate::DecoderPolicy), so
+/// `DecodeService::builder(policy)` builds a cascade service — no
+/// special-cased constructor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CascadePolicy {
     /// Stage-1 fixed Min-Sum iteration budget (run without a convergence
@@ -135,17 +169,9 @@ impl CascadePolicy {
     }
 }
 
-impl ServiceConfig {
-    fn normalized(mut self) -> Self {
-        self.queue_capacity = self.queue_capacity.max(1);
-        self.max_batch = self.max_batch.max(1);
-        self.decode_threads = self.decode_threads.max(1);
-        self
-    }
-}
-
-/// Start gate for shard workers: closed while the service is paused, opened
-/// by `resume` (and unconditionally by shutdown, so draining never stalls).
+/// Start gate for dispatch workers: closed while the service is paused,
+/// opened by `resume` (and unconditionally by shutdown, so draining never
+/// stalls).
 #[derive(Debug, Default)]
 struct Gate {
     open: Mutex<bool>,
@@ -173,32 +199,151 @@ impl Gate {
     }
 }
 
-/// One mode's serving state: compiled schedule, ingest queue, counters and
-/// worker thread.
+/// The dispatch workers' shared rendezvous: per-shard claim flags plus the
+/// condvar producers kick after every push.
 #[derive(Debug)]
-struct Shard {
+struct Scheduler {
+    busy: Mutex<Vec<bool>>,
+    ready: Condvar,
+}
+
+/// One mode's serving state.
+#[derive(Debug)]
+struct ShardState<D> {
+    code: CodeId,
     compiled: Arc<CompiledCode>,
-    queue: Arc<FrameQueue>,
-    counters: Arc<ShardCounters>,
-    worker: Option<JoinHandle<()>>,
+    policy: ShardPolicy,
+    /// The decoder's preferred frame-group width for this mode.
+    group_width: usize,
+    /// [`ServiceConfig::max_batch`] snapped down to a `group_width`
+    /// multiple (when ≥ one group).
+    effective_batch: usize,
+    queue: FrameQueue,
+    counters: ShardCounters,
+    /// Detached clone: shares the template's workspace pools, keeps private
+    /// stage counters. The claim flag serialises access per shard.
+    decoder: D,
+}
+
+/// Everything the dispatch workers share with the service front end.
+#[derive(Debug)]
+struct ServiceCore<D> {
+    shards: Vec<ShardState<D>>,
+    sched: Scheduler,
+    gate: Gate,
+    config: ServiceConfig,
+    /// Service-wide dispatch sequence, stamping each shard's first batch so
+    /// priority ordering is observable (see
+    /// [`ShardStats::first_dispatch_order`]).
+    dispatch_clock: AtomicU64,
+    /// Kept for pool introspection: the shard decoders share this
+    /// template's workspace pool.
+    template: D,
+}
+
+impl<D> ServiceCore<D> {
+    /// Wakes every waiting dispatch worker. The empty lock section orders
+    /// the notify against a worker that has scanned but not yet parked: the
+    /// producer cannot pass the lock until the worker's `wait` releases it,
+    /// so the notification is never lost.
+    fn kick(&self) {
+        drop(self.sched.busy.lock().expect("scheduler poisoned"));
+        self.sched.ready.notify_all();
+    }
+
+    /// Claims the next shard to serve, blocking until one is ready: a shard
+    /// is **ready** when it is unclaimed, non-empty, and either holds a full
+    /// effective batch, or its earliest micro-batch hold has released, or
+    /// its queue is closed (draining). Among ready shards the highest
+    /// [`Priority`] wins, ties broken by earliest release then registration
+    /// order. Returns `None` only when every queue is closed and drained —
+    /// the workers' exit condition.
+    fn claim_next(&self) -> Option<usize> {
+        let mut busy = self.sched.busy.lock().expect("scheduler poisoned");
+        loop {
+            let now = Instant::now();
+            let mut best: Option<(Priority, Instant, usize)> = None;
+            let mut next_wake: Option<Instant> = None;
+            let mut all_done = true;
+            for (idx, shard) in self.shards.iter().enumerate() {
+                let view = shard.queue.view();
+                if !(view.closed && view.len == 0) {
+                    all_done = false;
+                }
+                if busy[idx] || view.len == 0 {
+                    continue;
+                }
+                let release = view.earliest_dispatch_by.unwrap_or(now);
+                if view.closed || view.len >= shard.effective_batch || release <= now {
+                    let key = (shard.policy.priority, release, idx);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                } else {
+                    next_wake = Some(next_wake.map_or(release, |w| w.min(release)));
+                }
+            }
+            if let Some((_, _, idx)) = best {
+                busy[idx] = true;
+                return Some(idx);
+            }
+            if all_done {
+                return None;
+            }
+            busy = match next_wake {
+                Some(wake) => {
+                    let timeout = wake.saturating_duration_since(Instant::now());
+                    self.sched
+                        .ready
+                        .wait_timeout(busy, timeout)
+                        .expect("scheduler poisoned")
+                        .0
+                }
+                None => self.sched.ready.wait(busy).expect("scheduler poisoned"),
+            };
+        }
+    }
+
+    fn release(&self, idx: usize) {
+        let mut busy = self.sched.busy.lock().expect("scheduler poisoned");
+        busy[idx] = false;
+        drop(busy);
+        self.sched.ready.notify_all();
+    }
+}
+
+/// Releases the claimed shard even if serving it panics, so the remaining
+/// workers can still drain its queue (the panicking worker's in-hand frames
+/// resolve as `Abandoned` through their completion guards).
+struct Claim<'a, D> {
+    core: &'a ServiceCore<D>,
+    idx: usize,
+}
+
+impl<D> Drop for Claim<'_, D> {
+    fn drop(&mut self) {
+        self.core.release(self.idx);
+    }
 }
 
 /// Builder for [`DecodeService`]; see [`DecodeService::builder`].
 #[derive(Debug)]
 pub struct DecodeServiceBuilder<D> {
     decoder: D,
+    label: String,
     config: ServiceConfig,
     start_paused: bool,
-    codes: Vec<Arc<CompiledCode>>,
+    codes: Vec<(Arc<CompiledCode>, ShardPolicy)>,
 }
 
 impl<D> DecodeServiceBuilder<D>
 where
     D: Decoder + Clone + Send + Sync + 'static,
 {
-    fn new(decoder: D) -> Self {
+    fn new(decoder: D, label: String) -> Self {
         DecodeServiceBuilder {
             decoder,
+            label,
             config: ServiceConfig::default(),
             start_paused: false,
             codes: Vec::new(),
@@ -212,7 +357,9 @@ where
         self
     }
 
-    /// Sets the most frames coalesced into one `decode_batch` call.
+    /// Sets the most frames coalesced into one `decode_batch` call (snapped
+    /// per shard to the mode's group width; see
+    /// [`ServiceConfig::max_batch`]).
     #[must_use]
     pub fn max_batch(mut self, max_batch: usize) -> Self {
         self.config.max_batch = max_batch;
@@ -225,6 +372,14 @@ where
     #[must_use]
     pub fn decode_threads(mut self, threads: usize) -> Self {
         self.config.decode_threads = threads;
+        self
+    }
+
+    /// Sets the dispatch-worker count serving all shards; the default is
+    /// one per registered mode (see [`ServiceConfig::dispatch_workers`]).
+    #[must_use]
+    pub fn dispatch_workers(mut self, workers: usize) -> Self {
+        self.config.dispatch_workers = Some(workers);
         self
     }
 
@@ -250,89 +405,144 @@ where
         self
     }
 
-    /// Registers a mode: builds and compiles its code, creating one shard.
+    /// Registers a mode under the greedy default policy
+    /// ([`ShardPolicy::greedy`]): builds and compiles its code, creating one
+    /// shard.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Code`] if the mode is unsupported and
     /// [`ServeError::DuplicateCode`] if it is already registered.
     pub fn register(self, id: CodeId) -> Result<Self, ServeError> {
-        let compiled = id.build()?.compile();
-        self.register_compiled(compiled)
+        self.register_with_policy(id, ShardPolicy::default())
     }
 
-    /// Registers a mode from an already-compiled code (no rebuild), creating
-    /// one shard.
+    /// Registers a mode under `policy` — SLO target, priority class,
+    /// micro-batch hold and shedding; see [`ShardPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// As [`register`](DecodeServiceBuilder::register).
+    pub fn register_with_policy(self, id: CodeId, policy: ShardPolicy) -> Result<Self, ServeError> {
+        let compiled = id.build()?.compile();
+        self.register_compiled_with_policy(compiled, policy)
+    }
+
+    /// Registers a mode from an already-compiled code (no rebuild) under the
+    /// greedy default policy, creating one shard.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::DuplicateCode`] if the mode is already
     /// registered.
-    pub fn register_compiled(mut self, compiled: CompiledCode) -> Result<Self, ServeError> {
-        let id = compiled.spec().id();
-        if self.codes.iter().any(|c| c.spec().id() == id) {
-            return Err(ServeError::DuplicateCode { code: id });
-        }
-        self.codes.push(Arc::new(compiled));
-        Ok(self)
+    pub fn register_compiled(self, compiled: CompiledCode) -> Result<Self, ServeError> {
+        self.register_compiled_with_policy(compiled, ShardPolicy::default())
     }
 
-    /// Spawns the shard workers and returns the running service.
+    /// Registers a mode from an already-compiled code under `policy`.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::NoCodes`] if no mode was registered.
+    /// As [`register_compiled`](DecodeServiceBuilder::register_compiled).
+    pub fn register_compiled_with_policy(
+        mut self,
+        compiled: CompiledCode,
+        policy: ShardPolicy,
+    ) -> Result<Self, ServeError> {
+        let id = compiled.spec().id();
+        if self.codes.iter().any(|(c, _)| c.spec().id() == id) {
+            return Err(ServeError::DuplicateCode { code: id });
+        }
+        self.codes.push((Arc::new(compiled), policy));
+        Ok(self)
+    }
+
+    /// Spawns the dispatch workers and returns the running service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NoCodes`] if no mode was registered and
+    /// [`ServeError::InvalidConfig`] for a zero `queue_capacity`,
+    /// `max_batch`, `decode_threads` or `dispatch_workers`.
     pub fn build(self) -> Result<DecodeService<D>, ServeError> {
+        self.config.validate()?;
         if self.codes.is_empty() {
             return Err(ServeError::NoCodes);
         }
-        let config = self.config.normalized();
-        let gate = Arc::new(Gate::new(!self.start_paused));
-        let mut shards = HashMap::with_capacity(self.codes.len());
+        let config = self.config;
+        let mut shards = Vec::with_capacity(self.codes.len());
+        let mut index = HashMap::with_capacity(self.codes.len());
         let mut order = Vec::with_capacity(self.codes.len());
-        for compiled in self.codes {
+        for (compiled, policy) in self.codes {
             let id = compiled.spec().id();
-            let queue = Arc::new(FrameQueue::new(config.queue_capacity));
-            let counters = Arc::new(ShardCounters::default());
-            let worker = {
-                // Detached: shards share the decoder's workspace pools but
-                // keep private stage counters, so per-shard cascade stats
-                // never aggregate across shards.
-                let decoder = self.decoder.detached_clone();
-                let compiled = Arc::clone(&compiled);
-                let queue = Arc::clone(&queue);
-                let counters = Arc::clone(&counters);
-                let gate = Arc::clone(&gate);
-                std::thread::Builder::new()
-                    .name(format!("ldpc-shard-{}", id.n))
-                    .spawn(move || {
-                        run_worker(&decoder, &compiled, &queue, &gate, &counters, config);
-                    })
-                    .expect("cannot spawn shard worker")
-            };
+            // Detached: shards share the decoder's workspace pools but keep
+            // private stage counters, so per-shard cascade stats never
+            // aggregate across shards.
+            let decoder = self.decoder.detached_clone();
+            let group_width = decoder.preferred_group_width(&compiled).max(1);
+            let mut effective_batch = config.max_batch;
+            if group_width > 1 && config.max_batch >= group_width {
+                effective_batch = (config.max_batch / group_width) * group_width;
+            }
+            if effective_batch != config.max_batch {
+                eprintln!(
+                    "ldpc-serve: max_batch {} for {id} snapped to {effective_batch} \
+                     (group width {group_width}); size batches in group-width \
+                     multiples to use the full ceiling",
+                    config.max_batch
+                );
+            }
+            let counters = ShardCounters::default();
+            if let Some(cost) = policy.expected_frame_cost {
+                let nanos = u64::try_from(cost.as_nanos()).unwrap_or(u64::MAX);
+                counters.est_frame_nanos.store(nanos, Ordering::Relaxed);
+            }
+            index.insert(id, shards.len());
             order.push(id);
-            shards.insert(
-                id,
-                Shard {
-                    compiled,
-                    queue,
-                    counters,
-                    worker: Some(worker),
-                },
-            );
+            shards.push(ShardState {
+                code: id,
+                compiled,
+                policy,
+                group_width,
+                effective_batch,
+                queue: FrameQueue::new(config.queue_capacity),
+                counters,
+                decoder,
+            });
         }
-        Ok(DecodeService {
+        let worker_count = config.dispatch_workers.unwrap_or(shards.len()).max(1);
+        let core = Arc::new(ServiceCore {
+            sched: Scheduler {
+                busy: Mutex::new(vec![false; shards.len()]),
+                ready: Condvar::new(),
+            },
             shards,
-            order,
-            gate,
+            gate: Gate::new(!self.start_paused),
             config,
-            decoder: self.decoder,
+            dispatch_clock: AtomicU64::new(0),
+            template: self.decoder,
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("ldpc-dispatch-{i}"))
+                    .spawn(move || run_dispatcher(&core))
+                    .expect("cannot spawn dispatch worker")
+            })
+            .collect();
+        Ok(DecodeService {
+            core,
+            index,
+            order,
+            workers,
+            label: self.label,
         })
     }
 }
 
-/// A multi-code decode service: one queue-fed, batch-coalescing worker shard
-/// per registered mode, routed by [`CodeId`].
+/// A multi-code decode service: per-mode policy-scheduled shards served by a
+/// pool of batch-coalescing dispatch workers, routed by [`CodeId`].
 ///
 /// ```
 /// use ldpc_codes::{CodeId, CodeRate, Standard};
@@ -345,7 +555,7 @@ where
 /// let service = DecodeService::builder(decoder).register(wimax)?.build()?;
 ///
 /// // A trivially clean frame: strong positive LLRs = all-zero codeword.
-/// let handle = service.submit(wimax, vec![8.0; wimax.n])?;
+/// let handle = service.submit(wimax, vec![8.0; wimax.n], ())?;
 /// let output = handle.wait().into_output().expect("decoded");
 /// assert!(output.parity_satisfied);
 ///
@@ -356,29 +566,21 @@ where
 /// ```
 #[derive(Debug)]
 pub struct DecodeService<D> {
-    shards: HashMap<CodeId, Shard>,
+    core: Arc<ServiceCore<D>>,
+    index: HashMap<CodeId, usize>,
     order: Vec<CodeId>,
-    gate: Arc<Gate>,
-    config: ServiceConfig,
-    /// Kept for pool introspection: clones handed to the workers share this
-    /// decoder's workspace pool.
-    decoder: D,
+    workers: Vec<JoinHandle<()>>,
+    label: String,
 }
 
 impl DecodeService<CascadeDecoder> {
-    /// Starts building a service whose shards run the SNR-adaptive decoder
-    /// cascade under `policy` (see [`CascadePolicy`] and
-    /// [`ldpc_core::cascade`]): each shard worker gets a detached clone of
-    /// one [`CascadeDecoder`] — shared workspace pools, private stage
-    /// counters — and the policy is recorded in [`ServiceConfig::cascade`].
-    /// Per-shard escalation counters surface in
-    /// [`ShardStats::cascade_escalations`] /
-    /// [`ShardStats::cascade_stage_frames`].
+    /// Starts building a cascade service.
+    #[deprecated(
+        note = "use DecodeService::builder(policy) — CascadePolicy implements DecoderPolicy"
+    )]
     #[must_use]
     pub fn cascade_builder(policy: CascadePolicy) -> DecodeServiceBuilder<CascadeDecoder> {
-        let mut builder = DecodeServiceBuilder::new(policy.decoder());
-        builder.config.cascade = Some(policy);
-        builder
+        DecodeService::builder(policy)
     }
 }
 
@@ -386,11 +588,16 @@ impl<D> DecodeService<D>
 where
     D: Decoder + Clone + Send + Sync + 'static,
 {
-    /// Starts building a service around `decoder` (cloned into every shard
-    /// worker; clones of the provided decoders share one workspace pool).
+    /// Starts building a service from a [`DecoderPolicy`] — the uniform
+    /// entry point for *what decodes*. Every provided decoder is its own
+    /// policy, so passing a decoder instance directly keeps working; passing
+    /// a [`CascadePolicy`] builds a cascade service the same way.
     #[must_use]
-    pub fn builder(decoder: D) -> DecodeServiceBuilder<D> {
-        DecodeServiceBuilder::new(decoder)
+    pub fn builder<P>(policy: P) -> DecodeServiceBuilder<D>
+    where
+        P: DecoderPolicy<Decoder = D>,
+    {
+        DecodeServiceBuilder::new(policy.build_decoder(), policy.label())
     }
 
     /// The registered modes, in registration order.
@@ -399,79 +606,100 @@ where
         &self.order
     }
 
-    /// The normalized service configuration.
+    /// The service configuration.
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {
-        &self.config
+        &self.core.config
+    }
+
+    /// Human-readable label of what decodes, from the
+    /// [`DecoderPolicy`] the service was built with (e.g.
+    /// `"layered/float-bp"`, `"cascade"`).
+    #[must_use]
+    pub fn decoder_label(&self) -> &str {
+        &self.label
+    }
+
+    /// The policy a mode's shard is serving under, if registered.
+    #[must_use]
+    pub fn shard_policy(&self, code: CodeId) -> Option<ShardPolicy> {
+        self.index.get(&code).map(|&i| self.core.shards[i].policy)
     }
 
     /// Opens the worker gate of a service built with `start_paused`. A no-op
     /// when already running.
     pub fn resume(&self) {
-        self.gate.open();
+        self.core.gate.open();
     }
 
-    /// Submits a frame without a deadline, parking the caller while the
-    /// shard's queue is full (blocking backpressure).
+    /// Submits a frame. `options` is anything [`Into<SubmitOptions>`]:
+    /// `()` for the blocking no-deadline default, an [`Instant`] for a
+    /// blocking deadline, a [`Priority`], or a full [`SubmitOptions`].
+    ///
+    /// Blocking submissions park the caller while the shard queue is full;
+    /// non-blocking ones refuse with [`SubmitError::QueueFull`], handing the
+    /// LLRs back. A frame whose effective deadline (explicit, or
+    /// `arrival + slo` on SLO shards) passes while queued completes as
+    /// [`DecodeOutcome::Expired`]; on shedding shards an unmeetable deadline
+    /// resolves it as [`DecodeOutcome::Shed`] without decoder time.
     ///
     /// # Errors
     ///
     /// [`SubmitError::UnknownCode`] / [`SubmitError::FrameLength`] on
-    /// validation failure, [`SubmitError::ShutDown`] once shutdown started.
-    pub fn submit(&self, code: CodeId, llrs: Vec<f64>) -> Result<FrameHandle, SubmitError> {
-        self.submit_inner(code, llrs, None, true)
+    /// validation failure, [`SubmitError::QueueFull`] on non-blocking
+    /// backpressure, [`SubmitError::ShutDown`] once shutdown started.
+    pub fn submit(
+        &self,
+        code: CodeId,
+        llrs: Vec<f64>,
+        options: impl Into<SubmitOptions>,
+    ) -> Result<FrameHandle, SubmitError> {
+        self.submit_inner(code, llrs, options.into())
     }
 
-    /// Submits a frame with a completion deadline, parking while full. A
-    /// frame still queued when `deadline` passes completes as
-    /// [`DecodeOutcome::Expired`] instead of occupying the decoder.
-    ///
-    /// # Errors
-    ///
-    /// As [`DecodeService::submit`].
+    /// Blocking submission with a completion deadline.
+    #[deprecated(note = "use submit(code, llrs, deadline) — an Instant converts into \
+                         SubmitOptions")]
     pub fn submit_with_deadline(
         &self,
         code: CodeId,
         llrs: Vec<f64>,
         deadline: Instant,
     ) -> Result<FrameHandle, SubmitError> {
-        self.submit_inner(code, llrs, Some(deadline), true)
+        self.submit(code, llrs, deadline)
     }
 
-    /// Non-blocking submission: refuses with [`SubmitError::QueueFull`]
-    /// (handing the LLRs back) when the shard queue is at capacity.
-    ///
-    /// # Errors
-    ///
-    /// As [`DecodeService::submit`], plus [`SubmitError::QueueFull`].
+    /// Non-blocking submission without a deadline.
+    #[deprecated(note = "use submit(code, llrs, SubmitOptions::new().non_blocking())")]
     pub fn try_submit(&self, code: CodeId, llrs: Vec<f64>) -> Result<FrameHandle, SubmitError> {
-        self.submit_inner(code, llrs, None, false)
+        self.submit(code, llrs, SubmitOptions::new().non_blocking())
     }
 
     /// Non-blocking submission with a completion deadline.
-    ///
-    /// # Errors
-    ///
-    /// As [`DecodeService::try_submit`].
+    #[deprecated(note = "use submit(code, llrs, SubmitOptions::new().deadline(d).non_blocking())")]
     pub fn try_submit_with_deadline(
         &self,
         code: CodeId,
         llrs: Vec<f64>,
         deadline: Instant,
     ) -> Result<FrameHandle, SubmitError> {
-        self.submit_inner(code, llrs, Some(deadline), false)
+        self.submit(
+            code,
+            llrs,
+            SubmitOptions::new().deadline(deadline).non_blocking(),
+        )
     }
 
     fn submit_inner(
         &self,
         code: CodeId,
         mut llrs: Vec<f64>,
-        deadline: Option<Instant>,
-        blocking: bool,
+        options: SubmitOptions,
     ) -> Result<FrameHandle, SubmitError> {
-        let Some(shard) = self.shards.get(&code) else {
+        let Some(&idx) = self.index.get(&code) else {
             return Err(SubmitError::UnknownCode { code });
         };
+        let shard = &self.core.shards[idx];
         let expected = shard.compiled.n();
         if llrs.len() != expected {
             return Err(SubmitError::FrameLength {
@@ -481,26 +709,62 @@ where
             });
         }
         // Quantized ingest (when configured): gain-normalise the frame into
-        // the fixed-point range at submission, so the shard workers — and the
-        // caller, should the frame be handed back — see the exact LLRs the
-        // decoder will consume.
-        if let Some(quantizer) = &self.config.ingest_quantizer {
+        // the fixed-point range at submission, so the dispatch workers — and
+        // the caller, should the frame be handed back — see the exact LLRs
+        // the decoder will consume.
+        if let Some(quantizer) = &self.core.config.ingest_quantizer {
             quantizer.normalize_in_place(&mut llrs);
         }
+        let arrival = Instant::now();
+        let deadline = options
+            .deadline
+            .or_else(|| shard.policy.slo.map(|slo| arrival + slo));
+        let est = Duration::from_nanos(shard.counters.est_frame_nanos.load(Ordering::Relaxed));
+
+        // Queue-depth admission control: shed up front when the work already
+        // queued ahead of this frame is projected to consume its entire
+        // deadline budget. Shed frames are accounted (accepted + shed) and
+        // their handles resolve immediately — never a silent drop.
+        if shard.policy.shed && !est.is_zero() {
+            if let Some(deadline) = deadline {
+                let queue_ahead = est.saturating_mul(shard.queue.len() as u32);
+                if !queue_ahead.is_zero() && arrival + queue_ahead > deadline {
+                    shard.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    shard.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    let slot = Arc::new(Slot::default());
+                    slot.complete(DecodeOutcome::Shed);
+                    return Ok(FrameHandle::new(code, slot));
+                }
+            }
+        }
+
+        // Micro-batch hold: the frame may wait for a fuller batch until the
+        // policy's hold ceiling — or until its deadline slack (less one
+        // estimated frame cost) runs out, whichever is sooner. Greedy shards
+        // hold nothing: dispatch_by = arrival reproduces the old behaviour.
+        let mut dispatch_by = arrival + shard.policy.hold_limit();
+        if let Some(deadline) = deadline {
+            let latest = deadline.checked_sub(est).unwrap_or(arrival).max(arrival);
+            dispatch_by = dispatch_by.min(latest);
+        }
+
         let slot = Arc::new(Slot::default());
         let frame = PendingFrame {
             llrs,
             deadline,
+            priority: options.priority,
+            arrival,
+            dispatch_by,
             slot: CompletionGuard::new(Arc::clone(&slot)),
         };
         // Count the acceptance *before* the push: once pushed, the frame is
-        // visible to the worker, and a completion must never be observable
+        // visible to the workers, and a completion must never be observable
         // ahead of its acceptance. Refusals roll the count back.
         shard.counters.accepted.fetch_add(1, Ordering::Relaxed);
-        let refused = |counters: &crate::stats::ShardCounters| {
+        let refused = |counters: &ShardCounters| {
             counters.accepted.fetch_sub(1, Ordering::Relaxed);
         };
-        if blocking {
+        if options.blocking {
             shard.queue.push_blocking(frame).map_err(|frame| {
                 refused(&shard.counters);
                 SubmitError::ShutDown { llrs: frame.llrs }
@@ -517,18 +781,22 @@ where
                 }
             })?;
         }
+        self.core.kick();
         Ok(FrameHandle::new(code, slot))
     }
 
     /// Snapshot of one shard's counters.
     #[must_use]
     pub fn shard_stats(&self, code: CodeId) -> Option<ShardStats> {
-        let shard = self.shards.get(&code)?;
-        Some(
-            shard
-                .counters
-                .snapshot(code, shard.queue.len(), self.pool_workspaces_created()),
-        )
+        let &idx = self.index.get(&code)?;
+        let shard = &self.core.shards[idx];
+        Some(shard.counters.snapshot(
+            code,
+            shard.queue.len(),
+            self.pool_workspaces_created(),
+            &shard.policy,
+            shard.effective_batch,
+        ))
     }
 
     /// Snapshots of every shard, in registration order.
@@ -544,7 +812,8 @@ where
     /// workspace pool; stable across snapshots once every shard is warm.
     #[must_use]
     pub fn pool_workspaces_created(&self) -> usize {
-        self.decoder
+        self.core
+            .template
             .workspace_pool()
             .map_or(0, |pool| pool.workspaces_created())
     }
@@ -555,16 +824,17 @@ where
     /// [`shutdown`](DecodeService::shutdown), usable on a shared reference to
     /// initiate a graceful drain while other threads still hold handles.
     pub fn close_intake(&self) {
-        for shard in self.shards.values() {
+        for shard in &self.core.shards {
             shard.queue.close();
         }
+        self.core.kick();
     }
 
     /// Drains and stops the service: closes every ingest queue (new
     /// submissions fail with [`SubmitError::ShutDown`]), opens the worker
-    /// gate, lets every worker decode or expire what was accepted, joins
-    /// them, and returns the final per-shard statistics. On return, every
-    /// accepted frame's handle is resolved.
+    /// gate, lets the workers decode, expire or shed what was accepted,
+    /// joins them, and returns the final per-shard statistics. On return,
+    /// every accepted frame's handle is resolved.
     pub fn shutdown(mut self) -> Vec<ShardStats> {
         self.finish();
         self.stats()
@@ -574,36 +844,44 @@ where
 impl<D> DecodeService<D> {
     // Bound-free so `Drop` (no `D` bounds) can share it with `shutdown`.
     fn finish(&mut self) {
-        for shard in self.shards.values() {
+        for shard in &self.core.shards {
             shard.queue.close();
         }
         // Open the gate *after* closing the queues so paused services drain
         // exactly the accepted set.
-        self.gate.open();
-        for (code, shard) in &mut self.shards {
-            let Some(worker) = shard.worker.take() else {
-                continue;
-            };
+        self.core.gate.open();
+        self.core.kick();
+        let mut panicked = 0usize;
+        for worker in self.workers.drain(..) {
             if worker.join().is_err() {
-                // A panicked worker already resolved its in-hand frames as
-                // `Abandoned` through the completion-on-drop guards while
-                // unwinding; resolve whatever it left on the queue the same
-                // way so no accepted frame dangles, and report instead of
-                // panicking (this also runs from Drop).
+                panicked += 1;
+            }
+        }
+        if panicked > 0 {
+            // Panicking workers resolved their in-hand frames as `Abandoned`
+            // through the completion-on-drop guards while unwinding, and
+            // released their shard claims; surviving workers drained what
+            // they could. Resolve anything still queued the same way so no
+            // accepted frame dangles, and report instead of panicking (this
+            // also runs from Drop).
+            for shard in &self.core.shards {
                 let mut abandoned = 0u64;
                 while let Some(frame) = shard.queue.pop_blocking() {
                     drop(frame);
                     abandoned += 1;
                 }
-                shard
-                    .counters
-                    .failed
-                    .fetch_add(abandoned, Ordering::Relaxed);
-                eprintln!(
-                    "ldpc-serve: shard worker for {code} panicked; \
-                     {abandoned} queued frames abandoned"
-                );
+                if abandoned > 0 {
+                    shard
+                        .counters
+                        .failed
+                        .fetch_add(abandoned, Ordering::Relaxed);
+                    eprintln!(
+                        "ldpc-serve: {abandoned} queued frames for {} abandoned",
+                        shard.code
+                    );
+                }
             }
+            eprintln!("ldpc-serve: {panicked} dispatch worker(s) panicked");
         }
     }
 }
@@ -616,81 +894,135 @@ impl<D> Drop for DecodeService<D> {
     }
 }
 
-/// One shard's serving loop: pop, coalesce, expire, decode, complete.
-fn run_worker<D>(
-    decoder: &D,
-    compiled: &CompiledCode,
-    queue: &FrameQueue,
-    gate: &Gate,
-    counters: &ShardCounters,
-    config: ServiceConfig,
-) where
+/// One dispatch worker's loop: wait for the gate, claim the best ready
+/// shard, serve it, release, repeat — until every queue is closed and
+/// drained.
+fn run_dispatcher<D>(core: &ServiceCore<D>)
+where
     D: Decoder + Sync,
 {
-    let n = compiled.n();
-    let mut pending: Vec<PendingFrame> = Vec::with_capacity(config.max_batch);
-    let mut live: Vec<PendingFrame> = Vec::with_capacity(config.max_batch);
-    let mut llr_buf: Vec<f64> = Vec::with_capacity(config.max_batch * n);
+    let mut pending: Vec<PendingFrame> = Vec::with_capacity(core.config.max_batch);
+    let mut live: Vec<PendingFrame> = Vec::with_capacity(core.config.max_batch);
+    let mut llr_buf: Vec<f64> = Vec::new();
     let mut outputs: Vec<DecodeOutput> = Vec::new();
     loop {
-        gate.wait_open();
-        let Some(first) = queue.pop_blocking() else {
+        core.gate.wait_open();
+        let Some(idx) = core.claim_next() else {
             // Closed and fully drained: every accepted frame was completed.
             break;
         };
-        pending.push(first);
-        queue.drain_into(&mut pending, config.max_batch - 1);
+        let claim = Claim { core, idx };
+        serve_shard(
+            core,
+            &core.shards[idx],
+            &mut pending,
+            &mut live,
+            &mut llr_buf,
+            &mut outputs,
+        );
+        drop(claim);
+    }
+}
 
-        // Expire overdue frames now instead of decoding them; the deadline
-        // check is per coalesced batch, at the moment the worker takes it.
-        let now = Instant::now();
-        llr_buf.clear();
-        live.clear();
-        for frame in pending.drain(..) {
-            if frame.deadline.is_some_and(|deadline| deadline <= now) {
-                counters.expired.fetch_add(1, Ordering::Relaxed);
+/// Serves one claimed shard: drain a group-width-snapped batch, expire and
+/// shed what cannot make its deadline, decode the rest in one
+/// `decode_batch` call, complete the handles and fold the observed cost
+/// into the shard's estimate.
+fn serve_shard<D>(
+    core: &ServiceCore<D>,
+    shard: &ShardState<D>,
+    pending: &mut Vec<PendingFrame>,
+    live: &mut Vec<PendingFrame>,
+    llr_buf: &mut Vec<f64>,
+    outputs: &mut Vec<DecodeOutput>,
+) where
+    D: Decoder + Sync,
+{
+    let n = shard.compiled.n();
+    pending.clear();
+    shard.queue.drain_batch(
+        pending,
+        shard.effective_batch,
+        shard.group_width,
+        shard.policy.micro_batching(),
+    );
+    if pending.is_empty() {
+        return;
+    }
+
+    // Per-batch deadline triage, at the moment the batch is taken: overdue
+    // frames expire; frames whose deadline cannot survive the batch's
+    // estimated decode time are shed (shedding shards only).
+    let now = Instant::now();
+    let est = Duration::from_nanos(shard.counters.est_frame_nanos.load(Ordering::Relaxed));
+    let batch_cost = est.saturating_mul(pending.len() as u32);
+    llr_buf.clear();
+    live.clear();
+    for frame in pending.drain(..) {
+        match frame.deadline {
+            Some(deadline) if deadline <= now => {
+                shard.counters.expired.fetch_add(1, Ordering::Relaxed);
                 frame.complete(DecodeOutcome::Expired);
-            } else {
+            }
+            Some(deadline)
+                if shard.policy.shed && !est.is_zero() && deadline < now + batch_cost =>
+            {
+                shard.counters.shed.fetch_add(1, Ordering::Relaxed);
+                frame.complete(DecodeOutcome::Shed);
+            }
+            _ => {
                 llr_buf.extend_from_slice(&frame.llrs);
                 live.push(frame);
             }
         }
-        if live.is_empty() {
-            continue;
-        }
+    }
+    if live.is_empty() {
+        return;
+    }
 
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters
-            .max_coalesced
-            .fetch_max(live.len() as u64, Ordering::Relaxed);
-        outputs.resize_with(live.len(), DecodeOutput::empty);
-        let batch = LlrBatch::new(&llr_buf, n).expect("coalesced buffer holds whole frames");
-        match decoder.decode_batch_into_threads(
-            compiled,
-            batch,
-            &mut outputs,
-            config.decode_threads,
-        ) {
-            Ok(()) => {
-                for (frame, out) in live.drain(..).zip(outputs.iter_mut()) {
-                    let out = std::mem::replace(out, DecodeOutput::empty());
-                    counters.decoded.fetch_add(1, Ordering::Relaxed);
-                    frame.complete(DecodeOutcome::Decoded(out));
-                }
-            }
-            Err(e) => {
-                for frame in live.drain(..) {
-                    counters.failed.fetch_add(1, Ordering::Relaxed);
-                    frame.complete(DecodeOutcome::Failed(e.clone()));
-                }
+    let seq = core.dispatch_clock.fetch_add(1, Ordering::Relaxed);
+    shard.counters.stamp_dispatch(seq);
+    shard.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shard
+        .counters
+        .max_coalesced
+        .fetch_max(live.len() as u64, Ordering::Relaxed);
+    outputs.resize_with(live.len(), DecodeOutput::empty);
+    let batch = LlrBatch::new(llr_buf, n).expect("coalesced buffer holds whole frames");
+    let started = Instant::now();
+    match shard.decoder.decode_batch_into_threads(
+        &shard.compiled,
+        batch,
+        outputs,
+        core.config.decode_threads,
+    ) {
+        Ok(()) => {
+            let done = Instant::now();
+            shard
+                .counters
+                .observe_batch_cost(done.saturating_duration_since(started), live.len());
+            for (frame, out) in live.drain(..).zip(outputs.iter_mut()) {
+                let out = std::mem::replace(out, DecodeOutput::empty());
+                shard.counters.decoded.fetch_add(1, Ordering::Relaxed);
+                shard
+                    .counters
+                    .latency
+                    .record(done.saturating_duration_since(frame.arrival));
+                frame.complete(DecodeOutcome::Decoded(out));
             }
         }
-        // Mirror stage-ladder counters (cascade decoders only) into the
-        // shard counters so snapshots taken between batches see the decoder's
-        // exact totals — the worker exclusively owns its detached clone.
-        if let Some(stats) = decoder.cascade_stats() {
-            counters.mirror_cascade(stats);
+        Err(e) => {
+            for frame in live.drain(..) {
+                shard.counters.failed.fetch_add(1, Ordering::Relaxed);
+                frame.complete(DecodeOutcome::Failed(e.clone()));
+            }
         }
+    }
+    // Mirror stage-ladder counters (cascade decoders only) into the shard
+    // counters so snapshots taken between batches see the decoder's exact
+    // totals — the claim flag gives this batch exclusive shard access.
+    if let Some(stats) = shard.decoder.cascade_stats() {
+        shard.counters.mirror_cascade(stats);
     }
 }
 
@@ -699,7 +1031,7 @@ mod tests {
     use super::*;
     use ldpc_codes::{CodeRate, Standard};
     use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
-    use ldpc_core::FloatBpArithmetic;
+    use ldpc_core::{FixedBpArithmetic, FloatBpArithmetic};
 
     fn wimax576() -> CodeId {
         CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
@@ -729,26 +1061,62 @@ mod tests {
     }
 
     #[test]
-    fn config_is_normalized_to_sane_minimums() {
+    fn zero_config_knobs_are_rejected_at_build() {
+        for (build, what) in [
+            (
+                DecodeService::builder(decoder()).queue_capacity(0),
+                "queue_capacity",
+            ),
+            (DecodeService::builder(decoder()).max_batch(0), "max_batch"),
+            (
+                DecodeService::builder(decoder()).decode_threads(0),
+                "decode_threads",
+            ),
+            (
+                DecodeService::builder(decoder()).dispatch_workers(0),
+                "dispatch_workers",
+            ),
+        ] {
+            let err = build.register(wimax576()).unwrap().build().unwrap_err();
+            match err {
+                ServeError::InvalidConfig { reason } => {
+                    assert!(reason.contains(what), "{what}: {reason}");
+                }
+                other => panic!("{what}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_max_batch_snaps_to_the_group_width() {
+        // Fixed-point back-ends prefer frame groups (width 6 at z = 24); a
+        // max_batch of 8 wastes the packing, so build snaps it down to 6.
+        let fixed = LayeredDecoder::new(
+            FixedBpArithmetic::forward_backward(),
+            DecoderConfig::default(),
+        )
+        .unwrap();
+        let service = DecodeService::builder(fixed)
+            .max_batch(8)
+            .register(wimax576())
+            .unwrap()
+            .build()
+            .unwrap();
+        let stats = service.shard_stats(wimax576()).unwrap();
+        assert_eq!(stats.effective_max_batch, 6);
+        assert_eq!(service.config().max_batch, 8, "the config echoes the ask");
+
+        // Float back-ends are frame-serial (width 1): nothing snaps.
         let service = DecodeService::builder(decoder())
-            .queue_capacity(0)
-            .max_batch(0)
-            .decode_threads(0)
+            .max_batch(8)
             .register(wimax576())
             .unwrap()
             .build()
             .unwrap();
         assert_eq!(
-            *service.config(),
-            ServiceConfig {
-                queue_capacity: 1,
-                max_batch: 1,
-                decode_threads: 1,
-                ingest_quantizer: None,
-                cascade: None,
-            }
+            service.shard_stats(wimax576()).unwrap().effective_max_batch,
+            8
         );
-        service.shutdown();
     }
 
     #[test]
@@ -760,11 +1128,11 @@ mod tests {
             .unwrap();
         let unknown = CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648);
         assert!(matches!(
-            service.submit(unknown, vec![1.0; 648]),
+            service.submit(unknown, vec![1.0; 648], ()),
             Err(SubmitError::UnknownCode { .. })
         ));
         assert!(matches!(
-            service.submit(wimax576(), vec![1.0; 100]),
+            service.submit(wimax576(), vec![1.0; 100], ()),
             Err(SubmitError::FrameLength {
                 expected: 576,
                 actual: 100,
@@ -784,7 +1152,7 @@ mod tests {
             .build()
             .unwrap();
         let handles: Vec<_> = (0..6)
-            .map(|_| service.submit(code, vec![7.5; code.n]).unwrap())
+            .map(|_| service.submit(code, vec![7.5; code.n], ()).unwrap())
             .collect();
         for handle in handles {
             assert_eq!(handle.code(), code);
@@ -799,6 +1167,9 @@ mod tests {
         assert_eq!(stats[0].in_flight(), 0);
         assert!(stats[0].batches >= 1);
         assert!(stats[0].pool_workspaces_created >= 1);
+        assert_eq!(stats[0].latency.count, 6, "decoded frames record latency");
+        assert!(stats[0].est_frame_nanos > 0, "cost estimate learned");
+        assert_eq!(stats[0].first_dispatch_order, Some(0));
     }
 
     #[test]
@@ -810,16 +1181,16 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let accepted = service.submit(code, vec![6.0; code.n]).unwrap();
+        let accepted = service.submit(code, vec![6.0; code.n], ()).unwrap();
         service.close_intake();
-        let err = service.submit(code, vec![6.0; code.n]).unwrap_err();
+        let err = service.submit(code, vec![6.0; code.n], ()).unwrap_err();
         let llrs = match err {
             SubmitError::ShutDown { llrs } => llrs,
             other => panic!("expected ShutDown, got {other:?}"),
         };
         assert_eq!(llrs.len(), code.n, "frame handed back intact");
         assert!(matches!(
-            service.try_submit(code, llrs),
+            service.submit(code, llrs, SubmitOptions::new().non_blocking()),
             Err(SubmitError::ShutDown { .. })
         ));
         service.resume();
@@ -838,9 +1209,9 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let handle = service.submit(code, vec![6.0; code.n]).unwrap();
+        let handle = service.submit(code, vec![6.0; code.n], ()).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(30));
-        assert!(!handle.is_complete(), "paused worker must not decode");
+        assert!(!handle.is_complete(), "paused workers must not decode");
         assert_eq!(service.shard_stats(code).unwrap().queue_depth, 1);
         service.resume();
         assert!(handle.wait().is_decoded());
@@ -857,9 +1228,12 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let h1 = service.try_submit(code, vec![6.0; code.n]).unwrap();
-        let h2 = service.try_submit(code, vec![6.0; code.n]).unwrap();
-        let err = service.try_submit(code, vec![6.0; code.n]).unwrap_err();
+        let try_opts = SubmitOptions::new().non_blocking();
+        let h1 = service.submit(code, vec![6.0; code.n], try_opts).unwrap();
+        let h2 = service.submit(code, vec![6.0; code.n], try_opts).unwrap();
+        let err = service
+            .submit(code, vec![6.0; code.n], try_opts)
+            .unwrap_err();
         let llrs = match err {
             SubmitError::QueueFull { llrs } => llrs,
             other => panic!("expected QueueFull, got {other:?}"),
@@ -884,7 +1258,7 @@ mod tests {
             .build()
             .unwrap();
         let handles: Vec<_> = (0..5)
-            .map(|_| service.submit(code, vec![6.5; code.n]).unwrap())
+            .map(|_| service.submit(code, vec![6.5; code.n], ()).unwrap())
             .collect();
         let stats = service.shutdown();
         assert_eq!(stats[0].decoded, 5, "drain decodes everything accepted");
@@ -902,7 +1276,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let handle = service.submit(code, vec![6.0; code.n]).unwrap();
+        let handle = service.submit(code, vec![6.0; code.n], ()).unwrap();
         drop(service);
         assert!(handle.wait().is_decoded(), "drop drains like shutdown");
     }
@@ -933,7 +1307,7 @@ mod tests {
             .collect();
         let handles: Vec<_> = llrs
             .chunks_exact(hot.n)
-            .map(|frame| service.submit(hot, frame.to_vec()).unwrap())
+            .map(|frame| service.submit(hot, frame.to_vec(), ()).unwrap())
             .collect();
         service.resume();
 
@@ -951,7 +1325,7 @@ mod tests {
     }
 
     #[test]
-    fn cascade_service_reports_per_shard_escalations() {
+    fn cascade_policy_builds_through_the_uniform_builder() {
         // One clean frame stays at stage 1; heavily corrupted frames under a
         // one-iteration stage-1 budget must escalate. The shard's mirrored
         // counters must show exactly the decoder's ladder traffic.
@@ -960,22 +1334,22 @@ mod tests {
             min_sum_iterations: 1,
             ..CascadePolicy::default()
         };
-        let service = DecodeService::cascade_builder(policy)
+        let service = DecodeService::builder(policy)
             .start_paused()
             .register(code)
             .unwrap()
             .build()
             .unwrap();
-        assert_eq!(service.config().cascade, Some(policy));
+        assert_eq!(service.decoder_label(), "cascade");
 
-        let clean = service.submit(code, vec![8.0; code.n]).unwrap();
+        let clean = service.submit(code, vec![8.0; code.n], ()).unwrap();
         let noisy: Vec<f64> = (0..code.n)
             .map(|i| {
                 let sign = if (i * 2654435761) % 21 < 5 { -1.0 } else { 1.0 };
                 sign * (0.8 + (i % 11) as f64 * 0.5)
             })
             .collect();
-        let hard = service.submit(code, noisy).unwrap();
+        let hard = service.submit(code, noisy, ()).unwrap();
         service.resume();
         assert!(clean.wait().is_decoded());
         assert!(hard.wait().is_decoded());
@@ -991,6 +1365,35 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_serve() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let future = Instant::now() + Duration::from_secs(3600);
+        let a = service
+            .submit_with_deadline(code, vec![6.0; code.n], future)
+            .unwrap();
+        let b = service.try_submit(code, vec![6.0; code.n]).unwrap();
+        let c = service
+            .try_submit_with_deadline(code, vec![6.0; code.n], future)
+            .unwrap();
+        assert!(a.wait().is_decoded());
+        assert!(b.wait().is_decoded());
+        assert!(c.wait().is_decoded());
+        let cascade = DecodeService::cascade_builder(CascadePolicy::default())
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(cascade.decoder_label(), "cascade");
+        cascade.shutdown();
+    }
+
+    #[test]
     fn expired_frames_skip_the_decoder() {
         let code = wimax576();
         let service = DecodeService::builder(decoder())
@@ -999,13 +1402,15 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let past = Instant::now() - std::time::Duration::from_millis(1);
-        let expired = service
-            .submit_with_deadline(code, vec![6.0; code.n], past)
-            .unwrap();
-        let future = Instant::now() + std::time::Duration::from_secs(3600);
+        let past = Instant::now() - Duration::from_millis(1);
+        let expired = service.submit(code, vec![6.0; code.n], past).unwrap();
+        let future = Instant::now() + Duration::from_secs(3600);
         let fresh = service
-            .try_submit_with_deadline(code, vec![6.0; code.n], future)
+            .submit(
+                code,
+                vec![6.0; code.n],
+                SubmitOptions::new().deadline(future).non_blocking(),
+            )
             .unwrap();
         service.resume();
         assert_eq!(expired.wait(), DecodeOutcome::Expired);
@@ -1013,5 +1418,170 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats[0].expired, 1);
         assert_eq!(stats[0].decoded, 1);
+    }
+
+    #[test]
+    fn micro_batch_timer_waits_for_a_full_batch_then_dispatches() {
+        // An SLO shard with a huge hold ceiling must sit on a lone frame —
+        // and dispatch the moment the batch fills, well before the timer.
+        let code = wimax576();
+        let policy = ShardPolicy::with_slo(Duration::from_secs(3600)).shed(false);
+        let service = DecodeService::builder(decoder())
+            .max_batch(2)
+            .register_with_policy(code, policy)
+            .unwrap()
+            .build()
+            .unwrap();
+        let first = service.submit(code, vec![6.0; code.n], ()).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(
+            !first.is_complete(),
+            "one queued frame of a two-frame batch must be held"
+        );
+        let second = service.submit(code, vec![6.0; code.n], ()).unwrap();
+        assert!(first.wait().is_decoded());
+        assert!(second.wait().is_decoded());
+        let stats = service.shutdown();
+        assert_eq!(stats[0].batches, 1, "size-triggered single dispatch");
+        assert_eq!(stats[0].max_coalesced, 2);
+    }
+
+    #[test]
+    fn micro_batch_timer_fires_on_deadline_slack_without_a_full_batch() {
+        // A lone frame on an SLO shard dispatches when the hold releases
+        // (slo/2), not at the deadline and not never.
+        let code = wimax576();
+        let policy = ShardPolicy::with_slo(Duration::from_millis(50)).shed(false);
+        let service = DecodeService::builder(decoder())
+            .max_batch(32)
+            .register_with_policy(code, policy)
+            .unwrap()
+            .build()
+            .unwrap();
+        let submitted = Instant::now();
+        let handle = service.submit(code, vec![6.0; code.n], ()).unwrap();
+        assert!(handle.wait().is_decoded());
+        let held = submitted.elapsed();
+        assert!(
+            held >= Duration::from_millis(20),
+            "dispatch must wait out the 25 ms hold, not fire greedily ({held:?})"
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats[0].decoded, 1);
+        assert_eq!(stats[0].batches, 1);
+    }
+
+    #[test]
+    fn high_priority_shard_dispatches_first_on_a_single_worker() {
+        let low_mode = wimax576();
+        let high_mode = CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648);
+        // Register the low-priority mode first so priority — not
+        // registration order — must explain the dispatch order.
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .dispatch_workers(1)
+            .register_with_policy(low_mode, ShardPolicy::default().priority(Priority::Low))
+            .unwrap()
+            .register_with_policy(high_mode, ShardPolicy::default().priority(Priority::High))
+            .unwrap()
+            .build()
+            .unwrap();
+        let low = service.submit(low_mode, vec![6.0; low_mode.n], ()).unwrap();
+        let high = service
+            .submit(high_mode, vec![6.0; high_mode.n], ())
+            .unwrap();
+        let stats = service.shutdown();
+        assert!(low.wait().is_decoded());
+        assert!(high.wait().is_decoded());
+        let order_of = |code: CodeId| {
+            stats
+                .iter()
+                .find(|s| s.code == code)
+                .and_then(|s| s.first_dispatch_order)
+                .expect("dispatched")
+        };
+        assert!(
+            order_of(high_mode) < order_of(low_mode),
+            "the high-priority shard must be served first: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn unmeetable_deadlines_are_shed_at_admission_and_dispatch() {
+        // Seeded 10 s/frame cost estimate, no SLO (so only explicit
+        // deadlines are judged). Frame 1 (6 s budget, empty queue) passes
+        // admission but is shed at dispatch (batch cost ≥ 20 s). Frame 2
+        // (5 s budget, one frame queued ahead = 10 s projected wait) is shed
+        // at admission, resolving immediately while the service is paused.
+        // Frame 3 has no deadline and must decode.
+        let code = wimax576();
+        let policy = ShardPolicy::default()
+            .shed(true)
+            .expected_frame_cost(Duration::from_secs(10));
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .register_with_policy(code, policy)
+            .unwrap()
+            .build()
+            .unwrap();
+        let f1 = service
+            .submit(
+                code,
+                vec![6.0; code.n],
+                Instant::now() + Duration::from_secs(6),
+            )
+            .unwrap();
+        let f2 = service
+            .submit(
+                code,
+                vec![6.0; code.n],
+                Instant::now() + Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(f2.wait(), DecodeOutcome::Shed, "admission-time shed");
+        let f3 = service.submit(code, vec![6.0; code.n], ()).unwrap();
+        assert_eq!(service.shard_stats(code).unwrap().shed, 1);
+        service.resume();
+        assert_eq!(f1.wait(), DecodeOutcome::Shed, "dispatch-time shed");
+        assert!(f3.wait().is_decoded(), "undeadlined frames never shed");
+        let stats = service.shutdown();
+        assert_eq!(stats[0].accepted, 3);
+        assert_eq!(stats[0].shed, 2);
+        assert_eq!(stats[0].decoded, 1);
+        assert_eq!(stats[0].in_flight(), 0, "shed frames are accounted");
+    }
+
+    #[test]
+    fn slo_scheduled_output_is_bit_identical_to_direct_decode_batch() {
+        let code = wimax576();
+        let policy = ShardPolicy::with_slo(Duration::from_secs(3600))
+            .shed(false)
+            .max_hold(Duration::from_millis(5));
+        let service = DecodeService::builder(decoder())
+            .max_batch(8)
+            .register_with_policy(code, policy)
+            .unwrap()
+            .build()
+            .unwrap();
+        let frames = 20;
+        let llrs: Vec<f64> = (0..frames * code.n)
+            .map(|i| if (i * 2654435761) % 97 < 7 { -1.4 } else { 3.1 })
+            .collect();
+        let handles: Vec<_> = llrs
+            .chunks_exact(code.n)
+            .map(|frame| service.submit(code, frame.to_vec(), ()).unwrap())
+            .collect();
+        let compiled = code.build().unwrap().compile();
+        let reference = decoder()
+            .decode_batch(&compiled, LlrBatch::new(&llrs, code.n).unwrap())
+            .unwrap();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let out = handle.wait().into_output().expect("decoded");
+            assert_eq!(out, reference[i], "frame {i}");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats[0].decoded, frames as u64);
+        assert_eq!(stats[0].shed, 0);
+        assert_eq!(stats[0].expired, 0);
     }
 }

@@ -1,28 +1,183 @@
-//! Per-shard serving counters and their public snapshot form.
+//! Per-shard serving counters, the latency histogram, and their public
+//! snapshot forms.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use ldpc_codes::CodeId;
 
-/// Live counters one shard's submit paths and worker update. Reads are
-/// relaxed snapshots — consistent enough for monitoring and for quiescent
-/// assertions (after `shutdown`, all counters are final).
+use crate::policy::{Priority, ShardPolicy};
+
+/// Log-bucketed latency histogram: power-of-two octaves split into
+/// `2^SUB_BITS` linear sub-buckets, so relative resolution is a constant
+/// ~`1/2^SUB_BITS` across the whole nanosecond-to-minutes range. Recording
+/// is one relaxed `fetch_add`; percentile extraction walks the cumulative
+/// counts and reports the matched bucket's upper bound (conservative:
+/// percentiles read slightly high, never low — the right bias for SLO
+/// gating).
+#[derive(Debug)]
+pub(crate) struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    max_nanos: AtomicU64,
+}
+
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+/// Enough buckets for every `u64` nanosecond value (index ≤ (64-3+1)·8).
+const BUCKETS: usize = ((64 - SUB_BITS as usize + 1) + 1) * SUB as usize;
+
+fn bucket_index(nanos: u64) -> usize {
+    if nanos < SUB {
+        return nanos as usize;
+    }
+    let msb = 63 - u64::from(nanos.leading_zeros());
+    let shift = msb - u64::from(SUB_BITS);
+    let sub = (nanos >> shift) - SUB;
+    ((shift + 1) * SUB + sub) as usize
+}
+
+/// Largest value mapping to `index` — what percentiles report.
+fn bucket_upper_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let shift = index / SUB - 1;
+    let sub = index % SUB;
+    let low = (SUB + sub) << shift;
+    low + ((1u64 << shift) - 1)
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub(crate) fn record(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> LatencyStats {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let max_nanos = self.max_nanos.load(Ordering::Relaxed);
+        let percentile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // 1-based rank of the order statistic the quantile asks for.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper_bound(i).min(max_nanos);
+                }
+            }
+            max_nanos
+        };
+        LatencyStats {
+            count,
+            p50_nanos: percentile(0.50),
+            p99_nanos: percentile(0.99),
+            p999_nanos: percentile(0.999),
+            max_nanos,
+        }
+    }
+}
+
+/// Completion-latency percentiles of one shard's decoded frames, measured
+/// from frame arrival (submission accept) to outcome completion.
+///
+/// Extracted from a log-bucketed histogram with ~12% relative resolution;
+/// each percentile reports its bucket's upper bound, so values read
+/// slightly high, never low. Only *decoded* frames record latency — shed,
+/// expired and failed frames are accounted in their own counters instead of
+/// polluting the distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct LatencyStats {
+    /// Decoded frames measured.
+    pub count: u64,
+    /// Median completion latency, in nanoseconds.
+    pub p50_nanos: u64,
+    /// 99th-percentile completion latency, in nanoseconds.
+    pub p99_nanos: u64,
+    /// 99.9th-percentile completion latency, in nanoseconds.
+    pub p999_nanos: u64,
+    /// Worst observed completion latency, in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl LatencyStats {
+    /// Median completion latency.
+    #[must_use]
+    pub fn p50(&self) -> Duration {
+        Duration::from_nanos(self.p50_nanos)
+    }
+
+    /// 99th-percentile completion latency.
+    #[must_use]
+    pub fn p99(&self) -> Duration {
+        Duration::from_nanos(self.p99_nanos)
+    }
+
+    /// 99.9th-percentile completion latency.
+    #[must_use]
+    pub fn p999(&self) -> Duration {
+        Duration::from_nanos(self.p999_nanos)
+    }
+
+    /// Worst observed completion latency.
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+}
+
+/// Live counters one shard's submit paths and dispatch workers update.
+/// Reads are relaxed snapshots — consistent enough for monitoring and for
+/// quiescent assertions (after `shutdown`, all counters are final).
 #[derive(Debug, Default)]
 pub(crate) struct ShardCounters {
-    /// Frames accepted into the ingest queue.
+    /// Frames accepted into the ingest queue (or shed at admission).
     pub accepted: AtomicU64,
-    /// `try_submit` refusals due to a full queue (backpressure events).
+    /// Non-blocking refusals due to a full queue (backpressure events).
     pub rejected_full: AtomicU64,
     /// Frames decoded and completed with an output.
     pub decoded: AtomicU64,
     /// Frames completed as expired (deadline passed before decoding).
     pub expired: AtomicU64,
+    /// Frames shed by admission control (deadline unmeetable; see
+    /// [`crate::DecodeOutcome::Shed`]).
+    pub shed: AtomicU64,
     /// Frames completed with a decode-engine error.
     pub failed: AtomicU64,
     /// Coalesced `decode_batch` calls issued.
     pub batches: AtomicU64,
     /// Largest number of frames coalesced into one batch.
     pub max_coalesced: AtomicU64,
+    /// EWMA of the observed per-frame decode cost, in nanoseconds; zero
+    /// until the first batch unless seeded from
+    /// [`ShardPolicy::expected_frame_cost`]. Drives shedding decisions.
+    pub est_frame_nanos: AtomicU64,
+    /// Service-wide dispatch sequence number of this shard's first decoded
+    /// batch, plus one (zero = never dispatched). Makes cross-shard dispatch
+    /// order — the observable effect of [`Priority`] — testable.
+    pub first_dispatch_seq: AtomicU64,
+    /// Completion-latency histogram of decoded frames.
+    pub latency: LatencyHistogram,
     /// Cascade escalation events (stage ≥ 2 entries), mirrored from the
     /// shard decoder's [`ldpc_core::CascadeStats`] after every batch; zero
     /// for non-cascade decoders.
@@ -38,16 +193,23 @@ impl ShardCounters {
         code: CodeId,
         queue_depth: usize,
         pool_workspaces_created: usize,
+        policy: &ShardPolicy,
+        effective_max_batch: usize,
     ) -> ShardStats {
+        let first_dispatch_seq = self.first_dispatch_seq.load(Ordering::Relaxed);
         ShardStats {
             code,
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
             decoded: self.decoded.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             max_coalesced: self.max_coalesced.load(Ordering::Relaxed),
+            est_frame_nanos: self.est_frame_nanos.load(Ordering::Relaxed),
+            first_dispatch_order: first_dispatch_seq.checked_sub(1),
+            latency: self.latency.snapshot(),
             cascade_escalations: self.cascade_escalations.load(Ordering::Relaxed),
             cascade_stage_frames: [
                 self.cascade_stage_frames[0].load(Ordering::Relaxed),
@@ -56,11 +218,41 @@ impl ShardCounters {
             ],
             queue_depth,
             pool_workspaces_created,
+            priority: policy.priority,
+            slo: policy.slo,
+            effective_max_batch,
         }
     }
 
+    /// Folds one observed batch into the per-frame cost EWMA
+    /// (`new = (3·old + observed) / 4`; the first observation seeds it).
+    pub(crate) fn observe_batch_cost(&self, elapsed: Duration, frames: usize) {
+        if frames == 0 {
+            return;
+        }
+        let per_frame = u64::try_from(elapsed.as_nanos() / frames as u128).unwrap_or(u64::MAX);
+        let old = self.est_frame_nanos.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            per_frame
+        } else {
+            (3 * (old / 4)).saturating_add(per_frame / 4).max(1)
+        };
+        self.est_frame_nanos.store(new, Ordering::Relaxed);
+    }
+
+    /// Stamps the shard's first dispatch with the service-wide sequence
+    /// number `seq` (0-based); later dispatches leave it untouched.
+    pub(crate) fn stamp_dispatch(&self, seq: u64) {
+        let _ = self.first_dispatch_seq.compare_exchange(
+            0,
+            seq + 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
     /// Mirrors a cascade decoder's live stage counters into the shard
-    /// counters (stores, not adds: each shard worker owns a detached decoder
+    /// counters (stores, not adds: each shard owns a detached decoder
     /// clone, so the decoder's totals *are* the shard's totals).
     pub(crate) fn mirror_cascade(&self, stats: ldpc_core::CascadeStats) {
         self.cascade_escalations
@@ -77,20 +269,38 @@ impl ShardCounters {
 pub struct ShardStats {
     /// The mode this shard serves.
     pub code: CodeId,
-    /// Frames accepted into the ingest queue.
+    /// Frames accepted (including frames admission control then shed —
+    /// a shed frame is accounted, never silently dropped).
     pub accepted: u64,
-    /// `try_submit` refusals due to a full queue (backpressure events).
+    /// Non-blocking submission refusals due to a full queue (backpressure
+    /// events).
     pub rejected_full: u64,
     /// Frames decoded and completed with an output.
     pub decoded: u64,
     /// Frames completed as expired (deadline passed before decoding).
     pub expired: u64,
+    /// Frames shed by admission control: their deadline was still ahead but
+    /// unmeetable given the shard's queue depth and observed decode cost,
+    /// so they resolved as [`crate::DecodeOutcome::Shed`] without decoder
+    /// time. Zero unless the shard's [`ShardPolicy::shed`] is enabled.
+    pub shed: u64,
     /// Frames completed with a decode-engine error.
     pub failed: u64,
-    /// Coalesced `decode_batch` calls the shard worker issued.
+    /// Coalesced `decode_batch` calls the shard's dispatches issued.
     pub batches: u64,
     /// Largest number of frames coalesced into one batch.
     pub max_coalesced: u64,
+    /// EWMA of the observed per-frame decode cost, in nanoseconds (zero
+    /// until the first batch unless seeded through
+    /// [`ShardPolicy::expected_frame_cost`]). This is the estimate the
+    /// dispatcher's shedding and micro-batch timing decisions use.
+    pub est_frame_nanos: u64,
+    /// Service-wide sequence number (0-based) of this shard's first decoded
+    /// batch; `None` if the shard never dispatched. Later-served shards
+    /// carry larger numbers — the observable form of [`Priority`] ordering.
+    pub first_dispatch_order: Option<u64>,
+    /// Completion-latency percentiles of decoded frames.
+    pub latency: LatencyStats,
     /// Cascade escalation events: frames this shard's decoder re-decoded at
     /// stage ≥ 2 of its ladder. Zero for non-cascade decoders. A rising
     /// escalation *rate* (escalations ÷ decoded) under fixed traffic is the
@@ -101,20 +311,28 @@ pub struct ShardStats {
     /// groups entered with; stages 2/3 count escalated survivors). All zero
     /// for non-cascade decoders.
     pub cascade_stage_frames: [u64; 3],
-    /// Frames queued but not yet pulled by the worker at snapshot time.
+    /// Frames queued but not yet claimed by a dispatch worker at snapshot
+    /// time.
     pub queue_depth: usize,
     /// Workspaces ever built by the decoder's workspace pool. The pool is
     /// shared by all shards of one service (shelves are keyed per mode), so
     /// this value is service-global; it being stable across snapshots is the
     /// observable form of "steady-state serving allocates no decoder state".
     pub pool_workspaces_created: usize,
+    /// The shard's dispatch priority class, echoed from its policy.
+    pub priority: Priority,
+    /// The shard's latency SLO, echoed from its policy.
+    pub slo: Option<Duration>,
+    /// The shard's batch ceiling after group-width snapping of
+    /// [`crate::ServiceConfig::max_batch`].
+    pub effective_max_batch: usize,
 }
 
 impl ShardStats {
-    /// Frames resolved so far (decoded + expired + failed).
+    /// Frames resolved so far (decoded + expired + shed + failed).
     #[must_use]
     pub fn completed(&self) -> u64 {
-        self.decoded + self.expired + self.failed
+        self.decoded + self.expired + self.shed + self.failed
     }
 
     /// Accepted frames not yet resolved. Saturating: the counters are
@@ -134,29 +352,46 @@ mod tests {
     #[test]
     fn snapshot_carries_all_counters() {
         let counters = ShardCounters::default();
-        counters.accepted.store(10, Ordering::Relaxed);
+        counters.accepted.store(12, Ordering::Relaxed);
         counters.decoded.store(6, Ordering::Relaxed);
         counters.expired.store(2, Ordering::Relaxed);
+        counters.shed.store(2, Ordering::Relaxed);
         counters.failed.store(1, Ordering::Relaxed);
         counters.rejected_full.store(3, Ordering::Relaxed);
         counters.batches.store(4, Ordering::Relaxed);
         counters.max_coalesced.store(5, Ordering::Relaxed);
+        counters.stamp_dispatch(7);
+        counters.stamp_dispatch(9); // later dispatches do not overwrite
         counters.mirror_cascade(ldpc_core::CascadeStats {
             stage_frames: [10, 7, 2],
             escalations: 9,
         });
         let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
-        let stats = counters.snapshot(code, 1, 2);
+        let policy = ShardPolicy::with_slo(Duration::from_millis(8)).priority(Priority::High);
+        let stats = counters.snapshot(code, 1, 2, &policy, 30);
         assert_eq!(stats.code, code);
-        assert_eq!(stats.completed(), 9);
+        assert_eq!(stats.completed(), 11);
         assert_eq!(stats.in_flight(), 1);
+        assert_eq!(stats.shed, 2);
         assert_eq!(stats.rejected_full, 3);
         assert_eq!(stats.batches, 4);
         assert_eq!(stats.max_coalesced, 5);
+        assert_eq!(stats.first_dispatch_order, Some(7));
         assert_eq!(stats.cascade_escalations, 9);
         assert_eq!(stats.cascade_stage_frames, [10, 7, 2]);
         assert_eq!(stats.queue_depth, 1);
         assert_eq!(stats.pool_workspaces_created, 2);
+        assert_eq!(stats.priority, Priority::High);
+        assert_eq!(stats.slo, Some(Duration::from_millis(8)));
+        assert_eq!(stats.effective_max_batch, 30);
+    }
+
+    #[test]
+    fn never_dispatched_shards_have_no_dispatch_order() {
+        let counters = ShardCounters::default();
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let stats = counters.snapshot(code, 0, 0, &ShardPolicy::default(), 32);
+        assert_eq!(stats.first_dispatch_order, None);
     }
 
     #[test]
@@ -169,8 +404,62 @@ mod tests {
             });
         }
         let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
-        let stats = counters.snapshot(code, 0, 0);
+        let stats = counters.snapshot(code, 0, 0, &ShardPolicy::default(), 32);
         assert_eq!(stats.cascade_stage_frames, [21, 10, 0]);
         assert_eq!(stats.cascade_escalations, 10);
+    }
+
+    #[test]
+    fn cost_ewma_seeds_then_smooths() {
+        let counters = ShardCounters::default();
+        counters.observe_batch_cost(Duration::from_micros(40), 4);
+        assert_eq!(counters.est_frame_nanos.load(Ordering::Relaxed), 10_000);
+        counters.observe_batch_cost(Duration::from_micros(80), 4);
+        let est = counters.est_frame_nanos.load(Ordering::Relaxed);
+        assert!(
+            est > 10_000 && est < 20_000,
+            "EWMA moves toward the new observation: {est}"
+        );
+        counters.observe_batch_cost(Duration::from_secs(1), 0); // no-op
+        assert_eq!(counters.est_frame_nanos.load(Ordering::Relaxed), est);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_bounded() {
+        let mut last = 0usize;
+        for nanos in [0u64, 1, 7, 8, 9, 100, 1_000, 1_000_000, u64::MAX] {
+            let idx = bucket_index(nanos);
+            assert!(idx >= last, "bucket index must be monotone in the value");
+            assert!(idx < BUCKETS);
+            assert!(
+                bucket_upper_bound(idx) >= nanos,
+                "upper bound must cover the value: {nanos}"
+            );
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_read_conservatively_high() {
+        let hist = LatencyHistogram::default();
+        for ms in 1..=100u64 {
+            hist.record(Duration::from_millis(ms));
+        }
+        let stats = hist.snapshot();
+        assert_eq!(stats.count, 100);
+        // Exact order statistics: p50 = 50 ms, p99 = 99 ms, p999/max = 100 ms.
+        // Bucketing may round up by one sub-bucket width (~12%), never down.
+        let ms = |nanos: u64| nanos as f64 / 1e6;
+        assert!((50.0..60.0).contains(&ms(stats.p50_nanos)), "{stats:?}");
+        assert!((99.0..115.0).contains(&ms(stats.p99_nanos)), "{stats:?}");
+        assert!(stats.p999_nanos <= stats.max_nanos);
+        assert_eq!(stats.max(), Duration::from_millis(100));
+        assert!(stats.p50() <= stats.p99() && stats.p99() <= stats.p999());
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeroes() {
+        let stats = LatencyHistogram::default().snapshot();
+        assert_eq!(stats, LatencyStats::default());
     }
 }

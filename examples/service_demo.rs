@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (id, llrs) = traffic.next_frame();
             // Blocking submission: a full shard queue parks us (backpressure)
             // instead of dropping the frame. The deadline bounds latency.
-            service.submit_with_deadline(id, llrs, Instant::now() + Duration::from_secs(5))
+            service.submit(id, llrs, Instant::now() + Duration::from_secs(5))
         })
         .collect::<Result<_, _>>()?;
 

@@ -124,7 +124,7 @@ fn cascade_service_is_bit_identical_to_direct_decode_batch() {
     ];
     let policy = CascadePolicy::default();
 
-    let mut builder = DecodeService::cascade_builder(policy);
+    let mut builder = DecodeService::builder(policy);
     for id in modes {
         builder = builder.register(id).unwrap();
     }
@@ -147,7 +147,7 @@ fn cascade_service_is_bit_identical_to_direct_decode_batch() {
         let mode_buf = per_mode_llrs.entry(id).or_default();
         order.push((id, mode_buf.len() / id.n));
         mode_buf.extend_from_slice(&llrs);
-        handles.push(service.submit(id, llrs).unwrap());
+        handles.push(service.submit(id, llrs, ()).unwrap());
     }
     let outcomes: Vec<DecodeOutcome> = handles.into_iter().map(FrameHandle::wait).collect();
     let stats = service.shutdown();

@@ -163,7 +163,7 @@ fn service_outputs_are_bit_identical_across_decode_threads() {
         let service = builder.build().unwrap();
         let handles: Vec<FrameHandle> = frames
             .iter()
-            .map(|(id, llrs)| service.submit(*id, llrs.clone()).unwrap())
+            .map(|(id, llrs)| service.submit(*id, llrs.clone(), ()).unwrap())
             .collect();
         let outputs: Vec<DecodeOutput> = handles
             .into_iter()

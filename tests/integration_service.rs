@@ -5,7 +5,7 @@
 //!
 //! * mixed-mode submissions, whatever their interleaving, produce outputs
 //!   **bit-identical** to per-mode sequential `decode_batch` calls;
-//! * the bounded ingest queue exerts real backpressure (`try_submit`
+//! * the bounded ingest queue exerts real backpressure (non-blocking
 //!   refusals hand the frame back);
 //! * per-frame deadlines expire queued frames instead of decoding them;
 //! * shutdown completes every accepted frame;
@@ -61,7 +61,7 @@ fn mixed_mode_service_results_are_bit_identical_to_sequential_decode_batch() {
         let mode_buf = per_mode_llrs.entry(id).or_default();
         order.push((id, mode_buf.len() / id.n));
         mode_buf.extend_from_slice(&llrs);
-        handles.push(service.submit(id, llrs).unwrap());
+        handles.push(service.submit(id, llrs, ()).unwrap());
     }
     let outcomes: Vec<DecodeOutcome> = handles.into_iter().map(FrameHandle::wait).collect();
     let stats = service.shutdown();
@@ -100,9 +100,15 @@ fn bounded_queue_rejects_when_full_and_recovers() {
     // frames are accepted and the next try_submit is refused.
     let mut handles = Vec::new();
     for _ in 0..3 {
-        handles.push(service.try_submit(code, vec![6.0; code.n]).unwrap());
+        handles.push(
+            service
+                .submit(code, vec![6.0; code.n], SubmitOptions::new().non_blocking())
+                .unwrap(),
+        );
     }
-    let err = service.try_submit(code, vec![6.0; code.n]).unwrap_err();
+    let err = service
+        .submit(code, vec![6.0; code.n], SubmitOptions::new().non_blocking())
+        .unwrap_err();
     let llrs = err.into_llrs().expect("QueueFull hands the frame back");
     assert_eq!(llrs.len(), code.n);
     let stats = service.shard_stats(code).unwrap();
@@ -115,7 +121,7 @@ fn bounded_queue_rejects_when_full_and_recovers() {
     for handle in handles {
         assert!(handle.wait().is_decoded());
     }
-    let retried = service.submit(code, llrs).unwrap();
+    let retried = service.submit(code, llrs, ()).unwrap();
     assert!(retried.wait().is_decoded());
     let stats = service.shutdown();
     assert_eq!(stats[0].decoded, 4);
@@ -134,10 +140,10 @@ fn blocking_submit_parks_instead_of_dropping() {
             .build()
             .unwrap(),
     );
-    let first = service.submit(code, vec![6.0; code.n]).unwrap();
+    let first = service.submit(code, vec![6.0; code.n], ()).unwrap();
     let blocked = {
         let service = std::sync::Arc::clone(&service);
-        std::thread::spawn(move || service.submit(code, vec![6.0; code.n]).unwrap().wait())
+        std::thread::spawn(move || service.submit(code, vec![6.0; code.n], ()).unwrap().wait())
     };
     std::thread::sleep(Duration::from_millis(30));
     assert!(!blocked.is_finished(), "second submit parks on the bound");
@@ -159,15 +165,9 @@ fn deadline_expiry_completes_without_decoding() {
     let past = Instant::now() - Duration::from_millis(1);
     let far = Instant::now() + Duration::from_secs(3600);
     let expired: Vec<FrameHandle> = (0..4)
-        .map(|_| {
-            service
-                .submit_with_deadline(code, vec![6.0; code.n], past)
-                .unwrap()
-        })
+        .map(|_| service.submit(code, vec![6.0; code.n], past).unwrap())
         .collect();
-    let fresh = service
-        .submit_with_deadline(code, vec![6.0; code.n], far)
-        .unwrap();
+    let fresh = service.submit(code, vec![6.0; code.n], far).unwrap();
     service.resume();
     for handle in expired {
         assert_eq!(handle.wait(), DecodeOutcome::Expired);
@@ -190,7 +190,7 @@ fn shutdown_completes_every_accepted_frame_across_modes() {
     let handles: Vec<FrameHandle> = (0..30)
         .map(|_| {
             let (id, llrs) = traffic.next_frame();
-            service.submit(id, llrs).unwrap()
+            service.submit(id, llrs, ()).unwrap()
         })
         .collect();
     // Shut down immediately — frames may still be queued; the drain must
@@ -217,7 +217,7 @@ fn steady_state_serving_builds_no_new_workspaces() {
         let handles: Vec<FrameHandle> = (0..frames)
             .map(|_| {
                 let (id, llrs) = traffic.next_frame();
-                service.submit(id, llrs).unwrap()
+                service.submit(id, llrs, ()).unwrap()
             })
             .collect();
         for handle in handles {
@@ -251,7 +251,7 @@ fn coalescing_happens_under_burst_load() {
         .build()
         .unwrap();
     let handles: Vec<FrameHandle> = (0..16)
-        .map(|_| service.submit(code, vec![6.0; code.n]).unwrap())
+        .map(|_| service.submit(code, vec![6.0; code.n], ()).unwrap())
         .collect();
     service.resume();
     for handle in handles {
@@ -332,7 +332,7 @@ fn quantized_ingest_recovers_high_snr_fixed_point_traffic() {
         .unwrap();
     let handles: Vec<FrameHandle> = raw_llrs
         .iter()
-        .map(|llrs| service.submit(mode, llrs.clone()).unwrap())
+        .map(|llrs| service.submit(mode, llrs.clone(), ()).unwrap())
         .collect();
     let outcomes: Vec<DecodeOutcome> = handles.into_iter().map(FrameHandle::wait).collect();
     let stats = service.shutdown();
