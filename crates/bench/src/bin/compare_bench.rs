@@ -68,6 +68,16 @@
 //!    Entries without an `slo_ms` (greedy shards) are not gated; a file
 //!    with *no* gated entries is itself a violation — an SLO gate that
 //!    checked nothing must not pass.
+//! 9. **Chaos gate** (`--require-chaos`, single-file mode): the file is the
+//!    verdict object from `soak --chaos --chaos-json` — the fault-tolerance
+//!    contract under injected faults. Every accepted frame must have
+//!    resolved (`resolved == submitted`), the quarantined set must match
+//!    the seeded plan exactly (`poisoned == expected_poisoned`), nothing
+//!    may be abandoned, unaffected outputs must stay bit-identical
+//!    (`mismatches == 0`), the decode pool must exit at full strength
+//!    (`pool_live == pool_workers`), and the supervisor must have actually
+//!    absorbed a crash (`worker_restarts >= 1` — a chaos gate that injected
+//!    nothing must not pass).
 //!
 //! Exits non-zero with a per-benchmark report on any violation. The parser
 //! handles exactly the shim's one-measurement-per-line format — this tool
@@ -159,6 +169,68 @@ fn check_latency(json: &str, margin: f64) -> Vec<String> {
     }
     if entries.is_empty() && violations.is_empty() {
         violations.push("no latency entries with an SLO found — wrong input file?".to_string());
+    }
+    violations
+}
+
+/// Check 9: the fault-tolerance contract from a `soak --chaos --chaos-json`
+/// verdict object.
+fn check_chaos(json: &str) -> Vec<String> {
+    let field = |key: &str| {
+        json.lines()
+            .find_map(|line| num_field(line, key))
+            .ok_or_else(|| format!("no \"{key}\" field found — wrong input file?"))
+    };
+    let mut violations = Vec::new();
+    let mut get = |key: &str| match field(key) {
+        Ok(v) => v,
+        Err(e) => {
+            violations.push(e);
+            f64::NAN
+        }
+    };
+    let submitted = get("submitted");
+    let resolved = get("resolved");
+    let poisoned = get("poisoned");
+    let expected_poisoned = get("expected_poisoned");
+    let abandoned = get("abandoned");
+    let worker_restarts = get("worker_restarts");
+    let pool_workers = get("pool_workers");
+    let pool_live = get("pool_live");
+    let mismatches = get("mismatches");
+    if !violations.is_empty() {
+        return violations;
+    }
+    if submitted < 1.0 {
+        violations.push("chaos run submitted no frames".to_string());
+    }
+    if resolved != submitted {
+        violations.push(format!(
+            "only {resolved} of {submitted} accepted frames resolved as Decoded/Poisoned"
+        ));
+    }
+    if poisoned != expected_poisoned {
+        violations.push(format!(
+            "quarantined {poisoned} frames but the seeded plan selected {expected_poisoned}"
+        ));
+    }
+    if abandoned != 0.0 {
+        violations.push(format!("{abandoned} accepted frames were abandoned"));
+    }
+    if mismatches != 0.0 {
+        violations.push(format!(
+            "{mismatches} unaffected outputs diverged from sequential decode_batch"
+        ));
+    }
+    if pool_live < pool_workers {
+        violations.push(format!(
+            "decode pool below strength at exit ({pool_live} of {pool_workers} live)"
+        ));
+    }
+    if worker_restarts < 1.0 {
+        violations.push(
+            "no supervised worker restart recorded — the chaos run injected nothing".to_string(),
+        );
     }
     violations
 }
@@ -361,6 +433,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut scaling_factor: Option<f64> = None;
     let mut cascade_speedup: Option<f64> = None;
     let mut latency_margin: Option<f64> = None;
+    let mut chaos_gate = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -397,6 +470,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             "--require-latency" => {
                 latency_margin = Some(flag_value(&mut it, 1.0));
             }
+            "--require-chaos" => {
+                chaos_gate = true;
+            }
             _ => files.push(arg.clone()),
         }
     }
@@ -411,6 +487,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                 && scaling_factor.is_none()
                 && cascade_speedup.is_none()
                 && latency_margin.is_none()
+                && !chaos_gate
             {
                 return Err(
                     "single-file mode needs a same-run check flag (two files for a baseline diff)"
@@ -424,6 +501,13 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                 let json = std::fs::read_to_string(single)
                     .map_err(|e| format!("cannot read {single}: {e}"))?;
                 violations.extend(check_latency(&json, margin));
+            }
+            // The chaos gate likewise reads a soak verdict dump, not a
+            // criterion shim dump.
+            if chaos_gate {
+                let json = std::fs::read_to_string(single)
+                    .map_err(|e| format!("cannot read {single}: {e}"))?;
+                violations.extend(check_chaos(&json));
             }
             let needs_benches = lane_margin.is_some()
                 || multiframe_margin.is_some()
@@ -469,6 +553,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             if latency_margin.is_some() {
                 return Err("--require-latency is a single-file check".to_string());
             }
+            if chaos_gate {
+                return Err("--require-chaos is a single-file check".to_string());
+            }
             let baseline = read_benches(baseline)?;
             let new = read_benches(new)?;
             if let Some(factor) = speedup_factor {
@@ -501,7 +588,8 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                          [--require-lane-not-slower [M]] [--require-multiframe-not-slower [M]] \
                          [--require-multiframe-speedup [F]] [--require-simd-not-slower [M]] \
                          [--require-simd-speedup [F]] [--require-scaling [F]] \
-                         [--require-cascade-speedup [F]] [--require-latency [M]]"
+                         [--require-cascade-speedup [F]] [--require-latency [M]] \
+                         [--require-chaos]"
                     .to_string(),
             )
         }

@@ -63,9 +63,30 @@
 //! escalation counters so a soak log shows how much of the stream stayed
 //! on the cheap Min-Sum path.
 //!
+//! `--burst` also swaps blocking submission for
+//! [`ldpc_serve::DecodeService::submit_with_retry`]: bursty producers meet
+//! backpressure as `QueueFull` refusals and must ride them out with the
+//! jittered-backoff retry loop instead of parking — retry exhaustion fails
+//! the soak.
+//!
+//! ## Chaos mode (`--chaos`, needs `--features fault-injection`)
+//!
+//! Installs a seeded `ldpc_serve::FaultPlan` (poison ~1/13 frames, stall
+//! ~1/97 dispatches for 2 ms, kill ~1/5 dispatch attempts) and then holds
+//! the service to the fault-tolerance contract: every accepted frame
+//! resolves as `Decoded` or `Poisoned` (nothing dangles, nothing is
+//! abandoned), the quarantined set is *exactly* the set the seeded plan
+//! selected, unaffected frames stay bit-identical to sequential
+//! `decode_batch`, the supervisor logged at least one worker restart, and
+//! the decode pool exits at full strength. `--chaos-json PATH` dumps the
+//! verdict for `compare_bench --require-chaos` — the CI chaos gate. Chaos
+//! mode forces greedy, deadline-free submission so the only non-`Decoded`
+//! outcomes are the injected ones.
+//!
 //! ```text
 //! soak [--duration-ms 2000] [--deadline-ms 1000] [--slo-ms N]
 //!      [--burst N] [--gap-ms N] [--latency-json PATH] [--allow-shed]
+//!      [--chaos] [--chaos-json PATH]
 //!      [--queue 64] [--max-batch 32] [--decode-threads 1] [--cascade]
 //!      [--ebn0 2.5] [--seed 1] [--min-fps 0] [--verify-frames 4096]
 //!      [--modes wimax:1/2:576,wifi:1/2:648,...]
@@ -79,9 +100,11 @@ use ldpc_channel::{BurstProfile, MixedTraffic};
 use ldpc_codes::CodeId;
 use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
 use ldpc_core::{DecodeOutput, Decoder, FloatBpArithmetic, LlrBatch};
+#[cfg(feature = "fault-injection")]
+use ldpc_serve::FaultPlan;
 use ldpc_serve::{
-    CascadePolicy, DecodeOutcome, DecodeService, DecoderPolicy, FrameHandle, ShardPolicy,
-    SubmitOptions,
+    CascadePolicy, DecodeOutcome, DecodeService, DecoderPolicy, FrameHandle, RetryPolicy,
+    ShardPolicy, SubmitOptions,
 };
 
 struct Args {
@@ -92,6 +115,8 @@ struct Args {
     gap: Duration,
     latency_json: Option<String>,
     allow_shed: bool,
+    chaos: bool,
+    chaos_json: Option<String>,
     queue_capacity: usize,
     max_batch: usize,
     decode_threads: usize,
@@ -113,6 +138,8 @@ impl Default for Args {
             gap: Duration::ZERO,
             latency_json: None,
             allow_shed: false,
+            chaos: false,
+            chaos_json: None,
             queue_capacity: 64,
             max_batch: 32,
             decode_threads: 1,
@@ -175,6 +202,12 @@ fn parse_args() -> Result<Args, String> {
             "--allow-shed" => {
                 args.allow_shed = true;
             }
+            "--chaos" => {
+                args.chaos = true;
+            }
+            "--chaos-json" => {
+                args.chaos_json = Some(value("--chaos-json")?);
+            }
             "--queue" => {
                 args.queue_capacity = value("--queue")?
                     .parse()
@@ -225,6 +258,12 @@ fn parse_args() -> Result<Args, String> {
     if args.modes.is_empty() {
         return Err("--modes needs at least one mode".to_string());
     }
+    if args.chaos_json.is_some() && !args.chaos {
+        return Err("--chaos-json requires --chaos".to_string());
+    }
+    if args.chaos && args.slo.is_some() {
+        return Err("--chaos forces greedy deadline-free submission; drop --slo-ms".to_string());
+    }
     Ok(args)
 }
 
@@ -235,13 +274,23 @@ fn main() -> ExitCode {
             eprintln!("soak: {e}");
             eprintln!(
                 "usage: soak [--duration-ms N] [--deadline-ms N] [--slo-ms N] [--burst N] \
-                 [--gap-ms N] [--latency-json PATH] [--allow-shed] [--queue N] [--max-batch N] \
+                 [--gap-ms N] [--latency-json PATH] [--allow-shed] [--chaos] [--chaos-json PATH] \
+                 [--queue N] [--max-batch N] \
                  [--decode-threads N] [--cascade] [--ebn0 F] [--seed N] [--min-fps F] \
                  [--verify-frames N] [--modes a,b,c]"
             );
             return ExitCode::from(2);
         }
     };
+
+    #[cfg(not(feature = "fault-injection"))]
+    if args.chaos {
+        eprintln!(
+            "soak: --chaos needs the fault-injection hooks; rebuild with \
+             `--features fault-injection`"
+        );
+        return ExitCode::from(2);
+    }
 
     if args.cascade {
         // The reference decoder for the bit-identity re-decode is a second
@@ -309,10 +358,34 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
         Some(slo) => ShardPolicy::with_slo(slo),
         None => ShardPolicy::greedy(),
     };
+    // The seeded chaos plan: knobs fixed, selection driven by --seed so the
+    // expected poisoned set below is computable before submission.
+    #[cfg(feature = "fault-injection")]
+    let chaos_plan = args.chaos.then(|| {
+        let mut plan = FaultPlan::seeded(args.seed);
+        plan.poison_every = Some(13);
+        plan.stall_every = Some(97);
+        plan.stall_for = Duration::from_millis(2);
+        plan.kill_dispatch_every = Some(5);
+        plan
+    });
     let mut builder = DecodeService::builder(policy)
         .queue_capacity(args.queue_capacity)
         .max_batch(args.max_batch)
         .decode_threads(args.decode_threads);
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = chaos_plan {
+        println!(
+            "soak: chaos plan (seed {}): poison ~1/{}, stall ~1/{} for {} ms, \
+             kill dispatch ~1/{}",
+            plan.seed,
+            plan.poison_every.unwrap_or(0),
+            plan.stall_every.unwrap_or(0),
+            plan.stall_for.as_millis(),
+            plan.kill_dispatch_every.unwrap_or(0)
+        );
+        builder = builder.fault_plan(plan);
+    }
     for &id in &args.modes {
         builder = match builder.register_with_policy(id, shard_policy) {
             Ok(builder) => builder,
@@ -350,16 +423,38 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
         if retained.len() < args.verify_frames {
             retained.push((id, llrs_buf.clone()));
         }
-        // In SLO mode the shard policy supplies the effective deadline;
-        // otherwise the harness stamps an explicit one per frame.
-        let options = match args.slo {
-            Some(_) => SubmitOptions::new(),
-            None => SubmitOptions::new().deadline(Instant::now() + args.deadline),
+        // Chaos mode submits deadline-free (stalled dispatches must not turn
+        // into expiries) and strictly blocking, so each accepted frame's
+        // ingest sequence number equals its submission index — the property
+        // the expected-poisoned-set computation below rests on. In SLO mode
+        // the shard policy supplies the effective deadline; otherwise the
+        // harness stamps an explicit one per frame.
+        let options = if args.chaos {
+            SubmitOptions::new()
+        } else {
+            match args.slo {
+                Some(_) => SubmitOptions::new(),
+                None => SubmitOptions::new().deadline(Instant::now() + args.deadline),
+            }
         };
-        match service.submit(id, std::mem::take(&mut llrs_buf), options) {
+        let submitted = if args.burst > 0 && !args.chaos {
+            // Bursty producers meet the queue bound as QueueFull refusals
+            // and ride them out with jittered backoff; generous attempts so
+            // only a wedged service exhausts the loop.
+            let retry = RetryPolicy {
+                max_attempts: 500,
+                base_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_millis(5),
+                ..RetryPolicy::default()
+            };
+            service.submit_with_retry(id, std::mem::take(&mut llrs_buf), options, retry)
+        } else {
+            service.submit(id, std::mem::take(&mut llrs_buf), options)
+        };
+        match submitted {
             Ok(handle) => handles.push(handle),
             Err(e) => {
-                eprintln!("soak: FAIL — blocking submission refused: {e}");
+                eprintln!("soak: FAIL — submission refused: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -378,6 +473,9 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
     let rejected: u64 = stats.iter().map(|s| s.rejected_full).sum();
     let accepted: u64 = stats.iter().map(|s| s.accepted).sum();
     let in_flight: u64 = stats.iter().map(|s| s.in_flight()).sum();
+    let quarantined: u64 = stats.iter().map(|s| s.quarantined).sum();
+    let abandoned: u64 = stats.iter().map(|s| s.abandoned).sum();
+    let worker_restarts: u64 = stats.iter().map(|s| s.worker_restarts).sum();
     let fps = decoded as f64 / stream_elapsed.as_secs_f64();
 
     for shard in &stats {
@@ -458,12 +556,32 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
         println!("soak: latency percentiles written to {path}");
     }
 
+    if args.chaos || quarantined > 0 || worker_restarts > 0 {
+        println!(
+            "soak: fault tolerance — {quarantined} quarantined, {worker_restarts} worker \
+             restart(s), {abandoned} abandoned"
+        );
+    }
+
+    let used_retry = args.burst > 0 && !args.chaos;
     let mut violations: Vec<String> = Vec::new();
     if accepted != submitted as u64 {
         violations.push(format!("accepted {accepted} != submitted {submitted}"));
     }
-    if rejected > 0 {
+    // Under the retry path a QueueFull refusal is backpressure working as
+    // designed (the frame lands on a later attempt and is counted by the
+    // accepted==submitted check above); everywhere else submission blocks,
+    // so any refusal is a dropped frame.
+    if rejected > 0 && !used_retry {
         violations.push(format!("{rejected} frames dropped by backpressure"));
+    }
+    if abandoned > 0 {
+        violations.push(format!("{abandoned} accepted frames were abandoned"));
+    }
+    if quarantined > 0 && !args.chaos {
+        violations.push(format!(
+            "{quarantined} frames quarantined without fault injection"
+        ));
     }
     if expired > 0 {
         violations.push(format!("{expired} frames expired at nominal load"));
@@ -539,6 +657,9 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
                 }
             }
             DecodeOutcome::Shed => {}
+            // Expected casualties of the chaos plan; their exact identity is
+            // asserted against the seeded predicate below.
+            DecodeOutcome::Poisoned if args.chaos => {}
             _ => mismatches += 1,
         }
     }
@@ -551,6 +672,76 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
         violations.push(format!(
             "{mismatches} service outputs differ from sequential decode_batch"
         ));
+    }
+
+    // Chaos verdict: the seeded plan says exactly which submission indices
+    // must have been quarantined (blocking submission makes ingest seq ==
+    // submission index); everything else must have decoded, the supervisor
+    // must have absorbed at least one injected dispatch kill, and the decode
+    // pool must exit at full strength.
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = chaos_plan {
+        let expected_poisoned: Vec<usize> =
+            (0..submitted).filter(|&i| plan.poisons(i as u64)).collect();
+        let actual_poisoned: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, DecodeOutcome::Poisoned))
+            .map(|(i, _)| i)
+            .collect();
+        let resolved = outcomes
+            .iter()
+            .filter(|o| matches!(o, DecodeOutcome::Decoded(_) | DecodeOutcome::Poisoned))
+            .count();
+        println!(
+            "soak: chaos — {resolved}/{submitted} frames resolved, {} poisoned \
+             (expected {}), {worker_restarts} worker restart(s)",
+            actual_poisoned.len(),
+            expected_poisoned.len()
+        );
+        if resolved != submitted {
+            violations.push(format!(
+                "chaos: only {resolved} of {submitted} frames resolved as Decoded/Poisoned"
+            ));
+        }
+        if actual_poisoned != expected_poisoned {
+            violations.push(format!(
+                "chaos: quarantined set diverges from the seeded plan \
+                 ({} actual vs {} expected)",
+                actual_poisoned.len(),
+                expected_poisoned.len()
+            ));
+        }
+        if worker_restarts == 0 {
+            violations.push(
+                "chaos: no supervised worker restart despite injected dispatch kills".to_string(),
+            );
+        }
+        let pool_live = pool.live_workers();
+        if pool_live < pool.workers() {
+            violations.push(format!(
+                "chaos: decode pool below strength at exit ({pool_live} of {} live)",
+                pool.workers()
+            ));
+        }
+        if let Some(path) = &args.chaos_json {
+            let line = format!(
+                "{{\"submitted\": {submitted}, \"resolved\": {resolved}, \
+                 \"poisoned\": {}, \"expected_poisoned\": {}, \"abandoned\": {abandoned}, \
+                 \"worker_restarts\": {worker_restarts}, \"pool_workers\": {}, \
+                 \"pool_live\": {pool_live}, \"pool_restarts\": {}, \
+                 \"mismatches\": {mismatches}}}\n",
+                actual_poisoned.len(),
+                expected_poisoned.len(),
+                pool.workers(),
+                pool.worker_restarts(),
+            );
+            if let Err(e) = std::fs::write(path, &line) {
+                eprintln!("soak: FAIL — cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("soak: chaos verdict written to {path}");
+        }
     }
 
     if violations.is_empty() {

@@ -43,7 +43,7 @@
 //! layer all work unchanged; per-stage frame counts and escalations are
 //! observable through [`CascadeDecoder::stats`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use ldpc_codes::CompiledCode;
@@ -172,8 +172,19 @@ pub struct CascadeDecoder {
     config: CascadeConfig,
     stage1: LayeredDecoder<FixedMinSumArithmetic>,
     stage2: LayeredDecoder<FixedBpArithmetic>,
+    /// Stage 2 with half the iteration budget, pre-built so the effort
+    /// ladder switches decoders without allocating. Decodes through the
+    /// caller's workspace exactly like [`CascadeDecoder::stage2`], so
+    /// engaging it changes no buffer shapes.
+    degraded_stage2: LayeredDecoder<FixedBpArithmetic>,
     stage3: Option<LayeredDecoder<FloatBpArithmetic>>,
     counters: Arc<CascadeCounters>,
+    /// Effort ladder level (see [`Decoder::set_effort_level`]): 0 = the
+    /// full configured ladder, 1 = skip stage 3, 2 = skip stage 3 *and*
+    /// halve stage 2's iteration budget. Shared by plain clones (one
+    /// serving shard degrades as a unit); fresh per
+    /// [`Decoder::detached_clone`].
+    effort: Arc<AtomicU8>,
 }
 
 impl CascadeDecoder {
@@ -193,6 +204,13 @@ impl CascadeDecoder {
             FixedBpArithmetic::forward_backward(),
             config.fixed_bp.clone(),
         )?;
+        let degraded_stage2 = LayeredDecoder::new(
+            FixedBpArithmetic::forward_backward(),
+            DecoderConfig {
+                max_iterations: (config.fixed_bp.max_iterations / 2).max(1),
+                ..config.fixed_bp.clone()
+            },
+        )?;
         let stage3 = config
             .float_bp
             .as_ref()
@@ -202,8 +220,10 @@ impl CascadeDecoder {
             config,
             stage1,
             stage2,
+            degraded_stage2,
             stage3,
             counters: Arc::new(CascadeCounters::default()),
+            effort: Arc::new(AtomicU8::new(0)),
         })
     }
 
@@ -276,18 +296,24 @@ impl CascadeDecoder {
             outs: stage_outs,
         } = scratch;
         let n = compiled.n();
+        let effort = self.effort.load(Ordering::Relaxed);
         self.pack_handoff(llrs, n, pending, stage_llrs);
         self.counters.count_stage(1, pending.len());
-        self.stage2.decode_group_into(
-            compiled,
-            stage_llrs,
-            ws,
-            &mut stage_outs[..pending.len()],
-        )?;
+        let stage2 = if effort >= 2 {
+            &self.degraded_stage2
+        } else {
+            &self.stage2
+        };
+        stage2.decode_group_into(compiled, stage_llrs, ws, &mut stage_outs[..pending.len()])?;
         for (slot, &f) in pending.iter().enumerate() {
             std::mem::swap(&mut outs[f as usize], &mut stage_outs[slot]);
         }
 
+        // Effort level ≥ 1 drops the float-BP rescue stage: the expensive
+        // tail is exactly what a pressured shard cannot afford.
+        if effort >= 1 {
+            return Ok(());
+        }
         let Some(stage3) = &self.stage3 else {
             return Ok(());
         };
@@ -358,8 +384,19 @@ impl Decoder for CascadeDecoder {
     fn detached_clone(&self) -> Self {
         CascadeDecoder {
             counters: Arc::new(CascadeCounters::default()),
+            effort: Arc::new(AtomicU8::new(0)),
             ..self.clone()
         }
+    }
+
+    fn set_effort_level(&self, level: u8) -> bool {
+        // Level 2 is the deepest real rung; anything above degrades the same.
+        self.effort.store(level.min(2), Ordering::Relaxed);
+        true
+    }
+
+    fn effort_level(&self) -> u8 {
+        self.effort.load(Ordering::Relaxed)
     }
 
     fn decode_into(
@@ -666,6 +703,62 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(fingerprint, ws.cascade_fingerprint());
+    }
+
+    #[test]
+    fn effort_ladder_skips_stage3_then_halves_stage2() {
+        let compiled = compiled();
+        let cascade = CascadeDecoder::new(CascadeConfig::with_budgets(1, 8, Some(2))).unwrap();
+        assert_eq!(cascade.effort_level(), 0);
+        assert!(cascade.set_effort_level(1));
+        assert_eq!(cascade.effort_level(), 1);
+        assert!(cascade.set_effort_level(200), "over-deep requests clamp");
+        assert_eq!(cascade.effort_level(), 2);
+
+        // At level 1 the float stage never runs: hopeless frames stop at
+        // stage 2.
+        cascade.set_effort_level(1);
+        let llrs = noisy_llrs(3, compiled.n(), 7);
+        let batch = LlrBatch::new(&llrs, compiled.n()).unwrap();
+        cascade.decode_batch(&compiled, batch).unwrap();
+        let stats = cascade.stats();
+        assert!(stats.stage_frames[1] > 0, "vector must escalate");
+        assert_eq!(stats.stage_frames[2], 0, "level 1 drops the float stage");
+
+        // At level 2 the escalated output matches a half-budget stage-2
+        // decoder run directly on the handoff LLRs.
+        cascade.set_effort_level(2);
+        let outs = cascade.decode_batch(&compiled, batch).unwrap();
+        let half_bp = LayeredDecoder::new(
+            FixedBpArithmetic::forward_backward(),
+            DecoderConfig {
+                max_iterations: 4,
+                ..cascade.cascade_config().fixed_bp.clone()
+            },
+        )
+        .unwrap();
+        let handoff: Vec<f64> = batch
+            .frame(0)
+            .iter()
+            .map(|&l| cascade.handoff_llr(l))
+            .collect();
+        let min_sum_out = cascade
+            .stage1()
+            .decode_compiled(&compiled, batch.frame(0))
+            .unwrap();
+        if !min_sum_out.parity_satisfied {
+            let expect = half_bp.decode_compiled(&compiled, &handoff).unwrap();
+            assert_eq!(outs[0], expect, "level 2 runs the half-budget stage 2");
+        }
+
+        // Restoring level 0 restores the full ladder.
+        cascade.set_effort_level(0);
+        assert_eq!(cascade.effort_level(), 0);
+        let detached = cascade.detached_clone();
+        cascade.set_effort_level(2);
+        assert_eq!(detached.effort_level(), 0, "detached clones degrade alone");
+        let plain = cascade.clone();
+        assert_eq!(plain.effort_level(), 2, "plain clones share the level");
     }
 
     #[test]

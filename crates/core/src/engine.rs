@@ -375,6 +375,26 @@ pub trait Decoder {
         None
     }
 
+    /// Requests a degraded effort level: 0 is full effort, each higher
+    /// level trades error-correction work for throughput (a cascade drops
+    /// its rescue stages, caps iteration budgets, …). Returns whether the
+    /// decoder honours effort levels at all — the default implementation
+    /// ignores the request and returns `false`, which is correct for
+    /// single-schedule decoders with no cheaper mode to fall back to.
+    ///
+    /// The serving layer's graceful-degradation ladder drives this under
+    /// queue pressure; decoders must treat any `u8` as valid by clamping to
+    /// their deepest real level.
+    fn set_effort_level(&self, _level: u8) -> bool {
+        false
+    }
+
+    /// The effort level currently in force (0 = full effort; always 0 for
+    /// decoders that don't honour [`set_effort_level`](Decoder::set_effort_level)).
+    fn effort_level(&self) -> u8 {
+        0
+    }
+
     /// A clone with *private counters* but shared workspace pools: what a
     /// serving shard wants, so per-shard statistics do not aggregate across
     /// shards. For decoders without counters this is a plain clone.

@@ -129,6 +129,12 @@ struct PoolShared {
     executed: AtomicU64,
     cancelled: AtomicU64,
     pinned: AtomicUsize,
+    /// Workers currently alive (incremented by each worker on entry,
+    /// decremented by [`RespawnGuard`] when one dies). Converges back to
+    /// [`DecodePool::workers`] after every worker death.
+    live: AtomicUsize,
+    /// Workers that died and were replaced over the process lifetime.
+    restarts: AtomicU64,
 }
 
 /// The process-wide persistent decode worker pool; see the module docs.
@@ -148,6 +154,8 @@ impl std::fmt::Debug for DecodePool {
             .field("workers", &self.workers)
             .field("pin_requested", &self.pin_requested)
             .field("pinned_workers", &self.pinned_workers())
+            .field("live_workers", &self.live_workers())
+            .field("worker_restarts", &self.worker_restarts())
             .field("tasks_executed", &self.tasks_executed())
             .field("tasks_cancelled", &self.tasks_cancelled())
             .finish()
@@ -233,14 +241,73 @@ fn pin_current_thread(_cpu: usize) -> bool {
     false
 }
 
+/// Spawns (or respawns) pool worker `index`. Factored out so the death
+/// guard can rebuild a worker with exactly the shape `global()` gave it.
+fn spawn_worker(shared: Arc<PoolShared>, index: usize, pin: bool, cores: usize) -> bool {
+    std::thread::Builder::new()
+        .name(format!("ldpc-decode-{index}"))
+        .spawn(move || worker_main(shared, index, pin, cores))
+        .is_ok()
+}
+
+/// Replaces a worker whose thread dies by a panic that escapes the per-task
+/// `catch_unwind` (e.g. a panic payload whose own `Drop` panics). Without
+/// this, any such death would shrink the pool for the process lifetime.
+/// Runs as a drop guard inside `worker_main` so it fires on *any* unwind out
+/// of the worker loop, whatever the panic site.
+struct RespawnGuard {
+    shared: Arc<PoolShared>,
+    index: usize,
+    pin: bool,
+    cores: usize,
+    pinned_core: bool,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        self.shared.live.fetch_sub(1, Ordering::SeqCst);
+        if self.pinned_core {
+            self.shared.pinned.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.shared.restarts.fetch_add(1, Ordering::SeqCst);
+        // A poisoned task queue means some thread died *holding* the pool
+        // lock — the pool is unusable and a replacement worker would panic
+        // on its first lock, respawning forever. Leave the pool shrunk.
+        if self.shared.queue.is_poisoned() {
+            eprintln!("ldpc-core: decode pool queue poisoned; not respawning worker");
+            return;
+        }
+        if !spawn_worker(Arc::clone(&self.shared), self.index, self.pin, self.cores) {
+            eprintln!(
+                "ldpc-core: cannot respawn decode pool worker {}; pool shrinks by one",
+                self.index
+            );
+        }
+    }
+}
+
 /// One pool worker: claim a task, run it (catching panics so one bad batch
-/// cannot take the pool down), count its latch down, repeat forever.
+/// cannot take the pool down), count its latch down, repeat forever. Should
+/// the thread die anyway (a panic that escapes the catch, e.g. from the
+/// panic payload's destructor), the [`RespawnGuard`] replaces it.
 fn worker_main(shared: Arc<PoolShared>, index: usize, pin: bool, cores: usize) {
+    shared.live.fetch_add(1, Ordering::SeqCst);
+    let mut guard = RespawnGuard {
+        shared: Arc::clone(&shared),
+        index,
+        pin,
+        cores,
+        pinned_core: false,
+    };
     if pin {
         // Workers take cores 1.. and wrap, leaving core 0 for the threads
         // that submit batches (which always decode alongside the pool).
         if pin_current_thread((index + 1) % cores.max(1)) {
             shared.pinned.fetch_add(1, Ordering::Relaxed);
+            guard.pinned_core = true;
         } else {
             static WARN_ONCE: std::sync::Once = std::sync::Once::new();
             WARN_ONCE.call_once(|| {
@@ -324,13 +391,14 @@ impl DecodePool {
                 executed: AtomicU64::new(0),
                 cancelled: AtomicU64::new(0),
                 pinned: AtomicUsize::new(0),
+                live: AtomicUsize::new(0),
+                restarts: AtomicU64::new(0),
             });
             for index in 0..workers {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("ldpc-decode-{index}"))
-                    .spawn(move || worker_main(shared, index, pin, cores))
-                    .expect("cannot spawn decode pool worker");
+                assert!(
+                    spawn_worker(Arc::clone(&shared), index, pin, cores),
+                    "cannot spawn decode pool worker"
+                );
             }
             DecodePool {
                 shared,
@@ -365,6 +433,24 @@ impl DecodePool {
     #[must_use]
     pub fn tasks_executed(&self) -> u64 {
         self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads currently alive. Each worker registers
+    /// itself on startup, so this can briefly trail [`workers`] right after
+    /// the pool (or a replacement worker) spawns; it converges back to
+    /// `workers()` after every worker death unless respawning itself failed.
+    ///
+    /// [`workers`]: DecodePool::workers
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+
+    /// Total workers that died (a panic escaped the per-task catch) and were
+    /// replaced over the process lifetime.
+    #[must_use]
+    pub fn worker_restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::SeqCst)
     }
 
     /// Total queued invocations cancelled un-run because the submitting
@@ -534,10 +620,73 @@ mod tests {
         assert!(cursor.load(Ordering::Relaxed) >= 1);
     }
 
+    /// Spins until `cond` holds, failing the test after 10 s.
+    fn wait_for(what: &str, cond: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !cond() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for: {what}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn a_dead_worker_is_respawned_at_full_pool_strength() {
+        // A panic payload whose own destructor panics escapes the worker's
+        // catch_unwind: the payload is dropped after the catch, when the
+        // thread is no longer panicking, so its panic starts a fresh unwind
+        // that kills the thread. This is the one in-tree way a worker dies —
+        // the regression this test pins is that the pool used to shrink by
+        // one for the rest of the process.
+        struct DropBomb;
+        impl Drop for DropBomb {
+            fn drop(&mut self) {
+                if !std::thread::panicking() {
+                    panic!("drop-bomb payload detonating outside the unwind");
+                }
+            }
+        }
+
+        let pool = DecodePool::global();
+        let workers = pool.workers();
+        wait_for("initial workers to register", || {
+            pool.live_workers() == workers
+        });
+        let restarts_before = pool.worker_restarts();
+
+        let caller = std::thread::current().id();
+        let rendezvous = Barrier::new(2);
+        let work = move || {
+            if std::thread::current().id() != caller {
+                rendezvous.wait();
+                std::panic::panic_any(DropBomb);
+            } else {
+                rendezvous.wait();
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_scoped(1, &work);
+        }));
+        assert!(outcome.is_err(), "the task panic still reaches the caller");
+
+        wait_for("the dead worker to be replaced", || {
+            pool.worker_restarts() > restarts_before && pool.live_workers() == workers
+        });
+        // The replacement worker serves work.
+        let cursor = AtomicUsize::new(0);
+        pool.run_scoped(2, &|| {
+            cursor.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(cursor.load(Ordering::Relaxed) >= 1);
+    }
+
     #[test]
     fn global_pool_reports_consistent_shape() {
         let pool = DecodePool::global();
         assert!(pool.workers() >= 1);
+        assert!(pool.live_workers() <= pool.workers());
         assert_eq!(pool.pin_requested(), pin_threads_requested());
         assert!(pool.pinned_workers() <= pool.workers());
         if !pool.pin_requested() {

@@ -1,0 +1,160 @@
+//! Deterministic chaos injection for the serving tier.
+//!
+//! A [`FaultPlan`] is a seeded description of *which* frames and dispatches
+//! misbehave: every predicate is a pure function of the plan and a sequence
+//! number (`splitmix64(seed ^ x) % every == 0`), so a harness that knows the
+//! seed can compute the exact set of frames a run will poison or stall
+//! before submitting them — and then assert the service quarantined exactly
+//! those and nothing else.
+//!
+//! The whole module (and the hooks the service compiles against it) sits
+//! behind the `fault-injection` cargo feature. With the feature off — the
+//! default, and what every non-chaos CI gate builds — none of this code
+//! exists and the dispatch path carries zero fault-check overhead.
+//!
+//! The injected faults:
+//!
+//! * **Poisoned frames** ([`poison_every`](FaultPlan::poison_every)): the
+//!   dispatch worker panics when a selected frame's batch decodes —
+//!   exercising quarantine bisection, which must isolate the frame as
+//!   [`DecodeOutcome::Poisoned`](crate::DecodeOutcome::Poisoned) while its
+//!   batch-mates decode bit-identically to a fault-free run.
+//! * **Decode stalls** ([`stall_every`](FaultPlan::stall_every)): the worker
+//!   sleeps [`stall_for`](FaultPlan::stall_for) before decoding a batch
+//!   holding a selected frame — exercising the watchdog's stall detection
+//!   and micro-batch timing under delay.
+//! * **Dispatch kills** ([`kill_dispatch_every`](FaultPlan::kill_dispatch_every)):
+//!   a selected dispatch attempt panics *before claiming any frames* —
+//!   exercising worker supervision: the supervisor must restart the loop
+//!   and the queued frames must still all resolve.
+
+use std::time::Duration;
+
+use crate::policy::splitmix64;
+
+/// A seeded, deterministic fault-injection plan for one service instance.
+///
+/// Installed through
+/// [`DecodeServiceBuilder::fault_plan`](crate::DecodeServiceBuilder::fault_plan)
+/// (only compiled under the `fault-injection` feature). The default plan
+/// injects nothing; enable individual faults by setting their `*_every`
+/// knobs — a value of `n` selects (on average) one in `n` sequence numbers,
+/// chosen by a seeded hash so the selection is uniform but reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed shared by all predicates; two runs with equal seeds and knobs
+    /// fault exactly the same frames.
+    pub seed: u64,
+    /// Panic the decode of roughly one in this many submitted frames
+    /// (by ingest sequence number). `None` poisons nothing.
+    pub poison_every: Option<u64>,
+    /// Stall (sleep) the dispatch of roughly one in this many submitted
+    /// frames before decoding. `None` stalls nothing.
+    pub stall_every: Option<u64>,
+    /// How long a stalled dispatch sleeps.
+    pub stall_for: Duration,
+    /// Panic roughly one in this many dispatch attempts before any frame is
+    /// claimed (a clean worker crash). `None` kills nothing.
+    pub kill_dispatch_every: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    /// The inert plan: nothing faults until a knob is set.
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            poison_every: None,
+            stall_every: None,
+            stall_for: Duration::from_millis(5),
+            kill_dispatch_every: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An inert plan carrying `seed` — knobs are then set field-wise.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn selects(&self, every: Option<u64>, domain: u64, x: u64) -> bool {
+        match every {
+            // Domain tag decorrelates the three predicates: a frame that
+            // poisons under a seed should not automatically also stall.
+            Some(every) => {
+                splitmix64(self.seed ^ domain.wrapping_mul(0x9e37) ^ x).is_multiple_of(every)
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the frame with ingest sequence number `seq` is poisoned
+    /// (its batch's decode panics until quarantine isolates it).
+    #[must_use]
+    pub fn poisons(&self, seq: u64) -> bool {
+        self.selects(self.poison_every, 1, seq)
+    }
+
+    /// Whether the frame with ingest sequence number `seq` stalls its
+    /// dispatch for [`stall_for`](FaultPlan::stall_for) before decoding.
+    #[must_use]
+    pub fn stalls(&self, seq: u64) -> bool {
+        self.selects(self.stall_every, 2, seq)
+    }
+
+    /// Whether dispatch attempt number `attempt` panics before claiming
+    /// frames (a clean worker crash the supervisor must absorb).
+    #[must_use]
+    pub fn kills_dispatch(&self, attempt: u64) -> bool {
+        self.selects(self.kill_dispatch_every, 3, attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::seeded(42);
+        for seq in 0..1000 {
+            assert!(!plan.poisons(seq) && !plan.stalls(seq) && !plan.kills_dispatch(seq));
+        }
+    }
+
+    #[test]
+    fn predicates_are_deterministic_and_seed_dependent() {
+        let plan = FaultPlan {
+            poison_every: Some(10),
+            ..FaultPlan::seeded(7)
+        };
+        let hits: Vec<u64> = (0..200).filter(|&s| plan.poisons(s)).collect();
+        let again: Vec<u64> = (0..200).filter(|&s| plan.poisons(s)).collect();
+        assert_eq!(hits, again, "same plan, same selection");
+        assert!(!hits.is_empty(), "1-in-10 over 200 draws must hit");
+        assert!(hits.len() < 60, "...but not wildly more than expected");
+
+        let reseeded = FaultPlan { seed: 8, ..plan };
+        let other: Vec<u64> = (0..200).filter(|&s| reseeded.poisons(s)).collect();
+        assert_ne!(hits, other, "different seed, different selection");
+    }
+
+    #[test]
+    fn predicates_are_mutually_decorrelated() {
+        let plan = FaultPlan {
+            poison_every: Some(5),
+            stall_every: Some(5),
+            kill_dispatch_every: Some(5),
+            ..FaultPlan::seeded(3)
+        };
+        let poisons: Vec<u64> = (0..500).filter(|&s| plan.poisons(s)).collect();
+        let stalls: Vec<u64> = (0..500).filter(|&s| plan.stalls(s)).collect();
+        let kills: Vec<u64> = (0..500).filter(|&s| plan.kills_dispatch(s)).collect();
+        assert_ne!(poisons, stalls);
+        assert_ne!(stalls, kills);
+    }
+}

@@ -37,8 +37,15 @@ pub enum DecodeOutcome {
     /// The serving pipeline dropped the frame without resolving it — only
     /// possible if a shard worker panicked mid-batch. The completion-on-drop
     /// guard turns that crash into this outcome instead of a handle that
-    /// hangs forever.
+    /// hangs forever, and the drop is accounted in
+    /// [`ShardStats::abandoned`](crate::ShardStats::abandoned).
     Abandoned,
+    /// The frame made its batch's decode panic: quarantine bisection retried
+    /// the crashed batch in halves until this frame was isolated as the
+    /// offender, the innocent frames decoded normally, and this one was
+    /// resolved here instead of crashing the batch again. Counted in
+    /// [`ShardStats::quarantined`](crate::ShardStats::quarantined).
+    Poisoned,
 }
 
 impl DecodeOutcome {
@@ -74,14 +81,19 @@ impl Slot {
         self.done.notify_all();
     }
 
-    /// Resolves the frame only if it is still pending (no-op otherwise).
-    /// Used by the completion-on-drop guard, which must tolerate racing the
-    /// explicit completion path.
-    pub(crate) fn try_complete(&self, outcome: DecodeOutcome) {
+    /// Resolves the frame only if it is still pending (no-op otherwise),
+    /// reporting whether this call resolved it. Used by the
+    /// completion-on-drop guard, which must tolerate racing the explicit
+    /// completion path — and which only accounts the drop when it really
+    /// was the resolving side.
+    pub(crate) fn try_complete(&self, outcome: DecodeOutcome) -> bool {
         let mut state = self.state.lock().expect("completion slot poisoned");
         if state.is_none() {
             *state = Some(outcome);
             self.done.notify_all();
+            true
+        } else {
+            false
         }
     }
 }

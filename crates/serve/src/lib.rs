@@ -19,7 +19,8 @@
 //!                           │     (workspaces from the shared WorkspacePool)  │
 //!                           └─────────────────────────────────────────────────┘
 //!                                          │
-//!  FrameHandle::wait() ◀─── DecodeOutcome ─┘  (Decoded / Expired / Shed / Failed)
+//!  FrameHandle::wait() ◀─── DecodeOutcome ─┘  (Decoded / Expired / Shed / Failed /
+//!                                              Poisoned / Abandoned)
 //! ```
 //!
 //! * **Sharding** — one shard per registered [`ldpc_codes::CodeId`]: an
@@ -50,6 +51,14 @@
 //! * **Drain guarantee** — [`DecodeService::shutdown`] (and plain drop)
 //!   closes intake, lets workers finish every accepted frame, and joins
 //!   them: a successful submission always resolves.
+//! * **Fault tolerance** — dispatch workers run under a supervisor that
+//!   restarts them after a panic; a batch whose decode panics is
+//!   bisect-retried until the offending frame is isolated as
+//!   [`DecodeOutcome::Poisoned`] while its batch-mates decode normally;
+//!   [`DecodeService::health`] reports per-shard progress (queue depth,
+//!   oldest-frame age, stall detection) plus the decode pool's worker
+//!   census; and a [`DegradationPolicy`] trades cascade effort for
+//!   throughput under pressure before any frame is shed.
 //! * **Zero steady-state decoder allocation** — workers draw their
 //!   workspaces from the decoder's shared
 //!   [`ldpc_core::WorkspacePool`]; once every shard is warm,
@@ -63,6 +72,8 @@
 #![warn(missing_docs)]
 
 mod error;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod handle;
 mod policy;
 mod queue;
@@ -70,7 +81,11 @@ mod service;
 mod stats;
 
 pub use error::{ServeError, SubmitError};
+#[cfg(feature = "fault-injection")]
+pub use fault::FaultPlan;
 pub use handle::{DecodeOutcome, FrameHandle};
-pub use policy::{DecoderPolicy, Priority, ShardPolicy, SubmitOptions};
+pub use policy::{
+    DecoderPolicy, DegradationPolicy, Priority, RetryPolicy, ShardPolicy, SubmitOptions,
+};
 pub use service::{CascadePolicy, DecodeService, DecodeServiceBuilder, ServiceConfig};
-pub use stats::{LatencyStats, ShardStats};
+pub use stats::{LatencyStats, ServiceHealth, ShardHealth, ShardStats};

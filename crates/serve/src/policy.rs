@@ -78,6 +78,12 @@ pub struct ShardPolicy {
     /// it to make shedding decisions deterministic from the first frame
     /// (tests, or deployments with known mode costs).
     pub expected_frame_cost: Option<Duration>,
+    /// Graceful-degradation ladder: under sustained queue pressure the
+    /// dispatcher first cheapens the shard decoder's cascade effort
+    /// (level by level, up to [`DegradationPolicy::max_level`]) and only
+    /// sheds frames once the ladder is exhausted. `None` (the default)
+    /// keeps the PR-8 behaviour: shed as soon as a deadline is unmeetable.
+    pub degradation: Option<DegradationPolicy>,
 }
 
 impl ShardPolicy {
@@ -130,6 +136,14 @@ impl ShardPolicy {
         self
     }
 
+    /// Enables the graceful-degradation ladder; see
+    /// [`ShardPolicy::degradation`].
+    #[must_use]
+    pub fn degradation(mut self, degradation: DegradationPolicy) -> Self {
+        self.degradation = Some(degradation);
+        self
+    }
+
     /// The effective micro-batch hold ceiling.
     pub(crate) fn hold_limit(&self) -> Duration {
         self.max_hold.unwrap_or_else(|| {
@@ -144,6 +158,103 @@ impl ShardPolicy {
     pub(crate) fn micro_batching(&self) -> bool {
         !self.hold_limit().is_zero()
     }
+}
+
+/// Graceful-degradation ladder: trade coding effort for throughput *before*
+/// dropping frames.
+///
+/// The dispatcher watches the shard's queue fill (depth ÷ capacity, in
+/// percent) at every dispatch. At or above
+/// [`high_watermark_pct`](DegradationPolicy::high_watermark_pct) it steps
+/// the shard's degradation level up (cheapening the decoder's cascade via
+/// [`Decoder::set_effort_level`]); at or below
+/// [`low_watermark_pct`](DegradationPolicy::low_watermark_pct) it steps back
+/// down toward full effort. While the ladder still has rungs left
+/// (level < [`max_level`](DegradationPolicy::max_level)), admission-control
+/// shedding is suppressed — a degraded decode beats a dropped frame; only a
+/// fully degraded shard falls back to shedding.
+///
+/// The watermarks are integer percents (hysteresis gap between them prevents
+/// level flapping). For the built-in cascade decoder the rungs are:
+/// level 1 drops the float-BP rescue stage, level 2 additionally halves the
+/// fixed-BP stage's iteration budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Queue fill (percent of capacity) at which the level steps up.
+    pub high_watermark_pct: u8,
+    /// Queue fill (percent of capacity) at or below which the level steps
+    /// back down. Must be below the high watermark for hysteresis.
+    pub low_watermark_pct: u8,
+    /// Deepest degradation level the dispatcher may request. The built-in
+    /// cascade understands levels 1 and 2; higher values are clamped by the
+    /// decoder itself.
+    pub max_level: u8,
+}
+
+impl Default for DegradationPolicy {
+    /// Step down effort at 60% queue fill, recover below 20%, two rungs.
+    fn default() -> Self {
+        DegradationPolicy {
+            high_watermark_pct: 60,
+            low_watermark_pct: 20,
+            max_level: 2,
+        }
+    }
+}
+
+/// Backoff schedule for
+/// [`DecodeService::submit_with_retry`](crate::DecodeService::submit_with_retry):
+/// bounded, jittered exponential backoff around transient
+/// [`SubmitError::QueueFull`](crate::SubmitError::QueueFull) refusals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts (the first try counts; 1 = no retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter (each sleep is scaled into
+    /// [50%, 100%] of its nominal value so colliding submitters spread out).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Eight attempts, 200 µs initial backoff, 20 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(20),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `attempt` (0-based), already
+    /// exponentiated and capped. Deterministic in (`seed`, `attempt`).
+    pub(crate) fn backoff(&self, attempt: u32) -> Duration {
+        let nominal = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_backoff);
+        // Scale into [50%, 100%] using splitmix64 as the jitter source.
+        let jitter = splitmix64(self.seed ^ u64::from(attempt));
+        nominal / 2 + nominal.mul_f64(0.5 * (jitter as f64 / u64::MAX as f64))
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mix. The serving layer
+/// uses it wherever it needs deterministic pseudo-randomness without a
+/// stateful RNG — retry jitter here, fault-plan frame selection in the chaos
+/// harness (`splitmix64(seed ^ seq)` gives every sequence number an
+/// independent uniform draw).
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Per-frame submission options for
@@ -361,6 +472,40 @@ mod tests {
         let full = SubmitOptions::new().deadline(t).non_blocking();
         assert!(!full.blocking);
         assert_eq!(full.deadline, Some(t));
+    }
+
+    #[test]
+    fn degradation_policy_defaults_keep_hysteresis() {
+        let d = DegradationPolicy::default();
+        assert!(d.low_watermark_pct < d.high_watermark_pct);
+        assert!(d.max_level >= 1);
+        let p = ShardPolicy::with_slo(Duration::from_millis(10)).degradation(d);
+        assert_eq!(p.degradation, Some(d));
+        assert_eq!(ShardPolicy::default().degradation, None);
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_capped_and_deterministic() {
+        let policy = RetryPolicy::default();
+        let first = policy.backoff(0);
+        // Jitter keeps every sleep within [50%, 100%] of nominal.
+        assert!(first >= policy.base_backoff / 2 && first <= policy.base_backoff);
+        assert!(policy.backoff(3) > policy.backoff(0) / 2 * 4);
+        assert!(policy.backoff(40) <= policy.max_backoff, "capped");
+        assert_eq!(policy.backoff(2), policy.backoff(2), "deterministic");
+        let reseeded = RetryPolicy {
+            seed: 1234,
+            ..policy
+        };
+        assert_ne!(reseeded.backoff(2), policy.backoff(2), "seed moves jitter");
+    }
+
+    #[test]
+    fn splitmix_spreads_consecutive_inputs() {
+        let a = splitmix64(0);
+        let b = splitmix64(1);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xffff, b & 0xffff, "low bits differ too");
     }
 
     #[test]

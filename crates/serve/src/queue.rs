@@ -19,29 +19,41 @@
 //! accepted frame before [`FrameQueue::pop_blocking`] returns `None`.
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::handle::{DecodeOutcome, Slot};
 use crate::policy::Priority;
+use crate::stats::ShardCounters;
 
 /// Completion-on-drop wrapper around a frame's [`Slot`]: dropping it without
 /// an explicit [`complete`](CompletionGuard::complete) resolves the handle as
 /// [`DecodeOutcome::Abandoned`]. This is what keeps the "every accepted frame
 /// resolves" guarantee true even if a dispatch worker panics mid-batch — the
 /// unwinding drops the worker's pending frames, and each drop unblocks its
-/// waiter instead of leaving it hanging forever.
+/// waiter instead of leaving it hanging forever. The drop path also counts
+/// the abandonment into its shard's counters, so
+/// [`ShardStats::in_flight`](crate::ShardStats::in_flight) returns to zero
+/// even across a worker crash — abandoned frames are accounted, never a
+/// silent `eprintln!` tally.
 #[derive(Debug)]
-pub(crate) struct CompletionGuard(Option<Arc<Slot>>);
+pub(crate) struct CompletionGuard {
+    slot: Option<Arc<Slot>>,
+    counters: Option<Arc<ShardCounters>>,
+}
 
 impl CompletionGuard {
-    pub(crate) fn new(slot: Arc<Slot>) -> Self {
-        CompletionGuard(Some(slot))
+    pub(crate) fn new(slot: Arc<Slot>, counters: Arc<ShardCounters>) -> Self {
+        CompletionGuard {
+            slot: Some(slot),
+            counters: Some(counters),
+        }
     }
 
     /// Resolves the frame with `outcome`, disarming the drop path.
     pub(crate) fn complete(mut self, outcome: DecodeOutcome) {
-        if let Some(slot) = self.0.take() {
+        if let Some(slot) = self.slot.take() {
             slot.complete(outcome);
         }
     }
@@ -49,8 +61,12 @@ impl CompletionGuard {
 
 impl Drop for CompletionGuard {
     fn drop(&mut self) {
-        if let Some(slot) = self.0.take() {
-            slot.try_complete(DecodeOutcome::Abandoned);
+        if let Some(slot) = self.slot.take() {
+            if slot.try_complete(DecodeOutcome::Abandoned) {
+                if let Some(counters) = &self.counters {
+                    counters.abandoned.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 }
@@ -58,6 +74,12 @@ impl Drop for CompletionGuard {
 /// One accepted frame waiting for a dispatch worker.
 #[derive(Debug)]
 pub(crate) struct PendingFrame {
+    /// Service-wide ingest sequence number, stamped at admission. Stable and
+    /// deterministic for a single-threaded submitter, which is what lets the
+    /// chaos harness predict exactly which frames a seeded
+    /// `FaultPlan` will hit. Only the fault hooks read it.
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    pub seq: u64,
     /// Channel LLRs, exactly `n` values for the shard's code.
     pub llrs: Vec<f64>,
     /// Effective completion deadline: the explicit submission deadline, or
@@ -101,6 +123,9 @@ pub(crate) struct QueueView {
     /// Earliest micro-batch release time over the queued frames; `None`
     /// when empty.
     pub earliest_dispatch_by: Option<Instant>,
+    /// Earliest arrival time over the queued frames; `None` when empty. The
+    /// health watchdog reports this as the oldest-frame age.
+    pub oldest_arrival: Option<Instant>,
     /// Whether the queue refuses new frames (service draining).
     pub closed: bool,
 }
@@ -161,6 +186,7 @@ impl FrameQueue {
         QueueView {
             len: inner.frames.len(),
             earliest_dispatch_by: inner.frames.iter().map(|f| f.dispatch_by).min(),
+            oldest_arrival: inner.frames.iter().map(|f| f.arrival).min(),
             closed: inner.closed,
         }
     }
@@ -267,12 +293,13 @@ mod tests {
     fn frame_with_priority(priority: Priority) -> PendingFrame {
         let now = Instant::now();
         PendingFrame {
+            seq: 0,
             llrs: vec![1.0; 4],
             deadline: None,
             priority,
             arrival: now,
             dispatch_by: now,
-            slot: CompletionGuard::new(Arc::new(Slot::default())),
+            slot: CompletionGuard::new(Arc::new(Slot::default()), Arc::default()),
         }
     }
 
@@ -414,6 +441,11 @@ mod tests {
         let view = queue.view();
         assert_eq!(view.len, 2);
         assert_eq!(view.earliest_dispatch_by, Some(now));
+        // Both frames were stamped after `now`; the view reports the
+        // earliest of their arrivals.
+        assert!(view
+            .oldest_arrival
+            .is_some_and(|a| a >= now && a <= Instant::now()));
         queue.close();
         assert!(queue.view().closed);
     }
@@ -425,21 +457,26 @@ mod tests {
         let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
 
         // The panic path: a frame dropped mid-flight (worker unwinding)
-        // resolves its waiter as Abandoned instead of hanging it.
+        // resolves its waiter as Abandoned instead of hanging it, and the
+        // drop is counted against the shard.
+        let counters = Arc::new(ShardCounters::default());
         let slot = Arc::new(Slot::default());
         let handle = FrameHandle::new(code, Arc::clone(&slot));
         let mut dropped = frame();
-        dropped.slot = CompletionGuard::new(slot);
+        dropped.slot = CompletionGuard::new(slot, Arc::clone(&counters));
         drop(dropped);
         assert_eq!(handle.wait(), DecodeOutcome::Abandoned);
+        assert_eq!(counters.abandoned.load(Ordering::Relaxed), 1);
 
-        // The happy path: explicit completion disarms the drop guard.
+        // The happy path: explicit completion disarms the drop guard and
+        // counts nothing as abandoned.
         let slot = Arc::new(Slot::default());
         let handle = FrameHandle::new(code, Arc::clone(&slot));
         let mut completed = frame();
-        completed.slot = CompletionGuard::new(slot);
+        completed.slot = CompletionGuard::new(slot, Arc::clone(&counters));
         completed.complete(DecodeOutcome::Expired);
         assert_eq!(handle.wait(), DecodeOutcome::Expired);
+        assert_eq!(counters.abandoned.load(Ordering::Relaxed), 1);
     }
 
     #[test]

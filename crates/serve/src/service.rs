@@ -37,20 +37,25 @@
 //! speed-only knob with bit-identical outputs.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ldpc_channel::quantize::LlrQuantizer;
 use ldpc_codes::{CodeId, CompiledCode};
-use ldpc_core::{CascadeConfig, CascadeDecoder, DecodeOutput, Decoder, LlrBatch};
+use ldpc_core::{
+    CascadeConfig, CascadeDecoder, DecodeError, DecodeOutput, DecodePool, Decoder, LlrBatch,
+};
 
 use crate::error::{ServeError, SubmitError};
+#[cfg(feature = "fault-injection")]
+use crate::fault::FaultPlan;
 use crate::handle::{DecodeOutcome, FrameHandle, Slot};
-use crate::policy::{DecoderPolicy, Priority, ShardPolicy, SubmitOptions};
+use crate::policy::{DecoderPolicy, Priority, RetryPolicy, ShardPolicy, SubmitOptions};
 use crate::queue::{CompletionGuard, FrameQueue, PendingFrame, PushError};
-use crate::stats::{ShardCounters, ShardStats};
+use crate::stats::{ServiceHealth, ShardCounters, ShardStats};
 
 /// Tuning knobs of a [`DecodeService`], set through the builder and
 /// validated at [`DecodeServiceBuilder::build`].
@@ -219,7 +224,9 @@ struct ShardState<D> {
     /// multiple (when ≥ one group).
     effective_batch: usize,
     queue: FrameQueue,
-    counters: ShardCounters,
+    /// Shared with every frame's completion guard, so abandonments are
+    /// accounted even when the accounting thread is mid-unwind.
+    counters: Arc<ShardCounters>,
     /// Detached clone: shares the template's workspace pools, keeps private
     /// stage counters. The claim flag serialises access per shard.
     decoder: D,
@@ -236,9 +243,23 @@ struct ServiceCore<D> {
     /// priority ordering is observable (see
     /// [`ShardStats::first_dispatch_order`]).
     dispatch_clock: AtomicU64,
+    /// Service-wide ingest sequence: every frame passing validation consumes
+    /// one, stamped into [`PendingFrame::seq`]. The chaos harness keys its
+    /// fault predicates on it.
+    ingest_seq: AtomicU64,
+    /// Every `serve_shard` entry consumes one — the domain of the
+    /// kill-dispatch fault predicate, deliberately *before* any frame is
+    /// claimed so an injected worker crash abandons nothing.
+    dispatch_attempts: AtomicU64,
+    /// The service's birth instant; health timestamps are nanoseconds since
+    /// this epoch.
+    epoch: Instant,
     /// Kept for pool introspection: the shard decoders share this
     /// template's workspace pool.
     template: D,
+    /// The installed chaos plan, if any (see [`crate::fault`]).
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<D> ServiceCore<D> {
@@ -310,6 +331,12 @@ impl<D> ServiceCore<D> {
         drop(busy);
         self.sched.ready.notify_all();
     }
+
+    /// `now` on the service-epoch nanosecond clock the health timestamps
+    /// use.
+    fn now_nanos(&self, now: Instant) -> u64 {
+        u64::try_from(now.saturating_duration_since(self.epoch).as_nanos()).unwrap_or(u64::MAX)
+    }
 }
 
 /// Releases the claimed shard even if serving it panics, so the remaining
@@ -334,6 +361,8 @@ pub struct DecodeServiceBuilder<D> {
     config: ServiceConfig,
     start_paused: bool,
     codes: Vec<(Arc<CompiledCode>, ShardPolicy)>,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<D> DecodeServiceBuilder<D>
@@ -347,6 +376,8 @@ where
             config: ServiceConfig::default(),
             start_paused: false,
             codes: Vec::new(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 
@@ -402,6 +433,17 @@ where
     #[must_use]
     pub fn start_paused(mut self) -> Self {
         self.start_paused = true;
+        self
+    }
+
+    /// Installs a seeded chaos plan: the dispatch path panics, stalls and
+    /// crashes exactly where the plan's deterministic predicates say (see
+    /// [`crate::fault`]). Only compiled under the `fault-injection`
+    /// feature — production builds have neither this method nor the checks.
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -492,7 +534,7 @@ where
                     config.max_batch
                 );
             }
-            let counters = ShardCounters::default();
+            let counters = Arc::new(ShardCounters::default());
             if let Some(cost) = policy.expected_frame_cost {
                 let nanos = u64::try_from(cost.as_nanos()).unwrap_or(u64::MAX);
                 counters.est_frame_nanos.store(nanos, Ordering::Relaxed);
@@ -520,14 +562,19 @@ where
             gate: Gate::new(!self.start_paused),
             config,
             dispatch_clock: AtomicU64::new(0),
+            ingest_seq: AtomicU64::new(0),
+            dispatch_attempts: AtomicU64::new(0),
+            epoch: Instant::now(),
             template: self.decoder,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: self.fault_plan,
         });
         let workers = (0..worker_count)
             .map(|i| {
                 let core = Arc::clone(&core);
                 std::thread::Builder::new()
                     .name(format!("ldpc-dispatch-{i}"))
-                    .spawn(move || run_dispatcher(&core))
+                    .spawn(move || supervise_dispatcher(&core))
                     .expect("cannot spawn dispatch worker")
             })
             .collect();
@@ -716,16 +763,27 @@ where
             quantizer.normalize_in_place(&mut llrs);
         }
         let arrival = Instant::now();
+        // Every validated frame consumes one ingest sequence number — even
+        // one shed at admission — so a single-threaded submitter can predict
+        // the seq of each submission (what the chaos harness keys on).
+        let seq = self.core.ingest_seq.fetch_add(1, Ordering::Relaxed);
         let deadline = options
             .deadline
             .or_else(|| shard.policy.slo.map(|slo| arrival + slo));
         let est = Duration::from_nanos(shard.counters.est_frame_nanos.load(Ordering::Relaxed));
 
+        // While a degradation ladder still has rungs left, shedding is
+        // suppressed: the shard gives up coding effort before it gives up
+        // frames.
+        let ladder_absorbing = shard.policy.degradation.is_some_and(|ladder| {
+            shard.counters.degradation_level.load(Ordering::Relaxed) < u64::from(ladder.max_level)
+        });
+
         // Queue-depth admission control: shed up front when the work already
         // queued ahead of this frame is projected to consume its entire
         // deadline budget. Shed frames are accounted (accepted + shed) and
         // their handles resolve immediately — never a silent drop.
-        if shard.policy.shed && !est.is_zero() {
+        if shard.policy.shed && !ladder_absorbing && !est.is_zero() {
             if let Some(deadline) = deadline {
                 let queue_ahead = est.saturating_mul(shard.queue.len() as u32);
                 if !queue_ahead.is_zero() && arrival + queue_ahead > deadline {
@@ -750,12 +808,13 @@ where
 
         let slot = Arc::new(Slot::default());
         let frame = PendingFrame {
+            seq,
             llrs,
             deadline,
             priority: options.priority,
             arrival,
             dispatch_by,
-            slot: CompletionGuard::new(Arc::clone(&slot)),
+            slot: CompletionGuard::new(Arc::clone(&slot), Arc::clone(&shard.counters)),
         };
         // Count the acceptance *before* the push: once pushed, the frame is
         // visible to the workers, and a completion must never be observable
@@ -783,6 +842,85 @@ where
         }
         self.core.kick();
         Ok(FrameHandle::new(code, slot))
+    }
+
+    /// Non-blocking submission with bounded, jittered exponential backoff
+    /// around transient [`SubmitError::QueueFull`] refusals — the polite way
+    /// for a bursty producer to ride out short queue spikes without parking
+    /// indefinitely like a blocking submit would.
+    ///
+    /// `options.blocking` is forced off (the whole point is retrying the
+    /// non-blocking path). The retry loop is deadline-aware: when the frame
+    /// carries a deadline and the next backoff sleep would land past it, the
+    /// loop gives up immediately instead of sleeping into certain expiry.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](DecodeService::submit); [`SubmitError::QueueFull`]
+    /// (with the LLRs handed back) once `retry.max_attempts` submissions
+    /// have been refused or the deadline pre-empts the next sleep.
+    pub fn submit_with_retry(
+        &self,
+        code: CodeId,
+        llrs: Vec<f64>,
+        options: impl Into<SubmitOptions>,
+        retry: RetryPolicy,
+    ) -> Result<FrameHandle, SubmitError> {
+        let options = options.into().non_blocking();
+        let mut llrs = llrs;
+        let mut attempt = 0u32;
+        loop {
+            match self.submit_inner(code, llrs, options) {
+                Err(SubmitError::QueueFull { llrs: returned }) => {
+                    attempt += 1;
+                    if attempt >= retry.max_attempts.max(1) {
+                        return Err(SubmitError::QueueFull { llrs: returned });
+                    }
+                    let backoff = retry.backoff(attempt - 1);
+                    if let Some(deadline) = options.deadline {
+                        if Instant::now() + backoff >= deadline {
+                            return Err(SubmitError::QueueFull { llrs: returned });
+                        }
+                    }
+                    std::thread::sleep(backoff);
+                    llrs = returned;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Point-in-time health snapshot: every shard's queue depth,
+    /// oldest-frame age, dispatch recency and stall flag, restart and
+    /// quarantine counts, plus the decode pool's worker census. Cheap
+    /// enough to poll from a watchdog loop; see [`ServiceHealth::healthy`]
+    /// for the headline verdict.
+    #[must_use]
+    pub fn health(&self) -> ServiceHealth {
+        let now = Instant::now();
+        let now_nanos = self.core.now_nanos(now);
+        let shards = self
+            .core
+            .shards
+            .iter()
+            .map(|shard| {
+                let view = shard.queue.view();
+                shard.counters.health(
+                    shard.code,
+                    view.len,
+                    view.oldest_arrival
+                        .map(|arrival| now.saturating_duration_since(arrival)),
+                    now_nanos,
+                )
+            })
+            .collect();
+        let pool = DecodePool::global();
+        ServiceHealth {
+            shards,
+            pool_workers: pool.workers(),
+            pool_live_workers: pool.live_workers(),
+            pool_worker_restarts: pool.worker_restarts(),
+        }
     }
 
     /// Snapshot of one shard's counters.
@@ -851,37 +989,20 @@ impl<D> DecodeService<D> {
         // exactly the accepted set.
         self.core.gate.open();
         self.core.kick();
-        let mut panicked = 0usize;
         for worker in self.workers.drain(..) {
-            if worker.join().is_err() {
-                panicked += 1;
-            }
+            // Supervised workers absorb their own panics and only exit
+            // normally; an Err here means the supervisor itself died.
+            let _ = worker.join();
         }
-        if panicked > 0 {
-            // Panicking workers resolved their in-hand frames as `Abandoned`
-            // through the completion-on-drop guards while unwinding, and
-            // released their shard claims; surviving workers drained what
-            // they could. Resolve anything still queued the same way so no
-            // accepted frame dangles, and report instead of panicking (this
-            // also runs from Drop).
-            for shard in &self.core.shards {
-                let mut abandoned = 0u64;
-                while let Some(frame) = shard.queue.pop_blocking() {
-                    drop(frame);
-                    abandoned += 1;
-                }
-                if abandoned > 0 {
-                    shard
-                        .counters
-                        .failed
-                        .fetch_add(abandoned, Ordering::Relaxed);
-                    eprintln!(
-                        "ldpc-serve: {abandoned} queued frames for {} abandoned",
-                        shard.code
-                    );
-                }
+        // Defensive final sweep: resolve anything still queued. Each dropped
+        // frame's completion guard resolves its handle as `Abandoned` and
+        // counts it in `ShardStats::abandoned`, so the books balance without
+        // any side-channel tally. Under supervision the workers drain every
+        // queue before exiting, so this loop normally finds nothing.
+        for shard in &self.core.shards {
+            while let Some(frame) = shard.queue.pop_blocking() {
+                drop(frame);
             }
-            eprintln!("ldpc-serve: {panicked} dispatch worker(s) panicked");
         }
     }
 }
@@ -894,10 +1015,46 @@ impl<D> Drop for DecodeService<D> {
     }
 }
 
+/// Supervises one dispatch worker: runs [`run_dispatcher`] under
+/// `catch_unwind` and re-enters it after a panic, so the service never
+/// loses dispatch capacity to a crashing batch.
+///
+/// Unwinding through `run_dispatcher` is already safe by construction: the
+/// [`Claim`] drop-guard releases the shard's busy flag, and any frames the
+/// worker held resolve as [`DecodeOutcome::Abandoned`] through their
+/// completion guards (the quarantine path in [`decode_segment`] catches
+/// decode panics *before* they reach this supervisor, so in practice only
+/// bookkeeping bugs unwind this far). The restart is attributed to the
+/// shard that was being served via `ShardStats::worker_restarts`, and the
+/// re-entered loop rebuilds its scratch buffers from scratch — no state
+/// crosses the panic.
+fn supervise_dispatcher<D>(core: &ServiceCore<D>)
+where
+    D: Decoder + Sync,
+{
+    // Which shard the worker currently holds a claim on; `usize::MAX` means
+    // none. Written by the worker loop, read here after a panic.
+    let current = AtomicUsize::new(usize::MAX);
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| run_dispatcher(core, &current))) {
+            Ok(()) => break,
+            Err(_) => {
+                let idx = current.swap(usize::MAX, Ordering::Relaxed);
+                if let Some(shard) = core.shards.get(idx) {
+                    shard
+                        .counters
+                        .worker_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
 /// One dispatch worker's loop: wait for the gate, claim the best ready
 /// shard, serve it, release, repeat — until every queue is closed and
-/// drained.
-fn run_dispatcher<D>(core: &ServiceCore<D>)
+/// drained. `current` mirrors the held claim for the supervisor.
+fn run_dispatcher<D>(core: &ServiceCore<D>, current: &AtomicUsize)
 where
     D: Decoder + Sync,
 {
@@ -911,6 +1068,7 @@ where
             // Closed and fully drained: every accepted frame was completed.
             break;
         };
+        current.store(idx, Ordering::Relaxed);
         let claim = Claim { core, idx };
         serve_shard(
             core,
@@ -921,13 +1079,14 @@ where
             &mut outputs,
         );
         drop(claim);
+        current.store(usize::MAX, Ordering::Relaxed);
     }
 }
 
 /// Serves one claimed shard: drain a group-width-snapped batch, expire and
-/// shed what cannot make its deadline, decode the rest in one
-/// `decode_batch` call, complete the handles and fold the observed cost
-/// into the shard's estimate.
+/// shed what cannot make its deadline, decode the rest (with quarantine
+/// bisection if the decode panics), complete the handles and fold the
+/// observed cost into the shard's estimate.
 fn serve_shard<D>(
     core: &ServiceCore<D>,
     shard: &ShardState<D>,
@@ -938,7 +1097,18 @@ fn serve_shard<D>(
 ) where
     D: Decoder + Sync,
 {
-    let n = shard.compiled.n();
+    // Chaos hook: a killed dispatch panics *before* draining the queue, so
+    // no frame is in hand — the supervisor restarts the worker and the
+    // untouched batch is served by the next claim. This is the injection
+    // point the chaos gate uses to prove restarts don't lose frames.
+    let _attempt = core.dispatch_attempts.fetch_add(1, Ordering::Relaxed);
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &core.fault_plan {
+        if plan.kills_dispatch(_attempt) {
+            panic!("fault-injection: killing dispatch attempt {_attempt}");
+        }
+    }
+
     pending.clear();
     shard.queue.drain_batch(
         pending,
@@ -946,17 +1116,53 @@ fn serve_shard<D>(
         shard.group_width,
         shard.policy.micro_batching(),
     );
+
+    // Degradation ladder: judge pressure by the queue fill *left behind*
+    // after taking this batch. Stepping up trades cascade effort (skip the
+    // float-BP stage, then halve fixed-BP iterations) for throughput;
+    // stepping down restores full effort once the backlog clears. While the
+    // ladder still has headroom, admission shedding is suppressed — degrade
+    // first, shed only once maximally degraded.
+    let mut ladder_absorbing = false;
+    if let Some(ladder) = shard.policy.degradation {
+        let fill =
+            (shard.queue.len().saturating_mul(100) / core.config.queue_capacity.max(1)) as u64;
+        let level = shard.counters.degradation_level.load(Ordering::Relaxed);
+        let stepped = if fill >= u64::from(ladder.high_watermark_pct)
+            && level < u64::from(ladder.max_level)
+        {
+            level + 1
+        } else if fill <= u64::from(ladder.low_watermark_pct) && level > 0 {
+            level - 1
+        } else {
+            level
+        };
+        if stepped != level {
+            shard
+                .counters
+                .degradation_level
+                .store(stepped, Ordering::Relaxed);
+            // Decoders without an effort ladder (plain layered back-ends)
+            // refuse the hint; the gauge still records the intent.
+            let _ = shard
+                .decoder
+                .set_effort_level(u8::try_from(stepped).unwrap_or(u8::MAX));
+        }
+        ladder_absorbing = stepped < u64::from(ladder.max_level);
+    }
+
     if pending.is_empty() {
         return;
     }
 
     // Per-batch deadline triage, at the moment the batch is taken: overdue
     // frames expire; frames whose deadline cannot survive the batch's
-    // estimated decode time are shed (shedding shards only).
+    // estimated decode time are shed (shedding shards only, and only once
+    // the degradation ladder is out of headroom).
+    let effective_shed = shard.policy.shed && !ladder_absorbing;
     let now = Instant::now();
     let est = Duration::from_nanos(shard.counters.est_frame_nanos.load(Ordering::Relaxed));
     let batch_cost = est.saturating_mul(pending.len() as u32);
-    llr_buf.clear();
     live.clear();
     for frame in pending.drain(..) {
         match frame.deadline {
@@ -964,16 +1170,11 @@ fn serve_shard<D>(
                 shard.counters.expired.fetch_add(1, Ordering::Relaxed);
                 frame.complete(DecodeOutcome::Expired);
             }
-            Some(deadline)
-                if shard.policy.shed && !est.is_zero() && deadline < now + batch_cost =>
-            {
+            Some(deadline) if effective_shed && !est.is_zero() && deadline < now + batch_cost => {
                 shard.counters.shed.fetch_add(1, Ordering::Relaxed);
                 frame.complete(DecodeOutcome::Shed);
             }
-            _ => {
-                llr_buf.extend_from_slice(&frame.llrs);
-                live.push(frame);
-            }
+            _ => live.push(frame),
         }
     }
     if live.is_empty() {
@@ -987,21 +1188,70 @@ fn serve_shard<D>(
         .counters
         .max_coalesced
         .fetch_max(live.len() as u64, Ordering::Relaxed);
-    outputs.resize_with(live.len(), DecodeOutput::empty);
-    let batch = LlrBatch::new(llr_buf, n).expect("coalesced buffer holds whole frames");
+    if shard.counters.degradation_level.load(Ordering::Relaxed) > 0 {
+        shard
+            .counters
+            .degraded_batches
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    shard
+        .counters
+        .begin_dispatch(core.now_nanos(Instant::now()), live.len());
+    // Chaos hook: a stalled dispatch sleeps before decoding — after
+    // `begin_dispatch`, so the watchdog's dispatch-age stall detector sees
+    // the in-progress dispatch age out.
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &core.fault_plan {
+        if live.iter().any(|frame| plan.stalls(frame.seq)) {
+            std::thread::sleep(plan.stall_for);
+        }
+    }
+    decode_segment(core, shard, live, llr_buf, outputs);
+    shard.counters.end_dispatch(core.now_nanos(Instant::now()));
+    // Mirror stage-ladder counters (cascade decoders only) into the shard
+    // counters so snapshots taken between batches see the decoder's exact
+    // totals — the claim flag gives this batch exclusive shard access.
+    if let Some(stats) = shard.decoder.cascade_stats() {
+        shard.counters.mirror_cascade(stats);
+    }
+}
+
+/// Decodes one segment of a dispatched batch, completing every frame in it.
+///
+/// On a clean decode the frames resolve as `Decoded`/`Failed` exactly as
+/// before. If the decode **panics**, the segment is bisected and each half
+/// retried independently; recursion bottoms out at a single frame, which is
+/// quarantined as [`DecodeOutcome::Poisoned`]. Innocent batch-mates thus
+/// decode normally (per-frame determinism makes the retried halves
+/// bit-identical to the original batch), and the poisoned frame's handle
+/// resolves instead of dangling. The frames stay owned by this function
+/// across `catch_unwind`, so an injected panic never triggers their
+/// abandonment guards.
+fn decode_segment<D>(
+    core: &ServiceCore<D>,
+    shard: &ShardState<D>,
+    frames: &mut Vec<PendingFrame>,
+    llr_buf: &mut Vec<f64>,
+    outputs: &mut Vec<DecodeOutput>,
+) where
+    D: Decoder + Sync,
+{
+    if frames.is_empty() {
+        return;
+    }
+    llr_buf.clear();
+    for frame in frames.iter() {
+        llr_buf.extend_from_slice(&frame.llrs);
+    }
+    outputs.resize_with(frames.len(), DecodeOutput::empty);
     let started = Instant::now();
-    match shard.decoder.decode_batch_into_threads(
-        &shard.compiled,
-        batch,
-        outputs,
-        core.config.decode_threads,
-    ) {
-        Ok(()) => {
+    match protected_decode(core, shard, frames, llr_buf, outputs) {
+        Ok(Ok(())) => {
             let done = Instant::now();
             shard
                 .counters
-                .observe_batch_cost(done.saturating_duration_since(started), live.len());
-            for (frame, out) in live.drain(..).zip(outputs.iter_mut()) {
+                .observe_batch_cost(done.saturating_duration_since(started), frames.len());
+            for (frame, out) in frames.drain(..).zip(outputs.iter_mut()) {
                 let out = std::mem::replace(out, DecodeOutput::empty());
                 shard.counters.decoded.fetch_add(1, Ordering::Relaxed);
                 shard
@@ -1011,19 +1261,65 @@ fn serve_shard<D>(
                 frame.complete(DecodeOutcome::Decoded(out));
             }
         }
-        Err(e) => {
-            for frame in live.drain(..) {
+        Ok(Err(e)) => {
+            for frame in frames.drain(..) {
                 shard.counters.failed.fetch_add(1, Ordering::Relaxed);
                 frame.complete(DecodeOutcome::Failed(e.clone()));
             }
         }
+        Err(()) => {
+            if frames.len() == 1 {
+                let frame = frames.pop().expect("length checked above");
+                shard.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                frame.complete(DecodeOutcome::Poisoned);
+            } else {
+                // Quarantine bisection: split and retry each half. The
+                // split allocates only on this (exceptional) path.
+                let mut back = frames.split_off(frames.len() / 2);
+                decode_segment(core, shard, frames, llr_buf, outputs);
+                decode_segment(core, shard, &mut back, llr_buf, outputs);
+            }
+        }
     }
-    // Mirror stage-ladder counters (cascade decoders only) into the shard
-    // counters so snapshots taken between batches see the decoder's exact
-    // totals — the claim flag gives this batch exclusive shard access.
-    if let Some(stats) = shard.decoder.cascade_stats() {
-        shard.counters.mirror_cascade(stats);
-    }
+}
+
+/// Runs one `decode_batch` call under `catch_unwind`.
+///
+/// `Err(())` means the decode panicked; the caller owns the frames and
+/// decides (bisect or quarantine). The decoder's workspaces are pool-owned
+/// and rebuilt per batch, and the claim flag keeps the shard exclusive, so
+/// unwinding mid-decode leaves no shared state half-written — the
+/// `AssertUnwindSafe` is sound.
+fn protected_decode<D>(
+    core: &ServiceCore<D>,
+    shard: &ShardState<D>,
+    #[cfg_attr(not(feature = "fault-injection"), allow(unused_variables))]
+    frames: &[PendingFrame],
+    llr_buf: &[f64],
+    outputs: &mut [DecodeOutput],
+) -> Result<Result<(), DecodeError>, ()>
+where
+    D: Decoder + Sync,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        // Chaos hook: a poisoned frame panics the whole decode call, exactly
+        // like a decoder bug tripping on one frame's input would.
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &core.fault_plan {
+            if let Some(frame) = frames.iter().find(|frame| plan.poisons(frame.seq)) {
+                panic!("fault-injection: poisoning frame seq {}", frame.seq);
+            }
+        }
+        let batch = LlrBatch::new(llr_buf, shard.compiled.n())
+            .expect("coalesced buffer holds whole frames");
+        shard.decoder.decode_batch_into_threads(
+            &shard.compiled,
+            batch,
+            outputs,
+            core.config.decode_threads,
+        )
+    }))
+    .map_err(|_| ())
 }
 
 #[cfg(test)]
@@ -1583,5 +1879,202 @@ mod tests {
         assert_eq!(stats[0].decoded, frames as u64);
         assert_eq!(stats[0].shed, 0);
         assert_eq!(stats[0].expired, 0);
+    }
+
+    #[test]
+    fn health_reports_queue_depth_oldest_age_and_pool_census() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let before = Instant::now();
+        let h1 = service.submit(code, vec![6.0; code.n], ()).unwrap();
+        let h2 = service.submit(code, vec![6.0; code.n], ()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let health = service.health();
+        assert_eq!(health.shards.len(), 1);
+        let shard = &health.shards[0];
+        assert_eq!(shard.code, code);
+        assert_eq!(shard.queue_depth, 2);
+        let age = shard.oldest_frame_age.expect("frames are queued");
+        assert!(age >= Duration::from_millis(5) && age <= before.elapsed());
+        assert!(!shard.dispatch_in_progress, "paused: nothing dispatched");
+        assert!(shard.last_dispatch_age.is_none(), "no dispatch yet");
+        assert!(!shard.stalled);
+        assert_eq!(shard.worker_restarts, 0);
+        assert_eq!(shard.quarantined, 0);
+        assert!(health.pool_workers >= 1);
+        // Freshly spawned pool workers register themselves asynchronously;
+        // wait for the census to converge before judging healthiness.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let health = loop {
+            let health = service.health();
+            if health.pool_live_workers >= health.pool_workers {
+                break health;
+            }
+            assert!(Instant::now() < deadline, "pool workers never registered");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(health.pool_live_workers, health.pool_workers);
+        assert!(health.healthy(), "paused-but-responsive is healthy");
+
+        service.resume();
+        assert!(h1.wait().is_decoded());
+        assert!(h2.wait().is_decoded());
+        let drained = service.health();
+        assert_eq!(drained.shards[0].queue_depth, 0);
+        // Frames complete inside the dispatch, a beat before end_dispatch
+        // stamps recency — poll rather than race it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.health().shards[0].last_dispatch_age.is_none() {
+            assert!(
+                Instant::now() < deadline,
+                "a completed dispatch never stamped recency"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_with_retry_rides_out_transient_queue_pressure() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .queue_capacity(1)
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let parked = service.submit(code, vec![6.0; code.n], ()).unwrap();
+
+        // Paused + full queue: a no-retry policy refuses immediately...
+        let once = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        assert!(matches!(
+            service.submit_with_retry(code, vec![6.0; code.n], (), once),
+            Err(SubmitError::QueueFull { .. })
+        ));
+        // ...and a deadline inside the first backoff gives up without
+        // sleeping into certain expiry.
+        let tight = RetryPolicy {
+            base_backoff: Duration::from_secs(3600),
+            ..RetryPolicy::default()
+        };
+        assert!(matches!(
+            service.submit_with_retry(
+                code,
+                vec![6.0; code.n],
+                Instant::now() + Duration::from_millis(1),
+                tight,
+            ),
+            Err(SubmitError::QueueFull { .. })
+        ));
+
+        // With the service resumed mid-backoff, the retry loop lands the
+        // frame once capacity frees.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                service.resume();
+            });
+            let retry = RetryPolicy {
+                max_attempts: 200,
+                base_backoff: Duration::from_millis(2),
+                ..RetryPolicy::default()
+            };
+            let handle = service
+                .submit_with_retry(code, vec![6.0; code.n], (), retry)
+                .expect("capacity frees after resume");
+            assert!(handle.wait().is_decoded());
+        });
+        assert!(parked.wait().is_decoded());
+        let stats = service.shutdown();
+        assert_eq!(stats[0].decoded, 2);
+        assert!(stats[0].rejected_full >= 2, "refusals were counted");
+    }
+
+    #[test]
+    fn degradation_ladder_suppresses_shedding_while_it_has_headroom() {
+        // Same setup as the shed test (10 s/frame seeded cost, unmeetable
+        // deadlines) but with a degradation ladder attached: as long as the
+        // ladder has headroom, frames decode at reduced effort instead of
+        // being shed at admission or dispatch.
+        let code = wimax576();
+        let policy = ShardPolicy::default()
+            .shed(true)
+            .expected_frame_cost(Duration::from_secs(10))
+            .degradation(crate::policy::DegradationPolicy::default());
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .register_with_policy(code, policy)
+            .unwrap()
+            .build()
+            .unwrap();
+        let f1 = service
+            .submit(
+                code,
+                vec![6.0; code.n],
+                Instant::now() + Duration::from_secs(6),
+            )
+            .unwrap();
+        let f2 = service
+            .submit(
+                code,
+                vec![6.0; code.n],
+                Instant::now() + Duration::from_secs(5),
+            )
+            .unwrap();
+        assert!(
+            !f2.is_complete(),
+            "admission shed is suppressed while the ladder absorbs"
+        );
+        service.resume();
+        assert!(f1.wait().is_decoded(), "degrade-first beats shedding");
+        assert!(f2.wait().is_decoded());
+        let stats = service.shutdown();
+        assert_eq!(stats[0].shed, 0);
+        assert_eq!(stats[0].decoded, 2);
+    }
+
+    #[test]
+    fn degradation_level_steps_up_under_backlog_and_recovers() {
+        // Paused service, capacity 10, single-frame batches: after the first
+        // dispatch 9 frames remain (90% fill ≥ the 60% watermark), so the
+        // level must climb, and the drained tail must bring it back to 0.
+        let code = wimax576();
+        let policy = ShardPolicy::default()
+            .shed(false)
+            .degradation(crate::policy::DegradationPolicy::default());
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .queue_capacity(10)
+            .max_batch(1)
+            .register_with_policy(code, policy)
+            .unwrap()
+            .build()
+            .unwrap();
+        let handles: Vec<_> = (0..10)
+            .map(|_| service.submit(code, vec![6.5; code.n], ()).unwrap())
+            .collect();
+        service.resume();
+        for handle in handles {
+            assert!(handle.wait().is_decoded());
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats[0].decoded, 10);
+        assert!(
+            stats[0].degraded_batches >= 1,
+            "backlogged batches ran degraded: {stats:?}"
+        );
+        assert_eq!(
+            stats[0].degradation_level, 0,
+            "drained queue steps the ladder back down"
+        );
     }
 }

@@ -185,6 +185,34 @@ pub(crate) struct ShardCounters {
     /// Frames decoded per cascade stage, mirrored like
     /// [`ShardCounters::cascade_escalations`].
     pub cascade_stage_frames: [AtomicU64; 3],
+    /// Frames resolved as [`crate::DecodeOutcome::Abandoned`] by their
+    /// completion-on-drop guard — only possible when a dispatch worker
+    /// panicked while holding them. Counted by the guard itself, so the
+    /// books balance even across a crash.
+    pub abandoned: AtomicU64,
+    /// Frames isolated by quarantine bisection as the cause of a batch
+    /// panic and resolved as [`crate::DecodeOutcome::Poisoned`].
+    pub quarantined: AtomicU64,
+    /// Dispatch-worker panics attributed to this shard (the supervisor
+    /// restarted the worker loop each time).
+    pub worker_restarts: AtomicU64,
+    /// Batches decoded while the shard's degradation ladder was engaged
+    /// (level > 0), i.e. at reduced cascade effort.
+    pub degraded_batches: AtomicU64,
+    /// Current degradation level (gauge, not a counter): 0 = full effort;
+    /// higher levels progressively cheapen the shard decoder's cascade.
+    pub degradation_level: AtomicU64,
+    /// When the most recent dispatch *finished*, in nanoseconds since the
+    /// service epoch, clamped ≥ 1 (zero = never dispatched).
+    pub last_dispatch_nanos: AtomicU64,
+    /// When the dispatch currently decoding *started*, same clock as
+    /// [`ShardCounters::last_dispatch_nanos`]; zero = no dispatch in
+    /// progress. The watchdog's stall detection compares its age against
+    /// the EWMA cost estimate.
+    pub dispatch_started_nanos: AtomicU64,
+    /// Frame count of the in-progress (or most recent) dispatch — the
+    /// multiplier for the stall budget.
+    pub dispatch_frames: AtomicU64,
 }
 
 impl ShardCounters {
@@ -216,6 +244,12 @@ impl ShardCounters {
                 self.cascade_stage_frames[1].load(Ordering::Relaxed),
                 self.cascade_stage_frames[2].load(Ordering::Relaxed),
             ],
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            degradation_level: u8::try_from(self.degradation_level.load(Ordering::Relaxed))
+                .unwrap_or(u8::MAX),
             queue_depth,
             pool_workspaces_created,
             priority: policy.priority,
@@ -261,7 +295,67 @@ impl ShardCounters {
             counter.store(frames, Ordering::Relaxed);
         }
     }
+
+    /// Marks a dispatch of `frames` frames as decoding right now.
+    /// `now_nanos` is nanoseconds since the service epoch, clamped ≥ 1 so
+    /// zero keeps meaning "none".
+    pub(crate) fn begin_dispatch(&self, now_nanos: u64, frames: usize) {
+        self.dispatch_frames.store(frames as u64, Ordering::Relaxed);
+        self.dispatch_started_nanos
+            .store(now_nanos.max(1), Ordering::Relaxed);
+    }
+
+    /// Marks the in-progress dispatch finished at `now_nanos`.
+    pub(crate) fn end_dispatch(&self, now_nanos: u64) {
+        self.dispatch_started_nanos.store(0, Ordering::Relaxed);
+        self.last_dispatch_nanos
+            .store(now_nanos.max(1), Ordering::Relaxed);
+    }
+
+    /// Health view of this shard at `now_nanos` (service-epoch clock).
+    /// Queue facts come from the caller's queue snapshot.
+    pub(crate) fn health(
+        &self,
+        code: CodeId,
+        queue_depth: usize,
+        oldest_frame_age: Option<Duration>,
+        now_nanos: u64,
+    ) -> ShardHealth {
+        let started = self.dispatch_started_nanos.load(Ordering::Relaxed);
+        let last = self.last_dispatch_nanos.load(Ordering::Relaxed);
+        let dispatch_in_progress = started != 0;
+        let stalled = dispatch_in_progress && {
+            let frames = self.dispatch_frames.load(Ordering::Relaxed).max(1);
+            let est = self.est_frame_nanos.load(Ordering::Relaxed);
+            let budget = est
+                .saturating_mul(frames)
+                .saturating_mul(STALL_COST_MULTIPLIER)
+                .max(STALL_FLOOR_NANOS);
+            now_nanos.saturating_sub(started) > budget
+        };
+        ShardHealth {
+            code,
+            queue_depth,
+            oldest_frame_age,
+            last_dispatch_age: (last != 0)
+                .then(|| Duration::from_nanos(now_nanos.saturating_sub(last))),
+            dispatch_in_progress,
+            stalled,
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+            degradation_level: u8::try_from(self.degradation_level.load(Ordering::Relaxed))
+                .unwrap_or(u8::MAX),
+        }
+    }
 }
+
+/// A dispatch is flagged stalled once its age exceeds this multiple of the
+/// EWMA-estimated batch cost (floored at [`STALL_FLOOR_NANOS`] so fast
+/// shards aren't flagged by scheduling noise).
+pub(crate) const STALL_COST_MULTIPLIER: u64 = 8;
+/// Minimum in-progress dispatch age (50 ms) before a stall can be flagged.
+pub(crate) const STALL_FLOOR_NANOS: u64 = 50_000_000;
 
 /// Snapshot of one shard's serving counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -311,6 +405,25 @@ pub struct ShardStats {
     /// groups entered with; stages 2/3 count escalated survivors). All zero
     /// for non-cascade decoders.
     pub cascade_stage_frames: [u64; 3],
+    /// Frames resolved as [`crate::DecodeOutcome::Abandoned`]: a dispatch
+    /// worker panicked while holding them and their completion-on-drop
+    /// guard resolved (and counted) them. Nonzero only after a worker crash
+    /// that quarantine could not attribute to a single frame.
+    pub abandoned: u64,
+    /// Frames isolated by quarantine bisection as the cause of a batch
+    /// panic, resolved as [`crate::DecodeOutcome::Poisoned`] while their
+    /// batch-mates decoded normally.
+    pub quarantined: u64,
+    /// Dispatch-worker panics attributed to this shard; each one was
+    /// followed by a supervised restart of the worker loop.
+    pub worker_restarts: u64,
+    /// Batches decoded while the degradation ladder was engaged (level > 0).
+    pub degraded_batches: u64,
+    /// Current degradation level (a gauge): 0 = full cascade effort; each
+    /// higher level cheapens the shard decoder's cascade before admission
+    /// control is allowed to shed (see
+    /// [`DegradationPolicy`](crate::DegradationPolicy)).
+    pub degradation_level: u8,
     /// Frames queued but not yet claimed by a dispatch worker at snapshot
     /// time.
     pub queue_depth: usize,
@@ -329,10 +442,11 @@ pub struct ShardStats {
 }
 
 impl ShardStats {
-    /// Frames resolved so far (decoded + expired + shed + failed).
+    /// Frames resolved so far
+    /// (decoded + expired + shed + failed + quarantined + abandoned).
     #[must_use]
     pub fn completed(&self) -> u64 {
-        self.decoded + self.expired + self.shed + self.failed
+        self.decoded + self.expired + self.shed + self.failed + self.quarantined + self.abandoned
     }
 
     /// Accepted frames not yet resolved. Saturating: the counters are
@@ -344,6 +458,73 @@ impl ShardStats {
     }
 }
 
+/// Health view of one shard — the watchdog-facing subset of its state,
+/// focused on "is this shard making progress right now" rather than
+/// lifetime totals (see [`ShardStats`](crate::ShardStats) for those).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShardHealth {
+    /// The mode this shard serves.
+    pub code: CodeId,
+    /// Frames queued but not yet claimed by a dispatch worker.
+    pub queue_depth: usize,
+    /// Age of the oldest queued frame (time since its submission was
+    /// accepted); `None` when the queue is empty. A growing value with a
+    /// recent dispatch means the shard is falling behind; a growing value
+    /// with *no* recent dispatch means it is starved or stuck.
+    pub oldest_frame_age: Option<Duration>,
+    /// Time since the shard's most recent dispatch finished; `None` if it
+    /// never dispatched.
+    pub last_dispatch_age: Option<Duration>,
+    /// Whether a dispatch worker is decoding a batch of this shard right
+    /// now.
+    pub dispatch_in_progress: bool,
+    /// Stall flag: a dispatch is in progress and has been running longer
+    /// than 8× the EWMA-estimated cost of its batch (floored at 50 ms).
+    /// A stalled shard is either hitting pathological decode behaviour or a
+    /// stuck worker — either way it needs attention before its queue backs
+    /// up into shedding.
+    pub stalled: bool,
+    /// Dispatch-worker panics attributed to this shard.
+    pub worker_restarts: u64,
+    /// Frames quarantined as poisoned by this shard.
+    pub quarantined: u64,
+    /// Frames abandoned by a crashing worker on this shard.
+    pub abandoned: u64,
+    /// Current degradation-ladder level (0 = full effort).
+    pub degradation_level: u8,
+}
+
+/// Point-in-time health snapshot of the whole service: every shard's
+/// [`ShardHealth`] plus the decode pool's worker census. Obtained from
+/// [`DecodeService::health`](crate::DecodeService::health); cheap enough to
+/// poll from a watchdog loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceHealth {
+    /// Per-shard health, in the service's shard order.
+    pub shards: Vec<ShardHealth>,
+    /// Decode pool workers at full strength.
+    pub pool_workers: usize,
+    /// Decode pool workers currently alive. Transiently below
+    /// [`pool_workers`](ServiceHealth::pool_workers) between a worker death
+    /// and its supervised respawn; persistently below means respawn failed.
+    pub pool_live_workers: usize,
+    /// Decode pool workers ever respawned after a death.
+    pub pool_worker_restarts: u64,
+}
+
+impl ServiceHealth {
+    /// Whether the service looks able to make progress: the decode pool is
+    /// at full strength and no shard's dispatch is flagged as stalled.
+    /// Restart/quarantine *counts* don't fail health — they are history,
+    /// and the whole point of supervision is that history stays history.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.pool_live_workers >= self.pool_workers && self.shards.iter().all(|s| !s.stalled)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,7 +533,7 @@ mod tests {
     #[test]
     fn snapshot_carries_all_counters() {
         let counters = ShardCounters::default();
-        counters.accepted.store(12, Ordering::Relaxed);
+        counters.accepted.store(15, Ordering::Relaxed);
         counters.decoded.store(6, Ordering::Relaxed);
         counters.expired.store(2, Ordering::Relaxed);
         counters.shed.store(2, Ordering::Relaxed);
@@ -366,11 +547,25 @@ mod tests {
             stage_frames: [10, 7, 2],
             escalations: 9,
         });
+        counters.abandoned.store(1, Ordering::Relaxed);
+        counters.quarantined.store(2, Ordering::Relaxed);
+        counters.worker_restarts.store(3, Ordering::Relaxed);
+        counters.degraded_batches.store(2, Ordering::Relaxed);
+        counters.degradation_level.store(1, Ordering::Relaxed);
         let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
         let policy = ShardPolicy::with_slo(Duration::from_millis(8)).priority(Priority::High);
         let stats = counters.snapshot(code, 1, 2, &policy, 30);
         assert_eq!(stats.code, code);
-        assert_eq!(stats.completed(), 11);
+        assert_eq!(stats.abandoned, 1);
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(stats.worker_restarts, 3);
+        assert_eq!(stats.degraded_batches, 2);
+        assert_eq!(stats.degradation_level, 1);
+        assert_eq!(
+            stats.completed(),
+            14,
+            "quarantined and abandoned count as resolved"
+        );
         assert_eq!(stats.in_flight(), 1);
         assert_eq!(stats.shed, 2);
         assert_eq!(stats.rejected_full, 3);
@@ -461,5 +656,61 @@ mod tests {
     fn empty_histogram_snapshots_to_zeroes() {
         let stats = LatencyHistogram::default().snapshot();
         assert_eq!(stats, LatencyStats::default());
+    }
+
+    #[test]
+    fn stall_detection_compares_dispatch_age_against_the_cost_estimate() {
+        let counters = ShardCounters::default();
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+
+        // Never dispatched: nothing in progress, nothing stalled.
+        let idle = counters.health(code, 0, None, 1_000);
+        assert!(!idle.dispatch_in_progress && !idle.stalled);
+        assert_eq!(idle.last_dispatch_age, None);
+
+        // In progress but young: not yet a stall (floor is 50 ms).
+        counters.est_frame_nanos.store(1_000_000, Ordering::Relaxed);
+        counters.begin_dispatch(1_000_000, 4);
+        let young = counters.health(code, 3, Some(Duration::from_millis(1)), 2_000_000);
+        assert!(young.dispatch_in_progress && !young.stalled);
+        assert_eq!(young.queue_depth, 3);
+        assert_eq!(young.oldest_frame_age, Some(Duration::from_millis(1)));
+
+        // 4 frames × 1 ms estimate × multiplier 8 = 32 ms budget, floored
+        // at 50 ms: a dispatch 60 ms old is stalled.
+        let stalled = counters.health(code, 3, None, 1_000_000 + 60_000_000);
+        assert!(stalled.stalled);
+
+        // Finishing the dispatch clears the flag and stamps the timestamp.
+        counters.end_dispatch(70_000_000);
+        let done = counters.health(code, 0, None, 75_000_000);
+        assert!(!done.dispatch_in_progress && !done.stalled);
+        assert_eq!(done.last_dispatch_age, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn service_health_requires_full_pool_and_no_stalls() {
+        let counters = ShardCounters::default();
+        let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let shard = counters.health(code, 0, None, 1_000);
+        let healthy = ServiceHealth {
+            shards: vec![shard],
+            pool_workers: 4,
+            pool_live_workers: 4,
+            pool_worker_restarts: 2,
+        };
+        assert!(healthy.healthy(), "restart history alone is not unhealthy");
+        let short_pool = ServiceHealth {
+            pool_live_workers: 3,
+            ..healthy.clone()
+        };
+        assert!(!short_pool.healthy());
+        let mut stalled_shard = shard;
+        stalled_shard.stalled = true;
+        let stalled = ServiceHealth {
+            shards: vec![shard, stalled_shard],
+            ..healthy
+        };
+        assert!(!stalled.healthy());
     }
 }

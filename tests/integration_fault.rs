@@ -1,0 +1,283 @@
+//! Fault-tolerance integration tests: deterministic chaos plans against the
+//! sharded decode service, through the `ldpc` facade.
+//!
+//! Only built with `--features fault-injection` (see the `required-features`
+//! on this test target). Covers the supervision/quarantine contract end to
+//! end:
+//!
+//! * a seeded poison plan crashes batch decodes, and quarantine bisection
+//!   isolates **exactly** the planned frames as `Poisoned` while every
+//!   batch-mate decodes bit-identically to sequential `decode_batch`;
+//! * injected dispatch kills are absorbed by the supervisor: the restart is
+//!   counted, every frame still resolves, and the service ends healthy;
+//! * an injected decode stall trips the health watchdog's dispatch-age
+//!   detector while it lasts — and clears once the batch completes;
+//! * shutdown drains to completion under active faults: every accepted
+//!   frame resolves as `Decoded` or `Poisoned`, never `Abandoned`;
+//! * the process-wide decode pool exits chaos at full worker strength.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use ldpc::prelude::*;
+use ldpc::serve::FaultPlan;
+
+const CODE_N: usize = 576;
+
+fn code() -> CodeId {
+    CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, CODE_N)
+}
+
+fn decoder() -> LayeredDecoder<FixedBpArithmetic> {
+    LayeredDecoder::new(FixedBpArithmetic::default(), DecoderConfig::default()).unwrap()
+}
+
+/// A deterministic noisy frame: varied enough that outputs are
+/// discriminating, clean enough that every frame decodes.
+fn frame_llrs(frame: usize) -> Vec<f64> {
+    (0..CODE_N)
+        .map(|i| {
+            let x = (frame * CODE_N + i) * 2654435761;
+            if x % 97 < 7 {
+                -1.4
+            } else {
+                3.1
+            }
+        })
+        .collect()
+}
+
+fn reference_outputs(frames: usize) -> Vec<DecodeOutput> {
+    let llrs: Vec<f64> = (0..frames).flat_map(frame_llrs).collect();
+    let compiled = code().build().unwrap().compile();
+    decoder()
+        .decode_batch(&compiled, LlrBatch::new(&llrs, CODE_N).unwrap())
+        .unwrap()
+}
+
+/// The first seed under which `plan_of(seed)` satisfies `accept` — keeps the
+/// tests deterministic without hard-coding hash values.
+fn find_seed(plan_of: impl Fn(u64) -> FaultPlan, accept: impl Fn(&FaultPlan) -> bool) -> u64 {
+    (0..10_000)
+        .find(|&seed| accept(&plan_of(seed)))
+        .expect("a suitable seed exists in the first 10k")
+}
+
+#[test]
+fn quarantine_bisection_isolates_exactly_the_poisoned_frames() {
+    let frames = 32;
+    let plan_of = |seed| {
+        let mut plan = FaultPlan::seeded(seed);
+        plan.poison_every = Some(5);
+        plan
+    };
+    // At least two poisoned and at least two clean frames, so both the
+    // bisection and the innocent-batch-mate claims are actually exercised.
+    let seed = find_seed(plan_of, |plan| {
+        let poisoned = (0..frames).filter(|&i| plan.poisons(i as u64)).count();
+        poisoned >= 2 && poisoned <= frames - 2
+    });
+    let plan = plan_of(seed);
+    let expected: HashSet<usize> = (0..frames).filter(|&i| plan.poisons(i as u64)).collect();
+
+    let service = DecodeService::builder(decoder())
+        .start_paused()
+        .queue_capacity(frames)
+        .max_batch(frames)
+        .fault_plan(plan)
+        .register(code())
+        .unwrap()
+        .build()
+        .unwrap();
+    let handles: Vec<FrameHandle> = (0..frames)
+        .map(|i| service.submit(code(), frame_llrs(i), ()).unwrap())
+        .collect();
+    service.resume();
+
+    let reference = reference_outputs(frames);
+    for (i, handle) in handles.into_iter().enumerate() {
+        match handle.wait() {
+            DecodeOutcome::Poisoned => {
+                assert!(
+                    expected.contains(&i),
+                    "frame {i} quarantined but not planned"
+                );
+            }
+            DecodeOutcome::Decoded(out) => {
+                assert!(
+                    !expected.contains(&i),
+                    "planned frame {i} escaped quarantine"
+                );
+                assert_eq!(
+                    out, reference[i],
+                    "innocent frame {i} must stay bit-identical"
+                );
+            }
+            other => panic!("frame {i}: unexpected outcome {other:?}"),
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats[0].quarantined, expected.len() as u64);
+    assert_eq!(stats[0].decoded, (frames - expected.len()) as u64);
+    assert_eq!(stats[0].abandoned, 0);
+    assert_eq!(stats[0].in_flight(), 0, "every accepted frame resolved");
+}
+
+#[test]
+fn supervisor_restarts_killed_dispatch_workers_without_losing_frames() {
+    let frames = 24;
+    let plan_of = |seed| {
+        let mut plan = FaultPlan::seeded(seed);
+        plan.kill_dispatch_every = Some(3);
+        plan
+    };
+    // The very first dispatch attempt must be a planned kill, so at least
+    // one supervised restart is guaranteed whatever the batching.
+    let seed = find_seed(plan_of, |plan| plan.kills_dispatch(0));
+    let service = DecodeService::builder(decoder())
+        .start_paused()
+        .queue_capacity(frames)
+        .max_batch(8)
+        .fault_plan(plan_of(seed))
+        .register(code())
+        .unwrap()
+        .build()
+        .unwrap();
+    let handles: Vec<FrameHandle> = (0..frames)
+        .map(|i| service.submit(code(), frame_llrs(i), ()).unwrap())
+        .collect();
+    service.resume();
+
+    let reference = reference_outputs(frames);
+    for (i, handle) in handles.into_iter().enumerate() {
+        let out = handle.wait().into_output().expect("kills poison nothing");
+        assert_eq!(out, reference[i], "frame {i} bit-identical across restarts");
+    }
+    let health = service.health();
+    let stats = service.shutdown();
+    assert_eq!(stats[0].decoded, frames as u64);
+    assert_eq!(stats[0].quarantined, 0);
+    assert_eq!(stats[0].abandoned, 0);
+    assert!(
+        stats[0].worker_restarts >= 1,
+        "the planned first-dispatch kill must have restarted a worker: {stats:?}"
+    );
+    assert_eq!(health.shards[0].worker_restarts, stats[0].worker_restarts);
+}
+
+#[test]
+fn health_watchdog_flags_an_injected_stall_and_recovers() {
+    let plan_of = |seed| {
+        let mut plan = FaultPlan::seeded(seed);
+        plan.stall_every = Some(2);
+        // Longer than the watchdog's 50 ms stall floor (the fresh shard has
+        // no cost estimate yet), with margin for the polling loop.
+        plan.stall_for = Duration::from_millis(400);
+        plan
+    };
+    let seed = find_seed(plan_of, |plan| plan.stalls(0));
+    let service = DecodeService::builder(decoder())
+        .start_paused()
+        .fault_plan(plan_of(seed))
+        .register(code())
+        .unwrap()
+        .build()
+        .unwrap();
+    let handle = service.submit(code(), frame_llrs(0), ()).unwrap();
+    service.resume();
+
+    // The lone dispatch sleeps 400 ms before decoding; the watchdog must
+    // flag it as stalled while it lasts.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut saw_stall = false;
+    while Instant::now() < deadline {
+        let health = service.health();
+        if health.shards[0].stalled {
+            assert!(health.shards[0].dispatch_in_progress);
+            assert!(!health.healthy(), "a stalled shard is not healthy");
+            saw_stall = true;
+            break;
+        }
+        if handle.is_complete() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(saw_stall, "the 400 ms injected stall was never observed");
+
+    assert!(handle.wait().is_decoded(), "a stall only delays the frame");
+    let health = service.health();
+    assert!(
+        !health.shards[0].stalled,
+        "completion clears the stall flag"
+    );
+    assert!(
+        health.shards[0].last_dispatch_age.is_some(),
+        "the finished dispatch stamped recency"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_drains_every_frame_under_active_faults_and_pool_stays_full() {
+    let frames = 40;
+    let plan_of = |seed| {
+        let mut plan = FaultPlan::seeded(seed);
+        plan.poison_every = Some(7);
+        plan.kill_dispatch_every = Some(4);
+        plan
+    };
+    let seed = find_seed(plan_of, |plan| {
+        plan.kills_dispatch(0) && (0..frames).any(|i| plan.poisons(i as u64))
+    });
+    let plan = plan_of(seed);
+    let expected: HashSet<usize> = (0..frames).filter(|&i| plan.poisons(i as u64)).collect();
+
+    let service = DecodeService::builder(decoder())
+        .start_paused()
+        .queue_capacity(frames)
+        .fault_plan(plan)
+        .register(code())
+        .unwrap()
+        .build()
+        .unwrap();
+    let handles: Vec<FrameHandle> = (0..frames)
+        .map(|i| service.submit(code(), frame_llrs(i), ()).unwrap())
+        .collect();
+    // Shutdown with everything still queued: the drain itself runs under
+    // poison + kill faults and must still complete every handle.
+    let stats = service.shutdown();
+
+    let mut poisoned = HashSet::new();
+    for (i, handle) in handles.into_iter().enumerate() {
+        match handle.wait() {
+            DecodeOutcome::Decoded(_) => {}
+            DecodeOutcome::Poisoned => {
+                poisoned.insert(i);
+            }
+            other => panic!("frame {i}: dangled as {other:?} through a faulted drain"),
+        }
+    }
+    assert_eq!(poisoned, expected, "quarantine matches the seeded plan");
+    assert_eq!(stats[0].abandoned, 0);
+    assert_eq!(stats[0].in_flight(), 0);
+    assert_eq!(
+        stats[0].decoded + stats[0].quarantined,
+        frames as u64,
+        "all accounted: {stats:?}"
+    );
+
+    // The process-wide decode pool must exit chaos at full strength (fresh
+    // workers register asynchronously, so allow it to converge).
+    let pool = ldpc::core::DecodePool::global();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while pool.live_workers() < pool.workers() {
+        assert!(
+            Instant::now() < deadline,
+            "decode pool stuck below strength: {} of {}",
+            pool.live_workers(),
+            pool.workers()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
