@@ -78,6 +78,20 @@
 //!    (`pool_live == pool_workers`), and the supervisor must have actually
 //!    absorbed a crash (`worker_restarts >= 1` — a chaos gate that injected
 //!    nothing must not pass).
+//! 10. **HARQ gate** (`--require-harq`, single-file mode): the file is the
+//!     verdict object from `soak --harq-storm --harq-json` — the stateful
+//!     retransmission contract. Combined outputs must be bit-identical to
+//!     the offline quantize→accumulate→saturate mirror (`mismatches == 0`
+//!     with `bitident_checked >= 1` — a gate that checked nothing must not
+//!     pass), the soft-buffer store must never exceed its budget
+//!     (`peak_occupancy_bytes <= budget_bytes`), the shutdown drain must
+//!     leave it empty and balanced (`occupancy_after_drain == 0`,
+//!     `leaked == 0`), every accepted frame must resolve
+//!     (`unresolved == 0`), the storm must have actually squeezed the store
+//!     (`evictions >= 1` with the LRU/TTL/forced breakdown summing exactly,
+//!     `evictions_forced >= 1` since CI compiles the fault plan in), and
+//!     the retry path must not double-count energy (`combines == submitted
+//!     + refused` — one combine per transmission, refusals included).
 //!
 //! Exits non-zero with a per-benchmark report on any violation. The parser
 //! handles exactly the shim's one-measurement-per-line format — this tool
@@ -231,6 +245,91 @@ fn check_chaos(json: &str) -> Vec<String> {
         violations.push(
             "no supervised worker restart recorded — the chaos run injected nothing".to_string(),
         );
+    }
+    violations
+}
+
+/// Check 10: the stateful-HARQ contract from a `soak --harq-storm
+/// --harq-json` verdict object.
+fn check_harq(json: &str) -> Vec<String> {
+    let field = |key: &str| {
+        json.lines()
+            .find_map(|line| num_field(line, key))
+            .ok_or_else(|| format!("no \"{key}\" field found — wrong input file?"))
+    };
+    let mut violations = Vec::new();
+    let mut get = |key: &str| match field(key) {
+        Ok(v) => v,
+        Err(e) => {
+            violations.push(e);
+            f64::NAN
+        }
+    };
+    let bitident_checked = get("bitident_checked");
+    let mismatches = get("mismatches");
+    let budget_bytes = get("budget_bytes");
+    let peak = get("peak_occupancy_bytes");
+    let after_drain = get("occupancy_after_drain");
+    let leaked = get("leaked");
+    let unresolved = get("unresolved");
+    let submitted = get("submitted");
+    let refused = get("refused");
+    let combines = get("combines");
+    let evictions = get("evictions");
+    let evictions_lru = get("evictions_lru");
+    let evictions_ttl = get("evictions_ttl");
+    let evictions_forced = get("evictions_forced");
+    if !violations.is_empty() {
+        return violations;
+    }
+    if bitident_checked < 1.0 {
+        violations.push("no bit-identity checks ran — the gate verified nothing".to_string());
+    }
+    if mismatches != 0.0 {
+        violations.push(format!(
+            "{mismatches} combined outputs diverged from the offline combine + decode_batch mirror"
+        ));
+    }
+    if submitted < 1.0 {
+        violations.push("the storm submitted no frames".to_string());
+    }
+    if peak > budget_bytes {
+        violations.push(format!(
+            "soft-buffer peak {peak} bytes exceeded the {budget_bytes} byte budget"
+        ));
+    }
+    if after_drain != 0.0 {
+        violations.push(format!(
+            "{after_drain} bytes still held after the shutdown drain"
+        ));
+    }
+    if leaked != 0.0 {
+        violations.push(format!("soft-buffer ledger leaked {leaked} entries"));
+    }
+    if unresolved != 0.0 {
+        violations.push(format!("{unresolved} accepted frames never resolved"));
+    }
+    if evictions < 1.0 {
+        violations
+            .push("the storm produced no evictions — the budget was never squeezed".to_string());
+    }
+    if evictions_lru + evictions_ttl + evictions_forced != evictions {
+        violations.push(format!(
+            "eviction breakdown {evictions_lru} lru + {evictions_ttl} ttl + \
+             {evictions_forced} forced != {evictions} total"
+        ));
+    }
+    if evictions_forced < 1.0 {
+        violations.push(
+            "no forced mid-combine evictions recorded — the fault plan injected nothing"
+                .to_string(),
+        );
+    }
+    if combines != submitted + refused {
+        violations.push(format!(
+            "{combines} combines for {submitted} + {refused} transmissions — \
+             retries must not re-combine"
+        ));
     }
     violations
 }
@@ -434,6 +533,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     let mut cascade_speedup: Option<f64> = None;
     let mut latency_margin: Option<f64> = None;
     let mut chaos_gate = false;
+    let mut harq_gate = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -473,6 +573,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             "--require-chaos" => {
                 chaos_gate = true;
             }
+            "--require-harq" => {
+                harq_gate = true;
+            }
             _ => files.push(arg.clone()),
         }
     }
@@ -488,6 +591,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                 && cascade_speedup.is_none()
                 && latency_margin.is_none()
                 && !chaos_gate
+                && !harq_gate
             {
                 return Err(
                     "single-file mode needs a same-run check flag (two files for a baseline diff)"
@@ -508,6 +612,13 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                 let json = std::fs::read_to_string(single)
                     .map_err(|e| format!("cannot read {single}: {e}"))?;
                 violations.extend(check_chaos(&json));
+            }
+            // The HARQ gate reads a soak storm-verdict dump, not a
+            // criterion shim dump.
+            if harq_gate {
+                let json = std::fs::read_to_string(single)
+                    .map_err(|e| format!("cannot read {single}: {e}"))?;
+                violations.extend(check_harq(&json));
             }
             let needs_benches = lane_margin.is_some()
                 || multiframe_margin.is_some()
@@ -556,6 +667,9 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
             if chaos_gate {
                 return Err("--require-chaos is a single-file check".to_string());
             }
+            if harq_gate {
+                return Err("--require-harq is a single-file check".to_string());
+            }
             let baseline = read_benches(baseline)?;
             let new = read_benches(new)?;
             if let Some(factor) = speedup_factor {
@@ -589,7 +703,7 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
                          [--require-multiframe-speedup [F]] [--require-simd-not-slower [M]] \
                          [--require-simd-speedup [F]] [--require-scaling [F]] \
                          [--require-cascade-speedup [F]] [--require-latency [M]] \
-                         [--require-chaos]"
+                         [--require-chaos] [--require-harq]"
                     .to_string(),
             )
         }
@@ -887,6 +1001,63 @@ mod tests {
             check_pair_speedup(&benches[..1], "_cascade", "_fixed_bp", 1.3).len(),
             1
         );
+    }
+
+    const HARQ_SAMPLE: &str = r#"{"harq_sessions": 391, "harq_frames": 474, "refused": 3, "bitident_checked": 240, "mismatches": 0, "budget_bytes": 131072, "peak_occupancy_bytes": 130240, "occupancy_after_drain": 0, "evictions": 343, "evictions_lru": 104, "evictions_ttl": 232, "evictions_forced": 7, "evicted_restarts": 132, "combines": 477, "released": 68, "drained": 16, "leaked": 0, "submitted": 474, "resolved": 474, "unresolved": 0}"#;
+
+    #[test]
+    fn harq_gate_passes_a_clean_storm_verdict() {
+        assert!(check_harq(HARQ_SAMPLE).is_empty());
+    }
+
+    #[test]
+    fn harq_gate_flags_each_broken_invariant() {
+        let broke = |from: &str, to: &str, needle: &str| {
+            let v = check_harq(&HARQ_SAMPLE.replace(from, to));
+            assert!(
+                v.iter().any(|m| m.contains(needle)),
+                "replacing {from} with {to} should flag \"{needle}\", got {v:?}"
+            );
+        };
+        broke("\"mismatches\": 0", "\"mismatches\": 2", "diverged");
+        broke(
+            "\"bitident_checked\": 240",
+            "\"bitident_checked\": 0",
+            "verified nothing",
+        );
+        broke(
+            "\"peak_occupancy_bytes\": 130240",
+            "\"peak_occupancy_bytes\": 140000",
+            "exceeded",
+        );
+        broke(
+            "\"occupancy_after_drain\": 0",
+            "\"occupancy_after_drain\": 2368",
+            "after the shutdown drain",
+        );
+        broke("\"leaked\": 0", "\"leaked\": 1", "leaked");
+        broke("\"unresolved\": 0", "\"unresolved\": 5", "never resolved");
+        // Zero evictions breaks both the squeeze check and the breakdown sum.
+        broke("\"evictions\": 343", "\"evictions\": 0", "never squeezed");
+        broke(
+            "\"evictions_lru\": 104",
+            "\"evictions_lru\": 100",
+            "breakdown",
+        );
+        broke(
+            "\"evictions_forced\": 7",
+            "\"evictions_forced\": 0",
+            "injected nothing",
+        );
+        // 480 combines for 474 + 3 transmissions: a retry re-combined.
+        broke("\"combines\": 477", "\"combines\": 480", "re-combine");
+    }
+
+    #[test]
+    fn harq_gate_rejects_a_file_missing_its_fields() {
+        let v = check_harq("{\"submitted\": 10}");
+        assert!(!v.is_empty());
+        assert!(v[0].contains("wrong input file"), "{v:?}");
     }
 
     #[test]

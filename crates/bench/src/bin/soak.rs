@@ -83,10 +83,41 @@
 //! mode forces greedy, deadline-free submission so the only non-`Decoded`
 //! outcomes are the injected ones.
 //!
+//! With fault injection built in, chaos mode also sets
+//! `FaultPlan::evict_every` and routes every post-prefix frame through
+//! `submit_harq` over a small recycled key pool against a deliberately tiny
+//! soft-buffer budget — forced evictions land mid-combine, LRU churn runs
+//! alongside the poison/stall/kill faults, and the verdict additionally
+//! requires the store's ledger to balance (zero leaked buffers).
+//!
+//! ## HARQ storm mode (`--harq-storm`)
+//!
+//! Exercises the stateful retransmission tier end-to-end, in two phases:
+//!
+//! 1. **Bit-identity**: a few sequential HARQ sessions submit-and-wait one
+//!    transmission at a time while the harness mirrors the service's
+//!    combining offline (normalize → quantize → wide accumulate → saturate →
+//!    dequantize → direct `decode_batch`); every service output must match
+//!    the mirror exactly, and successful decodes must reset the mirror
+//!    accumulator just as they release the service's buffer.
+//! 2. **Storm**: an [`ldpc_channel::HarqTraffic`] stream churns thousands of
+//!    user keys across a session pool far larger than the configured
+//!    `--harq-budget-bytes`, submitted through the jittered retry loop —
+//!    with the seeded poison/kill/evict faults active when the binary has
+//!    `fault-injection`. The verdict: peak occupancy never exceeded the
+//!    budget, every accepted frame resolved, evictions are fully accounted
+//!    (LRU + TTL + forced = total), and after the drain the store holds
+//!    zero bytes with a balanced ledger (zero leaks).
+//!
+//! `--harq-json PATH` dumps the combined verdict for
+//! `compare_bench --require-harq` — the CI HARQ gate.
+//!
 //! ```text
 //! soak [--duration-ms 2000] [--deadline-ms 1000] [--slo-ms N]
 //!      [--burst N] [--gap-ms N] [--latency-json PATH] [--allow-shed]
 //!      [--chaos] [--chaos-json PATH]
+//!      [--harq-storm] [--harq-json PATH] [--harq-budget-bytes N]
+//!      [--harq-concurrency N]
 //!      [--queue 64] [--max-batch 32] [--decode-threads 1] [--cascade]
 //!      [--ebn0 2.5] [--seed 1] [--min-fps 0] [--verify-frames 4096]
 //!      [--modes wimax:1/2:576,wifi:1/2:648,...]
@@ -96,14 +127,14 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use ldpc_channel::{BurstProfile, MixedTraffic};
+use ldpc_channel::{BurstProfile, HarqTraffic, LlrQuantizer, MixedTraffic};
 use ldpc_codes::CodeId;
 use ldpc_core::decoder::{DecoderConfig, LayeredDecoder};
-use ldpc_core::{DecodeOutput, Decoder, FloatBpArithmetic, LlrBatch};
+use ldpc_core::{DecodeOutput, Decoder, FloatBpArithmetic, HarqCombiner, LlrBatch};
 #[cfg(feature = "fault-injection")]
 use ldpc_serve::FaultPlan;
 use ldpc_serve::{
-    CascadePolicy, DecodeOutcome, DecodeService, DecoderPolicy, FrameHandle, RetryPolicy,
+    CascadePolicy, DecodeOutcome, DecodeService, DecoderPolicy, FrameHandle, HarqKey, RetryPolicy,
     ShardPolicy, SubmitOptions,
 };
 
@@ -117,6 +148,10 @@ struct Args {
     allow_shed: bool,
     chaos: bool,
     chaos_json: Option<String>,
+    harq_storm: bool,
+    harq_json: Option<String>,
+    harq_budget_bytes: usize,
+    harq_concurrency: usize,
     queue_capacity: usize,
     max_batch: usize,
     decode_threads: usize,
@@ -140,6 +175,10 @@ impl Default for Args {
             allow_shed: false,
             chaos: false,
             chaos_json: None,
+            harq_storm: false,
+            harq_json: None,
+            harq_budget_bytes: 128 * 1024,
+            harq_concurrency: 256,
             queue_capacity: 64,
             max_batch: 32,
             decode_threads: 1,
@@ -208,6 +247,22 @@ fn parse_args() -> Result<Args, String> {
             "--chaos-json" => {
                 args.chaos_json = Some(value("--chaos-json")?);
             }
+            "--harq-storm" => {
+                args.harq_storm = true;
+            }
+            "--harq-json" => {
+                args.harq_json = Some(value("--harq-json")?);
+            }
+            "--harq-budget-bytes" => {
+                args.harq_budget_bytes = value("--harq-budget-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--harq-budget-bytes: {e}"))?;
+            }
+            "--harq-concurrency" => {
+                args.harq_concurrency = value("--harq-concurrency")?
+                    .parse()
+                    .map_err(|e| format!("--harq-concurrency: {e}"))?;
+            }
             "--queue" => {
                 args.queue_capacity = value("--queue")?
                     .parse()
@@ -264,6 +319,15 @@ fn parse_args() -> Result<Args, String> {
     if args.chaos && args.slo.is_some() {
         return Err("--chaos forces greedy deadline-free submission; drop --slo-ms".to_string());
     }
+    if args.harq_json.is_some() && !args.harq_storm {
+        return Err("--harq-json requires --harq-storm".to_string());
+    }
+    if args.harq_storm && (args.chaos || args.slo.is_some()) {
+        return Err("--harq-storm is its own mode; drop --chaos / --slo-ms".to_string());
+    }
+    if args.harq_storm && args.harq_concurrency == 0 {
+        return Err("--harq-concurrency needs at least one session".to_string());
+    }
     Ok(args)
 }
 
@@ -275,7 +339,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: soak [--duration-ms N] [--deadline-ms N] [--slo-ms N] [--burst N] \
                  [--gap-ms N] [--latency-json PATH] [--allow-shed] [--chaos] [--chaos-json PATH] \
-                 [--queue N] [--max-batch N] \
+                 [--harq-storm] [--harq-json PATH] [--harq-budget-bytes N] \
+                 [--harq-concurrency N] [--queue N] [--max-batch N] \
                  [--decode-threads N] [--cascade] [--ebn0 F] [--seed N] [--min-fps F] \
                  [--verify-frames N] [--modes a,b,c]"
             );
@@ -292,7 +357,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    if args.cascade {
+    if args.harq_storm {
+        if args.cascade {
+            run_harq(&args, "cascade", CascadePolicy::default())
+        } else {
+            let decoder =
+                LayeredDecoder::new(FloatBpArithmetic::default(), DecoderConfig::default())
+                    .unwrap();
+            run_harq(&args, "float_bp", decoder)
+        }
+    } else if args.cascade {
         // The reference decoder for the bit-identity re-decode is a second
         // cascade instance: cascade decoding is deterministic per frame, so
         // any instance with the same policy reproduces the service outputs.
@@ -367,22 +441,29 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
         plan.stall_every = Some(97);
         plan.stall_for = Duration::from_millis(2);
         plan.kill_dispatch_every = Some(5);
+        plan.evict_every = Some(3);
         plan
     });
     let mut builder = DecodeService::builder(policy)
         .queue_capacity(args.queue_capacity)
         .max_batch(args.max_batch)
         .decode_threads(args.decode_threads);
+    if args.chaos {
+        // A budget smaller than the chaos key pool's working set, so LRU
+        // eviction churns alongside the plan's forced mid-combine evictions.
+        builder = builder.harq_buffer_bytes(64 * 1024);
+    }
     #[cfg(feature = "fault-injection")]
     if let Some(plan) = chaos_plan {
         println!(
             "soak: chaos plan (seed {}): poison ~1/{}, stall ~1/{} for {} ms, \
-             kill dispatch ~1/{}",
+             kill dispatch ~1/{}, evict ~1/{}",
             plan.seed,
             plan.poison_every.unwrap_or(0),
             plan.stall_every.unwrap_or(0),
             plan.stall_for.as_millis(),
-            plan.kill_dispatch_every.unwrap_or(0)
+            plan.kill_dispatch_every.unwrap_or(0),
+            plan.evict_every.unwrap_or(0)
         );
         builder = builder.fault_plan(plan);
     }
@@ -406,6 +487,7 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
     let mut warm_pool_created: Option<usize> = None;
     let start = Instant::now();
     let mut llrs_buf: Vec<f64> = Vec::new();
+    let mut harq_frames = 0u64;
     loop {
         let elapsed = start.elapsed();
         if elapsed >= args.duration {
@@ -437,7 +519,23 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
                 None => SubmitOptions::new().deadline(Instant::now() + args.deadline),
             }
         };
-        let submitted = if args.burst > 0 && !args.chaos {
+        let submitted = if args.chaos && handles.len() >= args.verify_frames {
+            // Past the bit-identity prefix, chaos frames ride the HARQ path
+            // over a small recycled key pool: soft buffers combine, churn
+            // through the deliberately tiny budget, and absorb the plan's
+            // forced mid-combine evictions — while each frame must still
+            // resolve under the same poison predicate as a plain submit
+            // (blocking HARQ submission consumes ingest seqs in order too).
+            let idx = handles.len() as u64;
+            harq_frames += 1;
+            service.submit_harq(
+                id,
+                HarqKey::new(idx % 32, ((idx / 32) % 8) as u8),
+                (idx % 4) as u8,
+                std::mem::take(&mut llrs_buf),
+                options,
+            )
+        } else if args.burst > 0 && !args.chaos {
             // Bursty producers meet the queue bound as QueueFull refusals
             // and ride them out with jittered backoff; generous attempts so
             // only a wedged service exhausts the loop.
@@ -462,6 +560,9 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
     let submitted = handles.len();
 
     // Drain: shutdown completes every accepted frame, then collect outcomes.
+    // The store handle outlives the shutdown so the post-drain HARQ ledger
+    // stays readable.
+    let harq_store = service.harq_store();
     let stats = service.shutdown();
     let stream_elapsed = start.elapsed();
     let outcomes: Vec<DecodeOutcome> = handles.into_iter().map(FrameHandle::wait).collect();
@@ -557,9 +658,14 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
     }
 
     if args.chaos || quarantined > 0 || worker_restarts > 0 {
+        let harq = harq_store.stats();
         println!(
             "soak: fault tolerance — {quarantined} quarantined, {worker_restarts} worker \
-             restart(s), {abandoned} abandoned"
+             restart(s), {abandoned} abandoned; HARQ {harq_frames} frame(s), \
+             {} eviction(s) ({} forced), {} leaked",
+            harq.evictions(),
+            harq.evictions_forced,
+            harq.leaked()
         );
     }
 
@@ -724,17 +830,35 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
                 pool.workers()
             ));
         }
+        let harq = harq_store.stats();
+        if harq.leaked() != 0 {
+            violations.push(format!(
+                "chaos: soft-buffer ledger out of balance ({} leaked)",
+                harq.leaked()
+            ));
+        }
+        if harq.occupancy_bytes != 0 {
+            violations.push(format!(
+                "chaos: {} bytes still held in the soft-buffer store after the drain",
+                harq.occupancy_bytes
+            ));
+        }
         if let Some(path) = &args.chaos_json {
             let line = format!(
                 "{{\"submitted\": {submitted}, \"resolved\": {resolved}, \
                  \"poisoned\": {}, \"expected_poisoned\": {}, \"abandoned\": {abandoned}, \
                  \"worker_restarts\": {worker_restarts}, \"pool_workers\": {}, \
                  \"pool_live\": {pool_live}, \"pool_restarts\": {}, \
-                 \"mismatches\": {mismatches}}}\n",
+                 \"mismatches\": {mismatches}, \"harq_frames\": {harq_frames}, \
+                 \"harq_evictions\": {}, \"harq_forced_evictions\": {}, \
+                 \"harq_leaked\": {}}}\n",
                 actual_poisoned.len(),
                 expected_poisoned.len(),
                 pool.workers(),
                 pool.worker_restarts(),
+                harq.evictions(),
+                harq.evictions_forced,
+                harq.leaked(),
             );
             if let Err(e) = std::fs::write(path, &line) {
                 eprintln!("soak: FAIL — cannot write {path}: {e}");
@@ -742,6 +866,288 @@ fn run<P: DecoderPolicy>(args: &Args, decoder_label: &str, policy: P) -> ExitCod
             }
             println!("soak: chaos verdict written to {path}");
         }
+    }
+
+    if violations.is_empty() {
+        println!("soak: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("soak: FAIL — {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// The HARQ storm harness (`--harq-storm`): phase A mirrors the service's
+/// soft combining offline and demands bit-identity; phase B churns a
+/// key population far beyond the soft-buffer budget (with seeded faults
+/// when compiled in) and demands bounded occupancy, full resolution and a
+/// balanced ledger after the drain.
+fn run_harq<P: DecoderPolicy + Clone>(args: &Args, decoder_label: &str, policy: P) -> ExitCode {
+    let mode = args.modes[0];
+    let decoder = policy.build_decoder();
+    let quantizer = LlrQuantizer::default();
+    let combiner = HarqCombiner::new(quantizer.max_code());
+    let compiled = mode.build().unwrap().compile();
+    let mut violations: Vec<String> = Vec::new();
+
+    println!(
+        "soak: HARQ storm — mode {mode}, {} ms storm, budget {} bytes, {} live sessions, \
+         decoder {decoder_label}, Eb/N0 {} dB, kernel tier {}",
+        args.duration.as_millis(),
+        args.harq_budget_bytes,
+        args.harq_concurrency,
+        args.ebn0_db,
+        ldpc_core::kernel_tier()
+    );
+
+    // ---- Phase A: bit-identity against an offline mirror of the combining
+    // pipeline. Few sessions, sequential submit-and-wait, fault-free, ample
+    // budget — nothing evicts, so the mirror is exact: normalize → quantize
+    // → wide accumulate → saturate → dequantize → direct decode_batch.
+    let service = DecodeService::builder(policy.clone())
+        .register(mode)
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut traffic = HarqTraffic::new(mode, args.ebn0_db, 4, 4, args.seed).unwrap();
+    let mut mirrors: HashMap<(u64, u8), Vec<i32>> = HashMap::new();
+    let mut bitident_checked = 0u64;
+    let mut mismatches = 0u64;
+    let mut deep_combines = 0u64;
+    for _ in 0..240 {
+        let tx = traffic.next_tx();
+        let key = HarqKey::new(tx.user, tx.process);
+        let mut full = tx.llrs.clone();
+        quantizer.normalize_in_place(&mut full);
+        let incoming = quantizer.quantize_all_to_codes(&full);
+        let acc = mirrors
+            .entry((tx.user, tx.process))
+            .or_insert_with(|| vec![0i32; mode.n]);
+        combiner.accumulate(acc, &incoming);
+        let mut saturated = vec![0i32; mode.n];
+        combiner.saturate_into(acc, &mut saturated);
+        let mirror_llrs: Vec<f64> = saturated.iter().map(|&c| quantizer.dequantize(c)).collect();
+        let reference = decoder
+            .decode_batch(&compiled, LlrBatch::new(&mirror_llrs, mode.n).unwrap())
+            .unwrap()
+            .remove(0);
+        let handle = match service.submit_harq(mode, key, tx.rv, tx.llrs, ()) {
+            Ok(handle) => handle,
+            Err(e) => {
+                eprintln!("soak: FAIL — HARQ submission refused: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match handle.wait() {
+            DecodeOutcome::Decoded(out) => {
+                bitident_checked += 1;
+                if out != reference {
+                    mismatches += 1;
+                }
+                // A parity-satisfied decode releases the service's buffer;
+                // the mirror resets the same way. A retired session's key
+                // never transmits again, so its mirror state is dead too.
+                if out.parity_satisfied || tx.last {
+                    mirrors.remove(&(tx.user, tx.process));
+                } else {
+                    deep_combines += 1;
+                }
+            }
+            other => {
+                violations.push(format!("phase A frame resolved as {other:?}, not Decoded"));
+            }
+        }
+    }
+    let store = service.harq_store();
+    service.shutdown();
+    let phase_a = store.stats();
+    println!(
+        "soak: phase A — {bitident_checked} transmissions bit-checked against the offline \
+         mirror, {mismatches} mismatch(es), {deep_combines} multi-round combine(s), \
+         {} release(s), {} leaked",
+        phase_a.releases,
+        phase_a.leaked()
+    );
+    if mismatches > 0 {
+        violations.push(format!(
+            "{mismatches} HARQ outputs differ from the offline combine + decode_batch mirror"
+        ));
+    }
+    if phase_a.leaked() != 0 || phase_a.occupancy_bytes != 0 {
+        violations.push(format!(
+            "phase A ledger unbalanced after drain ({} leaked, {} bytes held)",
+            phase_a.leaked(),
+            phase_a.occupancy_bytes
+        ));
+    }
+
+    // ---- Phase B: the storm. A session pool far larger than the budget,
+    // every transmission through the jittered retry loop, seeded faults
+    // (poison / dispatch kill / mid-combine evict) when compiled in.
+    #[cfg_attr(not(feature = "fault-injection"), allow(unused_mut))]
+    let mut builder = DecodeService::builder(policy)
+        .queue_capacity(args.queue_capacity)
+        .max_batch(args.max_batch)
+        .decode_threads(args.decode_threads)
+        .harq_buffer_bytes(args.harq_budget_bytes)
+        .harq_ttl(Duration::from_millis(200));
+    #[cfg(feature = "fault-injection")]
+    {
+        let mut plan = FaultPlan::seeded(args.seed);
+        plan.poison_every = Some(31);
+        plan.kill_dispatch_every = Some(7);
+        plan.evict_every = Some(9);
+        println!(
+            "soak: storm fault plan (seed {}): poison ~1/31, kill dispatch ~1/7, \
+             evict ~1/9 combines",
+            plan.seed
+        );
+        builder = builder.fault_plan(plan);
+    }
+    let service = builder.register(mode).unwrap().build().unwrap();
+    let mut traffic = HarqTraffic::new(
+        mode,
+        args.ebn0_db,
+        args.harq_concurrency,
+        4,
+        args.seed ^ 0x5707_1234,
+    )
+    .unwrap();
+    let retry = RetryPolicy {
+        max_attempts: 500,
+        base_backoff: Duration::from_micros(100),
+        max_backoff: Duration::from_millis(5),
+        ..RetryPolicy::default()
+    };
+    let mut handles: Vec<FrameHandle> = Vec::new();
+    let mut refused = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < args.duration {
+        let tx = traffic.next_tx();
+        let key = HarqKey::new(tx.user, tx.process);
+        match service.submit_harq_with_retry(mode, key, tx.rv, tx.llrs, (), retry) {
+            Ok(handle) => handles.push(handle),
+            Err(ldpc_serve::SubmitError::QueueFull { .. }) => {
+                // Backpressure outlasted the retry budget: the transmission
+                // is dropped, its energy already banked in the parked
+                // buffer — exactly how a refused retransmission degrades.
+                refused += 1;
+            }
+            Err(e) => {
+                eprintln!("soak: FAIL — storm submission refused: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let submitted = handles.len() as u64;
+    let sessions = traffic.sessions_started();
+    let store = service.harq_store();
+    let stats = service.shutdown();
+    let outcomes: Vec<DecodeOutcome> = handles.into_iter().map(FrameHandle::wait).collect();
+    let resolved = outcomes.len() as u64;
+    let final_stats = store.stats();
+
+    let accepted: u64 = stats.iter().map(|s| s.accepted).sum();
+    let unresolved: u64 = stats.iter().map(|s| s.in_flight()).sum();
+    let abandoned: u64 = stats.iter().map(|s| s.abandoned).sum();
+    let quarantined: u64 = stats.iter().map(|s| s.quarantined).sum();
+    let evicted_restarts: u64 = stats.iter().map(|s| s.harq_evicted_restarts).sum();
+    println!(
+        "soak: phase B — {submitted} transmissions over {sessions} sessions ({refused} \
+         refused), {quarantined} poisoned, peak {} of {} budget bytes, \
+         {} eviction(s) [lru {}, ttl {}, forced {}], {} evicted restart(s), \
+         {} combine(s), {} release(s), {} drained, {} leaked",
+        final_stats.peak_occupancy_bytes,
+        final_stats.budget_bytes,
+        final_stats.evictions(),
+        final_stats.evictions_lru,
+        final_stats.evictions_ttl,
+        final_stats.evictions_forced,
+        evicted_restarts,
+        final_stats.combines,
+        final_stats.releases,
+        final_stats.drained,
+        final_stats.leaked()
+    );
+
+    if accepted != submitted {
+        violations.push(format!(
+            "storm: accepted {accepted} != submitted {submitted}"
+        ));
+    }
+    if unresolved > 0 {
+        violations.push(format!(
+            "storm: {unresolved} accepted frames never resolved"
+        ));
+    }
+    if abandoned > 0 {
+        violations.push(format!("storm: {abandoned} frames abandoned"));
+    }
+    if final_stats.peak_occupancy_bytes > final_stats.budget_bytes {
+        violations.push(format!(
+            "storm: peak occupancy {} bytes exceeded the {} byte budget",
+            final_stats.peak_occupancy_bytes, final_stats.budget_bytes
+        ));
+    }
+    if final_stats.occupancy_bytes != 0 || final_stats.entries != 0 {
+        violations.push(format!(
+            "storm: {} bytes in {} entries still held after the drain",
+            final_stats.occupancy_bytes, final_stats.entries
+        ));
+    }
+    if final_stats.leaked() != 0 {
+        violations.push(format!(
+            "storm: soft-buffer ledger out of balance ({} leaked)",
+            final_stats.leaked()
+        ));
+    }
+    if final_stats.evictions() == 0 {
+        violations.push("storm: the budget squeeze produced no evictions".to_string());
+    }
+    #[cfg(feature = "fault-injection")]
+    if final_stats.evictions_forced == 0 {
+        violations.push("storm: the seeded plan forced no mid-combine evictions".to_string());
+    }
+    // One combine per accepted-or-refused transmission, exactly: a retry
+    // loop that re-combined would double-count transmission energy.
+    if final_stats.combines != submitted + refused {
+        violations.push(format!(
+            "storm: {} combines for {} transmissions — retries must not re-combine",
+            final_stats.combines,
+            submitted + refused
+        ));
+    }
+
+    if let Some(path) = &args.harq_json {
+        let line = format!(
+            "{{\"harq_sessions\": {sessions}, \"harq_frames\": {submitted}, \
+             \"refused\": {refused}, \"bitident_checked\": {bitident_checked}, \
+             \"mismatches\": {mismatches}, \"budget_bytes\": {}, \
+             \"peak_occupancy_bytes\": {}, \"occupancy_after_drain\": {}, \
+             \"evictions\": {}, \"evictions_lru\": {}, \"evictions_ttl\": {}, \
+             \"evictions_forced\": {}, \"evicted_restarts\": {evicted_restarts}, \
+             \"combines\": {}, \"released\": {}, \"drained\": {}, \"leaked\": {}, \
+             \"submitted\": {submitted}, \"resolved\": {resolved}, \
+             \"unresolved\": {unresolved}}}\n",
+            final_stats.budget_bytes,
+            final_stats.peak_occupancy_bytes,
+            final_stats.occupancy_bytes,
+            final_stats.evictions(),
+            final_stats.evictions_lru,
+            final_stats.evictions_ttl,
+            final_stats.evictions_forced,
+            final_stats.combines,
+            final_stats.releases,
+            final_stats.drained,
+            final_stats.leaked(),
+        );
+        if let Err(e) = std::fs::write(path, &line) {
+            eprintln!("soak: FAIL — cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("soak: HARQ storm verdict written to {path}");
     }
 
     if violations.is_empty() {

@@ -44,4 +44,6 @@ pub mod workload;
 pub use awgn::AwgnChannel;
 pub use quantize::LlrQuantizer;
 pub use stats::{ErrorCounter, IterationHistogram, SnrPoint, SnrSweep};
-pub use workload::{BurstProfile, Frame, FrameBlock, FrameSource, MixedTraffic, SnrProfile};
+pub use workload::{
+    BurstProfile, Frame, FrameBlock, FrameSource, HarqTraffic, HarqTx, MixedTraffic, SnrProfile,
+};

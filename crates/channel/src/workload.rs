@@ -14,6 +14,11 @@
 //! single-mode sources into one deterministic multi-code frame stream — the
 //! workload a sharded decode service sees in production, where frames of
 //! different standards and block lengths arrive mingled on one ingest path.
+//!
+//! [`HarqTraffic`] generates the retransmission-side analogue: a churning
+//! population of HARQ sessions, each a codeword transmitted several times
+//! under independent noise, interleaved across many user/process keys — the
+//! adversarial workload a bounded soft-buffer store has to survive.
 
 use std::time::Duration;
 
@@ -579,6 +584,174 @@ impl MixedTraffic {
     }
 }
 
+/// One transmission emitted by a [`HarqTraffic`] stream: a noisy observation
+/// of its session's codeword, tagged with the HARQ identity a serving tier
+/// keys soft buffers on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarqTx {
+    /// Session owner — unique per session, so a churning stream visits
+    /// thousands of distinct `(user, process)` keys.
+    pub user: u64,
+    /// HARQ process slot of the session (0..8, as in LTE/NR's parallel
+    /// stop-and-wait processes).
+    pub process: u8,
+    /// Redundancy version of this transmission (cycles 0..4 within the
+    /// session).
+    pub rv: u8,
+    /// Whether this is the session's final transmission: after it, the
+    /// session retires and its key never transmits again.
+    pub last: bool,
+    /// Full-codeword channel LLRs (`n` values) of this transmission. Each
+    /// transmission carries an independent noise realisation of the *same*
+    /// codeword, so soft-combining them raises the effective SNR.
+    pub llrs: Vec<f64>,
+    /// The session's transmitted codeword — ground truth for checking a
+    /// combined decode.
+    pub codeword: Vec<u8>,
+}
+
+/// One live retransmission session of a [`HarqTraffic`] stream.
+#[derive(Debug, Clone)]
+struct HarqSession {
+    user: u64,
+    process: u8,
+    codeword: Vec<u8>,
+    sent: u8,
+    total: u8,
+}
+
+/// A deterministic stream of HARQ transmissions: a fixed-size pool of live
+/// sessions (each one codeword, retransmitted `1..=max_tx` times under
+/// independent noise) interleaved by a seeded picker; a session that sends
+/// its last transmission retires and a fresh session — with a fresh user key
+/// — takes its slot. Run long enough, the stream churns through thousands of
+/// distinct keys while keeping `concurrency` of them active at any moment:
+/// exactly the arrival pattern that forces a bounded soft-buffer store to
+/// evict.
+///
+/// Everything — codewords, noise, session lengths, interleaving — derives
+/// from the seed, so two streams with equal parameters emit identical
+/// transmission sequences.
+#[derive(Debug, Clone)]
+pub struct HarqTraffic {
+    source: FrameSource,
+    channel: AwgnChannel,
+    sessions: Vec<HarqSession>,
+    picker: StdRng,
+    next_user: u64,
+    max_tx: u8,
+    started: u64,
+    completed: u64,
+    emitted: u64,
+}
+
+impl HarqTraffic {
+    /// A stream of `concurrency` interleaved sessions of `id`'s code at
+    /// `ebn0_db`, each retransmitting between 1 and `max_tx` times (drawn
+    /// per session from the seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is unsupported or not encodable, or
+    /// `concurrency` or `max_tx` is zero.
+    pub fn new(
+        id: CodeId,
+        ebn0_db: f64,
+        concurrency: usize,
+        max_tx: u8,
+        seed: u64,
+    ) -> Result<Self, CodeError> {
+        if concurrency == 0 {
+            return Err(CodeError::InvalidParameter {
+                reason: "HarqTraffic needs at least one live session".into(),
+            });
+        }
+        if max_tx == 0 {
+            return Err(CodeError::InvalidParameter {
+                reason: "HarqTraffic sessions need at least one transmission".into(),
+            });
+        }
+        let code = id.build()?;
+        let mut traffic = HarqTraffic {
+            source: FrameSource::random(&code, seed)?,
+            channel: AwgnChannel::from_ebn0_db(ebn0_db, code.rate()),
+            sessions: Vec::with_capacity(concurrency),
+            picker: StdRng::seed_from_u64(seed.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ 0x4a9c),
+            next_user: 0,
+            max_tx,
+            started: 0,
+            completed: 0,
+            emitted: 0,
+        };
+        for _ in 0..concurrency {
+            let session = traffic.spawn_session();
+            traffic.sessions.push(session);
+        }
+        Ok(traffic)
+    }
+
+    fn spawn_session(&mut self) -> HarqSession {
+        let user = self.next_user;
+        self.next_user += 1;
+        self.started += 1;
+        HarqSession {
+            user,
+            // Spread sessions across the 8 HARQ process slots.
+            process: (user % 8) as u8,
+            codeword: self.source.next_frame().codeword,
+            sent: 0,
+            total: self.picker.gen_range(1..=self.max_tx),
+        }
+    }
+
+    /// Sessions started so far (live ones included).
+    #[must_use]
+    pub fn sessions_started(&self) -> u64 {
+        self.started
+    }
+
+    /// Sessions that have sent their final transmission and retired.
+    #[must_use]
+    pub fn sessions_completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Transmissions emitted so far.
+    #[must_use]
+    pub fn transmissions_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Emits the next transmission: a seeded pick among the live sessions,
+    /// transmitting its codeword under fresh noise. When the pick exhausts
+    /// its session, the session retires ([`HarqTx::last`] is set) and a new
+    /// session with a fresh user key immediately replaces it.
+    pub fn next_tx(&mut self) -> HarqTx {
+        let idx = self.picker.gen_range(0..self.sessions.len());
+        let llrs = self
+            .channel
+            .transmit(&self.sessions[idx].codeword, self.source.noise_rng());
+        let session = &mut self.sessions[idx];
+        let rv = session.sent % 4;
+        session.sent += 1;
+        let last = session.sent >= session.total;
+        let tx = HarqTx {
+            user: session.user,
+            process: session.process,
+            rv,
+            last,
+            llrs,
+            codeword: session.codeword.clone(),
+        };
+        if last {
+            self.completed += 1;
+            self.sessions[idx] = self.spawn_session();
+        }
+        self.emitted += 1;
+        tx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -915,6 +1088,88 @@ mod tests {
             let _ = traffic.next_frame_into(&mut llrs);
         }
         assert_eq!(ptr, llrs.as_ptr(), "pre-sized buffer never reallocates");
+    }
+
+    #[test]
+    fn harq_traffic_is_deterministic_and_rv_cycles_within_sessions() {
+        let id = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let mut a = HarqTraffic::new(id, 1.0, 4, 6, 17).unwrap();
+        let mut b = HarqTraffic::new(id, 1.0, 4, 6, 17).unwrap();
+        let mut rv_by_user: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for _ in 0..100 {
+            let tx = a.next_tx();
+            assert_eq!(tx, b.next_tx(), "same seed, same stream");
+            assert_eq!(tx.llrs.len(), id.n);
+            assert_eq!(tx.codeword.len(), id.n);
+            assert_eq!(tx.process, (tx.user % 8) as u8);
+            // rv cycles 0, 1, 2, 3, 0, ... through each session's life.
+            let expected = rv_by_user.entry(tx.user).or_insert(0);
+            assert_eq!(tx.rv, *expected, "user {}", tx.user);
+            *expected = (*expected + 1) % 4;
+            if tx.last {
+                rv_by_user.remove(&tx.user);
+            }
+        }
+        assert_eq!(a.transmissions_emitted(), 100);
+    }
+
+    #[test]
+    fn harq_traffic_churns_through_fresh_user_keys() {
+        let id = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let mut traffic = HarqTraffic::new(id, 1.0, 8, 3, 99).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut retired = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let tx = traffic.next_tx();
+            assert!(
+                !retired.contains(&(tx.user, tx.process)),
+                "a retired session's key must never transmit again"
+            );
+            seen.insert(tx.user);
+            if tx.last {
+                retired.insert((tx.user, tx.process));
+            }
+        }
+        // With sessions of at most 3 transmissions, 200 draws retire well
+        // over the initial pool of 8 — the key population churns.
+        assert!(seen.len() > 50, "fresh keys kept arriving: {}", seen.len());
+        assert_eq!(
+            traffic.sessions_started(),
+            traffic.sessions_completed() + 8,
+            "every retirement spawned a replacement into the 8-slot pool"
+        );
+    }
+
+    #[test]
+    fn harq_retransmissions_share_a_codeword_under_independent_noise() {
+        let id = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        let code = id.build().unwrap();
+        let mut traffic = HarqTraffic::new(id, 2.0, 2, 4, 5).unwrap();
+        let mut by_user: std::collections::HashMap<u64, HarqTx> = std::collections::HashMap::new();
+        let mut checked = 0;
+        for _ in 0..60 {
+            let tx = traffic.next_tx();
+            assert!(code.is_codeword(&tx.codeword).unwrap());
+            if let Some(prev) = by_user.get(&tx.user) {
+                assert_eq!(prev.codeword, tx.codeword, "one codeword per session");
+                assert_ne!(prev.llrs, tx.llrs, "independent noise per transmission");
+                checked += 1;
+            }
+            by_user.insert(tx.user, tx);
+        }
+        assert!(checked > 0, "some session retransmitted within 60 draws");
+    }
+
+    #[test]
+    fn harq_traffic_rejects_degenerate_parameters() {
+        let id = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
+        assert!(HarqTraffic::new(id, 1.0, 0, 4, 1).is_err(), "no sessions");
+        assert!(
+            HarqTraffic::new(id, 1.0, 4, 0, 1).is_err(),
+            "no transmissions"
+        );
+        let unsupported = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 100);
+        assert!(HarqTraffic::new(unsupported, 1.0, 4, 4, 1).is_err());
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod encoder;
 pub mod error;
 pub mod girth;
 pub mod layers;
+pub mod puncture;
 pub mod qc;
 pub mod standard;
 
@@ -70,6 +71,7 @@ pub use encoder::Encoder;
 pub use error::CodeError;
 pub use girth::CycleReport;
 pub use layers::{Layer, LayerEntry, LayerSchedule};
+pub use puncture::PuncturePattern;
 pub use qc::QcCode;
 pub use standard::{CodeId, CodeRate, CodeSpec, Standard};
 

@@ -1,0 +1,294 @@
+//! Rate-compatible puncturing of QC-LDPC codewords for HARQ retransmission.
+//!
+//! A mother code of length `n` is served at higher rates by transmitting
+//! only a window of its codeword bits. The window is **circular** over the
+//! codeword (the classic rate-compatible construction, and the shape 5G-NR
+//! rate matching standardised): transmission `rv` (the *redundancy version*)
+//! sends `tx_bits` consecutive positions starting from a per-RV offset, and
+//! the four RV offsets are spread a quarter of the codeword apart, so
+//! successive retransmissions cover the positions earlier ones punctured.
+//! Every offset is snapped to the code's sub-matrix size `z`, keeping each
+//! transmission aligned with whole circulant lanes — the same property the
+//! compiled layer schedules and the frame-major engine rely on.
+//!
+//! At the receiver, a punctured transmission is *expanded* back to mother
+//! length before decoding: transmitted positions carry their channel LLRs
+//! and punctured positions carry the erasure LLR `0.0` (no channel
+//! information, exactly what belief propagation expects of an unobserved
+//! bit). HARQ incremental-redundancy combining then simply adds expanded
+//! transmissions position-wise — see `ldpc-core`'s `HarqCombiner` and the
+//! serving layer's soft-buffer store.
+
+use crate::compiled::CompiledCode;
+use crate::error::CodeError;
+
+/// Number of distinct redundancy-version start offsets; `rv` values wrap
+/// modulo this (matching the 4-RV convention of LTE/NR HARQ).
+pub const RV_COUNT: u8 = 4;
+
+/// A rate-compatible circular puncturing pattern over one code's codewords.
+///
+/// Obtained from [`CompiledCode::puncture_pattern`]. The pattern is pure
+/// data — cheap to copy, `Send`/`Sync`, and independent of any decoder
+/// state — so shards and workload generators can share it freely.
+///
+/// ```
+/// use ldpc_codes::{CodeId, CodeRate, Standard};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576).build()?;
+/// let compiled = code.compile();
+/// // Transmit 384 of the 576 mother bits per redundancy version.
+/// let pattern = compiled.puncture_pattern(384)?;
+/// let full: Vec<f64> = (0..576).map(|i| i as f64).collect();
+/// let tx = pattern.puncture(0, &full);
+/// assert_eq!(tx.len(), 384);
+/// let expanded = pattern.expand(0, &tx);
+/// assert_eq!(expanded.len(), 576);
+/// // Transmitted positions round-trip; punctured ones are erasures (0.0).
+/// assert_eq!(expanded[0], full[0]);
+/// assert_eq!(pattern.erased_bits(), 192);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PuncturePattern {
+    n: usize,
+    z: usize,
+    tx_bits: usize,
+    rv_starts: [usize; RV_COUNT as usize],
+}
+
+impl PuncturePattern {
+    /// Builds a pattern transmitting `tx_bits` of the `n` mother-code bits
+    /// per redundancy version, with circulant-aligned RV offsets.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::InvalidParameter`] unless `z` divides both `n` and
+    /// `tx_bits` and `z ≤ tx_bits ≤ n` — transmissions must cover whole
+    /// `z`-lanes of the mother code.
+    pub fn new(n: usize, z: usize, tx_bits: usize) -> Result<Self, CodeError> {
+        let reject = |reason: String| Err(CodeError::InvalidParameter { reason });
+        if z == 0 || n == 0 || !n.is_multiple_of(z) {
+            return reject(format!("puncture pattern needs z | n, got n={n}, z={z}"));
+        }
+        if tx_bits < z || tx_bits > n || !tx_bits.is_multiple_of(z) {
+            return reject(format!(
+                "tx_bits {tx_bits} must be a multiple of z={z} in [{z}, {n}]"
+            ));
+        }
+        let blocks = n / z;
+        // RV offsets a quarter of the circular buffer apart, rounded down to
+        // whole circulant blocks (NR's k0 has the same shape).
+        let rv_starts = std::array::from_fn(|rv| z * ((rv * blocks) / RV_COUNT as usize % blocks));
+        Ok(PuncturePattern {
+            n,
+            z,
+            tx_bits,
+            rv_starts,
+        })
+    }
+
+    /// Mother-code length `n` the pattern expands to.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sub-matrix size the offsets are aligned to.
+    #[must_use]
+    pub fn z(&self) -> usize {
+        self.z
+    }
+
+    /// Bits transmitted per redundancy version.
+    #[must_use]
+    pub fn tx_bits(&self) -> usize {
+        self.tx_bits
+    }
+
+    /// Bits punctured (erased) per redundancy version.
+    #[must_use]
+    pub fn erased_bits(&self) -> usize {
+        self.n - self.tx_bits
+    }
+
+    /// First transmitted mother-code position of redundancy version `rv`
+    /// (values ≥ [`RV_COUNT`] wrap).
+    #[must_use]
+    pub fn start_bit(&self, rv: u8) -> usize {
+        self.rv_starts[(rv % RV_COUNT) as usize]
+    }
+
+    /// The `i`-th transmitted mother-code position of redundancy version
+    /// `rv` — circular from [`start_bit`](PuncturePattern::start_bit).
+    #[must_use]
+    pub fn position(&self, rv: u8, i: usize) -> usize {
+        debug_assert!(i < self.tx_bits);
+        (self.start_bit(rv) + i) % self.n
+    }
+
+    /// Extracts the transmitted window of `full` (mother length `n`) for
+    /// redundancy version `rv` into `tx`, which is cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != n`.
+    pub fn puncture_into(&self, rv: u8, full: &[f64], tx: &mut Vec<f64>) {
+        assert_eq!(full.len(), self.n, "mother codeword length mismatch");
+        tx.clear();
+        tx.reserve(self.tx_bits);
+        let start = self.start_bit(rv);
+        tx.extend((0..self.tx_bits).map(|i| full[(start + i) % self.n]));
+    }
+
+    /// Allocating form of [`puncture_into`](PuncturePattern::puncture_into).
+    #[must_use]
+    pub fn puncture(&self, rv: u8, full: &[f64]) -> Vec<f64> {
+        let mut tx = Vec::new();
+        self.puncture_into(rv, full, &mut tx);
+        tx
+    }
+
+    /// Expands a punctured transmission back to mother length: transmitted
+    /// positions carry their LLRs, punctured positions the erasure LLR
+    /// `0.0`. `full` is overwritten to length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx.len() != tx_bits`.
+    pub fn expand_into(&self, rv: u8, tx: &[f64], full: &mut Vec<f64>) {
+        assert_eq!(tx.len(), self.tx_bits, "transmission length mismatch");
+        full.clear();
+        full.resize(self.n, 0.0);
+        let start = self.start_bit(rv);
+        for (i, &llr) in tx.iter().enumerate() {
+            full[(start + i) % self.n] = llr;
+        }
+    }
+
+    /// Allocating form of [`expand_into`](PuncturePattern::expand_into).
+    #[must_use]
+    pub fn expand(&self, rv: u8, tx: &[f64]) -> Vec<f64> {
+        let mut full = Vec::new();
+        self.expand_into(rv, tx, &mut full);
+        full
+    }
+}
+
+impl CompiledCode {
+    /// The rate-compatible puncturing pattern transmitting `tx_bits` of this
+    /// code's `n` mother bits per redundancy version (see
+    /// [`PuncturePattern`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`PuncturePattern::new`]: `tx_bits` must be a `z`-multiple in
+    /// `[z, n]`.
+    pub fn puncture_pattern(&self, tx_bits: usize) -> Result<PuncturePattern, CodeError> {
+        PuncturePattern::new(self.n(), self.z(), tx_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::{CodeId, CodeRate, Standard};
+
+    fn wimax576() -> PuncturePattern {
+        let compiled = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap()
+            .compile();
+        compiled.puncture_pattern(384).unwrap()
+    }
+
+    #[test]
+    fn rv_starts_are_z_aligned_distinct_and_quarter_spread() {
+        let p = wimax576();
+        let starts: Vec<usize> = (0..RV_COUNT).map(|rv| p.start_bit(rv)).collect();
+        for &s in &starts {
+            assert_eq!(s % p.z(), 0, "start {s} not lane-aligned");
+            assert!(s < p.n());
+        }
+        let mut unique = starts.clone();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            RV_COUNT as usize,
+            "distinct offsets: {starts:?}"
+        );
+        // 24 blocks of z=24: quarters at blocks 0, 6, 12, 18.
+        assert_eq!(starts, vec![0, 6 * 24, 12 * 24, 18 * 24]);
+        // RV wraps modulo RV_COUNT.
+        assert_eq!(p.start_bit(4), p.start_bit(0));
+        assert_eq!(p.start_bit(7), p.start_bit(3));
+    }
+
+    #[test]
+    fn puncture_expand_round_trips_with_erasures_elsewhere() {
+        let p = wimax576();
+        let full: Vec<f64> = (0..p.n()).map(|i| i as f64 + 1.0).collect();
+        for rv in 0..RV_COUNT {
+            let tx = p.puncture(rv, &full);
+            assert_eq!(tx.len(), p.tx_bits());
+            let expanded = p.expand(rv, &tx);
+            assert_eq!(expanded.len(), p.n());
+            let mut transmitted = 0;
+            let mut erased = 0;
+            for (i, &v) in expanded.iter().enumerate() {
+                if v == 0.0 {
+                    erased += 1;
+                } else {
+                    assert_eq!(v, full[i], "rv {rv} position {i}");
+                    transmitted += 1;
+                }
+            }
+            assert_eq!(transmitted, p.tx_bits());
+            assert_eq!(erased, p.erased_bits());
+        }
+    }
+
+    #[test]
+    fn successive_rvs_cover_the_whole_mother_codeword() {
+        let p = wimax576();
+        let mut covered = vec![false; p.n()];
+        for rv in 0..RV_COUNT {
+            for i in 0..p.tx_bits() {
+                covered[p.position(rv, i)] = true;
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c),
+            "four RVs at rate 2/3 must cover"
+        );
+    }
+
+    #[test]
+    fn full_length_pattern_is_the_identity() {
+        let compiled = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+            .build()
+            .unwrap()
+            .compile();
+        let p = compiled.puncture_pattern(576).unwrap();
+        assert_eq!(p.erased_bits(), 0);
+        let full: Vec<f64> = (0..576).map(|i| -(i as f64)).collect();
+        // rv 0 starts at 0, so identity; other RVs rotate but still cover.
+        assert_eq!(p.expand(0, &p.puncture(0, &full)), full);
+        assert_eq!(p.expand(2, &p.puncture(2, &full)), full);
+    }
+
+    #[test]
+    fn misaligned_or_out_of_range_tx_bits_are_rejected() {
+        for bad in [0usize, 23, 100, 577, 600] {
+            let err = PuncturePattern::new(576, 24, bad).unwrap_err();
+            assert!(
+                matches!(err, CodeError::InvalidParameter { .. }),
+                "tx_bits {bad}: {err:?}"
+            );
+        }
+        assert!(PuncturePattern::new(576, 0, 576).is_err());
+        assert!(PuncturePattern::new(575, 24, 24).is_err());
+    }
+}

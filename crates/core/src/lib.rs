@@ -70,6 +70,7 @@
 pub mod arith;
 pub mod boxplus;
 pub mod cascade;
+pub mod combine;
 pub mod decoder;
 pub mod early_term;
 pub mod engine;
@@ -91,6 +92,7 @@ pub use arith::{
     FloatMinSumArithmetic, LaneKernel, LaneScratch, SimdLevel,
 };
 pub use cascade::{CascadeConfig, CascadeDecoder, CascadeStats};
+pub use combine::HarqCombiner;
 pub use decoder::{DecoderConfig, LayeredDecoder};
 pub use early_term::{DecisionHistory, EarlyTermination};
 pub use engine::{batch_threads, kernel_tier, Decoder, LlrBatch, MsgOf};

@@ -97,22 +97,24 @@ pub mod prelude {
     };
     pub use ldpc_channel::{
         awgn::AwgnChannel, quantize::LlrQuantizer, stats::ErrorCounter, stats::IterationHistogram,
-        workload::BurstProfile, workload::FrameBlock, workload::FrameSource,
-        workload::MixedTraffic,
+        workload::BurstProfile, workload::FrameBlock, workload::FrameSource, workload::HarqTraffic,
+        workload::HarqTx, workload::MixedTraffic,
     };
     pub use ldpc_codes::{
-        CodeId, CodeRate, CompiledCode, Encoder, LayerSchedule, QcCode, Standard,
+        CodeId, CodeRate, CompiledCode, Encoder, LayerSchedule, PuncturePattern, QcCode, Standard,
     };
     pub use ldpc_core::{
         decoder::{DecoderConfig, LayeredDecoder},
         kernel_tier, CascadeConfig, CascadeDecoder, CascadeStats, CheckNodeMode, DecodeOutput,
         DecodeWorkspace, Decoder, DecoderArithmetic, EarlyTermination, FixedBpArithmetic,
         FixedMinSumArithmetic, FloatBpArithmetic, FloatMinSumArithmetic, FloodingDecoder,
-        LaneKernel, LaneScratch, LayerOrderPolicy, LlrBatch, R2Siso, R4Siso, SimdLevel, SisoRadix,
+        HarqCombiner, LaneKernel, LaneScratch, LayerOrderPolicy, LlrBatch, R2Siso, R4Siso,
+        SimdLevel, SisoRadix,
     };
     pub use ldpc_serve::{
-        CascadePolicy, DecodeOutcome, DecodeService, DecoderPolicy, FrameHandle, LatencyStats,
-        Priority, ServeError, ServiceConfig, ShardPolicy, ShardStats, SubmitError, SubmitOptions,
+        CascadePolicy, DecodeOutcome, DecodeService, DecoderPolicy, FrameHandle, HarqKey,
+        LatencyStats, Priority, RetryPolicy, ServeError, ServiceConfig, ShardPolicy, ShardStats,
+        SoftBufferStats, SubmitError, SubmitOptions,
     };
 }
 
@@ -126,5 +128,8 @@ mod tests {
         let _ = FloatBpArithmetic::default();
         let _ = PowerModel::paper_90nm();
         let _ = AreaModel::paper_90nm();
+        let _ = RetryPolicy::default();
+        let _ = HarqKey::new(7, 0);
+        let _ = HarqCombiner::new(127);
     }
 }

@@ -27,6 +27,11 @@
 //!   a selected dispatch attempt panics *before claiming any frames* —
 //!   exercising worker supervision: the supervisor must restart the loop
 //!   and the queued frames must still all resolve.
+//! * **Soft-buffer evictions** ([`evict_every`](FaultPlan::evict_every)): a
+//!   selected HARQ combine force-evicts the key's stored soft buffer before
+//!   combining — exercising eviction-mid-HARQ: the frame must restart from
+//!   its fresh LLRs, decode normally, and be counted as an evicted restart,
+//!   never wedged or leaked.
 
 use std::time::Duration;
 
@@ -56,6 +61,10 @@ pub struct FaultPlan {
     /// Panic roughly one in this many dispatch attempts before any frame is
     /// claimed (a clean worker crash). `None` kills nothing.
     pub kill_dispatch_every: Option<u64>,
+    /// Force-evict the stored soft buffer of roughly one in this many HARQ
+    /// combines (by combine sequence number) before the combine runs.
+    /// `None` evicts nothing.
+    pub evict_every: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -67,6 +76,7 @@ impl Default for FaultPlan {
             stall_every: None,
             stall_for: Duration::from_millis(5),
             kill_dispatch_every: None,
+            evict_every: None,
         }
     }
 }
@@ -112,6 +122,14 @@ impl FaultPlan {
     pub fn kills_dispatch(&self, attempt: u64) -> bool {
         self.selects(self.kill_dispatch_every, 3, attempt)
     }
+
+    /// Whether HARQ combine number `combine` force-evicts its key's stored
+    /// soft buffer before combining (an eviction mid-HARQ the store must
+    /// absorb as a counted fresh restart).
+    #[must_use]
+    pub fn evicts(&self, combine: u64) -> bool {
+        self.selects(self.evict_every, 4, combine)
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +140,12 @@ mod tests {
     fn default_plan_is_inert() {
         let plan = FaultPlan::seeded(42);
         for seq in 0..1000 {
-            assert!(!plan.poisons(seq) && !plan.stalls(seq) && !plan.kills_dispatch(seq));
+            assert!(
+                !plan.poisons(seq)
+                    && !plan.stalls(seq)
+                    && !plan.kills_dispatch(seq)
+                    && !plan.evicts(seq)
+            );
         }
     }
 
@@ -149,12 +172,16 @@ mod tests {
             poison_every: Some(5),
             stall_every: Some(5),
             kill_dispatch_every: Some(5),
+            evict_every: Some(5),
             ..FaultPlan::seeded(3)
         };
         let poisons: Vec<u64> = (0..500).filter(|&s| plan.poisons(s)).collect();
         let stalls: Vec<u64> = (0..500).filter(|&s| plan.stalls(s)).collect();
         let kills: Vec<u64> = (0..500).filter(|&s| plan.kills_dispatch(s)).collect();
+        let evicts: Vec<u64> = (0..500).filter(|&s| plan.evicts(s)).collect();
         assert_ne!(poisons, stalls);
         assert_ne!(stalls, kills);
+        assert_ne!(kills, evicts);
+        assert!(!evicts.is_empty(), "1-in-5 over 500 draws must hit");
     }
 }

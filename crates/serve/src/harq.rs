@@ -1,0 +1,765 @@
+//! The HARQ soft-buffer store: bounded per-user retransmission state.
+//!
+//! HARQ (hybrid ARQ with incremental redundancy / chase combining) makes the
+//! service *stateful*: each `{user, process}` pair may hold a quantized soft
+//! buffer — the wide integer accumulation of every transmission received so
+//! far (see `ldpc_core::combine::HarqCombiner`) — across retransmissions,
+//! until a decode succeeds. At millions-of-users scale that state is the
+//! resource that must be defended, so the store enforces a **hard global
+//! memory budget** ([`ServiceConfig::harq_buffer_bytes`]):
+//!
+//! * inserting a new buffer first evicts least-recently-touched entries
+//!   until the newcomer fits, so occupancy **never** exceeds the budget, not
+//!   even transiently;
+//! * an optional TTL ([`ServiceConfig::harq_ttl`]) reaps buffers whose users
+//!   went silent, on the next store operation;
+//! * a buffer that alone exceeds the budget is served **statelessly**: the
+//!   frame still decodes from its own LLRs, nothing is stored, and the skip
+//!   is counted.
+//!
+//! Eviction is deliberately graceful rather than sticky: a retransmission
+//! whose buffer was evicted simply restarts accumulation from its own fresh
+//! LLRs (counted as an *evicted restart*), decodes normally, and re-parks.
+//! No frame is wedged or dropped because its state aged out. Every buffer's
+//! end is accounted — released on decode success, evicted (LRU / TTL /
+//! chaos-forced), or drained at shutdown — and [`SoftBufferStats::leaked`]
+//! pins the audit: inserts minus all accounted exits minus live entries is
+//! zero at all times, which the storm soak and the `harq-gate` CI job
+//! enforce.
+//!
+//! [`ServiceConfig::harq_buffer_bytes`]: crate::service::ServiceConfig::harq_buffer_bytes
+//! [`ServiceConfig::harq_ttl`]: crate::service::ServiceConfig::harq_ttl
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ldpc_codes::CodeId;
+use ldpc_core::HarqCombiner;
+
+use crate::stats::ShardCounters;
+
+/// Identifies one HARQ process: one user's one stop-and-wait lane.
+///
+/// Retransmissions of the same frame share a key; a user runs up to 256
+/// independent processes (the usual HARQ process-ID width). Keys are chosen
+/// by the caller — the store treats them as opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HarqKey {
+    /// Stable user / connection identifier.
+    pub user: u64,
+    /// HARQ process number within the user (0–255).
+    pub process: u8,
+}
+
+impl HarqKey {
+    /// A key for `user`'s HARQ process `process`.
+    #[must_use]
+    pub fn new(user: u64, process: u8) -> Self {
+        HarqKey { user, process }
+    }
+}
+
+/// Fixed per-entry bookkeeping charge added to each soft buffer's
+/// `4 · n` payload bytes when accounting against the budget (map + LRU
+/// index + metadata; a deliberate round constant so budget math is
+/// reproducible across platforms).
+pub const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// Bytes one stored soft buffer of mother-code length `n` charges against
+/// [`ServiceConfig::harq_buffer_bytes`](crate::service::ServiceConfig::harq_buffer_bytes).
+#[must_use]
+pub fn entry_bytes(n: usize) -> usize {
+    n * std::mem::size_of::<i32>() + ENTRY_OVERHEAD_BYTES
+}
+
+/// Why the store dropped a buffer — every exit path is counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Evict {
+    /// Least-recently-touched entry displaced to fit a newcomer in budget.
+    Lru,
+    /// Entry idled past the configured TTL.
+    Ttl,
+    /// Chaos harness (`FaultPlan::evict_every`) or a stale entry under a
+    /// reused key (different code) forced the drop.
+    Forced,
+}
+
+/// One stored soft buffer.
+struct Entry {
+    /// Wide (un-saturated) accumulator, mother-code length.
+    acc: Vec<i32>,
+    /// Code the buffer belongs to; a key reused for a different code starts
+    /// fresh (the stale buffer is force-evicted).
+    code: CodeId,
+    /// Transmissions accumulated so far.
+    rounds: u32,
+    /// LRU position (key into `StoreInner::lru`).
+    touch_clock: u64,
+    /// Last touch time, for TTL reaping.
+    touch_at: Instant,
+    /// Owning shard's counters, so evictions are attributed to the shard
+    /// that inserted the buffer even when a different shard's insert
+    /// displaces it.
+    counters: Arc<ShardCounters>,
+}
+
+struct StoreInner {
+    map: HashMap<HarqKey, Entry>,
+    /// Touch-ordered index: oldest clock first ⇒ LRU eviction order.
+    lru: BTreeMap<u64, HarqKey>,
+    /// Budget-accounted occupancy ([`entry_bytes`] per entry).
+    bytes: usize,
+    clock: u64,
+}
+
+/// What a combining pass against the [`SoftBufferStore`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombineDisposition {
+    /// Transmissions now folded into the emitted LLR codes (1 = fresh).
+    pub rounds: u32,
+    /// The caller sent a retransmission (`rv > 0`) but no stored buffer
+    /// survived — accumulation restarted from this transmission alone.
+    pub restarted: bool,
+    /// The combined buffer was stored (false only in stateless/oversize
+    /// mode).
+    pub stored: bool,
+}
+
+/// The keyed, budget-bounded soft-buffer store (see the module docs).
+///
+/// All operations take one short internal lock; counters are atomics and
+/// readable lock-free via [`stats`](SoftBufferStore::stats).
+pub struct SoftBufferStore {
+    inner: Mutex<StoreInner>,
+    budget: usize,
+    ttl: Option<Duration>,
+    /// Monotone combine sequence — the domain of the chaos
+    /// `FaultPlan::evict_every` predicate (assigned before the lock, so it
+    /// equals submission order under a sequential submitter).
+    combine_seq: AtomicU64,
+    inserts: AtomicU64,
+    releases: AtomicU64,
+    evictions_lru: AtomicU64,
+    evictions_ttl: AtomicU64,
+    evictions_forced: AtomicU64,
+    evicted_restarts: AtomicU64,
+    drained: AtomicU64,
+    combines: AtomicU64,
+    oversize: AtomicU64,
+    peak_bytes: AtomicU64,
+}
+
+impl std::fmt::Debug for SoftBufferStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SoftBufferStore")
+            .field("budget_bytes", &self.budget)
+            .field("ttl", &self.ttl)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl SoftBufferStore {
+    /// A store holding at most `budget_bytes` of soft-buffer state, with
+    /// entries idle longer than `ttl` reaped opportunistically. A zero
+    /// budget is valid and means *stateless HARQ*: every combine runs from
+    /// fresh LLRs and nothing is stored.
+    #[must_use]
+    pub fn new(budget_bytes: usize, ttl: Option<Duration>) -> Self {
+        SoftBufferStore {
+            inner: Mutex::new(StoreInner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                bytes: 0,
+                clock: 0,
+            }),
+            budget: budget_bytes,
+            ttl,
+            combine_seq: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            releases: AtomicU64::new(0),
+            evictions_lru: AtomicU64::new(0),
+            evictions_ttl: AtomicU64::new(0),
+            evictions_forced: AtomicU64::new(0),
+            evicted_restarts: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            combines: AtomicU64::new(0),
+            oversize: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Hard occupancy ceiling in bytes.
+    #[must_use]
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Claims the next combine sequence number (the `FaultPlan::evict_every`
+    /// predicate domain).
+    pub(crate) fn next_combine_seq(&self) -> u64 {
+        self.combine_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Folds one quantized transmission into `key`'s soft buffer and writes
+    /// the saturated combined codes (what the decoder should see) into
+    /// `out`.
+    ///
+    /// `force_evict` drops any stored buffer for `key` *before* combining —
+    /// the chaos harness's mid-HARQ eviction. A retransmission (`rv > 0`)
+    /// that finds no buffer restarts from `incoming` alone and is counted as
+    /// an evicted restart. `counters` is the submitting shard's counter
+    /// block; evictions are attributed to the shard that stored the evicted
+    /// buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn combine_into(
+        &self,
+        key: HarqKey,
+        code: CodeId,
+        rv: u8,
+        incoming: &[i32],
+        combiner: &HarqCombiner,
+        force_evict: bool,
+        counters: &Arc<ShardCounters>,
+        out: &mut Vec<i32>,
+    ) -> CombineDisposition {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("soft-buffer store poisoned");
+        self.sweep_ttl(&mut inner, now);
+        if force_evict && inner.map.contains_key(&key) {
+            self.evict(&mut inner, key, Evict::Forced);
+        }
+        // A key reused for a different code (or frame length) carries a
+        // stale buffer — combining across codes would be nonsense, so the
+        // old state is force-evicted and accumulation restarts.
+        let stale = inner
+            .map
+            .get(&key)
+            .is_some_and(|e| e.code != code || e.acc.len() != incoming.len());
+        if stale {
+            self.evict(&mut inner, key, Evict::Forced);
+        }
+        self.combines.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = inner.map.get_mut(&key) {
+            combiner.accumulate(&mut entry.acc, incoming);
+            entry.rounds += 1;
+            let rounds = entry.rounds;
+            out.resize(entry.acc.len(), 0);
+            combiner.saturate_into(&entry.acc, out);
+            self.touch(&mut inner, key, now);
+            return CombineDisposition {
+                rounds,
+                restarted: false,
+                stored: true,
+            };
+        }
+        // Fresh start: no buffer survived for this key.
+        let restarted = rv > 0;
+        if restarted {
+            self.evicted_restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        out.resize(incoming.len(), 0);
+        let zero = vec![0i32; incoming.len()];
+        combiner.combine_saturated(&zero, incoming, out);
+        let cost = entry_bytes(incoming.len());
+        if cost > self.budget {
+            // Oversize (or zero-budget stateless mode): serve the frame from
+            // its own LLRs, store nothing.
+            self.oversize.fetch_add(1, Ordering::Relaxed);
+            return CombineDisposition {
+                rounds: 1,
+                restarted,
+                stored: false,
+            };
+        }
+        // Evict-before-insert: occupancy stays within budget at every
+        // instant, never just "eventually".
+        while inner.bytes + cost > self.budget {
+            let (_, victim) = inner
+                .lru
+                .iter()
+                .next()
+                .map(|(c, k)| (*c, *k))
+                .expect("budget accounting out of sync with LRU index");
+            self.evict(&mut inner, victim, Evict::Lru);
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.lru.insert(clock, key);
+        inner.map.insert(
+            key,
+            Entry {
+                acc: incoming.to_vec(),
+                code,
+                rounds: 1,
+                touch_clock: clock,
+                touch_at: now,
+                counters: Arc::clone(counters),
+            },
+        );
+        inner.bytes += cost;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.note_peak(inner.bytes);
+        CombineDisposition {
+            rounds: 1,
+            restarted,
+            stored: true,
+        }
+    }
+
+    /// Keeps `key`'s buffer for the next retransmission (decode failed) and
+    /// refreshes its TTL/LRU position. No-op if the buffer was evicted while
+    /// the frame was in flight.
+    pub(crate) fn park(&self, key: HarqKey) {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("soft-buffer store poisoned");
+        if inner.map.contains_key(&key) {
+            self.touch(&mut inner, key, now);
+        }
+    }
+
+    /// Frees `key`'s buffer (decode succeeded). Returns whether a buffer was
+    /// present.
+    pub(crate) fn release(&self, key: HarqKey) -> bool {
+        let mut inner = self.inner.lock().expect("soft-buffer store poisoned");
+        let Some(entry) = inner.map.remove(&key) else {
+            return false;
+        };
+        inner.lru.remove(&entry.touch_clock);
+        inner.bytes -= entry_bytes(entry.acc.len());
+        self.releases.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Drops every stored buffer (service shutdown). Each is counted as
+    /// drained, so a clean shutdown ends with zero occupancy and zero leaks.
+    pub(crate) fn drain(&self) {
+        let mut inner = self.inner.lock().expect("soft-buffer store poisoned");
+        let count = inner.map.len() as u64;
+        inner.map.clear();
+        inner.lru.clear();
+        inner.bytes = 0;
+        self.drained.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Lock-free-readable counter snapshot plus (briefly locked) occupancy.
+    #[must_use]
+    pub fn stats(&self) -> SoftBufferStats {
+        let (entries, occupancy_bytes) = {
+            let inner = self.inner.lock().expect("soft-buffer store poisoned");
+            (inner.map.len(), inner.bytes)
+        };
+        SoftBufferStats {
+            entries,
+            occupancy_bytes,
+            peak_occupancy_bytes: self.peak_bytes.load(Ordering::Relaxed) as usize,
+            budget_bytes: self.budget,
+            inserts: self.inserts.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            evictions_lru: self.evictions_lru.load(Ordering::Relaxed),
+            evictions_ttl: self.evictions_ttl.load(Ordering::Relaxed),
+            evictions_forced: self.evictions_forced.load(Ordering::Relaxed),
+            evicted_restarts: self.evicted_restarts.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+            combines: self.combines.load(Ordering::Relaxed),
+            oversize: self.oversize.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evicts `key` (which must be present), counting under `why` both
+    /// store-globally and on the owning shard.
+    fn evict(&self, inner: &mut StoreInner, key: HarqKey, why: Evict) {
+        let entry = inner.map.remove(&key).expect("evicting absent key");
+        inner.lru.remove(&entry.touch_clock);
+        inner.bytes -= entry_bytes(entry.acc.len());
+        let counter = match why {
+            Evict::Lru => &self.evictions_lru,
+            Evict::Ttl => &self.evictions_ttl,
+            Evict::Forced => &self.evictions_forced,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        entry
+            .counters
+            .harq_evictions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reaps entries idle past the TTL. Touch order equals LRU order, so the
+    /// sweep stops at the first fresh entry.
+    fn sweep_ttl(&self, inner: &mut StoreInner, now: Instant) {
+        let Some(ttl) = self.ttl else { return };
+        loop {
+            let Some((_, key)) = inner.lru.iter().next().map(|(c, k)| (*c, *k)) else {
+                return;
+            };
+            if now.saturating_duration_since(inner.map[&key].touch_at) < ttl {
+                return;
+            }
+            self.evict(inner, key, Evict::Ttl);
+        }
+    }
+
+    /// Moves `key` to the most-recently-used position and refreshes its TTL
+    /// stamp.
+    fn touch(&self, inner: &mut StoreInner, key: HarqKey, now: Instant) {
+        inner.clock += 1;
+        let clock = inner.clock;
+        let old = {
+            let entry = inner.map.get_mut(&key).expect("touching absent key");
+            let old = entry.touch_clock;
+            entry.touch_clock = clock;
+            entry.touch_at = now;
+            old
+        };
+        inner.lru.remove(&old);
+        inner.lru.insert(clock, key);
+    }
+
+    fn note_peak(&self, bytes: usize) {
+        self.peak_bytes.fetch_max(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// Public snapshot of the soft-buffer store's occupancy and audit counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct SoftBufferStats {
+    /// Buffers currently stored.
+    pub entries: usize,
+    /// Budget-accounted bytes currently stored ([`entry_bytes`] each).
+    pub occupancy_bytes: usize,
+    /// High-water occupancy since the store was created — the storm soak's
+    /// budget-overshoot check compares this against `budget_bytes`.
+    pub peak_occupancy_bytes: usize,
+    /// The configured hard ceiling.
+    pub budget_bytes: usize,
+    /// Buffers ever stored.
+    pub inserts: u64,
+    /// Buffers freed by a successful decode.
+    pub releases: u64,
+    /// Buffers displaced by the budget (least recently touched first).
+    pub evictions_lru: u64,
+    /// Buffers reaped after idling past the TTL.
+    pub evictions_ttl: u64,
+    /// Buffers dropped by the chaos harness or stale key reuse.
+    pub evictions_forced: u64,
+    /// Retransmissions that found no buffer and restarted from fresh LLRs.
+    pub evicted_restarts: u64,
+    /// Buffers dropped by the shutdown drain.
+    pub drained: u64,
+    /// Combine operations performed (stored or stateless).
+    pub combines: u64,
+    /// Combines served statelessly because one buffer exceeds the budget
+    /// (always the case at budget 0).
+    pub oversize: u64,
+}
+
+impl SoftBufferStats {
+    /// All accounted evictions (LRU + TTL + forced).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions_lru + self.evictions_ttl + self.evictions_forced
+    }
+
+    /// The leak audit: inserts minus every accounted exit (releases,
+    /// evictions, shutdown drain) minus live entries. Zero at all times in a
+    /// correct store; the storm soak and `compare_bench --require-harq` gate
+    /// on it.
+    #[must_use]
+    pub fn leaked(&self) -> i64 {
+        self.inserts as i64
+            - self.releases as i64
+            - self.evictions() as i64
+            - self.drained as i64
+            - self.entries as i64
+    }
+}
+
+/// Completion hook carried by a HARQ frame through the scheduler: resolves
+/// the stored buffer when the frame's outcome is known — **release** on a
+/// parity-satisfied decode, **park** on anything else (failed decode,
+/// expiry, shed, poison, abandonment), so a retransmission can continue
+/// accumulating. Parking on drop is the fail-safe: a frame that never
+/// reaches an explicit outcome still leaves its buffer accounted.
+pub(crate) struct HarqCompletion {
+    key: HarqKey,
+    store: Arc<SoftBufferStore>,
+    counters: Arc<ShardCounters>,
+    done: bool,
+}
+
+impl fmt::Debug for HarqCompletion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HarqCompletion")
+            .field("key", &self.key)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HarqCompletion {
+    pub(crate) fn new(
+        key: HarqKey,
+        store: Arc<SoftBufferStore>,
+        counters: Arc<ShardCounters>,
+    ) -> Self {
+        HarqCompletion {
+            key,
+            store,
+            counters,
+            done: false,
+        }
+    }
+
+    /// Resolves the buffer: `success` (parity satisfied) releases it,
+    /// anything else parks it for the next retransmission.
+    pub(crate) fn resolve(mut self, success: bool) {
+        self.done = true;
+        if success {
+            self.store.release(self.key);
+            self.counters.harq_released.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.store.park(self.key);
+            self.counters.harq_parked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for HarqCompletion {
+    fn drop(&mut self) {
+        if !self.done {
+            self.store.park(self.key);
+            self.counters.harq_parked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_codes::{CodeRate, Standard};
+
+    fn code() -> CodeId {
+        CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576)
+    }
+
+    fn counters() -> Arc<ShardCounters> {
+        Arc::new(ShardCounters::default())
+    }
+
+    fn codes(n: usize, v: i32) -> Vec<i32> {
+        vec![v; n]
+    }
+
+    fn combine(
+        store: &SoftBufferStore,
+        key: HarqKey,
+        rv: u8,
+        incoming: &[i32],
+        shard: &Arc<ShardCounters>,
+    ) -> (Vec<i32>, CombineDisposition) {
+        let combiner = HarqCombiner::new(127);
+        let mut out = Vec::new();
+        let disposition =
+            store.combine_into(key, code(), rv, incoming, &combiner, false, shard, &mut out);
+        (out, disposition)
+    }
+
+    #[test]
+    fn combine_accumulates_then_release_frees() {
+        let store = SoftBufferStore::new(1 << 20, None);
+        let shard = counters();
+        let key = HarqKey::new(7, 0);
+        let (out, d) = combine(&store, key, 0, &codes(16, 100), &shard);
+        assert!(d.stored && !d.restarted && d.rounds == 1);
+        assert_eq!(out, codes(16, 100));
+        let (out, d) = combine(&store, key, 1, &codes(16, 60), &shard);
+        assert!(!d.restarted && d.rounds == 2);
+        assert_eq!(out, codes(16, 127), "160 saturates to 127 on read");
+        assert!(store.release(key));
+        let stats = store.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.occupancy_bytes, 0);
+        assert_eq!(stats.releases, 1);
+        assert_eq!(stats.combines, 2);
+        assert_eq!(stats.leaked(), 0);
+    }
+
+    #[test]
+    fn budget_is_a_hard_ceiling_with_lru_eviction() {
+        let n = 64;
+        let budget = 3 * entry_bytes(n);
+        let store = SoftBufferStore::new(budget, None);
+        let shard = counters();
+        for user in 0..10u64 {
+            combine(&store, HarqKey::new(user, 0), 0, &codes(n, 5), &shard);
+            assert!(store.stats().occupancy_bytes <= budget);
+        }
+        // Touch user 7 so user 8 is the LRU victim of the next insert.
+        store.park(HarqKey::new(7, 0));
+        combine(&store, HarqKey::new(99, 0), 0, &codes(n, 5), &shard);
+        let stats = store.stats();
+        assert_eq!(stats.entries, 3);
+        assert!(stats.peak_occupancy_bytes <= budget);
+        assert_eq!(stats.evictions_lru, 8);
+        assert_eq!(
+            shard.harq_evictions.load(Ordering::Relaxed),
+            8,
+            "evictions attributed to the owning shard"
+        );
+        // The touched entry survived, the untouched one did not.
+        let (_, d) = combine(&store, HarqKey::new(7, 0), 1, &codes(n, 5), &shard);
+        assert!(!d.restarted, "recently-touched buffer must survive");
+        let (_, d) = combine(&store, HarqKey::new(8, 0), 1, &codes(n, 5), &shard);
+        assert!(d.restarted, "LRU victim restarts from fresh LLRs");
+        assert_eq!(store.stats().leaked(), 0);
+    }
+
+    #[test]
+    fn evicted_retransmission_restarts_and_is_counted() {
+        let store = SoftBufferStore::new(1 << 20, None);
+        let shard = counters();
+        let key = HarqKey::new(1, 3);
+        let (out, d) = combine(&store, key, 2, &codes(8, 40), &shard);
+        assert!(d.restarted && d.rounds == 1);
+        assert_eq!(out, codes(8, 40), "restart decodes from fresh LLRs");
+        assert_eq!(store.stats().evicted_restarts, 1);
+    }
+
+    #[test]
+    fn forced_eviction_mid_combine_restarts_cleanly() {
+        let store = SoftBufferStore::new(1 << 20, None);
+        let shard = counters();
+        let combiner = HarqCombiner::new(127);
+        let key = HarqKey::new(5, 1);
+        combine(&store, key, 0, &codes(8, 100), &shard);
+        let mut out = Vec::new();
+        let d = store.combine_into(
+            key,
+            code(),
+            1,
+            &codes(8, 30),
+            &combiner,
+            true,
+            &shard,
+            &mut out,
+        );
+        assert!(d.restarted, "forced eviction discards the stored buffer");
+        assert_eq!(out, codes(8, 30));
+        let stats = store.stats();
+        assert_eq!(stats.evictions_forced, 1);
+        assert_eq!(stats.evicted_restarts, 1);
+        assert_eq!(stats.leaked(), 0);
+    }
+
+    #[test]
+    fn oversize_buffers_serve_statelessly() {
+        let n = 64;
+        let store = SoftBufferStore::new(entry_bytes(n) - 1, None);
+        let shard = counters();
+        let key = HarqKey::new(2, 0);
+        let (out, d) = combine(&store, key, 0, &codes(n, 9), &shard);
+        assert!(!d.stored);
+        assert_eq!(out, codes(n, 9));
+        let stats = store.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.inserts, 0);
+        assert_eq!(stats.oversize, 1);
+        assert_eq!(stats.leaked(), 0);
+    }
+
+    #[test]
+    fn zero_budget_is_stateless_mode() {
+        let store = SoftBufferStore::new(0, None);
+        let shard = counters();
+        for rv in 0..3u8 {
+            let (_, d) = combine(&store, HarqKey::new(1, 0), rv, &codes(8, 3), &shard);
+            assert!(!d.stored);
+            assert_eq!(d.rounds, 1);
+        }
+        assert_eq!(store.stats().oversize, 3);
+        assert_eq!(store.stats().leaked(), 0);
+    }
+
+    #[test]
+    fn ttl_reaps_idle_buffers() {
+        let store = SoftBufferStore::new(1 << 20, Some(Duration::from_millis(5)));
+        let shard = counters();
+        combine(&store, HarqKey::new(1, 0), 0, &codes(8, 4), &shard);
+        std::thread::sleep(Duration::from_millis(10));
+        // Any store operation sweeps; combining a different key suffices.
+        combine(&store, HarqKey::new(2, 0), 0, &codes(8, 4), &shard);
+        let stats = store.stats();
+        assert_eq!(stats.evictions_ttl, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.leaked(), 0);
+    }
+
+    #[test]
+    fn stale_key_reuse_across_codes_restarts() {
+        let store = SoftBufferStore::new(1 << 20, None);
+        let shard = counters();
+        let key = HarqKey::new(3, 0);
+        combine(&store, key, 0, &codes(8, 50), &shard);
+        let other = CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648);
+        let combiner = HarqCombiner::new(127);
+        let mut out = Vec::new();
+        let d = store.combine_into(
+            key,
+            other,
+            0,
+            &codes(12, 7),
+            &combiner,
+            false,
+            &shard,
+            &mut out,
+        );
+        assert!(d.stored && d.rounds == 1);
+        assert_eq!(out, codes(12, 7));
+        assert_eq!(store.stats().evictions_forced, 1);
+        assert_eq!(store.stats().leaked(), 0);
+    }
+
+    #[test]
+    fn drain_accounts_every_survivor() {
+        let store = SoftBufferStore::new(1 << 20, None);
+        let shard = counters();
+        for user in 0..5u64 {
+            combine(&store, HarqKey::new(user, 0), 0, &codes(8, 2), &shard);
+        }
+        store.release(HarqKey::new(0, 0));
+        store.drain();
+        let stats = store.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.occupancy_bytes, 0);
+        assert_eq!(stats.drained, 4);
+        assert_eq!(stats.leaked(), 0);
+    }
+
+    #[test]
+    fn completion_resolves_release_park_and_drop() {
+        let store = Arc::new(SoftBufferStore::new(1 << 20, None));
+        let shard = counters();
+        for (user, success, via_drop) in [(1u64, true, false), (2, false, false), (3, false, true)]
+        {
+            let key = HarqKey::new(user, 0);
+            combine(&store, key, 0, &codes(8, 9), &shard);
+            let completion = HarqCompletion::new(key, Arc::clone(&store), Arc::clone(&shard));
+            if via_drop {
+                drop(completion);
+            } else {
+                completion.resolve(success);
+            }
+        }
+        let stats = store.stats();
+        assert_eq!(stats.releases, 1);
+        assert_eq!(stats.entries, 2, "parked buffers stay for retransmission");
+        assert_eq!(shard.harq_released.load(Ordering::Relaxed), 1);
+        assert_eq!(shard.harq_parked.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.leaked(), 0);
+    }
+}

@@ -59,6 +59,13 @@
 //!   oldest-frame age, stall detection) plus the decode pool's worker
 //!   census; and a [`DegradationPolicy`] trades cascade effort for
 //!   throughput under pressure before any frame is shed.
+//! * **HARQ retransmissions** — [`DecodeService::submit_harq`] soft-combines
+//!   rate-compatible retransmissions (full codewords or punctured
+//!   redundancy versions) into a bounded, LRU/TTL-evicting
+//!   [`harq::SoftBufferStore`] keyed by [`HarqKey`]; failed decodes park
+//!   the combined energy for the next attempt, successes release it, and
+//!   evicted processes restart cleanly from fresh LLRs — counted, never
+//!   wedged. [`ServiceHealth::harq`] reports the store's ledger.
 //! * **Zero steady-state decoder allocation** — workers draw their
 //!   workspaces from the decoder's shared
 //!   [`ldpc_core::WorkspacePool`]; once every shard is warm,
@@ -75,6 +82,7 @@ mod error;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 mod handle;
+pub mod harq;
 mod policy;
 mod queue;
 mod service;
@@ -84,6 +92,7 @@ pub use error::{ServeError, SubmitError};
 #[cfg(feature = "fault-injection")]
 pub use fault::FaultPlan;
 pub use handle::{DecodeOutcome, FrameHandle};
+pub use harq::{HarqKey, SoftBufferStats, SoftBufferStore};
 pub use policy::{
     DecoderPolicy, DegradationPolicy, Priority, RetryPolicy, ShardPolicy, SubmitOptions,
 };

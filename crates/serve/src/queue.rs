@@ -24,6 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::handle::{DecodeOutcome, Slot};
+use crate::harq::HarqCompletion;
 use crate::policy::Priority;
 use crate::stats::ShardCounters;
 
@@ -56,6 +57,14 @@ impl CompletionGuard {
         if let Some(slot) = self.slot.take() {
             slot.complete(outcome);
         }
+    }
+
+    /// Disarms the guard without resolving the slot — for frames a refused
+    /// push hands back to the submitter: their handle was never issued, so
+    /// nothing may resolve (or be counted) as abandoned.
+    pub(crate) fn disarm(&mut self) {
+        self.slot = None;
+        self.counters = None;
     }
 }
 
@@ -97,11 +106,21 @@ pub(crate) struct PendingFrame {
     /// Completion guard over the slot shared with the caller's
     /// [`crate::FrameHandle`].
     pub slot: CompletionGuard,
+    /// HARQ soft-buffer hook, present only for `submit_harq` frames: the
+    /// buffer is released on a parity-satisfied decode and parked on every
+    /// other outcome (its own drop path parks, so even a frame dropped by a
+    /// panicking worker leaves its buffer accounted).
+    pub harq: Option<HarqCompletion>,
 }
 
 impl PendingFrame {
-    /// Resolves the frame's handle with `outcome`.
-    pub(crate) fn complete(self, outcome: DecodeOutcome) {
+    /// Resolves the frame's handle with `outcome`, releasing or parking its
+    /// HARQ soft buffer first.
+    pub(crate) fn complete(mut self, outcome: DecodeOutcome) {
+        if let Some(harq) = self.harq.take() {
+            let success = matches!(&outcome, DecodeOutcome::Decoded(out) if out.parity_satisfied);
+            harq.resolve(success);
+        }
         self.slot.complete(outcome);
     }
 }
@@ -192,6 +211,11 @@ impl FrameQueue {
     }
 
     /// Non-blocking push; refuses (returning the frame) when full or closed.
+    ///
+    /// Handing the whole frame back in the `Err` is the refusal contract —
+    /// the submitter keeps ownership to retry or fail it — and refusals are
+    /// the hot path under a retry storm, so the large variant is not boxed.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn try_push(&self, frame: PendingFrame) -> Result<(), PushError> {
         let mut inner = self.inner.lock().expect("frame queue poisoned");
         if inner.closed {
@@ -208,6 +232,7 @@ impl FrameQueue {
 
     /// Blocking push: parks until a worker makes room (backpressure) or the
     /// queue closes (the frame is handed back as the error).
+    #[allow(clippy::result_large_err)]
     pub(crate) fn push_blocking(&self, frame: PendingFrame) -> Result<(), PendingFrame> {
         let mut inner = self.inner.lock().expect("frame queue poisoned");
         loop {
@@ -300,6 +325,7 @@ mod tests {
             arrival: now,
             dispatch_by: now,
             slot: CompletionGuard::new(Arc::new(Slot::default()), Arc::default()),
+            harq: None,
         }
     }
 

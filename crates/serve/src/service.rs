@@ -44,15 +44,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ldpc_channel::quantize::LlrQuantizer;
-use ldpc_codes::{CodeId, CompiledCode};
+use ldpc_codes::{CodeId, CompiledCode, PuncturePattern};
 use ldpc_core::{
-    CascadeConfig, CascadeDecoder, DecodeError, DecodeOutput, DecodePool, Decoder, LlrBatch,
+    CascadeConfig, CascadeDecoder, DecodeError, DecodeOutput, DecodePool, Decoder, HarqCombiner,
+    LlrBatch,
 };
 
 use crate::error::{ServeError, SubmitError};
 #[cfg(feature = "fault-injection")]
 use crate::fault::FaultPlan;
 use crate::handle::{DecodeOutcome, FrameHandle, Slot};
+use crate::harq::{HarqCompletion, HarqKey, SoftBufferStats, SoftBufferStore};
 use crate::policy::{DecoderPolicy, Priority, RetryPolicy, ShardPolicy, SubmitOptions};
 use crate::queue::{CompletionGuard, FrameQueue, PendingFrame, PushError};
 use crate::stats::{ServiceHealth, ShardCounters, ShardStats};
@@ -88,6 +90,17 @@ pub struct ServiceConfig {
     /// formats raw channel LLRs would otherwise saturate flat. Leave `None`
     /// (the default) to pass raw LLRs through, e.g. for float decoders.
     pub ingest_quantizer: Option<LlrQuantizer>,
+    /// Hard global memory budget of the HARQ soft-buffer store, in bytes
+    /// (see [`crate::harq`]). Occupancy never exceeds it — inserts evict
+    /// least-recently-touched buffers first. Zero means *stateless HARQ*:
+    /// [`DecodeService::submit_harq`] still works but every transmission
+    /// decodes from its own LLRs alone. Default 64 MiB.
+    pub harq_buffer_bytes: usize,
+    /// Optional idle TTL of stored soft buffers: a buffer untouched for
+    /// this long is reaped on the next store operation (counted as a TTL
+    /// eviction). `None` (the default) keeps buffers until budget pressure
+    /// or shutdown.
+    pub harq_ttl: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +111,8 @@ impl Default for ServiceConfig {
             decode_threads: 1,
             dispatch_workers: None,
             ingest_quantizer: None,
+            harq_buffer_bytes: 64 << 20,
+            harq_ttl: None,
         }
     }
 }
@@ -230,6 +245,11 @@ struct ShardState<D> {
     /// Detached clone: shares the template's workspace pools, keeps private
     /// stage counters. The claim flag serialises access per shard.
     decoder: D,
+    /// Rate-compatible puncturing pattern for HARQ transmissions, when
+    /// registered via
+    /// [`DecodeServiceBuilder::harq_puncture`]; `None` accepts only
+    /// full-length transmissions.
+    puncture: Option<PuncturePattern>,
 }
 
 /// Everything the dispatch workers share with the service front end.
@@ -257,6 +277,15 @@ struct ServiceCore<D> {
     /// Kept for pool introspection: the shard decoders share this
     /// template's workspace pool.
     template: D,
+    /// The HARQ soft-buffer store, shared with every in-flight HARQ frame's
+    /// completion hook (see [`crate::harq`]).
+    harq: Arc<SoftBufferStore>,
+    /// Quantizer of the HARQ code space: the configured ingest quantizer,
+    /// or the paper's 8-bit W8F2 default when none is set. Soft buffers
+    /// accumulate in this quantizer's integer codes.
+    harq_quantizer: LlrQuantizer,
+    /// The saturating combine kernel over `harq_quantizer`'s code range.
+    harq_combiner: HarqCombiner,
     /// The installed chaos plan, if any (see [`crate::fault`]).
     #[cfg(feature = "fault-injection")]
     fault_plan: Option<FaultPlan>,
@@ -361,6 +390,7 @@ pub struct DecodeServiceBuilder<D> {
     config: ServiceConfig,
     start_paused: bool,
     codes: Vec<(Arc<CompiledCode>, ShardPolicy)>,
+    harq_tx_bits: Vec<(CodeId, usize)>,
     #[cfg(feature = "fault-injection")]
     fault_plan: Option<FaultPlan>,
 }
@@ -376,6 +406,7 @@ where
             config: ServiceConfig::default(),
             start_paused: false,
             codes: Vec::new(),
+            harq_tx_bits: Vec::new(),
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -433,6 +464,35 @@ where
     #[must_use]
     pub fn start_paused(mut self) -> Self {
         self.start_paused = true;
+        self
+    }
+
+    /// Sets the HARQ soft-buffer store's hard memory budget (see
+    /// [`ServiceConfig::harq_buffer_bytes`]; zero = stateless HARQ).
+    #[must_use]
+    pub fn harq_buffer_bytes(mut self, bytes: usize) -> Self {
+        self.config.harq_buffer_bytes = bytes;
+        self
+    }
+
+    /// Sets the idle TTL of stored soft buffers (see
+    /// [`ServiceConfig::harq_ttl`]).
+    #[must_use]
+    pub fn harq_ttl(mut self, ttl: Duration) -> Self {
+        self.config.harq_ttl = Some(ttl);
+        self
+    }
+
+    /// Registers a rate-compatible puncturing pattern for `code`'s shard:
+    /// [`DecodeService::submit_harq`] then also accepts transmissions of
+    /// `tx_bits` LLRs, expanded to mother length with erasure LLRs at the
+    /// punctured positions of the frame's redundancy version (see
+    /// [`PuncturePattern`]). Full-length transmissions stay accepted either
+    /// way. Validated against the compiled code at
+    /// [`build`](DecodeServiceBuilder::build).
+    #[must_use]
+    pub fn harq_puncture(mut self, code: CodeId, tx_bits: usize) -> Self {
+        self.harq_tx_bits.push((code, tx_bits));
         self
     }
 
@@ -515,8 +575,23 @@ where
         let mut shards = Vec::with_capacity(self.codes.len());
         let mut index = HashMap::with_capacity(self.codes.len());
         let mut order = Vec::with_capacity(self.codes.len());
+        for &(code, _) in &self.harq_tx_bits {
+            if !self.codes.iter().any(|(c, _)| c.spec().id() == code) {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!("harq_puncture for unregistered code {code}"),
+                });
+            }
+        }
         for (compiled, policy) in self.codes {
             let id = compiled.spec().id();
+            // Last registration wins, matching builder-override convention.
+            let puncture = self
+                .harq_tx_bits
+                .iter()
+                .rev()
+                .find(|(code, _)| *code == id)
+                .map(|&(_, tx_bits)| compiled.puncture_pattern(tx_bits))
+                .transpose()?;
             // Detached: shards share the decoder's workspace pools but keep
             // private stage counters, so per-shard cascade stats never
             // aggregate across shards.
@@ -550,9 +625,12 @@ where
                 queue: FrameQueue::new(config.queue_capacity),
                 counters,
                 decoder,
+                puncture,
             });
         }
         let worker_count = config.dispatch_workers.unwrap_or(shards.len()).max(1);
+        let harq_quantizer = config.ingest_quantizer.unwrap_or_default();
+        let harq_combiner = HarqCombiner::new(harq_quantizer.max_code());
         let core = Arc::new(ServiceCore {
             sched: Scheduler {
                 busy: Mutex::new(vec![false; shards.len()]),
@@ -566,6 +644,12 @@ where
             dispatch_attempts: AtomicU64::new(0),
             epoch: Instant::now(),
             template: self.decoder,
+            harq: Arc::new(SoftBufferStore::new(
+                config.harq_buffer_bytes,
+                config.harq_ttl,
+            )),
+            harq_quantizer,
+            harq_combiner,
             #[cfg(feature = "fault-injection")]
             fault_plan: self.fault_plan,
         });
@@ -740,20 +824,38 @@ where
     fn submit_inner(
         &self,
         code: CodeId,
-        mut llrs: Vec<f64>,
+        llrs: Vec<f64>,
         options: SubmitOptions,
     ) -> Result<FrameHandle, SubmitError> {
+        self.submit_framed(code, llrs, options, None)
+            .map_err(|(e, _)| e)
+    }
+
+    /// The shared tail of every submission path. `harq` is the soft-buffer
+    /// hook of a [`submit_harq`](DecodeService::submit_harq) frame; refusals
+    /// hand it back alongside the error so a retry loop can re-attach it to
+    /// the next attempt instead of re-combining the transmission.
+    fn submit_framed(
+        &self,
+        code: CodeId,
+        mut llrs: Vec<f64>,
+        options: SubmitOptions,
+        mut harq: Option<HarqCompletion>,
+    ) -> Result<FrameHandle, (SubmitError, Option<HarqCompletion>)> {
         let Some(&idx) = self.index.get(&code) else {
-            return Err(SubmitError::UnknownCode { code });
+            return Err((SubmitError::UnknownCode { code }, harq));
         };
         let shard = &self.core.shards[idx];
         let expected = shard.compiled.n();
         if llrs.len() != expected {
-            return Err(SubmitError::FrameLength {
-                code,
-                expected,
-                actual: llrs.len(),
-            });
+            return Err((
+                SubmitError::FrameLength {
+                    code,
+                    expected,
+                    actual: llrs.len(),
+                },
+                harq,
+            ));
         }
         // Quantized ingest (when configured): gain-normalise the frame into
         // the fixed-point range at submission, so the dispatch workers — and
@@ -789,6 +891,11 @@ where
                 if !queue_ahead.is_zero() && arrival + queue_ahead > deadline {
                     shard.counters.accepted.fetch_add(1, Ordering::Relaxed);
                     shard.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    // A shed HARQ frame parks its soft buffer: the
+                    // transmission's information is banked for the retry.
+                    if let Some(harq) = harq.take() {
+                        harq.resolve(false);
+                    }
                     let slot = Arc::new(Slot::default());
                     slot.complete(DecodeOutcome::Shed);
                     return Ok(FrameHandle::new(code, slot));
@@ -815,6 +922,7 @@ where
             arrival,
             dispatch_by,
             slot: CompletionGuard::new(Arc::clone(&slot), Arc::clone(&shard.counters)),
+            harq,
         };
         // Count the acceptance *before* the push: once pushed, the frame is
         // visible to the workers, and a completion must never be observable
@@ -823,10 +931,18 @@ where
         let refused = |counters: &ShardCounters| {
             counters.accepted.fetch_sub(1, Ordering::Relaxed);
         };
+        // Refusals reclaim the LLRs and HARQ hook from the handed-back frame
+        // and disarm its slot guard: the caller never received a handle, so
+        // the drop must not resolve (and count) the frame as abandoned.
+        let reclaim = |mut frame: PendingFrame| {
+            frame.slot.disarm();
+            (std::mem::take(&mut frame.llrs), frame.harq.take())
+        };
         if options.blocking {
             shard.queue.push_blocking(frame).map_err(|frame| {
                 refused(&shard.counters);
-                SubmitError::ShutDown { llrs: frame.llrs }
+                let (llrs, harq) = reclaim(frame);
+                (SubmitError::ShutDown { llrs }, harq)
             })?;
         } else {
             shard.queue.try_push(frame).map_err(|e| {
@@ -834,9 +950,13 @@ where
                 match e {
                     PushError::Full(frame) => {
                         shard.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
-                        SubmitError::QueueFull { llrs: frame.llrs }
+                        let (llrs, harq) = reclaim(frame);
+                        (SubmitError::QueueFull { llrs }, harq)
                     }
-                    PushError::Closed(frame) => SubmitError::ShutDown { llrs: frame.llrs },
+                    PushError::Closed(frame) => {
+                        let (llrs, harq) = reclaim(frame);
+                        (SubmitError::ShutDown { llrs }, harq)
+                    }
                 }
             })?;
         }
@@ -890,6 +1010,197 @@ where
         }
     }
 
+    /// Combines transmission `rv` of HARQ process `key` into its stored soft
+    /// buffer and submits the combined frame for decoding.
+    ///
+    /// `llrs` is either a full codeword (`n` LLRs) or, when the code was
+    /// registered with [`harq_puncture`](DecodeServiceBuilder::harq_puncture),
+    /// the punctured transmission (`tx_bits` LLRs) of redundancy version
+    /// `rv` — punctured positions enter the combiner as erasures (LLR 0).
+    /// The frame is gain-normalised, quantized with the service's HARQ
+    /// quantizer, and accumulated into the soft buffer stored under `key`
+    /// (creating one when absent, within the
+    /// [`harq_buffer_bytes`](ServiceConfig::harq_buffer_bytes) budget); the
+    /// *combined* LLRs are what the decoder sees. Combining is
+    /// order-independent: any permutation of the same transmissions yields
+    /// bit-identical combined frames.
+    ///
+    /// The soft buffer's lifecycle follows the decode outcome: a
+    /// parity-satisfied decode releases it, any other resolution (decode
+    /// failure, expiry, shed, poison, abandonment) parks it for the next
+    /// retransmission. A key whose buffer was evicted under budget pressure
+    /// restarts cleanly from this transmission alone (counted in
+    /// [`ShardStats::harq_evicted_restarts`]) — degraded, never wedged.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](DecodeService::submit); [`SubmitError::FrameLength`]
+    /// reports the nearest expected length (codeword, or `tx_bits` when a
+    /// puncture pattern is registered and `llrs` is not a full codeword).
+    /// On refusal the transmission's energy is already banked in the parked
+    /// soft buffer — resubmitting the same LLRs would double-count them, so
+    /// retry via [`submit_harq_with_retry`](DecodeService::submit_harq_with_retry)
+    /// or treat the refusal as a dropped transmission and send the next `rv`.
+    pub fn submit_harq(
+        &self,
+        code: CodeId,
+        key: HarqKey,
+        rv: u8,
+        llrs: Vec<f64>,
+        options: impl Into<SubmitOptions>,
+    ) -> Result<FrameHandle, SubmitError> {
+        let (combined, completion) = self.prepare_harq(code, key, rv, llrs)?;
+        self.submit_framed(code, combined, options.into(), Some(completion))
+            .map_err(|(err, harq)| {
+                // The refused transmission is banked: dropping the completion
+                // parks the soft buffer for the caller's next attempt.
+                drop(harq);
+                err
+            })
+    }
+
+    /// [`submit_harq`](DecodeService::submit_harq) with the bounded retry
+    /// loop of [`submit_with_retry`](DecodeService::submit_with_retry).
+    ///
+    /// The transmission is combined into the soft buffer exactly once, up
+    /// front; refused attempts re-submit the already-combined frame, so a
+    /// retry never double-counts the transmission's energy. `options.blocking`
+    /// is forced off; the loop is deadline-aware like `submit_with_retry`.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_harq`](DecodeService::submit_harq);
+    /// [`SubmitError::QueueFull`] once `retry.max_attempts` submissions were
+    /// refused (the combined energy stays parked under `key`).
+    pub fn submit_harq_with_retry(
+        &self,
+        code: CodeId,
+        key: HarqKey,
+        rv: u8,
+        llrs: Vec<f64>,
+        options: impl Into<SubmitOptions>,
+        retry: RetryPolicy,
+    ) -> Result<FrameHandle, SubmitError> {
+        let options = options.into().non_blocking();
+        let (mut llrs, mut completion) = self.prepare_harq(code, key, rv, llrs)?;
+        let mut attempt = 0u32;
+        loop {
+            match self.submit_framed(code, llrs, options, Some(completion)) {
+                Err((SubmitError::QueueFull { llrs: returned }, harq)) => {
+                    attempt += 1;
+                    let give_up = attempt >= retry.max_attempts.max(1);
+                    let backoff = retry.backoff(attempt.saturating_sub(1));
+                    let past_deadline = options
+                        .deadline
+                        .is_some_and(|deadline| Instant::now() + backoff >= deadline);
+                    if give_up || past_deadline {
+                        // Dropping the reclaimed completion parks the buffer.
+                        drop(harq);
+                        return Err(SubmitError::QueueFull { llrs: returned });
+                    }
+                    std::thread::sleep(backoff);
+                    llrs = returned;
+                    completion = harq.expect("refused HARQ frame hands its completion back");
+                }
+                Err((err, harq)) => {
+                    drop(harq);
+                    return Err(err);
+                }
+                Ok(handle) => return Ok(handle),
+            }
+        }
+    }
+
+    /// Validates, expands, quantizes and soft-combines one HARQ transmission,
+    /// returning the combined frame (as LLRs ready for `submit_framed`) and
+    /// the completion hook that releases or parks the stored buffer when the
+    /// frame resolves.
+    fn prepare_harq(
+        &self,
+        code: CodeId,
+        key: HarqKey,
+        rv: u8,
+        llrs: Vec<f64>,
+    ) -> Result<(Vec<f64>, HarqCompletion), SubmitError> {
+        let Some(&idx) = self.index.get(&code) else {
+            return Err(SubmitError::UnknownCode { code });
+        };
+        let shard = &self.core.shards[idx];
+        let n = shard.compiled.n();
+        let mut full = if llrs.len() == n {
+            llrs
+        } else if let Some(pattern) = shard
+            .puncture
+            .as_ref()
+            .filter(|p| p.tx_bits() == llrs.len())
+        {
+            pattern.expand(rv, &llrs)
+        } else {
+            return Err(SubmitError::FrameLength {
+                code,
+                // Report the transmission length when one is registered and
+                // the caller clearly wasn't sending a full codeword.
+                expected: shard.puncture.as_ref().map_or(n, |p| p.tx_bits()),
+                actual: llrs.len(),
+            });
+        };
+        let quantizer = &self.core.harq_quantizer;
+        quantizer.normalize_in_place(&mut full);
+        let incoming = quantizer.quantize_all_to_codes(&full);
+        let combine_seq = self.core.harq.next_combine_seq();
+        #[cfg(feature = "fault-injection")]
+        let force_evict = self
+            .core
+            .fault_plan
+            .as_ref()
+            .is_some_and(|plan| plan.evicts(combine_seq));
+        #[cfg(not(feature = "fault-injection"))]
+        let force_evict = false;
+        let _ = combine_seq;
+        let mut combined = vec![0i32; n];
+        let disposition = self.core.harq.combine_into(
+            key,
+            code,
+            rv,
+            &incoming,
+            &self.core.harq_combiner,
+            force_evict,
+            &shard.counters,
+            &mut combined,
+        );
+        shard.counters.harq_combines.fetch_add(1, Ordering::Relaxed);
+        if disposition.restarted {
+            shard
+                .counters
+                .harq_evicted_restarts
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let combined_llrs: Vec<f64> = combined.iter().map(|&c| quantizer.dequantize(c)).collect();
+        let completion = HarqCompletion::new(
+            key,
+            Arc::clone(&self.core.harq),
+            Arc::clone(&shard.counters),
+        );
+        Ok((combined_llrs, completion))
+    }
+
+    /// Point-in-time snapshot of the HARQ soft-buffer store: occupancy
+    /// against budget, peak, and the insert/release/evict/drain ledger.
+    /// Also carried by [`health`](DecodeService::health) as
+    /// [`ServiceHealth::harq`].
+    #[must_use]
+    pub fn harq_stats(&self) -> SoftBufferStats {
+        self.core.harq.stats()
+    }
+
+    /// A shared handle on the soft-buffer store, so a harness can read the
+    /// final [`SoftBufferStats`] ledger (post-drain occupancy, leak count)
+    /// after [`shutdown`](DecodeService::shutdown) has consumed the service.
+    #[must_use]
+    pub fn harq_store(&self) -> Arc<crate::harq::SoftBufferStore> {
+        Arc::clone(&self.core.harq)
+    }
+
     /// Point-in-time health snapshot: every shard's queue depth,
     /// oldest-frame age, dispatch recency and stall flag, restart and
     /// quarantine counts, plus the decode pool's worker census. Cheap
@@ -915,7 +1226,20 @@ where
             })
             .collect();
         let pool = DecodePool::global();
+        // Service-wide loss totals, summed across shards so a watchdog reads
+        // one number per failure class instead of folding the shard vec.
+        let total = |field: fn(&ShardCounters) -> &AtomicU64| {
+            self.core
+                .shards
+                .iter()
+                .map(|shard| field(&shard.counters).load(Ordering::Relaxed))
+                .sum()
+        };
         ServiceHealth {
+            shed: total(|c| &c.shed),
+            quarantined: total(|c| &c.quarantined),
+            abandoned: total(|c| &c.abandoned),
+            harq: self.core.harq.stats(),
             shards,
             pool_workers: pool.workers(),
             pool_live_workers: pool.live_workers(),
@@ -1004,6 +1328,11 @@ impl<D> DecodeService<D> {
                 drop(frame);
             }
         }
+        // With every frame resolved (each parking or releasing its soft
+        // buffer through its completion), drain the HARQ store: whatever is
+        // still held belongs to processes mid-retransmission, and counting
+        // it out here is what keeps `SoftBufferStats::leaked` at zero.
+        self.core.harq.drain();
     }
 }
 
@@ -2076,5 +2405,208 @@ mod tests {
             stats[0].degradation_level, 0,
             "drained queue steps the ladder back down"
         );
+    }
+
+    #[test]
+    fn harq_parks_failed_attempts_and_releases_successes() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let key = HarqKey::new(7, 0);
+
+        // First transmission carries a deadline that is already gone: the
+        // frame expires at dispatch — a non-success that must *park* the
+        // soft buffer, banking the transmission for the retry.
+        let first = service
+            .submit_harq(code, key, 0, vec![6.0; code.n], Instant::now())
+            .unwrap();
+        service.resume();
+        assert!(matches!(first.wait(), DecodeOutcome::Expired));
+        let stats = service.harq_stats();
+        assert_eq!(stats.entries, 1, "failed attempt parks the buffer");
+        assert!(stats.occupancy_bytes > 0);
+        let shard = service.shard_stats(code).unwrap();
+        assert_eq!(shard.harq_combines, 1);
+        assert_eq!(shard.harq_parked, 1);
+        assert_eq!(shard.harq_released, 0);
+
+        // Retransmission combines with the banked energy and decodes: a
+        // parity-satisfied outcome releases the buffer.
+        let second = service
+            .submit_harq(code, key, 1, vec![6.0; code.n], ())
+            .unwrap();
+        let out = second.wait().into_output().expect("combined frame decodes");
+        assert!(out.parity_satisfied);
+        assert!(out.hard_bits.iter().all(|&b| b == 0));
+        let health = service.health();
+        assert_eq!(health.harq.entries, 0, "success releases the buffer");
+        assert_eq!(health.harq.releases, 1);
+        assert_eq!(health.shed, 0);
+        assert_eq!(health.quarantined, 0);
+        assert_eq!(health.abandoned, 0);
+        let shard = service.shard_stats(code).unwrap();
+        assert_eq!(shard.harq_combines, 2);
+        assert_eq!(shard.harq_released, 1);
+        let stats = service.harq_stats();
+        assert_eq!(stats.leaked(), 0, "the ledger stays balanced");
+        service.shutdown();
+    }
+
+    #[test]
+    fn harq_punctured_redundancy_versions_combine_to_a_full_codeword() {
+        // tx_bits 288 over n = 576, z = 24: rv0 covers bits [0, 288) and
+        // rv2 covers [288, 576) — complementary halves of the codeword.
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .harq_puncture(code, 288)
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let key = HarqKey::new(11, 3);
+
+        // A transmission that is neither a full codeword nor tx_bits long is
+        // refused, quoting the registered transmission length.
+        assert!(matches!(
+            service.submit_harq(code, key, 0, vec![6.0; 100], ()),
+            Err(SubmitError::FrameLength {
+                expected: 288,
+                actual: 100,
+                ..
+            })
+        ));
+
+        // rv0 alone is half a codeword (the rest erased); expire it so the
+        // energy parks rather than asserting on a borderline decode.
+        let first = service
+            .submit_harq(code, key, 0, vec![6.0; 288], Instant::now())
+            .unwrap();
+        service.resume();
+        assert!(matches!(first.wait(), DecodeOutcome::Expired));
+
+        // rv2 fills in the other half: the combined frame has full-strength
+        // LLRs at every position and decodes cleanly.
+        let second = service
+            .submit_harq(code, key, 2, vec![6.0; 288], ())
+            .unwrap();
+        let out = second.wait().into_output().expect("combined halves decode");
+        assert!(out.parity_satisfied);
+        assert!(out.hard_bits.iter().all(|&b| b == 0));
+        assert_eq!(service.harq_stats().entries, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn harq_builder_rejects_bad_puncture_registrations() {
+        let code = wimax576();
+        let other = CodeId::new(Standard::Wifi80211n, CodeRate::R1_2, 648);
+        let err = DecodeService::builder(decoder())
+            .harq_puncture(other, 324)
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap_err();
+        match err {
+            ServeError::InvalidConfig { reason } => {
+                assert!(reason.contains("harq_puncture"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+
+        // tx_bits not divisible by z is a code-layer parameter error.
+        let err = DecodeService::builder(decoder())
+            .harq_puncture(code, 100)
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Code(_)), "{err:?}");
+    }
+
+    #[test]
+    fn harq_refusals_bank_energy_and_retries_reattach_it() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .start_paused()
+            .queue_capacity(1)
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let parked = service.submit(code, vec![6.0; code.n], ()).unwrap();
+        let key = HarqKey::new(42, 1);
+
+        // Paused + full queue: the HARQ submission is refused, but the
+        // transmission was already combined — its energy stays banked in the
+        // parked buffer, and no phantom abandonment is counted.
+        assert!(matches!(
+            service.submit_harq(
+                code,
+                key,
+                0,
+                vec![6.0; code.n],
+                SubmitOptions::new().non_blocking()
+            ),
+            Err(SubmitError::QueueFull { .. })
+        ));
+        let stats = service.harq_stats();
+        assert_eq!(stats.entries, 1, "refused transmission stays banked");
+        assert_eq!(stats.combines, 1);
+        let shard = service.shard_stats(code).unwrap();
+        assert_eq!(shard.harq_parked, 1);
+        assert_eq!(shard.abandoned, 0, "refusal must not count as abandoned");
+
+        // The retry loop re-attaches the completion to each attempt without
+        // re-combining; once capacity frees, the frame decodes and releases.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                service.resume();
+            });
+            let retry = RetryPolicy {
+                max_attempts: 200,
+                base_backoff: Duration::from_millis(2),
+                ..RetryPolicy::default()
+            };
+            let handle = service
+                .submit_harq_with_retry(code, key, 1, vec![6.0; code.n], (), retry)
+                .expect("capacity frees after resume");
+            assert!(handle.wait().is_decoded());
+        });
+        assert!(parked.wait().is_decoded());
+        let stats = service.harq_stats();
+        assert_eq!(stats.combines, 2, "retries never re-combine");
+        assert_eq!(stats.releases, 1);
+        assert_eq!(stats.leaked(), 0);
+        let shard_stats = service.shutdown();
+        assert_eq!(shard_stats[0].abandoned, 0);
+        assert_eq!(shard_stats[0].harq_released, 1);
+    }
+
+    #[test]
+    fn zero_harq_budget_serves_stateless() {
+        let code = wimax576();
+        let service = DecodeService::builder(decoder())
+            .harq_buffer_bytes(0)
+            .register(code)
+            .unwrap()
+            .build()
+            .unwrap();
+        let key = HarqKey::new(1, 0);
+        let handle = service
+            .submit_harq(code, key, 0, vec![6.5; code.n], ())
+            .unwrap();
+        assert!(handle.wait().is_decoded());
+        let stats = service.harq_stats();
+        assert_eq!(stats.entries, 0, "nothing fits a zero budget");
+        assert_eq!(stats.occupancy_bytes, 0);
+        assert!(stats.oversize >= 1, "stateless fallback is counted");
+        assert_eq!(stats.leaked(), 0);
+        service.shutdown();
     }
 }

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use ldpc_codes::CodeId;
 
+use crate::harq::SoftBufferStats;
 use crate::policy::{Priority, ShardPolicy};
 
 /// Log-bucketed latency histogram: power-of-two octaves split into
@@ -213,6 +214,21 @@ pub(crate) struct ShardCounters {
     /// Frame count of the in-progress (or most recent) dispatch — the
     /// multiplier for the stall budget.
     pub dispatch_frames: AtomicU64,
+    /// HARQ combine operations performed by this shard's `submit_harq`
+    /// path (each folds one transmission into a soft buffer).
+    pub harq_combines: AtomicU64,
+    /// HARQ frames whose soft buffer was parked for a retransmission
+    /// (decode failed, expired, shed, poisoned, or abandoned).
+    pub harq_parked: AtomicU64,
+    /// HARQ frames whose soft buffer was released by a parity-satisfied
+    /// decode.
+    pub harq_released: AtomicU64,
+    /// Soft buffers this shard stored that the store later evicted
+    /// (budget LRU, TTL, or chaos-forced).
+    pub harq_evictions: AtomicU64,
+    /// HARQ retransmissions that found no stored buffer (evicted
+    /// mid-HARQ) and restarted accumulation from fresh LLRs.
+    pub harq_evicted_restarts: AtomicU64,
 }
 
 impl ShardCounters {
@@ -250,6 +266,11 @@ impl ShardCounters {
             degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
             degradation_level: u8::try_from(self.degradation_level.load(Ordering::Relaxed))
                 .unwrap_or(u8::MAX),
+            harq_combines: self.harq_combines.load(Ordering::Relaxed),
+            harq_parked: self.harq_parked.load(Ordering::Relaxed),
+            harq_released: self.harq_released.load(Ordering::Relaxed),
+            harq_evictions: self.harq_evictions.load(Ordering::Relaxed),
+            harq_evicted_restarts: self.harq_evicted_restarts.load(Ordering::Relaxed),
             queue_depth,
             pool_workspaces_created,
             priority: policy.priority,
@@ -424,6 +445,22 @@ pub struct ShardStats {
     /// control is allowed to shed (see
     /// [`DegradationPolicy`](crate::DegradationPolicy)).
     pub degradation_level: u8,
+    /// HARQ combine operations performed by this shard's
+    /// [`submit_harq`](crate::DecodeService::submit_harq) path.
+    pub harq_combines: u64,
+    /// HARQ frames whose soft buffer was parked for a retransmission (any
+    /// non-success outcome keeps the accumulated state).
+    pub harq_parked: u64,
+    /// HARQ frames whose soft buffer was released by a parity-satisfied
+    /// decode.
+    pub harq_released: u64,
+    /// Soft buffers this shard stored that the store evicted (budget LRU,
+    /// TTL, or chaos-forced) — attributed to the storing shard even when
+    /// another shard's insert displaced them.
+    pub harq_evictions: u64,
+    /// HARQ retransmissions that found their buffer evicted and restarted
+    /// accumulation from fresh LLRs (decoded normally, never wedged).
+    pub harq_evicted_restarts: u64,
     /// Frames queued but not yet claimed by a dispatch worker at snapshot
     /// time.
     pub queue_depth: usize,
@@ -512,6 +549,17 @@ pub struct ServiceHealth {
     pub pool_live_workers: usize,
     /// Decode pool workers ever respawned after a death.
     pub pool_worker_restarts: u64,
+    /// Frames shed by admission control, summed across shards — so the
+    /// watchdog view is self-contained and a sudden shed ramp is visible
+    /// without also pulling [`ShardStats`](crate::ShardStats).
+    pub shed: u64,
+    /// Frames quarantined as poisoned, summed across shards.
+    pub quarantined: u64,
+    /// Frames abandoned by crashing workers, summed across shards.
+    pub abandoned: u64,
+    /// Occupancy and audit counters of the HARQ soft-buffer store (zeros
+    /// when HARQ is unused).
+    pub harq: SoftBufferStats,
 }
 
 impl ServiceHealth {
@@ -552,6 +600,11 @@ mod tests {
         counters.worker_restarts.store(3, Ordering::Relaxed);
         counters.degraded_batches.store(2, Ordering::Relaxed);
         counters.degradation_level.store(1, Ordering::Relaxed);
+        counters.harq_combines.store(11, Ordering::Relaxed);
+        counters.harq_parked.store(4, Ordering::Relaxed);
+        counters.harq_released.store(6, Ordering::Relaxed);
+        counters.harq_evictions.store(2, Ordering::Relaxed);
+        counters.harq_evicted_restarts.store(1, Ordering::Relaxed);
         let code = CodeId::new(Standard::Wimax80216e, CodeRate::R1_2, 576);
         let policy = ShardPolicy::with_slo(Duration::from_millis(8)).priority(Priority::High);
         let stats = counters.snapshot(code, 1, 2, &policy, 30);
@@ -579,6 +632,11 @@ mod tests {
         assert_eq!(stats.priority, Priority::High);
         assert_eq!(stats.slo, Some(Duration::from_millis(8)));
         assert_eq!(stats.effective_max_batch, 30);
+        assert_eq!(stats.harq_combines, 11);
+        assert_eq!(stats.harq_parked, 4);
+        assert_eq!(stats.harq_released, 6);
+        assert_eq!(stats.harq_evictions, 2);
+        assert_eq!(stats.harq_evicted_restarts, 1);
     }
 
     #[test]
@@ -698,6 +756,10 @@ mod tests {
             pool_workers: 4,
             pool_live_workers: 4,
             pool_worker_restarts: 2,
+            shed: 5,
+            quarantined: 1,
+            abandoned: 1,
+            harq: SoftBufferStats::default(),
         };
         assert!(healthy.healthy(), "restart history alone is not unhealthy");
         let short_pool = ServiceHealth {

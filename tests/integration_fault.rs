@@ -14,6 +14,9 @@
 //!   detector while it lasts — and clears once the batch completes;
 //! * shutdown drains to completion under active faults: every accepted
 //!   frame resolves as `Decoded` or `Poisoned`, never `Abandoned`;
+//! * a planned `evict_every` fault drops a HARQ soft buffer mid-session
+//!   while its frame is still in flight: the retransmission restarts from
+//!   fresh LLRs, both frames decode, and the store's ledger stays balanced;
 //! * the process-wide decode pool exits chaos at full worker strength.
 
 use std::collections::HashSet;
@@ -216,6 +219,54 @@ fn health_watchdog_flags_an_injected_stall_and_recovers() {
         "the finished dispatch stamped recency"
     );
     service.shutdown();
+}
+
+#[test]
+fn forced_eviction_mid_harq_restarts_the_session_cleanly() {
+    let plan_of = |seed| {
+        let mut plan = FaultPlan::seeded(seed);
+        plan.evict_every = Some(3);
+        plan
+    };
+    // The first combine must store untouched and the second must be a
+    // planned eviction, so the rv0 buffer is dropped while the rv0 frame is
+    // still queued — the eviction-while-in-flight race, deterministically.
+    let seed = find_seed(plan_of, |plan| !plan.evicts(0) && plan.evicts(1));
+    let service = DecodeService::builder(decoder())
+        .start_paused()
+        .fault_plan(plan_of(seed))
+        .register(code())
+        .unwrap()
+        .build()
+        .unwrap();
+    let key = HarqKey::new(3, 0);
+    let h0 = service
+        .submit_harq(code(), key, 0, frame_llrs(0), ())
+        .unwrap();
+    let h1 = service
+        .submit_harq(code(), key, 1, frame_llrs(0), ())
+        .unwrap();
+    let mid = service.harq_stats();
+    assert_eq!(mid.evictions_forced, 1, "the planned eviction fired");
+    assert_eq!(mid.evicted_restarts, 1, "rv1 restarted from fresh LLRs");
+    service.resume();
+
+    // Both frames decode: the evicted rv0 resolves against a buffer that no
+    // longer exists (a no-op release/park), the restarted rv1 carries
+    // exactly one transmission's energy — bit-identical to the rv0 output.
+    let out0 = h0
+        .wait()
+        .into_output()
+        .expect("evicted frame still decodes");
+    let out1 = h1.wait().into_output().expect("restarted frame decodes");
+    assert_eq!(out0, out1, "a restarted session equals a fresh first send");
+    let store = service.harq_store();
+    let stats = service.shutdown();
+    assert_eq!(stats[0].abandoned, 0);
+    assert_eq!(stats[0].harq_evictions, 1);
+    let after = store.stats();
+    assert_eq!(after.occupancy_bytes, 0, "shutdown drained the store");
+    assert_eq!(after.leaked(), 0, "eviction-in-flight must not unbalance");
 }
 
 #[test]
